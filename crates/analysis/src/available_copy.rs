@@ -1,0 +1,243 @@
+//! Availability of the available copy scheme (§4.2, Figure 7).
+
+use crate::markov::CtmcBuilder;
+use crate::math::check_args;
+
+/// Index scheme for the 2n states of Figure 7 (shared with the naive chain
+/// of Figure 8): `S_j` (j = 1..n available copies) then `S'_j` (all copies
+/// failed, j = 0..n-1 comatose).
+pub(crate) fn state_indices(n: usize) -> (impl Fn(usize) -> usize, impl Fn(usize) -> usize) {
+    let avail = move |j: usize| {
+        debug_assert!((1..=n).contains(&j));
+        j - 1
+    };
+    let primed = move |j: usize| {
+        debug_assert!(j < n);
+        n + j
+    };
+    (avail, primed)
+}
+
+/// Builds the state-transition-rate diagram of Figure 7 for `n` copies with
+/// failure rate `λ = ρ` and repair rate `µ = 1`.
+///
+/// States `S_j` have `j` available copies; once all copies have failed the
+/// block sits in `S'_j` with `j` comatose copies, and only the recovery of
+/// the *last copy to fail* (rate `µ`) returns it to service — at which point
+/// every comatose copy repairs from it instantly, hence the transition
+/// `S'_j → S_{j+1}`.
+pub fn build_chain(n: usize, rho: f64) -> CtmcBuilder {
+    check_args(n, rho);
+    assert!(rho > 0.0, "the chain needs a positive failure rate");
+    let (lambda, mu) = (rho, 1.0);
+    let (s, sp) = state_indices(n);
+    let mut chain = CtmcBuilder::new(2 * n);
+    // Available states S_1..S_n.
+    for j in 1..=n {
+        if j < n {
+            // Recovery of one of the n-j failed copies.
+            chain.transition(s(j), s(j + 1), (n - j) as f64 * mu);
+        }
+        if j > 1 {
+            // Failure of one of the j available copies.
+            chain.transition(s(j), s(j - 1), j as f64 * lambda);
+        } else {
+            // The last available copy fails: total failure.
+            chain.transition(s(1), sp(0), lambda);
+        }
+    }
+    // Total-failure states S'_0..S'_{n-1}.
+    for j in 0..n {
+        // The last copy to fail recovers: all j comatose copies repair from
+        // it immediately, giving j+1 available copies.
+        chain.transition(sp(j), s(j + 1), mu);
+        if j + 1 < n {
+            // One of the other n-j-1 failed copies recovers but stays
+            // comatose.
+            chain.transition(sp(j), sp(j + 1), (n - j - 1) as f64 * mu);
+        }
+        if j > 0 {
+            // A comatose copy fails again.
+            chain.transition(sp(j), sp(j - 1), j as f64 * lambda);
+        }
+    }
+    chain
+}
+
+/// Availability `A_A(n)`: the stationary probability of being in any state
+/// `S_j` of Figure 7, for arbitrary `n`.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_analysis::available_copy;
+///
+/// // Two available copies beat three voting copies (A_A(2) > A_V(3)).
+/// let rho = 0.1;
+/// assert!(
+///     available_copy::availability(2, rho) > blockrep_analysis::voting::availability(3, rho)
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rho` is negative or non-finite.
+pub fn availability(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    if rho == 0.0 {
+        return 1.0;
+    }
+    let chain = build_chain(n, rho);
+    let pi = chain.stationary().expect("figure 7 chain is irreducible");
+    pi[..n].iter().sum()
+}
+
+/// The closed forms printed in the paper — equations (2), (3) and (4) for
+/// `n = 2, 3, 4` (plus the trivial `n = 1`). Returns `None` for larger `n`,
+/// for which the paper gives no closed form; use [`availability`] instead.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rho` is negative or non-finite.
+pub fn availability_closed(n: usize, rho: f64) -> Option<f64> {
+    check_args(n, rho);
+    let r = rho;
+    let value = match n {
+        1 => 1.0 / (1.0 + r),
+        2 => (1.0 + 3.0 * r + r * r) / (1.0 + r).powi(3),
+        3 => {
+            (2.0 + 9.0 * r + 17.0 * r.powi(2) + 11.0 * r.powi(3) + 2.0 * r.powi(4))
+                / ((1.0 + r).powi(3) * (2.0 + 3.0 * r + 2.0 * r * r))
+        }
+        4 => {
+            (6.0 + 37.0 * r
+                + 99.0 * r.powi(2)
+                + 152.0 * r.powi(3)
+                + 124.0 * r.powi(4)
+                + 47.0 * r.powi(5)
+                + 6.0 * r.powi(6))
+                / ((1.0 + r).powi(4) * (6.0 + 13.0 * r + 11.0 * r * r + 6.0 * r.powi(3)))
+        }
+        _ => return None,
+    };
+    Some(value)
+}
+
+/// The paper's inequality (5): `A_A(n) > 1 − nρⁿ/(1+ρ)ⁿ`, a lower bound
+/// derived from the equilibrium of flows between available and comatose
+/// states.
+pub fn lower_bound(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    1.0 - n as f64 * rho.powi(n as i32) / (1.0 + rho).powi(n as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voting;
+
+    #[test]
+    fn single_copy_matches_site_availability() {
+        for rho in [0.05, 0.2, 1.0] {
+            assert!((availability(1, rho) - 1.0 / (1.0 + rho)).abs() < 1e-12);
+            assert_eq!(availability_closed(1, rho).unwrap(), 1.0 / (1.0 + rho));
+        }
+    }
+
+    #[test]
+    fn markov_matches_equation_2() {
+        for rho in [0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {
+            let closed = availability_closed(2, rho).unwrap();
+            let markov = availability(2, rho);
+            assert!(
+                (closed - markov).abs() < 1e-10,
+                "rho={rho}: closed {closed} markov {markov}"
+            );
+        }
+    }
+
+    #[test]
+    fn markov_matches_equation_3() {
+        for rho in [0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {
+            let closed = availability_closed(3, rho).unwrap();
+            let markov = availability(3, rho);
+            assert!(
+                (closed - markov).abs() < 1e-10,
+                "rho={rho}: closed {closed} markov {markov}"
+            );
+        }
+    }
+
+    #[test]
+    fn markov_matches_equation_4() {
+        for rho in [0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {
+            let closed = availability_closed(4, rho).unwrap();
+            let markov = availability(4, rho);
+            assert!(
+                (closed - markov).abs() < 1e-10,
+                "rho={rho}: closed {closed} markov {markov}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_closed_form_beyond_four() {
+        assert!(availability_closed(5, 0.1).is_none());
+    }
+
+    #[test]
+    fn perfect_copies_are_always_available() {
+        for n in 1..8 {
+            assert_eq!(availability(n, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn inequality_5_lower_bound_holds() {
+        // Compare in unavailability space where the margin is resolvable:
+        // Σp' < nρⁿ/(1+ρ)ⁿ (the availability itself rounds to 1.0 in f64
+        // for large n and small ρ).
+        for n in 2..=10 {
+            for rho in [0.01, 0.05, 0.1, 0.5, 1.0, 2.0] {
+                let chain = build_chain(n, rho);
+                let pi = chain.stationary().unwrap();
+                let unavail: f64 = pi[n..].iter().sum();
+                let term = n as f64 * rho.powi(n as i32) / (1.0 + rho).powi(n as i32);
+                assert!(
+                    unavail < term * (1.0 + 1e-9),
+                    "n={n} rho={rho}: 1-A_A={unavail} bound term={term}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_1_ac_n_beats_voting_2n() {
+        // A_A(n) > A_V(2n-1) = A_V(2n) for ρ <= 1.
+        for n in 2..=8 {
+            for rho in [0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {
+                let ac = availability(n, rho);
+                let v = voting::availability(2 * n, rho);
+                assert!(ac > v, "n={n} rho={rho}: A_A={ac} A_V(2n)={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn availability_increases_with_copies() {
+        let rho = 0.1;
+        for n in 1..8 {
+            assert!(availability(n + 1, rho) > availability(n, rho));
+        }
+    }
+
+    #[test]
+    fn availability_decreases_with_rho() {
+        let mut last = 1.0;
+        for step in 1..=20 {
+            let a = availability(4, step as f64 * 0.1);
+            assert!(a < last);
+            last = a;
+        }
+    }
+}

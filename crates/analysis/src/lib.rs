@@ -1,0 +1,52 @@
+//! The analytical evaluation of *"Block-Level Consistency of Replicated
+//! Files"* (Carroll, Long & Pâris, ICDCS 1987), re-derived numerically.
+//!
+//! The paper compares three block-level consistency schemes — majority
+//! consensus voting, available copy, and naive available copy — along two
+//! axes:
+//!
+//! * **Availability** (§4): the steady-state probability that the replicated
+//!   block is accessible, as a function of the number of copies `n` and the
+//!   failure-to-repair ratio `ρ = λ/μ`. This crate provides the closed forms
+//!   printed in the paper ([`voting::availability`],
+//!   [`available_copy::availability_closed`], [`naive::availability_closed`])
+//!   *and* an independent route to the same numbers: a general
+//!   continuous-time Markov chain solver ([`markov`]) applied to the state
+//!   diagrams of Figures 7 and 8, generalized to any `n`.
+//! * **Network traffic** (§5): expected high-level transmissions per read,
+//!   write, and recovery, in multicast and unique-addressing networks
+//!   ([`traffic`]), built on the participation numbers `U^n`
+//!   ([`participation`]).
+//!
+//! The [`figures`] module regenerates the data behind the paper's evaluation
+//! figures 9–12, and [`sweep`] renders series as markdown/CSV for the bench
+//! binaries.
+//!
+//! # Examples
+//!
+//! Theorem 4.1 — available copy with `n` copies beats voting with `2n`:
+//!
+//! ```
+//! use blockrep_analysis::{available_copy, voting};
+//!
+//! let rho = 0.05;
+//! for n in 2..=6 {
+//!     assert!(available_copy::availability(n, rho) > voting::availability(2 * n, rho));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod available_copy;
+pub mod figures;
+pub mod markov;
+pub mod math;
+pub mod mttf;
+pub mod naive;
+pub mod participation;
+pub mod reliability;
+pub mod sizing;
+pub mod sweep;
+pub mod traffic;
+pub mod voting;

@@ -1,0 +1,331 @@
+//! A small continuous-time Markov chain solver.
+//!
+//! The paper derived its availability expressions symbolically from the
+//! state-transition-rate diagrams of Figures 7 and 8 "with the aid of
+//! MACSYMA". This module re-derives them numerically: build the chain with
+//! [`CtmcBuilder`], obtain the stationary distribution from the global
+//! balance equations with a dense Gaussian elimination, and sum the
+//! probabilities of the states of interest. Every closed form in the paper
+//! is unit-tested against this independent route.
+
+use core::fmt;
+
+/// Builder for a finite CTMC given by its transition rates.
+///
+/// # Examples
+///
+/// A single site failing at rate `λ = 0.1` and repairing at rate `µ = 1`
+/// has availability `1/(1+ρ)`:
+///
+/// ```
+/// use blockrep_analysis::markov::CtmcBuilder;
+///
+/// let mut chain = CtmcBuilder::new(2); // state 0 = up, 1 = down
+/// chain.transition(0, 1, 0.1);
+/// chain.transition(1, 0, 1.0);
+/// let pi = chain.stationary().unwrap();
+/// assert!((pi[0] - 1.0 / 1.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtmcBuilder {
+    n: usize,
+    /// rates[i][j]: rate of i -> j, i != j.
+    rates: Vec<Vec<f64>>,
+}
+
+/// The chain could not be solved (singular balance system, e.g. a reducible
+/// chain with several closed communicating classes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularChain;
+
+impl fmt::Display for SingularChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("markov chain has no unique stationary distribution")
+    }
+}
+
+impl std::error::Error for SingularChain {}
+
+impl CtmcBuilder {
+    /// Creates a chain with `n` states and no transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a chain needs at least one state");
+        CtmcBuilder {
+            n,
+            rates: vec![vec![0.0; n]; n],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `rate` to the transition `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range states, a self-loop, or a rate that is not
+    /// finite and positive.
+    pub fn transition(&mut self, from: usize, to: usize, rate: f64) -> &mut Self {
+        assert!(from < self.n && to < self.n, "state out of range");
+        assert_ne!(from, to, "self-loops have no meaning in a CTMC");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rates must be finite and positive"
+        );
+        self.rates[from][to] += rate;
+        self
+    }
+
+    /// The accumulated rate of the transition `from -> to` (0 if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range states.
+    pub fn rate(&self, from: usize, to: usize) -> f64 {
+        self.rates[from][to]
+    }
+
+    /// Total outflow rate of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range state.
+    pub fn out_rate(&self, state: usize) -> f64 {
+        self.rates[state].iter().sum()
+    }
+
+    /// Expected time to first hit any state of `target`, starting from
+    /// `start` — the absorbing-chain "fundamental matrix" computation, done
+    /// by solving the linear system
+    /// `q_i·t_i − Σ_{j∉target} q_ij·t_j = 1` over non-target states.
+    ///
+    /// Returns 0 when `start` is already in `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`SingularChain`] if the target set is unreachable from some
+    /// non-target state (infinite expected time) or the system is
+    /// degenerate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len()` differs from the number of states or
+    /// `start` is out of range.
+    pub fn hitting_time(&self, target: &[bool], start: usize) -> Result<f64, SingularChain> {
+        assert_eq!(target.len(), self.n, "target mask must cover every state");
+        assert!(start < self.n, "start state out of range");
+        if target[start] {
+            return Ok(0.0);
+        }
+        let transient: Vec<usize> = (0..self.n).filter(|&i| !target[i]).collect();
+        let index_of: std::collections::HashMap<usize, usize> = transient
+            .iter()
+            .enumerate()
+            .map(|(row, &i)| (i, row))
+            .collect();
+        let m = transient.len();
+        let mut a = vec![vec![0.0; m]; m];
+        let b = vec![1.0; m];
+        for (row, &i) in transient.iter().enumerate() {
+            let q_i = self.out_rate(i);
+            if q_i == 0.0 {
+                return Err(SingularChain); // absorbing outside the target
+            }
+            a[row][row] = q_i;
+            for (&j, &col) in &index_of {
+                if j != i {
+                    a[row][col] -= self.rates[i][j];
+                }
+            }
+        }
+        let t = solve_dense(a, b).ok_or(SingularChain)?;
+        let value = t[index_of[&start]];
+        if value.is_finite() && value >= 0.0 {
+            Ok(value)
+        } else {
+            Err(SingularChain)
+        }
+    }
+
+    /// Solves the global balance equations `πQ = 0`, `Σπ = 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularChain`] if the equations have no unique solution.
+    pub fn stationary(&self) -> Result<Vec<f64>, SingularChain> {
+        let n = self.n;
+        if n == 1 {
+            return Ok(vec![1.0]);
+        }
+        // Build A = Qᵀ (columns of Q are balance equations for each state),
+        // then replace the last row with the normalization Σπ = 1.
+        let mut a = vec![vec![0.0f64; n]; n];
+        for (i, rates) in self.rates.iter().enumerate() {
+            let out_rate: f64 = rates.iter().sum();
+            for (j, row) in a.iter_mut().enumerate() {
+                row[i] = if i == j { -out_rate } else { rates[j] }; // transpose
+            }
+        }
+        let mut b = vec![0.0; n];
+        for col in a[n - 1].iter_mut() {
+            *col = 1.0;
+        }
+        b[n - 1] = 1.0;
+        let pi = solve_dense(a, b).ok_or(SingularChain)?;
+        // Numerical noise can leave tiny negatives; clamp and renormalize.
+        let clamped: Vec<f64> = pi.iter().map(|&p| p.max(0.0)).collect();
+        let total: f64 = clamped.iter().sum();
+        if !(total.is_finite() && total > 0.0) {
+            return Err(SingularChain);
+        }
+        Ok(clamped.into_iter().map(|p| p / total).collect())
+    }
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` if `A` is (numerically) singular.
+pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert!(
+        a.len() == n && a.iter().all(|row| row.len() == n),
+        "matrix must be square"
+    );
+    for col in 0..n {
+        // Partial pivot: bring the largest remaining entry to the diagonal.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("matrix entries must not be NaN")
+        })?;
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row: &[f64] = &upper[col];
+            for (k, cell) in lower[0].iter_mut().enumerate().skip(col) {
+                *cell -= factor * pivot_row[k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+        if !x[row].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_dense_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_dense(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_dense_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![2.0, 1.0]];
+        let x = solve_dense(a, vec![1.0, 4.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_dense(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn two_state_chain_matches_closed_form() {
+        for rho in [0.01, 0.05, 0.2, 1.0, 3.0] {
+            let mut chain = CtmcBuilder::new(2);
+            chain.transition(0, 1, rho).transition(1, 0, 1.0);
+            let pi = chain.stationary().unwrap();
+            assert!((pi[0] - 1.0 / (1.0 + rho)).abs() < 1e-12);
+            assert!((pi[1] - rho / (1.0 + rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn birth_death_chain_is_binomial() {
+        // n sites failing/repairing independently: #up is Binomial(n, 1/(1+ρ)).
+        let n = 6usize;
+        let rho = 0.3;
+        let mut chain = CtmcBuilder::new(n + 1); // state k = #up
+        for k in 0..=n {
+            if k > 0 {
+                chain.transition(k, k - 1, k as f64 * rho); // failure (λ = ρ, µ = 1)
+            }
+            if k < n {
+                chain.transition(k, k + 1, (n - k) as f64); // repair
+            }
+        }
+        let pi = chain.stationary().unwrap();
+        let p_up = 1.0 / (1.0 + rho);
+        for (k, &p_k) in pi.iter().enumerate() {
+            let expect = crate::math::binomial(n as u64, k as u64)
+                * p_up.powi(k as i32)
+                * (1.0 - p_up).powi((n - k) as i32);
+            assert!(
+                (p_k - expect).abs() < 1e-12,
+                "state {k}: got {p_k} want {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_sums_to_one() {
+        let mut chain = CtmcBuilder::new(4);
+        chain
+            .transition(0, 1, 0.5)
+            .transition(1, 2, 0.25)
+            .transition(2, 3, 2.0)
+            .transition(3, 0, 1.0);
+        let pi = chain.stationary().unwrap();
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn disconnected_chain_is_singular() {
+        // Two absorbing components: no unique stationary distribution.
+        let mut chain = CtmcBuilder::new(4);
+        chain.transition(0, 1, 1.0).transition(1, 0, 1.0);
+        chain.transition(2, 3, 1.0).transition(3, 2, 1.0);
+        assert!(chain.stationary().is_err());
+    }
+
+    #[test]
+    fn single_state_chain_is_trivial() {
+        assert_eq!(CtmcBuilder::new(1).stationary().unwrap(), vec![1.0]);
+    }
+}

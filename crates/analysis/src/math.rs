@@ -1,0 +1,126 @@
+//! Small numeric helpers shared by the availability formulas.
+
+/// Exact binomial coefficient `C(n, k)` as `f64`.
+///
+/// Computed multiplicatively over `u128` to stay exact for every `n` the
+/// replication analysis can meaningfully use (overflow would need `n > 120`
+/// copies of a block).
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_analysis::math::binomial;
+///
+/// assert_eq!(binomial(5, 2), 10.0);
+/// assert_eq!(binomial(7, 0), 1.0);
+/// assert_eq!(binomial(3, 5), 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if an intermediate product overflows `u128` (requires `n` in the
+/// hundreds).
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc
+            .checked_mul((n - i) as u128)
+            .expect("binomial overflow: n too large for exact arithmetic");
+        acc /= (i + 1) as u128;
+    }
+    acc as f64
+}
+
+/// `n!` as `f64`, exact for `n <= 25` (beyond that, `f64` itself rounds).
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_analysis::math::factorial;
+/// assert_eq!(factorial(0), 1.0);
+/// assert_eq!(factorial(5), 120.0);
+/// ```
+pub fn factorial(n: u64) -> f64 {
+    (1..=n).fold(1.0, |acc, i| acc * i as f64)
+}
+
+/// Validates an availability argument pair: `n >= 1` copies and a finite,
+/// nonnegative failure-to-repair ratio.
+///
+/// # Panics
+///
+/// Panics on invalid arguments; the availability functions call this so
+/// misuse fails loudly rather than returning NaN.
+pub fn check_args(n: usize, rho: f64) {
+    assert!(n >= 1, "at least one copy required, got n={n}");
+    assert!(
+        rho.is_finite() && rho >= 0.0,
+        "failure-to-repair ratio must be finite and nonnegative, got {rho}"
+    );
+}
+
+/// Whether two floats agree to within `tol`, absolutely.
+pub fn almost_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_matches_pascal_triangle() {
+        for n in 0..30u64 {
+            assert_eq!(binomial(n, 0), 1.0);
+            assert_eq!(binomial(n, n), 1.0);
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..25u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_row_sums_are_powers_of_two() {
+        for n in 0..20u64 {
+            let sum: f64 = (0..=n).map(|k| binomial(n, k)).sum();
+            assert_eq!(sum, (2u64.pow(n as u32)) as f64);
+        }
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(1), 1.0);
+        assert_eq!(factorial(10), 3_628_800.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn check_args_rejects_zero_copies() {
+        check_args(0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and nonnegative")]
+    fn check_args_rejects_negative_rho() {
+        check_args(3, -0.1);
+    }
+
+    #[test]
+    fn almost_eq_tolerance() {
+        assert!(almost_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!almost_eq(1.0, 1.1, 1e-9));
+    }
+}

@@ -1,0 +1,246 @@
+//! Mean time to failure and to service restoration — a transient-analysis
+//! extension of the paper's steady-state evaluation.
+//!
+//! §4 compares schemes by availability, the *fraction* of time the block is
+//! accessible. Two schemes with the same availability can still behave very
+//! differently: one may fail rarely but take long to come back, the other
+//! often but briefly. This module derives, from the same Markov chains:
+//!
+//! * **MTTF** — the expected time from "all copies up" until the block
+//!   first becomes unavailable;
+//! * **MTTR** — the expected time from the moment of unavailability (all
+//!   copies down, for the available copy family) until service resumes.
+//!
+//! Two structural facts fall out, both unit-tested:
+//!
+//! 1. `MTTF_AC(n) = MTTF_NA(n)` — the two available copy schemes fail
+//!    identically (they only differ in how they *recover* from a total
+//!    failure), so the naive scheme's entire availability deficit lives in
+//!    its longer MTTR.
+//! 2. Voting's MTTF is far shorter at equal `n` (it dies at the loss of a
+//!    majority, not of every copy) — the transient view of Theorem 4.1.
+
+use crate::markov::CtmcBuilder;
+use crate::math::check_args;
+use crate::{available_copy, naive, voting};
+
+fn primed_mask(n: usize) -> Vec<bool> {
+    // In the Figure 7/8 chains, states 0..n are S_1..S_n (available) and
+    // n..2n are the total-failure states S'_0..S'_{n-1}.
+    (0..2 * n).map(|i| i >= n).collect()
+}
+
+fn available_states_mask(n: usize) -> Vec<bool> {
+    (0..2 * n).map(|i| i < n).collect()
+}
+
+/// MTTF of a voting-managed block with `n` copies: expected time from all
+/// copies up until the quorum is first lost.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_analysis::mttf;
+///
+/// // Five copies survive substantially longer than three at the same rho.
+/// assert!(mttf::voting(5, 0.1) > 2.0 * mttf::voting(3, 0.1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rho` is not finite and strictly positive.
+pub fn voting(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    assert!(rho > 0.0, "mttf needs rho > 0 (perfect copies never fail)");
+    let chain = voting::build_chain(n, rho);
+    let available = voting::available_mask(n);
+    let unavailable: Vec<bool> = available.iter().map(|&a| !a).collect();
+    let start = voting::state_index(n - 1, 1); // everything up
+    chain
+        .hitting_time(&unavailable, start)
+        .expect("quorum loss is reachable for rho > 0")
+}
+
+fn available_family_mttf(chain: &CtmcBuilder, n: usize) -> f64 {
+    let start = n - 1; // S_n: all copies up
+    chain
+        .hitting_time(&primed_mask(n), start)
+        .expect("total failure is reachable for rho > 0")
+}
+
+/// MTTF of an available-copy-managed block: expected time from all copies
+/// up until the *last* copy fails.
+///
+/// # Panics
+///
+/// As for [`voting()`].
+pub fn available_copy(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    assert!(rho > 0.0, "mttf needs rho > 0 (perfect copies never fail)");
+    available_family_mttf(&available_copy::build_chain(n, rho), n)
+}
+
+/// MTTF under naive available copy — provably equal to
+/// [`available_copy()`]'s, since the chains only differ inside the
+/// total-failure states.
+///
+/// # Panics
+///
+/// As for [`voting()`].
+pub fn naive(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    assert!(rho > 0.0, "mttf needs rho > 0 (perfect copies never fail)");
+    available_family_mttf(&naive::build_chain(n, rho), n)
+}
+
+/// MTTR of the conventional available copy scheme: expected time from the
+/// moment of total failure (state `S'_0`) until some copy is available
+/// again — i.e. until the last copy to fail has been repaired.
+///
+/// # Panics
+///
+/// As for [`voting()`].
+pub fn mttr_available_copy(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    assert!(rho > 0.0, "mttr needs rho > 0");
+    let chain = available_copy::build_chain(n, rho);
+    chain
+        .hitting_time(&available_states_mask(n), n) // state n = S'_0
+        .expect("recovery is reachable")
+}
+
+/// MTTR of the naive scheme: expected time from total failure until *every*
+/// copy has been repaired simultaneously — the price of keeping no failure
+/// information.
+///
+/// # Panics
+///
+/// As for [`voting()`].
+pub fn mttr_naive(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    assert!(rho > 0.0, "mttr needs rho > 0");
+    let chain = naive::build_chain(n, rho);
+    chain
+        .hitting_time(&available_states_mask(n), n)
+        .expect("recovery is reachable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_copy_mttf_is_mean_life() {
+        // One copy: MTTF = 1/λ exactly.
+        for rho in [0.05, 0.2, 1.0] {
+            assert!((voting(1, rho) - 1.0 / rho).abs() < 1e-9, "rho={rho}");
+            assert!((available_copy(1, rho) - 1.0 / rho).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_copy_mttr_is_mean_repair() {
+        // One copy: MTTR = 1/µ = 1.
+        for rho in [0.05, 0.2, 1.0] {
+            assert!((mttr_available_copy(1, rho) - 1.0).abs() < 1e-9);
+            assert!((mttr_naive(1, rho) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_copy_available_mttf_closed_form() {
+        // Birth-death hitting time, k=2 -> 0 with λ=ρ, µ=1:
+        // MTTF = (3ρ + 1) / (2ρ²).
+        for rho in [0.1, 0.5, 2.0] {
+            let expect = (3.0 * rho + 1.0) / (2.0 * rho * rho);
+            assert!(
+                (available_copy(2, rho) - expect).abs() / expect < 1e-9,
+                "rho={rho}: got {} want {expect}",
+                available_copy(2, rho)
+            );
+        }
+    }
+
+    #[test]
+    fn both_available_schemes_fail_identically() {
+        for n in 1..=6 {
+            for rho in [0.05, 0.2, 1.0] {
+                let a = available_copy(n, rho);
+                let b = naive(n, rho);
+                assert!((a - b).abs() / a < 1e-9, "n={n} rho={rho}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_pays_its_availability_deficit_in_mttr() {
+        for n in 2..=6 {
+            for rho in [0.05, 0.2, 1.0] {
+                let conventional = mttr_available_copy(n, rho);
+                let simple = mttr_naive(n, rho);
+                assert!(
+                    simple > conventional,
+                    "n={n} rho={rho}: naive MTTR {simple} vs AC {conventional}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn available_copy_outlives_voting_at_equal_n() {
+        for n in 2..=6 {
+            for rho in [0.05, 0.2] {
+                assert!(available_copy(n, rho) > voting(n, rho), "n={n} rho={rho}");
+            }
+        }
+    }
+
+    #[test]
+    fn available_copy_n_outlives_voting_2n() {
+        // The transient cousin of Theorem 4.1.
+        for n in 2..=5 {
+            for rho in [0.05, 0.2, 0.5] {
+                assert!(
+                    available_copy(n, rho) > voting(2 * n, rho),
+                    "n={n} rho={rho}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mttf_grows_with_copies_and_shrinks_with_rho() {
+        for n in 1..6 {
+            assert!(available_copy(n + 1, 0.2) > available_copy(n, 0.2));
+        }
+        let mut last = f64::INFINITY;
+        for step in 1..=10 {
+            let t = available_copy(3, step as f64 * 0.2);
+            assert!(t < last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn even_voting_copy_does_not_extend_mttf_ordering() {
+        // The steady-state identity A_V(2k) = A_V(2k−1) does NOT carry to
+        // MTTF: the extra copy delays quorum loss slightly (more failures
+        // are needed in the worst interleavings), so MTTF(2k) >= MTTF(2k−1).
+        for k in 1..=4 {
+            for rho in [0.1, 0.5] {
+                assert!(
+                    voting(2 * k, rho) >= voting(2 * k - 1, rho) - 1e-9,
+                    "k={k} rho={rho}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mttr_shrinks_as_repairs_speed_up() {
+        // Smaller ρ = relatively faster repair: recovery from total failure
+        // is quicker in mean-repair-time units for the naive scheme (it
+        // must gather all n copies).
+        assert!(mttr_naive(4, 0.1) < mttr_naive(4, 1.0));
+    }
+}

@@ -1,0 +1,215 @@
+//! Availability of the naive available copy scheme (§4.3, Figure 8).
+
+use crate::markov::CtmcBuilder;
+use crate::math::{check_args, factorial};
+
+/// The auxiliary sum `B(n;ρ)` of §4.3:
+///
+/// ```text
+/// B(n;ρ) = Σ_{k=1}^{n} Σ_{j=1}^{k}  (n-j)!(j-1)! / ((n-k)! k!) · ρ^{j-k}
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or `rho` is not finite and strictly positive (the
+/// sum contains negative powers of `ρ`).
+pub fn b_function(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    assert!(rho > 0.0, "B(n;rho) needs rho > 0");
+    let n64 = n as u64;
+    let mut total = 0.0;
+    for k in 1..=n64 {
+        for j in 1..=k {
+            let coeff = factorial(n64 - j) * factorial(j - 1) / (factorial(n64 - k) * factorial(k));
+            total += coeff * rho.powi(j as i32 - k as i32);
+        }
+    }
+    total
+}
+
+/// Availability `A_NA(n)` by the paper's closed form:
+/// `B(n;ρ) / (B(n;ρ) + ρ·B(n;1/ρ))`.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_analysis::{naive, voting};
+///
+/// // §4.3: two naive-available-copy copies equal three voting copies.
+/// let rho = 0.07;
+/// let diff = naive::availability_closed(2, rho) - voting::availability(3, rho);
+/// assert!(diff.abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rho` is negative or non-finite.
+pub fn availability_closed(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    if rho == 0.0 {
+        return 1.0;
+    }
+    let b = b_function(n, rho);
+    let b_inv = b_function(n, 1.0 / rho);
+    b / (b + rho * b_inv)
+}
+
+/// Builds the state-transition-rate diagram of Figure 8: identical to the
+/// available copy chain except that after a total failure there is no
+/// shortcut back to service — recovering copies pile up comatose
+/// (`S'_j → S'_{j+1}` at rate `(n-j)µ`) until the *last* copy recovers
+/// (`S'_{n-1} → S_n` at rate `µ`).
+pub fn build_chain(n: usize, rho: f64) -> CtmcBuilder {
+    check_args(n, rho);
+    assert!(rho > 0.0, "the chain needs a positive failure rate");
+    let (lambda, mu) = (rho, 1.0);
+    let (s, sp) = crate::available_copy::state_indices(n);
+    let mut chain = CtmcBuilder::new(2 * n);
+    for j in 1..=n {
+        if j < n {
+            chain.transition(s(j), s(j + 1), (n - j) as f64 * mu);
+        }
+        if j > 1 {
+            chain.transition(s(j), s(j - 1), j as f64 * lambda);
+        } else {
+            chain.transition(s(1), sp(0), lambda);
+        }
+    }
+    for j in 0..n {
+        if j + 1 < n {
+            // Any failed copy may recover, but it stays comatose: no path
+            // back to an available state until everyone is back.
+            chain.transition(sp(j), sp(j + 1), (n - j) as f64 * mu);
+        } else {
+            // The single remaining failed copy recovers; the most current
+            // copy is identified by version comparison and all become
+            // available at once.
+            chain.transition(sp(n - 1), s(n), mu);
+        }
+        if j > 0 {
+            chain.transition(sp(j), sp(j - 1), j as f64 * lambda);
+        }
+    }
+    chain
+}
+
+/// Availability `A_NA(n)` through the generic CTMC solver, as an independent
+/// cross-check of the `B(n;ρ)` closed form.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rho` is negative or non-finite.
+pub fn availability(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    if rho == 0.0 {
+        return 1.0;
+    }
+    let chain = build_chain(n, rho);
+    let pi = chain.stationary().expect("figure 8 chain is irreducible");
+    pi[..n].iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{available_copy, voting};
+
+    #[test]
+    fn b_function_base_cases() {
+        // B(1;ρ) = 1; B(2;ρ) = 3/2 + 1/(2ρ).
+        assert!((b_function(1, 0.3) - 1.0).abs() < 1e-12);
+        for rho in [0.1, 0.5, 2.0] {
+            assert!((b_function(2, rho) - (1.5 + 0.5 / rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn closed_form_for_two_copies() {
+        // A_NA(2) = (1 + 3ρ) / (1+ρ)^3, derived by hand from B(2;ρ).
+        for rho in [0.02f64, 0.1, 0.4, 1.0] {
+            let expect = (1.0 + 3.0 * rho) / (1.0 + rho).powi(3);
+            assert!((availability_closed(2, rho) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_naive_copies_equal_three_voting_copies() {
+        // The §4.3 headline: A_NA(2) = A_V(3).
+        for rho in [0.01, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0] {
+            let na = availability_closed(2, rho);
+            let v = voting::availability(3, rho);
+            assert!((na - v).abs() < 1e-12, "rho={rho}: NA {na} vs V {v}");
+        }
+    }
+
+    #[test]
+    fn markov_matches_closed_form() {
+        for n in 1..=8 {
+            for rho in [0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {
+                let closed = availability_closed(n, rho);
+                let markov = availability(n, rho);
+                assert!(
+                    (closed - markov).abs() < 1e-9,
+                    "n={n} rho={rho}: closed {closed} markov {markov}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_never_beats_conventional_available_copy() {
+        for n in 2..=8 {
+            for rho in [0.01, 0.05, 0.1, 0.2, 0.5] {
+                let na = availability(n, rho);
+                let ac = available_copy::availability(n, rho);
+                assert!(na <= ac + 1e-12, "n={n} rho={rho}: NA {na} > AC {ac}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_close_to_conventional_for_small_rho() {
+        // Figures 9 and 10 show "no significant difference ... for values of
+        // ρ less than 0.10".
+        for n in [3, 4] {
+            for step in 1..=10 {
+                let rho = step as f64 * 0.01;
+                let gap = available_copy::availability(n, rho) - availability(n, rho);
+                assert!(gap < 5e-3, "n={n} rho={rho}: gap {gap}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_matches_or_beats_voting_with_double_copies() {
+        // For n = 2 the relation is exact equality (A_NA(2) = A_V(3) =
+        // A_V(4)); for n >= 3 naive strictly wins at practical ρ.
+        for rho in [0.01, 0.05, 0.1] {
+            assert!((availability(2, rho) - voting::availability(4, rho)).abs() < 1e-9);
+            for n in 3..=6 {
+                assert!(
+                    availability(n, rho) > voting::availability(2 * n, rho),
+                    "n={n} rho={rho}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_copies_are_always_available() {
+        for n in 1..6 {
+            assert_eq!(availability(n, 0.0), 1.0);
+            assert_eq!(availability_closed(n, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn availability_worsens_with_rho() {
+        let mut last = 1.0;
+        for step in 1..=15 {
+            let a = availability(4, step as f64 * 0.1);
+            assert!(a < last);
+            last = a;
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Reliability `R(t)` — the transient survival function.
+//!
+//! The paper's opening sentence promises that replication increases
+//! "*availability* and *reliability*", but §4 evaluates only the former.
+//! This module completes the pair: `R(t)` is the probability that a block
+//! that starts with every copy up suffers **no service interruption** during
+//! `[0, t]` — the survival function of the same absorbing chains whose means
+//! are the MTTFs in [`crate::mttf`].
+//!
+//! Computed by *uniformization*: the absorbing CTMC is embedded in a DTMC at
+//! a uniform rate `Λ ≥ max outflow`, and
+//! `R(t) = Σ_k Poisson(Λt; k) · P(still alive after k jumps)`, with the
+//! Poisson weights built relative to their mode (no underflow at large
+//! `Λt`) over a ±12σ window. Exact apart from the < 1e-12 window tail; no
+//! matrix exponentials.
+
+use crate::markov::CtmcBuilder;
+use crate::math::check_args;
+use crate::{available_copy, naive, voting};
+
+/// Survival probability of an absorbing chain: starting at `start`, the
+/// probability that no state in `absorbing` has been entered by time `t`.
+///
+/// # Panics
+///
+/// Panics if the mask length mismatches the chain, `start` is out of range,
+/// or `t` is negative/NaN.
+pub fn survival(chain: &CtmcBuilder, absorbing: &[bool], start: usize, t: f64) -> f64 {
+    let n = chain.num_states();
+    assert_eq!(absorbing.len(), n, "mask must cover every state");
+    assert!(start < n, "start state out of range");
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "time must be finite and nonnegative"
+    );
+    if absorbing[start] {
+        return 0.0;
+    }
+    if t == 0.0 {
+        return 1.0;
+    }
+    // Uniformization rate: the largest outflow among transient states.
+    let lambda = (0..n)
+        .filter(|&i| !absorbing[i])
+        .map(|i| chain.out_rate(i))
+        .fold(0.0f64, f64::max);
+    if lambda == 0.0 {
+        return 1.0; // no transient state can ever leave
+    }
+    // DTMC step on the transient restriction: probability mass entering an
+    // absorbing state is dropped (it died).
+    let step = |p: &[f64]| -> Vec<f64> {
+        let mut next = vec![0.0; n];
+        for i in 0..n {
+            if absorbing[i] || p[i] == 0.0 {
+                continue;
+            }
+            let out = chain.out_rate(i);
+            // Self-loop with the uniformization remainder.
+            next[i] += p[i] * (1.0 - out / lambda);
+            for j in 0..n {
+                if j != i {
+                    let rate = chain.rate(i, j);
+                    if rate > 0.0 && !absorbing[j] {
+                        next[j] += p[i] * rate / lambda;
+                    }
+                }
+            }
+        }
+        next
+    };
+    // R(t) = Σ_k Poisson(Λt; k) · alive_k. For large Λt the individual
+    // Poisson terms underflow f64 when computed from k = 0, so weights are
+    // built *relative to the mode* over the window Λt ± 12√Λt and then
+    // normalized (the truncated tail is < 1e-12 of the mass).
+    let lt = lambda * t;
+    let spread = 12.0 * lt.sqrt() + 64.0;
+    let k_min = (lt - spread).max(0.0).floor() as usize;
+    let k_max = (lt + spread).ceil() as usize;
+    let mode = (lt.floor() as usize).clamp(k_min, k_max);
+    let mut weights = vec![0.0f64; k_max - k_min + 1];
+    weights[mode - k_min] = 1.0;
+    for k in (mode + 1)..=k_max {
+        weights[k - k_min] = weights[k - 1 - k_min] * lt / k as f64;
+    }
+    for k in (k_min..mode).rev() {
+        weights[k - k_min] = weights[k + 1 - k_min] * (k + 1) as f64 / lt;
+    }
+    let total: f64 = weights.iter().sum();
+    // Step the DTMC from k = 0; below the window every weight is ~0 but the
+    // survival mass must still be evolved to reach the window.
+    let mut p = vec![0.0; n];
+    p[start] = 1.0;
+    let mut r = if k_min == 0 {
+        weights[0] / total // k = 0 term: alive_0 = 1
+    } else {
+        0.0
+    };
+    for k in 1..=k_max {
+        p = step(&p);
+        if k >= k_min {
+            let alive: f64 = p.iter().sum();
+            r += weights[k - k_min] / total * alive;
+            // The survival probability is non-increasing in k; once it and
+            // the remaining weight are both negligible, stop.
+            if alive < 1e-15 {
+                break;
+            }
+        }
+    }
+    r.clamp(0.0, 1.0)
+}
+
+/// `R(t)` for a voting-managed block: probability the quorum survives
+/// `[0, t]` without interruption, from all copies up.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_analysis::reliability;
+///
+/// // A single copy is a pure exponential: R(t) = e^{-λt}.
+/// let r = reliability::voting(1, 0.1, 5.0);
+/// assert!((r - (-0.5f64).exp()).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `rho` is not positive and finite, or `t` is invalid.
+pub fn voting(n: usize, rho: f64, t: f64) -> f64 {
+    check_args(n, rho);
+    assert!(rho > 0.0, "reliability needs rho > 0");
+    let chain = voting::build_chain(n, rho);
+    let available = voting::available_mask(n);
+    let absorbing: Vec<bool> = available.iter().map(|&a| !a).collect();
+    survival(&chain, &absorbing, voting::state_index(n - 1, 1), t)
+}
+
+fn family_reliability(chain: &CtmcBuilder, n: usize, t: f64) -> f64 {
+    let absorbing: Vec<bool> = (0..2 * n).map(|i| i >= n).collect();
+    survival(chain, &absorbing, n - 1, t)
+}
+
+/// `R(t)` for an available-copy-managed block: probability at least one
+/// copy stays available throughout `[0, t]`.
+///
+/// # Panics
+///
+/// As for [`voting()`].
+pub fn available_copy(n: usize, rho: f64, t: f64) -> f64 {
+    check_args(n, rho);
+    assert!(rho > 0.0, "reliability needs rho > 0");
+    family_reliability(&available_copy::build_chain(n, rho), n, t)
+}
+
+/// `R(t)` under naive available copy — equal to [`available_copy()`]'s
+/// (the schemes only differ after the failure that `R(t)` measures).
+///
+/// # Panics
+///
+/// As for [`voting()`].
+pub fn naive(n: usize, rho: f64, t: f64) -> f64 {
+    check_args(n, rho);
+    assert!(rho > 0.0, "reliability needs rho > 0");
+    family_reliability(&naive::build_chain(n, rho), n, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mttf;
+
+    #[test]
+    fn single_copy_is_exponential() {
+        for rho in [0.05f64, 0.3, 1.0] {
+            for t in [0.1, 1.0, 10.0] {
+                let expect = (-rho * t).exp();
+                assert!((voting(1, rho, t) - expect).abs() < 1e-9, "rho={rho} t={t}");
+                assert!((available_copy(1, rho, t) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        assert_eq!(voting(3, 0.1, 0.0), 1.0);
+        assert!(voting(3, 0.1, 1e6) < 1e-3, "everything dies eventually");
+    }
+
+    #[test]
+    fn reliability_decreases_in_time() {
+        let mut last = 1.0;
+        for step in 1..=20 {
+            let t = step as f64 * 5.0;
+            let r = available_copy(3, 0.2, t);
+            assert!(r <= last + 1e-12, "t={t}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn more_copies_survive_longer() {
+        for t in [5.0, 20.0, 80.0] {
+            assert!(available_copy(3, 0.2, t) > available_copy(2, 0.2, t));
+            assert!(voting(5, 0.2, t) > voting(3, 0.2, t));
+        }
+    }
+
+    #[test]
+    fn available_copy_outlasts_voting_at_equal_n() {
+        for t in [5.0, 20.0] {
+            for n in 2..=5 {
+                assert!(available_copy(n, 0.2, t) > voting(n, 0.2, t), "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_and_available_copy_reliability_coincide() {
+        for t in [1.0, 10.0, 50.0] {
+            for n in 2..=5 {
+                let a = available_copy(n, 0.3, t);
+                let b = naive(n, 0.3, t);
+                assert!((a - b).abs() < 1e-9, "n={n} t={t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn integral_of_reliability_recovers_mttf() {
+        // MTTF = ∫₀^∞ R(t) dt; trapezoid over a long grid should land close.
+        let (n, rho) = (2, 0.5);
+        let expect = mttf::available_copy(n, rho);
+        let (mut integral, dt) = (0.0, 0.05);
+        let mut t = 0.0;
+        let horizon = expect * 20.0;
+        while t < horizon {
+            let a = available_copy(n, rho, t);
+            let b = available_copy(n, rho, t + dt);
+            integral += 0.5 * (a + b) * dt;
+            t += dt;
+        }
+        let err = (integral - expect).abs() / expect;
+        assert!(
+            err < 0.01,
+            "integral {integral} vs MTTF {expect} (rel {err})"
+        );
+    }
+
+    #[test]
+    fn long_missions_do_not_underflow() {
+        // Regression: with Λt in the thousands, naive term-by-term
+        // uniformization underflows to R = 0. MTTF(4, 0.05) ≈ 49475, so a
+        // mission of 1000 should survive with probability ≈ e^{-1000/MTTF}.
+        let r = available_copy(4, 0.05, 1000.0);
+        let rough = (-1000.0f64 / mttf::available_copy(4, 0.05)).exp();
+        assert!(r > 0.9, "got {r}");
+        assert!(
+            (r - rough).abs() < 0.02,
+            "R {r} vs exponential heuristic {rough}"
+        );
+    }
+
+    #[test]
+    fn mission_time_ordering_matches_theorem_4_1_spirit() {
+        // AC with n copies outlasts voting with 2n over mission times.
+        for t in [10.0, 50.0] {
+            for n in 2..=4 {
+                assert!(
+                    available_copy(n, 0.2, t) > voting(2 * n, 0.2, t),
+                    "n={n} t={t}"
+                );
+            }
+        }
+    }
+}

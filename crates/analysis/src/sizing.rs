@@ -1,0 +1,171 @@
+//! Replication sizing: copies needed for a target availability, and the
+//! equal-availability traffic comparison the paper alludes to.
+//!
+//! Figures 11 and 12 compare "schemes employing the same number of sites",
+//! and the paper remarks that "a comparison of schemes with equal
+//! availabilities would result in much steeper voting traffic costs" —
+//! because voting needs roughly *twice* the copies for the same
+//! availability (Theorem 4.1). This module makes that remark quantitative:
+//! [`copies_for`] inverts the availability functions, and
+//! [`equal_availability_write_cost`] prices a write for each scheme sized
+//! to the same availability target.
+
+use crate::traffic::{costs, NetModel, OpCosts};
+use crate::{available_copy, naive, voting};
+use blockrep_types::Scheme;
+
+/// The availability function of a scheme.
+pub fn availability(scheme: Scheme, n: usize, rho: f64) -> f64 {
+    match scheme {
+        Scheme::Voting => voting::availability(n, rho),
+        Scheme::AvailableCopy => available_copy::availability(n, rho),
+        Scheme::NaiveAvailableCopy => naive::availability(n, rho),
+    }
+}
+
+/// The smallest number of copies with which `scheme` reaches availability
+/// `target` at the given `rho`, up to `max_n`. `None` if even `max_n`
+/// copies fall short (e.g. voting with ρ ≥ 1, where extra copies stop
+/// helping).
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_analysis::sizing::copies_for;
+/// use blockrep_types::Scheme;
+///
+/// // Three nines at rho = 0.05: available copy needs 3 copies,
+/// // voting needs 7 — the Theorem 4.1 factor of ~2 in the flesh.
+/// assert_eq!(copies_for(Scheme::AvailableCopy, 0.999, 0.05, 20), Some(3));
+/// assert_eq!(copies_for(Scheme::Voting, 0.999, 0.05, 20), Some(7));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `target` is not in `(0, 1)` or `rho` is not positive and
+/// finite.
+pub fn copies_for(scheme: Scheme, target: f64, rho: f64, max_n: usize) -> Option<usize> {
+    assert!(
+        target > 0.0 && target < 1.0,
+        "availability target must lie strictly between 0 and 1"
+    );
+    assert!(
+        rho.is_finite() && rho > 0.0,
+        "rho must be positive and finite"
+    );
+    // Voting availability is flat across even n (A_V(2k) = A_V(2k−1)) but
+    // none of the schemes lose availability when copies are added for
+    // ρ < 1; a linear scan is exact and cheap at these sizes.
+    (1..=max_n).find(|&n| availability(scheme, n, rho) >= target)
+}
+
+/// One row of the equal-availability comparison: each scheme sized for the
+/// target, with its per-write transmission cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizedScheme {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Copies needed to reach the target.
+    pub copies: usize,
+    /// The availability actually achieved with that many copies.
+    pub achieved: f64,
+    /// Per-operation transmission costs at that size.
+    pub costs: OpCosts,
+}
+
+/// Sizes every scheme for the availability `target` and prices it under
+/// the given network model. Returns `None` if any scheme cannot reach the
+/// target within `max_n` copies.
+pub fn equal_availability_write_cost(
+    target: f64,
+    rho: f64,
+    net: NetModel,
+    max_n: usize,
+) -> Option<[SizedScheme; 3]> {
+    let mut out = Vec::with_capacity(3);
+    for scheme in Scheme::ALL {
+        let copies = copies_for(scheme, target, rho, max_n)?;
+        out.push(SizedScheme {
+            scheme,
+            copies,
+            achieved: availability(scheme, copies, rho),
+            costs: costs(scheme, net, copies, rho),
+        });
+    }
+    out.try_into().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_copy_suffices_for_modest_targets() {
+        // A single copy at rho = 0.05 is 95.2% available.
+        for scheme in Scheme::ALL {
+            assert_eq!(copies_for(scheme, 0.95, 0.05, 10), Some(1), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn voting_needs_about_twice_the_copies() {
+        // Theorem 4.1 inverted: for a range of targets, n_V >= 2 n_A − 1.
+        for target in [0.999, 0.9999, 0.99999] {
+            for rho in [0.05, 0.1] {
+                let ac = copies_for(Scheme::AvailableCopy, target, rho, 30).unwrap();
+                let v = copies_for(Scheme::Voting, target, rho, 30).unwrap();
+                assert!(
+                    v >= 2 * ac - 1,
+                    "target {target} rho {rho}: voting {v} vs ac {ac}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_needs_at_most_one_more_copy_than_available_copy() {
+        for target in [0.999, 0.9999, 0.99999] {
+            let ac = copies_for(Scheme::AvailableCopy, target, 0.05, 30).unwrap();
+            let na = copies_for(Scheme::NaiveAvailableCopy, target, 0.05, 30).unwrap();
+            assert!(na >= ac && na <= ac + 1, "target {target}: na {na} ac {ac}");
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        // With rho = 2 (sites mostly down), voting's availability *falls*
+        // with n; a 99% target is hopeless.
+        assert_eq!(copies_for(Scheme::Voting, 0.99, 2.0, 30), None);
+    }
+
+    #[test]
+    fn equal_availability_comparison_is_much_steeper_for_voting() {
+        // The §5 remark: at equal availability, voting's write cost gap
+        // widens beyond the equal-n gap.
+        let rho = 0.05;
+        let sized = equal_availability_write_cost(0.99999, rho, NetModel::Multicast, 30).unwrap();
+        let (v, ac, na) = (&sized[0], &sized[1], &sized[2]);
+        assert_eq!(v.scheme, Scheme::Voting);
+        assert!(v.copies > ac.copies);
+        // Equal-n gap at the AC size…
+        let equal_n_gap =
+            costs(Scheme::Voting, NetModel::Multicast, ac.copies, rho).write - ac.costs.write;
+        // …vs the equal-availability gap.
+        let equal_a_gap = v.costs.write - ac.costs.write;
+        assert!(
+            equal_a_gap > equal_n_gap,
+            "equal-availability gap {equal_a_gap} should exceed equal-n gap {equal_n_gap}"
+        );
+        assert!(na.costs.write < ac.costs.write);
+        // Every sized scheme really meets the target.
+        for s in &sized {
+            assert!(s.achieved >= 0.99999, "{}: {}", s.scheme, s.achieved);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn target_of_one_is_rejected() {
+        let _ = copies_for(Scheme::Voting, 1.0, 0.05, 10);
+    }
+}

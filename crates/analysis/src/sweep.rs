@@ -1,0 +1,158 @@
+//! Parameter sweeps and table/CSV rendering for the figure regenerators.
+
+/// One labeled curve: `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The curve's points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series by evaluating `f` over `xs`.
+    pub fn from_fn(label: impl Into<String>, xs: &[f64], mut f: impl FnMut(f64) -> f64) -> Self {
+        Series {
+            label: label.into(),
+            points: xs.iter().map(|&x| (x, f(x))).collect(),
+        }
+    }
+
+    /// The y values only.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, y)| y).collect()
+    }
+}
+
+/// An evenly spaced grid of `steps + 1` points spanning `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_analysis::sweep::grid;
+/// assert_eq!(grid(0.0, 1.0, 4), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `hi < lo`.
+pub fn grid(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps > 0, "a grid needs at least one step");
+    assert!(hi >= lo, "grid bounds out of order");
+    (0..=steps)
+        .map(|i| lo + (hi - lo) * i as f64 / steps as f64)
+        .collect()
+}
+
+/// Renders aligned series as a markdown table with the x column first.
+///
+/// # Panics
+///
+/// Panics if the series do not share identical x grids.
+pub fn markdown_table(x_name: &str, series: &[Series], precision: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {x_name} |"));
+    for s in series {
+        out.push_str(&format!(" {} |", s.label));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in series {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    let n = series.first().map_or(0, |s| s.points.len());
+    for s in series {
+        assert_eq!(s.points.len(), n, "series must share the same grid");
+    }
+    for i in 0..n {
+        let x = series[0].points[i].0;
+        out.push_str(&format!("| {x:.4} |"));
+        for s in series {
+            assert!(
+                (s.points[i].0 - x).abs() < 1e-12,
+                "series must share the same grid"
+            );
+            out.push_str(&format!(" {:.*} |", precision, s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders aligned series as CSV with a header row.
+///
+/// # Panics
+///
+/// Panics if the series do not share identical x grids.
+pub fn csv(x_name: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(x_name);
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    let n = series.first().map_or(0, |s| s.points.len());
+    for i in 0..n {
+        let x = series[0].points[i].0;
+        out.push_str(&format!("{x}"));
+        for s in series {
+            assert_eq!(s.points.len(), n, "series must share the same grid");
+            assert!(
+                (s.points[i].0 - x).abs() < 1e-12,
+                "series must share the same grid"
+            );
+            out.push_str(&format!(",{}", s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_endpoints_are_exact() {
+        let g = grid(0.0, 0.2, 20);
+        assert_eq!(g.len(), 21);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(*g.last().unwrap(), 0.2);
+    }
+
+    #[test]
+    fn series_from_fn_evaluates_in_order() {
+        let s = Series::from_fn("sq", &[1.0, 2.0, 3.0], |x| x * x);
+        assert_eq!(s.ys(), vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let xs = [0.0, 1.0];
+        let a = Series::from_fn("a", &xs, |x| x);
+        let b = Series::from_fn("b", &xs, |x| 2.0 * x);
+        let t = markdown_table("x", &[a, b], 2);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[0].contains("| a |"));
+        assert!(lines[3].contains("2.00"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let xs = [0.5];
+        let a = Series::from_fn("a", &xs, |x| x + 1.0);
+        let c = csv("rho", &[a]);
+        assert_eq!(c, "rho,a\n0.5,1.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "same grid")]
+    fn mismatched_grids_panic() {
+        let a = Series::from_fn("a", &[0.0, 1.0], |x| x);
+        let b = Series::from_fn("b", &[0.0], |x| x);
+        let _ = markdown_table("x", &[a, b], 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Network traffic cost models (§5).
+//!
+//! Costs are counted in **high-level transmissions** — vote queries, votes,
+//! block transfers, version-vector exchanges — exactly as the deterministic
+//! cluster's [`TrafficCounter`](https://docs.rs/blockrep-net) counts them,
+//! so the measured and modeled numbers are directly comparable.
+
+use crate::math::check_args;
+use crate::participation;
+use blockrep_types::Scheme;
+
+/// Network environment, mirroring `blockrep_net::DeliveryMode` without the
+/// dependency (analysis is pure math).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetModel {
+    /// One transmission reaches any number of sites (§5.1).
+    Multicast,
+    /// One transmission per destination (§5.2).
+    Unicast,
+}
+
+/// Expected high-level transmissions per operation for one scheme in one
+/// network environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCosts {
+    /// Per successful block read.
+    pub read: f64,
+    /// Per successful block write.
+    pub write: f64,
+    /// Per site recovery.
+    pub recovery: f64,
+}
+
+impl OpCosts {
+    /// Cost of the paper's composite workload: one write plus
+    /// `reads_per_write` reads, with recovery traffic discounted (as the
+    /// paper argues from "the relative scarcity of site failures").
+    pub fn per_write_group(&self, reads_per_write: f64) -> f64 {
+        self.write + reads_per_write * self.read
+    }
+
+    /// The same composite including recovery traffic amortized at
+    /// `recoveries_per_write` site repairs per write.
+    pub fn per_write_group_with_recovery(
+        &self,
+        reads_per_write: f64,
+        recoveries_per_write: f64,
+    ) -> f64 {
+        self.per_write_group(reads_per_write) + recoveries_per_write * self.recovery
+    }
+}
+
+/// Expected per-operation transmissions for `scheme` on an `n`-site device
+/// with failure-to-repair ratio `rho`, under network model `net`.
+///
+/// The formulas are §5's, written in terms of the participation numbers
+/// `U^n` from [`participation`]:
+///
+/// | scheme | multicast read / write / recovery | unicast read / write / recovery |
+/// |--------|-----------------------------------|---------------------------------|
+/// | voting | `U_V` / `1 + U_V` / `0`           | `n+U_V−2` / `n+2U_V−3` / `0`    |
+/// | available copy | `0` / `U_A` / `U_A + 2`   | `0` / `n+U_A−2` / `n+U_A`       |
+/// | naive  | `0` / `1` / `U_N + 2`             | `0` / `n−1` / `n+U_N`           |
+///
+/// Voting reads use the paper's lower bound (local copy already current);
+/// the staleness surcharge of one block transfer is available separately
+/// via [`voting_read_stale_extra`].
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_analysis::traffic::{costs, NetModel};
+/// use blockrep_types::Scheme;
+///
+/// let naive = costs(Scheme::NaiveAvailableCopy, NetModel::Multicast, 5, 0.05);
+/// assert_eq!(naive.write, 1.0); // a single broadcast, no replies
+/// assert_eq!(naive.read, 0.0);  // reads are local
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rho` is not finite and strictly positive
+/// (participation numbers need `rho > 0`).
+pub fn costs(scheme: Scheme, net: NetModel, n: usize, rho: f64) -> OpCosts {
+    check_args(n, rho);
+    let nf = n as f64;
+    match (scheme, net) {
+        (Scheme::Voting, NetModel::Multicast) => {
+            let u = participation::voting(n, rho);
+            OpCosts {
+                read: u,
+                write: 1.0 + u,
+                recovery: 0.0,
+            }
+        }
+        (Scheme::Voting, NetModel::Unicast) => {
+            let u = participation::voting(n, rho);
+            OpCosts {
+                read: nf + u - 2.0,
+                write: nf + 2.0 * u - 3.0,
+                recovery: 0.0,
+            }
+        }
+        (Scheme::AvailableCopy, NetModel::Multicast) => {
+            let u = participation::available_copy(n, rho);
+            OpCosts {
+                read: 0.0,
+                write: u,
+                recovery: u + 2.0,
+            }
+        }
+        (Scheme::AvailableCopy, NetModel::Unicast) => {
+            let u = participation::available_copy(n, rho);
+            OpCosts {
+                read: 0.0,
+                write: nf + u - 2.0,
+                recovery: nf + u,
+            }
+        }
+        (Scheme::NaiveAvailableCopy, NetModel::Multicast) => {
+            let u = participation::naive(n, rho);
+            OpCosts {
+                read: 0.0,
+                write: 1.0,
+                recovery: u + 2.0,
+            }
+        }
+        (Scheme::NaiveAvailableCopy, NetModel::Unicast) => {
+            let u = participation::naive(n, rho);
+            OpCosts {
+                read: 0.0,
+                write: nf - 1.0,
+                recovery: nf + u,
+            }
+        }
+    }
+}
+
+/// The extra block transfer a voting read pays when the local copy turns
+/// out to be stale ("at most `U_V^n + 1`").
+pub fn voting_read_stale_extra() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RHO: f64 = 0.05;
+
+    #[test]
+    fn multicast_write_ordering_naive_lt_ac_lt_voting() {
+        for n in 2..=10 {
+            let v = costs(Scheme::Voting, NetModel::Multicast, n, RHO).write;
+            let a = costs(Scheme::AvailableCopy, NetModel::Multicast, n, RHO).write;
+            let na = costs(Scheme::NaiveAvailableCopy, NetModel::Multicast, n, RHO).write;
+            assert!(na < a && a < v, "n={n}: naive {na}, ac {a}, voting {v}");
+        }
+    }
+
+    #[test]
+    fn unicast_write_ordering_naive_lt_ac_lt_voting() {
+        for n in 2..=10 {
+            let v = costs(Scheme::Voting, NetModel::Unicast, n, RHO).write;
+            let a = costs(Scheme::AvailableCopy, NetModel::Unicast, n, RHO).write;
+            let na = costs(Scheme::NaiveAvailableCopy, NetModel::Unicast, n, RHO).write;
+            assert!(na < a && a < v, "n={n}: naive {na}, ac {a}, voting {v}");
+        }
+    }
+
+    #[test]
+    fn reads_are_free_for_available_copy_schemes() {
+        for scheme in [Scheme::AvailableCopy, Scheme::NaiveAvailableCopy] {
+            for net in [NetModel::Multicast, NetModel::Unicast] {
+                assert_eq!(costs(scheme, net, 5, RHO).read, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn voting_recovery_is_free() {
+        // Block-level replication lets voting "dispense with recovery upon
+        // repair" — the lazy per-access repair is charged to reads instead.
+        for net in [NetModel::Multicast, NetModel::Unicast] {
+            assert_eq!(costs(Scheme::Voting, net, 5, RHO).recovery, 0.0);
+        }
+    }
+
+    #[test]
+    fn voting_reads_almost_as_expensive_as_writes() {
+        // "In voting, reads are almost as expensive as writes."
+        let c = costs(Scheme::Voting, NetModel::Multicast, 6, RHO);
+        assert!((c.write - c.read - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multicast_write_costs_match_first_order_expansions() {
+        // §5.1: voting 1 + n(1−ρ) + O(ρ²); available copy n(1−ρ) + O(ρ²);
+        // naive exactly 1.
+        let n = 8;
+        let nf = n as f64;
+        let v = costs(Scheme::Voting, NetModel::Multicast, n, RHO).write;
+        let a = costs(Scheme::AvailableCopy, NetModel::Multicast, n, RHO).write;
+        let na = costs(Scheme::NaiveAvailableCopy, NetModel::Multicast, n, RHO).write;
+        assert!((v - (1.0 + nf * (1.0 - RHO))).abs() < nf * nf * RHO * RHO);
+        assert!((a - nf * (1.0 - RHO)).abs() < nf * nf * RHO * RHO);
+        assert_eq!(na, 1.0);
+    }
+
+    #[test]
+    fn unicast_costs_exceed_multicast_costs() {
+        for scheme in Scheme::ALL {
+            for n in 3..=8 {
+                let m = costs(scheme, NetModel::Multicast, n, RHO);
+                let u = costs(scheme, NetModel::Unicast, n, RHO);
+                assert!(u.write >= m.write);
+                assert!(u.read >= m.read);
+                assert!(u.recovery >= m.recovery);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_cost_grows_with_read_ratio_only_for_voting() {
+        let n = 6;
+        for net in [NetModel::Multicast, NetModel::Unicast] {
+            let v = costs(Scheme::Voting, net, n, RHO);
+            assert!(v.per_write_group(4.0) > v.per_write_group(1.0));
+            let a = costs(Scheme::AvailableCopy, net, n, RHO);
+            assert_eq!(a.per_write_group(4.0), a.per_write_group(1.0));
+        }
+    }
+
+    #[test]
+    fn recovery_amortization_adds_in() {
+        let c = costs(Scheme::NaiveAvailableCopy, NetModel::Multicast, 4, RHO);
+        let without = c.per_write_group(2.5);
+        let with = c.per_write_group_with_recovery(2.5, 0.01);
+        assert!((with - without - 0.01 * c.recovery).abs() < 1e-12);
+    }
+
+    #[test]
+    fn site_failures_must_outnumber_accesses_for_voting_to_win() {
+        // §5.1: "site failures would have to be more frequent than disk
+        // accesses in order for the voting schemes to begin to compare
+        // favorably". With recovery amortized at less than one repair per
+        // access group, available copy still wins.
+        let n = 5;
+        let v = costs(Scheme::Voting, NetModel::Multicast, n, RHO);
+        let a = costs(Scheme::AvailableCopy, NetModel::Multicast, n, RHO);
+        let x = 2.5; // typical read:write ratio [Ousterhout et al.]
+        for recoveries_per_write in [0.0, 0.1, 0.5, 1.0] {
+            assert!(
+                a.per_write_group_with_recovery(x, recoveries_per_write)
+                    < v.per_write_group_with_recovery(x, recoveries_per_write),
+                "recoveries/write {recoveries_per_write}"
+            );
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Availability of majority consensus voting (§4.1).
+
+use crate::markov::CtmcBuilder;
+use crate::math::{binomial, check_args};
+
+/// Availability `A_V(n)` of a replicated block with `n` copies managed by
+/// majority consensus voting — equations (1.a) and (1.b) of the paper.
+///
+/// Each copy is independently up with probability `1/(1+ρ)`. The block is
+/// available when the up copies hold a majority of the votes; for even `n`
+/// the draw (exactly half up) is resolved by a slightly heavier
+/// distinguished copy, contributing the `½·C(n, n/2)·ρ^{n/2}` term.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_analysis::voting;
+///
+/// // An even copy adds nothing: A_V(2k) = A_V(2k-1).
+/// let rho = 0.08;
+/// assert!((voting::availability(6, rho) - voting::availability(5, rho)).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rho` is negative or non-finite.
+pub fn availability(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    let nn = n as u64;
+    let denom = (1.0 + rho).powi(n as i32);
+    // Sum over j = number of DOWN copies that still leaves a majority up.
+    let full_majority_terms: f64 = (0..=((nn - 1) / 2))
+        .map(|j| binomial(nn, j) * rho.powi(j as i32))
+        .sum();
+    let tie_term = if nn % 2 == 0 {
+        // Exactly half down: the distinguished (heavier) copy is up in half
+        // of these configurations.
+        binomial(nn, nn / 2) * rho.powi((nn / 2) as i32) / 2.0
+    } else {
+        0.0
+    };
+    (full_majority_terms + tie_term) / denom
+}
+
+/// The same availability computed through the generic CTMC solver, as an
+/// independent cross-check of equation (1).
+///
+/// The chain tracks `(k, d)` where `k` is the number of up copies and `d`
+/// records whether the distinguished copy is up — enough state to apply the
+/// tie-break exactly.
+///
+/// # Panics
+///
+/// Panics on invalid arguments (see [`availability`]) or if `rho == 0`
+/// (the chain needs a positive failure rate; availability is trivially 1).
+pub fn availability_markov(n: usize, rho: f64) -> f64 {
+    check_args(n, rho);
+    assert!(rho > 0.0, "the markov route needs rho > 0");
+    let chain = build_chain(n, rho);
+    let pi = chain.stationary().expect("voting chain is irreducible");
+    available_mask(n)
+        .into_iter()
+        .zip(pi)
+        .filter_map(|(avail, p)| avail.then_some(p))
+        .sum()
+}
+
+/// State index in the voting chain: `k_other` up copies among the `n−1`
+/// ordinary ones, `d ∈ {0, 1}` for the distinguished (tie-breaking) copy.
+pub(crate) fn state_index(k_other: usize, d: usize) -> usize {
+    k_other * 2 + d
+}
+
+/// Builds the voting failure/repair chain with `λ = ρ`, `µ = 1`. The state
+/// space is `(k_other, d)` — enough to apply the even-`n` tie break exactly.
+pub(crate) fn build_chain(n: usize, rho: f64) -> CtmcBuilder {
+    let idx = state_index;
+    let m = n; // k_other ranges 0..=n-1
+    let mut chain = CtmcBuilder::new(m * 2);
+    let (lambda, mu) = (rho, 1.0);
+    for k in 0..m {
+        for d in 0..2usize {
+            let s = idx(k, d);
+            if k > 0 {
+                chain.transition(s, idx(k - 1, d), k as f64 * lambda);
+            }
+            if k < m - 1 {
+                chain.transition(s, idx(k + 1, d), (m - 1 - k) as f64 * mu);
+            }
+            if d == 1 {
+                chain.transition(s, idx(k, 0), lambda);
+            } else {
+                chain.transition(s, idx(k, 1), mu);
+            }
+        }
+    }
+    chain
+}
+
+/// Which states of [`build_chain`] have a live majority, with the paper's
+/// tie-break weighting (distinguished copy 3, ordinary copies 2 for even
+/// `n`; all equal for odd `n`).
+pub(crate) fn available_mask(n: usize) -> Vec<bool> {
+    let has_quorum = |k_other: usize, d: usize| -> bool {
+        let (w_dist, w_ord) = if n % 2 == 0 { (3u64, 2u64) } else { (2, 2) };
+        let total = w_dist + w_ord * (n as u64 - 1);
+        let up = d as u64 * w_dist + k_other as u64 * w_ord;
+        2 * up > total
+    };
+    let mut mask = vec![false; n * 2];
+    for k in 0..n {
+        for d in 0..2usize {
+            mask[state_index(k, d)] = has_quorum(k, d);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_copies_are_always_available() {
+        for n in 1..10 {
+            assert_eq!(availability(n, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn one_copy_is_site_availability() {
+        for rho in [0.01, 0.1, 0.5] {
+            assert!((availability(1, rho) - 1.0 / (1.0 + rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn three_copies_closed_form() {
+        // A_V(3) = (1 + 3ρ) / (1+ρ)^3.
+        for rho in [0.02f64, 0.05, 0.1, 0.2] {
+            let expect = (1.0 + 3.0 * rho) / (1.0 + rho).powi(3);
+            assert!((availability(3, rho) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn even_copy_is_worthless() {
+        // The paper's identity A_V(2k) = A_V(2k-1).
+        for k in 1..6 {
+            for rho in [0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {
+                let odd = availability(2 * k - 1, rho);
+                let even = availability(2 * k, rho);
+                assert!(
+                    (odd - even).abs() < 1e-12,
+                    "k={k} rho={rho}: odd {odd} even {even}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_copy_pairs_help_when_sites_are_good() {
+        // For ρ < 1, adding two copies increases availability.
+        let rho = 0.1;
+        for n in (1..9).step_by(2) {
+            assert!(availability(n + 2, rho) > availability(n, rho));
+        }
+    }
+
+    #[test]
+    fn more_copies_hurt_when_sites_are_bad() {
+        // For ρ > 1 (sites down more than up) replication backfires.
+        let rho = 3.0;
+        assert!(availability(3, rho) < availability(1, rho));
+    }
+
+    #[test]
+    fn markov_route_agrees_with_closed_form() {
+        for n in 1..=8 {
+            for rho in [0.01, 0.05, 0.2, 0.8] {
+                let closed = availability(n, rho);
+                let markov = availability_markov(n, rho);
+                assert!(
+                    (closed - markov).abs() < 1e-9,
+                    "n={n} rho={rho}: closed {closed} markov {markov}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn availability_is_monotone_in_rho() {
+        for n in 1..=7 {
+            let mut last = 1.0;
+            for step in 1..=20 {
+                let rho = step as f64 * 0.05;
+                let a = availability(n, rho);
+                assert!(a <= last + 1e-12, "n={n} rho={rho}");
+                last = a;
+            }
+        }
+    }
+
+    #[test]
+    fn availability_stays_in_unit_interval() {
+        for n in 1..=12 {
+            for step in 0..=30 {
+                let a = availability(n, step as f64 * 0.1);
+                assert!((0.0..=1.0).contains(&a));
+            }
+        }
+    }
+}

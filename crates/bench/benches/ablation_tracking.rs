@@ -1,0 +1,56 @@
+//! Ablation: the was-available maintenance policy.
+//!
+//! The paper's §3.2 relaxation updates was-available sets only on writes
+//! and repairs ("communication costs are minimized at the expense of some
+//! small increase in recovery time"), while the §4 availability model
+//! assumes exact last-to-fail knowledge (on-failure tracking). This bench
+//! runs the availability DES under both policies — and under naive available
+//! copy as the floor — quantifying the paper's "small increase".
+
+use blockrep_core::simulate::availability::{estimate, AvailabilityConfig};
+use blockrep_types::{FailureTracking, Scheme};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tracking");
+    g.sample_size(10);
+    let base = AvailabilityConfig {
+        horizon: 3_000.0,
+        write_rate: 2.0,
+        ..AvailabilityConfig::new(Scheme::AvailableCopy, 3, 0.5)
+    };
+    g.bench_function("on_failure_tracking", |b| {
+        b.iter(|| black_box(estimate(&base)))
+    });
+    let on_write = AvailabilityConfig {
+        tracking: FailureTracking::OnWrite,
+        ..base.clone()
+    };
+    g.bench_function("on_write_tracking", |b| {
+        b.iter(|| black_box(estimate(&on_write)))
+    });
+    let naive = AvailabilityConfig {
+        scheme: Scheme::NaiveAvailableCopy,
+        ..base.clone()
+    };
+    g.bench_function("naive_floor", |b| b.iter(|| black_box(estimate(&naive))));
+    g.finish();
+
+    // Print the ablation's availability numbers once, so `cargo bench`
+    // output records the quantity being traded, not just the runtime.
+    let long = |cfg: &AvailabilityConfig| {
+        let mut cfg = cfg.clone();
+        cfg.horizon = 60_000.0;
+        estimate(&cfg).availability
+    };
+    println!(
+        "\nablation @ n=3, rho=0.5, write_rate=2: on-failure {:.5}, on-write {:.5}, naive {:.5}",
+        long(&base),
+        long(&on_write),
+        long(&naive)
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks of the analytical kernels: closed forms, the `B(n;ρ)` sum,
+//! and the CTMC stationary solver that re-derives the paper's MACSYMA
+//! results numerically.
+
+use blockrep_analysis::{available_copy, naive, participation, voting};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.bench_function("voting_closed_form_n9", |b| {
+        b.iter(|| black_box(voting::availability(black_box(9), black_box(0.05))))
+    });
+    g.bench_function("naive_b_form_n8", |b| {
+        b.iter(|| black_box(naive::availability_closed(black_box(8), black_box(0.05))))
+    });
+    for n in [4usize, 8, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("ctmc_solve_available_copy", n),
+            &n,
+            |b, &n| b.iter(|| black_box(available_copy::availability(n, black_box(0.05)))),
+        );
+    }
+    g.bench_function("participation_u_a_n8", |b| {
+        b.iter(|| black_box(participation::available_copy(black_box(8), black_box(0.05))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 9 regeneration benchmark: three available copies vs. six voting
+//! copies. Benchmarks both the analytic sweep and one DES cross-check
+//! point, so `cargo bench` exercises the full regeneration path.
+
+use blockrep_analysis::figures;
+use blockrep_core::simulate::availability::{estimate, AvailabilityConfig};
+use blockrep_types::Scheme;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09");
+    g.sample_size(10);
+    g.bench_function("analytic_sweep", |b| b.iter(|| black_box(figures::fig9())));
+    for scheme in Scheme::ALL {
+        let n = if scheme == Scheme::Voting { 6 } else { 3 };
+        let mut cfg = AvailabilityConfig::new(scheme, n, 0.10);
+        cfg.horizon = 2_000.0;
+        g.bench_function(format!("des_{}", scheme.label()), |b| {
+            b.iter(|| black_box(estimate(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 10 regeneration benchmark: four available copies vs. eight
+//! voting copies.
+
+use blockrep_analysis::figures;
+use blockrep_core::simulate::availability::{estimate, AvailabilityConfig};
+use blockrep_types::Scheme;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("analytic_sweep", |b| b.iter(|| black_box(figures::fig10())));
+    for scheme in Scheme::ALL {
+        let n = if scheme == Scheme::Voting { 8 } else { 4 };
+        let mut cfg = AvailabilityConfig::new(scheme, n, 0.10);
+        cfg.horizon = 2_000.0;
+        g.bench_function(format!("des_{}", scheme.label()), |b| {
+            b.iter(|| black_box(estimate(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 11 regeneration benchmark: multicast traffic per (1 write +
+//! x reads) at ρ = 0.05 — analytic sweep plus measured workload runs on the
+//! protocol implementation.
+
+use blockrep_analysis::figures;
+use blockrep_core::simulate::traffic::{measure, TrafficConfig};
+use blockrep_net::DeliveryMode;
+use blockrep_types::Scheme;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("analytic_sweep", |b| b.iter(|| black_box(figures::fig11())));
+    for scheme in Scheme::ALL {
+        let mut cfg = TrafficConfig::new(scheme, 6, DeliveryMode::Multicast);
+        cfg.ops = 4_000;
+        g.bench_function(format!("measured_{}", scheme.label()), |b| {
+            b.iter(|| black_box(measure(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

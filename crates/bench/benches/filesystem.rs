@@ -1,0 +1,65 @@
+//! File-system benchmarks over both substrates: a plain local store and a
+//! replicated reliable device — the overhead of block-level replication as
+//! the file system actually experiences it.
+
+use blockrep_core::{Cluster, ClusterOptions, ReliableDevice};
+use blockrep_fs::FileSystem;
+use blockrep_storage::{BlockDevice, MemStore};
+use blockrep_types::{DeviceConfig, Scheme, SiteId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn reliable(scheme: Scheme) -> ReliableDevice<Cluster> {
+    let cfg = DeviceConfig::builder(scheme)
+        .sites(3)
+        .num_blocks(512)
+        .block_size(512)
+        .build()
+        .unwrap();
+    ReliableDevice::new(
+        Arc::new(Cluster::new(cfg, ClusterOptions::default())),
+        SiteId::new(0),
+    )
+}
+
+fn bench_fs<D: BlockDevice>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    label: &str,
+    dev: D,
+) {
+    let fs = FileSystem::format(dev).unwrap();
+    fs.mkdir("/bench").unwrap();
+    let payload = vec![0xABu8; 4096];
+    fs.write_file("/bench/read-target", &payload).unwrap();
+    g.bench_function(format!("{label}/write_4k"), |b| {
+        b.iter(|| {
+            fs.write_file("/bench/write-target", black_box(&payload))
+                .unwrap()
+        })
+    });
+    g.bench_function(format!("{label}/read_4k"), |b| {
+        b.iter(|| black_box(fs.read_file("/bench/read-target").unwrap()))
+    });
+    g.bench_function(format!("{label}/create_unlink"), |b| {
+        b.iter(|| {
+            fs.create("/bench/tmp").unwrap();
+            fs.remove_file("/bench/tmp").unwrap();
+        })
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filesystem");
+    bench_fs(&mut g, "local_memstore", MemStore::new(512, 512));
+    bench_fs(
+        &mut g,
+        "reliable_naive",
+        reliable(Scheme::NaiveAvailableCopy),
+    );
+    bench_fs(&mut g, "reliable_voting", reliable(Scheme::Voting));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

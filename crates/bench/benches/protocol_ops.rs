@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the protocol hot paths on both runtimes: reads and
+//! writes per scheme on the deterministic cluster and on the live threaded
+//! cluster.
+
+use blockrep_core::{Cluster, ClusterOptions, LiveCluster};
+use blockrep_net::DeliveryMode;
+use blockrep_types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn cfg(scheme: Scheme) -> DeviceConfig {
+    DeviceConfig::builder(scheme)
+        .sites(5)
+        .num_blocks(64)
+        .block_size(512)
+        .build()
+        .unwrap()
+}
+
+fn bench_deterministic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    for scheme in Scheme::ALL {
+        let cluster = Cluster::new(cfg(scheme), ClusterOptions::default());
+        let data = BlockData::from(vec![7u8; 512]);
+        let origin = SiteId::new(0);
+        let k = BlockIndex::new(3);
+        cluster.write(origin, k, data.clone()).unwrap();
+        g.bench_function(format!("read_{}", scheme.label()), |b| {
+            b.iter(|| black_box(cluster.read(origin, k).unwrap()))
+        });
+        g.bench_function(format!("write_{}", scheme.label()), |b| {
+            b.iter(|| cluster.write(origin, k, data.clone()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_live(c: &mut Criterion) {
+    let mut g = c.benchmark_group("live_cluster");
+    g.sample_size(30);
+    for scheme in Scheme::ALL {
+        let cluster = LiveCluster::spawn(cfg(scheme), DeliveryMode::Multicast);
+        let data = BlockData::from(vec![7u8; 512]);
+        let origin = SiteId::new(0);
+        let k = BlockIndex::new(3);
+        cluster.write(origin, k, data.clone()).unwrap();
+        g.bench_function(format!("read_{}", scheme.label()), |b| {
+            b.iter(|| black_box(cluster.read(origin, k).unwrap()))
+        });
+        g.bench_function(format!("write_{}", scheme.label()), |b| {
+            b.iter(|| cluster.write(origin, k, data.clone()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_deterministic, bench_live);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerates **Figure 9**: availabilities of a replicated block with
+//! three available (and naive available) copies vs. six voting copies, for
+//! ρ ∈ [0, 0.20] — analytic curves plus a DES cross-check of the real
+//! protocol implementation.
+//!
+//! ```text
+//! cargo run --release -p blockrep-bench --bin fig09
+//! ```
+
+fn main() {
+    blockrep_bench::report::fig09(100_000.0);
+}

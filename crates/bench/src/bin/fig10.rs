@@ -1,0 +1,11 @@
+//! Regenerates **Figure 10**: availabilities of a replicated block with
+//! four available (and naive available) copies vs. eight voting copies, for
+//! ρ ∈ [0, 0.20].
+//!
+//! ```text
+//! cargo run --release -p blockrep-bench --bin fig10
+//! ```
+
+fn main() {
+    blockrep_bench::report::fig10(100_000.0);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's equation-level results as tables E1–E6: the
+//! closed forms of §4 against the independent CTMC solver, Theorem 4.1
+//! margins, participation numbers, and the MTTF/MTTR extension.
+//!
+//! ```text
+//! cargo run --release -p blockrep-bench --bin tables
+//! ```
+
+fn main() {
+    blockrep_bench::report::tables();
+}

@@ -1,0 +1,257 @@
+//! File-system-level workload replay against each scheme.
+//!
+//! §5's composite cost is "one write and x reads", with `x ≈ 2.5` quoted
+//! from the BSD trace study. This harness closes the loop: it drives a real
+//! file-system workload (creates, writes, reads, deletes) through
+//! `blockrep-fs` over a reliable device, *observes* the block-level
+//! read:write ratio that workload induces, and reports the total §5
+//! transmissions each scheme pays for the identical workload.
+
+use blockrep_core::{Cluster, ClusterOptions, ReliableDevice};
+use blockrep_net::{DeliveryMode, OpClass};
+use blockrep_types::{DeviceConfig, Scheme, SiteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Parameters of a file-system workload experiment.
+#[derive(Debug, Clone)]
+pub struct FsLoadConfig {
+    /// Consistency scheme under test.
+    pub scheme: Scheme,
+    /// Number of replica sites.
+    pub n: usize,
+    /// Network environment.
+    pub mode: DeliveryMode,
+    /// Number of file-system operations to perform.
+    pub ops: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FsLoadConfig {
+    /// A standard workload of 500 file operations on a 3-site device.
+    pub fn new(scheme: Scheme, mode: DeliveryMode) -> Self {
+        FsLoadConfig {
+            scheme,
+            n: 3,
+            mode,
+            ops: 500,
+            seed: 0xF57E,
+        }
+    }
+}
+
+/// What the workload cost.
+#[derive(Debug, Clone, Copy)]
+pub struct FsLoadEstimate {
+    /// Block reads the file system issued (cold, at the device interface).
+    pub block_reads: u64,
+    /// Block writes the file system issued.
+    pub block_writes: u64,
+    /// Total §5 transmissions (read + write classes).
+    pub transmissions: u64,
+    /// File-system operations performed.
+    pub fs_ops: u32,
+}
+
+impl FsLoadEstimate {
+    /// The block-level read:write ratio this workload induced — the `x` of
+    /// Figures 11/12, measured instead of assumed.
+    pub fn read_write_ratio(&self) -> f64 {
+        self.block_reads as f64 / self.block_writes.max(1) as f64
+    }
+
+    /// Mean transmissions per file-system operation.
+    pub fn per_fs_op(&self) -> f64 {
+        self.transmissions as f64 / self.fs_ops.max(1) as f64
+    }
+}
+
+/// Replays a deterministic mixed file workload (60% whole-file reads, 30%
+/// writes/creates, 10% deletes over a pool of 24 files up to 4 KiB) and
+/// measures the §5 traffic it generates.
+///
+/// # Panics
+///
+/// Panics if the device configuration is degenerate or the file system
+/// errors on an always-available device (which would be a bug).
+pub fn measure(config: &FsLoadConfig) -> FsLoadEstimate {
+    let device = DeviceConfig::builder(config.scheme)
+        .sites(config.n)
+        .num_blocks(2048)
+        .block_size(512)
+        .build()
+        .expect("simulation device configuration is valid");
+    let cluster = Arc::new(Cluster::new(device, ClusterOptions { mode: config.mode }));
+    let fs =
+        blockrep_fs::FileSystem::format(ReliableDevice::new(Arc::clone(&cluster), SiteId::new(0)))
+            .expect("formatting a fresh reliable device succeeds");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut sizes: Vec<Option<usize>> = vec![None; 24];
+    cluster.counter().reset();
+    let block_reads;
+    let block_writes;
+    for _ in 0..config.ops {
+        let slot = rng.random_range(0..sizes.len());
+        let path = format!("/f{slot}");
+        let roll: f64 = rng.random();
+        if roll < 0.6 {
+            match sizes[slot] {
+                Some(expect) => {
+                    let data = fs
+                        .read_file(&path)
+                        .expect("device is always available here");
+                    assert_eq!(data.len(), expect, "file length corrupted");
+                }
+                None => continue,
+            }
+        } else if roll < 0.9 {
+            let len = rng.random_range(1..4096usize);
+            let byte = rng.random::<u8>();
+            fs.write_file(&path, &vec![byte; len]).expect("write_file");
+            sizes[slot] = Some(len);
+        } else if sizes[slot].is_some() {
+            fs.remove_file(&path).expect("remove_file");
+            sizes[slot] = None;
+        }
+    }
+    // Re-derive block op counts by replaying the same workload against a
+    // plain local store with a counting wrapper (identical FS behaviour —
+    // transparency is tested elsewhere).
+    {
+        use blockrep_storage::BlockDevice;
+        struct Counting {
+            inner: blockrep_storage::MemStore,
+            reads: std::sync::atomic::AtomicU64,
+            writes: std::sync::atomic::AtomicU64,
+        }
+        impl BlockDevice for Counting {
+            fn num_blocks(&self) -> u64 {
+                self.inner.num_blocks()
+            }
+            fn block_size(&self) -> usize {
+                self.inner.block_size()
+            }
+            fn read_block(
+                &self,
+                k: blockrep_types::BlockIndex,
+            ) -> blockrep_types::DeviceResult<blockrep_types::BlockData> {
+                self.reads
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.inner.read_block(k)
+            }
+            fn write_block(
+                &self,
+                k: blockrep_types::BlockIndex,
+                data: blockrep_types::BlockData,
+            ) -> blockrep_types::DeviceResult<()> {
+                self.writes
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.inner.write_block(k, data)
+            }
+        }
+        let counting = Counting {
+            inner: blockrep_storage::MemStore::new(2048, 512),
+            reads: 0.into(),
+            writes: 0.into(),
+        };
+        let fs2 = blockrep_fs::FileSystem::format(counting).expect("format local");
+        // Formatting itself writes metadata; the replicated run's counter
+        // was reset after format, so align the baselines.
+        let base_reads = fs2
+            .device()
+            .reads
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let base_writes = fs2
+            .device()
+            .writes
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut sizes: Vec<Option<usize>> = vec![None; 24];
+        for _ in 0..config.ops {
+            let slot = rng.random_range(0..sizes.len());
+            let path = format!("/f{slot}");
+            let roll: f64 = rng.random();
+            if roll < 0.6 {
+                if sizes[slot].is_some() {
+                    let _ = fs2.read_file(&path).expect("read");
+                }
+            } else if roll < 0.9 {
+                let len = rng.random_range(1..4096usize);
+                let byte = rng.random::<u8>();
+                fs2.write_file(&path, &vec![byte; len]).expect("write");
+                sizes[slot] = Some(len);
+            } else if sizes[slot].is_some() {
+                fs2.remove_file(&path).expect("remove");
+                sizes[slot] = None;
+            }
+        }
+        let dev = fs2.into_device();
+        block_reads = dev.reads.load(std::sync::atomic::Ordering::Relaxed) - base_reads;
+        block_writes = dev.writes.load(std::sync::atomic::Ordering::Relaxed) - base_writes;
+    }
+    let snap = cluster.traffic();
+    FsLoadEstimate {
+        block_reads,
+        block_writes,
+        transmissions: snap.total_for(OpClass::Read) + snap.total_for(OpClass::Write),
+        fs_ops: config.ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_workload_orders_schemes_as_figure_11() {
+        let run = |scheme| {
+            measure(&FsLoadConfig {
+                ops: 300,
+                ..FsLoadConfig::new(scheme, DeliveryMode::Multicast)
+            })
+        };
+        let v = run(Scheme::Voting);
+        let a = run(Scheme::AvailableCopy);
+        let na = run(Scheme::NaiveAvailableCopy);
+        // Identical block workload…
+        assert_eq!(v.block_reads, a.block_reads);
+        assert_eq!(a.block_reads, na.block_reads);
+        assert_eq!(v.block_writes, na.block_writes);
+        // …very different bills.
+        assert!(
+            na.transmissions < a.transmissions && a.transmissions < v.transmissions,
+            "naive {} < ac {} < voting {}",
+            na.transmissions,
+            a.transmissions,
+            v.transmissions
+        );
+    }
+
+    #[test]
+    fn fs_workloads_are_read_dominated() {
+        // The shape the paper cites from the BSD traces: more block reads
+        // than block writes is *not* guaranteed for every FS (metadata
+        // updates write a lot), but reads must be a substantial share.
+        let est = measure(&FsLoadConfig {
+            ops: 300,
+            ..FsLoadConfig::new(Scheme::NaiveAvailableCopy, DeliveryMode::Multicast)
+        });
+        assert!(est.block_reads > 0 && est.block_writes > 0);
+        let ratio = est.read_write_ratio();
+        assert!(ratio > 0.3, "ratio {ratio} suspiciously write-heavy");
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let cfg = FsLoadConfig {
+            ops: 120,
+            ..FsLoadConfig::new(Scheme::Voting, DeliveryMode::Unicast)
+        };
+        let a = measure(&cfg);
+        let b = measure(&cfg);
+        assert_eq!(a.transmissions, b.transmissions);
+        assert_eq!(a.block_reads, b.block_reads);
+    }
+}

@@ -1,0 +1,270 @@
+//! The figure and table regenerators, as callable functions.
+//!
+//! Each function prints one of the paper's evaluation artifacts (analytic
+//! curves + measured cross-checks) to stdout. The `fig09`…`tables` binaries
+//! and the `blockrep` CLI both call these.
+
+use crate::{availability_rows, print_availability, print_series, print_traffic, traffic_rows};
+use blockrep_analysis::{available_copy, figures, mttf, naive, participation, voting};
+use blockrep_net::DeliveryMode;
+
+/// Figure 9: three available (and naive) copies vs. six voting copies.
+pub fn fig09(horizon: f64) {
+    println!("# Figure 9 — three available copies vs. six voting copies\n");
+    print_series(
+        "Analytic availability (paper's grid, rho in [0, 0.20])",
+        "rho",
+        &figures::fig9(),
+        6,
+    );
+    let rows = availability_rows(3, 6, horizon);
+    print_availability(
+        "Simulation cross-check (real protocol implementation)",
+        &rows,
+    );
+    print_max_error(&rows);
+    println!("\nPaper's claims reproduced: available copy ≥ naive ≫ voting at every rho;");
+    println!("AC and naive indistinguishable for rho < 0.10.");
+}
+
+/// Figure 10: four available (and naive) copies vs. eight voting copies.
+pub fn fig10(horizon: f64) {
+    println!("# Figure 10 — four available copies vs. eight voting copies\n");
+    print_series(
+        "Analytic availability (paper's grid, rho in [0, 0.20])",
+        "rho",
+        &figures::fig10(),
+        6,
+    );
+    let rows = availability_rows(4, 8, horizon);
+    print_availability(
+        "Simulation cross-check (real protocol implementation)",
+        &rows,
+    );
+    print_max_error(&rows);
+    println!("\nPaper's claims reproduced: A_A(4) > A_V(8) everywhere (Theorem 4.1);");
+    println!("naive tracks conventional available copy for rho < 0.10.");
+}
+
+fn print_max_error(rows: &[crate::AvailabilityRow]) {
+    let max_err = rows
+        .iter()
+        .flat_map(|r| {
+            [
+                (r.ac_analytic - r.ac_sim).abs(),
+                (r.naive_analytic - r.naive_sim).abs(),
+                (r.voting_analytic - r.voting_sim).abs(),
+            ]
+        })
+        .fold(0.0f64, f64::max);
+    println!("max |analytic − simulated| = {max_err:.6}");
+}
+
+/// Figure 11: multicast traffic per (1 write + x reads), ρ = 0.05.
+pub fn fig11(ops: u64) {
+    println!("# Figure 11 — multicast traffic per (1 write + x reads), rho = 0.05\n");
+    print_series("Analytic cost model (§5.1)", "n", &figures::fig11(), 3);
+    let rows = traffic_rows(DeliveryMode::Multicast, &[2, 4, 6, 8, 10, 12], ops);
+    print_traffic("Measured on the protocol implementation", &rows);
+    println!("Paper's claims reproduced: naive = 1 transmission per write regardless of n;");
+    println!("voting pays ≈ n(1−rho) per read while available copy reads are free, so the");
+    println!("voting curves fan out with the read:write ratio.");
+}
+
+/// Figure 12: unique-addressing traffic per (1 write + x reads), ρ = 0.05.
+pub fn fig12(ops: u64) {
+    println!("# Figure 12 — unique-addressing traffic per (1 write + x reads), rho = 0.05\n");
+    print_series("Analytic cost model (§5.2)", "n", &figures::fig12(), 3);
+    let rows = traffic_rows(DeliveryMode::Unicast, &[2, 4, 6, 8, 10, 12], ops);
+    print_traffic("Measured on the protocol implementation", &rows);
+    println!("Paper's claims reproduced: the schemes keep their ordering (naive < available");
+    println!("copy < voting) and the gaps grow relative to the multicast environment for n >= 3.");
+}
+
+const RHOS: [f64; 4] = [0.01, 0.05, 0.10, 0.20];
+
+/// Table E1: voting availability, closed form vs. CTMC, with the even-copy
+/// identity.
+pub fn table_e1() {
+    println!("## Table E1 — voting availability A_V(n), closed form vs. CTMC\n");
+    println!("| n | rho | closed (Eq. 1) | CTMC | A_V(n) = A_V(n-1)? |");
+    println!("|---|---|---|---|---|");
+    for n in 1..=10usize {
+        for rho in RHOS {
+            let closed = voting::availability(n, rho);
+            let markov = voting::availability_markov(n, rho);
+            let even_note = if n % 2 == 0 {
+                let prev = voting::availability(n - 1, rho);
+                if (closed - prev).abs() < 1e-12 {
+                    "yes"
+                } else {
+                    "VIOLATED"
+                }
+            } else {
+                "—"
+            };
+            println!("| {n} | {rho:.2} | {closed:.9} | {markov:.9} | {even_note} |");
+        }
+    }
+    println!();
+}
+
+/// Table E2: available copy availability, Eqs. 2–4 vs. the Figure 7 chain.
+pub fn table_e2() {
+    println!("## Table E2 — available copy availability, Eqs. 2–4 vs. Figure 7 chain\n");
+    println!("| n | rho | closed form | CTMC (general n) | lower bound (Ineq. 5) |");
+    println!("|---|---|---|---|---|");
+    for n in 1..=8usize {
+        for rho in RHOS {
+            let markov = available_copy::availability(n, rho);
+            let closed = available_copy::availability_closed(n, rho)
+                .map(|v| format!("{v:.9}"))
+                .unwrap_or_else(|| "(none printed)".into());
+            let bound = available_copy::lower_bound(n, rho);
+            println!("| {n} | {rho:.2} | {closed} | {markov:.9} | {bound:.9} |");
+        }
+    }
+    println!();
+}
+
+/// Table E3: naive available copy availability, `B(n;ρ)` vs. the Figure 8
+/// chain, with the `A_NA(2) = A_V(3)` identity.
+pub fn table_e3() {
+    println!("## Table E3 — naive available copy availability, B(n;rho) form vs. Figure 8 chain\n");
+    println!("| n | rho | B-form | CTMC | A_NA(2) = A_V(3)? |");
+    println!("|---|---|---|---|---|");
+    for n in 1..=8usize {
+        for rho in RHOS {
+            let closed = naive::availability_closed(n, rho);
+            let markov = naive::availability(n, rho);
+            let note = if n == 2 {
+                let v3 = voting::availability(3, rho);
+                if (closed - v3).abs() < 1e-12 {
+                    "yes"
+                } else {
+                    "VIOLATED"
+                }
+            } else {
+                "—"
+            };
+            println!("| {n} | {rho:.2} | {closed:.9} | {markov:.9} | {note} |");
+        }
+    }
+    println!();
+}
+
+/// Table E4: Theorem 4.1 margins.
+pub fn table_e4() {
+    println!("## Table E4 — Theorem 4.1: A_A(n) − A_V(2n) > 0 for rho ≤ 1\n");
+    println!("| n | rho | A_A(n) | A_V(2n) | margin |");
+    println!("|---|---|---|---|---|");
+    for n in 2..=6usize {
+        for rho in [0.05, 0.20, 0.50, 1.0] {
+            let ac = available_copy::availability(n, rho);
+            let v = voting::availability(2 * n, rho);
+            println!("| {n} | {rho:.2} | {ac:.9} | {v:.9} | {:+.3e} |", ac - v);
+        }
+    }
+    println!();
+}
+
+/// Table E5: participation numbers vs. the shared `n(1−ρ)` expansion.
+pub fn table_e5() {
+    println!("## Table E5 — participation numbers U^n vs. the shared n(1−rho) expansion\n");
+    println!("| n | rho | U_V | U_A | U_N | n(1−rho) |");
+    println!("|---|---|---|---|---|---|");
+    for n in [2usize, 4, 6, 8, 10] {
+        for rho in [0.01, 0.05, 0.10] {
+            println!(
+                "| {n} | {rho:.2} | {:.6} | {:.6} | {:.6} | {:.6} |",
+                participation::voting(n, rho),
+                participation::available_copy(n, rho),
+                participation::naive(n, rho),
+                participation::approx(n, rho),
+            );
+        }
+    }
+    println!();
+}
+
+/// Table E6 (extension): MTTF and MTTR.
+pub fn table_e6() {
+    println!("## Table E6 (extension) — mean time to failure / to restoration, µ = 1\n");
+    println!(
+        "| n | rho | MTTF voting | MTTF avail-copy (= naive) | MTTR avail-copy | MTTR naive |"
+    );
+    println!("|---|---|---|---|---|---|");
+    for n in [2usize, 3, 4, 5] {
+        for rho in [0.05, 0.10, 0.20] {
+            println!(
+                "| {n} | {rho:.2} | {:.2} | {:.2} | {:.3} | {:.3} |",
+                mttf::voting(n, rho),
+                mttf::available_copy(n, rho),
+                mttf::mttr_available_copy(n, rho),
+                mttf::mttr_naive(n, rho),
+            );
+        }
+    }
+    println!();
+}
+
+/// Table E7 (extension): the equal-availability comparison §5 alludes to —
+/// each scheme sized for the same availability target, then priced.
+pub fn table_e7() {
+    use blockrep_analysis::sizing::equal_availability_write_cost;
+    use blockrep_analysis::traffic::NetModel;
+    println!("## Table E7 (extension) — schemes sized for equal availability, rho = 0.05\n");
+    println!("| target | scheme | copies | achieved | write (multicast) | write + 2.5 reads |");
+    println!("|---|---|---|---|---|---|");
+    for target in [0.999, 0.9999, 0.99999] {
+        if let Some(sized) = equal_availability_write_cost(target, 0.05, NetModel::Multicast, 30) {
+            for s in sized {
+                println!(
+                    "| {target} | {} | {} | {:.7} | {:.2} | {:.2} |",
+                    s.scheme,
+                    s.copies,
+                    s.achieved,
+                    s.costs.write,
+                    s.costs.per_write_group(2.5),
+                );
+            }
+        }
+    }
+    println!();
+    println!("\"A comparison of schemes with equal availabilities would result in much");
+    println!("steeper voting traffic costs\" — quantified.");
+    println!();
+}
+
+/// Table E8 (extension): mission reliability R(t) — the probability of an
+/// uninterrupted mission of length t, from the same chains (the paper's
+/// intro promises reliability as well as availability; §4 evaluates only
+/// the latter).
+pub fn table_e8() {
+    use blockrep_analysis::reliability;
+    println!("## Table E8 (extension) — mission reliability R(t), rho = 0.05, µ = 1\n");
+    println!("| n | t | R voting | R avail-copy (= naive) |");
+    println!("|---|---|---|---|");
+    for n in [2usize, 3, 4] {
+        for t in [10.0, 100.0, 1000.0] {
+            println!(
+                "| {n} | {t} | {:.6} | {:.6} |",
+                reliability::voting(n, 0.05, t),
+                reliability::available_copy(n, 0.05, t),
+            );
+        }
+    }
+    println!();
+}
+
+/// All equation-level tables, E1 through E8.
+pub fn tables() {
+    table_e1();
+    table_e2();
+    table_e3();
+    table_e4();
+    table_e5();
+    table_e6();
+    table_e7();
+    table_e8();
+}

@@ -1,0 +1,315 @@
+//! Subcommand dispatch for the `blockrep` binary.
+
+use crate::args::{Parsed, UsageError};
+use crate::shell::{self, ShellConfig};
+use blockrep_core::simulate::availability::{estimate, AvailabilityConfig};
+use blockrep_core::simulate::lifetimes::{measure as measure_lifetimes, LifetimeConfig};
+use blockrep_core::simulate::traffic::{measure as measure_traffic, TrafficConfig};
+use blockrep_net::DeliveryMode;
+use blockrep_types::Scheme;
+
+/// Top-level usage text.
+pub const USAGE: &str =
+    "blockrep — reliable replicated block devices (Carroll, Long & Pâris, ICDCS 1987)
+
+usage:
+  blockrep tables                          equation tables E1–E6
+  blockrep fig <9|10|11|12>                regenerate an evaluation figure
+  blockrep simulate availability [flags]   measure availability by DES
+      --scheme S --sites N --rho R --horizon T --seed X
+  blockrep simulate traffic [flags]        measure per-op transmissions
+      --scheme S --sites N --rho R --net multicast|unicast --ops K --ratio X
+  blockrep simulate lifetimes [flags]      measure MTTF / MTTR
+      --scheme S --sites N --rho R --episodes E
+  blockrep shell [flags]                   interactive cluster console
+      --scheme S --sites N --blocks B --net multicast|unicast
+  blockrep mkfs <image-file> [flags]       format a file-backed device
+      --blocks N --block-size B
+  blockrep fsck <image-file> [flags]       consistency-check an image
+      --block-size B
+
+schemes: voting (v), available-copy (ac), naive-available-copy (naive, nac)";
+
+/// Runs a parsed command line; returns the process exit code.
+///
+/// # Errors
+///
+/// [`UsageError`] for malformed arguments (the caller prints usage).
+pub fn run(parsed: &Parsed) -> Result<(), UsageError> {
+    match parsed.positional(0) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("tables") => {
+            blockrep_bench::report::tables();
+            Ok(())
+        }
+        Some("fig") => run_fig(parsed),
+        Some("simulate") => run_simulate(parsed),
+        Some("shell") => run_shell(parsed),
+        Some("mkfs") => run_mkfs(parsed),
+        Some("fsck") => run_fsck(parsed),
+        Some(other) => Err(UsageError(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn run_fig(parsed: &Parsed) -> Result<(), UsageError> {
+    let horizon = parsed.flag_f64("horizon", 100_000.0)?;
+    let ops = parsed.flag_u64("ops", 30_000)?;
+    match parsed.positional(1) {
+        Some("9") => blockrep_bench::report::fig09(horizon),
+        Some("10") => blockrep_bench::report::fig10(horizon),
+        Some("11") => blockrep_bench::report::fig11(ops),
+        Some("12") => blockrep_bench::report::fig12(ops),
+        other => {
+            return Err(UsageError(format!(
+                "usage: blockrep fig <9|10|11|12> (got {other:?})"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn run_simulate(parsed: &Parsed) -> Result<(), UsageError> {
+    let scheme = parsed.flag_scheme("scheme", Scheme::NaiveAvailableCopy)?;
+    let sites = parsed.flag_usize("sites", 3)?;
+    let rho = parsed.flag_f64("rho", 0.05)?;
+    match parsed.positional(1) {
+        Some("availability") => {
+            let mut cfg = AvailabilityConfig::new(scheme, sites, rho);
+            cfg.horizon = parsed.flag_f64("horizon", 100_000.0)?;
+            cfg.seed = parsed.flag_u64("seed", cfg.seed)?;
+            let est = estimate(&cfg);
+            println!("scheme {scheme}, n = {sites}, rho = {rho}");
+            println!("analytic availability  {:.8}", est.analytic);
+            println!("simulated availability {:.8}", est.availability);
+            println!(
+                "error {:.2e} over {} events / {:.0} time units",
+                est.error(),
+                est.events,
+                est.sim_time
+            );
+            Ok(())
+        }
+        Some("traffic") => {
+            let mode = parsed.flag_mode("net", DeliveryMode::Multicast)?;
+            let mut cfg = TrafficConfig::new(scheme, sites, mode);
+            cfg.rho = rho;
+            cfg.ops = parsed.flag_u64("ops", cfg.ops)?;
+            cfg.reads_per_write = parsed.flag_f64("ratio", cfg.reads_per_write)?;
+            cfg.seed = parsed.flag_u64("seed", cfg.seed)?;
+            let est = measure_traffic(&cfg);
+            println!("scheme {scheme}, n = {sites}, rho = {rho}, {mode}");
+            println!(
+                "per read:     measured {:.3}  model {:.3}",
+                est.per_read, est.model.read
+            );
+            println!(
+                "per write:    measured {:.3}  model {:.3}",
+                est.per_write, est.model.write
+            );
+            println!(
+                "per recovery: measured {:.3}  model {:.3}",
+                est.per_recovery, est.model.recovery
+            );
+            println!(
+                "({} reads, {} writes, {} recoveries)",
+                est.reads, est.writes, est.recoveries
+            );
+            Ok(())
+        }
+        Some("lifetimes") => {
+            let mut cfg = LifetimeConfig::new(scheme, sites, rho);
+            cfg.episodes = parsed.flag_u64("episodes", cfg.episodes as u64)? as u32;
+            cfg.seed = parsed.flag_u64("seed", cfg.seed)?;
+            let mut est = measure_lifetimes(&cfg);
+            println!(
+                "scheme {scheme}, n = {sites}, rho = {rho} ({} episodes)",
+                cfg.episodes
+            );
+            println!(
+                "MTTF measured {:.3}  analytic {:.3}",
+                est.mttf.mean(),
+                est.analytic_mttf
+            );
+            match est.analytic_mttr {
+                Some(analytic) => println!(
+                    "MTTR measured {:.3}  analytic {:.3}",
+                    est.mttr.mean(),
+                    analytic
+                ),
+                None => println!(
+                    "MTTR measured {:.3}  (no closed form for voting)",
+                    est.mttr.mean()
+                ),
+            }
+            println!(
+                "MTTR distribution: p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}",
+                est.mttr_samples.percentile(50.0),
+                est.mttr_samples.percentile(90.0),
+                est.mttr_samples.percentile(99.0),
+                est.mttr_samples.max(),
+            );
+            Ok(())
+        }
+        other => Err(UsageError(format!(
+            "usage: blockrep simulate <availability|traffic|lifetimes> (got {other:?})"
+        ))),
+    }
+}
+
+fn run_mkfs(parsed: &Parsed) -> Result<(), UsageError> {
+    let path = parsed.positional(1).ok_or_else(|| {
+        UsageError("usage: blockrep mkfs <image-file> [--blocks N --block-size B]".into())
+    })?;
+    let blocks = parsed.flag_u64("blocks", 1024)?;
+    let block_size = parsed.flag_usize("block-size", 512)?;
+    let dev = blockrep_storage::FileStore::create(path, blocks, block_size)
+        .map_err(|e| UsageError(format!("mkfs: {e}")))?;
+    blockrep_fs::FileSystem::format(dev).map_err(|e| UsageError(format!("mkfs: {e}")))?;
+    println!("formatted {path}: {blocks} blocks of {block_size} bytes");
+    Ok(())
+}
+
+fn run_fsck(parsed: &Parsed) -> Result<(), UsageError> {
+    let path = parsed
+        .positional(1)
+        .ok_or_else(|| UsageError("usage: blockrep fsck <image-file> [--block-size B]".into()))?;
+    let block_size = parsed.flag_usize("block-size", 512)?;
+    let dev = blockrep_storage::FileStore::open(path, block_size)
+        .map_err(|e| UsageError(format!("fsck: {e}")))?;
+    let fs = blockrep_fs::FileSystem::mount(dev).map_err(|e| UsageError(format!("fsck: {e}")))?;
+    let report = fs.check().map_err(|e| UsageError(format!("fsck: {e}")))?;
+    println!(
+        "{path}: {} files, {} directories, {} data blocks in use",
+        report.files, report.directories, report.used_blocks
+    );
+    if report.is_clean() {
+        println!("clean");
+        Ok(())
+    } else {
+        for problem in &report.problems {
+            println!("PROBLEM {problem}");
+        }
+        Err(UsageError(format!(
+            "{} problems found",
+            report.problems.len()
+        )))
+    }
+}
+
+fn run_shell(parsed: &Parsed) -> Result<(), UsageError> {
+    let config = ShellConfig {
+        scheme: parsed.flag_scheme("scheme", Scheme::NaiveAvailableCopy)?,
+        sites: parsed.flag_usize("sites", 3)?,
+        blocks: parsed.flag_u64("blocks", 16)?,
+        mode: parsed.flag_mode("net", DeliveryMode::Multicast)?,
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    shell::run(config, stdin.lock(), stdout.lock())
+        .map_err(|e| UsageError(format!("shell i/o error: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(parts: &[&str]) -> Parsed {
+        Parsed::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn help_runs() {
+        assert!(run(&parsed(&[])).is_ok());
+        assert!(run(&parsed(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_usage_error() {
+        assert!(run(&parsed(&["frobnicate"])).is_err());
+        assert!(run(&parsed(&["fig", "13"])).is_err());
+        assert!(run(&parsed(&["simulate", "everything"])).is_err());
+    }
+
+    #[test]
+    fn simulate_availability_runs_small() {
+        let p = parsed(&[
+            "simulate",
+            "availability",
+            "--scheme",
+            "ac",
+            "--sites",
+            "2",
+            "--rho",
+            "0.3",
+            "--horizon",
+            "500",
+        ]);
+        assert!(run(&p).is_ok());
+    }
+
+    #[test]
+    fn simulate_traffic_runs_small() {
+        let p = parsed(&[
+            "simulate", "traffic", "--scheme", "voting", "--sites", "3", "--ops", "500", "--net",
+            "unicast",
+        ]);
+        assert!(run(&p).is_ok());
+    }
+
+    #[test]
+    fn mkfs_and_fsck_roundtrip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("blockrep-cli-mkfs-{}.img", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        run(&parsed(&[
+            "mkfs",
+            &path_str,
+            "--blocks",
+            "128",
+            "--block-size",
+            "512",
+        ]))
+        .unwrap();
+        // A fresh image is clean.
+        run(&parsed(&["fsck", &path_str])).unwrap();
+        // Populate it and re-check through a remount.
+        {
+            let dev = blockrep_storage::FileStore::open(&path_str, 512).unwrap();
+            let fs = blockrep_fs::FileSystem::mount(dev).unwrap();
+            fs.write_file("/hello", b"persist me").unwrap();
+        }
+        run(&parsed(&["fsck", &path_str])).unwrap();
+        // A corrupted superblock is rejected.
+        {
+            use std::io::{Seek, Write};
+            let mut f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path_str)
+                .unwrap();
+            f.seek(std::io::SeekFrom::Start(0)).unwrap();
+            f.write_all(b"XXXX").unwrap();
+        }
+        assert!(run(&parsed(&["fsck", &path_str])).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn simulate_lifetimes_runs_small() {
+        let p = parsed(&[
+            "simulate",
+            "lifetimes",
+            "--scheme",
+            "nac",
+            "--sites",
+            "2",
+            "--rho",
+            "0.5",
+            "--episodes",
+            "40",
+        ]);
+        assert!(run(&p).is_ok());
+    }
+}

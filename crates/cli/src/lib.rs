@@ -1,0 +1,22 @@
+//! Implementation of the `blockrep` command line tool.
+//!
+//! Subcommands:
+//!
+//! * `blockrep tables` — the paper's equation-level tables E1–E6.
+//! * `blockrep fig <9|10|11|12>` — regenerate an evaluation figure
+//!   (analytic + measured).
+//! * `blockrep simulate availability|traffic|lifetimes [flags]` —
+//!   parameterized experiments against the real protocol implementation.
+//! * `blockrep shell [flags]` — an interactive cluster you can read, write,
+//!   crash, partition, and audit from a prompt.
+//!
+//! Flag parsing is a deliberately small hand-rolled affair ([`args`]) —
+//! the project's dependency policy admits no CLI framework, and the
+//! handful of `--key value` flags here do not justify one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod shell;

@@ -1,0 +1,349 @@
+//! The interactive cluster shell.
+//!
+//! A tiny operator console over a deterministic cluster: read and write
+//! blocks, crash and repair sites, partition the network, inspect traffic,
+//! and audit protocol invariants — the whole lifecycle of the paper's
+//! reliable device, drivable by hand.
+//!
+//! The loop reads from any `BufRead` and writes to any `Write`, so tests
+//! drive it with strings.
+
+use blockrep_core::{audit, Cluster, ClusterOptions};
+use blockrep_net::DeliveryMode;
+use blockrep_types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId, SiteState};
+use std::io::{BufRead, Write};
+
+/// Shell construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ShellConfig {
+    /// Consistency scheme.
+    pub scheme: Scheme,
+    /// Number of sites.
+    pub sites: usize,
+    /// Number of blocks.
+    pub blocks: u64,
+    /// Network environment for traffic accounting.
+    pub mode: DeliveryMode,
+}
+
+impl Default for ShellConfig {
+    fn default() -> Self {
+        ShellConfig {
+            scheme: Scheme::NaiveAvailableCopy,
+            sites: 3,
+            blocks: 16,
+            mode: DeliveryMode::Multicast,
+        }
+    }
+}
+
+const HELP: &str = "commands:
+  status                 site states, availability, scheme
+  read <block> [site]    read a block via a coordinator (default s0)
+  write <block> <byte> [site]   write a block filled with <byte>
+  fail <site>            fail-stop a site
+  repair <site>          restart a failed site (runs recovery)
+  partition <g>|<g>...   e.g. 'partition 0,1|2' splits {s0,s1} from {s2}
+  heal                   remove all partitions
+  traffic                cumulative high-level transmission counts
+  audit                  check protocol invariants
+  w <site>               show a site's was-available set
+  help                   this text
+  quit                   leave the shell";
+
+/// Runs the shell until `quit` or end of input.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the input or output streams.
+pub fn run(config: ShellConfig, input: impl BufRead, mut out: impl Write) -> std::io::Result<()> {
+    let device = DeviceConfig::builder(config.scheme)
+        .sites(config.sites)
+        .num_blocks(config.blocks)
+        .block_size(16)
+        .build()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let cluster = Cluster::new(device, ClusterOptions { mode: config.mode });
+    writeln!(
+        out,
+        "blockrep shell — {} on {} sites, {} blocks of 16 bytes ({} accounting)",
+        config.scheme, config.sites, config.blocks, config.mode
+    )?;
+    writeln!(out, "type 'help' for commands")?;
+    for line in input.lines() {
+        let line = line?;
+        let mut parts = line.split_whitespace();
+        let Some(command) = parts.next() else {
+            continue;
+        };
+        let args: Vec<&str> = parts.collect();
+        match execute(&cluster, command, &args) {
+            Outcome::Text(text) => writeln!(out, "{text}")?,
+            Outcome::Quit => break,
+        }
+    }
+    writeln!(out, "bye")?;
+    Ok(())
+}
+
+enum Outcome {
+    Text(String),
+    Quit,
+}
+
+fn execute(cluster: &Cluster, command: &str, args: &[&str]) -> Outcome {
+    match run_command(cluster, command, args) {
+        Ok(None) => Outcome::Quit,
+        Ok(Some(text)) => Outcome::Text(text),
+        Err(msg) => Outcome::Text(format!("error: {msg}")),
+    }
+}
+
+fn parse_site(cluster: &Cluster, raw: &str) -> Result<SiteId, String> {
+    let raw = raw.strip_prefix('s').unwrap_or(raw);
+    let id: u32 = raw.parse().map_err(|_| format!("bad site {raw:?}"))?;
+    let site = SiteId::new(id);
+    if cluster.config().contains_site(site) {
+        Ok(site)
+    } else {
+        Err(format!("no such site s{id}"))
+    }
+}
+
+fn parse_block(cluster: &Cluster, raw: &str) -> Result<BlockIndex, String> {
+    let raw = raw.strip_prefix('b').unwrap_or(raw);
+    let k: u64 = raw.parse().map_err(|_| format!("bad block {raw:?}"))?;
+    if k < cluster.config().num_blocks() {
+        Ok(BlockIndex::new(k))
+    } else {
+        Err(format!("block b{k} out of range"))
+    }
+}
+
+fn run_command(cluster: &Cluster, command: &str, args: &[&str]) -> Result<Option<String>, String> {
+    match command {
+        "quit" | "exit" | "q" => Ok(None),
+        "help" | "?" => Ok(Some(HELP.to_string())),
+        "status" => {
+            let mut lines = vec![format!(
+                "scheme {}, available: {}",
+                cluster.config().scheme(),
+                cluster.is_available()
+            )];
+            for s in cluster.config().site_ids() {
+                lines.push(format!("  {s}: {}", cluster.site_state(s)));
+            }
+            Ok(Some(lines.join("\n")))
+        }
+        "read" => {
+            let block = parse_block(cluster, args.first().ok_or("usage: read <block> [site]")?)?;
+            let origin = match args.get(1) {
+                Some(raw) => parse_site(cluster, raw)?,
+                None => SiteId::new(0),
+            };
+            match cluster.read(origin, block) {
+                Ok(data) => Ok(Some(format!(
+                    "{block} via {origin} = 0x{:02x} (version {})",
+                    data.as_slice()[0],
+                    cluster.version_of(origin, block)
+                ))),
+                Err(e) => Err(e.to_string()),
+            }
+        }
+        "write" => {
+            let block = parse_block(
+                cluster,
+                args.first().ok_or("usage: write <block> <byte> [site]")?,
+            )?;
+            let fill: u8 = args
+                .get(1)
+                .ok_or("usage: write <block> <byte> [site]")?
+                .parse()
+                .map_err(|_| "byte must be 0-255".to_string())?;
+            let origin = match args.get(2) {
+                Some(raw) => parse_site(cluster, raw)?,
+                None => SiteId::new(0),
+            };
+            let size = cluster.config().block_size();
+            cluster
+                .write(origin, block, BlockData::from(vec![fill; size]))
+                .map_err(|e| e.to_string())?;
+            Ok(Some(format!("wrote {block} = 0x{fill:02x} via {origin}")))
+        }
+        "fail" => {
+            let site = parse_site(cluster, args.first().ok_or("usage: fail <site>")?)?;
+            if cluster.site_state(site) == SiteState::Failed {
+                return Err(format!("{site} is already failed"));
+            }
+            cluster.fail_site(site);
+            Ok(Some(format!(
+                "{site} failed; device available: {}",
+                cluster.is_available()
+            )))
+        }
+        "repair" => {
+            let site = parse_site(cluster, args.first().ok_or("usage: repair <site>")?)?;
+            if cluster.site_state(site) != SiteState::Failed {
+                return Err(format!("{site} is not failed"));
+            }
+            cluster.repair_site(site);
+            Ok(Some(format!(
+                "{site} repaired -> {}; device available: {}",
+                cluster.site_state(site),
+                cluster.is_available()
+            )))
+        }
+        "partition" => {
+            let spec = args.first().ok_or("usage: partition 0,1|2")?;
+            let mut groups = Vec::new();
+            for group in spec.split('|') {
+                let mut members = Vec::new();
+                for raw in group.split(',').filter(|s| !s.is_empty()) {
+                    members.push(parse_site(cluster, raw)?);
+                }
+                groups.push(members);
+            }
+            cluster.partition(&groups);
+            Ok(Some(format!("partitioned into {} groups", groups.len())))
+        }
+        "heal" => {
+            cluster.heal();
+            Ok(Some("network healed".to_string()))
+        }
+        "traffic" => Ok(Some(cluster.traffic().to_string().trim_end().to_string())),
+        "audit" => {
+            let violations = audit::check_invariants(cluster);
+            if violations.is_empty() {
+                Ok(Some("all protocol invariants hold".to_string()))
+            } else {
+                Ok(Some(
+                    violations
+                        .iter()
+                        .map(|v| format!("VIOLATION {v}"))
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                ))
+            }
+        }
+        "w" => {
+            let site = parse_site(cluster, args.first().ok_or("usage: w <site>")?)?;
+            let w = cluster.was_available_of(site);
+            Ok(Some(format!(
+                "W_{site} = {{{}}}",
+                w.iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )))
+        }
+        other => Err(format!("unknown command {other:?} (try 'help')")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(scheme: Scheme, script: &str) -> String {
+        let mut out = Vec::new();
+        run(
+            ShellConfig {
+                scheme,
+                ..ShellConfig::default()
+            },
+            script.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let out = drive(Scheme::NaiveAvailableCopy, "write 3 66\nread 3 s1\nquit\n");
+        assert!(out.contains("wrote b3 = 0x42 via s0"), "{out}");
+        assert!(out.contains("b3 via s1 = 0x42"), "{out}");
+    }
+
+    #[test]
+    fn fail_repair_cycle_updates_status() {
+        let out = drive(
+            Scheme::AvailableCopy,
+            "fail 1\nstatus\nrepair 1\nstatus\nquit\n",
+        );
+        assert!(out.contains("s1 failed; device available: true"), "{out}");
+        assert!(out.contains("s1: failed"), "{out}");
+        assert!(out.contains("s1 repaired -> available"), "{out}");
+    }
+
+    #[test]
+    fn voting_quorum_loss_reports_error() {
+        let out = drive(Scheme::Voting, "fail 1\nfail 2\nread 0\nquit\n");
+        assert!(out.contains("device available: false"), "{out}");
+        assert!(out.contains("error:"), "{out}");
+        assert!(out.contains("unavailable"), "{out}");
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let out = drive(
+            Scheme::Voting,
+            "partition 0,1|2\nwrite 0 7 s2\nheal\nwrite 0 7 s2\nquit\n",
+        );
+        assert!(out.contains("partitioned into 2 groups"), "{out}");
+        // s2 is in the minority partition: write refused there…
+        assert!(out.contains("error:"), "{out}");
+        // …and succeeds after healing.
+        assert!(out.contains("wrote b0 = 0x07 via s2"), "{out}");
+    }
+
+    #[test]
+    fn traffic_and_audit_commands() {
+        let out = drive(
+            Scheme::NaiveAvailableCopy,
+            "write 0 1\ntraffic\naudit\nquit\n",
+        );
+        assert!(out.contains("write-update"), "{out}");
+        assert!(out.contains("all protocol invariants hold"), "{out}");
+    }
+
+    #[test]
+    fn was_available_inspection() {
+        let out = drive(Scheme::AvailableCopy, "fail 2\nw 0\nquit\n");
+        assert!(out.contains("W_s0 = {s0, s1}"), "{out}");
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_shell() {
+        let out = drive(
+            Scheme::Voting,
+            "bogus\nread 999\nfail 9\nwrite 0\nstatus\nquit\n",
+        );
+        assert!(out.matches("error:").count() >= 4, "{out}");
+        assert!(out.contains("scheme voting"), "{out}");
+        assert!(out.ends_with("bye\n"), "{out}");
+    }
+
+    #[test]
+    fn eof_ends_shell_cleanly() {
+        let out = drive(Scheme::Voting, "status\n");
+        assert!(out.ends_with("bye\n"));
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let out = drive(Scheme::Voting, "help\nquit\n");
+        for cmd in [
+            "status",
+            "read",
+            "write",
+            "fail",
+            "repair",
+            "partition",
+            "traffic",
+            "audit",
+        ] {
+            assert!(out.contains(cmd), "help missing {cmd}: {out}");
+        }
+    }
+}

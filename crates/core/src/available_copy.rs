@@ -1,0 +1,299 @@
+//! Available copy (§3.2, Figure 5) — and the shared machinery the naive
+//! variant (§3.3) reuses.
+//!
+//! Writes go to every available copy; reads are served locally for free.
+//! Each site keeps a *was-available set* `W_s` (Definition 3.1) on stable
+//! storage: the sites that received the most recent write, plus sites that
+//! have repaired from `s`. After a **total** failure, a recovering site `s`
+//! may safely restart service once every member of the closure `C*(W_s)`
+//! (Definition 3.2) has recovered — the closure necessarily contains the
+//! last site(s) to fail, hence a most-current copy.
+
+use crate::backend::{self, Backend};
+use blockrep_net::{MsgKind, OpClass};
+use blockrep_types::{
+    BlockData, BlockIndex, DeviceError, DeviceResult, FailureTracking, SiteId, SiteState,
+};
+use std::collections::BTreeSet;
+
+fn check_block<B: Backend + ?Sized>(b: &B, k: BlockIndex) -> DeviceResult<()> {
+    if k.as_u64() < b.config().num_blocks() {
+        Ok(())
+    } else {
+        Err(DeviceError::BlockOutOfRange {
+            block: k,
+            num_blocks: b.config().num_blocks(),
+        })
+    }
+}
+
+fn ensure_serving<B: Backend + ?Sized>(b: &B, origin: SiteId) -> DeviceResult<()> {
+    if !b.config().contains_site(origin) {
+        return Err(DeviceError::UnknownSite(origin));
+    }
+    match b.local_state(origin) {
+        SiteState::Available => Ok(()),
+        SiteState::Comatose => Err(DeviceError::SiteNotServing {
+            site: origin,
+            state: "comatose",
+        }),
+        SiteState::Failed => Err(DeviceError::SiteNotServing {
+            site: origin,
+            state: "failed",
+        }),
+    }
+}
+
+/// Read under the available copy schemes: "if there is a copy of the data
+/// block on the local site, then the read operation can be done locally,
+/// avoiding any network traffic." Every available site has a current copy
+/// of every block, so this is a zero-message local read.
+///
+/// # Errors
+///
+/// [`DeviceError::SiteNotServing`] if `origin` is not available;
+/// [`DeviceError::BlockOutOfRange`] for a bad index.
+pub(crate) fn read<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    k: BlockIndex,
+) -> DeviceResult<BlockData> {
+    ensure_serving(b, origin)?;
+    check_block(b, k)?;
+    Ok(b.read_local(origin, k))
+}
+
+/// Write under available copy ("write to all available copies") or, with
+/// `naive = true`, under naive available copy.
+///
+/// The update is *addressed* to every other site — one multicast, or `n−1`
+/// unique-addressed transmissions — and lands on the available ones.
+/// Conventional available copy additionally collects an acknowledgement
+/// from each available recipient and refreshes every recipient's
+/// was-available set to the new write group; the naive variant skips both,
+/// which is exactly its §5 traffic advantage.
+///
+/// # Errors
+///
+/// [`DeviceError::SiteNotServing`] if `origin` is not available, plus block
+/// validation errors.
+pub(crate) fn write<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    k: BlockIndex,
+    data: BlockData,
+    naive: bool,
+) -> DeviceResult<()> {
+    ensure_serving(b, origin)?;
+    check_block(b, k)?;
+    let cfg = b.config();
+    if data.len() != cfg.block_size() {
+        return Err(DeviceError::WrongBlockSize {
+            got: data.len(),
+            expected: cfg.block_size(),
+        });
+    }
+    // The origin is available, hence current: its version is the latest.
+    let v_new = b
+        .vote(origin, origin, k)
+        .expect("available origin answers its own version lookup")
+        .next();
+    let others = backend::others(cfg, origin);
+    backend::charge_fanout(b, OpClass::Write, MsgKind::WriteUpdate, others.len());
+    let mut recipients: BTreeSet<SiteId> = BTreeSet::from([origin]);
+    for t in others {
+        if b.probe_state(origin, t) == Some(SiteState::Available)
+            && b.apply_write(origin, t, k, &data, v_new)
+        {
+            recipients.insert(t);
+            if !naive {
+                b.counter().add(OpClass::Write, MsgKind::WriteAck, 1);
+            }
+        }
+    }
+    b.apply_write(origin, origin, k, &data, v_new);
+    if !naive {
+        // Definition 3.1: everyone who received this write records the write
+        // group as its new was-available set (piggybacked on update + acks).
+        for &t in &recipients {
+            b.set_was_available(origin, t, &recipients);
+        }
+    }
+    Ok(())
+}
+
+/// Marks a site failed. With [`FailureTracking::OnFailure`] the surviving
+/// available sites detect the crash and refresh their was-available sets to
+/// the surviving group, which is what lets recovery identify the *last*
+/// site to fail exactly (the behaviour the Figure 7 availability model
+/// assumes). Detection traffic is charged to the
+/// [`Control`](OpClass::Control) class, outside the paper's §5 cost model.
+pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId, naive: bool) {
+    b.set_local_state(s, SiteState::Failed);
+    if naive || b.config().failure_tracking() != FailureTracking::OnFailure {
+        return;
+    }
+    let survivors: Vec<SiteId> = b
+        .config()
+        .site_ids()
+        .filter(|&t| b.local_state(t) == SiteState::Available)
+        .collect();
+    if survivors.is_empty() {
+        return;
+    }
+    let group: BTreeSet<SiteId> = survivors.iter().copied().collect();
+    for &t in &survivors {
+        b.set_was_available(t, t, &group);
+    }
+    backend::charge_fanout(b, OpClass::Control, MsgKind::FailureNotice, survivors.len());
+}
+
+/// A site restarts after a failure: it becomes comatose and broadcasts a
+/// recovery query; every operational site answers (with its state,
+/// was-available set and version summary). Whether it can then *complete*
+/// recovery is decided by [`try_complete_recovery`] in the recovery sweep.
+pub(crate) fn begin_recovery<B: Backend + ?Sized>(b: &B, s: SiteId) {
+    b.set_local_state(s, SiteState::Comatose);
+    let others = backend::others(b.config(), s);
+    backend::charge_fanout(b, OpClass::Recovery, MsgKind::RecoveryQuery, others.len());
+    for t in others {
+        if b.probe_state(s, t).is_some_and(|st| st.is_operational()) {
+            b.counter()
+                .add(OpClass::Recovery, MsgKind::RecoveryReply, 1);
+        }
+    }
+}
+
+/// Computes whether the closure `C*(W_c)` has fully recovered, and if so
+/// returns it.
+///
+/// The closure is grown iteratively: starting from `W_c ∪ {c}`, every
+/// recovered member contributes its own was-available set. If any member is
+/// still failed (or unreachable), the closure cannot be certified and `c`
+/// must keep waiting — conservative, and exactly Figure 5's "when all sites
+/// in `C*(W_s)` have recovered".
+pub(crate) fn recovered_closure<B: Backend + ?Sized>(b: &B, c: SiteId) -> Option<BTreeSet<SiteId>> {
+    let mut closure: BTreeSet<SiteId> = b.was_available(c, c)?.into_iter().collect();
+    closure.insert(c);
+    loop {
+        let mut grown = closure.clone();
+        for &u in &closure {
+            let w = if u == c {
+                b.was_available(c, c)
+            } else {
+                match b.probe_state(c, u) {
+                    Some(st) if st.is_operational() => b.was_available(c, u),
+                    _ => return None, // a closure member is still down
+                }
+            }?;
+            grown.extend(w);
+        }
+        if grown == closure {
+            return Some(closure);
+        }
+        closure = grown;
+    }
+}
+
+/// Picks the most current member of `candidates` by version-vector recency.
+///
+/// In partition-free operation the candidates' vectors form a dominance
+/// chain (each is a past snapshot of the single write line), so the vector
+/// with the largest total dominates all others; this is debug-asserted.
+pub(crate) fn most_current<B: Backend + ?Sized>(
+    b: &B,
+    observer: SiteId,
+    candidates: &BTreeSet<SiteId>,
+) -> Option<SiteId> {
+    let mut best: Option<(u64, SiteId)> = None;
+    for &u in candidates {
+        let vv = if u == observer {
+            b.version_vector(observer, observer)
+        } else {
+            b.version_vector(observer, u)
+        }?;
+        let total = vv.total();
+        // Ties broken toward the smaller site id for determinism.
+        if best.is_none_or(|(bt, bs)| total > bt || (total == bt && u < bs)) {
+            best = Some((total, u));
+        }
+    }
+    let (_, winner) = best?;
+    #[cfg(debug_assertions)]
+    {
+        let winner_vv = b
+            .version_vector(observer, winner)
+            .expect("winner answered above");
+        for &u in candidates {
+            if let Some(vv) = b.version_vector(observer, u) {
+                debug_assert!(
+                    winner_vv.dominates(&vv),
+                    "version vectors must form a dominance chain without partitions"
+                );
+            }
+        }
+    }
+    Some(winner)
+}
+
+/// Attempts to finish the recovery of comatose site `c` (the `select` of
+/// Figure 5): repair from any available site, or — after a total failure —
+/// from the most current member of the recovered closure. Returns whether
+/// `c` became available.
+///
+/// A completed repair costs the two §5 transmissions: the version vector to
+/// the source and the response carrying the missing blocks. (When `c` itself
+/// turns out to hold the most current copy, no transfer is needed.)
+pub(crate) fn try_complete_recovery<B: Backend + ?Sized>(b: &B, c: SiteId, naive: bool) -> bool {
+    debug_assert_eq!(b.local_state(c), SiteState::Comatose);
+    let source = if let Some(&u) = backend::available_reachable(b, c).first() {
+        Some(u)
+    } else if naive {
+        // Naive: wait for every site, then take the globally most current.
+        let all: BTreeSet<SiteId> = b.config().site_ids().collect();
+        let all_recovered = all
+            .iter()
+            .all(|&u| u == c || b.probe_state(c, u).is_some_and(|st| st.is_operational()));
+        if all_recovered {
+            most_current(b, c, &all)
+        } else {
+            None
+        }
+    } else {
+        // Conventional: wait for the closure, then take its most current
+        // member (which holds the last write by construction).
+        recovered_closure(b, c).and_then(|closure| most_current(b, c, &closure))
+    };
+    let Some(t) = source else {
+        return false;
+    };
+    if t != c {
+        let vv = b.version_vector(c, c).expect("own version vector is local");
+        b.counter()
+            .add(OpClass::Recovery, MsgKind::VersionVector, 1);
+        let Some((_, blocks)) = b.repair_payload(c, t, &vv) else {
+            return false; // source vanished mid-repair; retry on next sweep
+        };
+        b.counter()
+            .add(OpClass::Recovery, MsgKind::VersionVector, 1);
+        b.apply_repair_local(c, blocks);
+        if !naive {
+            // W_s ← W_t ∪ {s}; send(t, W_s) — piggybacked on the exchange.
+            if let Some(mut w) = b.was_available(c, t) {
+                w.insert(c);
+                b.set_was_available(c, c, &w);
+                b.add_was_available(c, t, c);
+            }
+        }
+    }
+    b.set_local_state(c, SiteState::Available);
+    true
+}
+
+/// Whether an available-copy-managed block is available: some site is in
+/// the available state.
+pub(crate) fn is_available<B: Backend + ?Sized>(b: &B) -> bool {
+    b.config()
+        .site_ids()
+        .any(|s| b.local_state(s) == SiteState::Available)
+}

@@ -1,0 +1,182 @@
+//! The cluster backend abstraction.
+//!
+//! The three consistency protocols are written once, against [`Backend`],
+//! and run unchanged over two very different substrates:
+//!
+//! * [`Cluster`](crate::Cluster) — a deterministic in-process cluster where
+//!   "messages" are direct state access, used by tests, property tests and
+//!   the simulation harnesses;
+//! * [`LiveCluster`](crate::LiveCluster) — one server thread per site,
+//!   exchanging real messages over channels, the shape the paper deploys on
+//!   a network.
+//!
+//! Methods with a `from` site model a remote exchange and return `None`
+//! when the target is failed or unreachable (fail-stop sites simply do not
+//! answer). Methods without `from` are local actions on a site's own state
+//! and never touch the network. **Traffic is charged by the protocol code**,
+//! not per call — the §5 cost unit is the high-level transmission, whose
+//! fan-out accounting (multicast vs. unique addressing) only the protocol
+//! layer knows.
+
+use blockrep_net::{DeliveryMode, MsgKind, OpClass, TrafficCounter};
+use blockrep_types::{
+    BlockData, BlockIndex, DeviceConfig, SiteId, SiteState, VersionNumber, VersionVector,
+};
+use std::collections::BTreeSet;
+
+/// A recovery transfer: `(block, version, data)` triples for every block
+/// the recovering site is missing.
+pub type RepairBlocks = Vec<(BlockIndex, VersionNumber, BlockData)>;
+
+/// A version vector paired with the repair blocks it implies — Figure 5's
+/// `(v', {blocks})` response.
+pub type RepairPayload = (VersionVector, RepairBlocks);
+
+/// Access to a cluster of replicas, as seen by a protocol coordinator.
+///
+/// Implementations must be internally synchronized (`&self` methods), since
+/// a device handle and a failure injector may act concurrently.
+pub trait Backend: Send + Sync {
+    /// The device configuration (scheme, weights, quorums, geometry).
+    fn config(&self) -> &DeviceConfig;
+
+    /// The network environment, for fan-out accounting.
+    fn delivery_mode(&self) -> DeliveryMode;
+
+    /// The shared high-level transmission counter.
+    fn counter(&self) -> &TrafficCounter;
+
+    /// A site's own knowledge of its state (no network involved).
+    fn local_state(&self, s: SiteId) -> SiteState;
+
+    /// Sets a site's state (local action: crash, restart, promotion).
+    fn set_local_state(&self, s: SiteId, state: SiteState);
+
+    /// Observes `to`'s state from `from`: `None` if `to` is failed or
+    /// unreachable, otherwise its state.
+    fn probe_state(&self, from: SiteId, to: SiteId) -> Option<SiteState>;
+
+    /// Requests `to`'s vote — its version number for block `k`. With
+    /// `from == to` this is the local version lookup.
+    fn vote(&self, from: SiteId, to: SiteId, k: BlockIndex) -> Option<VersionNumber>;
+
+    /// Fetches the current copy of block `k` from `to`.
+    fn fetch_block(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+    ) -> Option<(VersionNumber, BlockData)>;
+
+    /// Delivers a write update to `to` (or applies locally when
+    /// `from == to`); the replica installs it if `v` is newer. Returns
+    /// whether the update was delivered.
+    fn apply_write(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+        data: &BlockData,
+        v: VersionNumber,
+    ) -> bool;
+
+    /// Reads block `k` straight off `s`'s local disk.
+    fn read_local(&self, s: SiteId, k: BlockIndex) -> BlockData;
+
+    /// Requests `to`'s version vector.
+    fn version_vector(&self, from: SiteId, to: SiteId) -> Option<VersionVector>;
+
+    /// Sends `from`'s version vector `vv` to `to`; `to` answers with its own
+    /// vector and the blocks `from` is missing (Figure 5's exchange).
+    fn repair_payload(&self, from: SiteId, to: SiteId, vv: &VersionVector)
+        -> Option<RepairPayload>;
+
+    /// Installs a repair payload on `s`'s local store; returns the number of
+    /// blocks replaced.
+    fn apply_repair_local(&self, s: SiteId, blocks: RepairBlocks) -> usize;
+
+    /// Requests `to`'s was-available set `W`.
+    fn was_available(&self, from: SiteId, to: SiteId) -> Option<BTreeSet<SiteId>>;
+
+    /// Replaces `to`'s was-available set (piggybacked on writes/repairs).
+    /// Returns whether `to` received it.
+    fn set_was_available(&self, from: SiteId, to: SiteId, w: &BTreeSet<SiteId>) -> bool;
+
+    /// Tells `to` that `member` has repaired from it: `W_to ← W_to ∪ {member}`.
+    fn add_was_available(&self, from: SiteId, to: SiteId, member: SiteId) -> bool;
+}
+
+/// Every site except `from`, in ascending order — the address list of a
+/// broadcast.
+pub fn others(cfg: &DeviceConfig, from: SiteId) -> Vec<SiteId> {
+    cfg.site_ids().filter(|&s| s != from).collect()
+}
+
+/// Sites whose server answers `from` right now (operational and reachable),
+/// including `from` itself when operational.
+pub fn operational_reachable<B: Backend + ?Sized>(b: &B, from: SiteId) -> Vec<SiteId> {
+    b.config()
+        .site_ids()
+        .filter(|&s| {
+            if s == from {
+                b.local_state(s).is_operational()
+            } else {
+                b.probe_state(from, s).is_some_and(|st| st.is_operational())
+            }
+        })
+        .collect()
+}
+
+/// Available (serving) sites reachable from `from`, including `from` itself
+/// when available.
+pub fn available_reachable<B: Backend + ?Sized>(b: &B, from: SiteId) -> Vec<SiteId> {
+    b.config()
+        .site_ids()
+        .filter(|&s| {
+            if s == from {
+                b.local_state(s).can_serve()
+            } else {
+                b.probe_state(from, s).is_some_and(|st| st.can_serve())
+            }
+        })
+        .collect()
+}
+
+/// Total voting weight of a set of sites.
+pub fn weight_of(cfg: &DeviceConfig, sites: &[SiteId]) -> u64 {
+    sites.iter().map(|&s| cfg.weight(s).value() as u64).sum()
+}
+
+/// Charges the delivery-mode fan-out cost of one logical message addressed
+/// to `targets` sites.
+pub fn charge_fanout<B: Backend + ?Sized>(b: &B, op: OpClass, kind: MsgKind, targets: usize) {
+    b.counter()
+        .add(op, kind, b.delivery_mode().fanout_cost(targets as u64));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockrep_types::Scheme;
+
+    #[test]
+    fn others_excludes_origin() {
+        let cfg = DeviceConfig::builder(Scheme::Voting)
+            .sites(4)
+            .build()
+            .unwrap();
+        let o = others(&cfg, SiteId::new(2));
+        assert_eq!(o, vec![SiteId::new(0), SiteId::new(1), SiteId::new(3)]);
+    }
+
+    #[test]
+    fn weight_sums() {
+        let cfg = DeviceConfig::builder(Scheme::Voting)
+            .sites(4)
+            .build()
+            .unwrap();
+        // weights are 3,2,2,2
+        assert_eq!(weight_of(&cfg, &[SiteId::new(0), SiteId::new(3)]), 5);
+        assert_eq!(weight_of(&cfg, &[]), 0);
+    }
+}

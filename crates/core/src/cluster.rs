@@ -1,0 +1,503 @@
+//! The deterministic in-process cluster.
+
+use crate::backend::Backend;
+use crate::{protocol, replica::Replica};
+use blockrep_net::{DeliveryMode, Topology, TrafficCounter, TrafficSnapshot};
+use blockrep_types::{
+    BlockData, BlockIndex, DeviceConfig, DeviceResult, SiteId, SiteState, VersionNumber,
+    VersionVector,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeSet;
+
+/// Runtime options for a cluster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterOptions {
+    /// The network environment (multicast or unique addressing), which
+    /// determines the fan-out cost rule for traffic accounting (§5).
+    pub mode: DeliveryMode,
+}
+
+/// A reliable device's worth of replicas, run deterministically inside one
+/// process: message exchanges are synchronous state accesses, charged to the
+/// traffic counter exactly as §5 counts them.
+///
+/// This is the reference runtime — every protocol test, property test and
+/// simulation harness drives it — and it is also a perfectly serviceable
+/// embedded runtime when the "sites" are fault domains inside one process.
+/// For actual server processes exchanging messages, see
+/// [`LiveCluster`](crate::LiveCluster), which runs the *same* protocol code.
+///
+/// All methods take `&self`; internal state is locked, so a device handle
+/// and a failure injector can act concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_core::{Cluster, ClusterOptions};
+/// use blockrep_types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+///
+/// # fn main() -> Result<(), blockrep_types::DeviceError> {
+/// let cfg = DeviceConfig::builder(Scheme::Voting).sites(5).num_blocks(2).block_size(4).build()?;
+/// let cluster = Cluster::new(cfg, ClusterOptions::default());
+/// let k = BlockIndex::new(0);
+/// cluster.write(SiteId::new(0), k, BlockData::from(vec![1, 2, 3, 4]))?;
+///
+/// // Two failures still leave a 3-of-5 majority.
+/// cluster.fail_site(SiteId::new(0));
+/// cluster.fail_site(SiteId::new(1));
+/// assert_eq!(cluster.read(SiteId::new(4), k)?.as_slice(), &[1, 2, 3, 4]);
+///
+/// // A third failure breaks the quorum.
+/// cluster.fail_site(SiteId::new(2));
+/// assert!(cluster.read(SiteId::new(4), k).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: DeviceConfig,
+    replicas: Mutex<Vec<Replica>>,
+    topology: RwLock<Topology>,
+    counter: TrafficCounter,
+    mode: DeliveryMode,
+}
+
+impl Cluster {
+    /// Creates a freshly formatted cluster: every site available, every
+    /// block zeroed at version zero.
+    pub fn new(cfg: DeviceConfig, options: ClusterOptions) -> Self {
+        let replicas = cfg.site_ids().map(|s| Replica::new(s, &cfg)).collect();
+        Cluster {
+            topology: RwLock::new(Topology::fully_connected(cfg.num_sites())),
+            replicas: Mutex::new(replicas),
+            counter: TrafficCounter::new(),
+            mode: options.mode,
+            cfg,
+        }
+    }
+
+    /// Deep-copies the cluster into an independent one: same replica
+    /// contents, states, was-available sets and topology, with a fresh
+    /// traffic counter. The model-checking tests use this to explore every
+    /// interleaving of failures, repairs and writes from a common prefix.
+    pub fn fork(&self) -> Cluster {
+        Cluster {
+            cfg: self.cfg.clone(),
+            replicas: Mutex::new(self.replicas.lock().clone()),
+            topology: RwLock::new(self.topology.read().clone()),
+            counter: TrafficCounter::new(),
+            mode: self.mode,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.cfg.num_sites()
+    }
+
+    /// Reads block `k`, coordinated by site `origin`.
+    ///
+    /// # Errors
+    ///
+    /// See the scheme algorithms: [`DeviceError::Unavailable`] without a
+    /// read quorum (voting), [`DeviceError::SiteNotServing`] when `origin`
+    /// cannot coordinate, and the usual validation errors.
+    ///
+    /// [`DeviceError::Unavailable`]: blockrep_types::DeviceError::Unavailable
+    /// [`DeviceError::SiteNotServing`]: blockrep_types::DeviceError::SiteNotServing
+    pub fn read(&self, origin: SiteId, k: BlockIndex) -> DeviceResult<BlockData> {
+        protocol::read(self, origin, k)
+    }
+
+    /// Writes block `k`, coordinated by site `origin`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read`](Self::read), against the write quorum.
+    pub fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+        protocol::write(self, origin, k, data)
+    }
+
+    /// Fail-stops site `s`: its server halts (keeping its disk), and under
+    /// available copy with on-failure tracking the survivors refresh their
+    /// was-available sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a site of this device.
+    pub fn fail_site(&self, s: SiteId) {
+        assert!(self.cfg.contains_site(s), "unknown site {s}");
+        protocol::fail(self, s);
+    }
+
+    /// Restarts site `s` after a failure and runs the scheme's recovery:
+    /// free and immediate for voting; comatose-then-recover for the
+    /// available copy schemes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a site of this device or is not currently
+    /// failed.
+    pub fn repair_site(&self, s: SiteId) {
+        assert!(self.cfg.contains_site(s), "unknown site {s}");
+        assert_eq!(
+            self.site_state(s),
+            SiteState::Failed,
+            "repairing a site that is not failed"
+        );
+        protocol::repair(self, s);
+    }
+
+    /// Splits the network into partitions (see [`Topology::partition`]).
+    /// The available copy schemes assume this never happens; the topology
+    /// hook exists so tests can demonstrate why.
+    pub fn partition(&self, groups: &[Vec<SiteId>]) {
+        self.topology.write().partition(groups);
+    }
+
+    /// Heals all partitions and re-runs the recovery sweep (recoveries that
+    /// were blocked on unreachable closure members can now complete).
+    pub fn heal(&self) {
+        self.topology.write().heal();
+        protocol::sweep(self);
+    }
+
+    /// The state of site `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a site of this device.
+    pub fn site_state(&self, s: SiteId) -> SiteState {
+        self.replicas.lock()[s.index()].state()
+    }
+
+    /// Whether the replicated block is available under the scheme's own
+    /// criterion: a live quorum (voting) or an available copy (the others).
+    pub fn is_available(&self) -> bool {
+        protocol::is_available(self)
+    }
+
+    /// A site currently able to coordinate reads and writes, if any —
+    /// lowest id first, for determinism.
+    pub fn any_serving_site(&self) -> Option<SiteId> {
+        let replicas = self.replicas.lock();
+        match self.cfg.scheme() {
+            blockrep_types::Scheme::Voting => self
+                .cfg
+                .site_ids()
+                .find(|&s| replicas[s.index()].state().is_operational()),
+            _ => self
+                .cfg
+                .site_ids()
+                .find(|&s| replicas[s.index()].state().can_serve()),
+        }
+    }
+
+    /// The shared high-level transmission counter.
+    pub fn counter(&self) -> &TrafficCounter {
+        &self.counter
+    }
+
+    /// Convenience: a point-in-time snapshot of the traffic counters.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        self.counter.snapshot()
+    }
+
+    /// Inspection: the version site `s` holds for block `k` (test support).
+    pub fn version_of(&self, s: SiteId, k: BlockIndex) -> VersionNumber {
+        self.replicas.lock()[s.index()].version(k)
+    }
+
+    /// Inspection: the raw data site `s` holds for block `k` (test
+    /// support — this bypasses the consistency protocol).
+    pub fn data_of(&self, s: SiteId, k: BlockIndex) -> BlockData {
+        self.replicas.lock()[s.index()].data(k)
+    }
+
+    /// Inspection: site `s`'s was-available set.
+    pub fn was_available_of(&self, s: SiteId) -> BTreeSet<SiteId> {
+        self.replicas.lock()[s.index()].was_available().clone()
+    }
+
+    /// Crate-internal: runs `f` with a snapshot view of site `s`'s replica.
+    pub(crate) fn with_replica<T>(&self, s: SiteId, f: impl FnOnce(&Replica) -> T) -> T {
+        f(&self.replicas.lock()[s.index()])
+    }
+
+    /// Crate-internal: swaps in a replacement replica (disk-image import).
+    pub(crate) fn replace_replica(&self, s: SiteId, replica: Replica) {
+        self.replicas.lock()[s.index()] = replica;
+    }
+
+    fn reachable_and_operational(&self, from: SiteId, to: SiteId) -> bool {
+        if !self.topology.read().reachable(from, to) {
+            return false;
+        }
+        self.replicas.lock()[to.index()].state().is_operational()
+    }
+}
+
+impl Backend for Cluster {
+    fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    fn delivery_mode(&self) -> DeliveryMode {
+        self.mode
+    }
+
+    fn counter(&self) -> &TrafficCounter {
+        &self.counter
+    }
+
+    fn local_state(&self, s: SiteId) -> SiteState {
+        self.replicas.lock()[s.index()].state()
+    }
+
+    fn set_local_state(&self, s: SiteId, state: SiteState) {
+        self.replicas.lock()[s.index()].set_state(state);
+    }
+
+    fn probe_state(&self, from: SiteId, to: SiteId) -> Option<SiteState> {
+        if from == to {
+            return Some(self.local_state(to));
+        }
+        if !self.reachable_and_operational(from, to) {
+            return None;
+        }
+        Some(self.replicas.lock()[to.index()].state())
+    }
+
+    fn vote(&self, from: SiteId, to: SiteId, k: BlockIndex) -> Option<VersionNumber> {
+        if from != to && !self.reachable_and_operational(from, to) {
+            return None;
+        }
+        Some(self.replicas.lock()[to.index()].version(k))
+    }
+
+    fn fetch_block(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+    ) -> Option<(VersionNumber, BlockData)> {
+        if from != to && !self.reachable_and_operational(from, to) {
+            return None;
+        }
+        Some(self.replicas.lock()[to.index()].versioned(k))
+    }
+
+    fn apply_write(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+        data: &BlockData,
+        v: VersionNumber,
+    ) -> bool {
+        if from != to && !self.reachable_and_operational(from, to) {
+            return false;
+        }
+        self.replicas.lock()[to.index()].install(k, data.clone(), v);
+        true
+    }
+
+    fn read_local(&self, s: SiteId, k: BlockIndex) -> BlockData {
+        self.replicas.lock()[s.index()].data(k)
+    }
+
+    fn version_vector(&self, from: SiteId, to: SiteId) -> Option<VersionVector> {
+        if from != to && !self.reachable_and_operational(from, to) {
+            return None;
+        }
+        Some(self.replicas.lock()[to.index()].version_vector())
+    }
+
+    fn repair_payload(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        vv: &VersionVector,
+    ) -> Option<crate::backend::RepairPayload> {
+        if from != to && !self.reachable_and_operational(from, to) {
+            return None;
+        }
+        Some(self.replicas.lock()[to.index()].repair_payload(vv))
+    }
+
+    fn apply_repair_local(&self, s: SiteId, blocks: crate::backend::RepairBlocks) -> usize {
+        self.replicas.lock()[s.index()].apply_repair(blocks)
+    }
+
+    fn was_available(&self, from: SiteId, to: SiteId) -> Option<BTreeSet<SiteId>> {
+        if from != to && !self.reachable_and_operational(from, to) {
+            return None;
+        }
+        Some(self.replicas.lock()[to.index()].was_available().clone())
+    }
+
+    fn set_was_available(&self, from: SiteId, to: SiteId, w: &BTreeSet<SiteId>) -> bool {
+        if from != to && !self.reachable_and_operational(from, to) {
+            return false;
+        }
+        self.replicas.lock()[to.index()].set_was_available(w.clone());
+        true
+    }
+
+    fn add_was_available(&self, from: SiteId, to: SiteId, member: SiteId) -> bool {
+        if from != to && !self.reachable_and_operational(from, to) {
+            return false;
+        }
+        self.replicas.lock()[to.index()].add_was_available(member);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockrep_types::Scheme;
+
+    fn cluster(scheme: Scheme, n: usize) -> Cluster {
+        let cfg = DeviceConfig::builder(scheme)
+            .sites(n)
+            .num_blocks(4)
+            .block_size(8)
+            .build()
+            .unwrap();
+        Cluster::new(cfg, ClusterOptions::default())
+    }
+
+    fn sid(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn block(fill: u8) -> BlockData {
+        BlockData::from(vec![fill; 8])
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let c = cluster(Scheme::AvailableCopy, 3);
+        c.write(sid(0), BlockIndex::new(0), block(1)).unwrap();
+        c.fail_site(sid(2));
+        let f = c.fork();
+        // Same state at fork time…
+        assert_eq!(f.site_state(sid(2)), blockrep_types::SiteState::Failed);
+        assert_eq!(f.data_of(sid(0), BlockIndex::new(0)), block(1));
+        assert_eq!(f.traffic().total(), 0, "fork starts with a fresh counter");
+        // …and divergence afterwards.
+        f.write(sid(0), BlockIndex::new(0), block(2)).unwrap();
+        assert_eq!(c.data_of(sid(0), BlockIndex::new(0)), block(1));
+        assert_eq!(f.data_of(sid(0), BlockIndex::new(0)), block(2));
+    }
+
+    #[test]
+    fn fresh_cluster_reads_zeroes_under_all_schemes() {
+        for scheme in Scheme::ALL {
+            let c = cluster(scheme, 3);
+            let data = c.read(sid(0), BlockIndex::new(0)).unwrap();
+            assert!(data.is_zeroed(), "{scheme}");
+            assert!(c.is_available());
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_under_all_schemes() {
+        for scheme in Scheme::ALL {
+            let c = cluster(scheme, 3);
+            let k = BlockIndex::new(2);
+            c.write(sid(1), k, block(0xAB)).unwrap();
+            for s in 0..3 {
+                assert_eq!(
+                    c.read(sid(s), k).unwrap(),
+                    block(0xAB),
+                    "{scheme} from s{s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn writes_propagate_to_all_sites_synchronously() {
+        for scheme in Scheme::ALL {
+            let c = cluster(scheme, 3);
+            let k = BlockIndex::new(0);
+            c.write(sid(0), k, block(7)).unwrap();
+            for s in 0..3 {
+                assert_eq!(c.data_of(sid(s), k), block(7), "{scheme}");
+                assert_eq!(c.version_of(sid(s), k), VersionNumber::new(1), "{scheme}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_and_wrong_size_rejected() {
+        for scheme in Scheme::ALL {
+            let c = cluster(scheme, 3);
+            assert!(c.read(sid(0), BlockIndex::new(4)).is_err(), "{scheme}");
+            assert!(c
+                .write(sid(0), BlockIndex::new(0), BlockData::zeroed(7))
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_origin_rejected() {
+        let c = cluster(Scheme::Voting, 3);
+        assert!(matches!(
+            c.read(sid(9), BlockIndex::new(0)),
+            Err(blockrep_types::DeviceError::UnknownSite(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "not failed")]
+    fn repairing_a_running_site_panics() {
+        let c = cluster(Scheme::Voting, 3);
+        c.repair_site(sid(0));
+    }
+
+    #[test]
+    fn voting_loses_availability_without_majority() {
+        let c = cluster(Scheme::Voting, 3);
+        c.fail_site(sid(0));
+        assert!(c.is_available());
+        c.fail_site(sid(1));
+        assert!(!c.is_available());
+        let err = c.read(sid(2), BlockIndex::new(0)).unwrap_err();
+        assert!(err.is_unavailable());
+    }
+
+    #[test]
+    fn available_copy_serves_down_to_one_copy() {
+        for scheme in [Scheme::AvailableCopy, Scheme::NaiveAvailableCopy] {
+            let c = cluster(scheme, 3);
+            let k = BlockIndex::new(1);
+            c.write(sid(0), k, block(5)).unwrap();
+            c.fail_site(sid(0));
+            c.fail_site(sid(1));
+            assert!(c.is_available(), "{scheme}");
+            assert_eq!(c.read(sid(2), k).unwrap(), block(5), "{scheme}");
+            c.write(sid(2), k, block(6)).unwrap();
+            assert_eq!(c.read(sid(2), k).unwrap(), block(6), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn any_serving_site_tracks_failures() {
+        let c = cluster(Scheme::AvailableCopy, 3);
+        assert_eq!(c.any_serving_site(), Some(sid(0)));
+        c.fail_site(sid(0));
+        assert_eq!(c.any_serving_site(), Some(sid(1)));
+        c.fail_site(sid(1));
+        c.fail_site(sid(2));
+        assert_eq!(c.any_serving_site(), None);
+    }
+}

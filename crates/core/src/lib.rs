@@ -1,0 +1,93 @@
+//! The **reliable device** of Carroll, Long & Pâris (ICDCS 1987): a block
+//! device replicated by server processes on several sites, kept consistent
+//! by one of three block-level protocols.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  unmodified file system (blockrep-fs)
+//!          │  read_block / write_block          (BlockDevice trait)
+//!          ▼
+//!  ReliableDevice / DriverStub                  (device.rs — Figures 1–2)
+//!          │  coordinated protocol operations
+//!          ▼
+//!  Cluster (deterministic) or LiveCluster (threads + channels)
+//!          │  votes, write updates, version vectors, repairs
+//!          ▼
+//!  Replica per site: VersionedStore + site state + was-available set
+//! ```
+//!
+//! The three consistency schemes of §3 are implemented against a common
+//! [`backend::Backend`] abstraction, so **the same protocol code** runs over
+//! the deterministic in-process cluster (used by tests, property tests and
+//! the simulation harnesses) and over the live threaded cluster (server
+//! processes exchanging messages over channels):
+//!
+//! * [`Scheme::Voting`](blockrep_types::Scheme::Voting) — weighted majority
+//!   consensus voting with per-block version numbers. Block-level
+//!   replication lets a repaired site rejoin with *zero* recovery traffic;
+//!   stale blocks are caught lazily, by version comparison, when accessed
+//!   (Figures 3–4).
+//! * [`Scheme::AvailableCopy`](blockrep_types::Scheme::AvailableCopy) —
+//!   write-all / read-local with *was-available sets* `W_s`; after a total
+//!   failure the device returns to service once the closure `C*(W_s)` —
+//!   which contains the last site(s) to fail — has recovered (Figure 5).
+//! * [`Scheme::NaiveAvailableCopy`](blockrep_types::Scheme::NaiveAvailableCopy)
+//!   — no failure bookkeeping at all; after a total failure, recovery waits
+//!   for every site (Figure 6). The paper's algorithm of choice.
+//!
+//! Every high-level transmission is charged to a
+//! [`TrafficCounter`](blockrep_net::TrafficCounter) exactly as §5 counts
+//! them, so measured traffic is directly comparable with the closed forms in
+//! [`blockrep_analysis::traffic`].
+//!
+//! # Examples
+//!
+//! ```
+//! use blockrep_core::{Cluster, ClusterOptions};
+//! use blockrep_types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+//!
+//! # fn main() -> Result<(), blockrep_types::DeviceError> {
+//! let cfg = DeviceConfig::builder(Scheme::AvailableCopy)
+//!     .sites(3)
+//!     .num_blocks(4)
+//!     .block_size(16)
+//!     .build()?;
+//! let cluster = Cluster::new(cfg, ClusterOptions::default());
+//! let k = BlockIndex::new(1);
+//!
+//! cluster.write(SiteId::new(0), k, BlockData::from(vec![7; 16]))?;
+//! cluster.fail_site(SiteId::new(0));
+//! cluster.fail_site(SiteId::new(1));
+//! // One copy left — still available under available copy.
+//! assert_eq!(cluster.read(SiteId::new(2), k)?.as_slice()[0], 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod backend;
+mod cluster;
+mod device;
+mod live;
+mod persist;
+mod protocol;
+mod replica;
+pub mod scenario;
+pub mod simulate;
+mod tcp;
+pub mod wire;
+
+pub(crate) mod available_copy;
+pub(crate) mod naive;
+pub(crate) mod voting;
+
+pub use backend::{RepairBlocks, RepairPayload};
+pub use cluster::{Cluster, ClusterOptions};
+pub use device::{DriverStub, ReliableDevice};
+pub use live::LiveCluster;
+pub use replica::Replica;
+pub use tcp::TcpCluster;

@@ -1,0 +1,452 @@
+//! The live cluster: one server thread per site.
+//!
+//! This is the deployment shape of the paper — "a set of server processes
+//! on several sites" — scaled to one machine: each site's replica is owned
+//! by its own OS thread, and every protocol exchange travels as a real
+//! message over the [`Network`] router. Fail-stop is modeled by taking the
+//! site's link down: a failed site answers nothing, synchronously, so tests
+//! stay deterministic.
+//!
+//! The protocol logic is byte-for-byte the same code the deterministic
+//! [`Cluster`](crate::Cluster) runs — both implement
+//! [`Backend`](crate::backend::Backend) — and it charges the same traffic
+//! counter the same way, which the integration tests exploit: a workload
+//! replayed on both runtimes must produce identical message counts.
+
+use crate::backend::Backend;
+use crate::protocol;
+use crate::replica::Replica;
+use blockrep_net::{DeliveryMode, Network, TrafficCounter};
+use blockrep_types::{
+    BlockData, BlockIndex, DeviceConfig, DeviceResult, SiteId, SiteState, VersionNumber,
+    VersionVector,
+};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::RwLock;
+use std::collections::BTreeSet;
+use std::thread::JoinHandle;
+
+use crate::backend::RepairBlocks;
+
+/// The messages a site's server process understands.
+enum Request {
+    Vote(BlockIndex, Sender<VersionNumber>),
+    Fetch(BlockIndex, Sender<(VersionNumber, BlockData)>),
+    ApplyWrite(BlockIndex, BlockData, VersionNumber),
+    ReadLocal(BlockIndex, Sender<BlockData>),
+    VersionVector(Sender<VersionVector>),
+    RepairPayload(VersionVector, Sender<(VersionVector, RepairBlocks)>),
+    ApplyRepair(RepairBlocks),
+    GetW(Sender<BTreeSet<SiteId>>),
+    SetW(BTreeSet<SiteId>),
+    AddW(SiteId),
+    Shutdown,
+}
+
+/// A cluster of threaded server processes, one per site, exchanging
+/// messages over channels.
+///
+/// The public surface mirrors [`Cluster`](crate::Cluster); the two are
+/// interchangeable wherever a [`Backend`](crate::backend::Backend) is
+/// accepted (e.g. under a [`ReliableDevice`](crate::ReliableDevice)).
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_core::LiveCluster;
+/// use blockrep_net::DeliveryMode;
+/// use blockrep_types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+///
+/// # fn main() -> Result<(), blockrep_types::DeviceError> {
+/// let cfg = DeviceConfig::builder(Scheme::NaiveAvailableCopy)
+///     .sites(3).num_blocks(2).block_size(4).build()?;
+/// let cluster = LiveCluster::spawn(cfg, DeliveryMode::Multicast);
+/// let k = BlockIndex::new(0);
+/// cluster.write(SiteId::new(0), k, BlockData::from(vec![1, 2, 3, 4]))?;
+/// cluster.fail_site(SiteId::new(0));
+/// assert_eq!(cluster.read(SiteId::new(1), k)?.as_slice(), &[1, 2, 3, 4]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct LiveCluster {
+    cfg: DeviceConfig,
+    net: Network<Request>,
+    /// Authoritative site states, maintained by the coordination layer
+    /// (a failed site's own thread cannot be asked).
+    states: RwLock<Vec<SiteState>>,
+    counter: TrafficCounter,
+    mode: DeliveryMode,
+    /// Direct lines to every server thread, bypassing link state — used only
+    /// for shutdown.
+    direct: Vec<Sender<Request>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl LiveCluster {
+    /// Spawns one server thread per site over a freshly formatted device.
+    pub fn spawn(cfg: DeviceConfig, mode: DeliveryMode) -> Self {
+        let n = cfg.num_sites();
+        let net: Network<Request> = Network::new(n, mode);
+        let mut handles = Vec::with_capacity(n);
+        let mut direct = Vec::with_capacity(n);
+        for s in cfg.site_ids() {
+            let rx = net.register(s);
+            // Keep a direct sender for shutdown: the network refuses to
+            // deliver to "failed" sites, but the thread still must exit.
+            let (tx, direct_rx) = crossbeam::channel::unbounded();
+            direct.push(tx);
+            let replica = Replica::new(s, &cfg);
+            handles.push(std::thread::spawn(move || {
+                // Serve from both queues: network traffic and control.
+                let mut replica = replica;
+                loop {
+                    crossbeam::channel::select! {
+                        recv(rx) -> msg => match msg {
+                            Ok(Request::Shutdown) | Err(_) => return,
+                            Ok(req) => handle(&mut replica, req),
+                        },
+                        recv(direct_rx) -> msg => match msg {
+                            Ok(Request::Shutdown) | Err(_) => return,
+                            Ok(req) => handle(&mut replica, req),
+                        },
+                    }
+                }
+            }));
+        }
+        LiveCluster {
+            states: RwLock::new(vec![SiteState::Available; n]),
+            counter: TrafficCounter::new(),
+            net,
+            mode,
+            direct,
+            handles,
+            cfg,
+        }
+    }
+
+    /// Reads block `k`, coordinated by site `origin`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::read`](crate::Cluster::read).
+    pub fn read(&self, origin: SiteId, k: BlockIndex) -> DeviceResult<BlockData> {
+        protocol::read(self, origin, k)
+    }
+
+    /// Writes block `k`, coordinated by site `origin`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::write`](crate::Cluster::write).
+    pub fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+        protocol::write(self, origin, k, data)
+    }
+
+    /// Fail-stops site `s`: its link goes down and it stops answering.
+    pub fn fail_site(&self, s: SiteId) {
+        assert!(self.cfg.contains_site(s), "unknown site {s}");
+        protocol::fail(self, s);
+        self.net.set_site_up(s, false);
+    }
+
+    /// Restarts site `s` and runs the scheme's recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not currently failed.
+    pub fn repair_site(&self, s: SiteId) {
+        assert!(self.cfg.contains_site(s), "unknown site {s}");
+        assert_eq!(
+            self.site_state(s),
+            SiteState::Failed,
+            "repairing a site that is not failed"
+        );
+        self.net.set_site_up(s, true);
+        protocol::repair(self, s);
+    }
+
+    /// Splits the network into partitions (messages across groups are
+    /// refused synchronously). The available copy schemes assume this never
+    /// happens; the hook exists to demonstrate why.
+    pub fn partition(&self, groups: &[Vec<SiteId>]) {
+        let mut topo = blockrep_net::Topology::fully_connected(self.cfg.num_sites());
+        topo.partition(groups);
+        self.net.set_topology(topo);
+    }
+
+    /// Heals all partitions and re-runs the recovery sweep.
+    pub fn heal(&self) {
+        self.net
+            .set_topology(blockrep_net::Topology::fully_connected(
+                self.cfg.num_sites(),
+            ));
+        protocol::sweep(self);
+    }
+
+    /// The state of site `s`.
+    pub fn site_state(&self, s: SiteId) -> SiteState {
+        self.states.read()[s.index()]
+    }
+
+    /// Whether the device is available under the scheme's criterion.
+    pub fn is_available(&self) -> bool {
+        protocol::is_available(self)
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// The high-level transmission counter (the protocol layer's §5
+    /// accounting; the router's own counter is not used).
+    pub fn counter(&self) -> &TrafficCounter {
+        &self.counter
+    }
+
+    fn call<T>(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        build: impl FnOnce(Sender<T>) -> Request,
+    ) -> Option<T> {
+        let (tx, rx) = bounded(1);
+        self.net.send_raw(from, to, build(tx)).ok()?;
+        rx.recv().ok()
+    }
+
+    fn cast(&self, from: SiteId, to: SiteId, req: Request) -> bool {
+        self.net.send_raw(from, to, req).is_ok()
+    }
+}
+
+fn handle(replica: &mut Replica, req: Request) {
+    match req {
+        Request::Vote(k, reply) => {
+            let _ = reply.send(replica.version(k));
+        }
+        Request::Fetch(k, reply) => {
+            let _ = reply.send(replica.versioned(k));
+        }
+        Request::ApplyWrite(k, data, v) => {
+            replica.install(k, data, v);
+        }
+        Request::ReadLocal(k, reply) => {
+            let _ = reply.send(replica.data(k));
+        }
+        Request::VersionVector(reply) => {
+            let _ = reply.send(replica.version_vector());
+        }
+        Request::RepairPayload(vv, reply) => {
+            let _ = reply.send(replica.repair_payload(&vv));
+        }
+        Request::ApplyRepair(blocks) => {
+            replica.apply_repair(blocks);
+        }
+        Request::GetW(reply) => {
+            let _ = reply.send(replica.was_available().clone());
+        }
+        Request::SetW(w) => replica.set_was_available(w),
+        Request::AddW(s) => replica.add_was_available(s),
+        Request::Shutdown => {}
+    }
+}
+
+impl Backend for LiveCluster {
+    fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    fn delivery_mode(&self) -> DeliveryMode {
+        self.mode
+    }
+
+    fn counter(&self) -> &TrafficCounter {
+        &self.counter
+    }
+
+    fn local_state(&self, s: SiteId) -> SiteState {
+        self.states.read()[s.index()]
+    }
+
+    fn set_local_state(&self, s: SiteId, state: SiteState) {
+        self.states.write()[s.index()] = state;
+    }
+
+    fn probe_state(&self, from: SiteId, to: SiteId) -> Option<SiteState> {
+        if from != to && !self.net.can_deliver(from, to) {
+            return None;
+        }
+        let state = self.states.read()[to.index()];
+        state.is_operational().then_some(state)
+    }
+
+    fn vote(&self, from: SiteId, to: SiteId, k: BlockIndex) -> Option<VersionNumber> {
+        self.call(from, to, |tx| Request::Vote(k, tx))
+    }
+
+    fn fetch_block(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+    ) -> Option<(VersionNumber, BlockData)> {
+        self.call(from, to, |tx| Request::Fetch(k, tx))
+    }
+
+    fn apply_write(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+        data: &BlockData,
+        v: VersionNumber,
+    ) -> bool {
+        self.cast(from, to, Request::ApplyWrite(k, data.clone(), v))
+    }
+
+    fn read_local(&self, s: SiteId, k: BlockIndex) -> BlockData {
+        self.call(s, s, |tx| Request::ReadLocal(k, tx))
+            .expect("a site can always read its own disk")
+    }
+
+    fn version_vector(&self, from: SiteId, to: SiteId) -> Option<VersionVector> {
+        self.call(from, to, Request::VersionVector)
+    }
+
+    fn repair_payload(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        vv: &VersionVector,
+    ) -> Option<(VersionVector, RepairBlocks)> {
+        self.call(from, to, |tx| Request::RepairPayload(vv.clone(), tx))
+    }
+
+    fn apply_repair_local(&self, s: SiteId, blocks: RepairBlocks) -> usize {
+        let n = blocks.len();
+        if self.cast(s, s, Request::ApplyRepair(blocks)) {
+            n
+        } else {
+            0
+        }
+    }
+
+    fn was_available(&self, from: SiteId, to: SiteId) -> Option<BTreeSet<SiteId>> {
+        self.call(from, to, Request::GetW)
+    }
+
+    fn set_was_available(&self, from: SiteId, to: SiteId, w: &BTreeSet<SiteId>) -> bool {
+        self.cast(from, to, Request::SetW(w.clone()))
+    }
+
+    fn add_was_available(&self, from: SiteId, to: SiteId, member: SiteId) -> bool {
+        self.cast(from, to, Request::AddW(member))
+    }
+}
+
+impl Drop for LiveCluster {
+    fn drop(&mut self) {
+        for tx in &self.direct {
+            let _ = tx.send(Request::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for LiveCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveCluster")
+            .field("sites", &self.cfg.num_sites())
+            .field("scheme", &self.cfg.scheme())
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockrep_types::Scheme;
+
+    fn sid(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn live(scheme: Scheme, n: usize) -> LiveCluster {
+        let cfg = DeviceConfig::builder(scheme)
+            .sites(n)
+            .num_blocks(4)
+            .block_size(8)
+            .build()
+            .unwrap();
+        LiveCluster::spawn(cfg, DeliveryMode::Multicast)
+    }
+
+    #[test]
+    fn live_write_read_roundtrip_all_schemes() {
+        for scheme in Scheme::ALL {
+            let c = live(scheme, 3);
+            let k = BlockIndex::new(1);
+            c.write(sid(0), k, BlockData::from(vec![4; 8])).unwrap();
+            for s in 0..3 {
+                assert_eq!(c.read(sid(s), k).unwrap().as_slice(), &[4; 8], "{scheme}");
+            }
+        }
+    }
+
+    #[test]
+    fn live_survives_failures_and_recovers() {
+        let c = live(Scheme::AvailableCopy, 3);
+        let k = BlockIndex::new(0);
+        c.write(sid(0), k, BlockData::from(vec![1; 8])).unwrap();
+        c.fail_site(sid(0));
+        c.write(sid(1), k, BlockData::from(vec![2; 8])).unwrap();
+        c.repair_site(sid(0));
+        assert_eq!(c.site_state(sid(0)), SiteState::Available);
+        // The repaired site caught up during recovery.
+        assert_eq!(c.read(sid(0), k).unwrap().as_slice(), &[2; 8]);
+    }
+
+    #[test]
+    fn live_voting_needs_quorum() {
+        let c = live(Scheme::Voting, 3);
+        c.fail_site(sid(1));
+        c.fail_site(sid(2));
+        assert!(c.read(sid(0), BlockIndex::new(0)).is_err());
+        assert!(!c.is_available());
+        c.repair_site(sid(1));
+        assert!(c.read(sid(0), BlockIndex::new(0)).is_ok());
+    }
+
+    #[test]
+    fn live_total_failure_naive_waits_for_all() {
+        let c = live(Scheme::NaiveAvailableCopy, 3);
+        c.write(sid(0), BlockIndex::new(0), BlockData::from(vec![9; 8]))
+            .unwrap();
+        for i in 0..3 {
+            c.fail_site(sid(i));
+        }
+        c.repair_site(sid(2)); // last to fail, but naive can't know that
+        assert_eq!(c.site_state(sid(2)), SiteState::Comatose);
+        assert!(!c.is_available());
+        c.repair_site(sid(0));
+        assert!(!c.is_available());
+        c.repair_site(sid(1)); // everyone back — service resumes
+        assert!(c.is_available());
+        assert_eq!(
+            c.read(sid(1), BlockIndex::new(0)).unwrap().as_slice(),
+            &[9; 8]
+        );
+    }
+
+    #[test]
+    fn shutdown_is_clean() {
+        let c = live(Scheme::Voting, 4);
+        c.write(sid(0), BlockIndex::new(0), BlockData::from(vec![1; 8]))
+            .unwrap();
+        drop(c); // must not hang or panic
+    }
+}

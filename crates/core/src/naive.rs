@@ -1,0 +1,50 @@
+//! Naive available copy (§3.3, Figure 6).
+//!
+//! Identical to [`available copy`](crate::available_copy) on the hot path —
+//! write to all available copies, read locally — but it "does not maintain
+//! any failure information": no was-available sets, no write
+//! acknowledgements, and the recovery rule degenerates to Figure 6's
+//! `SIMPLE_RECOVERY`: repair from any available site, or after a total
+//! failure wait until *all* sites have recovered and adopt the highest
+//! version.
+//!
+//! The paper's conclusion is that this is the algorithm of choice: one
+//! multicast per write, no bookkeeping, and (§4.4) an availability loss that
+//! is negligible at realistic failure-to-repair ratios.
+
+use crate::available_copy;
+use crate::backend::Backend;
+use blockrep_types::{BlockData, BlockIndex, DeviceResult, SiteId};
+
+/// Read: local, free. See [`available_copy::read`].
+pub(crate) fn read<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    k: BlockIndex,
+) -> DeviceResult<BlockData> {
+    available_copy::read(b, origin, k)
+}
+
+/// Write to all available copies with no acknowledgements — "the naive
+/// available copy scheme need only broadcast one message when a write is
+/// performed".
+pub(crate) fn write<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    k: BlockIndex,
+    data: BlockData,
+) -> DeviceResult<()> {
+    available_copy::write(b, origin, k, data, true)
+}
+
+/// Fail-stop a site; the naive scheme records nothing about it.
+pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId) {
+    available_copy::fail(b, s, true)
+}
+
+/// Restart a site: comatose + recovery query, then the sweep applies
+/// Figure 6's `SIMPLE_RECOVERY` via
+/// [`available_copy::try_complete_recovery`] with `naive = true`.
+pub(crate) fn begin_recovery<B: Backend + ?Sized>(b: &B, s: SiteId) {
+    available_copy::begin_recovery(b, s)
+}

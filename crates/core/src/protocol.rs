@@ -1,0 +1,95 @@
+//! Scheme dispatch and the recovery sweep.
+//!
+//! These are the crate-internal entry points both cluster runtimes
+//! ([`Cluster`](crate::Cluster) and [`LiveCluster`](crate::LiveCluster))
+//! call; they route each operation to the protocol selected by the device
+//! configuration.
+
+use crate::backend::Backend;
+use crate::{available_copy, naive, voting};
+use blockrep_types::{BlockData, BlockIndex, DeviceResult, Scheme, SiteId, SiteState};
+
+/// Reads block `k`, coordinated by `origin`, under the configured scheme.
+pub(crate) fn read<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    k: BlockIndex,
+) -> DeviceResult<BlockData> {
+    match b.config().scheme() {
+        Scheme::Voting => voting::read(b, origin, k),
+        Scheme::AvailableCopy => available_copy::read(b, origin, k),
+        Scheme::NaiveAvailableCopy => naive::read(b, origin, k),
+    }
+}
+
+/// Writes block `k`, coordinated by `origin`, under the configured scheme.
+pub(crate) fn write<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    k: BlockIndex,
+    data: BlockData,
+) -> DeviceResult<()> {
+    match b.config().scheme() {
+        Scheme::Voting => voting::write(b, origin, k, data),
+        Scheme::AvailableCopy => available_copy::write(b, origin, k, data, false),
+        Scheme::NaiveAvailableCopy => naive::write(b, origin, k, data),
+    }
+}
+
+/// Fail-stops site `s`.
+pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId) {
+    match b.config().scheme() {
+        Scheme::Voting => b.set_local_state(s, SiteState::Failed),
+        Scheme::AvailableCopy => available_copy::fail(b, s, false),
+        Scheme::NaiveAvailableCopy => naive::fail(b, s),
+    }
+}
+
+/// Restarts site `s` after a failure and runs the recovery sweep.
+pub(crate) fn repair<B: Backend + ?Sized>(b: &B, s: SiteId) {
+    match b.config().scheme() {
+        Scheme::Voting => voting::repair(b, s),
+        Scheme::AvailableCopy => {
+            available_copy::begin_recovery(b, s);
+            sweep(b);
+        }
+        Scheme::NaiveAvailableCopy => {
+            naive::begin_recovery(b, s);
+            sweep(b);
+        }
+    }
+}
+
+/// Promotes every comatose site whose recovery condition is now satisfied,
+/// repeating until a fixpoint: one promotion (e.g. the last site to fail
+/// coming back) can unblock the rest, which then repair from it.
+pub(crate) fn sweep<B: Backend + ?Sized>(b: &B) {
+    let naive = match b.config().scheme() {
+        Scheme::Voting => return, // voting has no comatose state
+        Scheme::AvailableCopy => false,
+        Scheme::NaiveAvailableCopy => true,
+    };
+    loop {
+        let mut progressed = false;
+        for c in b.config().site_ids() {
+            if b.local_state(c) == SiteState::Comatose
+                && available_copy::try_complete_recovery(b, c, naive)
+            {
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return;
+        }
+    }
+}
+
+/// Whether the replicated block is currently available under the configured
+/// scheme's own criterion: a live quorum for voting, an available copy for
+/// the others.
+pub(crate) fn is_available<B: Backend + ?Sized>(b: &B) -> bool {
+    match b.config().scheme() {
+        Scheme::Voting => voting::is_available(b),
+        Scheme::AvailableCopy | Scheme::NaiveAvailableCopy => available_copy::is_available(b),
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-site replica state.
+
+use blockrep_storage::VersionedStore;
+use blockrep_types::{
+    BlockData, BlockIndex, DeviceConfig, SiteId, SiteState, VersionNumber, VersionVector,
+};
+use std::collections::BTreeSet;
+
+/// Everything one site's server process keeps for the reliable device: its
+/// versioned block store (on disk — it survives fail-stop crashes), its
+/// site state, and — for available copy — its was-available set `W_s`
+/// (Definition 3.1), which is also kept on stable storage so it is still
+/// there when the site restarts after a failure.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_core::Replica;
+/// use blockrep_types::{DeviceConfig, Scheme, SiteId, SiteState};
+///
+/// # fn main() -> Result<(), blockrep_types::DeviceError> {
+/// let cfg = DeviceConfig::builder(Scheme::AvailableCopy).sites(3).build()?;
+/// let r = Replica::new(SiteId::new(1), &cfg);
+/// assert_eq!(r.state(), SiteState::Available);
+/// assert_eq!(r.was_available().len(), 3); // initially W_s = S
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Replica {
+    id: SiteId,
+    state: SiteState,
+    store: VersionedStore,
+    was_available: BTreeSet<SiteId>,
+}
+
+impl Replica {
+    /// Creates the replica of a freshly formatted device: available, all
+    /// blocks zeroed at version zero, and `W_s = S` (every site saw the
+    /// "initial write").
+    pub fn new(id: SiteId, cfg: &DeviceConfig) -> Self {
+        Replica {
+            id,
+            state: SiteState::Available,
+            store: VersionedStore::new(cfg.num_blocks(), cfg.block_size()),
+            was_available: cfg.site_ids().collect(),
+        }
+    }
+
+    /// This replica's site identifier.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Current site state.
+    pub fn state(&self) -> SiteState {
+        self.state
+    }
+
+    /// Transitions the site state. Fail-stop: failing loses the process,
+    /// not the disk — store, versions and `W_s` persist.
+    pub fn set_state(&mut self, state: SiteState) {
+        self.state = state;
+    }
+
+    /// The version number this site holds for block `k` — its vote.
+    pub fn version(&self, k: BlockIndex) -> VersionNumber {
+        self.store.version(k)
+    }
+
+    /// The data of block `k` as stored locally (no consistency guarantee;
+    /// protocols decide when this is safe to serve).
+    pub fn data(&self, k: BlockIndex) -> BlockData {
+        self.store.data(k)
+    }
+
+    /// Version and data together, as shipped to a stale reader.
+    pub fn versioned(&self, k: BlockIndex) -> (VersionNumber, BlockData) {
+        self.store.versioned(k)
+    }
+
+    /// Installs a block at a version if newer than the local copy; returns
+    /// whether anything changed.
+    pub fn install(&mut self, k: BlockIndex, data: BlockData, v: VersionNumber) -> bool {
+        self.store.install(k, data, v)
+    }
+
+    /// A copy of the full version vector.
+    pub fn version_vector(&self) -> VersionVector {
+        self.store.version_vector()
+    }
+
+    /// Blocks newer here than in `remote` — the repair payload for a
+    /// recovering site (Figure 5's `(v', {blocks})` response).
+    pub fn repair_payload(
+        &self,
+        remote: &VersionVector,
+    ) -> (VersionVector, Vec<(BlockIndex, VersionNumber, BlockData)>) {
+        (self.version_vector(), self.store.diff_against(remote))
+    }
+
+    /// Applies a repair payload; returns the number of blocks replaced.
+    pub fn apply_repair(&mut self, blocks: Vec<(BlockIndex, VersionNumber, BlockData)>) -> usize {
+        self.store.apply_repair(blocks)
+    }
+
+    /// Replaces the replica's entire disk (used when importing a
+    /// persistent image).
+    pub(crate) fn replace_store(&mut self, store: VersionedStore) {
+        self.store = store;
+    }
+
+    /// The was-available set `W_s`.
+    pub fn was_available(&self) -> &BTreeSet<SiteId> {
+        &self.was_available
+    }
+
+    /// Replaces `W_s` (on a write or a detected failure).
+    pub fn set_was_available(&mut self, w: BTreeSet<SiteId>) {
+        self.was_available = w;
+    }
+
+    /// Adds a site to `W_s` (a site "repaired from" this one).
+    pub fn add_was_available(&mut self, s: SiteId) {
+        self.was_available.insert(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockrep_types::Scheme;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::builder(Scheme::AvailableCopy)
+            .sites(3)
+            .num_blocks(4)
+            .block_size(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fresh_replica_is_available_with_full_w() {
+        let r = Replica::new(SiteId::new(0), &cfg());
+        assert_eq!(r.state(), SiteState::Available);
+        assert_eq!(r.was_available().len(), 3);
+        assert_eq!(r.version(BlockIndex::new(0)), VersionNumber::ZERO);
+    }
+
+    #[test]
+    fn state_transitions_preserve_disk() {
+        let mut r = Replica::new(SiteId::new(0), &cfg());
+        r.install(
+            BlockIndex::new(1),
+            BlockData::from(vec![5; 8]),
+            VersionNumber::new(2),
+        );
+        r.set_state(SiteState::Failed);
+        assert_eq!(r.version(BlockIndex::new(1)), VersionNumber::new(2));
+        assert_eq!(r.data(BlockIndex::new(1)).as_slice(), &[5; 8]);
+        r.set_state(SiteState::Comatose);
+        assert_eq!(r.was_available().len(), 3);
+    }
+
+    #[test]
+    fn repair_payload_roundtrip() {
+        let mut current = Replica::new(SiteId::new(0), &cfg());
+        let mut stale = Replica::new(SiteId::new(1), &cfg());
+        current.install(
+            BlockIndex::new(2),
+            BlockData::from(vec![9; 8]),
+            VersionNumber::new(4),
+        );
+        let (vv, blocks) = current.repair_payload(&stale.version_vector());
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(stale.apply_repair(blocks), 1);
+        assert_eq!(stale.version_vector(), vv);
+    }
+
+    #[test]
+    fn was_available_updates() {
+        let mut r = Replica::new(SiteId::new(0), &cfg());
+        r.set_was_available([SiteId::new(0), SiteId::new(2)].into_iter().collect());
+        assert_eq!(r.was_available().len(), 2);
+        r.add_was_available(SiteId::new(1));
+        assert!(r.was_available().contains(&SiteId::new(1)));
+    }
+}

@@ -1,0 +1,276 @@
+//! Scripted failure/workload scenarios with a one-copy-equivalence oracle.
+//!
+//! A [`Script`] is a sequence of cluster actions — writes, reads, failures,
+//! repairs, partitions. [`run_script`] replays it against a cluster while
+//! maintaining the *one-copy oracle*: the value of the last **successful**
+//! write per block. The invariant checked after every read is the paper's
+//! correctness property: a successful read returns the most recently
+//! written data, no matter which sites have failed and recovered in
+//! between. Property tests generate random scripts and let proptest shrink
+//! any violation to a minimal failure schedule.
+
+use crate::Cluster;
+use blockrep_types::{BlockData, BlockIndex, SiteId};
+
+/// One step of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Write `fill` bytes to `block`, coordinated by `origin`.
+    Write {
+        /// Coordinating site.
+        origin: SiteId,
+        /// Target block.
+        block: BlockIndex,
+        /// Fill byte; the payload is `fill` repeated over the block.
+        fill: u8,
+    },
+    /// Read `block` via `origin` and check it against the oracle.
+    Read {
+        /// Coordinating site.
+        origin: SiteId,
+        /// Target block.
+        block: BlockIndex,
+    },
+    /// Fail-stop a site (ignored if it is already failed).
+    Fail(SiteId),
+    /// Restart a site (ignored if it is not failed).
+    Repair(SiteId),
+}
+
+/// A sequence of actions.
+pub type Script = Vec<Action>;
+
+/// Outcome counts of a replayed script.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScriptReport {
+    /// Writes accepted by the protocol.
+    pub writes_ok: u64,
+    /// Writes refused (no quorum / no serving site).
+    pub writes_refused: u64,
+    /// Reads served and verified against the oracle.
+    pub reads_ok: u64,
+    /// Reads refused.
+    pub reads_refused: u64,
+    /// Failures injected.
+    pub failures: u64,
+    /// Repairs injected.
+    pub repairs: u64,
+}
+
+/// Replays `script` against `cluster`, asserting one-copy equivalence on
+/// every successful read **and** auditing the full protocol invariants
+/// ([`crate::audit::check_invariants`]) after every action.
+///
+/// # Panics
+///
+/// Panics if a successful read returns anything other than the last
+/// successfully written value for that block (or zeroes when never
+/// written), or if any structural protocol invariant breaks — i.e. if the
+/// consistency protocol is wrong.
+pub fn run_script(cluster: &Cluster, script: &[Action]) -> ScriptReport {
+    let cfg = cluster.config();
+    let mut oracle: Vec<Option<u8>> = vec![None; cfg.num_blocks() as usize];
+    let mut report = ScriptReport::default();
+    for (step, &action) in script.iter().enumerate() {
+        match action {
+            Action::Write {
+                origin,
+                block,
+                fill,
+            } => {
+                let data = BlockData::from(vec![fill; cfg.block_size()]);
+                match cluster.write(origin, block, data) {
+                    Ok(()) => {
+                        oracle[block.index()] = Some(fill);
+                        report.writes_ok += 1;
+                    }
+                    Err(e) => {
+                        assert!(
+                            e.is_unavailable(),
+                            "step {step}: write failed for a non-availability reason: {e}"
+                        );
+                        report.writes_refused += 1;
+                    }
+                }
+            }
+            Action::Read { origin, block } => match cluster.read(origin, block) {
+                Ok(data) => {
+                    let expect = oracle[block.index()];
+                    let actual = data.as_slice();
+                    match expect {
+                        None => assert!(
+                            data.is_zeroed(),
+                            "step {step}: read of never-written {block} returned nonzero data"
+                        ),
+                        Some(fill) => assert!(
+                            actual.iter().all(|&b| b == fill),
+                            "step {step}: read of {block} returned {:02x?}, expected fill {fill:#04x}",
+                            &actual[..4.min(actual.len())]
+                        ),
+                    }
+                    report.reads_ok += 1;
+                }
+                Err(e) => {
+                    assert!(
+                        e.is_unavailable(),
+                        "step {step}: read failed for a non-availability reason: {e}"
+                    );
+                    report.reads_refused += 1;
+                }
+            },
+            Action::Fail(s) => {
+                if cluster.site_state(s) != blockrep_types::SiteState::Failed {
+                    cluster.fail_site(s);
+                    report.failures += 1;
+                }
+            }
+            Action::Repair(s) => {
+                if cluster.site_state(s) == blockrep_types::SiteState::Failed {
+                    cluster.repair_site(s);
+                    report.repairs += 1;
+                }
+            }
+        }
+        crate::audit::assert_invariants(cluster);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterOptions;
+    use blockrep_types::{DeviceConfig, Scheme};
+
+    fn cluster(scheme: Scheme, n: usize) -> Cluster {
+        let cfg = DeviceConfig::builder(scheme)
+            .sites(n)
+            .num_blocks(4)
+            .block_size(8)
+            .build()
+            .unwrap();
+        Cluster::new(cfg, ClusterOptions::default())
+    }
+
+    fn sid(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn blk(i: u64) -> BlockIndex {
+        BlockIndex::new(i)
+    }
+
+    #[test]
+    fn scripted_happy_path() {
+        let c = cluster(Scheme::Voting, 3);
+        let report = run_script(
+            &c,
+            &[
+                Action::Write {
+                    origin: sid(0),
+                    block: blk(0),
+                    fill: 7,
+                },
+                Action::Read {
+                    origin: sid(1),
+                    block: blk(0),
+                },
+                Action::Read {
+                    origin: sid(2),
+                    block: blk(1),
+                },
+            ],
+        );
+        assert_eq!(report.writes_ok, 1);
+        assert_eq!(report.reads_ok, 2);
+    }
+
+    #[test]
+    fn failures_and_repairs_are_idempotent_in_scripts() {
+        let c = cluster(Scheme::NaiveAvailableCopy, 3);
+        let report = run_script(
+            &c,
+            &[
+                Action::Fail(sid(0)),
+                Action::Fail(sid(0)), // ignored
+                Action::Repair(sid(0)),
+                Action::Repair(sid(0)), // ignored
+                Action::Repair(sid(1)), // ignored, s1 never failed
+            ],
+        );
+        assert_eq!(report.failures, 1);
+        assert_eq!(report.repairs, 1);
+    }
+
+    #[test]
+    fn oracle_tracks_only_successful_writes() {
+        let c = cluster(Scheme::Voting, 3);
+        let report = run_script(
+            &c,
+            &[
+                Action::Write {
+                    origin: sid(0),
+                    block: blk(0),
+                    fill: 1,
+                },
+                Action::Fail(sid(1)),
+                Action::Fail(sid(2)),
+                // No quorum: refused, oracle keeps fill 1.
+                Action::Write {
+                    origin: sid(0),
+                    block: blk(0),
+                    fill: 2,
+                },
+                Action::Repair(sid(1)),
+                Action::Read {
+                    origin: sid(0),
+                    block: blk(0),
+                },
+            ],
+        );
+        assert_eq!(report.writes_ok, 1);
+        assert_eq!(report.writes_refused, 1);
+        assert_eq!(report.reads_ok, 1);
+    }
+
+    #[test]
+    fn total_failure_and_staggered_recovery_reads_latest() {
+        for scheme in [Scheme::AvailableCopy, Scheme::NaiveAvailableCopy] {
+            let c = cluster(scheme, 3);
+            run_script(
+                &c,
+                &[
+                    Action::Write {
+                        origin: sid(0),
+                        block: blk(0),
+                        fill: 1,
+                    },
+                    Action::Fail(sid(2)),
+                    Action::Write {
+                        origin: sid(0),
+                        block: blk(0),
+                        fill: 2,
+                    },
+                    Action::Fail(sid(1)),
+                    Action::Write {
+                        origin: sid(0),
+                        block: blk(0),
+                        fill: 3,
+                    },
+                    Action::Fail(sid(0)),   // total failure; s0 has the latest
+                    Action::Repair(sid(2)), // stale site first
+                    Action::Read {
+                        origin: sid(2),
+                        block: blk(0),
+                    }, // must refuse
+                    Action::Repair(sid(1)),
+                    Action::Repair(sid(0)), // last-failed back: device recovers
+                    Action::Read {
+                        origin: sid(2),
+                        block: blk(0),
+                    }, // now fill 3
+                ],
+            );
+        }
+    }
+}

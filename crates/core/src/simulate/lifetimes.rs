@@ -1,0 +1,223 @@
+//! MTTF / MTTR measurement by episodic simulation.
+//!
+//! Cross-checks the transient analysis in `blockrep_analysis::mttf`: each
+//! episode starts a fresh cluster with every copy up, drives Poisson
+//! failures and repairs through the real protocol implementation until the
+//! device loses availability (one MTTF sample), then keeps going until
+//! service resumes (one MTTR sample).
+
+use crate::{Cluster, ClusterOptions};
+use blockrep_sim::{Exponential, RunningStats, Samples, Scheduler, SimTime};
+use blockrep_types::{DeviceConfig, Scheme, SiteId, SiteState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of a lifetime experiment.
+#[derive(Debug, Clone)]
+pub struct LifetimeConfig {
+    /// Consistency scheme under test.
+    pub scheme: Scheme,
+    /// Number of replica sites.
+    pub n: usize,
+    /// Failure-to-repair rate ratio `ρ = λ/µ`.
+    pub rho: f64,
+    /// Number of fail/recover episodes to sample.
+    pub episodes: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LifetimeConfig {
+    /// A standard experiment with 400 episodes.
+    pub fn new(scheme: Scheme, n: usize, rho: f64) -> Self {
+        LifetimeConfig {
+            scheme,
+            n,
+            rho,
+            episodes: 400,
+            seed: 0x11FE,
+        }
+    }
+}
+
+/// Measured lifetimes with their analytical counterparts.
+#[derive(Debug, Clone)]
+pub struct LifetimeEstimate {
+    /// Measured mean time to (un)availability, from all-up.
+    pub mttf: RunningStats,
+    /// Measured mean time back to availability.
+    pub mttr: RunningStats,
+    /// The full distribution of restoration times, for percentile queries
+    /// (§4.4 discusses repair-time *distributions*, not just means).
+    pub mttr_samples: Samples,
+    /// Analytical MTTF from the scheme's Markov chain.
+    pub analytic_mttf: f64,
+    /// Analytical MTTR (available copy family only; voting re-enters
+    /// service from varying states, so no single closed form applies).
+    pub analytic_mttr: Option<f64>,
+}
+
+/// The analytic MTTF for a scheme at `(n, ρ)`.
+pub fn analytic_mttf(scheme: Scheme, n: usize, rho: f64) -> f64 {
+    match scheme {
+        Scheme::Voting => blockrep_analysis::mttf::voting(n, rho),
+        Scheme::AvailableCopy => blockrep_analysis::mttf::available_copy(n, rho),
+        Scheme::NaiveAvailableCopy => blockrep_analysis::mttf::naive(n, rho),
+    }
+}
+
+/// The analytic MTTR, where defined.
+pub fn analytic_mttr(scheme: Scheme, n: usize, rho: f64) -> Option<f64> {
+    match scheme {
+        Scheme::Voting => None,
+        Scheme::AvailableCopy => Some(blockrep_analysis::mttf::mttr_available_copy(n, rho)),
+        Scheme::NaiveAvailableCopy => Some(blockrep_analysis::mttf::mttr_naive(n, rho)),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Fail(SiteId),
+    RepairDone(SiteId),
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (`n == 0`, `rho <= 0`, zero episodes).
+pub fn measure(config: &LifetimeConfig) -> LifetimeEstimate {
+    assert!(config.n >= 1 && config.rho > 0.0 && config.episodes > 0);
+    let device = DeviceConfig::builder(config.scheme)
+        .sites(config.n)
+        .num_blocks(1)
+        .block_size(8)
+        .build()
+        .expect("simulation device configuration is valid");
+    let fail_dist = Exponential::new(config.rho);
+    let repair_dist = Exponential::new(1.0);
+    let mut mttf = RunningStats::new();
+    let mut mttr = RunningStats::new();
+    let mut mttr_samples = Samples::new();
+    for episode in 0..config.episodes {
+        let mut rng =
+            StdRng::seed_from_u64(config.seed ^ (episode as u64).wrapping_mul(0x9E37_79B9));
+        let cluster = Cluster::new(device.clone(), ClusterOptions::default());
+        let mut sched: Scheduler<Event> = Scheduler::new();
+        for s in SiteId::all(config.n) {
+            sched.schedule_after(fail_dist.sample(&mut rng), Event::Fail(s));
+        }
+        let mut failed_at: Option<SimTime> = None;
+        loop {
+            let (now, event) = sched.pop().expect("failure/repair processes never drain");
+            match event {
+                Event::Fail(s) => {
+                    cluster.fail_site(s);
+                    sched.schedule_after(repair_dist.sample(&mut rng), Event::RepairDone(s));
+                }
+                Event::RepairDone(s) => {
+                    cluster.repair_site(s);
+                    sched.schedule_after(fail_dist.sample(&mut rng), Event::Fail(s));
+                }
+            }
+            match failed_at {
+                None => {
+                    if !cluster.is_available() {
+                        mttf.push(now.as_f64());
+                        failed_at = Some(now);
+                    }
+                }
+                Some(start) => {
+                    if cluster.is_available() {
+                        let down_for = (now - start).as_f64();
+                        mttr.push(down_for);
+                        mttr_samples.push(down_for);
+                        break;
+                    }
+                }
+            }
+        }
+        // Drain the cluster: every site in a defined state (nothing to do —
+        // the cluster is dropped with the episode).
+        let _ = cluster.site_state(SiteId::new(0)) == SiteState::Available;
+    }
+    LifetimeEstimate {
+        mttf,
+        mttr,
+        mttr_samples,
+        analytic_mttf: analytic_mttf(config.scheme, config.n, config.rho),
+        analytic_mttr: analytic_mttr(config.scheme, config.n, config.rho),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(scheme: Scheme, n: usize, rho: f64) -> LifetimeEstimate {
+        let mut cfg = LifetimeConfig::new(scheme, n, rho);
+        cfg.episodes = 600;
+        measure(&cfg)
+    }
+
+    fn assert_close(measured: f64, analytic: f64, rel: f64, what: &str) {
+        let err = (measured - analytic).abs() / analytic;
+        assert!(
+            err < rel,
+            "{what}: measured {measured}, analytic {analytic} (rel err {err:.3})"
+        );
+    }
+
+    #[test]
+    fn voting_mttf_matches_chain() {
+        let est = run(Scheme::Voting, 3, 0.4);
+        assert_close(est.mttf.mean(), est.analytic_mttf, 0.15, "voting mttf");
+    }
+
+    #[test]
+    fn available_copy_lifetimes_match_chain() {
+        let est = run(Scheme::AvailableCopy, 3, 0.5);
+        assert_close(est.mttf.mean(), est.analytic_mttf, 0.15, "ac mttf");
+        assert_close(est.mttr.mean(), est.analytic_mttr.unwrap(), 0.15, "ac mttr");
+    }
+
+    #[test]
+    fn naive_lifetimes_match_chain() {
+        let est = run(Scheme::NaiveAvailableCopy, 3, 0.5);
+        assert_close(est.mttf.mean(), est.analytic_mttf, 0.15, "naive mttf");
+        assert_close(
+            est.mttr.mean(),
+            est.analytic_mttr.unwrap(),
+            0.15,
+            "naive mttr",
+        );
+    }
+
+    #[test]
+    fn mttr_percentiles_are_ordered_and_cover_the_mean() {
+        let mut est = run(Scheme::NaiveAvailableCopy, 3, 0.5);
+        let p50 = est.mttr_samples.percentile(50.0);
+        let p99 = est.mttr_samples.percentile(99.0);
+        assert!(p50 <= p99);
+        assert!(est.mttr_samples.min() <= est.mttr.mean());
+        assert!(est.mttr.mean() <= est.mttr_samples.max());
+        // Restoration times are heavily right-skewed: the mean sits above
+        // the median (waiting for all n copies has a long tail).
+        assert!(est.mttr.mean() > p50 * 0.8);
+    }
+
+    #[test]
+    fn measured_naive_mttr_exceeds_available_copy() {
+        let ac = run(Scheme::AvailableCopy, 3, 0.6);
+        let na = run(Scheme::NaiveAvailableCopy, 3, 0.6);
+        assert!(
+            na.mttr.mean() > ac.mttr.mean(),
+            "naive {} vs ac {}",
+            na.mttr.mean(),
+            ac.mttr.mean()
+        );
+        // While their failure behaviour is statistically the same.
+        let rel = (na.mttf.mean() - ac.mttf.mean()).abs() / ac.mttf.mean();
+        assert!(rel < 0.2, "mttf should agree, rel err {rel}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Discrete-event simulation harnesses driving the *real* protocol
+//! implementation.
+//!
+//! The paper's §4 and §5 results are analytical. These harnesses
+//! cross-validate them against the actual code: a cluster of replicas is
+//! subjected to Poisson failures and repairs (and, for traffic, a read/write
+//! workload), and the measured availability and per-operation transmission
+//! counts are compared with the closed forms in `blockrep-analysis`.
+//!
+//! * [`availability`] — time-weighted fraction of simulated time the device
+//!   is available, vs. `A_V(n)`, `A_A(n)`, `A_NA(n)` (Figures 9–10).
+//! * [`traffic`] — measured transmissions per read/write/recovery, vs. the
+//!   §5 cost models (Figures 11–12).
+//! * [`lifetimes`] — episodic MTTF/MTTR measurement, vs. the transient
+//!   analysis extension in `blockrep_analysis::mttf`.
+//! * [`workload`] — the read/write request generator.
+
+pub mod availability;
+pub mod lifetimes;
+pub mod traffic;
+pub mod workload;

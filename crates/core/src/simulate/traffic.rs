@@ -1,0 +1,286 @@
+//! Traffic measurement by discrete-event simulation.
+
+use crate::simulate::workload::{Op, WorkloadGen};
+use crate::{Cluster, ClusterOptions};
+use blockrep_analysis::traffic::{costs, NetModel, OpCosts};
+use blockrep_net::{DeliveryMode, OpClass};
+use blockrep_sim::{Exponential, Scheduler};
+use blockrep_types::{BlockData, DeviceConfig, Scheme, SiteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one traffic experiment.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Consistency scheme under test.
+    pub scheme: Scheme,
+    /// Number of replica sites.
+    pub n: usize,
+    /// Failure-to-repair rate ratio `ρ = λ/µ`.
+    pub rho: f64,
+    /// Network environment.
+    pub mode: DeliveryMode,
+    /// Reads issued per write (the paper plots x ∈ {1, 2, 4}).
+    pub reads_per_write: f64,
+    /// Number of block requests to issue.
+    pub ops: u64,
+    /// Request arrival rate relative to `µ = 1` (disk accesses are far more
+    /// frequent than repairs; the paper's argument depends on it).
+    pub op_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// A standard experiment at the paper's typical `ρ = 0.05` with the
+    /// observed 2.5:1 read:write ratio.
+    pub fn new(scheme: Scheme, n: usize, mode: DeliveryMode) -> Self {
+        TrafficConfig {
+            scheme,
+            n,
+            rho: 0.05,
+            mode,
+            reads_per_write: 2.5,
+            ops: 40_000,
+            op_rate: 40.0,
+            seed: 0x007A_FF1C,
+        }
+    }
+}
+
+/// Measured per-operation transmissions, next to the §5 model.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficEstimate {
+    /// Measured mean transmissions per successful read.
+    pub per_read: f64,
+    /// Measured mean transmissions per successful write.
+    pub per_write: f64,
+    /// Measured mean transmissions per site recovery.
+    pub per_recovery: f64,
+    /// Successful reads issued.
+    pub reads: u64,
+    /// Successful writes issued.
+    pub writes: u64,
+    /// Site recoveries processed.
+    pub recoveries: u64,
+    /// The §5 analytical costs for the same parameters.
+    pub model: OpCosts,
+}
+
+impl TrafficEstimate {
+    /// The composite §5 figure: transmissions per (1 write + x reads).
+    pub fn per_write_group(&self, reads_per_write: f64) -> f64 {
+        self.per_write + reads_per_write * self.per_read
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Fail(SiteId),
+    RepairDone(SiteId),
+    Request,
+}
+
+/// Runs one traffic experiment: Poisson failures/repairs in the background,
+/// block requests from random serving sites in the foreground, every
+/// high-level transmission counted by the protocol layer.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters.
+pub fn measure(config: &TrafficConfig) -> TrafficEstimate {
+    assert!(config.n >= 1 && config.rho > 0.0 && config.ops > 0 && config.op_rate > 0.0);
+    let device = DeviceConfig::builder(config.scheme)
+        .sites(config.n)
+        .num_blocks(16)
+        .block_size(8)
+        .build()
+        .expect("simulation device configuration is valid");
+    let cluster = Cluster::new(device, ClusterOptions { mode: config.mode });
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut workload = WorkloadGen::new(config.reads_per_write, 16, config.seed ^ 0x51D);
+    let fail_dist = Exponential::new(config.rho);
+    let repair_dist = Exponential::new(1.0);
+    let req_dist = Exponential::new(config.op_rate);
+    let mut sched: Scheduler<Event> = Scheduler::new();
+    for s in SiteId::all(config.n) {
+        sched.schedule_after(fail_dist.sample(&mut rng), Event::Fail(s));
+    }
+    sched.schedule_after(req_dist.sample(&mut rng), Event::Request);
+
+    let (mut reads, mut writes, mut recoveries) = (0u64, 0u64, 0u64);
+    let (mut read_traffic, mut write_traffic) = (0u64, 0u64);
+    let mut issued = 0u64;
+    let mut fill = 0u8;
+    while issued < config.ops {
+        let Some((_, event)) = sched.pop() else { break };
+        match event {
+            Event::Fail(s) => {
+                cluster.fail_site(s);
+                sched.schedule_after(repair_dist.sample(&mut rng), Event::RepairDone(s));
+            }
+            Event::RepairDone(s) => {
+                cluster.repair_site(s);
+                recoveries += 1;
+                sched.schedule_after(fail_dist.sample(&mut rng), Event::Fail(s));
+            }
+            Event::Request => {
+                issued += 1;
+                // §5 models *successful* operations from a serving site;
+                // unsuccessful attempts still generate traffic (which would
+                // make voting look "even less favorable", as the paper
+                // notes) but are excluded from the per-op averages.
+                if let Some(origin) = pick_serving(&cluster, &mut rng) {
+                    let before = cluster.traffic();
+                    match workload.next_op() {
+                        Op::Read(k) => {
+                            if cluster.read(origin, k).is_ok() {
+                                reads += 1;
+                                read_traffic +=
+                                    (cluster.traffic() - before).total_for(OpClass::Read);
+                            }
+                        }
+                        Op::Write(k) => {
+                            fill = fill.wrapping_add(1);
+                            if cluster
+                                .write(origin, k, BlockData::from(vec![fill; 8]))
+                                .is_ok()
+                            {
+                                writes += 1;
+                                write_traffic +=
+                                    (cluster.traffic() - before).total_for(OpClass::Write);
+                            }
+                        }
+                    }
+                }
+                sched.schedule_after(req_dist.sample(&mut rng), Event::Request);
+            }
+        }
+    }
+    let snap = cluster.traffic();
+    let per = |total: u64, count: u64| {
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    };
+    TrafficEstimate {
+        per_read: per(read_traffic, reads),
+        per_write: per(write_traffic, writes),
+        per_recovery: per(snap.total_for(OpClass::Recovery), recoveries),
+        reads,
+        writes,
+        recoveries,
+        model: costs(config.scheme, net_model(config.mode), config.n, config.rho),
+    }
+}
+
+/// Maps the transport enum onto the analysis enum.
+pub fn net_model(mode: DeliveryMode) -> NetModel {
+    match mode {
+        DeliveryMode::Multicast => NetModel::Multicast,
+        DeliveryMode::Unicast => NetModel::Unicast,
+    }
+}
+
+fn pick_serving(cluster: &Cluster, rng: &mut StdRng) -> Option<SiteId> {
+    let candidates: Vec<SiteId> = cluster
+        .config()
+        .site_ids()
+        .filter(|&s| match cluster.config().scheme() {
+            Scheme::Voting => cluster.site_state(s).is_operational(),
+            _ => cluster.site_state(s).can_serve(),
+        })
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.random_range(0..candidates.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scheme: Scheme, mode: DeliveryMode) -> TrafficEstimate {
+        let mut cfg = TrafficConfig::new(scheme, 5, mode);
+        cfg.ops = 20_000;
+        measure(&cfg)
+    }
+
+    #[test]
+    fn naive_multicast_write_costs_exactly_one() {
+        let est = quick(Scheme::NaiveAvailableCopy, DeliveryMode::Multicast);
+        assert_eq!(est.per_write, 1.0);
+        assert_eq!(est.per_read, 0.0);
+    }
+
+    #[test]
+    fn naive_unicast_write_costs_exactly_n_minus_one() {
+        let est = quick(Scheme::NaiveAvailableCopy, DeliveryMode::Unicast);
+        assert_eq!(est.per_write, 4.0);
+    }
+
+    #[test]
+    fn available_copy_reads_are_free() {
+        for mode in DeliveryMode::ALL {
+            let est = quick(Scheme::AvailableCopy, mode);
+            assert_eq!(est.per_read, 0.0, "{mode}");
+        }
+    }
+
+    #[test]
+    fn measured_write_costs_track_the_model() {
+        for scheme in Scheme::ALL {
+            for mode in DeliveryMode::ALL {
+                let est = quick(scheme, mode);
+                let err = (est.per_write - est.model.write).abs();
+                assert!(
+                    err < 0.15,
+                    "{scheme}/{mode}: measured {} model {}",
+                    est.per_write,
+                    est.model.write
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_read_costs_track_the_model() {
+        for mode in DeliveryMode::ALL {
+            let est = quick(Scheme::Voting, mode);
+            // Voting reads may pay the +1 staleness surcharge occasionally,
+            // so measurement sits in [model, model + 1].
+            assert!(
+                est.per_read >= est.model.read - 0.15 && est.per_read <= est.model.read + 1.0,
+                "{mode}: measured {} model {}",
+                est.per_read,
+                est.model.read
+            );
+        }
+    }
+
+    #[test]
+    fn voting_recovery_measures_zero_traffic() {
+        for mode in DeliveryMode::ALL {
+            let est = quick(Scheme::Voting, mode);
+            assert!(est.recoveries > 0, "experiment must see repairs");
+            assert_eq!(est.per_recovery, 0.0);
+        }
+    }
+
+    #[test]
+    fn available_copy_recovery_tracks_the_model() {
+        let est = quick(Scheme::AvailableCopy, DeliveryMode::Multicast);
+        assert!(est.recoveries > 0);
+        let err = (est.per_recovery - est.model.recovery).abs();
+        assert!(
+            err < 0.5,
+            "measured {} model {}",
+            est.per_recovery,
+            est.model.recovery
+        );
+    }
+}

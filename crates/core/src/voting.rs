@@ -1,0 +1,193 @@
+//! Majority consensus voting (§3.1, Figures 3 and 4).
+//!
+//! Every block copy carries a version number; reads and writes proceed only
+//! when the gathered votes reach the configured quorum. Block-level
+//! replication buys two simplifications the paper highlights:
+//!
+//! * **No recovery traffic.** A repaired site rejoins immediately
+//!   ([`repair`] is free); quorum intersection guarantees that any quorum
+//!   contains a current copy, so stale local copies are harmless.
+//! * **Lazy per-block repair.** A coordinator that discovers (from the
+//!   votes) that its copy of the requested block is stale fetches just that
+//!   block from the highest-versioned voter and installs it — recovering
+//!   "only those blocks which have been modified", on access.
+
+use crate::backend::{self, Backend};
+use blockrep_net::{MsgKind, OpClass};
+use blockrep_types::{BlockData, BlockIndex, DeviceError, DeviceResult, SiteId, VersionNumber};
+
+/// One round of vote collection for block `k`, coordinated by `origin`.
+///
+/// Charges one broadcast (`VoteRequest`, fanned out per the delivery mode)
+/// plus one `VoteReply` per responding remote site; the origin's own vote is
+/// local and free. Returns the voters (origin first) with their versions.
+fn collect_votes<B: Backend + ?Sized>(
+    b: &B,
+    op: OpClass,
+    origin: SiteId,
+    k: BlockIndex,
+) -> Vec<(SiteId, VersionNumber)> {
+    let others = backend::others(b.config(), origin);
+    backend::charge_fanout(b, op, MsgKind::VoteRequest, others.len());
+    let own = b
+        .vote(origin, origin, k)
+        .expect("coordinator is operational, so its own vote cannot fail");
+    let mut votes = vec![(origin, own)];
+    for t in others {
+        if let Some(v) = b.vote(origin, t, k) {
+            b.counter().add(op, MsgKind::VoteReply, 1);
+            votes.push((t, v));
+        }
+    }
+    votes
+}
+
+fn ensure_coordinator<B: Backend + ?Sized>(b: &B, origin: SiteId) -> DeviceResult<()> {
+    if !b.config().contains_site(origin) {
+        return Err(DeviceError::UnknownSite(origin));
+    }
+    let state = b.local_state(origin);
+    if state.is_operational() {
+        Ok(())
+    } else {
+        Err(DeviceError::SiteNotServing {
+            site: origin,
+            state: "failed",
+        })
+    }
+}
+
+fn check_block<B: Backend + ?Sized>(b: &B, k: BlockIndex) -> DeviceResult<()> {
+    if k.as_u64() < b.config().num_blocks() {
+        Ok(())
+    } else {
+        Err(DeviceError::BlockOutOfRange {
+            block: k,
+            num_blocks: b.config().num_blocks(),
+        })
+    }
+}
+
+/// The weighted-voting read algorithm of Figure 3.
+///
+/// Collects votes from all reachable sites; if their weight reaches the
+/// read quorum, refreshes the local copy from the highest-versioned voter
+/// when stale (one extra block transfer — the paper's "`U_V^n + 1`" case)
+/// and serves the block locally.
+///
+/// # Errors
+///
+/// [`DeviceError::Unavailable`] when no read quorum can be gathered;
+/// [`DeviceError::SiteNotServing`] when `origin` is down;
+/// [`DeviceError::BlockOutOfRange`] for a bad index.
+pub(crate) fn read<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    k: BlockIndex,
+) -> DeviceResult<BlockData> {
+    ensure_coordinator(b, origin)?;
+    check_block(b, k)?;
+    let cfg = b.config();
+    let votes = collect_votes(b, OpClass::Read, origin, k);
+    let voters: Vec<SiteId> = votes.iter().map(|&(s, _)| s).collect();
+    let gathered = backend::weight_of(cfg, &voters);
+    if gathered < cfg.read_quorum() {
+        return Err(DeviceError::unavailable(
+            "read",
+            format!(
+                "gathered weight {gathered} of read quorum {}",
+                cfg.read_quorum()
+            ),
+        ));
+    }
+    // Find the most current voter; ties broken by site id for determinism.
+    let (holder, v_max) = votes
+        .iter()
+        .copied()
+        .max_by_key(|&(s, v)| (v, std::cmp::Reverse(s)))
+        .expect("votes always include the origin");
+    let own = votes[0].1;
+    if v_max > own {
+        let (v, data) = b.fetch_block(origin, holder, k).ok_or_else(|| {
+            DeviceError::unavailable(
+                "read",
+                format!("current copy holder {holder} vanished mid-read"),
+            )
+        })?;
+        b.counter().add(OpClass::Read, MsgKind::BlockTransfer, 1);
+        // Keep the local copy up to date, as the paper's algorithm does.
+        b.apply_write(origin, origin, k, &data, v);
+    }
+    Ok(b.read_local(origin, k))
+}
+
+/// The weighted-voting write algorithm of Figure 4.
+///
+/// Collects votes; if their weight reaches the write quorum, installs the
+/// block at `max(versions) + 1` on every voter — "this repairs all
+/// out-of-date copies that are operational".
+///
+/// # Errors
+///
+/// [`DeviceError::Unavailable`] when no write quorum can be gathered, plus
+/// the same validation errors as [`read`].
+pub(crate) fn write<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    k: BlockIndex,
+    data: BlockData,
+) -> DeviceResult<()> {
+    ensure_coordinator(b, origin)?;
+    check_block(b, k)?;
+    let cfg = b.config();
+    if data.len() != cfg.block_size() {
+        return Err(DeviceError::WrongBlockSize {
+            got: data.len(),
+            expected: cfg.block_size(),
+        });
+    }
+    let votes = collect_votes(b, OpClass::Write, origin, k);
+    let voters: Vec<SiteId> = votes.iter().map(|&(s, _)| s).collect();
+    let gathered = backend::weight_of(cfg, &voters);
+    if gathered < cfg.write_quorum() {
+        return Err(DeviceError::unavailable(
+            "write",
+            format!(
+                "gathered weight {gathered} of write quorum {}",
+                cfg.write_quorum()
+            ),
+        ));
+    }
+    let v_new = votes
+        .iter()
+        .map(|&(_, v)| v)
+        .max()
+        .expect("votes always include the origin")
+        .next();
+    let remote_voters: Vec<SiteId> = voters.iter().copied().filter(|&s| s != origin).collect();
+    backend::charge_fanout(b, OpClass::Write, MsgKind::WriteUpdate, remote_voters.len());
+    for t in remote_voters {
+        b.apply_write(origin, t, k, &data, v_new);
+    }
+    b.apply_write(origin, origin, k, &data, v_new);
+    Ok(())
+}
+
+/// Site repair under voting: free. The repaired site rejoins immediately;
+/// its stale blocks are repaired lazily, on access.
+pub(crate) fn repair<B: Backend + ?Sized>(b: &B, s: SiteId) {
+    b.set_local_state(s, blockrep_types::SiteState::Available);
+}
+
+/// Whether a voting-managed block is currently available: the operational
+/// sites must hold both a read and a write quorum (with the paper's default
+/// majority quorums these coincide).
+pub(crate) fn is_available<B: Backend + ?Sized>(b: &B) -> bool {
+    let cfg = b.config();
+    let operational: Vec<SiteId> = cfg
+        .site_ids()
+        .filter(|&s| b.local_state(s).is_operational())
+        .collect();
+    let w = backend::weight_of(cfg, &operational);
+    w >= cfg.read_quorum() && w >= cfg.write_quorum()
+}

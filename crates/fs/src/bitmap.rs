@@ -1,0 +1,194 @@
+//! Block allocation bitmap.
+
+use crate::layout::FsGeometry;
+use crate::{FsError, FsResult};
+use blockrep_storage::BlockDevice;
+use blockrep_types::{BlockData, BlockIndex};
+
+/// Allocator over the on-disk bitmap: one bit per device block, set = used.
+/// Stateless — every operation reads and writes the bitmap blocks through
+/// the device, so crashes of the *device's* sites never desynchronize it
+/// from the data (within the paper's sequential, single-client model).
+pub struct Bitmap<'a, D> {
+    dev: &'a D,
+    geo: &'a FsGeometry,
+}
+
+impl<'a, D: BlockDevice> Bitmap<'a, D> {
+    /// Creates an allocator view over `dev`.
+    pub fn new(dev: &'a D, geo: &'a FsGeometry) -> Self {
+        Bitmap { dev, geo }
+    }
+
+    fn locate(&self, block: u64) -> (BlockIndex, usize, u8) {
+        let bits_per_block = self.geo.block_size as u64 * 8;
+        let bitmap_block = self.geo.bitmap_start + block / bits_per_block;
+        let bit = block % bits_per_block;
+        (
+            BlockIndex::new(bitmap_block),
+            (bit / 8) as usize,
+            1u8 << (bit % 8),
+        )
+    }
+
+    /// Whether `block` is marked used.
+    pub fn is_used(&self, block: u64) -> FsResult<bool> {
+        let (bb, byte, mask) = self.locate(block);
+        let raw = self.dev.read_block(bb)?;
+        Ok(raw.as_slice()[byte] & mask != 0)
+    }
+
+    /// Marks `block` used or free.
+    pub fn set(&self, block: u64, used: bool) -> FsResult<()> {
+        let (bb, byte, mask) = self.locate(block);
+        let mut raw = self.dev.read_block(bb)?.as_slice().to_vec();
+        if used {
+            raw[byte] |= mask;
+        } else {
+            raw[byte] &= !mask;
+        }
+        self.dev.write_block(bb, BlockData::from(raw))?;
+        Ok(())
+    }
+
+    /// Allocates one free data block (first fit from `data_start`), marks
+    /// it used, zeroes it, and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoSpace`] when every data block is taken.
+    pub fn alloc(&self) -> FsResult<u64> {
+        let bits_per_block = self.geo.block_size as u64 * 8;
+        for bb in 0..self.geo.bitmap_blocks {
+            let block_index = BlockIndex::new(self.geo.bitmap_start + bb);
+            let raw = self.dev.read_block(block_index)?;
+            let bytes = raw.as_slice();
+            for (i, &byte) in bytes.iter().enumerate() {
+                if byte == 0xFF {
+                    continue;
+                }
+                for bit in 0..8 {
+                    let candidate = bb * bits_per_block + (i as u64) * 8 + bit;
+                    if candidate < self.geo.data_start || candidate >= self.geo.num_blocks {
+                        continue;
+                    }
+                    if byte & (1 << bit) == 0 {
+                        let mut updated = bytes.to_vec();
+                        updated[i] |= 1 << bit;
+                        self.dev
+                            .write_block(block_index, BlockData::from(updated))?;
+                        // Hand out zeroed blocks so fresh files/dirs read clean.
+                        self.dev.write_block(
+                            BlockIndex::new(candidate),
+                            BlockData::zeroed(self.geo.block_size as usize),
+                        )?;
+                        return Ok(candidate);
+                    }
+                }
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Frees a previously allocated data block.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `block` lies in the data region.
+    pub fn free(&self, block: u64) -> FsResult<()> {
+        debug_assert!(
+            block >= self.geo.data_start && block < self.geo.num_blocks,
+            "freeing non-data block {block}"
+        );
+        self.set(block, false)
+    }
+
+    /// Number of free data blocks (for `statfs`-style reporting and tests).
+    pub fn free_count(&self) -> FsResult<u64> {
+        let mut free = 0;
+        for block in self.geo.data_start..self.geo.num_blocks {
+            if !self.is_used(block)? {
+                free += 1;
+            }
+        }
+        Ok(free)
+    }
+
+    /// Marks all metadata blocks (superblock, bitmap, inode table) used —
+    /// called once at format time.
+    pub fn reserve_metadata(&self) -> FsResult<()> {
+        for block in 0..self.geo.data_start {
+            self.set(block, true)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockrep_storage::MemStore;
+
+    fn setup() -> (MemStore, FsGeometry) {
+        let geo = FsGeometry::plan(128, 512).unwrap();
+        (MemStore::new(128, 512), geo)
+    }
+
+    #[test]
+    fn metadata_reservation_covers_prefix() {
+        let (dev, geo) = setup();
+        let bm = Bitmap::new(&dev, &geo);
+        bm.reserve_metadata().unwrap();
+        for block in 0..geo.data_start {
+            assert!(bm.is_used(block).unwrap(), "block {block}");
+        }
+        assert!(!bm.is_used(geo.data_start).unwrap());
+    }
+
+    #[test]
+    fn alloc_returns_distinct_zeroed_data_blocks() {
+        let (dev, geo) = setup();
+        let bm = Bitmap::new(&dev, &geo);
+        bm.reserve_metadata().unwrap();
+        let a = bm.alloc().unwrap();
+        let b = bm.alloc().unwrap();
+        assert_ne!(a, b);
+        assert!(a >= geo.data_start && b >= geo.data_start);
+        assert!(dev.read_block(BlockIndex::new(a)).unwrap().is_zeroed());
+    }
+
+    #[test]
+    fn free_makes_block_reusable() {
+        let (dev, geo) = setup();
+        let bm = Bitmap::new(&dev, &geo);
+        bm.reserve_metadata().unwrap();
+        let a = bm.alloc().unwrap();
+        bm.free(a).unwrap();
+        let b = bm.alloc().unwrap();
+        assert_eq!(a, b, "first-fit reuses the freed block");
+    }
+
+    #[test]
+    fn exhaustion_reports_no_space() {
+        let (dev, geo) = setup();
+        let bm = Bitmap::new(&dev, &geo);
+        bm.reserve_metadata().unwrap();
+        let data_blocks = geo.num_blocks - geo.data_start;
+        for _ in 0..data_blocks {
+            bm.alloc().unwrap();
+        }
+        assert!(matches!(bm.alloc(), Err(FsError::NoSpace)));
+        assert_eq!(bm.free_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn free_count_tracks_allocations() {
+        let (dev, geo) = setup();
+        let bm = Bitmap::new(&dev, &geo);
+        bm.reserve_metadata().unwrap();
+        let initial = bm.free_count().unwrap();
+        bm.alloc().unwrap();
+        bm.alloc().unwrap();
+        assert_eq!(bm.free_count().unwrap(), initial - 2);
+    }
+}

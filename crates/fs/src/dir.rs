@@ -1,0 +1,102 @@
+//! Directory entries.
+
+use crate::layout::{DIRENT_SIZE, MAX_NAME};
+use bytes::{Buf, BufMut};
+
+/// One 32-byte directory entry: inode number (0 = free slot), name length,
+/// and up to 27 bytes of name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dirent {
+    /// Inode the entry points at; 0 marks a free slot.
+    pub ino: u32,
+    /// Entry name.
+    pub name: String,
+}
+
+impl Dirent {
+    /// Serializes to the on-disk record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name exceeds [`MAX_NAME`] bytes (validated earlier at
+    /// the path layer).
+    pub fn encode(&self) -> [u8; DIRENT_SIZE] {
+        assert!(self.name.len() <= MAX_NAME, "name validated at path layer");
+        let mut buf = Vec::with_capacity(DIRENT_SIZE);
+        buf.put_u32_le(self.ino);
+        buf.put_u8(self.name.len() as u8);
+        buf.put_slice(self.name.as_bytes());
+        buf.resize(DIRENT_SIZE, 0);
+        buf.try_into().expect("dirent record is exactly 32 bytes")
+    }
+
+    /// Parses an on-disk record; returns `None` for a free slot or a
+    /// corrupt name.
+    pub fn decode(mut raw: &[u8]) -> Option<Dirent> {
+        let ino = raw.get_u32_le();
+        if ino == 0 {
+            return None;
+        }
+        let len = raw.get_u8() as usize;
+        if len == 0 || len > MAX_NAME {
+            return None;
+        }
+        let name = std::str::from_utf8(&raw[..len]).ok()?.to_string();
+        Some(Dirent { ino, name })
+    }
+
+    /// An empty (free) slot image.
+    pub fn free_slot() -> [u8; DIRENT_SIZE] {
+        [0; DIRENT_SIZE]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let e = Dirent {
+            ino: 42,
+            name: "hello.txt".into(),
+        };
+        let raw = e.encode();
+        assert_eq!(Dirent::decode(&raw), Some(e));
+    }
+
+    #[test]
+    fn free_slot_decodes_to_none() {
+        assert_eq!(Dirent::decode(&Dirent::free_slot()), None);
+    }
+
+    #[test]
+    fn max_length_name_roundtrips() {
+        let e = Dirent {
+            ino: 1,
+            name: "n".repeat(MAX_NAME),
+        };
+        assert_eq!(Dirent::decode(&e.encode()), Some(e));
+    }
+
+    #[test]
+    fn corrupt_length_decodes_to_none() {
+        let mut raw = Dirent {
+            ino: 1,
+            name: "x".into(),
+        }
+        .encode();
+        raw[4] = 255; // impossible length
+        assert_eq!(Dirent::decode(&raw), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "validated at path layer")]
+    fn oversized_name_panics_at_encode() {
+        let e = Dirent {
+            ino: 1,
+            name: "n".repeat(MAX_NAME + 1),
+        };
+        let _ = e.encode();
+    }
+}

@@ -1,0 +1,105 @@
+//! File-system errors.
+
+use blockrep_types::DeviceError;
+use core::fmt;
+
+/// Result alias for file-system operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors surfaced by [`FileSystem`](crate::FileSystem) operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FsError {
+    /// The path does not name an existing file or directory.
+    NotFound(String),
+    /// Creating something that already exists.
+    AlreadyExists(String),
+    /// A path component that must be a directory is not.
+    NotADirectory(String),
+    /// A file operation aimed at a directory.
+    IsADirectory(String),
+    /// Removing a directory that still has entries.
+    DirectoryNotEmpty(String),
+    /// No free data blocks left on the device.
+    NoSpace,
+    /// No free inodes left.
+    NoInodes,
+    /// A path component longer than the 27-byte directory-entry limit, or
+    /// containing a NUL byte.
+    InvalidName(String),
+    /// A path that is not absolute or contains empty components.
+    InvalidPath(String),
+    /// Write or truncate beyond the maximum file size (12 direct + one
+    /// indirect block of pointers).
+    FileTooLarge,
+    /// The device does not hold a file system this crate understands.
+    BadSuperblock(String),
+    /// The device is too small to format.
+    DeviceTooSmall,
+    /// The underlying block device failed — for a reliable device this is
+    /// where replication-level unavailability surfaces.
+    Device(DeviceError),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NoInodes => write!(f, "no free inodes left"),
+            FsError::InvalidName(n) => write!(f, "invalid name: {n:?}"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p:?}"),
+            FsError::FileTooLarge => write!(f, "file exceeds maximum size"),
+            FsError::BadSuperblock(why) => write!(f, "bad superblock: {why}"),
+            FsError::DeviceTooSmall => write!(f, "device too small to hold a file system"),
+            FsError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for FsError {
+    fn from(value: DeviceError) -> Self {
+        FsError::Device(value)
+    }
+}
+
+impl FsError {
+    /// Whether the error stems from replication-level unavailability of the
+    /// underlying reliable device (retryable once sites recover), rather
+    /// than from file-system state.
+    pub fn is_device_unavailable(&self) -> bool {
+        matches!(self, FsError::Device(e) if e.is_unavailable())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_errors_chain() {
+        let e = FsError::from(DeviceError::unavailable("read", "no quorum"));
+        assert!(e.is_device_unavailable());
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("no quorum"));
+    }
+
+    #[test]
+    fn fs_level_errors_are_not_device_unavailability() {
+        assert!(!FsError::NotFound("/x".into()).is_device_unavailable());
+        assert!(!FsError::NoSpace.is_device_unavailable());
+    }
+}

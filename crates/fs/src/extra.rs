@@ -1,0 +1,184 @@
+//! Recursive and convenience operations, built on the core API.
+
+use crate::{FileKind, FileSystem, FsResult};
+use blockrep_storage::BlockDevice;
+
+/// One entry produced by [`FileSystem::walk`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkEntry {
+    /// Absolute path of the entry.
+    pub path: String,
+    /// File or directory.
+    pub kind: FileKind,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl<D: BlockDevice> FileSystem<D> {
+    /// Recursively lists everything under `root` (excluding `root` itself),
+    /// depth-first, children sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotADirectory`](crate::FsError::NotADirectory) /
+    /// [`FsError::NotFound`](crate::FsError::NotFound) for a bad root, or
+    /// device errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use blockrep_fs::FileSystem;
+    /// use blockrep_storage::MemStore;
+    ///
+    /// # fn main() -> Result<(), blockrep_fs::FsError> {
+    /// let fs = FileSystem::format(MemStore::new(128, 512))?;
+    /// fs.mkdir("/a")?;
+    /// fs.write_file("/a/x", b"1")?;
+    /// let paths: Vec<String> = fs.walk("/")?.into_iter().map(|e| e.path).collect();
+    /// assert_eq!(paths, vec!["/a", "/a/x"]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn walk(&self, root: &str) -> FsResult<Vec<WalkEntry>> {
+        let mut out = Vec::new();
+        let mut stack = vec![root.trim_end_matches('/').to_string()];
+        while let Some(dir) = stack.pop() {
+            let shown = if dir.is_empty() { "/" } else { &dir };
+            // Children in reverse-sorted order so the stack pops sorted.
+            let mut names = self.read_dir(shown)?;
+            names.sort_by(|a, b| b.cmp(a));
+            for name in names {
+                let path = format!("{dir}/{name}");
+                let meta = self.stat(&path)?;
+                out.push(WalkEntry {
+                    path: path.clone(),
+                    kind: meta.kind,
+                    size: meta.size,
+                });
+                if meta.is_dir() {
+                    stack.push(path);
+                }
+            }
+        }
+        // Depth-first order with sorted siblings: sort by path components.
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(out)
+    }
+
+    /// Copies a regular file (contents only).
+    ///
+    /// # Errors
+    ///
+    /// Source errors as for [`read_file`](Self::read_file); destination
+    /// errors as for [`write_file`](Self::write_file).
+    pub fn copy(&self, from: &str, to: &str) -> FsResult<()> {
+        let data = self.read_file(from)?;
+        self.write_file(to, &data)
+    }
+
+    /// Removes a directory and everything beneath it (or a single file).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`](crate::FsError::NotFound) for a missing path,
+    /// or device errors.
+    pub fn remove_dir_all(&self, root: &str) -> FsResult<()> {
+        if !self.stat(root)?.is_dir() {
+            return self.remove_file(root);
+        }
+        // Children first (deepest paths last in walk order → iterate in
+        // reverse).
+        let entries = self.walk(root)?;
+        for entry in entries.iter().rev() {
+            match entry.kind {
+                FileKind::File => self.remove_file(&entry.path)?,
+                FileKind::Directory => self.remove_dir(&entry.path)?,
+            }
+        }
+        if root != "/" {
+            self.remove_dir(root)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockrep_storage::MemStore;
+
+    fn fresh() -> FileSystem<MemStore> {
+        let fs = FileSystem::format(MemStore::new(512, 512)).unwrap();
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        fs.write_file("/a/b/deep", b"deep").unwrap();
+        fs.write_file("/a/top", b"top").unwrap();
+        fs.write_file("/root-file", b"rf").unwrap();
+        fs
+    }
+
+    #[test]
+    fn walk_lists_everything_depth_first_sorted() {
+        let fs = fresh();
+        let paths: Vec<String> = fs.walk("/").unwrap().into_iter().map(|e| e.path).collect();
+        assert_eq!(
+            paths,
+            vec!["/a", "/a/b", "/a/b/deep", "/a/top", "/root-file"]
+        );
+    }
+
+    #[test]
+    fn walk_subdirectory() {
+        let fs = fresh();
+        let entries = fs.walk("/a/b").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].path, "/a/b/deep");
+        assert_eq!(entries[0].kind, FileKind::File);
+        assert_eq!(entries[0].size, 4);
+    }
+
+    #[test]
+    fn copy_duplicates_contents() {
+        let fs = fresh();
+        fs.copy("/a/b/deep", "/copy").unwrap();
+        assert_eq!(fs.read_file("/copy").unwrap(), b"deep");
+        // Overwriting copy replaces contents.
+        fs.copy("/a/top", "/copy").unwrap();
+        assert_eq!(fs.read_file("/copy").unwrap(), b"top");
+    }
+
+    #[test]
+    fn remove_dir_all_empties_subtree_and_frees_space() {
+        let fs = fresh();
+        let baseline = {
+            // Space once /a is gone.
+            fs.remove_dir_all("/a").unwrap();
+            assert!(!fs.exists("/a"));
+            assert!(fs.exists("/root-file"));
+            fs.free_bytes().unwrap()
+        };
+        // Rebuild and remove again: identical free space (no leaks).
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        fs.write_file("/a/b/deep", b"deep").unwrap();
+        fs.remove_dir_all("/a").unwrap();
+        assert_eq!(fs.free_bytes().unwrap(), baseline);
+        let report = fs.check().unwrap();
+        assert!(report.is_clean(), "{:?}", report.problems);
+    }
+
+    #[test]
+    fn remove_dir_all_on_root_clears_device() {
+        let fs = fresh();
+        fs.remove_dir_all("/").unwrap();
+        assert_eq!(fs.read_dir("/").unwrap(), Vec::<String>::new());
+        assert!(fs.check().unwrap().is_clean());
+    }
+
+    #[test]
+    fn remove_dir_all_on_file_acts_like_remove_file() {
+        let fs = fresh();
+        fs.remove_dir_all("/root-file").unwrap();
+        assert!(!fs.exists("/root-file"));
+    }
+}

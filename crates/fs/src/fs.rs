@@ -1,0 +1,912 @@
+//! The file system proper.
+
+use crate::bitmap::Bitmap;
+use crate::dir::Dirent;
+use crate::inode::{Inode, InodeKind, InodeTable};
+use crate::layout::{FsGeometry, DIRECT_POINTERS, DIRENT_SIZE, ROOT_INO};
+use crate::{path, FsError, FsResult};
+use blockrep_storage::BlockDevice;
+use blockrep_types::{BlockData, BlockIndex};
+use bytes::{Buf, BufMut};
+use parking_lot::Mutex;
+
+/// What a path names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A regular file.
+    File,
+    /// A directory.
+    Directory,
+}
+
+/// `stat`-style information about a file or directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata {
+    /// File or directory.
+    pub kind: FileKind,
+    /// Size in bytes (entry-table extent for directories).
+    pub size: u64,
+}
+
+impl Metadata {
+    /// Whether this is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.kind == FileKind::Directory
+    }
+}
+
+/// A UNIX-like file system over any [`BlockDevice`].
+///
+/// The type is generic over the device: format it onto a
+/// [`MemStore`](blockrep_storage::MemStore), a
+/// [`FileStore`](blockrep_storage::FileStore), or a replicated reliable
+/// device — the file system cannot tell the difference, which is the
+/// paper's point.
+///
+/// Operations are serialized by an internal lock; the paper explicitly
+/// leaves concurrent-access control out of scope ("we do not attempt to
+/// model systems which guard against concurrent access of files").
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_fs::{FileKind, FileSystem};
+/// use blockrep_storage::MemStore;
+///
+/// # fn main() -> Result<(), blockrep_fs::FsError> {
+/// let fs = FileSystem::format(MemStore::new(256, 512))?;
+/// fs.mkdir("/etc")?;
+/// fs.write_file("/etc/motd", b"hello")?;
+/// let meta = fs.stat("/etc/motd")?;
+/// assert_eq!(meta.kind, FileKind::File);
+/// assert_eq!(meta.size, 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FileSystem<D> {
+    pub(crate) dev: D,
+    pub(crate) geo: FsGeometry,
+    pub(crate) lock: Mutex<()>,
+}
+
+impl<D: BlockDevice> FileSystem<D> {
+    /// Formats the device with a fresh, empty file system and mounts it.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::DeviceTooSmall`] / [`FsError::BadSuperblock`] for
+    /// unusable geometry, or a device error.
+    pub fn format(dev: D) -> FsResult<Self> {
+        let geo = FsGeometry::plan(dev.num_blocks(), dev.block_size())?;
+        // Zero the metadata region so stale images cannot leak through.
+        for block in 0..geo.data_start {
+            dev.write_block(
+                BlockIndex::new(block),
+                BlockData::zeroed(geo.block_size as usize),
+            )?;
+        }
+        dev.write_block(BlockIndex::new(0), BlockData::from(geo.encode()))?;
+        {
+            let bitmap = Bitmap::new(&dev, &geo);
+            bitmap.reserve_metadata()?;
+            let inodes = InodeTable::new(&dev, &geo);
+            let root = inodes.alloc(InodeKind::Dir)?;
+            debug_assert_eq!(root, ROOT_INO);
+        }
+        Ok(FileSystem {
+            dev,
+            geo,
+            lock: Mutex::new(()),
+        })
+    }
+
+    /// Mounts an existing file system, validating the superblock against
+    /// the device geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadSuperblock`] if the device is not formatted (or was
+    /// formatted with different geometry), or a device error.
+    pub fn mount(dev: D) -> FsResult<Self> {
+        let raw = dev.read_block(BlockIndex::new(0))?;
+        let geo = FsGeometry::decode(raw.as_slice(), dev.num_blocks(), dev.block_size())?;
+        Ok(FileSystem {
+            dev,
+            geo,
+            lock: Mutex::new(()),
+        })
+    }
+
+    /// The mounted geometry.
+    pub fn geometry(&self) -> &FsGeometry {
+        &self.geo
+    }
+
+    /// Borrows the underlying device.
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// Unmounts, returning the device.
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    /// Number of free data bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn free_bytes(&self) -> FsResult<u64> {
+        let _g = self.lock.lock();
+        Ok(Bitmap::new(&self.dev, &self.geo).free_count()? * self.geo.block_size as u64)
+    }
+
+    // ----- path resolution -------------------------------------------------
+
+    fn resolve_from(&self, parts: &[&str], full: &str) -> FsResult<u32> {
+        let inodes = InodeTable::new(&self.dev, &self.geo);
+        let mut ino = ROOT_INO;
+        for (depth, part) in parts.iter().enumerate() {
+            let node = inodes.read(ino)?;
+            if node.kind != InodeKind::Dir {
+                return Err(FsError::NotADirectory(parts[..depth].join("/")));
+            }
+            ino = self
+                .lookup(ino, part)?
+                .ok_or_else(|| FsError::NotFound(full.to_string()))?
+                .0;
+        }
+        Ok(ino)
+    }
+
+    fn resolve(&self, p: &str) -> FsResult<u32> {
+        self.resolve_from(&path::split(p)?, p)
+    }
+
+    /// Resolves the parent directory of `p` and returns `(parent_ino, name)`.
+    fn resolve_parent<'p>(&self, p: &'p str) -> FsResult<(u32, &'p str)> {
+        let (parents, name) = path::split_parent(p)?;
+        let dir = self.resolve_from(&parents, p)?;
+        let node = InodeTable::new(&self.dev, &self.geo).read(dir)?;
+        if node.kind != InodeKind::Dir {
+            return Err(FsError::NotADirectory(p.to_string()));
+        }
+        Ok((dir, name))
+    }
+
+    // ----- block mapping ---------------------------------------------------
+
+    /// Maps a logical file block to a device block, allocating on demand.
+    /// Returns `None` for an unallocated hole when `allocate` is false.
+    fn map_block(&self, inode: &mut Inode, logical: u64, allocate: bool) -> FsResult<Option<u64>> {
+        let pointers_per_block = self.geo.block_size as u64 / 4;
+        if logical >= DIRECT_POINTERS as u64 + pointers_per_block {
+            return Err(FsError::FileTooLarge);
+        }
+        let bitmap = Bitmap::new(&self.dev, &self.geo);
+        if logical < DIRECT_POINTERS as u64 {
+            let slot = &mut inode.direct[logical as usize];
+            if *slot == 0 {
+                if !allocate {
+                    return Ok(None);
+                }
+                *slot = bitmap.alloc()? as u32;
+            }
+            return Ok(Some(*slot as u64));
+        }
+        // Indirect block.
+        if inode.indirect == 0 {
+            if !allocate {
+                return Ok(None);
+            }
+            inode.indirect = bitmap.alloc()? as u32;
+        }
+        let iblock = BlockIndex::new(inode.indirect as u64);
+        let mut raw = self.dev.read_block(iblock)?.as_slice().to_vec();
+        let idx = (logical - DIRECT_POINTERS as u64) as usize * 4;
+        let mut entry = (&raw[idx..idx + 4]).get_u32_le();
+        if entry == 0 {
+            if !allocate {
+                return Ok(None);
+            }
+            entry = bitmap.alloc()? as u32;
+            (&mut raw[idx..idx + 4]).put_u32_le(entry);
+            self.dev.write_block(iblock, BlockData::from(raw))?;
+        }
+        Ok(Some(entry as u64))
+    }
+
+    fn read_at(&self, inode: &mut Inode, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let bs = self.geo.block_size as u64;
+        let end = (offset + len as u64).min(inode.size);
+        if offset >= end {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut pos = offset;
+        while pos < end {
+            let logical = pos / bs;
+            let within = (pos % bs) as usize;
+            let take = ((bs as usize) - within).min((end - pos) as usize);
+            match self.map_block(inode, logical, false)? {
+                Some(block) => {
+                    let raw = self.dev.read_block(BlockIndex::new(block))?;
+                    out.extend_from_slice(&raw.as_slice()[within..within + take]);
+                }
+                None => out.extend(std::iter::repeat_n(0u8, take)), // hole
+            }
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    fn write_at(&self, inode: &mut Inode, offset: u64, data: &[u8]) -> FsResult<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let bs = self.geo.block_size as u64;
+        let end = offset + data.len() as u64;
+        if end > self.geo.max_file_size() {
+            return Err(FsError::FileTooLarge);
+        }
+        let mut pos = offset;
+        while pos < end {
+            let logical = pos / bs;
+            let within = (pos % bs) as usize;
+            let take = ((bs as usize) - within).min((end - pos) as usize);
+            let block = self
+                .map_block(inode, logical, true)?
+                .expect("allocate=true always maps");
+            let src = &data[(pos - offset) as usize..(pos - offset) as usize + take];
+            if take == bs as usize {
+                self.dev
+                    .write_block(BlockIndex::new(block), BlockData::from(src))?;
+            } else {
+                let mut raw = self
+                    .dev
+                    .read_block(BlockIndex::new(block))?
+                    .as_slice()
+                    .to_vec();
+                raw[within..within + take].copy_from_slice(src);
+                self.dev
+                    .write_block(BlockIndex::new(block), BlockData::from(raw))?;
+            }
+            pos += take as u64;
+        }
+        inode.size = inode.size.max(end);
+        Ok(())
+    }
+
+    fn free_blocks_of(&self, inode: &Inode) -> FsResult<()> {
+        let bitmap = Bitmap::new(&self.dev, &self.geo);
+        for &p in &inode.direct {
+            if p != 0 {
+                bitmap.free(p as u64)?;
+            }
+        }
+        if inode.indirect != 0 {
+            let raw = self
+                .dev
+                .read_block(BlockIndex::new(inode.indirect as u64))?;
+            let mut slice = raw.as_slice();
+            while slice.len() >= 4 {
+                let p = slice.get_u32_le();
+                if p != 0 {
+                    bitmap.free(p as u64)?;
+                }
+            }
+            bitmap.free(inode.indirect as u64)?;
+        }
+        Ok(())
+    }
+
+    // ----- directory internals ----------------------------------------------
+
+    fn lookup(&self, dir_ino: u32, name: &str) -> FsResult<Option<(u32, u64)>> {
+        let inodes = InodeTable::new(&self.dev, &self.geo);
+        let mut dir = inodes.read(dir_ino)?;
+        let mut offset = 0;
+        while offset < dir.size {
+            let raw = self.read_at(&mut dir, offset, DIRENT_SIZE)?;
+            if let Some(entry) = Dirent::decode(&raw) {
+                if entry.name == name {
+                    return Ok(Some((entry.ino, offset)));
+                }
+            }
+            offset += DIRENT_SIZE as u64;
+        }
+        Ok(None)
+    }
+
+    fn dir_insert(&self, dir_ino: u32, name: &str, ino: u32) -> FsResult<()> {
+        let inodes = InodeTable::new(&self.dev, &self.geo);
+        let mut dir = inodes.read(dir_ino)?;
+        // Reuse a free slot if one exists; otherwise append.
+        let mut offset = 0;
+        let mut slot = dir.size;
+        while offset < dir.size {
+            let raw = self.read_at(&mut dir, offset, DIRENT_SIZE)?;
+            if Dirent::decode(&raw).is_none() {
+                slot = offset;
+                break;
+            }
+            offset += DIRENT_SIZE as u64;
+        }
+        let record = Dirent {
+            ino,
+            name: name.to_string(),
+        }
+        .encode();
+        self.write_at(&mut dir, slot, &record)?;
+        inodes.write(dir_ino, &dir)?;
+        Ok(())
+    }
+
+    fn dir_remove(&self, dir_ino: u32, name: &str) -> FsResult<u32> {
+        let inodes = InodeTable::new(&self.dev, &self.geo);
+        let mut dir = inodes.read(dir_ino)?;
+        let (ino, offset) = self
+            .lookup(dir_ino, name)?
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        self.write_at(&mut dir, offset, &Dirent::free_slot())?;
+        inodes.write(dir_ino, &dir)?;
+        Ok(ino)
+    }
+
+    fn dir_entries(&self, dir_ino: u32) -> FsResult<Vec<Dirent>> {
+        let inodes = InodeTable::new(&self.dev, &self.geo);
+        let mut dir = inodes.read(dir_ino)?;
+        let mut entries = Vec::new();
+        let mut offset = 0;
+        while offset < dir.size {
+            let raw = self.read_at(&mut dir, offset, DIRENT_SIZE)?;
+            if let Some(entry) = Dirent::decode(&raw) {
+                entries.push(entry);
+            }
+            offset += DIRENT_SIZE as u64;
+        }
+        Ok(entries)
+    }
+
+    /// Crate-internal: all live entries of a directory inode (used by the
+    /// consistency checker, which walks by inode rather than by path).
+    pub(crate) fn entries_of(&self, dir_ino: u32) -> FsResult<Vec<Dirent>> {
+        self.dir_entries(dir_ino)
+    }
+
+    fn create_node(&self, p: &str, kind: InodeKind) -> FsResult<u32> {
+        let (dir, name) = self.resolve_parent(p)?;
+        if self.lookup(dir, name)?.is_some() {
+            return Err(FsError::AlreadyExists(p.to_string()));
+        }
+        let inodes = InodeTable::new(&self.dev, &self.geo);
+        let ino = inodes.alloc(kind)?;
+        if let Err(e) = self.dir_insert(dir, name, ino) {
+            inodes.free(ino)?; // roll back the inode on a full directory
+            return Err(e);
+        }
+        Ok(ino)
+    }
+
+    // ----- public operations -------------------------------------------------
+
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::AlreadyExists`], [`FsError::NotFound`] (missing parent),
+    /// [`FsError::NoInodes`], [`FsError::NoSpace`], or device errors.
+    pub fn create(&self, p: &str) -> FsResult<()> {
+        let _g = self.lock.lock();
+        self.create_node(p, InodeKind::File).map(|_| ())
+    }
+
+    /// Creates an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`create`](Self::create).
+    pub fn mkdir(&self, p: &str) -> FsResult<()> {
+        let _g = self.lock.lock();
+        self.create_node(p, InodeKind::Dir).map(|_| ())
+    }
+
+    /// Writes `data` at byte `offset`, extending the file as needed
+    /// (creating a sparse hole when `offset` lies past the end).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::IsADirectory`],
+    /// [`FsError::FileTooLarge`], [`FsError::NoSpace`], or device errors.
+    pub fn write(&self, p: &str, offset: u64, data: &[u8]) -> FsResult<()> {
+        let _g = self.lock.lock();
+        let ino = self.resolve(p)?;
+        let inodes = InodeTable::new(&self.dev, &self.geo);
+        let mut node = inodes.read(ino)?;
+        if node.kind != InodeKind::File {
+            return Err(FsError::IsADirectory(p.to_string()));
+        }
+        self.write_at(&mut node, offset, data)?;
+        inodes.write(ino, &node)?;
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes from byte `offset` (short reads at EOF, like
+    /// `pread`).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::IsADirectory`], or device errors.
+    pub fn read(&self, p: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let _g = self.lock.lock();
+        let ino = self.resolve(p)?;
+        let mut node = InodeTable::new(&self.dev, &self.geo).read(ino)?;
+        if node.kind != InodeKind::File {
+            return Err(FsError::IsADirectory(p.to_string()));
+        }
+        self.read_at(&mut node, offset, len)
+    }
+
+    /// Replaces the file's contents (creating it if missing) — the
+    /// `echo data > file` convenience.
+    ///
+    /// # Errors
+    ///
+    /// As for [`create`](Self::create) and [`write`](Self::write).
+    pub fn write_file(&self, p: &str, data: &[u8]) -> FsResult<()> {
+        match self.create(p) {
+            Ok(()) => {}
+            Err(FsError::AlreadyExists(_)) => self.truncate(p, 0)?,
+            Err(e) => return Err(e),
+        }
+        self.write(p, 0, data)
+    }
+
+    /// Reads a whole file.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read`](Self::read).
+    pub fn read_file(&self, p: &str) -> FsResult<Vec<u8>> {
+        let size = self.stat(p)?.size;
+        self.read(p, 0, size as usize)
+    }
+
+    /// Truncates (or sparsely extends) a file to `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::IsADirectory`],
+    /// [`FsError::FileTooLarge`], or device errors.
+    pub fn truncate(&self, p: &str, size: u64) -> FsResult<()> {
+        let _g = self.lock.lock();
+        if size > self.geo.max_file_size() {
+            return Err(FsError::FileTooLarge);
+        }
+        let ino = self.resolve(p)?;
+        let inodes = InodeTable::new(&self.dev, &self.geo);
+        let mut node = inodes.read(ino)?;
+        if node.kind != InodeKind::File {
+            return Err(FsError::IsADirectory(p.to_string()));
+        }
+        if size < node.size {
+            // Free whole blocks past the new end.
+            let bs = self.geo.block_size as u64;
+            let keep_blocks = size.div_ceil(bs);
+            let bitmap = Bitmap::new(&self.dev, &self.geo);
+            let pointers_per_block = bs / 4;
+            let total_blocks = DIRECT_POINTERS as u64 + pointers_per_block;
+            for logical in keep_blocks..total_blocks {
+                if logical < DIRECT_POINTERS as u64 {
+                    let slot = &mut node.direct[logical as usize];
+                    if *slot != 0 {
+                        bitmap.free(*slot as u64)?;
+                        *slot = 0;
+                    }
+                } else if node.indirect != 0 {
+                    let iblock = BlockIndex::new(node.indirect as u64);
+                    let mut raw = self.dev.read_block(iblock)?.as_slice().to_vec();
+                    let idx = (logical - DIRECT_POINTERS as u64) as usize * 4;
+                    let entry = (&raw[idx..idx + 4]).get_u32_le();
+                    if entry != 0 {
+                        bitmap.free(entry as u64)?;
+                        (&mut raw[idx..idx + 4]).put_u32_le(0);
+                        self.dev.write_block(iblock, BlockData::from(raw))?;
+                    }
+                }
+            }
+            if keep_blocks <= DIRECT_POINTERS as u64 && node.indirect != 0 {
+                bitmap.free(node.indirect as u64)?;
+                node.indirect = 0;
+            }
+            // Zero the tail of the last kept block so re-extension reads
+            // zeros, not stale bytes.
+            if size % bs != 0 {
+                if let Some(block) = self.map_block(&mut node, size / bs, false)? {
+                    let mut raw = self
+                        .dev
+                        .read_block(BlockIndex::new(block))?
+                        .as_slice()
+                        .to_vec();
+                    raw[(size % bs) as usize..].fill(0);
+                    self.dev
+                        .write_block(BlockIndex::new(block), BlockData::from(raw))?;
+                }
+            }
+        }
+        node.size = size;
+        inodes.write(ino, &node)?;
+        Ok(())
+    }
+
+    /// Removes a file, freeing its blocks and inode.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::IsADirectory`], or device errors.
+    pub fn remove_file(&self, p: &str) -> FsResult<()> {
+        let _g = self.lock.lock();
+        let (dir, name) = self.resolve_parent(p)?;
+        let (ino, _) = self
+            .lookup(dir, name)?
+            .ok_or_else(|| FsError::NotFound(p.to_string()))?;
+        let inodes = InodeTable::new(&self.dev, &self.geo);
+        let node = inodes.read(ino)?;
+        if node.kind != InodeKind::File {
+            return Err(FsError::IsADirectory(p.to_string()));
+        }
+        self.dir_remove(dir, name)?;
+        self.free_blocks_of(&node)?;
+        inodes.free(ino)?;
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::DirectoryNotEmpty`], [`FsError::NotADirectory`],
+    /// [`FsError::NotFound`], [`FsError::InvalidPath`] (the root), or
+    /// device errors.
+    pub fn remove_dir(&self, p: &str) -> FsResult<()> {
+        let _g = self.lock.lock();
+        let (dir, name) = self.resolve_parent(p)?;
+        let (ino, _) = self
+            .lookup(dir, name)?
+            .ok_or_else(|| FsError::NotFound(p.to_string()))?;
+        let inodes = InodeTable::new(&self.dev, &self.geo);
+        let node = inodes.read(ino)?;
+        if node.kind != InodeKind::Dir {
+            return Err(FsError::NotADirectory(p.to_string()));
+        }
+        if !self.dir_entries(ino)?.is_empty() {
+            return Err(FsError::DirectoryNotEmpty(p.to_string()));
+        }
+        self.dir_remove(dir, name)?;
+        self.free_blocks_of(&node)?;
+        inodes.free(ino)?;
+        Ok(())
+    }
+
+    /// Renames (moves) a file or directory. Refuses to move a directory
+    /// into its own subtree.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::AlreadyExists`],
+    /// [`FsError::InvalidPath`], or device errors.
+    pub fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let _g = self.lock.lock();
+        // Reject moving a directory under itself: "/a" -> "/a/b/c".
+        let from_parts = path::split(from)?;
+        let to_parts = path::split(to)?;
+        if to_parts.len() > from_parts.len() && to_parts[..from_parts.len()] == from_parts[..] {
+            return Err(FsError::InvalidPath(format!("{to} is inside {from}")));
+        }
+        let (from_dir, from_name) = self.resolve_parent(from)?;
+        let (ino, _) = self
+            .lookup(from_dir, from_name)?
+            .ok_or_else(|| FsError::NotFound(from.to_string()))?;
+        let (to_dir, to_name) = self.resolve_parent(to)?;
+        if self.lookup(to_dir, to_name)?.is_some() {
+            return Err(FsError::AlreadyExists(to.to_string()));
+        }
+        self.dir_insert(to_dir, to_name, ino)?;
+        self.dir_remove(from_dir, from_name)?;
+        Ok(())
+    }
+
+    /// `stat`: metadata of a file or directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or device errors.
+    pub fn stat(&self, p: &str) -> FsResult<Metadata> {
+        let _g = self.lock.lock();
+        let ino = self.resolve(p)?;
+        let node = InodeTable::new(&self.dev, &self.geo).read(ino)?;
+        Ok(Metadata {
+            kind: match node.kind {
+                InodeKind::Dir => FileKind::Directory,
+                _ => FileKind::File,
+            },
+            size: node.size,
+        })
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, p: &str) -> bool {
+        let _g = self.lock.lock();
+        self.resolve(p).is_ok()
+    }
+
+    /// Lists a directory's entry names, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotADirectory`], [`FsError::NotFound`], or device errors.
+    pub fn read_dir(&self, p: &str) -> FsResult<Vec<String>> {
+        let _g = self.lock.lock();
+        let ino = self.resolve(p)?;
+        let node = InodeTable::new(&self.dev, &self.geo).read(ino)?;
+        if node.kind != InodeKind::Dir {
+            return Err(FsError::NotADirectory(p.to_string()));
+        }
+        let mut names: Vec<String> = self.dir_entries(ino)?.into_iter().map(|e| e.name).collect();
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockrep_storage::MemStore;
+
+    fn fresh() -> FileSystem<MemStore> {
+        FileSystem::format(MemStore::new(512, 512)).unwrap()
+    }
+
+    #[test]
+    fn format_then_mount_roundtrip() {
+        let fs = fresh();
+        fs.write_file("/persist", b"data").unwrap();
+        let dev = fs.into_device();
+        let fs2 = FileSystem::mount(dev).unwrap();
+        assert_eq!(fs2.read_file("/persist").unwrap(), b"data");
+    }
+
+    #[test]
+    fn mount_unformatted_device_fails() {
+        assert!(matches!(
+            FileSystem::mount(MemStore::new(64, 512)),
+            Err(FsError::BadSuperblock(_))
+        ));
+    }
+
+    #[test]
+    fn root_starts_empty() {
+        let fs = fresh();
+        assert_eq!(fs.read_dir("/").unwrap(), Vec::<String>::new());
+        assert!(fs.stat("/").unwrap().is_dir());
+    }
+
+    #[test]
+    fn create_write_read_small_file() {
+        let fs = fresh();
+        fs.create("/hello").unwrap();
+        fs.write("/hello", 0, b"world").unwrap();
+        assert_eq!(fs.read("/hello", 0, 100).unwrap(), b"world");
+        assert_eq!(fs.stat("/hello").unwrap().size, 5);
+    }
+
+    #[test]
+    fn overwrite_in_place() {
+        let fs = fresh();
+        fs.write_file("/f", b"aaaaaa").unwrap();
+        fs.write("/f", 2, b"XX").unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"aaXXaa");
+    }
+
+    #[test]
+    fn sparse_files_read_zeroes_in_holes() {
+        let fs = fresh();
+        fs.create("/sparse").unwrap();
+        fs.write("/sparse", 3 * 512 + 10, b"tail").unwrap();
+        let data = fs.read_file("/sparse").unwrap();
+        assert_eq!(data.len(), 3 * 512 + 14);
+        assert!(data[..3 * 512 + 10].iter().all(|&b| b == 0));
+        assert_eq!(&data[3 * 512 + 10..], b"tail");
+    }
+
+    #[test]
+    fn multi_block_file_via_indirect_pointers() {
+        let fs = fresh();
+        // 40 blocks worth — far past the 12 direct pointers.
+        let data: Vec<u8> = (0..40 * 512u32).map(|i| (i % 251) as u8).collect();
+        fs.write_file("/big", &data).unwrap();
+        assert_eq!(fs.read_file("/big").unwrap(), data);
+    }
+
+    #[test]
+    fn file_size_limit_enforced() {
+        let fs = FileSystem::format(MemStore::new(512, 512)).unwrap();
+        let max = fs.geometry().max_file_size();
+        assert!(matches!(
+            fs.write("/missing-yet", 0, b"x"),
+            Err(FsError::NotFound(_))
+        ));
+        fs.create("/limit").unwrap();
+        assert!(matches!(
+            fs.write("/limit", max, b"x"),
+            Err(FsError::FileTooLarge)
+        ));
+    }
+
+    #[test]
+    fn directories_nest_and_list() {
+        let fs = fresh();
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        fs.write_file("/a/b/c", b"1").unwrap();
+        fs.write_file("/a/x", b"2").unwrap();
+        assert_eq!(fs.read_dir("/a").unwrap(), vec!["b", "x"]);
+        assert_eq!(fs.read_dir("/a/b").unwrap(), vec!["c"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let fs = fresh();
+        fs.create("/f").unwrap();
+        assert!(matches!(fs.create("/f"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(fs.mkdir("/f"), Err(FsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn remove_file_frees_space() {
+        let fs = fresh();
+        // Prime the root directory so its entry block is already allocated.
+        fs.create("/keep").unwrap();
+        let before = fs.free_bytes().unwrap();
+        fs.write_file("/tmp", &vec![1u8; 20 * 512]).unwrap();
+        assert!(fs.free_bytes().unwrap() < before);
+        fs.remove_file("/tmp").unwrap();
+        assert_eq!(fs.free_bytes().unwrap(), before);
+        assert!(!fs.exists("/tmp"));
+    }
+
+    #[test]
+    fn remove_dir_requires_empty() {
+        let fs = fresh();
+        fs.mkdir("/d").unwrap();
+        fs.write_file("/d/f", b"x").unwrap();
+        assert!(matches!(
+            fs.remove_dir("/d"),
+            Err(FsError::DirectoryNotEmpty(_))
+        ));
+        fs.remove_file("/d/f").unwrap();
+        fs.remove_dir("/d").unwrap();
+        assert!(!fs.exists("/d"));
+    }
+
+    #[test]
+    fn truncate_shrinks_and_zero_fills() {
+        let fs = fresh();
+        fs.write_file("/t", &vec![7u8; 1000]).unwrap();
+        fs.truncate("/t", 100).unwrap();
+        assert_eq!(fs.stat("/t").unwrap().size, 100);
+        // Re-extend: the formerly truncated range must read zero.
+        fs.write("/t", 200, b"z").unwrap();
+        let data = fs.read_file("/t").unwrap();
+        assert!(data[..100].iter().all(|&b| b == 7));
+        assert!(data[100..200].iter().all(|&b| b == 0));
+        assert_eq!(data[200], b'z');
+    }
+
+    #[test]
+    fn rename_moves_across_directories() {
+        let fs = fresh();
+        fs.mkdir("/src").unwrap();
+        fs.mkdir("/dst").unwrap();
+        fs.write_file("/src/f", b"move me").unwrap();
+        fs.rename("/src/f", "/dst/g").unwrap();
+        assert!(!fs.exists("/src/f"));
+        assert_eq!(fs.read_file("/dst/g").unwrap(), b"move me");
+    }
+
+    #[test]
+    fn rename_refuses_cycle() {
+        let fs = fresh();
+        fs.mkdir("/a").unwrap();
+        assert!(matches!(
+            fs.rename("/a", "/a/b"),
+            Err(FsError::InvalidPath(_))
+        ));
+    }
+
+    #[test]
+    fn rename_refuses_overwrite() {
+        let fs = fresh();
+        fs.write_file("/a", b"1").unwrap();
+        fs.write_file("/b", b"2").unwrap();
+        assert!(matches!(
+            fs.rename("/a", "/b"),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn file_operations_reject_directories_and_vice_versa() {
+        let fs = fresh();
+        fs.mkdir("/d").unwrap();
+        fs.write_file("/f", b"x").unwrap();
+        assert!(matches!(fs.read("/d", 0, 1), Err(FsError::IsADirectory(_))));
+        assert!(matches!(
+            fs.write("/d", 0, b"x"),
+            Err(FsError::IsADirectory(_))
+        ));
+        assert!(matches!(fs.read_dir("/f"), Err(FsError::NotADirectory(_))));
+        assert!(matches!(
+            fs.remove_file("/d"),
+            Err(FsError::IsADirectory(_))
+        ));
+        assert!(matches!(
+            fs.remove_dir("/f"),
+            Err(FsError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn path_through_file_is_not_a_directory() {
+        let fs = fresh();
+        fs.write_file("/f", b"x").unwrap();
+        assert!(matches!(
+            fs.read_file("/f/under"),
+            Err(FsError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn directory_grows_past_one_block_of_entries() {
+        let fs = fresh();
+        fs.mkdir("/many").unwrap();
+        // 16 entries fit in one 512-byte block; insert 40.
+        for i in 0..40 {
+            fs.write_file(&format!("/many/file{i:02}"), b"x").unwrap();
+        }
+        let listing = fs.read_dir("/many").unwrap();
+        assert_eq!(listing.len(), 40);
+        assert_eq!(listing[0], "file00");
+        assert_eq!(listing[39], "file39");
+    }
+
+    #[test]
+    fn deleted_entry_slot_is_reused() {
+        let fs = fresh();
+        fs.mkdir("/d").unwrap();
+        for i in 0..5 {
+            fs.write_file(&format!("/d/f{i}"), b"x").unwrap();
+        }
+        let size_before = fs.stat("/d").unwrap().size;
+        fs.remove_file("/d/f2").unwrap();
+        fs.write_file("/d/f5", b"x").unwrap();
+        assert_eq!(fs.stat("/d").unwrap().size, size_before);
+    }
+
+    #[test]
+    fn no_space_surfaces_cleanly() {
+        let fs = FileSystem::format(MemStore::new(32, 512)).unwrap();
+        let mut wrote = 0;
+        // Two-block files exhaust the 28 data blocks before the 16 inodes.
+        let err = loop {
+            match fs.write_file(&format!("/f{wrote}"), &vec![1u8; 1024]) {
+                Ok(()) => wrote += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, FsError::NoSpace), "got {err}");
+        assert!(wrote > 0);
+    }
+}

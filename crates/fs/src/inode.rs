@@ -1,0 +1,214 @@
+//! Inodes: 64-byte on-disk records with direct and indirect block pointers.
+
+use crate::layout::{FsGeometry, DIRECT_POINTERS, INODE_SIZE};
+use crate::{FsError, FsResult};
+use blockrep_storage::BlockDevice;
+use blockrep_types::{BlockData, BlockIndex};
+use bytes::{Buf, BufMut};
+
+/// What an inode describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum InodeKind {
+    /// Free slot.
+    Free = 0,
+    /// Regular file.
+    File = 1,
+    /// Directory.
+    Dir = 2,
+}
+
+/// An in-memory inode image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// File or directory (or free).
+    pub kind: InodeKind,
+    /// Link count (1 for everything in this FS — no hard links — kept for
+    /// format compatibility with a future extension).
+    pub nlink: u16,
+    /// Size in bytes (for directories: the byte extent of the entry table).
+    pub size: u64,
+    /// Direct block pointers; 0 = hole / unallocated.
+    pub direct: [u32; DIRECT_POINTERS],
+    /// Single indirect pointer block; 0 = none.
+    pub indirect: u32,
+}
+
+impl Inode {
+    /// A fresh inode of the given kind.
+    pub fn new(kind: InodeKind) -> Self {
+        Inode {
+            kind,
+            nlink: 1,
+            size: 0,
+            direct: [0; DIRECT_POINTERS],
+            indirect: 0,
+        }
+    }
+
+    /// Serializes to the 64-byte on-disk record.
+    pub fn encode(&self) -> [u8; INODE_SIZE] {
+        let mut buf = Vec::with_capacity(INODE_SIZE);
+        buf.put_u16_le(self.kind as u16);
+        buf.put_u16_le(self.nlink);
+        buf.put_u64_le(self.size);
+        for p in self.direct {
+            buf.put_u32_le(p);
+        }
+        buf.put_u32_le(self.indirect);
+        buf.resize(INODE_SIZE, 0);
+        buf.try_into().expect("inode record is exactly 64 bytes")
+    }
+
+    /// Parses the 64-byte on-disk record.
+    pub fn decode(mut raw: &[u8]) -> Inode {
+        let kind = match raw.get_u16_le() {
+            1 => InodeKind::File,
+            2 => InodeKind::Dir,
+            _ => InodeKind::Free,
+        };
+        let nlink = raw.get_u16_le();
+        let size = raw.get_u64_le();
+        let mut direct = [0u32; DIRECT_POINTERS];
+        for p in &mut direct {
+            *p = raw.get_u32_le();
+        }
+        let indirect = raw.get_u32_le();
+        Inode {
+            kind,
+            nlink,
+            size,
+            direct,
+            indirect,
+        }
+    }
+}
+
+/// The on-disk inode table.
+pub struct InodeTable<'a, D> {
+    dev: &'a D,
+    geo: &'a FsGeometry,
+}
+
+impl<'a, D: BlockDevice> InodeTable<'a, D> {
+    /// Creates a table view over `dev`.
+    pub fn new(dev: &'a D, geo: &'a FsGeometry) -> Self {
+        InodeTable { dev, geo }
+    }
+
+    fn locate(&self, ino: u32) -> FsResult<(BlockIndex, usize)> {
+        if ino == 0 || ino > self.geo.inode_count {
+            return Err(FsError::BadSuperblock(format!("inode {ino} out of range")));
+        }
+        let per_block = self.geo.block_size as usize / INODE_SIZE;
+        let index = (ino - 1) as usize;
+        let block = self.geo.inode_start + (index / per_block) as u64;
+        Ok((BlockIndex::new(block), (index % per_block) * INODE_SIZE))
+    }
+
+    /// Reads inode `ino`.
+    pub fn read(&self, ino: u32) -> FsResult<Inode> {
+        let (block, offset) = self.locate(ino)?;
+        let raw = self.dev.read_block(block)?;
+        Ok(Inode::decode(&raw.as_slice()[offset..offset + INODE_SIZE]))
+    }
+
+    /// Writes inode `ino`.
+    pub fn write(&self, ino: u32, inode: &Inode) -> FsResult<()> {
+        let (block, offset) = self.locate(ino)?;
+        let mut raw = self.dev.read_block(block)?.as_slice().to_vec();
+        raw[offset..offset + INODE_SIZE].copy_from_slice(&inode.encode());
+        self.dev.write_block(block, BlockData::from(raw))?;
+        Ok(())
+    }
+
+    /// Allocates a free inode slot, initializes it to a fresh `kind` inode
+    /// and returns its number.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoInodes`] when the table is full.
+    pub fn alloc(&self, kind: InodeKind) -> FsResult<u32> {
+        for ino in 1..=self.geo.inode_count {
+            if self.read(ino)?.kind == InodeKind::Free {
+                let inode = Inode::new(kind);
+                self.write(ino, &inode)?;
+                return Ok(ino);
+            }
+        }
+        Err(FsError::NoInodes)
+    }
+
+    /// Frees inode `ino`.
+    pub fn free(&self, ino: u32) -> FsResult<()> {
+        self.write(ino, &Inode::new(InodeKind::Free))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockrep_storage::MemStore;
+
+    fn setup() -> (MemStore, FsGeometry) {
+        let geo = FsGeometry::plan(128, 512).unwrap();
+        (MemStore::new(128, 512), geo)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut ino = Inode::new(InodeKind::File);
+        ino.size = 1234;
+        ino.direct[0] = 55;
+        ino.direct[11] = 99;
+        ino.indirect = 77;
+        let back = Inode::decode(&ino.encode());
+        assert_eq!(back, ino);
+    }
+
+    #[test]
+    fn table_read_write_roundtrip() {
+        let (dev, geo) = setup();
+        let table = InodeTable::new(&dev, &geo);
+        let mut ino = Inode::new(InodeKind::Dir);
+        ino.size = 64;
+        table.write(5, &ino).unwrap();
+        assert_eq!(table.read(5).unwrap(), ino);
+        // Neighbouring slots untouched.
+        assert_eq!(table.read(4).unwrap().kind, InodeKind::Free);
+        assert_eq!(table.read(6).unwrap().kind, InodeKind::Free);
+    }
+
+    #[test]
+    fn alloc_scans_for_free_slots() {
+        let (dev, geo) = setup();
+        let table = InodeTable::new(&dev, &geo);
+        let a = table.alloc(InodeKind::File).unwrap();
+        let b = table.alloc(InodeKind::Dir).unwrap();
+        assert_ne!(a, b);
+        table.free(a).unwrap();
+        let c = table.alloc(InodeKind::File).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn exhaustion_reports_no_inodes() {
+        let (dev, geo) = setup();
+        let table = InodeTable::new(&dev, &geo);
+        for _ in 0..geo.inode_count {
+            table.alloc(InodeKind::File).unwrap();
+        }
+        assert!(matches!(
+            table.alloc(InodeKind::File),
+            Err(FsError::NoInodes)
+        ));
+    }
+
+    #[test]
+    fn inode_zero_is_invalid() {
+        let (dev, geo) = setup();
+        let table = InodeTable::new(&dev, &geo);
+        assert!(table.read(0).is_err());
+        assert!(table.read(geo.inode_count + 1).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! On-disk layout: the superblock and derived geometry.
+
+use crate::{FsError, FsResult};
+use bytes::{Buf, BufMut};
+
+/// Magic bytes identifying a blockrep file system.
+pub const MAGIC: [u8; 4] = *b"BRFS";
+/// On-disk format version.
+pub const VERSION: u32 = 1;
+/// Size of one inode record on disk.
+pub const INODE_SIZE: usize = 64;
+/// Number of direct block pointers per inode.
+pub const DIRECT_POINTERS: usize = 12;
+/// Size of one directory entry on disk.
+pub const DIRENT_SIZE: usize = 32;
+/// Maximum file-name length (fits a directory entry).
+pub const MAX_NAME: usize = 27;
+/// The root directory's inode number (inode 0 is reserved as "none").
+pub const ROOT_INO: u32 = 1;
+
+/// The file system's geometry: where each on-disk region lives. Derived
+/// from the device size at format time, persisted in the superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsGeometry {
+    /// Size of each block in bytes.
+    pub block_size: u32,
+    /// Total device blocks.
+    pub num_blocks: u64,
+    /// Number of inodes in the table.
+    pub inode_count: u32,
+    /// First block of the allocation bitmap.
+    pub bitmap_start: u64,
+    /// Blocks occupied by the bitmap.
+    pub bitmap_blocks: u64,
+    /// First block of the inode table.
+    pub inode_start: u64,
+    /// Blocks occupied by the inode table.
+    pub inode_blocks: u64,
+    /// First data block.
+    pub data_start: u64,
+}
+
+impl FsGeometry {
+    /// Plans the layout for a device of `num_blocks` blocks of `block_size`
+    /// bytes: one inode per four data-ish blocks (at least 16), a bitmap
+    /// bit per device block.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::DeviceTooSmall`] when the metadata would not leave at
+    /// least one data block, and [`FsError::BadSuperblock`] if the block
+    /// size cannot hold the superblock or even one directory entry.
+    pub fn plan(num_blocks: u64, block_size: usize) -> FsResult<FsGeometry> {
+        if block_size < 64 {
+            return Err(FsError::BadSuperblock(format!(
+                "block size {block_size} too small (need >= 64)"
+            )));
+        }
+        let bits_per_block = (block_size * 8) as u64;
+        let bitmap_blocks = num_blocks.div_ceil(bits_per_block);
+        let inode_count = (num_blocks / 4).clamp(16, u32::MAX as u64) as u32;
+        let inodes_per_block = (block_size / INODE_SIZE) as u64;
+        let inode_blocks = (inode_count as u64).div_ceil(inodes_per_block);
+        let data_start = 1 + bitmap_blocks + inode_blocks;
+        if data_start + 1 > num_blocks {
+            return Err(FsError::DeviceTooSmall);
+        }
+        Ok(FsGeometry {
+            block_size: block_size as u32,
+            num_blocks,
+            inode_count,
+            bitmap_start: 1,
+            bitmap_blocks,
+            inode_start: 1 + bitmap_blocks,
+            inode_blocks,
+            data_start,
+        })
+    }
+
+    /// Maximum file size: 12 direct pointers plus one indirect block of
+    /// 4-byte pointers.
+    pub fn max_file_size(&self) -> u64 {
+        let bs = self.block_size as u64;
+        (DIRECT_POINTERS as u64 + bs / 4) * bs
+    }
+
+    /// Directory entries per block.
+    pub fn dirents_per_block(&self) -> usize {
+        self.block_size as usize / DIRENT_SIZE
+    }
+
+    /// Serializes the superblock into a zero-padded block image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.block_size as usize);
+        buf.put_slice(&MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.block_size);
+        buf.put_u64_le(self.num_blocks);
+        buf.put_u32_le(self.inode_count);
+        buf.put_u64_le(self.bitmap_start);
+        buf.put_u64_le(self.bitmap_blocks);
+        buf.put_u64_le(self.inode_start);
+        buf.put_u64_le(self.inode_blocks);
+        buf.put_u64_le(self.data_start);
+        buf.resize(self.block_size as usize, 0);
+        buf
+    }
+
+    /// Parses a superblock image.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadSuperblock`] on a wrong magic, version, or geometry
+    /// that does not match the device.
+    pub fn decode(
+        mut raw: &[u8],
+        device_blocks: u64,
+        device_block_size: usize,
+    ) -> FsResult<FsGeometry> {
+        if raw.len() < 56 {
+            return Err(FsError::BadSuperblock("superblock truncated".into()));
+        }
+        let mut magic = [0u8; 4];
+        raw.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(FsError::BadSuperblock(
+                "wrong magic — device not formatted".into(),
+            ));
+        }
+        let version = raw.get_u32_le();
+        if version != VERSION {
+            return Err(FsError::BadSuperblock(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let geo = FsGeometry {
+            block_size: raw.get_u32_le(),
+            num_blocks: raw.get_u64_le(),
+            inode_count: raw.get_u32_le(),
+            bitmap_start: raw.get_u64_le(),
+            bitmap_blocks: raw.get_u64_le(),
+            inode_start: raw.get_u64_le(),
+            inode_blocks: raw.get_u64_le(),
+            data_start: raw.get_u64_le(),
+        };
+        if geo.block_size as usize != device_block_size || geo.num_blocks != device_blocks {
+            return Err(FsError::BadSuperblock(format!(
+                "geometry mismatch: superblock says {}x{}, device is {}x{}",
+                geo.num_blocks, geo.block_size, device_blocks, device_block_size
+            )));
+        }
+        Ok(geo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_leaves_data_blocks() {
+        let geo = FsGeometry::plan(128, 512).unwrap();
+        assert_eq!(geo.bitmap_start, 1);
+        assert!(geo.data_start < 128);
+        assert!(geo.inode_count >= 16);
+        // Regions are ordered and non-overlapping.
+        assert_eq!(geo.inode_start, geo.bitmap_start + geo.bitmap_blocks);
+        assert_eq!(geo.data_start, geo.inode_start + geo.inode_blocks);
+    }
+
+    #[test]
+    fn plan_rejects_tiny_devices() {
+        assert!(matches!(
+            FsGeometry::plan(2, 512),
+            Err(FsError::DeviceTooSmall)
+        ));
+        assert!(FsGeometry::plan(128, 32).is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let geo = FsGeometry::plan(256, 512).unwrap();
+        let raw = geo.encode();
+        assert_eq!(raw.len(), 512);
+        let back = FsGeometry::decode(&raw, 256, 512).unwrap();
+        assert_eq!(back, geo);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_magic() {
+        let mut raw = FsGeometry::plan(256, 512).unwrap().encode();
+        raw[0] = b'X';
+        assert!(matches!(
+            FsGeometry::decode(&raw, 256, 512),
+            Err(FsError::BadSuperblock(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_geometry_mismatch() {
+        let raw = FsGeometry::plan(256, 512).unwrap().encode();
+        assert!(FsGeometry::decode(&raw, 128, 512).is_err());
+        assert!(FsGeometry::decode(&raw, 256, 1024).is_err());
+    }
+
+    #[test]
+    fn max_file_size_matches_pointer_arithmetic() {
+        let geo = FsGeometry::plan(1024, 512).unwrap();
+        assert_eq!(geo.max_file_size(), (12 + 128) * 512);
+        assert_eq!(geo.dirents_per_block(), 16);
+    }
+}

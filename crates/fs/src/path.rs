@@ -1,0 +1,109 @@
+//! Absolute-path parsing and validation.
+
+use crate::layout::MAX_NAME;
+use crate::{FsError, FsResult};
+
+/// Splits an absolute path into validated components.
+///
+/// Rules: paths start with `/`; components are nonempty, at most
+/// [`MAX_NAME`] bytes, and contain neither `/` nor NUL; `.` and `..` are
+/// rejected (the file system keeps no parent pointers). The root path `/`
+/// yields no components. A single trailing slash is tolerated
+/// (`/a/b/` == `/a/b`).
+///
+/// # Errors
+///
+/// [`FsError::InvalidPath`] or [`FsError::InvalidName`].
+pub fn split(path: &str) -> FsResult<Vec<&str>> {
+    let Some(rest) = path.strip_prefix('/') else {
+        return Err(FsError::InvalidPath(path.to_string()));
+    };
+    let rest = rest.strip_suffix('/').unwrap_or(rest);
+    if rest.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut parts = Vec::new();
+    for part in rest.split('/') {
+        validate_name(part)?;
+        parts.push(part);
+    }
+    Ok(parts)
+}
+
+/// Validates a single file name.
+///
+/// # Errors
+///
+/// [`FsError::InvalidName`] for empty, oversized, `.`/`..`, or names
+/// containing `/` or NUL.
+pub fn validate_name(name: &str) -> FsResult<()> {
+    if name.is_empty()
+        || name.len() > MAX_NAME
+        || name == "."
+        || name == ".."
+        || name.contains('/')
+        || name.contains('\0')
+    {
+        return Err(FsError::InvalidName(name.to_string()));
+    }
+    Ok(())
+}
+
+/// Splits a path into (parent components, final name).
+///
+/// # Errors
+///
+/// [`FsError::InvalidPath`] when the path is `/` (which has no name) or
+/// otherwise malformed.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut parts = split(path)?;
+    let name = parts
+        .pop()
+        .ok_or_else(|| FsError::InvalidPath(path.to_string()))?;
+    Ok((parts, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_components() {
+        assert!(split("/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn normal_paths_split() {
+        assert_eq!(split("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split("/a/b/").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn relative_paths_rejected() {
+        assert!(split("a/b").is_err());
+        assert!(split("").is_err());
+    }
+
+    #[test]
+    fn dot_components_rejected() {
+        assert!(split("/a/./b").is_err());
+        assert!(split("/a/../b").is_err());
+        assert!(split("/a//b").is_err());
+    }
+
+    #[test]
+    fn long_names_rejected() {
+        let long = "x".repeat(MAX_NAME + 1);
+        assert!(split(&format!("/{long}")).is_err());
+        let ok = "x".repeat(MAX_NAME);
+        assert!(split(&format!("/{ok}")).is_ok());
+    }
+
+    #[test]
+    fn split_parent_peels_the_name() {
+        let (parents, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(parents, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        assert!(split_parent("/").is_err());
+    }
+}

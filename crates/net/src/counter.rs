@@ -1,0 +1,419 @@
+//! High-level transmission accounting.
+
+use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The operation on whose behalf a transmission was sent.
+///
+/// §5 attributes every message to a read, a write, or a site recovery; the
+/// [`Control`](OpClass::Control) class captures traffic outside the paper's
+/// model (e.g. failure-detection pings in the on-failure tracking variant)
+/// so it can be reported separately and excluded from comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Block read requested by the file system.
+    Read,
+    /// Block write requested by the file system.
+    Write,
+    /// Site recovery after a failure.
+    Recovery,
+    /// Bookkeeping outside the paper's cost model.
+    Control,
+}
+
+impl OpClass {
+    /// All classes, in reporting order.
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Read,
+        OpClass::Write,
+        OpClass::Recovery,
+        OpClass::Control,
+    ];
+
+    const fn idx(self) -> usize {
+        match self {
+            OpClass::Read => 0,
+            OpClass::Write => 1,
+            OpClass::Recovery => 2,
+            OpClass::Control => 3,
+        }
+    }
+
+    /// Short label used in tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            OpClass::Read => "read",
+            OpClass::Write => "write",
+            OpClass::Recovery => "recovery",
+            OpClass::Control => "control",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The kinds of high-level transmissions the three protocols exchange.
+///
+/// These mirror §5's enumeration: "requests for version vectors, block
+/// transfers, and the like".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MsgKind {
+    /// Voting: query for votes / quorum existence.
+    VoteRequest,
+    /// Voting: a site's vote (version number + weight).
+    VoteReply,
+    /// Voting read: fetch of a current block from the highest-version site.
+    BlockRequest,
+    /// The data of one block in flight.
+    BlockTransfer,
+    /// A write update carrying the new block (and version).
+    WriteUpdate,
+    /// Acknowledgement of a write update (available copy only).
+    WriteAck,
+    /// Recovery: "who is out there / what state are you in" query.
+    RecoveryQuery,
+    /// Recovery: response to a recovery query.
+    RecoveryReply,
+    /// Recovery: a version vector in flight.
+    VersionVector,
+    /// Recovery: a was-available set in flight (available copy only).
+    WasAvailable,
+    /// Failure-detection traffic (control class only).
+    FailureNotice,
+}
+
+impl MsgKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [MsgKind; 11] = [
+        MsgKind::VoteRequest,
+        MsgKind::VoteReply,
+        MsgKind::BlockRequest,
+        MsgKind::BlockTransfer,
+        MsgKind::WriteUpdate,
+        MsgKind::WriteAck,
+        MsgKind::RecoveryQuery,
+        MsgKind::RecoveryReply,
+        MsgKind::VersionVector,
+        MsgKind::WasAvailable,
+        MsgKind::FailureNotice,
+    ];
+
+    const fn idx(self) -> usize {
+        match self {
+            MsgKind::VoteRequest => 0,
+            MsgKind::VoteReply => 1,
+            MsgKind::BlockRequest => 2,
+            MsgKind::BlockTransfer => 3,
+            MsgKind::WriteUpdate => 4,
+            MsgKind::WriteAck => 5,
+            MsgKind::RecoveryQuery => 6,
+            MsgKind::RecoveryReply => 7,
+            MsgKind::VersionVector => 8,
+            MsgKind::WasAvailable => 9,
+            MsgKind::FailureNotice => 10,
+        }
+    }
+
+    /// Short label used in tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MsgKind::VoteRequest => "vote-request",
+            MsgKind::VoteReply => "vote-reply",
+            MsgKind::BlockRequest => "block-request",
+            MsgKind::BlockTransfer => "block-transfer",
+            MsgKind::WriteUpdate => "write-update",
+            MsgKind::WriteAck => "write-ack",
+            MsgKind::RecoveryQuery => "recovery-query",
+            MsgKind::RecoveryReply => "recovery-reply",
+            MsgKind::VersionVector => "version-vector",
+            MsgKind::WasAvailable => "was-available",
+            MsgKind::FailureNotice => "failure-notice",
+        }
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+const OPS: usize = OpClass::ALL.len();
+const KINDS: usize = MsgKind::ALL.len();
+
+/// Thread-safe counters of high-level transmissions, indexed by
+/// `(OpClass, MsgKind)`.
+///
+/// Every transport and protocol coordinator records into one of these; the
+/// traffic experiments (Figures 11 and 12) read measured costs out of it and
+/// compare them with the closed forms in `blockrep-analysis`.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_net::{MsgKind, OpClass, TrafficCounter};
+///
+/// let c = TrafficCounter::new();
+/// c.add(OpClass::Write, MsgKind::WriteUpdate, 1);
+/// c.add(OpClass::Write, MsgKind::WriteAck, 2);
+/// let before = c.snapshot();
+/// c.add(OpClass::Read, MsgKind::VoteRequest, 1);
+/// let delta = c.snapshot() - before;
+/// assert_eq!(delta.total(), 1);
+/// assert_eq!(delta.total_for(OpClass::Read), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TrafficCounter {
+    counts: [[AtomicU64; KINDS]; OPS],
+}
+
+impl TrafficCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        TrafficCounter::default()
+    }
+
+    /// Records `n` transmissions of `kind` on behalf of `op`.
+    pub fn add(&self, op: OpClass, kind: MsgKind, n: u64) {
+        self.counts[op.idx()][kind.idx()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total transmissions across all classes and kinds.
+    pub fn total(&self) -> u64 {
+        self.snapshot().total()
+    }
+
+    /// Total transmissions attributed to one operation class.
+    pub fn total_for(&self, op: OpClass) -> u64 {
+        self.snapshot().total_for(op)
+    }
+
+    /// A consistent point-in-time copy of all counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        let mut counts = [[0u64; KINDS]; OPS];
+        for (o, row) in self.counts.iter().enumerate() {
+            for (k, cell) in row.iter().enumerate() {
+                counts[o][k] = cell.load(Ordering::Relaxed);
+            }
+        }
+        TrafficSnapshot { counts }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        for row in &self.counts {
+            for cell in row {
+                cell.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl MsgKind {
+    /// Nominal payload size of one transmission of this kind, in bytes,
+    /// excluding the fixed per-message header.
+    ///
+    /// §5 notes that focusing "on the sizes of the messages" instead of
+    /// their number gives differences that are "similar … though slightly
+    /// less pronounced"; this nominal model (8-byte versions, full blocks
+    /// in block-bearing messages, a version vector entry per device block)
+    /// lets [`TrafficSnapshot::estimated_bytes`] reproduce that remark.
+    pub fn payload_bytes(self, block_size: usize, num_blocks: u64) -> u64 {
+        match self {
+            MsgKind::VoteRequest
+            | MsgKind::BlockRequest
+            | MsgKind::WriteAck
+            | MsgKind::RecoveryQuery => 0,
+            MsgKind::VoteReply => 8,
+            MsgKind::BlockTransfer | MsgKind::WriteUpdate => 8 + block_size as u64,
+            MsgKind::RecoveryReply => 16,
+            MsgKind::VersionVector => 8 * num_blocks,
+            MsgKind::WasAvailable => 32,
+            MsgKind::FailureNotice => 8,
+        }
+    }
+}
+
+/// An immutable copy of a [`TrafficCounter`]; subtracting two snapshots
+/// yields the traffic of the interval between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficSnapshot {
+    counts: [[u64; KINDS]; OPS],
+}
+
+impl TrafficSnapshot {
+    /// Transmissions of `kind` on behalf of `op`.
+    pub fn get(&self, op: OpClass, kind: MsgKind) -> u64 {
+        self.counts[op.idx()][kind.idx()]
+    }
+
+    /// Total transmissions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Total transmissions attributed to one operation class.
+    pub fn total_for(&self, op: OpClass) -> u64 {
+        self.counts[op.idx()].iter().sum()
+    }
+
+    /// Total transmissions in the paper's cost model, i.e. excluding
+    /// [`OpClass::Control`].
+    pub fn total_modeled(&self) -> u64 {
+        self.total_for(OpClass::Read)
+            + self.total_for(OpClass::Write)
+            + self.total_for(OpClass::Recovery)
+    }
+
+    /// Total bytes on the wire under the nominal size model: a fixed
+    /// `header` per transmission plus each kind's
+    /// [`payload_bytes`](MsgKind::payload_bytes). Control traffic included.
+    pub fn estimated_bytes(&self, header: u64, block_size: usize, num_blocks: u64) -> u64 {
+        let mut total = 0;
+        for op in OpClass::ALL {
+            for kind in MsgKind::ALL {
+                let n = self.get(op, kind);
+                total += n * (header + kind.payload_bytes(block_size, num_blocks));
+            }
+        }
+        total
+    }
+
+    /// Nonzero `(op, kind, count)` triples in reporting order.
+    pub fn entries(&self) -> Vec<(OpClass, MsgKind, u64)> {
+        let mut out = Vec::new();
+        for op in OpClass::ALL {
+            for kind in MsgKind::ALL {
+                let n = self.get(op, kind);
+                if n > 0 {
+                    out.push((op, kind, n));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Sub for TrafficSnapshot {
+    type Output = TrafficSnapshot;
+
+    /// Component-wise difference; panics (in debug) on underflow, which
+    /// would indicate snapshots taken in the wrong order.
+    fn sub(self, rhs: TrafficSnapshot) -> TrafficSnapshot {
+        let mut counts = [[0u64; KINDS]; OPS];
+        for (o, row) in counts.iter_mut().enumerate() {
+            for (k, cell) in row.iter_mut().enumerate() {
+                *cell = self.counts[o][k] - rhs.counts[o][k];
+            }
+        }
+        TrafficSnapshot { counts }
+    }
+}
+
+impl fmt::Display for TrafficSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "traffic: {} transmissions", self.total())?;
+        for (op, kind, n) in self.entries() {
+            writeln!(f, "  {op:>8} {kind:<16} {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_per_cell() {
+        let c = TrafficCounter::new();
+        c.add(OpClass::Read, MsgKind::VoteRequest, 1);
+        c.add(OpClass::Read, MsgKind::VoteReply, 4);
+        c.add(OpClass::Write, MsgKind::VoteRequest, 2);
+        let s = c.snapshot();
+        assert_eq!(s.get(OpClass::Read, MsgKind::VoteRequest), 1);
+        assert_eq!(s.get(OpClass::Read, MsgKind::VoteReply), 4);
+        assert_eq!(s.get(OpClass::Write, MsgKind::VoteRequest), 2);
+        assert_eq!(s.total(), 7);
+        assert_eq!(s.total_for(OpClass::Read), 5);
+    }
+
+    #[test]
+    fn control_traffic_excluded_from_modeled_total() {
+        let c = TrafficCounter::new();
+        c.add(OpClass::Control, MsgKind::FailureNotice, 10);
+        c.add(OpClass::Write, MsgKind::WriteUpdate, 1);
+        let s = c.snapshot();
+        assert_eq!(s.total(), 11);
+        assert_eq!(s.total_modeled(), 1);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_interval() {
+        let c = TrafficCounter::new();
+        c.add(OpClass::Write, MsgKind::WriteUpdate, 3);
+        let before = c.snapshot();
+        c.add(OpClass::Write, MsgKind::WriteUpdate, 2);
+        c.add(OpClass::Recovery, MsgKind::VersionVector, 1);
+        let delta = c.snapshot() - before;
+        assert_eq!(delta.get(OpClass::Write, MsgKind::WriteUpdate), 2);
+        assert_eq!(delta.total(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = TrafficCounter::new();
+        c.add(OpClass::Read, MsgKind::BlockTransfer, 5);
+        c.reset();
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn entries_reports_nonzero_in_order() {
+        let c = TrafficCounter::new();
+        c.add(OpClass::Write, MsgKind::WriteAck, 1);
+        c.add(OpClass::Read, MsgKind::VoteReply, 1);
+        let entries = c.snapshot().entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, OpClass::Read);
+        assert_eq!(entries[1].0, OpClass::Write);
+    }
+
+    #[test]
+    fn estimated_bytes_charges_header_and_payload() {
+        let c = TrafficCounter::new();
+        c.add(OpClass::Write, MsgKind::WriteUpdate, 2); // 2 × (32 + 8 + 512)
+        c.add(OpClass::Write, MsgKind::WriteAck, 3); // 3 × 32
+        let bytes = c.snapshot().estimated_bytes(32, 512, 64);
+        assert_eq!(bytes, 2 * (32 + 8 + 512) + 3 * 32);
+    }
+
+    #[test]
+    fn version_vectors_scale_with_device_size() {
+        let c = TrafficCounter::new();
+        c.add(OpClass::Recovery, MsgKind::VersionVector, 1);
+        let small = c.snapshot().estimated_bytes(0, 512, 8);
+        let large = c.snapshot().estimated_bytes(0, 512, 80);
+        assert_eq!(small, 64);
+        assert_eq!(large, 640);
+    }
+
+    #[test]
+    fn counter_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<TrafficCounter>();
+    }
+
+    #[test]
+    fn display_lists_counts() {
+        let c = TrafficCounter::new();
+        c.add(OpClass::Read, MsgKind::VoteRequest, 2);
+        let shown = c.snapshot().to_string();
+        assert!(shown.contains("2 transmissions"));
+        assert!(shown.contains("vote-request"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Live message transport over crossbeam channels.
+
+use crate::{DeliveryMode, MsgKind, OpClass, Topology, TrafficCounter};
+use blockrep_types::SiteId;
+use core::fmt;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+/// Failure to deliver a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The topology currently separates the two sites, or the destination
+    /// site is down.
+    Unreachable {
+        /// Sending site.
+        from: SiteId,
+        /// Intended destination.
+        to: SiteId,
+    },
+    /// The destination never registered a mailbox.
+    NoMailbox(SiteId),
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::Unreachable { from, to } => write!(f, "{from} cannot reach {to}"),
+            SendError::NoMailbox(site) => write!(f, "site {site} has no mailbox"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// A router delivering messages between the threaded server processes of a
+/// live cluster.
+///
+/// The network provides what the paper assumes of its communication
+/// substrate: reliable delivery between connected, running sites. It also
+/// does the §5 bookkeeping: every delivery is recorded in the shared
+/// [`TrafficCounter`] under the configured [`DeliveryMode`]'s fan-out rule.
+///
+/// Halted (fail-stop) sites are modeled by [`Network::set_site_up`]: a down
+/// site is unreachable, and messages to it report [`SendError::Unreachable`]
+/// synchronously rather than by timeout, keeping tests deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_net::{DeliveryMode, MsgKind, Network, OpClass};
+/// use blockrep_types::SiteId;
+///
+/// let net: Network<&'static str> = Network::new(2, DeliveryMode::Multicast);
+/// let inbox1 = net.register(SiteId::new(1));
+/// net.send(SiteId::new(0), SiteId::new(1), OpClass::Write, MsgKind::WriteUpdate, "hello")
+///     .unwrap();
+/// assert_eq!(inbox1.recv().unwrap(), "hello");
+/// assert_eq!(net.counter().total(), 1);
+/// ```
+pub struct Network<M> {
+    mailboxes: RwLock<Vec<Option<Sender<M>>>>,
+    up: RwLock<Vec<bool>>,
+    topology: RwLock<Topology>,
+    counter: TrafficCounter,
+    mode: DeliveryMode,
+}
+
+impl<M> Network<M> {
+    /// Creates a fully connected network of `n` sites, all up, with no
+    /// mailboxes registered yet.
+    pub fn new(n: usize, mode: DeliveryMode) -> Self {
+        Network {
+            mailboxes: RwLock::new((0..n).map(|_| None).collect()),
+            up: RwLock::new(vec![true; n]),
+            topology: RwLock::new(Topology::fully_connected(n)),
+            counter: TrafficCounter::new(),
+            mode,
+        }
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.up.read().len()
+    }
+
+    /// The configured delivery mode.
+    pub fn mode(&self) -> DeliveryMode {
+        self.mode
+    }
+
+    /// The shared transmission counter.
+    pub fn counter(&self) -> &TrafficCounter {
+        &self.counter
+    }
+
+    /// Creates (or replaces) the mailbox of `site` and returns its receiving
+    /// end, to be owned by the site's server thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn register(&self, site: SiteId) -> Receiver<M> {
+        let (tx, rx) = unbounded();
+        self.mailboxes.write()[site.index()] = Some(tx);
+        rx
+    }
+
+    /// Marks a site up or down. Messages to a down site fail synchronously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn set_site_up(&self, site: SiteId, is_up: bool) {
+        self.up.write()[site.index()] = is_up;
+    }
+
+    /// Whether a site is currently up.
+    pub fn is_site_up(&self, site: SiteId) -> bool {
+        self.up.read()[site.index()]
+    }
+
+    /// Replaces the topology (e.g. to inject a partition).
+    pub fn set_topology(&self, topology: Topology) {
+        assert_eq!(topology.num_sites(), self.num_sites());
+        *self.topology.write() = topology;
+    }
+
+    /// Runs `f` with the current topology.
+    pub fn with_topology<T>(&self, f: impl FnOnce(&Topology) -> T) -> T {
+        f(&self.topology.read())
+    }
+
+    /// Whether `from` can currently deliver to `to`: both up and in the same
+    /// partition.
+    pub fn can_deliver(&self, from: SiteId, to: SiteId) -> bool {
+        self.up.read()[from.index()]
+            && self.up.read()[to.index()]
+            && self.topology.read().reachable(from, to)
+    }
+
+    /// Delivers one message, charging one transmission to `(op, kind)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Unreachable`] if either site is down or partitioned
+    /// away; [`SendError::NoMailbox`] if the destination never registered.
+    pub fn send(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        op: OpClass,
+        kind: MsgKind,
+        msg: M,
+    ) -> Result<(), SendError> {
+        if !self.can_deliver(from, to) {
+            return Err(SendError::Unreachable { from, to });
+        }
+        let mailboxes = self.mailboxes.read();
+        let tx = mailboxes[to.index()]
+            .as_ref()
+            .ok_or(SendError::NoMailbox(to))?;
+        tx.send(msg).map_err(|_| SendError::NoMailbox(to))?;
+        self.counter.add(op, kind, 1);
+        Ok(())
+    }
+
+    /// Delivers one message without charging the traffic counter, for
+    /// transports whose protocol layer does its own §5 accounting (the
+    /// fan-out cost of a multicast is only known there). Reachability rules
+    /// are the same as [`send`](Self::send), except that a site can always
+    /// message itself (local actions), even while marked down.
+    ///
+    /// # Errors
+    ///
+    /// As for [`send`](Self::send).
+    pub fn send_raw(&self, from: SiteId, to: SiteId, msg: M) -> Result<(), SendError> {
+        if from != to && !self.can_deliver(from, to) {
+            return Err(SendError::Unreachable { from, to });
+        }
+        let mailboxes = self.mailboxes.read();
+        let tx = mailboxes[to.index()]
+            .as_ref()
+            .ok_or(SendError::NoMailbox(to))?;
+        tx.send(msg).map_err(|_| SendError::NoMailbox(to))
+    }
+}
+
+impl<M: Clone> Network<M> {
+    /// Delivers `msg` to every reachable, up target, charging the §5 fan-out
+    /// cost for the delivery mode (one transmission for a nonempty multicast,
+    /// one per destination with unique addressing). Returns the sites
+    /// actually reached.
+    pub fn multicast(
+        &self,
+        from: SiteId,
+        targets: &[SiteId],
+        op: OpClass,
+        kind: MsgKind,
+        msg: M,
+    ) -> Vec<SiteId> {
+        let mut reached = Vec::new();
+        {
+            let mailboxes = self.mailboxes.read();
+            for &to in targets {
+                if to == from || !self.can_deliver(from, to) {
+                    continue;
+                }
+                if let Some(tx) = mailboxes[to.index()].as_ref() {
+                    if tx.send(msg.clone()).is_ok() {
+                        reached.push(to);
+                    }
+                }
+            }
+        }
+        self.counter
+            .add(op, kind, self.mode.fanout_cost(reached.len() as u64));
+        reached
+    }
+}
+
+impl<M> fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("num_sites", &self.num_sites())
+            .field("mode", &self.mode)
+            .field("total_traffic", &self.counter.total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    #[test]
+    fn send_requires_mailbox() {
+        let net: Network<u32> = Network::new(2, DeliveryMode::Unicast);
+        let err = net
+            .send(sid(0), sid(1), OpClass::Read, MsgKind::VoteRequest, 1)
+            .unwrap_err();
+        assert_eq!(err, SendError::NoMailbox(sid(1)));
+    }
+
+    #[test]
+    fn down_site_is_unreachable_synchronously() {
+        let net: Network<u32> = Network::new(2, DeliveryMode::Unicast);
+        let _rx = net.register(sid(1));
+        net.set_site_up(sid(1), false);
+        let err = net
+            .send(sid(0), sid(1), OpClass::Read, MsgKind::VoteRequest, 1)
+            .unwrap_err();
+        assert!(matches!(err, SendError::Unreachable { .. }));
+        // Nothing was charged for the failed send.
+        assert_eq!(net.counter().total(), 0);
+    }
+
+    #[test]
+    fn partition_blocks_delivery() {
+        let net: Network<u32> = Network::new(3, DeliveryMode::Unicast);
+        let rx2 = net.register(sid(2));
+        let mut topo = Topology::fully_connected(3);
+        topo.partition(&[vec![sid(0), sid(1)], vec![sid(2)]]);
+        net.set_topology(topo);
+        assert!(net
+            .send(sid(0), sid(2), OpClass::Write, MsgKind::WriteUpdate, 7)
+            .is_err());
+        assert!(rx2.try_recv().is_err());
+    }
+
+    #[test]
+    fn multicast_counts_one_in_multicast_mode() {
+        let net: Network<u32> = Network::new(4, DeliveryMode::Multicast);
+        let rxs: Vec<_> = (1..4).map(|i| net.register(sid(i))).collect();
+        let reached = net.multicast(
+            sid(0),
+            &[sid(1), sid(2), sid(3)],
+            OpClass::Write,
+            MsgKind::WriteUpdate,
+            9,
+        );
+        assert_eq!(reached.len(), 3);
+        assert_eq!(net.counter().total(), 1);
+        for rx in rxs {
+            assert_eq!(rx.recv().unwrap(), 9);
+        }
+    }
+
+    #[test]
+    fn multicast_counts_per_target_in_unicast_mode() {
+        let net: Network<u32> = Network::new(4, DeliveryMode::Unicast);
+        let _rxs: Vec<_> = (1..4).map(|i| net.register(sid(i))).collect();
+        net.multicast(
+            sid(0),
+            &[sid(1), sid(2), sid(3)],
+            OpClass::Write,
+            MsgKind::WriteUpdate,
+            9,
+        );
+        assert_eq!(net.counter().total(), 3);
+    }
+
+    #[test]
+    fn multicast_skips_self_and_down_sites() {
+        let net: Network<u32> = Network::new(3, DeliveryMode::Multicast);
+        let _rx1 = net.register(sid(1));
+        let _rx2 = net.register(sid(2));
+        net.set_site_up(sid(2), false);
+        let reached = net.multicast(
+            sid(0),
+            &[sid(0), sid(1), sid(2)],
+            OpClass::Write,
+            MsgKind::WriteUpdate,
+            0,
+        );
+        assert_eq!(reached, vec![sid(1)]);
+    }
+
+    #[test]
+    fn empty_multicast_costs_nothing() {
+        let net: Network<u32> = Network::new(1, DeliveryMode::Multicast);
+        let reached = net.multicast(sid(0), &[], OpClass::Write, MsgKind::WriteUpdate, 0);
+        assert!(reached.is_empty());
+        assert_eq!(net.counter().total(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Virtual simulation time.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// A point on the simulation clock, in abstract time units.
+///
+/// The availability analysis is parameterized by the failure-to-repair rate
+/// ratio `ρ = λ/μ` only, so experiments conventionally set `μ = 1` and let
+/// one time unit equal one mean repair time.
+///
+/// `SimTime` is totally ordered; constructing a NaN time panics, which is
+/// what makes the ordering total.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_sim::SimTime;
+///
+/// let t = SimTime::new(1.5) + SimTime::new(2.0);
+/// assert_eq!(t, SimTime::new(3.5));
+/// assert!(SimTime::ZERO < t);
+/// assert_eq!((t - SimTime::new(3.0)).as_f64(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN or negative.
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "simulation time cannot be NaN");
+        assert!(t >= 0.0, "simulation time cannot be negative");
+        SimTime(t)
+    }
+
+    /// The raw value in time units.
+    pub const fn as_f64(self) -> f64 {
+        self.0
+    }
+}
+
+// SimTime values are never NaN (enforced by `new`), so the ordering is total.
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics if the result would be negative.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::new(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.0)
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(value: f64) -> Self {
+        SimTime::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.5);
+        assert!(a < b);
+        assert_eq!(a + b, SimTime::new(3.5));
+        assert_eq!(b - a, SimTime::new(1.5));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(SimTime::new(1.25).to_string(), "t=1.250000");
+    }
+}

@@ -1,0 +1,179 @@
+//! The event queue.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic future-event list: events pop in time order, with FIFO
+/// tie-breaking by insertion sequence so equal-time events are reproducible.
+///
+/// The scheduler is intentionally passive — the caller owns the loop — so
+/// simulation state (a protocol cluster, statistics, RNG) lives outside and
+/// borrows never tangle.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_sim::{Scheduler, SimTime};
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule_at(SimTime::new(2.0), "late");
+/// sched.schedule_at(SimTime::new(1.0), "early");
+/// assert_eq!(sched.pop(), Some((SimTime::new(1.0), "early")));
+/// assert_eq!(sched.now(), SimTime::new(1.0));
+/// assert_eq!(sched.pop(), Some((SimTime::new(2.0), "late")));
+/// assert_eq!(sched.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past (before [`now`](Self::now)).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedules `event` after a relative `delay` from the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Removes and returns the next event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Peeks at the timestamp of the next event without advancing the clock.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::new(3.0), 3);
+        s.schedule_at(SimTime::new(1.0), 1);
+        s.schedule_at(SimTime::new(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule_at(SimTime::new(1.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule_after(SimTime::new(5.0), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        assert_eq!(s.peek_time(), Some(SimTime::new(5.0)));
+        s.pop();
+        assert_eq!(s.now(), SimTime::new(5.0));
+        // Relative scheduling is from the new now.
+        s.schedule_after(SimTime::new(1.0), ());
+        assert_eq!(s.peek_time(), Some(SimTime::new(6.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::new(2.0), ());
+        s.pop();
+        s.schedule_at(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut s: Scheduler<()> = Scheduler::default();
+        assert!(s.is_empty());
+        s.schedule_after(SimTime::new(1.0), ());
+        assert_eq!(s.len(), 1);
+    }
+}

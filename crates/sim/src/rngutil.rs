@@ -1,0 +1,113 @@
+//! Random variates for the paper's stochastic model.
+
+use crate::SimTime;
+use rand::Rng;
+
+/// An exponential distribution with the given rate, sampled by inverse
+/// transform.
+///
+/// The paper assumes "individual site failures and individual site repairs
+/// are independent events distributed according to a Poisson law": the time
+/// to the next failure of an up site is `Exp(λ)` and the time to repair a
+/// down site is `Exp(μ)`. Implemented here directly (rather than via an
+/// external distributions crate) as `-ln(1-u)/rate`.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_sim::Exponential;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let exp = Exponential::new(2.0);
+/// let mean = (0..20_000).map(|_| exp.sample(&mut rng).as_f64()).sum::<f64>() / 20_000.0;
+/// assert!((mean - 0.5).abs() < 0.02); // mean = 1/rate
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates a distribution with the given rate (events per time unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is finite and strictly positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be finite and positive, got {rate}"
+        );
+        Exponential { rate }
+    }
+
+    /// The rate parameter.
+    pub fn rate(self) -> f64 {
+        self.rate
+    }
+
+    /// The mean inter-event time, `1/rate`.
+    pub fn mean(self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws one inter-event time.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> SimTime {
+        // random::<f64>() is uniform on [0, 1); 1-u is in (0, 1], so the log
+        // is finite and the variate nonnegative.
+        let u: f64 = rng.random();
+        SimTime::new(-(1.0 - u).ln() / self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_nonnegative_and_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let exp = Exponential::new(0.05);
+        for _ in 0..10_000 {
+            let t = exp.sample(&mut rng).as_f64();
+            assert!(t.is_finite() && t >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for rate in [0.05, 1.0, 20.0] {
+            let exp = Exponential::new(rate);
+            let n = 50_000;
+            let mean = (0..n).map(|_| exp.sample(&mut rng).as_f64()).sum::<f64>() / n as f64;
+            assert!(
+                (mean - 1.0 / rate).abs() < 0.03 / rate,
+                "rate {rate}: measured mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let exp = Exponential::new(1.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..10).map(|_| exp.sample(&mut rng).as_f64()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..10).map(|_| exp.sample(&mut rng).as_f64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_rate_rejected() {
+        let _ = Exponential::new(0.0);
+    }
+}

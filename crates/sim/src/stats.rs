@@ -1,0 +1,433 @@
+//! Online statistics for simulation output.
+
+use crate::SimTime;
+
+/// Welford's online mean/variance accumulator for per-sample measurements
+/// (message counts per operation, recovery durations, …).
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_sim::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// A normal-approximation confidence interval around the mean.
+    pub fn confidence(&self, level: Confidence) -> (f64, f64) {
+        if self.count < 2 {
+            return (self.mean, self.mean);
+        }
+        let half = level.z() * self.std_dev() / (self.count as f64).sqrt();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Merges another accumulator into this one (parallel replications).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+/// Standard confidence levels for [`RunningStats::confidence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Confidence {
+    /// 90% two-sided.
+    P90,
+    /// 95% two-sided.
+    P95,
+    /// 99% two-sided.
+    P99,
+}
+
+impl Confidence {
+    /// The standard-normal quantile for the level.
+    pub fn z(self) -> f64 {
+        match self {
+            Confidence::P90 => 1.6448536269514722,
+            Confidence::P95 => 1.959963984540054,
+            Confidence::P99 => 2.5758293035489004,
+        }
+    }
+}
+
+/// Time-weighted average of a piecewise-constant binary signal — the
+/// estimator for availability `A = lim p(t)`: feed it *(time, device is up)*
+/// transitions and read off the fraction of simulated time spent up.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_sim::{SimTime, TimeWeighted};
+///
+/// let mut a = TimeWeighted::new(SimTime::ZERO, true);
+/// a.record(SimTime::new(8.0), false); // up during [0, 8)
+/// a.record(SimTime::new(10.0), true); // down during [8, 10)
+/// a.finish(SimTime::new(20.0));       // up during [10, 20)
+/// assert!((a.mean() - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeighted {
+    last_change: SimTime,
+    current: bool,
+    time_true: f64,
+    time_total: f64,
+}
+
+impl TimeWeighted {
+    /// Starts observing a signal with the given initial value at `start`.
+    pub fn new(start: SimTime, initial: bool) -> Self {
+        TimeWeighted {
+            last_change: start,
+            current: initial,
+            time_true: 0.0,
+            time_total: 0.0,
+        }
+    }
+
+    /// Records the signal value `value` from time `at` onwards. Recording
+    /// the unchanged value is harmless; time never runs backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous record.
+    pub fn record(&mut self, at: SimTime, value: bool) {
+        let span = (at - self.last_change).as_f64();
+        self.time_total += span;
+        if self.current {
+            self.time_true += span;
+        }
+        self.last_change = at;
+        self.current = value;
+    }
+
+    /// Closes the observation window at `at` without changing the signal.
+    pub fn finish(&mut self, at: SimTime) {
+        let current = self.current;
+        self.record(at, current);
+    }
+
+    /// The current signal value.
+    pub fn current(&self) -> bool {
+        self.current
+    }
+
+    /// Fraction of observed time the signal was true (0 if nothing observed
+    /// yet).
+    pub fn mean(&self) -> f64 {
+        if self.time_total == 0.0 {
+            0.0
+        } else {
+            self.time_true / self.time_total
+        }
+    }
+
+    /// Total observed time.
+    pub fn total_time(&self) -> f64 {
+        self.time_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_single_sample() {
+        let mut s = RunningStats::new();
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.confidence(Confidence::P95), (3.0, 3.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn confidence_narrows_with_samples() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        for i in 0..10 {
+            small.push((i % 2) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 2) as f64);
+        }
+        let w = |s: &RunningStats| {
+            let (lo, hi) = s.confidence(Confidence::P95);
+            hi - lo
+        };
+        assert!(w(&large) < w(&small));
+    }
+
+    #[test]
+    fn time_weighted_all_up() {
+        let mut a = TimeWeighted::new(SimTime::ZERO, true);
+        a.finish(SimTime::new(5.0));
+        assert_eq!(a.mean(), 1.0);
+        assert_eq!(a.total_time(), 5.0);
+    }
+
+    #[test]
+    fn time_weighted_ignores_redundant_records() {
+        let mut a = TimeWeighted::new(SimTime::ZERO, true);
+        a.record(SimTime::new(1.0), true);
+        a.record(SimTime::new(2.0), true);
+        a.record(SimTime::new(3.0), false);
+        a.finish(SimTime::new(4.0));
+        assert!((a.mean() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_empty_is_zero() {
+        let a = TimeWeighted::new(SimTime::ZERO, true);
+        assert_eq!(a.mean(), 0.0);
+    }
+
+    #[test]
+    fn confidence_z_values_are_ordered() {
+        assert!(Confidence::P90.z() < Confidence::P95.z());
+        assert!(Confidence::P95.z() < Confidence::P99.z());
+    }
+}
+
+/// A full sample set with exact quantile queries — for distribution-shaped
+/// answers (e.g. "p99 time to restore service") that a mean cannot give.
+///
+/// Stores every sample; suitable for the tens of thousands of episodes the
+/// lifetime experiments run, not for unbounded streams.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_sim::Samples;
+///
+/// let mut s = Samples::new();
+/// for x in 1..=100 {
+///     s.push(x as f64);
+/// }
+/// assert_eq!(s.percentile(50.0), 50.0);
+/// assert_eq!(s.percentile(99.0), 99.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 100.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN (which would poison the ordering).
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "samples cannot be NaN");
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Smallest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty (returns negative infinity otherwise, asserted).
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty or `p` is out of range.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(!self.values.is_empty(), "no samples recorded");
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples are never NaN"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.values.len() as f64).ceil() as usize;
+        self.values[rank.saturating_sub(1).min(self.values.len() - 1)]
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod samples_tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Samples::new();
+        s.extend([5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(20.0), 1.0);
+        assert_eq!(s.percentile(40.0), 2.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn pushes_after_query_resort() {
+        let mut s = Samples::new();
+        s.push(10.0);
+        assert_eq!(s.percentile(50.0), 10.0);
+        s.push(1.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_percentile_panics() {
+        Samples::new().percentile(50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Samples::new().push(f64::NAN);
+    }
+}

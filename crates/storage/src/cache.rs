@@ -1,0 +1,283 @@
+//! A write-through buffer cache.
+
+use crate::BlockDevice;
+use blockrep_types::{BlockData, BlockIndex, DeviceResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A write-through LRU block cache in front of any [`BlockDevice`] — the
+/// "buffer cache" of the paper's Figure 1, where the file system only asks
+/// the device driver for blocks it does not already hold.
+///
+/// In front of a replicated device this is consequential: a cache hit costs
+/// **zero** network transmissions, which is what blunts voting's expensive
+/// reads in practice (and why the paper's UNIX model draws the cache above
+/// the driver stub). Writes go straight through, so the replicas always
+/// hold the current data and the cache never needs recovery handling.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_storage::{BlockDevice, CacheStore, MemStore};
+/// use blockrep_types::{BlockData, BlockIndex};
+///
+/// # fn main() -> Result<(), blockrep_types::DeviceError> {
+/// let cached = CacheStore::new(MemStore::new(64, 512), 8);
+/// let k = BlockIndex::new(0);
+/// cached.write_block(k, BlockData::zeroed(512))?;
+/// cached.read_block(k)?; // served from cache
+/// assert_eq!(cached.stats().hits, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CacheStore<D> {
+    inner: D,
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    /// block -> (data, last-use stamp)
+    entries: HashMap<u64, (BlockData, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Hit/miss counters of a [`CacheStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Reads served from the cache.
+    pub hits: u64,
+    /// Reads that had to go to the underlying device.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when nothing was read yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl<D: BlockDevice> CacheStore<D> {
+    /// Wraps `inner` with a cache of `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(inner: D, capacity: usize) -> Self {
+        assert!(capacity > 0, "a cache needs at least one slot");
+        CacheStore {
+            inner,
+            capacity,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Borrows the underlying device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Unwraps the cache, returning the underlying device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock();
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+        }
+    }
+
+    /// Drops every cached block (e.g. after reconnecting to a device whose
+    /// content may have moved on).
+    pub fn invalidate(&self) {
+        self.state.lock().entries.clear();
+    }
+}
+
+impl CacheState {
+    fn touch(&mut self, block: u64) {
+        self.clock += 1;
+        if let Some((_, stamp)) = self.entries.get_mut(&block) {
+            *stamp = self.clock;
+        }
+    }
+
+    fn insert(&mut self, block: u64, data: BlockData, capacity: usize) {
+        self.clock += 1;
+        self.entries.insert(block, (data, self.clock));
+        if self.entries.len() > capacity {
+            // Evict the least recently used entry.
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(&b, _)| b)
+                .expect("cache is nonempty when over capacity");
+            self.entries.remove(&oldest);
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for CacheStore<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData> {
+        self.check_block(k)?;
+        {
+            let mut state = self.state.lock();
+            if let Some((data, _)) = state.entries.get(&k.as_u64()) {
+                let data = data.clone();
+                state.hits += 1;
+                state.touch(k.as_u64());
+                return Ok(data);
+            }
+        }
+        // Miss: fetch outside the lock (the device may be a whole cluster),
+        // then install.
+        let data = self.inner.read_block(k)?;
+        let mut state = self.state.lock();
+        state.misses += 1;
+        state.insert(k.as_u64(), data.clone(), self.capacity);
+        Ok(data)
+    }
+
+    fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+        // Write-through: the device is the source of truth; cache only on
+        // success.
+        self.inner.write_block(k, data.clone())?;
+        let mut state = self.state.lock();
+        state.insert(k.as_u64(), data, self.capacity);
+        Ok(())
+    }
+
+    fn flush(&self) -> DeviceResult<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A device that counts how often the backing store is actually read.
+    struct CountingDevice {
+        inner: MemStore,
+        reads: AtomicU64,
+    }
+
+    impl CountingDevice {
+        fn new() -> Self {
+            CountingDevice {
+                inner: MemStore::new(16, 32),
+                reads: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl BlockDevice for CountingDevice {
+        fn num_blocks(&self) -> u64 {
+            self.inner.num_blocks()
+        }
+        fn block_size(&self) -> usize {
+            self.inner.block_size()
+        }
+        fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData> {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.inner.read_block(k)
+        }
+        fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+            self.inner.write_block(k, data)
+        }
+    }
+
+    #[test]
+    fn hits_bypass_the_device() {
+        let cache = CacheStore::new(CountingDevice::new(), 4);
+        let k = BlockIndex::new(1);
+        cache.read_block(k).unwrap(); // miss
+        cache.read_block(k).unwrap(); // hit
+        cache.read_block(k).unwrap(); // hit
+        assert_eq!(cache.inner().reads.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_populate_the_cache() {
+        let cache = CacheStore::new(CountingDevice::new(), 4);
+        let k = BlockIndex::new(2);
+        cache.write_block(k, BlockData::from(vec![7; 32])).unwrap();
+        assert_eq!(cache.read_block(k).unwrap().as_slice(), &[7; 32]);
+        assert_eq!(
+            cache.inner().reads.load(Ordering::Relaxed),
+            0,
+            "write warmed the cache"
+        );
+    }
+
+    #[test]
+    fn write_through_is_durable() {
+        let cache = CacheStore::new(MemStore::new(8, 16), 2);
+        cache
+            .write_block(BlockIndex::new(0), BlockData::from(vec![5; 16]))
+            .unwrap();
+        let inner = cache.into_inner();
+        assert_eq!(
+            inner.read_block(BlockIndex::new(0)).unwrap().as_slice(),
+            &[5; 16]
+        );
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_blocks() {
+        let cache = CacheStore::new(CountingDevice::new(), 2);
+        let (a, b, c) = (BlockIndex::new(0), BlockIndex::new(1), BlockIndex::new(2));
+        cache.read_block(a).unwrap(); // miss: cache {a}
+        cache.read_block(b).unwrap(); // miss: cache {a, b}
+        cache.read_block(a).unwrap(); // hit, a freshened
+        cache.read_block(c).unwrap(); // miss: evicts b
+        let before = cache.inner().reads.load(Ordering::Relaxed);
+        cache.read_block(a).unwrap(); // still cached
+        assert_eq!(cache.inner().reads.load(Ordering::Relaxed), before);
+        cache.read_block(b).unwrap(); // was evicted: device read
+        assert_eq!(cache.inner().reads.load(Ordering::Relaxed), before + 1);
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let cache = CacheStore::new(CountingDevice::new(), 4);
+        cache.read_block(BlockIndex::new(0)).unwrap();
+        cache.invalidate();
+        cache.read_block(BlockIndex::new(0)).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn out_of_range_never_touches_cache() {
+        let cache = CacheStore::new(MemStore::new(4, 16), 2);
+        assert!(cache.read_block(BlockIndex::new(9)).is_err());
+    }
+}

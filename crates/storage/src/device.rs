@@ -1,0 +1,188 @@
+//! The ordinary block-device interface.
+
+use blockrep_types::{BlockData, BlockIndex, DeviceError, DeviceResult};
+
+/// The interface of an ordinary block-structured device.
+///
+/// This is the boundary the paper is built around: the file system issues
+/// block reads and writes against this trait and cannot tell whether it is
+/// talking to a single local disk ([`MemStore`](crate::MemStore),
+/// [`FileStore`](crate::FileStore)) or to the replicated reliable device —
+/// which is precisely how replication is added "while leaving the operating
+/// system kernel and the file system unchanged".
+///
+/// Methods take `&self`; implementations use interior mutability so a device
+/// can be shared between a file system and a failure injector.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_storage::{BlockDevice, MemStore};
+/// use blockrep_types::{BlockData, BlockIndex};
+///
+/// # fn main() -> Result<(), blockrep_types::DeviceError> {
+/// fn copy_block(dev: &dyn BlockDevice, from: BlockIndex, to: BlockIndex)
+///     -> Result<(), blockrep_types::DeviceError>
+/// {
+///     let data = dev.read_block(from)?;
+///     dev.write_block(to, data)
+/// }
+///
+/// let disk = MemStore::new(8, 512);
+/// disk.write_block(BlockIndex::new(0), BlockData::from(vec![7u8; 512]))?;
+/// copy_block(&disk, BlockIndex::new(0), BlockIndex::new(1))?;
+/// assert_eq!(disk.read_block(BlockIndex::new(1))?.as_slice()[0], 7);
+/// # Ok(())
+/// # }
+/// ```
+pub trait BlockDevice: Send + Sync {
+    /// Number of blocks on the device.
+    fn num_blocks(&self) -> u64;
+
+    /// Size of every block in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Reads block `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BlockOutOfRange`] for an index beyond the end
+    /// of the device; replicated implementations additionally return
+    /// [`DeviceError::Unavailable`] when consistency cannot be guaranteed.
+    fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData>;
+
+    /// Writes block `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BlockOutOfRange`] or
+    /// [`DeviceError::WrongBlockSize`] for invalid requests, and
+    /// [`DeviceError::Unavailable`] when a replicated implementation cannot
+    /// reach the sites it needs.
+    fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()>;
+
+    /// Flushes buffered state to stable storage. The in-memory stores are
+    /// always durable with respect to the simulated fail-stop model, so the
+    /// default is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Io`] if the underlying medium fails.
+    fn flush(&self) -> DeviceResult<()> {
+        Ok(())
+    }
+
+    /// Validates a block index against the device bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BlockOutOfRange`] when `k` is out of bounds.
+    fn check_block(&self, k: BlockIndex) -> DeviceResult<()> {
+        if k.as_u64() < self.num_blocks() {
+            Ok(())
+        } else {
+            Err(DeviceError::BlockOutOfRange {
+                block: k,
+                num_blocks: self.num_blocks(),
+            })
+        }
+    }
+
+    /// Validates a payload against the device block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::WrongBlockSize`] when the length differs.
+    fn check_payload(&self, data: &BlockData) -> DeviceResult<()> {
+        if data.len() == self.block_size() {
+            Ok(())
+        } else {
+            Err(DeviceError::WrongBlockSize {
+                got: data.len(),
+                expected: self.block_size(),
+            })
+        }
+    }
+}
+
+impl<T: BlockDevice + ?Sized> BlockDevice for &T {
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData> {
+        (**self).read_block(k)
+    }
+    fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+        (**self).write_block(k, data)
+    }
+    fn flush(&self) -> DeviceResult<()> {
+        (**self).flush()
+    }
+}
+
+impl<T: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<T> {
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData> {
+        (**self).read_block(k)
+    }
+    fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+        (**self).write_block(k, data)
+    }
+    fn flush(&self) -> DeviceResult<()> {
+        (**self).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use std::sync::Arc;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let disk = MemStore::new(4, 64);
+        let dyn_dev: &dyn BlockDevice = &disk;
+        assert_eq!(dyn_dev.num_blocks(), 4);
+        assert_eq!(dyn_dev.block_size(), 64);
+    }
+
+    #[test]
+    fn blanket_impls_forward() {
+        let disk = Arc::new(MemStore::new(2, 8));
+        let by_ref: &MemStore = &disk;
+        assert_eq!(BlockDevice::num_blocks(&by_ref), 2);
+        assert_eq!(disk.block_size(), 8);
+        disk.flush().unwrap();
+    }
+
+    #[test]
+    fn check_block_bounds() {
+        let disk = MemStore::new(2, 8);
+        assert!(disk.check_block(BlockIndex::new(1)).is_ok());
+        let err = disk.check_block(BlockIndex::new(2)).unwrap_err();
+        assert!(matches!(err, DeviceError::BlockOutOfRange { .. }));
+    }
+
+    #[test]
+    fn check_payload_size() {
+        let disk = MemStore::new(2, 8);
+        assert!(disk.check_payload(&BlockData::zeroed(8)).is_ok());
+        let err = disk.check_payload(&BlockData::zeroed(9)).unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::WrongBlockSize {
+                got: 9,
+                expected: 8
+            }
+        ));
+    }
+}

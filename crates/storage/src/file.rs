@@ -1,0 +1,185 @@
+//! File-backed block store.
+
+use crate::BlockDevice;
+use blockrep_types::{BlockData, BlockIndex, DeviceResult};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A block store backed by a regular file, one block at offset
+/// `k * block_size`.
+///
+/// This is what a production deployment of the reliable device would put
+/// under each server process; the geometry (block count and size) is fixed at
+/// creation and persisted implicitly by the file length.
+///
+/// # Examples
+///
+/// ```no_run
+/// use blockrep_storage::{BlockDevice, FileStore};
+/// use blockrep_types::{BlockData, BlockIndex};
+///
+/// # fn main() -> Result<(), blockrep_types::DeviceError> {
+/// let disk = FileStore::create("/tmp/site0.img", 128, 512)?;
+/// disk.write_block(BlockIndex::new(5), BlockData::from(vec![1u8; 512]))?;
+/// disk.flush()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FileStore {
+    file: Mutex<File>,
+    num_blocks: u64,
+    block_size: usize,
+}
+
+impl FileStore {
+    /// Creates (or truncates) the backing file and zero-fills it to
+    /// `num_blocks * block_size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`blockrep_types::DeviceError::Io`] if the file cannot be
+    /// created or sized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks` or `block_size` is zero.
+    pub fn create(
+        path: impl AsRef<Path>,
+        num_blocks: u64,
+        block_size: usize,
+    ) -> DeviceResult<Self> {
+        assert!(num_blocks > 0, "a device needs at least one block");
+        assert!(block_size > 0, "block size must be nonzero");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(num_blocks * block_size as u64)?;
+        Ok(FileStore {
+            file: Mutex::new(file),
+            num_blocks,
+            block_size,
+        })
+    }
+
+    /// Opens an existing backing file created by [`FileStore::create`],
+    /// inferring the block count from the file length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`blockrep_types::DeviceError::Io`] if the file cannot be
+    /// opened, or [`blockrep_types::DeviceError::InvalidConfig`] if its
+    /// length is not a multiple of `block_size`.
+    pub fn open(path: impl AsRef<Path>, block_size: usize) -> DeviceResult<Self> {
+        assert!(block_size > 0, "block size must be nonzero");
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 || len % block_size as u64 != 0 {
+            return Err(blockrep_types::DeviceError::InvalidConfig(format!(
+                "file length {len} is not a positive multiple of block size {block_size}"
+            )));
+        }
+        Ok(FileStore {
+            num_blocks: len / block_size as u64,
+            file: Mutex::new(file),
+            block_size,
+        })
+    }
+}
+
+impl BlockDevice for FileStore {
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData> {
+        self.check_block(k)?;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(k.as_u64() * self.block_size as u64))?;
+        let mut buf = vec![0u8; self.block_size];
+        file.read_exact(&mut buf)?;
+        Ok(BlockData::from(buf))
+    }
+
+    fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+        self.check_block(k)?;
+        self.check_payload(&data)?;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(k.as_u64() * self.block_size as u64))?;
+        file.write_all(data.as_slice())?;
+        Ok(())
+    }
+
+    fn flush(&self) -> DeviceResult<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("blockrep-filestore-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let path = temp_path("roundtrip");
+        let disk = FileStore::create(&path, 8, 64).unwrap();
+        disk.write_block(BlockIndex::new(3), BlockData::from(vec![0xAD; 64]))
+            .unwrap();
+        assert_eq!(
+            disk.read_block(BlockIndex::new(3)).unwrap().as_slice()[0],
+            0xAD
+        );
+        assert!(disk.read_block(BlockIndex::new(4)).unwrap().is_zeroed());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_contents_and_geometry() {
+        let path = temp_path("reopen");
+        {
+            let disk = FileStore::create(&path, 4, 32).unwrap();
+            disk.write_block(BlockIndex::new(1), BlockData::from(vec![7; 32]))
+                .unwrap();
+            disk.flush().unwrap();
+        }
+        let disk = FileStore::open(&path, 32).unwrap();
+        assert_eq!(disk.num_blocks(), 4);
+        assert_eq!(
+            disk.read_block(BlockIndex::new(1)).unwrap().as_slice()[0],
+            7
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_misaligned_file() {
+        let path = temp_path("misaligned");
+        std::fs::write(&path, vec![0u8; 33]).unwrap();
+        assert!(FileStore::open(&path, 32).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let path = temp_path("range");
+        let disk = FileStore::create(&path, 2, 16).unwrap();
+        assert!(disk.read_block(BlockIndex::new(2)).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

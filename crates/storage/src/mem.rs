@@ -1,0 +1,141 @@
+//! In-memory block store.
+
+use crate::BlockDevice;
+use blockrep_types::{BlockData, BlockIndex, DeviceResult};
+use parking_lot::RwLock;
+
+/// A RAM-backed disk: the default store under each site's server process and
+/// the baseline device for file-system tests.
+///
+/// Blocks start zeroed, like a freshly formatted disk. The store survives
+/// simulated site failures (fail-stop sites lose their processes, not their
+/// disks), which the consistency protocols depend on.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_storage::{BlockDevice, MemStore};
+/// use blockrep_types::{BlockData, BlockIndex};
+///
+/// # fn main() -> Result<(), blockrep_types::DeviceError> {
+/// let disk = MemStore::new(32, 512);
+/// let k = BlockIndex::new(9);
+/// disk.write_block(k, BlockData::from(vec![0xEE; 512]))?;
+/// assert_eq!(disk.read_block(k)?.as_slice()[0], 0xEE);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MemStore {
+    blocks: RwLock<Vec<BlockData>>,
+    block_size: usize,
+}
+
+impl MemStore {
+    /// Creates a zero-filled store with `num_blocks` blocks of `block_size`
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks` or `block_size` is zero.
+    pub fn new(num_blocks: u64, block_size: usize) -> Self {
+        assert!(num_blocks > 0, "a device needs at least one block");
+        assert!(block_size > 0, "block size must be nonzero");
+        MemStore {
+            blocks: RwLock::new(vec![BlockData::zeroed(block_size); num_blocks as usize]),
+            block_size,
+        }
+    }
+
+    /// Copies all blocks out, e.g. to snapshot a site's disk in tests.
+    pub fn snapshot(&self) -> Vec<BlockData> {
+        self.blocks.read().clone()
+    }
+}
+
+impl BlockDevice for MemStore {
+    fn num_blocks(&self) -> u64 {
+        self.blocks.read().len() as u64
+    }
+
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData> {
+        self.check_block(k)?;
+        Ok(self.blocks.read()[k.index()].clone())
+    }
+
+    fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+        self.check_block(k)?;
+        self.check_payload(&data)?;
+        self.blocks.write()[k.index()] = data;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockrep_types::DeviceError;
+
+    #[test]
+    fn starts_zeroed() {
+        let disk = MemStore::new(4, 16);
+        for k in BlockIndex::all(4) {
+            assert!(disk.read_block(k).unwrap().is_zeroed());
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let disk = MemStore::new(4, 4);
+        disk.write_block(BlockIndex::new(2), BlockData::from(vec![1, 2, 3, 4]))
+            .unwrap();
+        assert_eq!(
+            disk.read_block(BlockIndex::new(2)).unwrap().as_slice(),
+            &[1, 2, 3, 4]
+        );
+        // Neighbours untouched.
+        assert!(disk.read_block(BlockIndex::new(1)).unwrap().is_zeroed());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let disk = MemStore::new(2, 4);
+        assert!(matches!(
+            disk.read_block(BlockIndex::new(2)),
+            Err(DeviceError::BlockOutOfRange { .. })
+        ));
+        assert!(matches!(
+            disk.write_block(BlockIndex::new(9), BlockData::zeroed(4)),
+            Err(DeviceError::BlockOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_payload_size() {
+        let disk = MemStore::new(2, 4);
+        assert!(matches!(
+            disk.write_block(BlockIndex::new(0), BlockData::zeroed(5)),
+            Err(DeviceError::WrongBlockSize { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_independent_copy() {
+        let disk = MemStore::new(2, 4);
+        let before = disk.snapshot();
+        disk.write_block(BlockIndex::new(0), BlockData::from(vec![9; 4]))
+            .unwrap();
+        assert!(before[0].is_zeroed());
+        assert!(!disk.snapshot()[0].is_zeroed());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        let _ = MemStore::new(0, 4);
+    }
+}

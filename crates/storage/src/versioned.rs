@@ -1,0 +1,215 @@
+//! Versioned per-site storage.
+
+use blockrep_types::{BlockData, BlockIndex, VersionNumber, VersionVector};
+
+/// A site's disk as the consistency protocols see it: every block carries a
+/// version number alongside its data.
+///
+/// This is deliberately *not* a [`BlockDevice`](crate::BlockDevice): version
+/// numbers are protocol metadata that the file system must never observe.
+/// The store is single-owner (each server process owns its disk) and
+/// therefore needs no interior locking.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_storage::VersionedStore;
+/// use blockrep_types::{BlockData, BlockIndex, VersionNumber};
+///
+/// let mut disk = VersionedStore::new(8, 512);
+/// let k = BlockIndex::new(0);
+/// disk.install(k, BlockData::zeroed(512), VersionNumber::new(3));
+/// assert_eq!(disk.version(k), VersionNumber::new(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VersionedStore {
+    blocks: Vec<BlockData>,
+    versions: VersionVector,
+    block_size: usize,
+}
+
+impl VersionedStore {
+    /// Creates a zero-filled store at version zero, the state of a freshly
+    /// formatted replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks` or `block_size` is zero.
+    pub fn new(num_blocks: u64, block_size: usize) -> Self {
+        assert!(num_blocks > 0, "a device needs at least one block");
+        assert!(block_size > 0, "block size must be nonzero");
+        VersionedStore {
+            blocks: vec![BlockData::zeroed(block_size); num_blocks as usize],
+            versions: VersionVector::new(num_blocks),
+            block_size,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Size of each block in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The version number of block `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn version(&self, k: BlockIndex) -> VersionNumber {
+        self.versions.get(k)
+    }
+
+    /// The data of block `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn data(&self, k: BlockIndex) -> BlockData {
+        self.blocks[k.index()].clone()
+    }
+
+    /// Both the version and the data of block `k`, as shipped during lazy
+    /// voting recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn versioned(&self, k: BlockIndex) -> (VersionNumber, BlockData) {
+        (self.versions.get(k), self.blocks[k.index()].clone())
+    }
+
+    /// Installs `data` at version `v`, but only if `v` is newer than the
+    /// local copy. Returns whether the block was replaced.
+    ///
+    /// Installation is idempotent and monotone: replaying an old write (or
+    /// the same write twice) never regresses a block — the invariant that
+    /// keeps recovery safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or the payload size differs from the
+    /// block size.
+    pub fn install(&mut self, k: BlockIndex, data: BlockData, v: VersionNumber) -> bool {
+        assert_eq!(data.len(), self.block_size, "payload must match block size");
+        if v > self.versions.get(k) {
+            self.blocks[k.index()] = data;
+            self.versions.set(k, v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A copy of the full version vector, as exchanged during recovery.
+    pub fn version_vector(&self) -> VersionVector {
+        self.versions.clone()
+    }
+
+    /// Blocks (with versions and data) that are newer here than in `remote`
+    /// — the repair payload a current site sends to a recovering one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remote` covers a different number of blocks.
+    pub fn diff_against(
+        &self,
+        remote: &VersionVector,
+    ) -> Vec<(BlockIndex, VersionNumber, BlockData)> {
+        remote
+            .stale_against(&self.versions)
+            .into_iter()
+            .map(|k| {
+                let (v, d) = self.versioned(k);
+                (k, v, d)
+            })
+            .collect()
+    }
+
+    /// Applies a repair payload produced by [`diff_against`](Self::diff_against)
+    /// on a more current site. Returns the number of blocks replaced.
+    pub fn apply_repair(&mut self, blocks: Vec<(BlockIndex, VersionNumber, BlockData)>) -> usize {
+        blocks
+            .into_iter()
+            .filter(|(k, v, d)| self.install(*k, d.clone(), *v))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_store_is_version_zero() {
+        let s = VersionedStore::new(4, 16);
+        for k in BlockIndex::all(4) {
+            assert_eq!(s.version(k), VersionNumber::ZERO);
+            assert!(s.data(k).is_zeroed());
+        }
+    }
+
+    #[test]
+    fn install_is_monotone() {
+        let mut s = VersionedStore::new(2, 4);
+        let k = BlockIndex::new(0);
+        assert!(s.install(k, BlockData::from(vec![1; 4]), VersionNumber::new(2)));
+        // Older and equal versions are rejected.
+        assert!(!s.install(k, BlockData::from(vec![9; 4]), VersionNumber::new(1)));
+        assert!(!s.install(k, BlockData::from(vec![9; 4]), VersionNumber::new(2)));
+        assert_eq!(s.data(k).as_slice(), &[1; 4]);
+        assert!(s.install(k, BlockData::from(vec![3; 4]), VersionNumber::new(3)));
+        assert_eq!(s.version(k), VersionNumber::new(3));
+    }
+
+    #[test]
+    fn diff_and_repair_synchronize_stores() {
+        let mut current = VersionedStore::new(4, 4);
+        let mut stale = VersionedStore::new(4, 4);
+        current.install(
+            BlockIndex::new(1),
+            BlockData::from(vec![1; 4]),
+            VersionNumber::new(5),
+        );
+        current.install(
+            BlockIndex::new(3),
+            BlockData::from(vec![3; 4]),
+            VersionNumber::new(1),
+        );
+        // stale has a block current lacks — must NOT be clobbered by repair.
+        stale.install(
+            BlockIndex::new(2),
+            BlockData::from(vec![2; 4]),
+            VersionNumber::new(7),
+        );
+
+        let payload = current.diff_against(&stale.version_vector());
+        assert_eq!(payload.len(), 2);
+        let repaired = stale.apply_repair(payload);
+        assert_eq!(repaired, 2);
+        assert_eq!(stale.version(BlockIndex::new(1)), VersionNumber::new(5));
+        assert_eq!(stale.data(BlockIndex::new(3)).as_slice(), &[3; 4]);
+        assert_eq!(stale.version(BlockIndex::new(2)), VersionNumber::new(7));
+    }
+
+    #[test]
+    fn diff_against_identical_is_empty() {
+        let s = VersionedStore::new(4, 4);
+        assert!(s.diff_against(&s.version_vector()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "payload must match block size")]
+    fn install_rejects_wrong_size() {
+        let mut s = VersionedStore::new(1, 4);
+        s.install(
+            BlockIndex::new(0),
+            BlockData::zeroed(5),
+            VersionNumber::new(1),
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared vocabulary types for `blockrep`, a reproduction of
+//! *"Block-Level Consistency of Replicated Files"* (Carroll, Long & Pâris,
+//! ICDCS 1987).
+//!
+//! The paper builds a **reliable device**: a block-structured device that an
+//! unmodified file system can use like an ordinary disk, but whose blocks are
+//! replicated by server processes on several *sites*. This crate holds the
+//! small, dependency-free types that every other `blockrep` crate speaks:
+//! site and block identifiers, per-block version numbers and version vectors,
+//! site states (*failed* / *comatose* / *available*), voting weights, the
+//! replication configuration, and the common error type.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockrep_types::{BlockIndex, SiteId, VersionVector};
+//!
+//! let site = SiteId::new(2);
+//! let block = BlockIndex::new(7);
+//! let mut vv = VersionVector::new(16);
+//! vv.bump(block);
+//! assert_eq!(vv.get(block).as_u64(), 1);
+//! assert_eq!(format!("{site} owns {block}"), "s2 owns b7");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod config;
+mod error;
+mod ids;
+mod state;
+mod version;
+
+pub use block::BlockData;
+pub use config::{DeviceConfig, DeviceConfigBuilder, FailureTracking, Scheme, Weight};
+pub use error::{DeviceError, DeviceResult};
+pub use ids::{BlockIndex, SiteId};
+pub use state::SiteState;
+pub use version::{VersionNumber, VersionVector};

@@ -1,0 +1,48 @@
+//! Serde coverage for the data-structure types (feature-gated; run with
+//! `cargo test -p blockrep-types --features serde`).
+//!
+//! No serialization-format crate is on the project's approved dependency
+//! list, so these tests pin down the *contract*: every public data type
+//! derives `Serialize` and `DeserializeOwned` (compile-time assertion), and
+//! the newtype wrappers deserialize from their raw representations through
+//! serde's built-in value deserializers.
+
+#![cfg(feature = "serde")]
+
+use blockrep_types::{
+    BlockData, BlockIndex, DeviceConfig, FailureTracking, Scheme, SiteId, SiteState, VersionNumber,
+    VersionVector,
+};
+use serde::de::value::StrDeserializer;
+use serde::de::{Deserialize, IntoDeserializer};
+
+type E = serde::de::value::Error;
+
+#[test]
+fn serde_impls_exist_for_all_data_types() {
+    // The assertion is that this compiles: every public data type
+    // implements Serialize + DeserializeOwned.
+    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+    assert_serde::<SiteId>();
+    assert_serde::<BlockIndex>();
+    assert_serde::<VersionNumber>();
+    assert_serde::<VersionVector>();
+    assert_serde::<BlockData>();
+    assert_serde::<SiteState>();
+    assert_serde::<Scheme>();
+    assert_serde::<FailureTracking>();
+    assert_serde::<DeviceConfig>();
+}
+
+#[test]
+fn site_state_deserializes_from_variant_names() {
+    for (name, expect) in [
+        ("Failed", SiteState::Failed),
+        ("Comatose", SiteState::Comatose),
+        ("Available", SiteState::Available),
+    ] {
+        let de: StrDeserializer<E> = name.into_deserializer();
+        let state = SiteState::deserialize(de).unwrap();
+        assert_eq!(state, expect);
+    }
+}

@@ -1,0 +1,39 @@
+//! Availability shoot-out (Figures 9/10 in miniature): measure the three
+//! schemes' availability by discrete-event simulation of the real protocol
+//! implementation and compare with the paper's Markov-model values.
+//!
+//! ```text
+//! cargo run --release --example availability_sim
+//! ```
+
+use blockrep::core::simulate::availability::{estimate, AvailabilityConfig};
+use blockrep::types::Scheme;
+
+fn main() {
+    println!("availability of 3 available/naive copies vs 6 voting copies");
+    println!("(mu = 1, horizon = 50_000 mean repair times)\n");
+    println!("| rho | scheme | n | analytic | simulated | error |");
+    println!("|---|---|---|---|---|---|");
+    for rho in [0.05, 0.10, 0.20] {
+        for (scheme, n) in [
+            (Scheme::AvailableCopy, 3),
+            (Scheme::NaiveAvailableCopy, 3),
+            (Scheme::Voting, 6),
+        ] {
+            let mut cfg = AvailabilityConfig::new(scheme, n, rho);
+            cfg.horizon = 50_000.0;
+            let est = estimate(&cfg);
+            println!(
+                "| {:.2} | {} | {} | {:.6} | {:.6} | {:.6} |",
+                rho,
+                scheme,
+                n,
+                est.analytic,
+                est.availability,
+                est.error()
+            );
+        }
+    }
+    println!("\nThe ordering the paper proves: A_A(3) >= A_NA(3) > A_V(6) at every rho,");
+    println!("with AC and naive indistinguishable below rho = 0.10.");
+}

@@ -1,0 +1,68 @@
+//! The paper's headline demo: an **unmodified file system** gains fault
+//! tolerance by being pointed at a reliable device instead of a local disk.
+//!
+//! The same `FileSystem` code first runs over a plain in-memory disk, then
+//! over a replicated reliable device whose sites crash mid-workload.
+//!
+//! ```text
+//! cargo run --example filesystem
+//! ```
+
+use blockrep::core::{Cluster, ClusterOptions, ReliableDevice};
+use blockrep::fs::FileSystem;
+use blockrep::storage::MemStore;
+use blockrep::types::{DeviceConfig, Scheme, SiteId};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Act 1: the file system over an ordinary local disk. -------------
+    let local = FileSystem::format(MemStore::new(512, 512))?;
+    local.mkdir("/home")?;
+    local.write_file("/home/readme", b"single disk, single point of failure")?;
+    println!("local disk: {:?}", local.read_dir("/home")?);
+
+    // --- Act 2: the *same* file-system code over a reliable device. ------
+    let cfg = DeviceConfig::builder(Scheme::AvailableCopy)
+        .sites(3)
+        .num_blocks(512)
+        .block_size(512)
+        .build()?;
+    let cluster = Arc::new(Cluster::new(cfg, ClusterOptions::default()));
+    let device = ReliableDevice::new(Arc::clone(&cluster), SiteId::new(0));
+    let fs = FileSystem::format(device)?;
+
+    fs.mkdir("/home")?;
+    fs.mkdir("/home/alice")?;
+    fs.write_file("/home/alice/thesis.tex", b"\\documentclass{article}...")?;
+
+    // Crash the preferred site mid-workload.
+    cluster.fail_site(SiteId::new(0));
+    println!("s0 crashed; writing more files anyway…");
+    fs.write_file("/home/alice/notes", b"written while s0 was down")?;
+
+    // Crash another. One copy left — still fully functional.
+    cluster.fail_site(SiteId::new(1));
+    println!(
+        "s1 crashed; device still available: {}",
+        cluster.is_available()
+    );
+    assert_eq!(
+        fs.read_file("/home/alice/thesis.tex")?,
+        b"\\documentclass{article}..."
+    );
+
+    // Repair everyone; the recovered sites resynchronize block by block.
+    cluster.repair_site(SiteId::new(0));
+    cluster.repair_site(SiteId::new(1));
+    println!("sites repaired; listing: {:?}", fs.read_dir("/home/alice")?);
+    assert_eq!(
+        fs.read_file("/home/alice/notes")?,
+        b"written while s0 was down"
+    );
+
+    println!(
+        "every file intact across 2 crashes + repairs; total traffic:\n{}",
+        cluster.traffic()
+    );
+    Ok(())
+}

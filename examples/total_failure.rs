@@ -1,0 +1,87 @@
+//! Total failure, step by step: why available copy recovers as soon as the
+//! *last site to fail* returns, while naive available copy must wait for
+//! everyone.
+//!
+//! ```text
+//! cargo run --example total_failure
+//! ```
+
+use blockrep::core::{Cluster, ClusterOptions};
+use blockrep::types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+
+fn demo(scheme: Scheme) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== {scheme} ===");
+    let cfg = DeviceConfig::builder(scheme)
+        .sites(3)
+        .num_blocks(4)
+        .block_size(8)
+        .build()?;
+    let cluster = Cluster::new(cfg, ClusterOptions::default());
+    let k = BlockIndex::new(0);
+    let s = SiteId::new;
+
+    // Failures interleaved with writes, so the copies genuinely diverge.
+    cluster.write(s(0), k, BlockData::from(vec![1; 8]))?;
+    cluster.fail_site(s(2));
+    cluster.write(s(0), k, BlockData::from(vec![2; 8]))?;
+    cluster.fail_site(s(1));
+    cluster.write(s(0), k, BlockData::from(vec![3; 8]))?; // only s0 has v3
+    cluster.fail_site(s(0));
+    println!("total failure; s0 failed last and alone holds the latest write");
+
+    // The stale sites come back first.
+    cluster.repair_site(s(2));
+    cluster.repair_site(s(1));
+    println!(
+        "s2, s1 repaired -> states: s1={}, s2={}, device available: {}",
+        cluster.site_state(s(1)),
+        cluster.site_state(s(2)),
+        cluster.is_available()
+    );
+    assert!(!cluster.is_available(), "stale copies must not serve");
+
+    // The last site to fail returns.
+    cluster.repair_site(s(0));
+    println!(
+        "s0 repaired -> device available: {}; read = {:?}",
+        cluster.is_available(),
+        cluster.read(s(1), k)?.as_slice()[0]
+    );
+    assert_eq!(cluster.read(s(1), k)?.as_slice(), &[3; 8]);
+    println!();
+    Ok(())
+}
+
+fn demo_recovery_order_difference() -> Result<(), Box<dyn std::error::Error>> {
+    // The scenario where the two schemes differ: the last site to fail is
+    // the FIRST to come back. Available copy (which tracked the failures)
+    // resumes immediately; naive must still wait for everyone.
+    println!("=== the difference: last-failed site recovers first ===");
+    for scheme in [Scheme::AvailableCopy, Scheme::NaiveAvailableCopy] {
+        let cfg = DeviceConfig::builder(scheme)
+            .sites(3)
+            .num_blocks(4)
+            .block_size(8)
+            .build()?;
+        let cluster = Cluster::new(cfg, ClusterOptions::default());
+        let s = SiteId::new;
+        cluster.write(s(0), BlockIndex::new(0), BlockData::from(vec![9; 8]))?;
+        cluster.fail_site(s(1));
+        cluster.fail_site(s(2));
+        cluster.fail_site(s(0)); // s0 last
+        cluster.repair_site(s(0)); // …and first back
+        println!(
+            "{scheme}: last-failed site back first -> available = {}",
+            cluster.is_available()
+        );
+    }
+    println!("\n(the paper's §4.4 caveat: with realistic repair-time distributions sites");
+    println!("tend to recover in failure order, so naive rarely pays this penalty)");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    demo(Scheme::AvailableCopy)?;
+    demo(Scheme::NaiveAvailableCopy)?;
+    demo_recovery_order_difference()
+}

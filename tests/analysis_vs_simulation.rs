@@ -1,0 +1,212 @@
+//! The reproduction's keystone tests: the paper's analytical results (§4
+//! availability, §5 traffic), the generic Markov solver, and discrete-event
+//! simulation of the actual protocol implementation must all tell the same
+//! story.
+
+use blockrep::analysis::{available_copy, naive, traffic, voting};
+use blockrep::core::simulate::availability::{estimate, AvailabilityConfig};
+use blockrep::core::simulate::traffic::{measure, TrafficConfig};
+use blockrep::net::DeliveryMode;
+use blockrep::types::Scheme;
+use proptest::prelude::*;
+
+// ------------------------------------------------ §4 analytical identities
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 4.1 as a property over (n, ρ): available copy with n copies
+    /// strictly beats voting with 2n (and 2n−1) copies for ρ ≤ 1.
+    #[test]
+    fn theorem_4_1_holds(n in 2usize..8, rho in 1e-4f64..1.0) {
+        let ac = available_copy::availability(n, rho);
+        let v2n = voting::availability(2 * n, rho);
+        let v2n1 = voting::availability(2 * n - 1, rho);
+        prop_assert!((v2n - v2n1).abs() < 1e-12);
+        prop_assert!(ac > v2n, "n={n} rho={rho}: A_A={ac} A_V={v2n}");
+    }
+
+    /// The even-copy identity A_V(2k) = A_V(2k−1) over the whole parameter
+    /// space (not just ρ ≤ 1).
+    #[test]
+    fn even_voting_copy_adds_nothing(k in 1usize..7, rho in 1e-4f64..5.0) {
+        let odd = voting::availability(2 * k - 1, rho);
+        let even = voting::availability(2 * k, rho);
+        prop_assert!((odd - even).abs() < 1e-12);
+    }
+
+    /// §4.3: A_NA(2) = A_V(3) for every ρ.
+    #[test]
+    fn naive_two_copies_equal_voting_three(rho in 1e-4f64..5.0) {
+        let na = naive::availability_closed(2, rho);
+        let v = voting::availability(3, rho);
+        prop_assert!((na - v).abs() < 1e-12);
+    }
+
+    /// Scheme ordering at practical ρ: AC ≥ NAC > voting (same n, n ≥ 3…
+    /// voting compared at the same copy count).
+    #[test]
+    fn availability_ordering(n in 3usize..8, rho in 1e-3f64..0.5) {
+        let ac = available_copy::availability(n, rho);
+        let na = naive::availability(n, rho);
+        let v = voting::availability(n, rho);
+        prop_assert!(ac + 1e-12 >= na, "n={n} rho={rho}");
+        prop_assert!(na > v, "n={n} rho={rho}: NA={na} V={v}");
+    }
+
+    /// All availabilities live in (0, 1] and decrease in ρ.
+    #[test]
+    fn availabilities_are_probabilities(n in 1usize..10, rho in 1e-4f64..4.0) {
+        for a in [
+            voting::availability(n, rho),
+            available_copy::availability(n, rho),
+            naive::availability(n, rho),
+        ] {
+            prop_assert!(a > 0.0 && a <= 1.0, "n={n} rho={rho}: {a}");
+        }
+    }
+
+    /// Closed forms and the CTMC solver agree wherever the paper printed a
+    /// closed form.
+    #[test]
+    fn closed_forms_match_markov_chains(rho in 1e-3f64..2.0) {
+        for n in 1..=4usize {
+            if let Some(closed) = available_copy::availability_closed(n, rho) {
+                prop_assert!((closed - available_copy::availability(n, rho)).abs() < 1e-9);
+            }
+        }
+        for n in 1..=6usize {
+            let closed = naive::availability_closed(n, rho);
+            prop_assert!((closed - naive::availability(n, rho)).abs() < 1e-9);
+        }
+    }
+}
+
+// ----------------------------------------- DES vs analysis (availability)
+
+#[test]
+fn simulated_availability_matches_analysis_for_figure_9_parameters() {
+    // One representative point per scheme from the Figure 9 setup, at the
+    // stressed end of the plot where differences are visible.
+    let rho = 0.20;
+    for (scheme, n) in [
+        (Scheme::AvailableCopy, 3),
+        (Scheme::NaiveAvailableCopy, 3),
+        (Scheme::Voting, 6),
+    ] {
+        let mut cfg = AvailabilityConfig::new(scheme, n, rho);
+        cfg.horizon = 80_000.0;
+        let est = estimate(&cfg);
+        assert!(
+            est.error() < 0.005,
+            "{scheme} n={n}: measured {} vs analytic {}",
+            est.availability,
+            est.analytic
+        );
+    }
+}
+
+#[test]
+fn simulated_scheme_ordering_matches_figure_9() {
+    let rho = 0.15;
+    let run = |scheme, n| {
+        let mut cfg = AvailabilityConfig::new(scheme, n, rho);
+        cfg.horizon = 60_000.0;
+        estimate(&cfg).availability
+    };
+    let ac = run(Scheme::AvailableCopy, 3);
+    let na = run(Scheme::NaiveAvailableCopy, 3);
+    let v = run(Scheme::Voting, 6);
+    assert!(ac >= na - 0.002, "AC {ac} vs NAC {na}");
+    assert!(na > v, "NAC {na} vs voting {v}");
+}
+
+// --------------------------------------------- DES vs analysis (traffic)
+
+#[test]
+fn failure_free_traffic_matches_formulas_exactly() {
+    // With no failures, U = n and every §5 formula becomes exact; the
+    // measured counts must hit them to the digit.
+    for scheme in Scheme::ALL {
+        for mode in DeliveryMode::ALL {
+            for n in [2usize, 3, 5, 8] {
+                let cfg = blockrep::types::DeviceConfig::builder(scheme)
+                    .sites(n)
+                    .num_blocks(4)
+                    .block_size(16)
+                    .build()
+                    .unwrap();
+                let c = blockrep::core::Cluster::new(cfg, blockrep::core::ClusterOptions { mode });
+                let s0 = blockrep::types::SiteId::new(0);
+                let k = blockrep::types::BlockIndex::new(0);
+                let before = c.traffic();
+                c.write(s0, k, blockrep::types::BlockData::from(vec![1; 16]))
+                    .unwrap();
+                let write_cost = (c.traffic() - before).total_modeled();
+                let before = c.traffic();
+                c.read(s0, k).unwrap();
+                let read_cost = (c.traffic() - before).total_modeled();
+
+                let nf = n as f64;
+                let (expect_write, expect_read) = match (scheme, mode) {
+                    (Scheme::Voting, DeliveryMode::Multicast) => (1.0 + nf, nf),
+                    (Scheme::Voting, DeliveryMode::Unicast) => (nf + 2.0 * nf - 3.0, nf + nf - 2.0),
+                    (Scheme::AvailableCopy, DeliveryMode::Multicast) => (nf, 0.0),
+                    (Scheme::AvailableCopy, DeliveryMode::Unicast) => (nf + nf - 2.0, 0.0),
+                    (Scheme::NaiveAvailableCopy, DeliveryMode::Multicast) => (1.0, 0.0),
+                    (Scheme::NaiveAvailableCopy, DeliveryMode::Unicast) => (nf - 1.0, 0.0),
+                };
+                assert_eq!(
+                    write_cost as f64, expect_write,
+                    "{scheme}/{mode} n={n}: write"
+                );
+                assert_eq!(read_cost as f64, expect_read, "{scheme}/{mode} n={n}: read");
+            }
+        }
+    }
+}
+
+#[test]
+fn traffic_simulation_tracks_models_under_failures() {
+    for scheme in Scheme::ALL {
+        for mode in DeliveryMode::ALL {
+            let mut cfg = TrafficConfig::new(scheme, 6, mode);
+            cfg.ops = 30_000;
+            let est = measure(&cfg);
+            assert!(
+                (est.per_write - est.model.write).abs() < 0.2,
+                "{scheme}/{mode}: write {} vs {}",
+                est.per_write,
+                est.model.write
+            );
+            if scheme != Scheme::Voting {
+                assert_eq!(est.per_read, 0.0, "{scheme}/{mode}: reads must be free");
+                assert!(
+                    (est.per_recovery - est.model.recovery).abs() < 0.6,
+                    "{scheme}/{mode}: recovery {} vs {}",
+                    est.per_recovery,
+                    est.model.recovery
+                );
+            } else {
+                assert_eq!(est.per_recovery, 0.0, "voting recovery is free");
+            }
+        }
+    }
+}
+
+#[test]
+fn workload_cost_ordering_matches_figure_11() {
+    // The §5 conclusion at the paper's typical parameters (n up to 12,
+    // ρ = 0.05, x ∈ {1, 2.5, 4}): naive < available copy < voting.
+    for mode in [traffic::NetModel::Multicast, traffic::NetModel::Unicast] {
+        for n in 2..=12usize {
+            for x in [1.0, 2.5, 4.0] {
+                let v = traffic::costs(Scheme::Voting, mode, n, 0.05).per_write_group(x);
+                let a = traffic::costs(Scheme::AvailableCopy, mode, n, 0.05).per_write_group(x);
+                let na =
+                    traffic::costs(Scheme::NaiveAvailableCopy, mode, n, 0.05).per_write_group(x);
+                assert!(na < a && a < v, "mode={mode:?} n={n} x={x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Concurrency smoke tests: device handles and a failure injector hammering
+//! the same cluster from multiple threads.
+//!
+//! The paper's model is sequential ("we do not attempt to model systems
+//! which guard against concurrent access"), so these tests do not assert
+//! linearizability under concurrent *writes*; they assert the engineering
+//! properties a shared runtime must have anyway: no deadlocks, no panics,
+//! no torn blocks, and every read returns a value some writer actually
+//! wrote.
+
+use blockrep::core::{Cluster, ClusterOptions, LiveCluster, ReliableDevice};
+use blockrep::net::DeliveryMode;
+use blockrep::storage::BlockDevice;
+use blockrep::types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+const BLOCK_SIZE: usize = 64;
+
+fn device_cfg(scheme: Scheme) -> DeviceConfig {
+    DeviceConfig::builder(scheme)
+        .sites(3)
+        .num_blocks(8)
+        .block_size(BLOCK_SIZE)
+        .build()
+        .unwrap()
+}
+
+fn fill_of(i: u32) -> BlockData {
+    BlockData::from(vec![(i % 251) as u8; BLOCK_SIZE])
+}
+
+fn check_block(data: &BlockData, max_written: u32) {
+    let bytes = data.as_slice();
+    // Not torn: every byte identical.
+    let first = bytes[0];
+    assert!(bytes.iter().all(|&b| b == first), "torn block read");
+    // A value some writer wrote (or the initial zeros).
+    assert!(
+        first == 0 || (1..=max_written).any(|i| (i % 251) as u8 == first),
+        "byte {first} was never written (max {max_written})"
+    );
+}
+
+#[test]
+fn deterministic_cluster_handles_concurrent_clients_and_failures() {
+    let cluster = Arc::new(Cluster::new(
+        device_cfg(Scheme::AvailableCopy),
+        ClusterOptions::default(),
+    ));
+    let k = BlockIndex::new(0);
+    let stop = AtomicBool::new(false);
+    let max_written = AtomicU32::new(0);
+    std::thread::scope(|scope| {
+        // Readers from every site.
+        for site in 0..3u32 {
+            let cluster = Arc::clone(&cluster);
+            let stop = &stop;
+            let max_written = &max_written;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let snapshot = max_written.load(Ordering::Acquire);
+                    if let Ok(data) = cluster.read(SiteId::new(site), k) {
+                        // Concurrent writers may commit past the snapshot;
+                        // re-read the bound after, for a safe upper bound.
+                        let upper = max_written.load(Ordering::Acquire).max(snapshot);
+                        check_block(&data, upper);
+                    }
+                }
+            });
+        }
+        // Failure injector cycling s2.
+        {
+            let cluster = Arc::clone(&cluster);
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    cluster.fail_site(SiteId::new(2));
+                    std::thread::yield_now();
+                    cluster.repair_site(SiteId::new(2));
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Writer.
+        for i in 1..=2_000u32 {
+            // Publish the bound before committing so readers never see a
+            // value above their bound.
+            max_written.store(i, Ordering::Release);
+            let origin = cluster.any_serving_site().expect("s0/s1 always up");
+            cluster.write(origin, k, fill_of(i)).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    // Quiesce and verify the final value is the last write.
+    if cluster.site_state(SiteId::new(2)) == blockrep::types::SiteState::Failed {
+        cluster.repair_site(SiteId::new(2));
+    }
+    assert_eq!(cluster.read(SiteId::new(2), k).unwrap(), fill_of(2_000));
+    blockrep::core::audit::assert_invariants(&*cluster);
+}
+
+#[test]
+fn live_cluster_handles_concurrent_clients_and_failures() {
+    let cluster = Arc::new(LiveCluster::spawn(
+        device_cfg(Scheme::NaiveAvailableCopy),
+        DeliveryMode::Multicast,
+    ));
+    let k = BlockIndex::new(1);
+    let stop = AtomicBool::new(false);
+    let max_written = AtomicU32::new(0);
+    std::thread::scope(|scope| {
+        for site in [0u32, 1] {
+            let cluster = Arc::clone(&cluster);
+            let stop = &stop;
+            let max_written = &max_written;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let snapshot = max_written.load(Ordering::Acquire);
+                    if let Ok(data) = cluster.read(SiteId::new(site), k) {
+                        let upper = max_written.load(Ordering::Acquire).max(snapshot);
+                        check_block(&data, upper);
+                    }
+                }
+            });
+        }
+        {
+            let cluster = Arc::clone(&cluster);
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    cluster.fail_site(SiteId::new(2));
+                    std::thread::yield_now();
+                    cluster.repair_site(SiteId::new(2));
+                    std::thread::yield_now();
+                }
+            });
+        }
+        for i in 1..=1_000u32 {
+            max_written.store(i, Ordering::Release);
+            cluster.write(SiteId::new(0), k, fill_of(i)).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(cluster.read(SiteId::new(0), k).unwrap(), fill_of(1_000));
+}
+
+#[test]
+fn filesystem_reads_race_failure_injection() {
+    let cluster = Arc::new(Cluster::new(
+        DeviceConfig::builder(Scheme::AvailableCopy)
+            .sites(3)
+            .num_blocks(256)
+            .block_size(512)
+            .build()
+            .unwrap(),
+        ClusterOptions::default(),
+    ));
+    let fs = Arc::new(
+        blockrep::fs::FileSystem::format(ReliableDevice::new(Arc::clone(&cluster), SiteId::new(0)))
+            .unwrap(),
+    );
+    fs.write_file("/stable", &vec![0x42; 4096]).unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let fs = Arc::clone(&fs);
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let data = fs.read_file("/stable").unwrap();
+                    assert_eq!(data, vec![0x42; 4096]);
+                }
+            });
+        }
+        {
+            let cluster = Arc::clone(&cluster);
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    cluster.fail_site(SiteId::new(1));
+                    std::thread::yield_now();
+                    cluster.repair_site(SiteId::new(1));
+                }
+            });
+        }
+        // Let the race run for a bounded number of mutation rounds.
+        for i in 0..200 {
+            fs.write_file(&format!("/churn{}", i % 4), &vec![i as u8; 1024])
+                .unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(fs.check().unwrap().is_clean());
+    let _ = fs.device().num_blocks();
+}

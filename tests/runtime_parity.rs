@@ -1,0 +1,164 @@
+//! Parity between the three runtimes: the deterministic [`Cluster`], the
+//! channel-threaded [`LiveCluster`], and the socket-backed [`TcpCluster`]
+//! run the *same* protocol code, so an identical workload must produce
+//! identical results **and identical §5 traffic counts** on all of them.
+
+use blockrep::core::{Cluster, ClusterOptions, LiveCluster, TcpCluster};
+use blockrep::net::{DeliveryMode, TrafficSnapshot};
+use blockrep::types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+
+fn cfg(scheme: Scheme) -> DeviceConfig {
+    DeviceConfig::builder(scheme)
+        .sites(4)
+        .num_blocks(8)
+        .block_size(32)
+        .build()
+        .unwrap()
+}
+
+fn s(i: u32) -> SiteId {
+    SiteId::new(i)
+}
+
+fn blk(i: u64) -> BlockIndex {
+    BlockIndex::new(i)
+}
+
+/// A fixed workload with failures, degraded writes, repairs, and reads.
+/// Returns (read results, traffic snapshot).
+fn drive(
+    read: &dyn Fn(SiteId, BlockIndex) -> Option<BlockData>,
+    write: &dyn Fn(SiteId, BlockIndex, BlockData) -> bool,
+    fail: &dyn Fn(SiteId),
+    repair: &dyn Fn(SiteId),
+    traffic: &dyn Fn() -> TrafficSnapshot,
+) -> (Vec<Option<Vec<u8>>>, TrafficSnapshot) {
+    let fill = |b: u8| BlockData::from(vec![b; 32]);
+    write(s(0), blk(0), fill(1));
+    write(s(1), blk(1), fill(2));
+    fail(s(3));
+    write(s(0), blk(0), fill(3));
+    write(s(2), blk(2), fill(4));
+    repair(s(3));
+    fail(s(0));
+    write(s(1), blk(3), fill(5));
+    repair(s(0));
+    let reads = vec![
+        read(s(0), blk(0)).map(|d| d.as_slice().to_vec()),
+        read(s(1), blk(1)).map(|d| d.as_slice().to_vec()),
+        read(s(3), blk(2)).map(|d| d.as_slice().to_vec()),
+        read(s(2), blk(3)).map(|d| d.as_slice().to_vec()),
+    ];
+    (reads, traffic())
+}
+
+fn parity_for(scheme: Scheme, mode: DeliveryMode) {
+    // The same protocol code over three transports: direct state access,
+    // channels between threads, and framed loopback TCP.
+    let det = Cluster::new(cfg(scheme), ClusterOptions { mode });
+    let (det_reads, det_traffic) = drive(
+        &|o, k| det.read(o, k).ok(),
+        &|o, k, d| det.write(o, k, d).is_ok(),
+        &|x| det.fail_site(x),
+        &|x| det.repair_site(x),
+        &|| det.traffic(),
+    );
+
+    let live = LiveCluster::spawn(cfg(scheme), mode);
+    let (live_reads, live_traffic) = drive(
+        &|o, k| live.read(o, k).ok(),
+        &|o, k, d| live.write(o, k, d).is_ok(),
+        &|x| live.fail_site(x),
+        &|x| live.repair_site(x),
+        &|| live.counter().snapshot(),
+    );
+
+    let tcp = TcpCluster::spawn(cfg(scheme), mode).unwrap();
+    let (tcp_reads, tcp_traffic) = drive(
+        &|o, k| tcp.read(o, k).ok(),
+        &|o, k, d| tcp.write(o, k, d).is_ok(),
+        &|x| tcp.fail_site(x),
+        &|x| tcp.repair_site(x),
+        &|| tcp.counter().snapshot(),
+    );
+
+    assert_eq!(
+        det_reads, live_reads,
+        "{scheme}/{mode}: channel runtime diverged"
+    );
+    assert_eq!(
+        det_reads, tcp_reads,
+        "{scheme}/{mode}: tcp runtime diverged"
+    );
+    assert_eq!(
+        det_traffic, live_traffic,
+        "{scheme}/{mode}: channel §5 accounting must match"
+    );
+    assert_eq!(
+        det_traffic, tcp_traffic,
+        "{scheme}/{mode}: tcp §5 accounting must match"
+    );
+}
+
+#[test]
+fn voting_runtimes_agree_multicast() {
+    parity_for(Scheme::Voting, DeliveryMode::Multicast);
+}
+
+#[test]
+fn voting_runtimes_agree_unicast() {
+    parity_for(Scheme::Voting, DeliveryMode::Unicast);
+}
+
+#[test]
+fn available_copy_runtimes_agree_multicast() {
+    parity_for(Scheme::AvailableCopy, DeliveryMode::Multicast);
+}
+
+#[test]
+fn available_copy_runtimes_agree_unicast() {
+    parity_for(Scheme::AvailableCopy, DeliveryMode::Unicast);
+}
+
+#[test]
+fn naive_runtimes_agree_multicast() {
+    parity_for(Scheme::NaiveAvailableCopy, DeliveryMode::Multicast);
+}
+
+#[test]
+fn naive_runtimes_agree_unicast() {
+    parity_for(Scheme::NaiveAvailableCopy, DeliveryMode::Unicast);
+}
+
+#[test]
+fn live_cluster_total_failure_recovery_matches_deterministic() {
+    for scheme in [Scheme::AvailableCopy, Scheme::NaiveAvailableCopy] {
+        let run = |fail_order: &[u32], repair_order: &[u32]| {
+            let det = Cluster::new(cfg(scheme), ClusterOptions::default());
+            let live = LiveCluster::spawn(cfg(scheme), DeliveryMode::Multicast);
+            det.write(s(0), blk(0), BlockData::from(vec![9; 32]))
+                .unwrap();
+            live.write(s(0), blk(0), BlockData::from(vec![9; 32]))
+                .unwrap();
+            let mut availabilities = Vec::new();
+            for &i in fail_order {
+                det.fail_site(s(i));
+                live.fail_site(s(i));
+            }
+            for &i in repair_order {
+                det.repair_site(s(i));
+                live.repair_site(s(i));
+                assert_eq!(
+                    det.is_available(),
+                    live.is_available(),
+                    "{scheme}: divergence after repairing s{i}"
+                );
+                availabilities.push(det.is_available());
+            }
+            availabilities
+        };
+        // Stale-first repair order after a total failure.
+        let avail = run(&[1, 2, 3, 0], &[1, 2, 3, 0]);
+        assert_eq!(avail.last(), Some(&true));
+    }
+}
