@@ -25,6 +25,10 @@ pub struct Parsed {
     flags: BTreeMap<String, String>,
 }
 
+/// Flags that take no value (their presence means "on"). Everything else
+/// written as `--key` consumes the next argument as its value.
+const BOOLEAN_FLAGS: &[&str] = &["stats", "trace"];
+
 /// A command-line usage error, printed to stderr with exit code 2.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UsageError(pub String);
@@ -37,6 +41,12 @@ impl fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
+impl From<std::io::Error> for UsageError {
+    fn from(e: std::io::Error) -> UsageError {
+        UsageError(format!("i/o error: {e}"))
+    }
+}
+
 impl Parsed {
     /// Parses an iterator of arguments (excluding the program name).
     ///
@@ -48,9 +58,12 @@ impl Parsed {
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| UsageError(format!("flag --{key} needs a value")))?;
+                let value = if BOOLEAN_FLAGS.contains(&key) {
+                    "true".to_string()
+                } else {
+                    iter.next()
+                        .ok_or_else(|| UsageError(format!("flag --{key} needs a value")))?
+                };
                 if out.flags.insert(key.to_string(), value).is_some() {
                     return Err(UsageError(format!("flag --{key} given twice")));
                 }
@@ -79,6 +92,12 @@ impl Parsed {
     /// Flag keys the caller never consumed — used to reject typos.
     pub fn keys(&self) -> impl Iterator<Item = &str> {
         self.flags.keys().map(String::as_str)
+    }
+
+    /// Whether a boolean flag (see the crate's boolean-flag list, e.g.
+    /// `--stats`, `--trace`) was given.
+    pub fn flag_bool(&self, key: &str) -> bool {
+        self.flag(key).is_some()
     }
 
     /// A `f64` flag with a default.
@@ -208,6 +227,17 @@ mod tests {
             .unwrap()
             .flag_f64("rho", 0.0)
             .is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let p = parse(&["simulate", "--stats", "traffic", "--trace", "--ops", "10"]).unwrap();
+        assert!(p.flag_bool("stats"));
+        assert!(p.flag_bool("trace"));
+        assert!(!p.flag_bool("json"));
+        // The word after a boolean flag is a positional, not its value.
+        assert_eq!(p.positional(1), Some("traffic"));
+        assert_eq!(p.flag("ops"), Some("10"));
     }
 
     #[test]

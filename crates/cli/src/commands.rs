@@ -28,6 +28,10 @@ usage:
   blockrep fsck <image-file> [flags]       consistency-check an image
       --block-size B
 
+observability (any subcommand):
+  --stats    collect metrics; print a table and a JSON snapshot at exit
+  --trace    stream structured protocol events to stderr (implies --stats)
+
 schemes: voting (v), available-copy (ac), naive-available-copy (naive, nac)";
 
 /// Runs a parsed command line; returns the process exit code.
@@ -36,6 +40,25 @@ schemes: voting (v), available-copy (ac), naive-available-copy (naive, nac)";
 ///
 /// [`UsageError`] for malformed arguments (the caller prints usage).
 pub fn run(parsed: &Parsed) -> Result<(), UsageError> {
+    let stats = parsed.flag_bool("stats");
+    let trace = parsed.flag_bool("trace");
+    if trace {
+        blockrep_obs::set_observer(std::sync::Arc::new(blockrep_obs::StderrObserver::new()));
+    } else if stats {
+        blockrep_obs::enable();
+    }
+    let result = dispatch(parsed);
+    if stats || trace {
+        let snapshot = blockrep_obs::metrics::global().snapshot();
+        if !snapshot.is_empty() {
+            println!("\nmetrics:\n{}", snapshot.to_table());
+            println!("{}", snapshot.to_json());
+        }
+    }
+    result
+}
+
+fn dispatch(parsed: &Parsed) -> Result<(), UsageError> {
     match parsed.positional(0) {
         None | Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
@@ -100,6 +123,11 @@ fn run_simulate(parsed: &Parsed) -> Result<(), UsageError> {
             cfg.reads_per_write = parsed.flag_f64("ratio", cfg.reads_per_write)?;
             cfg.seed = parsed.flag_u64("seed", cfg.seed)?;
             let est = measure_traffic(&cfg);
+            if blockrep_obs::enabled() {
+                // Mirror the run's traffic counters into the metrics
+                // registry so --stats reports per-class message counts.
+                est.traffic.export_to(blockrep_obs::metrics::global());
+            }
             println!("scheme {scheme}, n = {sites}, rho = {rho}, {mode}");
             println!(
                 "per read:     measured {:.3}  model {:.3}",
@@ -260,10 +288,13 @@ mod tests {
     }
 
     #[test]
-    fn mkfs_and_fsck_roundtrip() {
+    fn mkfs_and_fsck_roundtrip() -> Result<(), UsageError> {
         let mut path = std::env::temp_dir();
         path.push(format!("blockrep-cli-mkfs-{}.img", std::process::id()));
-        let path_str = path.to_str().unwrap().to_string();
+        let path_str = path
+            .to_str()
+            .ok_or_else(|| UsageError("temp path is not UTF-8".into()))?
+            .to_string();
         run(&parsed(&[
             "mkfs",
             &path_str,
@@ -271,29 +302,29 @@ mod tests {
             "128",
             "--block-size",
             "512",
-        ]))
-        .unwrap();
+        ]))?;
         // A fresh image is clean.
-        run(&parsed(&["fsck", &path_str])).unwrap();
+        run(&parsed(&["fsck", &path_str]))?;
         // Populate it and re-check through a remount.
         {
-            let dev = blockrep_storage::FileStore::open(&path_str, 512).unwrap();
-            let fs = blockrep_fs::FileSystem::mount(dev).unwrap();
-            fs.write_file("/hello", b"persist me").unwrap();
+            let dev = blockrep_storage::FileStore::open(&path_str, 512)
+                .map_err(|e| UsageError(format!("open: {e}")))?;
+            let fs = blockrep_fs::FileSystem::mount(dev)
+                .map_err(|e| UsageError(format!("mount: {e}")))?;
+            fs.write_file("/hello", b"persist me")
+                .map_err(|e| UsageError(format!("write: {e}")))?;
         }
-        run(&parsed(&["fsck", &path_str])).unwrap();
+        run(&parsed(&["fsck", &path_str]))?;
         // A corrupted superblock is rejected.
         {
             use std::io::{Seek, Write};
-            let mut f = std::fs::OpenOptions::new()
-                .write(true)
-                .open(&path_str)
-                .unwrap();
-            f.seek(std::io::SeekFrom::Start(0)).unwrap();
-            f.write_all(b"XXXX").unwrap();
+            let mut f = std::fs::OpenOptions::new().write(true).open(&path_str)?;
+            f.seek(std::io::SeekFrom::Start(0))?;
+            f.write_all(b"XXXX")?;
         }
         assert!(run(&parsed(&["fsck", &path_str])).is_err());
-        std::fs::remove_file(path).unwrap();
+        std::fs::remove_file(path)?;
+        Ok(())
     }
 
     #[test]

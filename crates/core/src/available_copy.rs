@@ -10,7 +10,9 @@
 //! last site(s) to fail, hence a most-current copy.
 
 use crate::backend::{self, Backend};
+use crate::obs_hooks;
 use blockrep_net::{MsgKind, OpClass};
+use blockrep_obs::event;
 use blockrep_types::{
     BlockData, BlockIndex, DeviceError, DeviceResult, FailureTracking, SiteId, SiteState,
 };
@@ -60,6 +62,7 @@ pub(crate) fn read<B: Backend + ?Sized>(
 ) -> DeviceResult<BlockData> {
     ensure_serving(b, origin)?;
     check_block(b, k)?;
+    event!("read.local", site = origin.as_u32(), block = k.as_u64());
     Ok(b.read_local(origin, k))
 }
 
@@ -112,12 +115,21 @@ pub(crate) fn write<B: Backend + ?Sized>(
         }
     }
     b.apply_write(origin, origin, k, &data, v_new);
+    event!(
+        "acwrite.fanout",
+        origin = origin.as_u32(),
+        block = k.as_u64(),
+        version = v_new.as_u64(),
+        recipients = recipients.len(),
+        naive = naive,
+    );
     if !naive {
         // Definition 3.1: everyone who received this write records the write
         // group as its new was-available set (piggybacked on update + acks).
         for &t in &recipients {
             b.set_was_available(origin, t, &recipients);
         }
+        event!("was_available.update", group = recipients.len());
     }
     Ok(())
 }
@@ -130,6 +142,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
 /// [`Control`](OpClass::Control) class, outside the paper's §5 cost model.
 pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId, naive: bool) {
     b.set_local_state(s, SiteState::Failed);
+    event!("site.fail", site = s.as_u32());
     if naive || b.config().failure_tracking() != FailureTracking::OnFailure {
         return;
     }
@@ -154,6 +167,7 @@ pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId, naive: bool) {
 /// recovery is decided by [`try_complete_recovery`] in the recovery sweep.
 pub(crate) fn begin_recovery<B: Backend + ?Sized>(b: &B, s: SiteId) {
     b.set_local_state(s, SiteState::Comatose);
+    event!("recovery.begin", site = s.as_u32());
     let others = backend::others(b.config(), s);
     backend::charge_fanout(b, OpClass::Recovery, MsgKind::RecoveryQuery, others.len());
     for t in others {
@@ -276,7 +290,14 @@ pub(crate) fn try_complete_recovery<B: Backend + ?Sized>(b: &B, c: SiteId, naive
         };
         b.counter()
             .add(OpClass::Recovery, MsgKind::VersionVector, 1);
-        b.apply_repair_local(c, blocks);
+        let repaired = b.apply_repair_local(c, blocks);
+        obs_hooks::count(obs_hooks::blocks_repaired, repaired as u64);
+        event!(
+            "recovery.complete",
+            site = c.as_u32(),
+            source = t.as_u32(),
+            blocks = repaired,
+        );
         if !naive {
             // W_s ← W_t ∪ {s}; send(t, W_s) — piggybacked on the exchange.
             if let Some(mut w) = b.was_available(c, t) {

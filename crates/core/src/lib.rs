@@ -73,6 +73,7 @@ pub mod backend;
 mod cluster;
 mod device;
 mod live;
+mod obs_hooks;
 mod persist;
 mod protocol;
 mod replica;

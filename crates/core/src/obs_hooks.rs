@@ -1,0 +1,60 @@
+//! Cached handles into the global [`blockrep_obs`] metrics registry.
+//!
+//! Protocol hot paths cannot afford a registry lookup (name lookup under a
+//! mutex) per operation, so each metric is resolved once into a `OnceLock`
+//! and the `'static` handle is reused. Everything here is further gated on
+//! [`blockrep_obs::enabled`], so with observability off the cost is one
+//! relaxed atomic load and no lock is ever touched.
+
+use blockrep_obs::metrics::{global, Counter, Histogram, HistogramTimer};
+use std::sync::{Arc, OnceLock};
+
+macro_rules! cached_metric {
+    ($fn_name:ident, $ty:ty, $method:ident, $metric_name:literal) => {
+        pub(crate) fn $fn_name() -> &'static $ty {
+            static HANDLE: OnceLock<Arc<$ty>> = OnceLock::new();
+            HANDLE.get_or_init(|| global().$method($metric_name))
+        }
+    };
+}
+
+cached_metric!(read_latency, Histogram, histogram, "op.read.latency");
+cached_metric!(write_latency, Histogram, histogram, "op.write.latency");
+cached_metric!(
+    recovery_latency,
+    Histogram,
+    histogram,
+    "op.recovery.latency"
+);
+cached_metric!(tcp_rpc_latency, Histogram, histogram, "tcp.rpc.latency");
+cached_metric!(quorum_size, Histogram, histogram, "quorum.size");
+cached_metric!(
+    blocks_repaired,
+    Counter,
+    counter,
+    "recovery.blocks_repaired"
+);
+
+/// Starts a latency timer for `metric` when observability is enabled; the
+/// `None` guard on the disabled path is free.
+pub(crate) fn timer(metric: fn() -> &'static Histogram) -> Option<HistogramTimer<'static>> {
+    if blockrep_obs::enabled() {
+        Some(metric().timer())
+    } else {
+        None
+    }
+}
+
+/// Records `value` into `metric` when observability is enabled.
+pub(crate) fn record(metric: fn() -> &'static Histogram, value: u64) {
+    if blockrep_obs::enabled() {
+        metric().record(value);
+    }
+}
+
+/// Adds `n` to `metric` when observability is enabled.
+pub(crate) fn count(metric: fn() -> &'static Counter, n: u64) {
+    if blockrep_obs::enabled() {
+        metric().add(n);
+    }
+}

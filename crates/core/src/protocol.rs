@@ -6,7 +6,7 @@
 //! configuration.
 
 use crate::backend::Backend;
-use crate::{available_copy, naive, voting};
+use crate::{available_copy, naive, obs_hooks, voting};
 use blockrep_types::{BlockData, BlockIndex, DeviceResult, Scheme, SiteId, SiteState};
 
 /// Reads block `k`, coordinated by `origin`, under the configured scheme.
@@ -15,6 +15,7 @@ pub(crate) fn read<B: Backend + ?Sized>(
     origin: SiteId,
     k: BlockIndex,
 ) -> DeviceResult<BlockData> {
+    let _timer = obs_hooks::timer(obs_hooks::read_latency);
     match b.config().scheme() {
         Scheme::Voting => voting::read(b, origin, k),
         Scheme::AvailableCopy => available_copy::read(b, origin, k),
@@ -29,6 +30,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
     k: BlockIndex,
     data: BlockData,
 ) -> DeviceResult<()> {
+    let _timer = obs_hooks::timer(obs_hooks::write_latency);
     match b.config().scheme() {
         Scheme::Voting => voting::write(b, origin, k, data),
         Scheme::AvailableCopy => available_copy::write(b, origin, k, data, false),
@@ -47,6 +49,7 @@ pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId) {
 
 /// Restarts site `s` after a failure and runs the recovery sweep.
 pub(crate) fn repair<B: Backend + ?Sized>(b: &B, s: SiteId) {
+    let _timer = obs_hooks::timer(obs_hooks::recovery_latency);
     match b.config().scheme() {
         Scheme::Voting => voting::repair(b, s),
         Scheme::AvailableCopy => {

@@ -131,14 +131,17 @@ pub fn estimate(config: &AvailabilityConfig) -> AvailabilityEstimate {
         events += 1;
         match event {
             Event::Fail(s) => {
+                blockrep_obs::event!("sim.fail", t = now.as_f64(), site = s.as_u32());
                 cluster.fail_site(s);
                 sched.schedule_after(repair_dist.sample(&mut rng), Event::RepairDone(s));
             }
             Event::RepairDone(s) => {
+                blockrep_obs::event!("sim.repair", t = now.as_f64(), site = s.as_u32());
                 cluster.repair_site(s);
                 sched.schedule_after(fail_dist.sample(&mut rng), Event::Fail(s));
             }
             Event::Write => {
+                blockrep_obs::event!("sim.request", t = now.as_f64(), op = "write");
                 if let Some(origin) = cluster.any_serving_site() {
                     fill = fill.wrapping_add(1);
                     let data = BlockData::from(vec![fill; 8]);
@@ -173,8 +176,8 @@ pub fn estimate(config: &AvailabilityConfig) -> AvailabilityEstimate {
 /// use blockrep_types::Scheme;
 ///
 /// let mut cfg = AvailabilityConfig::new(Scheme::Voting, 3, 0.3);
-/// cfg.horizon = 2_000.0;
-/// let stats = replicate(&cfg, 8);
+/// cfg.horizon = 8_000.0;
+/// let stats = replicate(&cfg, 12);
 /// let (lo, hi) = stats.confidence(Confidence::P99);
 /// let analytic = blockrep_analysis::voting::availability(3, 0.3);
 /// assert!(lo <= analytic && analytic <= hi);

@@ -3,7 +3,7 @@
 use crate::simulate::workload::{Op, WorkloadGen};
 use crate::{Cluster, ClusterOptions};
 use blockrep_analysis::traffic::{costs, NetModel, OpCosts};
-use blockrep_net::{DeliveryMode, OpClass};
+use blockrep_net::{DeliveryMode, OpClass, TrafficSnapshot};
 use blockrep_sim::{Exponential, Scheduler};
 use blockrep_types::{BlockData, DeviceConfig, Scheme, SiteId};
 use rand::rngs::StdRng;
@@ -65,6 +65,9 @@ pub struct TrafficEstimate {
     pub recoveries: u64,
     /// The §5 analytical costs for the same parameters.
     pub model: OpCosts,
+    /// The raw end-of-run traffic counters, for export into a metrics
+    /// registry ([`TrafficSnapshot::export_to`]) or byte estimates.
+    pub traffic: TrafficSnapshot,
 }
 
 impl TrafficEstimate {
@@ -173,6 +176,7 @@ pub fn measure(config: &TrafficConfig) -> TrafficEstimate {
         writes,
         recoveries,
         model: costs(config.scheme, net_model(config.mode), config.n, config.rho),
+        traffic: snap,
     }
 }
 

@@ -215,6 +215,7 @@ impl TcpCluster {
     }
 
     fn rpc(&self, to: SiteId, request: WireRequest) -> Option<WireResponse> {
+        let _timer = crate::obs_hooks::timer(crate::obs_hooks::tcp_rpc_latency);
         let mut conn = self.conns[to.index()].lock();
         wire::write_frame(&mut *conn, &request.encode()).ok()?;
         let frame = wire::read_frame(&mut *conn).ok()?;

@@ -13,7 +13,9 @@
 //!   "only those blocks which have been modified", on access.
 
 use crate::backend::{self, Backend};
+use crate::obs_hooks;
 use blockrep_net::{MsgKind, OpClass};
+use blockrep_obs::{event, span};
 use blockrep_types::{BlockData, BlockIndex, DeviceError, DeviceResult, SiteId, VersionNumber};
 
 /// One round of vote collection for block `k`, coordinated by `origin`.
@@ -29,6 +31,13 @@ fn collect_votes<B: Backend + ?Sized>(
 ) -> Vec<(SiteId, VersionNumber)> {
     let others = backend::others(b.config(), origin);
     backend::charge_fanout(b, op, MsgKind::VoteRequest, others.len());
+    event!(
+        "quorum.request",
+        op = op.label(),
+        origin = origin.as_u32(),
+        block = k.as_u64(),
+        fanout = others.len(),
+    );
     let own = b
         .vote(origin, origin, k)
         .expect("coordinator is operational, so its own vote cannot fail");
@@ -36,9 +45,11 @@ fn collect_votes<B: Backend + ?Sized>(
     for t in others {
         if let Some(v) = b.vote(origin, t, k) {
             b.counter().add(op, MsgKind::VoteReply, 1);
+            event!("quorum.ack", site = t.as_u32(), version = v.as_u64());
             votes.push((t, v));
         }
     }
+    obs_hooks::record(obs_hooks::quorum_size, votes.len() as u64);
     votes
 }
 
@@ -115,6 +126,12 @@ pub(crate) fn read<B: Backend + ?Sized>(
             )
         })?;
         b.counter().add(OpClass::Read, MsgKind::BlockTransfer, 1);
+        event!(
+            "read.refresh",
+            block = k.as_u64(),
+            holder = holder.as_u32(),
+            version = v.as_u64(),
+        );
         // Keep the local copy up to date, as the paper's algorithm does.
         b.apply_write(origin, origin, k, &data, v);
     }
@@ -139,6 +156,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
 ) -> DeviceResult<()> {
     ensure_coordinator(b, origin)?;
     check_block(b, k)?;
+    let _span = span!("mcv.write", origin = origin.as_u32(), block = k.as_u64());
     let cfg = b.config();
     if data.len() != cfg.block_size() {
         return Err(DeviceError::WrongBlockSize {
@@ -166,10 +184,17 @@ pub(crate) fn write<B: Backend + ?Sized>(
         .next();
     let remote_voters: Vec<SiteId> = voters.iter().copied().filter(|&s| s != origin).collect();
     backend::charge_fanout(b, OpClass::Write, MsgKind::WriteUpdate, remote_voters.len());
+    let replicas = remote_voters.len() + 1;
     for t in remote_voters {
         b.apply_write(origin, t, k, &data, v_new);
     }
     b.apply_write(origin, origin, k, &data, v_new);
+    event!(
+        "write.commit",
+        block = k.as_u64(),
+        version = v_new.as_u64(),
+        replicas = replicas,
+    );
     Ok(())
 }
 

@@ -283,6 +283,34 @@ impl TrafficSnapshot {
         total
     }
 
+    /// Mirrors this snapshot into a metrics registry, so traffic accounting
+    /// and observability report from one source of truth.
+    ///
+    /// Counters are *set* (not added), making the registry an exact copy of
+    /// the snapshot no matter how often it is exported:
+    ///
+    /// * `net.msgs.<op>` — total per operation class;
+    /// * `net.msgs.<op>.<kind>` — per nonzero `(op, kind)` cell;
+    /// * `net.msgs.total` — everything;
+    /// * `net.msgs.modeled` — everything in the paper's §5 cost model,
+    ///   i.e. excluding [`OpClass::Control`].
+    pub fn export_to(&self, registry: &blockrep_obs::metrics::Registry) {
+        for op in OpClass::ALL {
+            registry
+                .counter(&format!("net.msgs.{}", op.label()))
+                .set(self.total_for(op));
+        }
+        for (op, kind, n) in self.entries() {
+            registry
+                .counter(&format!("net.msgs.{}.{}", op.label(), kind.label()))
+                .set(n);
+        }
+        registry.counter("net.msgs.total").set(self.total());
+        registry
+            .counter("net.msgs.modeled")
+            .set(self.total_modeled());
+    }
+
     /// Nonzero `(op, kind, count)` triples in reporting order.
     pub fn entries(&self) -> Vec<(OpClass, MsgKind, u64)> {
         let mut out = Vec::new();
@@ -406,6 +434,37 @@ mod tests {
     fn counter_is_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<TrafficCounter>();
+    }
+
+    #[test]
+    fn export_mirrors_snapshot_into_registry() {
+        let c = TrafficCounter::new();
+        c.add(OpClass::Read, MsgKind::VoteRequest, 2);
+        c.add(OpClass::Read, MsgKind::VoteReply, 4);
+        c.add(OpClass::Write, MsgKind::WriteUpdate, 3);
+        c.add(OpClass::Control, MsgKind::FailureNotice, 7);
+        let registry = blockrep_obs::metrics::Registry::new();
+        let snapshot = c.snapshot();
+        snapshot.export_to(&registry);
+        // Exporting twice must not double-count: counters are set, not added.
+        snapshot.export_to(&registry);
+        let m = registry.snapshot();
+        for op in OpClass::ALL {
+            assert_eq!(
+                m.counter(&format!("net.msgs.{}", op.label())),
+                Some(snapshot.total_for(op)),
+                "class {op} mismatch"
+            );
+        }
+        assert_eq!(m.counter("net.msgs.read.vote-request"), Some(2));
+        assert_eq!(m.counter("net.msgs.write.write-update"), Some(3));
+        assert_eq!(m.counter("net.msgs.total"), Some(16));
+        // Control traffic stays out of the §5-comparison total.
+        assert_eq!(m.counter("net.msgs.modeled"), Some(9));
+        assert_eq!(
+            m.counter("net.msgs.modeled").unwrap(),
+            m.counter("net.msgs.total").unwrap() - m.counter("net.msgs.control").unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! The event/span facade: `Observer` trait, dispatch plumbing and the
+//! built-in observer implementations.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// A structured field value. Small and `Copy` so hot paths can build field
+/// lists on the stack without allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (site ids, block indices, counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (virtual timestamps, ratios).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Static string (operation classes, scheme names).
+    Str(&'static str),
+}
+
+macro_rules! impl_value_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::$variant(v as $conv)
+            }
+        })*
+    };
+}
+
+impl_value_from!(
+    u8 => U64 as u64,
+    u16 => U64 as u64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    f64 => F64 as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Receives the structured events and spans emitted by instrumented code.
+///
+/// Implementations must be cheap and non-blocking where possible: protocol
+/// hot paths call these while holding no locks of their own, but a slow
+/// observer still slows the cluster down.
+pub trait Observer: Send + Sync {
+    /// An instantaneous event.
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]);
+
+    /// A span began (an operation with duration, e.g. one protocol op).
+    fn span_start(&self, name: &'static str, fields: &[(&'static str, Value)]);
+
+    /// The most recent span with this name ended after `nanos` wall-clock
+    /// nanoseconds.
+    fn span_end(&self, name: &'static str, nanos: u64);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static OBSERVER: RwLock<Option<Arc<dyn Observer>>> = RwLock::new(None);
+
+/// Whether observability is on. One relaxed atomic load — this is the whole
+/// cost instrumented hot paths pay when observability is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns observability on without installing an observer: events go nowhere
+/// but metrics (latency histograms, cache counters, ...) are recorded.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns observability off (any installed observer stays installed but is
+/// no longer called).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Installs the process-wide observer and enables observability.
+pub fn set_observer(observer: Arc<dyn Observer>) {
+    *OBSERVER.write().expect("observer lock") = Some(observer);
+    enable();
+}
+
+/// Removes the process-wide observer and disables observability.
+pub fn clear_observer() {
+    ENABLED.store(false, Ordering::Relaxed);
+    *OBSERVER.write().expect("observer lock") = None;
+}
+
+/// Delivers an event to the installed observer, if any. Call sites should
+/// check [`enabled`] first (the [`event!`](crate::event) macro does).
+pub fn dispatch_event(name: &'static str, fields: &[(&'static str, Value)]) {
+    if let Some(observer) = &*OBSERVER.read().expect("observer lock") {
+        observer.event(name, fields);
+    }
+}
+
+/// Delivers a span start to the installed observer, if any.
+pub fn dispatch_span_start(name: &'static str, fields: &[(&'static str, Value)]) {
+    if let Some(observer) = &*OBSERVER.read().expect("observer lock") {
+        observer.span_start(name, fields);
+    }
+}
+
+/// Delivers a span end to the installed observer, if any.
+pub fn dispatch_span_end(name: &'static str, nanos: u64) {
+    if let Some(observer) = &*OBSERVER.read().expect("observer lock") {
+        observer.span_end(name, nanos);
+    }
+}
+
+/// Emits a structured event when observability is enabled.
+///
+/// ```
+/// blockrep_obs::event!("quorum.ack", site = 2u32, version = 9u64);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::dispatch_event(
+                $name,
+                &[$((stringify!($key), $crate::Value::from($value))),*],
+            );
+        }
+    };
+}
+
+/// Opens a span: emits a start record now and an end record (with the
+/// measured wall-clock duration) when the returned guard drops. When
+/// observability is disabled the guard is inert and the field expressions
+/// are not even evaluated.
+///
+/// ```
+/// let _span = blockrep_obs::span!("op.write", block = 3u64);
+/// // ... do the work ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::start(
+                $name,
+                &[$((stringify!($key), $crate::Value::from($value))),*],
+            )
+        } else {
+            $crate::SpanGuard::inert()
+        }
+    };
+}
+
+/// Live span handle returned by [`span!`](crate::span); ends the span on
+/// drop.
+#[must_use = "a span ends when its guard drops; bind it with `let _span = ...`"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    started: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Starts a live span (dispatches the start record immediately).
+    pub fn start(name: &'static str, fields: &[(&'static str, Value)]) -> SpanGuard {
+        dispatch_span_start(name, fields);
+        SpanGuard {
+            name,
+            started: Some(Instant::now()),
+        }
+    }
+
+    /// A guard that does nothing — the disabled-path stand-in.
+    pub fn inert() -> SpanGuard {
+        SpanGuard {
+            name: "",
+            started: None,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            dispatch_span_end(self.name, started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// What kind of record a [`RecordingObserver`] captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// An instantaneous event.
+    Event,
+    /// A span opened.
+    SpanStart,
+    /// A span closed; the duration is in [`Record::nanos`].
+    SpanEnd,
+}
+
+/// One captured event or span edge.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Event/span kind.
+    pub kind: RecordKind,
+    /// Event or span name.
+    pub name: &'static str,
+    /// Structured fields (empty for span ends).
+    pub fields: Vec<(&'static str, Value)>,
+    /// Span duration in nanoseconds (span ends only).
+    pub nanos: Option<u64>,
+}
+
+impl Record {
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+}
+
+/// Captures every record in memory, in arrival order — the test observer.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    records: Mutex<Vec<Record>>,
+}
+
+impl RecordingObserver {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RecordingObserver::default()
+    }
+
+    /// Removes and returns everything captured so far.
+    pub fn take(&self) -> Vec<Record> {
+        std::mem::take(&mut self.records.lock().expect("recorder lock"))
+    }
+
+    /// The names captured so far, in order, without consuming them.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.records
+            .lock()
+            .expect("recorder lock")
+            .iter()
+            .map(|r| r.name)
+            .collect()
+    }
+
+    fn push(&self, record: Record) {
+        self.records.lock().expect("recorder lock").push(record);
+    }
+}
+
+impl Observer for RecordingObserver {
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.push(Record {
+            kind: RecordKind::Event,
+            name,
+            fields: fields.to_vec(),
+            nanos: None,
+        });
+    }
+
+    fn span_start(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.push(Record {
+            kind: RecordKind::SpanStart,
+            name,
+            fields: fields.to_vec(),
+            nanos: None,
+        });
+    }
+
+    fn span_end(&self, name: &'static str, nanos: u64) {
+        self.push(Record {
+            kind: RecordKind::SpanEnd,
+            name,
+            fields: Vec::new(),
+            nanos: Some(nanos),
+        });
+    }
+}
+
+/// Streams records to stderr as single lines — the `--trace` observer.
+#[derive(Debug, Default)]
+pub struct StderrObserver;
+
+impl StderrObserver {
+    /// A stderr-writing observer.
+    pub fn new() -> Self {
+        StderrObserver
+    }
+
+    fn write_line(prefix: &str, name: &str, fields: &[(&'static str, Value)], suffix: &str) {
+        let stderr = std::io::stderr();
+        let mut out = stderr.lock();
+        let _ = write!(out, "[obs] {prefix}{name}");
+        for (key, value) in fields {
+            let _ = write!(out, " {key}={value}");
+        }
+        let _ = writeln!(out, "{suffix}");
+    }
+}
+
+impl Observer for StderrObserver {
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        Self::write_line("", name, fields, "");
+    }
+
+    fn span_start(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        Self::write_line("> ", name, fields, "");
+    }
+
+    fn span_end(&self, name: &'static str, nanos: u64) {
+        let stderr = std::io::stderr();
+        let mut out = stderr.lock();
+        let _ = writeln!(out, "[obs] < {name} {}ns", nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The observer slot is process-global; tests that install one serialize
+    // through this lock so `cargo test`'s parallel runner cannot interleave
+    // them.
+    static OBSERVER_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_by_default_and_macro_short_circuits() {
+        let _guard = OBSERVER_TEST_LOCK.lock().unwrap();
+        clear_observer();
+        assert!(!enabled());
+        let mut evaluated = false;
+        // Field expressions must not run while disabled.
+        let _span = crate::span!(
+            "t.span",
+            x = {
+                evaluated = true;
+                1u64
+            }
+        );
+        assert!(!evaluated);
+    }
+
+    #[test]
+    fn recording_observer_captures_order_fields_and_durations() {
+        let _guard = OBSERVER_TEST_LOCK.lock().unwrap();
+        let recorder = Arc::new(RecordingObserver::new());
+        set_observer(recorder.clone());
+        {
+            let _span = crate::span!("t.op", site = 3u32);
+            crate::event!("t.step", ok = true, label = "x");
+        }
+        clear_observer();
+
+        let records = recorder.take();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].kind, RecordKind::SpanStart);
+        assert_eq!(records[0].name, "t.op");
+        assert_eq!(records[0].field("site"), Some(Value::U64(3)));
+        assert_eq!(records[1].kind, RecordKind::Event);
+        assert_eq!(records[1].field("ok"), Some(Value::Bool(true)));
+        assert_eq!(records[1].field("label"), Some(Value::Str("x")));
+        assert_eq!(records[2].kind, RecordKind::SpanEnd);
+        assert!(records[2].nanos.is_some());
+    }
+
+    #[test]
+    fn enable_without_observer_is_harmless() {
+        let _guard = OBSERVER_TEST_LOCK.lock().unwrap();
+        clear_observer();
+        enable();
+        crate::event!("t.nobody", x = 1u64);
+        let _span = crate::span!("t.span");
+        drop(_span);
+        disable();
+    }
+}

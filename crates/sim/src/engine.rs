@@ -108,6 +108,13 @@ impl<E> Scheduler<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(entry) = self.heap.pop()?;
         self.now = entry.time;
+        // Observability traces carry the *virtual* clock, so a trace of a
+        // simulated run reads in simulated time, not wall-clock time.
+        blockrep_obs::event!(
+            "sim.tick",
+            t = entry.time.as_f64(),
+            pending = self.heap.len()
+        );
         Some((entry.time, entry.event))
     }
 

@@ -5,6 +5,40 @@ use blockrep_types::{BlockData, BlockIndex, DeviceResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
+/// Gated global cache counters: mirrored into the process-wide metrics
+/// registry only while observability is enabled, so the per-instance
+/// [`CacheStats`] stay authoritative and the hot path pays one relaxed
+/// atomic load when it is off.
+mod obs_counters {
+    use blockrep_obs::metrics::{global, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    fn counter(slot: &'static OnceLock<Arc<Counter>>, name: &'static str) -> &'static Counter {
+        slot.get_or_init(|| global().counter(name))
+    }
+
+    pub(super) fn hit() {
+        if blockrep_obs::enabled() {
+            static C: OnceLock<Arc<Counter>> = OnceLock::new();
+            counter(&C, "cache.hit").inc();
+        }
+    }
+
+    pub(super) fn miss() {
+        if blockrep_obs::enabled() {
+            static C: OnceLock<Arc<Counter>> = OnceLock::new();
+            counter(&C, "cache.miss").inc();
+        }
+    }
+
+    pub(super) fn evict() {
+        if blockrep_obs::enabled() {
+            static C: OnceLock<Arc<Counter>> = OnceLock::new();
+            counter(&C, "cache.evict").inc();
+        }
+    }
+}
+
 /// A write-through LRU block cache in front of any [`BlockDevice`] — the
 /// "buffer cache" of the paper's Figure 1, where the file system only asks
 /// the device driver for blocks it does not already hold.
@@ -44,15 +78,18 @@ struct CacheState {
     clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
-/// Hit/miss counters of a [`CacheStore`].
+/// Hit/miss/eviction counters of a [`CacheStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Reads served from the cache.
     pub hits: u64,
     /// Reads that had to go to the underlying device.
     pub misses: u64,
+    /// Entries displaced to make room (LRU).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -98,6 +135,7 @@ impl<D: BlockDevice> CacheStore<D> {
         CacheStats {
             hits: state.hits,
             misses: state.misses,
+            evictions: state.evictions,
         }
     }
 
@@ -128,6 +166,8 @@ impl CacheState {
                 .map(|(&b, _)| b)
                 .expect("cache is nonempty when over capacity");
             self.entries.remove(&oldest);
+            self.evictions += 1;
+            obs_counters::evict();
         }
     }
 }
@@ -148,6 +188,7 @@ impl<D: BlockDevice> BlockDevice for CacheStore<D> {
             if let Some((data, _)) = state.entries.get(&k.as_u64()) {
                 let data = data.clone();
                 state.hits += 1;
+                obs_counters::hit();
                 state.touch(k.as_u64());
                 return Ok(data);
             }
@@ -157,6 +198,7 @@ impl<D: BlockDevice> BlockDevice for CacheStore<D> {
         let data = self.inner.read_block(k)?;
         let mut state = self.state.lock();
         state.misses += 1;
+        obs_counters::miss();
         state.insert(k.as_u64(), data.clone(), self.capacity);
         Ok(data)
     }
@@ -264,6 +306,8 @@ mod tests {
         assert_eq!(cache.inner().reads.load(Ordering::Relaxed), before);
         cache.read_block(b).unwrap(); // was evicted: device read
         assert_eq!(cache.inner().reads.load(Ordering::Relaxed), before + 1);
+        // c evicted b, then re-reading b evicted the LRU survivor.
+        assert_eq!(cache.stats().evictions, 2);
     }
 
     #[test]

@@ -12,6 +12,8 @@ use blockrep::types::{DeviceConfig, Scheme, SiteId};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Collect latency histograms and protocol events while the cluster runs.
+    blockrep::obs::enable();
     let cfg = DeviceConfig::builder(Scheme::AvailableCopy)
         .sites(3)
         .num_blocks(256)
@@ -37,6 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     cluster.repair_site(SiteId::new(0));
     println!("s0 repaired; image consistent: {}", fs.check()?.is_clean());
-    println!("\nwire traffic:\n{}", cluster.counter().snapshot());
+    let traffic = cluster.counter().snapshot();
+    println!("\nwire traffic:\n{traffic}");
+
+    // One source of truth: the wire counters export into the same registry
+    // that holds the RPC latency histograms.
+    let registry = blockrep::obs::metrics::global();
+    traffic.export_to(registry);
+    println!("metrics:\n{}", registry.snapshot().to_table());
     Ok(())
 }

@@ -28,6 +28,8 @@
 //! * [`fs`] — a small UNIX-like file system that runs over any block device.
 //! * [`analysis`] — the paper's closed-form availability and traffic models
 //!   plus a general Markov-chain solver.
+//! * [`obs`] — structured events/spans and a lock-free metrics registry;
+//!   off by default, zero-cost until enabled.
 //!
 //! # Quickstart
 //!
@@ -62,6 +64,7 @@ pub use blockrep_analysis as analysis;
 pub use blockrep_core as core;
 pub use blockrep_fs as fs;
 pub use blockrep_net as net;
+pub use blockrep_obs as obs;
 pub use blockrep_sim as sim;
 pub use blockrep_storage as storage;
 pub use blockrep_types as types;

@@ -1,0 +1,111 @@
+//! The acceptance check for the observability layer: with it enabled, a
+//! real TCP cluster run and a simulator run each produce a metrics
+//! snapshot whose per-`OpClass` message counts **exactly** match the
+//! `TrafficCounter` totals, alongside latency histograms.
+//!
+//! Enables the process-global observability flag, so this test file runs
+//! as a single test function in its own binary.
+
+use blockrep::core::simulate::traffic::{measure, TrafficConfig};
+use blockrep::core::TcpCluster;
+use blockrep::net::{DeliveryMode, OpClass};
+use blockrep::obs::{self, metrics::Registry};
+use blockrep::types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+
+#[test]
+fn metrics_snapshots_match_traffic_counters_exactly() {
+    obs::enable();
+    tcp_cluster_run();
+    simulator_run();
+}
+
+fn tcp_cluster_run() {
+    let cfg = DeviceConfig::builder(Scheme::AvailableCopy)
+        .sites(3)
+        .num_blocks(8)
+        .block_size(16)
+        .build()
+        .unwrap();
+    let cluster = TcpCluster::spawn(cfg, DeliveryMode::Unicast).unwrap();
+    for i in 0..8u64 {
+        let origin = SiteId::new((i % 3) as u32);
+        let k = BlockIndex::new(i % 8);
+        cluster
+            .write(origin, k, BlockData::from(vec![i as u8; 16]))
+            .unwrap();
+        cluster.read(origin, k).unwrap();
+    }
+    cluster.fail_site(SiteId::new(2));
+    cluster
+        .write(
+            SiteId::new(0),
+            BlockIndex::new(0),
+            BlockData::from(vec![7; 16]),
+        )
+        .unwrap();
+    cluster.repair_site(SiteId::new(2));
+
+    let traffic = cluster.counter().snapshot();
+    let registry = Registry::new();
+    traffic.export_to(&registry);
+    let snap = registry.snapshot();
+
+    for op in OpClass::ALL {
+        assert_eq!(
+            snap.counter(&format!("net.msgs.{}", op.label())),
+            Some(traffic.total_for(op)),
+            "tcp: class {op} diverges from the traffic counter"
+        );
+    }
+    assert_eq!(snap.counter("net.msgs.total"), Some(traffic.total()));
+    assert_eq!(
+        snap.counter("net.msgs.modeled"),
+        Some(traffic.total_modeled())
+    );
+
+    // The global registry collected latency histograms for the same run.
+    let global = obs::metrics::global().snapshot();
+    for name in ["op.read.latency", "op.write.latency", "op.recovery.latency"] {
+        let h = global
+            .histogram(name)
+            .unwrap_or_else(|| panic!("histogram {name} missing"));
+        assert!(h.count > 0, "{name} recorded nothing");
+        assert!(
+            h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max as f64,
+            "{name} percentiles out of order: {h:?}"
+        );
+    }
+}
+
+fn simulator_run() {
+    let mut cfg = TrafficConfig::new(Scheme::AvailableCopy, 4, DeliveryMode::Multicast);
+    cfg.ops = 2_000;
+    cfg.rho = 0.2; // failures frequent enough to exercise recovery traffic
+    let est = measure(&cfg);
+
+    let registry = Registry::new();
+    est.traffic.export_to(&registry);
+    let snap = registry.snapshot();
+
+    for op in OpClass::ALL {
+        assert_eq!(
+            snap.counter(&format!("net.msgs.{}", op.label())),
+            Some(est.traffic.total_for(op)),
+            "sim: class {op} diverges from the traffic counter"
+        );
+    }
+    assert!(
+        est.traffic.total_for(OpClass::Recovery) > 0,
+        "experiment must generate recovery traffic"
+    );
+
+    // On-failure tracking charges failure notices to the Control class;
+    // the §5-comparison total must exclude every one of them.
+    let control = snap.counter("net.msgs.control").unwrap();
+    assert!(control > 0, "experiment must generate control traffic");
+    assert_eq!(
+        snap.counter("net.msgs.modeled").unwrap(),
+        snap.counter("net.msgs.total").unwrap() - control,
+        "Control traffic leaked into the modeled total"
+    );
+}

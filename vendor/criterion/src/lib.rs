@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion` covering the API blockrep uses.
+//!
+//! Measures wall-clock time per iteration and prints one line per benchmark
+//! (no statistics, plots or baselines). Mirrors the real crate's behaviour
+//! under `cargo test`: when the binary is not invoked with `--bench`, every
+//! benchmark routine runs exactly once as a smoke test, so `cargo test`
+//! stays fast while `cargo bench` measures.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement markers for [`BenchmarkGroup`]'s type parameter.
+pub mod measurement {
+    /// Wall-clock time, the only measurement supported.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Two-part benchmark identifier, e.g. function + input size.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id `"{name}/{parameter}"`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Drives one benchmark routine; handed to the closure of
+/// [`BenchmarkGroup::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    /// None in test mode (run once, no timing).
+    measure: Option<MeasureState>,
+}
+
+#[derive(Debug)]
+struct MeasureState {
+    sample_size: usize,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match &mut self.measure {
+            None => {
+                black_box(routine());
+            }
+            Some(state) => {
+                // One warm-up pass, then `sample_size` timed iterations.
+                black_box(routine());
+                let iters = state.sample_size.max(1) as u32;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                state.result = Some(start.elapsed() / iters);
+            }
+        }
+    }
+
+    /// Like [`iter`](Self::iter), but runs `setup` before each timed call
+    /// and excludes its cost from the measurement.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        match &mut self.measure {
+            None => {
+                black_box(routine(setup()));
+            }
+            Some(state) => {
+                black_box(routine(setup()));
+                let iters = state.sample_size.max(1) as u32;
+                let mut timed = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    timed += start.elapsed();
+                }
+                state.result = Some(timed / iters);
+            }
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    marker: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `routine` as the benchmark `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, self.sample_size, &mut routine);
+        self
+    }
+
+    /// Runs `routine` over `input` as the benchmark `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion, &full, self.sample_size, &mut |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (reports are printed eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one(c: &mut Criterion, name: &str, sample_size: usize, routine: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        measure: c.measuring.then_some(MeasureState {
+            sample_size,
+            result: None,
+        }),
+    };
+    routine(&mut bencher);
+    match bencher.measure.and_then(|m| m.result) {
+        Some(mean) => println!("{name:<56} time: {:>12.1} ns/iter", mean.as_nanos() as f64),
+        None if c.measuring => println!("{name:<56} (no b.iter call)"),
+        None => println!("{name:<56} ok (test mode)"),
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measuring: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to the target; `cargo test` does
+        // not. Without it, run benchmarks once as smoke tests (as the real
+        // criterion does).
+        let measuring = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            measuring,
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            marker: PhantomData,
+        }
+    }
+
+    /// Runs `routine` as a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.to_string();
+        let sample_size = self.sample_size;
+        run_one(self, &full, sample_size, &mut routine);
+        self
+    }
+}
+
+/// Declares a group function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_routine_once() {
+        let mut c = Criterion {
+            measuring: false,
+            sample_size: 50,
+        };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_iterations() {
+        let mut c = Criterion {
+            measuring: true,
+            sample_size: 3,
+        };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).bench_function("one", |b| b.iter(|| runs += 1));
+        g.finish();
+        // one warm-up + three timed iterations
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for `crossbeam` covering the channel API blockrep uses.
+//!
+//! Channels are backed by `std::sync::mpsc` (whose `Sender` has been `Sync`
+//! since Rust 1.72, which the live network layer relies on). The [`select!`]
+//! macro is a fair polling loop over `try_recv` rather than a true blocking
+//! multiplexer: correctness is identical, the cost is a bounded amount of
+//! idle polling latency, which the threaded cluster tolerates.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels with unified bounded/unbounded `Sender`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: SenderInner<T>,
+    }
+
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let inner = match &self.inner {
+                SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+                SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+            };
+            Sender { inner }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking on a full bounded channel.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back if the receiving half was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(tx) => tx.send(value),
+                SenderInner::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives.
+        ///
+        /// # Errors
+        ///
+        /// Errors when every sender was dropped and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Returns a queued value without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when no value is queued,
+        /// [`TryRecvError::Disconnected`] when the channel is closed.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocks for a value up to `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// Errors on timeout or disconnect.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, mpsc::RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+    }
+
+    /// Creates a channel of unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: SenderInner::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a channel that holds at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: SenderInner::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    pub use crate::select;
+}
+
+/// Polling multiplexer over several receivers.
+///
+/// Supports the `recv(rx) -> msg => body` arm form. Each pass polls every
+/// arm with `try_recv`; `Ok` and `Disconnected` results fire the arm (the
+/// latter as `Err(RecvError)`, matching crossbeam), `Empty` moves on. A
+/// short sleep between passes keeps idle threads cheap.
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $msg:pat => $body:expr),+ $(,)?) => {
+        loop {
+            $(
+                match $rx.try_recv() {
+                    ::core::result::Result::Ok(value) => {
+                        let $msg = ::core::result::Result::<_, $crate::channel::RecvError>::Ok(value);
+                        break $body;
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        let $msg = ::core::result::Result::<_, $crate::channel::RecvError>::Err(
+                            $crate::channel::RecvError,
+                        );
+                        break $body;
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                }
+            )+
+            ::std::thread::sleep(::std::time::Duration::from_micros(20));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError};
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = bounded(1);
+        tx.send("a").unwrap();
+        assert_eq!(rx.recv().unwrap(), "a");
+    }
+
+    #[test]
+    fn select_prefers_ready_arm() {
+        let (tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        tx1.send(9).unwrap();
+        let got = select! {
+            recv(rx1) -> msg => msg.unwrap(),
+            recv(rx2) -> msg => msg.unwrap(),
+        };
+        assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn select_fires_on_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        let got = select! {
+            recv(rx) -> msg => msg.is_err(),
+        };
+        assert!(got);
+    }
+}

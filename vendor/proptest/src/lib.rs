@@ -1,0 +1,497 @@
+//! Offline stand-in for `proptest` covering the API blockrep uses.
+//!
+//! Property tests still generate random inputs and run the body per case —
+//! with a per-test deterministic seed, so failures reproduce — but there is
+//! **no shrinking**: a failing case reports the panic for the original
+//! input. Supported surface: `proptest!` (with optional
+//! `#![proptest_config(...)]`), `prop_oneof!` (weighted and unweighted),
+//! `prop_assert!`/`prop_assert_eq!`, `Strategy::prop_map`, `any::<T>()`,
+//! `Just`, integer and `f64` range strategies, tuple strategies, and
+//! `prop::collection::{vec, btree_set}`.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Case-count configuration and the deterministic per-test generator.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// How a test case fails; bodies may `?`-propagate it.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    /// Per-test configuration (only the case count is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The generator strategies draw from. Seeded from the test's name so
+    /// every run of a given test sees the same case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// A generator whose stream is determined by `name`.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+
+    impl Rng for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Object-safe strategy view, used by [`Union`] to mix arm types.
+    pub trait AnyStrategy<V> {
+        /// Draws one value.
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> AnyStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for use as a [`Union`] arm.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn AnyStrategy<S::Value>> {
+        Box::new(s)
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Full-range generation for primitive types; see [`any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T> {
+        marker: PhantomData<fn() -> T>,
+    }
+
+    /// Types [`any`] can generate.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the type's whole domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// A strategy over the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            marker: PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_for_uint_range {
+        ($($t:ty),*) => {
+            $(impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            })*
+        };
+    }
+
+    impl_strategy_for_uint_range!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_strategy_for_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_for_tuple!(A: 0);
+    impl_strategy_for_tuple!(A: 0, B: 1);
+    impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+    impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+    impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// Weighted choice between arms of differing strategy types; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn AnyStrategy<V>>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, Box<dyn AnyStrategy<V>>)>) -> Self {
+            let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.random_range(0..self.total_weight);
+            for (weight, arm) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return arm.generate_dyn(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// Generates `Vec`s with lengths drawn from `size`.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// A strategy for `Vec<S::Value>` with `size.start..size.end` items.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.random_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Generates `BTreeSet`s; see [`btree_set`].
+        #[derive(Clone, Debug)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// A strategy for `BTreeSet<S::Value>` with up to `size.end - 1`
+        /// elements (duplicates collapse, as in real proptest).
+        pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.random_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs, for glob import.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of the crate root (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::strategy::collection;
+    }
+}
+
+/// Asserts a condition inside a property test (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => {
+        assert!($($args)*)
+    };
+}
+
+/// Asserts equality inside a property test (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => {
+        assert_eq!($($args)*)
+    };
+}
+
+/// Asserts inequality inside a property test (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => {
+        assert_ne!($($args)*)
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies whose
+/// values share one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases. Bodies
+/// may use `?` on `Result<_, TestCaseError>`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let strategies = ($($strat,)+);
+                for case in 0..config.cases {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!("property case {case} failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+        Rect(u8, u8),
+    }
+
+    fn shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            1 => Just(Shape::Dot),
+            3 => any::<u8>().prop_map(Shape::Line),
+            3 => (any::<u8>(), any::<u8>()).prop_map(|(w, h)| Shape::Rect(w, h)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn unions_generate_every_arm(shapes in prop::collection::vec(shape(), 32..33)) {
+            // With 128 cases of 32 draws each, all arms must appear overall;
+            // per-case we only check the values are well-formed.
+            for s in shapes {
+                match s {
+                    Shape::Dot | Shape::Line(_) | Shape::Rect(_, _) => {}
+                }
+            }
+        }
+
+        #[test]
+        fn bodies_may_use_question_mark(x in 0u8..10) {
+            fn check(x: u8) -> Result<(), TestCaseError> {
+                if x > 9 {
+                    return Err(TestCaseError::fail("impossible"));
+                }
+                Ok(())
+            }
+            check(x)?;
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::strategy::collection::vec(any::<u32>(), 0..16);
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        for _ in 0..32 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

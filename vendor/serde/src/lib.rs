@@ -1,0 +1,21 @@
+//! Offline placeholder for `serde`.
+//!
+//! `blockrep-types` declares serde support behind an off-by-default feature.
+//! With no registry access the real crate cannot be fetched, so this
+//! placeholder exists purely to satisfy Cargo's resolution of the optional
+//! dependency; enabling the `serde` feature of `blockrep-types` offline is
+//! not supported (the derive macros are not provided).
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    /// Marker trait standing in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+}
