@@ -179,7 +179,7 @@ impl Parsed {
 /// [`UsageError`] on an unknown name.
 pub fn parse_scheme(raw: &str) -> Result<Scheme, UsageError> {
     match raw {
-        "voting" | "v" => Ok(Scheme::Voting),
+        "voting" | "v" | "mcv" => Ok(Scheme::Voting),
         "available-copy" | "ac" => Ok(Scheme::AvailableCopy),
         "naive-available-copy" | "naive" | "nac" => Ok(Scheme::NaiveAvailableCopy),
         _ => Err(UsageError(format!(
@@ -243,6 +243,7 @@ mod tests {
     #[test]
     fn scheme_aliases() {
         assert_eq!(parse_scheme("voting").unwrap(), Scheme::Voting);
+        assert_eq!(parse_scheme("mcv").unwrap(), Scheme::Voting);
         assert_eq!(parse_scheme("ac").unwrap(), Scheme::AvailableCopy);
         assert_eq!(parse_scheme("nac").unwrap(), Scheme::NaiveAvailableCopy);
         assert_eq!(parse_scheme("naive").unwrap(), Scheme::NaiveAvailableCopy);

@@ -211,9 +211,13 @@ pub(crate) fn recovered_closure<B: Backend + ?Sized>(b: &B, c: SiteId) -> Option
 
 /// Picks the most current member of `candidates` by version-vector recency.
 ///
-/// In partition-free operation the candidates' vectors form a dominance
-/// chain (each is a past snapshot of the single write line), so the vector
-/// with the largest total dominates all others; this is debug-asserted.
+/// In clean partition-free operation the candidates' vectors form a
+/// dominance chain (each is a past snapshot of the single write line), so
+/// the vector with the largest total dominates all others. A crash in the
+/// middle of a write fan-out legitimately breaks the chain — two interrupted
+/// writes to different blocks leave incomparable vectors — so recency by
+/// total is a heuristic there, not a theorem, and is deliberately *not*
+/// asserted: the fault-injection suite exercises exactly those states.
 pub(crate) fn most_current<B: Backend + ?Sized>(
     b: &B,
     observer: SiteId,
@@ -232,22 +236,7 @@ pub(crate) fn most_current<B: Backend + ?Sized>(
             best = Some((total, u));
         }
     }
-    let (_, winner) = best?;
-    #[cfg(debug_assertions)]
-    {
-        let winner_vv = b
-            .version_vector(observer, winner)
-            .expect("winner answered above");
-        for &u in candidates {
-            if let Some(vv) = b.version_vector(observer, u) {
-                debug_assert!(
-                    winner_vv.dominates(&vv),
-                    "version vectors must form a dominance chain without partitions"
-                );
-            }
-        }
-    }
-    Some(winner)
+    best.map(|(_, winner)| winner)
 }
 
 /// Attempts to finish the recovery of comatose site `c` (the `select` of

@@ -19,6 +19,7 @@
 //! layer knows.
 
 use blockrep_net::{DeliveryMode, MsgKind, OpClass, TrafficCounter};
+use blockrep_storage::StorageFault;
 use blockrep_types::{
     BlockData, BlockIndex, DeviceConfig, SiteId, SiteState, VersionNumber, VersionVector,
 };
@@ -104,6 +105,25 @@ pub trait Backend: Send + Sync {
 
     /// Tells `to` that `member` has repaired from it: `W_to ← W_to ∪ {member}`.
     fn add_was_available(&self, from: SiteId, to: SiteId, member: SiteId) -> bool;
+
+    /// Delivers a write update to `to` like [`apply_write`](Self::apply_write)
+    /// but leaves the block in the broken on-disk state `fault` describes —
+    /// the disk image of `to` crashing in the middle of the install. Only the
+    /// fault-injection layer calls this; protocols never do.
+    fn apply_write_faulty(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+        data: &BlockData,
+        v: VersionNumber,
+        fault: StorageFault,
+    ) -> bool;
+
+    /// Runs the restart-time integrity scrub on `s`'s local disk, resetting
+    /// checksum-broken blocks to the freshly formatted state. Returns the
+    /// number of blocks reset.
+    fn scrub_local(&self, s: SiteId) -> usize;
 }
 
 /// Every site except `from`, in ascending order — the address list of a

@@ -1,0 +1,773 @@
+//! Seeded chaos testing: random fault schedules replayed on all three
+//! runtimes, checked against a one-copy oracle and against each other.
+//!
+//! A [`ChaosScript`] is a seeded sequence of workload steps
+//! ([`Action`](crate::scenario::Action)) with [`FaultKind`]s attached to
+//! individual remote exchanges. [`run_seed`] replays the same script on the
+//! deterministic [`Cluster`], the threaded [`LiveCluster`] and the socket
+//! [`TcpCluster`], asserting
+//!
+//! 1. **one-copy admissibility** — every successful read returns a value
+//!    the fault history admits (exactly the last write for blocks with a
+//!    clean history, a member of the block's write history while crash
+//!    faults are unresolved), and never a byte-mix of two writes; and
+//! 2. **runtime parity** — the three runtimes produce the same per-step
+//!    results, the same final replica fingerprints and the same §5 traffic.
+//!
+//! On failure, [`run_seed`] shrinks the script to a locally minimal failing
+//! schedule (delta-debugging over steps, then over individual faults) and
+//! reports it, so a red run is immediately replayable.
+//!
+//! # Fault model
+//!
+//! Crash faults (coordinator/target crashes, torn and stale-version
+//! installs) are scheduled for every scheme: they are ordinary fail-stop
+//! events of the paper's model, merely aimed at the worst instant. Pure
+//! message faults (drop, delay) are scheduled only for voting, which is
+//! designed to tolerate them; the available copy schemes *assume* a
+//! reliable network (§3.2), and injecting silent message loss there
+//! manufactures states the paper excludes, producing false alarms rather
+//! than bugs. Duplication is benign everywhere (installs are idempotent)
+//! and is scheduled for every scheme.
+
+use crate::backend::Backend;
+use crate::fault::{FaultKind, FaultPlan, FaultSpec, FaultyBackend, OpReport};
+use crate::scenario::Action;
+use crate::{protocol, Cluster, ClusterOptions, LiveCluster, TcpCluster};
+use blockrep_net::{DeliveryMode, TrafficSnapshot};
+use blockrep_types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId, SiteState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::panic::catch_unwind;
+
+/// One chaos step: a workload action plus the faults scheduled on its
+/// remote exchanges, as `(exchange index, kind)` pairs.
+///
+/// Faults ride on their step (rather than in a flat schedule) so that
+/// shrinking can remove steps without renumbering the survivors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosStep {
+    /// The workload action.
+    pub action: Action,
+    /// Faults to fire on this step's remote exchanges.
+    pub faults: Vec<(u64, FaultKind)>,
+}
+
+/// A generated chaos script: a device configuration and the steps to
+/// replay on it.
+#[derive(Debug, Clone)]
+pub struct ChaosScript {
+    /// The device configuration every runtime is built from.
+    pub cfg: DeviceConfig,
+    /// The steps, replayed in order.
+    pub steps: Vec<ChaosStep>,
+}
+
+/// A runtime the chaos runner can drive: a [`Backend`] plus the hooks the
+/// runner needs to make a mid-operation crash real (the live cluster must
+/// also take the site's link down; the other runtimes derive reachability
+/// from site state and need nothing extra).
+pub trait ChaosRuntime: Backend {
+    /// The runtime's name in parity reports.
+    fn runtime_name(&self) -> &'static str;
+    /// Called after `protocol::fail` when the runner fail-stops a site.
+    fn on_fail(&self, _s: SiteId) {}
+    /// Called before `protocol::repair` when the runner restarts a site.
+    fn on_restart(&self, _s: SiteId) {}
+}
+
+impl ChaosRuntime for Cluster {
+    fn runtime_name(&self) -> &'static str {
+        "deterministic"
+    }
+}
+
+impl ChaosRuntime for LiveCluster {
+    fn runtime_name(&self) -> &'static str {
+        "live"
+    }
+    fn on_fail(&self, s: SiteId) {
+        self.set_link(s, false);
+    }
+    fn on_restart(&self, s: SiteId) {
+        self.set_link(s, true);
+    }
+}
+
+impl ChaosRuntime for TcpCluster {
+    fn runtime_name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+/// What one runtime produced while replaying a script: a per-step log
+/// (results, fired faults, site states) ending in a full replica
+/// fingerprint, plus the final traffic counts. Two runs are equivalent iff
+/// all fields are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// One line per step, then one fingerprint line per site.
+    pub log: Vec<String>,
+    /// Final §5 traffic counts.
+    pub traffic: TrafficSnapshot,
+    /// How many scheduled faults actually fired.
+    pub faults_fired: u64,
+    /// Successful reads checked against the oracle.
+    pub reads_checked: u64,
+}
+
+/// Summary of a passing seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosReport {
+    /// Steps replayed (per runtime).
+    pub steps: usize,
+    /// Faults that fired (per runtime).
+    pub faults_fired: u64,
+    /// Successful reads checked against the oracle (per runtime).
+    pub reads_checked: u64,
+}
+
+/// A failing seed, shrunk to a locally minimal schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosFailure {
+    /// The seed that failed.
+    pub seed: u64,
+    /// The scheme under test.
+    pub scheme: Scheme,
+    /// The (shrunk) failing schedule.
+    pub steps: Vec<ChaosStep>,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "chaos seed {} failed under {} ({} steps after shrinking):",
+            self.seed,
+            self.scheme,
+            self.steps.len()
+        )?;
+        writeln!(f, "{}", format_schedule(&self.steps))?;
+        write!(f, "{}", self.detail)
+    }
+}
+
+impl std::error::Error for ChaosFailure {}
+
+/// Renders a schedule as one line per step, for failure reports.
+pub fn format_schedule(steps: &[ChaosStep]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, step) in steps.iter().enumerate() {
+        let _ = write!(out, "  #{i:<3} {:?}", step.action);
+        for &(x, kind) in &step.faults {
+            let _ = write!(out, "  [x{x}:{kind}]");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Deterministically generates the chaos script for `(seed, scheme)`.
+///
+/// The geometry (3–5 sites, 2–4 blocks of 8 bytes) and the action mix are
+/// drawn from the seed; faults are attached mostly to writes, with a few on
+/// reads and repairs. Fill bytes are always nonzero so a zeroed block is
+/// unambiguously "never written / scrubbed".
+pub fn generate(seed: u64, scheme: Scheme, len: usize) -> ChaosScript {
+    let mut rng = StdRng::seed_from_u64(seed ^ ((scheme as u64 + 1) << 32));
+    let sites = rng.random_range(3usize..=5);
+    let blocks = rng.random_range(2usize..=4);
+    let cfg = DeviceConfig::builder(scheme)
+        .sites(sites)
+        .num_blocks(blocks as u64)
+        .block_size(8)
+        .build()
+        .expect("chaos geometry is always valid");
+    let site = |rng: &mut StdRng| SiteId::new(rng.random_range(0..sites as u32));
+    let block = |rng: &mut StdRng| BlockIndex::new(rng.random_range(0..blocks as u64));
+    let mut steps = Vec::with_capacity(len);
+    for _ in 0..len {
+        let action = match rng.random_range(0u32..100) {
+            0..=44 => Action::Write {
+                origin: site(&mut rng),
+                block: block(&mut rng),
+                fill: rng.random_range(1u8..=255),
+            },
+            45..=69 => Action::Read {
+                origin: site(&mut rng),
+                block: block(&mut rng),
+            },
+            70..=84 => Action::Fail(site(&mut rng)),
+            _ => Action::Repair(site(&mut rng)),
+        };
+        let fault_p = match action {
+            Action::Write { .. } => 0.35,
+            Action::Read { .. } | Action::Repair(_) => 0.15,
+            Action::Fail(_) => 0.0, // fail-stop steps have no exchanges
+        };
+        let mut faults: Vec<(u64, FaultKind)> = Vec::new();
+        if fault_p > 0.0 && rng.random_bool(fault_p) {
+            let n = rng.random_range(1usize..=2);
+            for _ in 0..n {
+                // Exchanges per op are bounded by a few per remote site.
+                let x = rng.random_range(0..3 * sites as u64);
+                let kind = random_kind(&mut rng, scheme);
+                if !faults.iter().any(|&(fx, _)| fx == x) {
+                    faults.push((x, kind));
+                }
+            }
+        }
+        steps.push(ChaosStep { action, faults });
+    }
+    ChaosScript { cfg, steps }
+}
+
+fn random_kind(rng: &mut StdRng, scheme: Scheme) -> FaultKind {
+    let message_faults_ok = scheme == Scheme::Voting;
+    loop {
+        let kind = match rng.random_range(0u32..100) {
+            0..=19 => FaultKind::DropMessage,
+            20..=29 => FaultKind::DelayMessage,
+            30..=39 => FaultKind::DuplicateMessage,
+            40..=59 => FaultKind::CrashCoordinator,
+            60..=79 => FaultKind::CrashTarget,
+            80..=89 => FaultKind::TornWrite {
+                keep: rng.random_range(1usize..8),
+            },
+            _ => FaultKind::StaleVersion,
+        };
+        let in_model =
+            message_faults_ok || !matches!(kind, FaultKind::DropMessage | FaultKind::DelayMessage);
+        if in_model {
+            return kind;
+        }
+    }
+}
+
+/// The per-block one-copy oracle.
+///
+/// `Exact(f)` asserts reads return exactly fill `f` (`None` = zeroes);
+/// `Tainted` admits any member of the block's write history (plus zeroes) —
+/// the strongest sound claim while interrupted writes are unresolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BlockOracle {
+    Exact(Option<u8>),
+    Tainted,
+}
+
+struct Oracle {
+    scheme: Scheme,
+    blocks: Vec<BlockOracle>,
+    /// Every fill ever handed to a write of this block, plus `None`
+    /// (zeroes: the formatted state, also the post-scrub state).
+    seen: Vec<BTreeSet<Option<u8>>>,
+    /// Whether an interrupted write may have left sites with *incomparable*
+    /// version vectors. Voting never cares — its reads are per-block quorum
+    /// decisions. The available copy schemes repair a whole site from a
+    /// single "most current" source, which is only guaranteed current while
+    /// the vectors form a dominance chain; once the chain may be broken, no
+    /// block can be certified `Exact` for them until all replicas agree
+    /// again.
+    chain_broken: bool,
+}
+
+impl Oracle {
+    fn new(scheme: Scheme, blocks: usize) -> Oracle {
+        Oracle {
+            scheme,
+            blocks: vec![BlockOracle::Exact(None); blocks],
+            seen: vec![BTreeSet::from([None]); blocks],
+            chain_broken: false,
+        }
+    }
+
+    fn record_write(&mut self, b: usize, fill: u8, ok: bool, report: &OpReport) {
+        self.seen[b].insert(Some(fill));
+        let effective = report.fired.iter().any(|f| !f.kind.is_benign());
+        if effective {
+            if report.fired.iter().any(|f| f.kind.is_storage()) {
+                // The torn/stale block is scrubbed to zeroes on restart.
+                self.seen[b].insert(None);
+            }
+            self.blocks[b] = BlockOracle::Tainted;
+            if self.scheme != Scheme::Voting {
+                self.chain_broken = true;
+                for blk in &mut self.blocks {
+                    *blk = BlockOracle::Tainted;
+                }
+            }
+        } else if ok {
+            self.blocks[b] = if self.chain_broken {
+                BlockOracle::Tainted
+            } else {
+                BlockOracle::Exact(Some(fill))
+            };
+        }
+    }
+
+    /// Checks a successful read of block `b` that returned `data`.
+    fn check_read(&self, op: usize, b: usize, data: &BlockData) -> Result<(), String> {
+        let bytes = data.as_slice();
+        let first = bytes.first().copied().unwrap_or(0);
+        if !bytes.iter().all(|&x| x == first) {
+            return Err(format!(
+                "op {op}: read of block {b} returned mixed bytes {bytes:02x?} — \
+                 a torn write leaked into a served read"
+            ));
+        }
+        let observed = if first == 0 { None } else { Some(first) };
+        match &self.blocks[b] {
+            BlockOracle::Exact(f) => {
+                if observed != *f {
+                    return Err(format!(
+                        "op {op}: one-copy violation on block {b}: read {observed:?}, \
+                         oracle says exactly {f:?}"
+                    ));
+                }
+            }
+            BlockOracle::Tainted => {
+                if !self.seen[b].contains(&observed) {
+                    return Err(format!(
+                        "op {op}: read of block {b} returned {observed:?}, which was \
+                         never written (history {:?})",
+                        self.seen[b]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn any_tainted(&self) -> bool {
+        self.blocks.contains(&BlockOracle::Tainted)
+    }
+
+    /// If every site agrees on every block (same version, same uniform
+    /// data), the replicas are indistinguishable from a fresh device plus
+    /// clean writes: re-certify everything `Exact` and re-arm the chain.
+    fn try_narrow<R: ChaosRuntime>(&mut self, rt: &R) {
+        if !self.any_tainted() {
+            return;
+        }
+        let cfg = rt.config();
+        let mut exact = Vec::with_capacity(self.blocks.len());
+        for b in 0..self.blocks.len() {
+            let k = BlockIndex::new(b as u64);
+            let mut agreed: Option<(blockrep_types::VersionNumber, BlockData)> = None;
+            for s in cfg.site_ids() {
+                let Some(cur) = rt.fetch_block(s, s, k) else {
+                    return;
+                };
+                match &agreed {
+                    None => agreed = Some(cur),
+                    Some(prev) if *prev == cur => {}
+                    Some(_) => return, // disagreement: taint stands
+                }
+            }
+            let (_, data) = agreed.expect("device has at least one site");
+            let bytes = data.as_slice();
+            let first = bytes.first().copied().unwrap_or(0);
+            if !bytes.iter().all(|&x| x == first) {
+                return; // uniformly torn everywhere: keep the taint
+            }
+            exact.push(if first == 0 { None } else { Some(first) });
+        }
+        for (blk, fill) in self.blocks.iter_mut().zip(exact) {
+            *blk = BlockOracle::Exact(fill);
+        }
+        self.chain_broken = false;
+    }
+}
+
+/// Certifies a **clean** (fault-free) successful write directly against
+/// the scheme's replication contract, catching protocol bugs at the write
+/// instead of waiting for a read to trip over them:
+///
+/// * voting — the sites *actually holding* the new value must carry a
+///   write quorum of weight, and so must the operational sites (a write
+///   that succeeds without a live write quorum is exactly the bug a
+///   weakened `voting.rs` check introduces);
+/// * available copy schemes — every available site must hold the value
+///   ("write to all available copies" admits no exceptions).
+fn certify_clean_write<R: ChaosRuntime>(
+    rt: &R,
+    op: usize,
+    k: BlockIndex,
+    fill: u8,
+) -> Result<(), String> {
+    let cfg = rt.config();
+    let holds = |s: SiteId| {
+        rt.fetch_block(s, s, k)
+            .is_some_and(|(_, data)| data.as_slice().iter().all(|&x| x == fill))
+    };
+    match cfg.scheme() {
+        Scheme::Voting => {
+            let holders: Vec<SiteId> = cfg.site_ids().filter(|&s| holds(s)).collect();
+            let holder_weight = crate::backend::weight_of(cfg, &holders);
+            if holder_weight < cfg.write_quorum() {
+                return Err(format!(
+                    "op {op}: write of block {k} committed on weight {holder_weight} \
+                     (sites {holders:?}), below the write quorum {}",
+                    cfg.write_quorum()
+                ));
+            }
+            let live: Vec<SiteId> = cfg
+                .site_ids()
+                .filter(|&s| rt.local_state(s).is_operational())
+                .collect();
+            let live_weight = crate::backend::weight_of(cfg, &live);
+            if live_weight < cfg.write_quorum() {
+                return Err(format!(
+                    "op {op}: write of block {k} succeeded while only weight \
+                     {live_weight} was operational — no write quorum existed"
+                ));
+            }
+        }
+        Scheme::AvailableCopy | Scheme::NaiveAvailableCopy => {
+            for s in cfg.site_ids() {
+                if rt.local_state(s) == SiteState::Available && !holds(s) {
+                    return Err(format!(
+                        "op {op}: available site {s} missed the write of block {k} \
+                         (fill {fill:#04x})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Certifies a clean successful voting read: the operational sites must
+/// carry a read quorum, or the read should have been refused.
+fn certify_clean_read<R: ChaosRuntime>(rt: &R, op: usize, k: BlockIndex) -> Result<(), String> {
+    let cfg = rt.config();
+    if cfg.scheme() != Scheme::Voting {
+        return Ok(());
+    }
+    let live: Vec<SiteId> = cfg
+        .site_ids()
+        .filter(|&s| rt.local_state(s).is_operational())
+        .collect();
+    let live_weight = crate::backend::weight_of(cfg, &live);
+    if live_weight < cfg.read_quorum() {
+        return Err(format!(
+            "op {op}: read of block {k} succeeded while only weight {live_weight} \
+             was operational — no read quorum existed"
+        ));
+    }
+    Ok(())
+}
+
+/// Makes the mid-operation crashes of `report` real: fail-stops each
+/// crashed site through the scheme's own failure handling, in the same
+/// order the runtime's `fail_site` uses.
+fn finalize_crashes<R: ChaosRuntime>(rt: &R, report: &OpReport) {
+    for &s in &report.crashed {
+        if rt.local_state(s).is_operational() {
+            protocol::fail(rt, s);
+            rt.on_fail(s);
+        }
+    }
+}
+
+fn fired_suffix(report: &OpReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for f in &report.fired {
+        let _ = write!(out, " [{f}]");
+    }
+    for &s in &report.crashed {
+        let _ = write!(out, " +crash:{s}");
+    }
+    out
+}
+
+fn states_suffix<R: ChaosRuntime>(rt: &R) -> String {
+    rt.config()
+        .site_ids()
+        .map(|s| match rt.local_state(s) {
+            SiteState::Available => 'A',
+            SiteState::Comatose => 'C',
+            SiteState::Failed => 'F',
+        })
+        .collect()
+}
+
+/// Replays `steps` on one runtime, maintaining the oracle. Returns the
+/// run's outcome for parity comparison, or the first oracle violation.
+pub fn run_on<R: ChaosRuntime>(rt: &R, steps: &[ChaosStep]) -> Result<RunOutcome, String> {
+    let cfg = rt.config().clone();
+    let plan: FaultPlan = steps
+        .iter()
+        .enumerate()
+        .flat_map(|(op, step)| {
+            step.faults.iter().map(move |&(x, kind)| FaultSpec {
+                op: op as u64,
+                exchange: x,
+                kind,
+            })
+        })
+        .collect();
+    let fb = FaultyBackend::new(rt, &plan);
+    let mut oracle = Oracle::new(cfg.scheme(), cfg.num_blocks() as usize);
+    let mut log = Vec::with_capacity(steps.len());
+    let mut faults_fired = 0u64;
+    let mut reads_checked = 0u64;
+    for (op, step) in steps.iter().enumerate() {
+        fb.begin_op(op as u64);
+        let mut line = match step.action {
+            Action::Write {
+                origin,
+                block,
+                fill,
+            } => {
+                let data = BlockData::from(vec![fill; cfg.block_size()]);
+                let res = protocol::write(&fb, origin, block, data);
+                let report = fb.end_op();
+                finalize_crashes(rt, &report);
+                oracle.record_write(block.index(), fill, res.is_ok(), &report);
+                if res.is_ok() && report.fired.iter().all(|f| f.kind.is_benign()) {
+                    certify_clean_write(rt, op, block, fill)?;
+                }
+                let outcome = match &res {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => format!("err({e})"),
+                };
+                faults_fired += report.fired.len() as u64;
+                format!(
+                    "#{op} write {origin} {block} fill={fill:#04x} -> {outcome}{}",
+                    fired_suffix(&report)
+                )
+            }
+            Action::Read { origin, block } => {
+                let res = protocol::read(&fb, origin, block);
+                let report = fb.end_op();
+                finalize_crashes(rt, &report);
+                let outcome = match &res {
+                    Ok(data) => {
+                        // A coordinator that crashed mid-read may have
+                        // assembled its answer from a dead site; skip the
+                        // oracle for an answer nobody received.
+                        if !report.crashed.contains(&origin) {
+                            oracle.check_read(op, block.index(), data)?;
+                            if report.fired.iter().all(|f| f.kind.is_benign()) {
+                                certify_clean_read(rt, op, block)?;
+                            }
+                            reads_checked += 1;
+                        }
+                        format!("ok({:02x?})", data.as_slice())
+                    }
+                    Err(e) => format!("err({e})"),
+                };
+                faults_fired += report.fired.len() as u64;
+                format!(
+                    "#{op} read {origin} {block} -> {outcome}{}",
+                    fired_suffix(&report)
+                )
+            }
+            Action::Fail(s) => {
+                let _ = fb.end_op();
+                let did = if rt.local_state(s).is_operational() {
+                    protocol::fail(rt, s);
+                    rt.on_fail(s);
+                    "failed"
+                } else {
+                    "already-down"
+                };
+                format!("#{op} fail {s} -> {did}")
+            }
+            Action::Repair(s) => {
+                let outcome = match rt.local_state(s) {
+                    SiteState::Failed => {
+                        rt.on_restart(s);
+                        let scrubbed = rt.scrub_local(s);
+                        protocol::repair(&fb, s);
+                        format!("restarted scrubbed={scrubbed}")
+                    }
+                    SiteState::Comatose => {
+                        protocol::sweep(&fb);
+                        "swept".to_string()
+                    }
+                    SiteState::Available => "already-up".to_string(),
+                };
+                let report = fb.end_op();
+                finalize_crashes(rt, &report);
+                faults_fired += report.fired.len() as u64;
+                format!("#{op} repair {s} -> {outcome}{}", fired_suffix(&report))
+            }
+        };
+        line.push_str(" |");
+        line.push_str(&states_suffix(rt));
+        log.push(line);
+        oracle.try_narrow(rt);
+    }
+    for s in cfg.site_ids() {
+        use std::fmt::Write as _;
+        let w = rt
+            .was_available(s, s)
+            .expect("a site always reports its own was-available set");
+        let mut line = format!(
+            "site {s}: {:?} W={:?}",
+            rt.local_state(s),
+            w.iter().map(|x| x.as_u32()).collect::<Vec<_>>()
+        );
+        for b in 0..cfg.num_blocks() {
+            let k = BlockIndex::new(b);
+            let (v, data) = rt
+                .fetch_block(s, s, k)
+                .expect("a site can always read its own disk");
+            let _ = write!(line, " b{b}=v{}:{:02x?}", v.as_u64(), data.as_slice());
+        }
+        log.push(line);
+    }
+    Ok(RunOutcome {
+        log,
+        traffic: rt.counter().snapshot(),
+        faults_fired,
+        reads_checked,
+    })
+}
+
+fn run_caught(
+    name: &'static str,
+    run: impl FnOnce() -> Result<RunOutcome, String> + std::panic::UnwindSafe,
+) -> Result<RunOutcome, String> {
+    match catch_unwind(run) {
+        Ok(res) => res.map_err(|e| format!("[{name}] {e}")),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("[{name}] panicked: {msg}"))
+        }
+    }
+}
+
+/// Replays `steps` on all three runtimes and checks both the oracle and
+/// cross-runtime parity. Returns the first discrepancy as an error; panics
+/// in any runtime's replay are caught and reported the same way.
+pub fn check(cfg: &DeviceConfig, steps: &[ChaosStep]) -> Result<ChaosReport, String> {
+    let det = run_caught("deterministic", || {
+        let rt = Cluster::new(
+            cfg.clone(),
+            ClusterOptions {
+                mode: DeliveryMode::Multicast,
+            },
+        );
+        run_on(&rt, steps)
+    })?;
+    let live = run_caught("live", || {
+        let rt = LiveCluster::spawn(cfg.clone(), DeliveryMode::Multicast);
+        run_on(&rt, steps)
+    })?;
+    let tcp = run_caught("tcp", || {
+        let rt = TcpCluster::spawn(cfg.clone(), DeliveryMode::Multicast)
+            .map_err(|e| format!("tcp spawn failed: {e}"))?;
+        run_on(&rt, steps)
+    })?;
+    for (name, other) in [("live", &live), ("tcp", &tcp)] {
+        if let Some(divergence) = diverges(&det, other) {
+            return Err(format!(
+                "runtime parity broken (deterministic vs {name}): {divergence}"
+            ));
+        }
+    }
+    Ok(ChaosReport {
+        steps: steps.len(),
+        faults_fired: det.faults_fired,
+        reads_checked: det.reads_checked,
+    })
+}
+
+fn diverges(a: &RunOutcome, b: &RunOutcome) -> Option<String> {
+    for (i, (la, lb)) in a.log.iter().zip(&b.log).enumerate() {
+        if la != lb {
+            return Some(format!("log line {i}:\n  a: {la}\n  b: {lb}"));
+        }
+    }
+    if a.log.len() != b.log.len() {
+        return Some(format!("log length {} vs {}", a.log.len(), b.log.len()));
+    }
+    if a.faults_fired != b.faults_fired {
+        return Some(format!(
+            "fired fault count {} vs {}",
+            a.faults_fired, b.faults_fired
+        ));
+    }
+    if a.traffic != b.traffic {
+        return Some(format!(
+            "traffic counts differ:\n  a: {}\n  b: {}",
+            a.traffic, b.traffic
+        ));
+    }
+    None
+}
+
+/// Shrinks a failing schedule: delta-debugging over chunks of steps, then
+/// removal of individual faults, until locally minimal. Every candidate is
+/// re-checked on all three runtimes ([`check`] reports runtime panics as
+/// failures, so panicking schedules shrink too).
+pub fn shrink(cfg: &DeviceConfig, mut steps: Vec<ChaosStep>) -> Vec<ChaosStep> {
+    let fails = |candidate: &[ChaosStep]| !candidate.is_empty() && check(cfg, candidate).is_err();
+    // Pass 1: remove chunks of steps, halving the chunk size.
+    let mut chunk = steps.len().div_ceil(2).max(1);
+    loop {
+        let mut i = 0;
+        while i < steps.len() {
+            let mut candidate = steps.clone();
+            candidate.drain(i..(i + chunk).min(candidate.len()));
+            if fails(&candidate) {
+                steps = candidate;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2);
+    }
+    // Pass 2: drop individual faults.
+    for i in 0..steps.len() {
+        let mut j = 0;
+        while j < steps[i].faults.len() {
+            let mut candidate = steps.clone();
+            candidate[i].faults.remove(j);
+            if fails(&candidate) {
+                steps = candidate;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    steps
+}
+
+/// Generates, replays and cross-checks one seed; on failure, shrinks the
+/// schedule and returns it for replay.
+///
+/// # Errors
+///
+/// A [`ChaosFailure`] carrying the shrunk schedule and the diagnostic of
+/// the minimal failure.
+pub fn run_seed(seed: u64, scheme: Scheme, len: usize) -> Result<ChaosReport, Box<ChaosFailure>> {
+    let script = generate(seed, scheme, len);
+    let detail = match check(&script.cfg, &script.steps) {
+        Ok(report) => return Ok(report),
+        Err(detail) => detail,
+    };
+    let steps = shrink(&script.cfg, script.steps);
+    let detail = check(&script.cfg, &steps).err().unwrap_or(detail);
+    Err(Box::new(ChaosFailure {
+        seed,
+        scheme,
+        steps,
+        detail,
+    }))
+}

@@ -357,6 +357,26 @@ impl Backend for Cluster {
         self.replicas.lock()[to.index()].add_was_available(member);
         true
     }
+
+    fn apply_write_faulty(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+        data: &BlockData,
+        v: VersionNumber,
+        fault: blockrep_storage::StorageFault,
+    ) -> bool {
+        if from != to && !self.reachable_and_operational(from, to) {
+            return false;
+        }
+        self.replicas.lock()[to.index()].install_faulty(k, data.clone(), v, fault);
+        true
+    }
+
+    fn scrub_local(&self, s: SiteId) -> usize {
+        self.replicas.lock()[s.index()].scrub().len()
+    }
 }
 
 #[cfg(test)]

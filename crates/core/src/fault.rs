@@ -1,0 +1,678 @@
+//! Deterministic fault injection threaded through the [`Backend`] seam.
+//!
+//! A [`FaultPlan`] is a schedule of [`FaultSpec`]s addressed by *(operation
+//! number, remote-exchange number within the operation)*. Because the three
+//! runtimes run byte-for-byte the same protocol code against [`Backend`],
+//! the sequence of remote exchanges an operation performs is identical on
+//! all of them — so one schedule reproduces the same fault at the same
+//! protocol step on the deterministic cluster, the channel-threaded cluster
+//! and the TCP cluster. [`FaultyBackend`] wraps any backend, counts its
+//! remote exchanges and fires the scheduled faults; local actions
+//! (`from == to`) are never counted or intercepted, so the wrapper adds no
+//! behavioural difference when the plan is empty.
+
+use crate::backend::{Backend, RepairBlocks, RepairPayload};
+use crate::obs_hooks;
+use blockrep_net::{DeliveryMode, TrafficCounter};
+use blockrep_obs::event;
+use blockrep_storage::StorageFault;
+use blockrep_types::{
+    BlockData, BlockIndex, DeviceConfig, SiteId, SiteState, VersionNumber, VersionVector,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+/// The kinds of fault the injection layer can fire on a remote exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The message never arrives; the caller sees the target as silent.
+    DropMessage,
+    /// The message is delivered twice (exercising install idempotency).
+    DuplicateMessage,
+    /// The message arrives, but only after the operation has completed:
+    /// one-way updates land post-op, request/response replies are lost.
+    DelayMessage,
+    /// The coordinator crashes just before sending this message; the rest
+    /// of its fan-out is never sent.
+    CrashCoordinator,
+    /// The target processes this message, answers, then crashes.
+    CrashTarget,
+    /// The target crashes in the middle of persisting a write: new
+    /// metadata, partially old data (see [`StorageFault::Torn`]).
+    TornWrite {
+        /// Leading bytes of the new payload that reached the disk.
+        keep: usize,
+    },
+    /// The target crashes after persisting the new data but before the
+    /// version update (see [`StorageFault::StaleVersion`]).
+    StaleVersion,
+}
+
+impl FaultKind {
+    /// Whether the fault cannot perturb replicated state (installs are
+    /// idempotent, so a duplicated message is harmless by design).
+    pub fn is_benign(self) -> bool {
+        matches!(self, FaultKind::DuplicateMessage)
+    }
+
+    /// Whether the fault leaves a checksum-broken block on the target's
+    /// disk (reset to zeroes by the restart-time scrub).
+    pub fn is_storage(self) -> bool {
+        matches!(self, FaultKind::TornWrite { .. } | FaultKind::StaleVersion)
+    }
+
+    /// Short label for traces and shrunk-schedule listings.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::DropMessage => "drop",
+            FaultKind::DuplicateMessage => "duplicate",
+            FaultKind::DelayMessage => "delay",
+            FaultKind::CrashCoordinator => "crash-coordinator",
+            FaultKind::CrashTarget => "crash-target",
+            FaultKind::TornWrite { .. } => "torn-write",
+            FaultKind::StaleVersion => "stale-version",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::TornWrite { keep } => write!(f, "torn-write(keep={keep})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// One scheduled fault: fire `kind` on the `exchange`-th remote exchange of
+/// operation `op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Operation number (the runner numbers script steps).
+    pub op: u64,
+    /// Zero-based index of the remote exchange within the operation.
+    pub exchange: u64,
+    /// What happens to that exchange.
+    pub kind: FaultKind,
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op{}/x{}:{}", self.op, self.exchange, self.kind)
+    }
+}
+
+/// A deterministic fault schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty schedule (the wrapper becomes a transparent pass-through).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault to the schedule.
+    pub fn push(&mut self, fault: FaultSpec) {
+        self.faults.push(fault);
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    fn fault_at(&self, op: u64, exchange: u64) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.op == op && f.exchange == exchange)
+            .map(|f| f.kind)
+    }
+}
+
+impl FromIterator<FaultSpec> for FaultPlan {
+    fn from_iter<T: IntoIterator<Item = FaultSpec>>(iter: T) -> Self {
+        FaultPlan {
+            faults: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A one-way message held back by a [`FaultKind::DelayMessage`] fault,
+/// delivered when the operation ends.
+enum Deferred {
+    ApplyWrite {
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+        data: BlockData,
+        v: VersionNumber,
+    },
+    SetW {
+        from: SiteId,
+        to: SiteId,
+        w: BTreeSet<SiteId>,
+    },
+    AddW {
+        from: SiteId,
+        to: SiteId,
+        member: SiteId,
+    },
+}
+
+#[derive(Default)]
+struct InjectState {
+    op: u64,
+    exchange: u64,
+    crashed: BTreeSet<SiteId>,
+    deferred: Vec<Deferred>,
+    fired: Vec<FaultSpec>,
+}
+
+/// What the injection layer did during one operation: the sites that
+/// crashed mid-operation (the runner turns these into real fail-stops once
+/// the operation returns) and the faults that actually fired.
+#[derive(Debug, Clone, Default)]
+pub struct OpReport {
+    /// Sites that crashed during the operation, not yet failed for real.
+    pub crashed: Vec<SiteId>,
+    /// Scheduled faults whose exchange was actually reached.
+    pub fired: Vec<FaultSpec>,
+}
+
+/// What the wrapper does with one remote exchange.
+enum Decision {
+    Deliver,
+    Suppress,
+    Duplicate,
+    Delay,
+    /// Deliver, answer, then the target is dead for the rest of the op.
+    DeliverThenDead,
+    Torn(usize),
+    Stale,
+}
+
+/// A [`Backend`] wrapper that fires a [`FaultPlan`] on the remote exchanges
+/// flowing through it.
+///
+/// A site that crashes mid-operation (via the crash or storage faults) is
+/// tracked in an internal set: every later exchange involving it is
+/// suppressed, which is exactly what fail-stop looks like to the protocol.
+/// The *real* state transition (and the scheme's failure detection) is
+/// deferred to the runner via [`end_op`](Self::end_op), so the protocol's
+/// in-flight operation observes only silence — never a reentrant recovery.
+pub struct FaultyBackend<'a, B: Backend> {
+    inner: &'a B,
+    plan: &'a FaultPlan,
+    state: Mutex<InjectState>,
+}
+
+impl<'a, B: Backend> FaultyBackend<'a, B> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: &'a B, plan: &'a FaultPlan) -> Self {
+        FaultyBackend {
+            inner,
+            plan,
+            state: Mutex::new(InjectState::default()),
+        }
+    }
+
+    /// Starts operation `op`: resets the exchange counter and the set of
+    /// sites crashed mid-operation.
+    pub fn begin_op(&self, op: u64) {
+        let mut st = self.state.lock();
+        st.op = op;
+        st.exchange = 0;
+        st.crashed.clear();
+        st.fired.clear();
+        st.deferred.clear();
+    }
+
+    /// Ends the current operation: delivers delayed one-way messages (to
+    /// sites that did not crash meanwhile) and reports what happened so the
+    /// runner can finalize mid-operation crashes.
+    pub fn end_op(&self) -> OpReport {
+        let (deferred, crashed, fired) = {
+            let mut st = self.state.lock();
+            (
+                std::mem::take(&mut st.deferred),
+                st.crashed.iter().copied().collect::<Vec<_>>(),
+                std::mem::take(&mut st.fired),
+            )
+        };
+        for msg in deferred {
+            match msg {
+                Deferred::ApplyWrite {
+                    from,
+                    to,
+                    k,
+                    data,
+                    v,
+                } => {
+                    if !crashed.contains(&to) {
+                        self.inner.apply_write(from, to, k, &data, v);
+                    }
+                }
+                Deferred::SetW { from, to, w } => {
+                    if !crashed.contains(&to) {
+                        self.inner.set_was_available(from, to, &w);
+                    }
+                }
+                Deferred::AddW { from, to, member } => {
+                    if !crashed.contains(&to) {
+                        self.inner.add_was_available(from, to, member);
+                    }
+                }
+            }
+        }
+        OpReport { crashed, fired }
+    }
+
+    /// Counts one remote exchange and decides its fate.
+    fn pre(&self, from: SiteId, to: SiteId) -> Decision {
+        let mut st = self.state.lock();
+        let ex = st.exchange;
+        st.exchange += 1;
+        if st.crashed.contains(&from) || st.crashed.contains(&to) {
+            return Decision::Suppress;
+        }
+        let Some(kind) = self.plan.fault_at(st.op, ex) else {
+            return Decision::Deliver;
+        };
+        let spec = FaultSpec {
+            op: st.op,
+            exchange: ex,
+            kind,
+        };
+        st.fired.push(spec);
+        event!(
+            "chaos.fault",
+            op = st.op,
+            exchange = ex,
+            kind = kind.label(),
+            from = from.as_u32(),
+            to = to.as_u32(),
+        );
+        obs_hooks::count(obs_hooks::faults_injected, 1);
+        match kind {
+            FaultKind::DropMessage => Decision::Suppress,
+            FaultKind::DuplicateMessage => Decision::Duplicate,
+            FaultKind::DelayMessage => Decision::Delay,
+            FaultKind::CrashCoordinator => {
+                st.crashed.insert(from);
+                Decision::Suppress
+            }
+            FaultKind::CrashTarget => {
+                st.crashed.insert(to);
+                Decision::DeliverThenDead
+            }
+            FaultKind::TornWrite { keep } => {
+                st.crashed.insert(to);
+                Decision::Torn(keep)
+            }
+            FaultKind::StaleVersion => {
+                st.crashed.insert(to);
+                Decision::Stale
+            }
+        }
+    }
+
+    /// Request/response exchange: the caller needs an answer.
+    fn rpc<T>(&self, from: SiteId, to: SiteId, call: impl Fn() -> Option<T>) -> Option<T> {
+        match self.pre(from, to) {
+            // A storage fault landing on a non-install exchange degrades to
+            // "processed, answered, then crashed".
+            Decision::Deliver | Decision::DeliverThenDead | Decision::Torn(_) | Decision::Stale => {
+                call()
+            }
+            Decision::Duplicate => {
+                let _ = call();
+                call()
+            }
+            Decision::Suppress => None,
+            // The request is processed but the reply arrives too late.
+            Decision::Delay => {
+                let _ = call();
+                None
+            }
+        }
+    }
+
+    /// One-way exchange: fire-and-forget with a delivery indication.
+    fn one_way(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        deliver: impl Fn() -> bool,
+        defer: impl FnOnce() -> Deferred,
+    ) -> bool {
+        match self.pre(from, to) {
+            Decision::Deliver | Decision::DeliverThenDead | Decision::Torn(_) | Decision::Stale => {
+                deliver()
+            }
+            Decision::Duplicate => {
+                let _ = deliver();
+                deliver()
+            }
+            Decision::Suppress => false,
+            Decision::Delay => {
+                self.state.lock().deferred.push(defer());
+                false
+            }
+        }
+    }
+}
+
+impl<B: Backend> Backend for FaultyBackend<'_, B> {
+    fn config(&self) -> &DeviceConfig {
+        self.inner.config()
+    }
+
+    fn delivery_mode(&self) -> DeliveryMode {
+        self.inner.delivery_mode()
+    }
+
+    fn counter(&self) -> &TrafficCounter {
+        self.inner.counter()
+    }
+
+    fn local_state(&self, s: SiteId) -> SiteState {
+        self.inner.local_state(s)
+    }
+
+    fn set_local_state(&self, s: SiteId, state: SiteState) {
+        self.inner.set_local_state(s, state);
+    }
+
+    fn probe_state(&self, from: SiteId, to: SiteId) -> Option<SiteState> {
+        if from == to {
+            return self.inner.probe_state(from, to);
+        }
+        self.rpc(from, to, || self.inner.probe_state(from, to))
+    }
+
+    fn vote(&self, from: SiteId, to: SiteId, k: BlockIndex) -> Option<VersionNumber> {
+        if from == to {
+            return self.inner.vote(from, to, k);
+        }
+        self.rpc(from, to, || self.inner.vote(from, to, k))
+    }
+
+    fn fetch_block(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+    ) -> Option<(VersionNumber, BlockData)> {
+        if from == to {
+            return self.inner.fetch_block(from, to, k);
+        }
+        self.rpc(from, to, || self.inner.fetch_block(from, to, k))
+    }
+
+    fn apply_write(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+        data: &BlockData,
+        v: VersionNumber,
+    ) -> bool {
+        if from == to {
+            return self.inner.apply_write(from, to, k, data, v);
+        }
+        match self.pre(from, to) {
+            Decision::Deliver | Decision::DeliverThenDead => {
+                self.inner.apply_write(from, to, k, data, v)
+            }
+            Decision::Duplicate => {
+                let _ = self.inner.apply_write(from, to, k, data, v);
+                self.inner.apply_write(from, to, k, data, v)
+            }
+            Decision::Suppress => false,
+            Decision::Delay => {
+                self.state.lock().deferred.push(Deferred::ApplyWrite {
+                    from,
+                    to,
+                    k,
+                    data: data.clone(),
+                    v,
+                });
+                false
+            }
+            // The install starts, the target's disk tears, and the ack is
+            // never sent: the coordinator sees a dead site.
+            Decision::Torn(keep) => {
+                self.inner
+                    .apply_write_faulty(from, to, k, data, v, StorageFault::Torn { keep });
+                false
+            }
+            Decision::Stale => {
+                self.inner
+                    .apply_write_faulty(from, to, k, data, v, StorageFault::StaleVersion);
+                false
+            }
+        }
+    }
+
+    fn read_local(&self, s: SiteId, k: BlockIndex) -> BlockData {
+        self.inner.read_local(s, k)
+    }
+
+    fn version_vector(&self, from: SiteId, to: SiteId) -> Option<VersionVector> {
+        if from == to {
+            return self.inner.version_vector(from, to);
+        }
+        self.rpc(from, to, || self.inner.version_vector(from, to))
+    }
+
+    fn repair_payload(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        vv: &VersionVector,
+    ) -> Option<RepairPayload> {
+        if from == to {
+            return self.inner.repair_payload(from, to, vv);
+        }
+        self.rpc(from, to, || self.inner.repair_payload(from, to, vv))
+    }
+
+    fn apply_repair_local(&self, s: SiteId, blocks: RepairBlocks) -> usize {
+        self.inner.apply_repair_local(s, blocks)
+    }
+
+    fn was_available(&self, from: SiteId, to: SiteId) -> Option<BTreeSet<SiteId>> {
+        if from == to {
+            return self.inner.was_available(from, to);
+        }
+        self.rpc(from, to, || self.inner.was_available(from, to))
+    }
+
+    fn set_was_available(&self, from: SiteId, to: SiteId, w: &BTreeSet<SiteId>) -> bool {
+        if from == to {
+            return self.inner.set_was_available(from, to, w);
+        }
+        self.one_way(
+            from,
+            to,
+            || self.inner.set_was_available(from, to, w),
+            || Deferred::SetW {
+                from,
+                to,
+                w: w.clone(),
+            },
+        )
+    }
+
+    fn add_was_available(&self, from: SiteId, to: SiteId, member: SiteId) -> bool {
+        if from == to {
+            return self.inner.add_was_available(from, to, member);
+        }
+        self.one_way(
+            from,
+            to,
+            || self.inner.add_was_available(from, to, member),
+            || Deferred::AddW { from, to, member },
+        )
+    }
+
+    fn apply_write_faulty(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+        data: &BlockData,
+        v: VersionNumber,
+        fault: StorageFault,
+    ) -> bool {
+        // Injection primitive: pass through uncounted.
+        self.inner.apply_write_faulty(from, to, k, data, v, fault)
+    }
+
+    fn scrub_local(&self, s: SiteId) -> usize {
+        self.inner.scrub_local(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterOptions};
+    use blockrep_types::Scheme;
+
+    fn cluster(scheme: Scheme) -> Cluster {
+        let cfg = DeviceConfig::builder(scheme)
+            .sites(3)
+            .num_blocks(2)
+            .block_size(4)
+            .build()
+            .unwrap();
+        Cluster::new(cfg, ClusterOptions::default())
+    }
+
+    fn sid(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let c = cluster(Scheme::Voting);
+        let plan = FaultPlan::new();
+        let fb = FaultyBackend::new(&c, &plan);
+        fb.begin_op(0);
+        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![7; 4]))
+            .unwrap();
+        let report = fb.end_op();
+        assert!(report.crashed.is_empty());
+        assert!(report.fired.is_empty());
+        for s in 0..3 {
+            assert_eq!(c.data_of(sid(s), BlockIndex::new(0)).as_slice(), &[7; 4]);
+        }
+    }
+
+    #[test]
+    fn dropped_update_misses_one_site() {
+        let c = cluster(Scheme::AvailableCopy);
+        // AC write exchanges: probe(s1), apply(s1), probe(s2), apply(s2),
+        // then the was-available fan-out. Drop exchange 1 = apply to s1.
+        let plan: FaultPlan = [FaultSpec {
+            op: 0,
+            exchange: 1,
+            kind: FaultKind::DropMessage,
+        }]
+        .into_iter()
+        .collect();
+        let fb = FaultyBackend::new(&c, &plan);
+        fb.begin_op(0);
+        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![9; 4]))
+            .unwrap();
+        let report = fb.end_op();
+        assert_eq!(report.fired.len(), 1);
+        assert!(report.crashed.is_empty());
+        assert!(c.data_of(sid(1), BlockIndex::new(0)).is_zeroed());
+        assert_eq!(c.data_of(sid(2), BlockIndex::new(0)).as_slice(), &[9; 4]);
+    }
+
+    #[test]
+    fn crash_coordinator_stops_the_fanout() {
+        let c = cluster(Scheme::AvailableCopy);
+        // Crash the coordinator before its first fan-out message: nobody
+        // else hears of the write; the origin's local install still lands
+        // on its own disk (it crashed after the disk write).
+        let plan: FaultPlan = [FaultSpec {
+            op: 0,
+            exchange: 0,
+            kind: FaultKind::CrashCoordinator,
+        }]
+        .into_iter()
+        .collect();
+        let fb = FaultyBackend::new(&c, &plan);
+        fb.begin_op(0);
+        let _ =
+            crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![5; 4]));
+        let report = fb.end_op();
+        assert_eq!(report.crashed, vec![sid(0)]);
+        assert!(c.data_of(sid(1), BlockIndex::new(0)).is_zeroed());
+        assert!(c.data_of(sid(2), BlockIndex::new(0)).is_zeroed());
+    }
+
+    #[test]
+    fn delayed_update_lands_after_the_op() {
+        let c = cluster(Scheme::NaiveAvailableCopy);
+        // Naive AC write exchanges: probe(s1), apply(s1), probe(s2), apply(s2).
+        let plan: FaultPlan = [FaultSpec {
+            op: 0,
+            exchange: 1,
+            kind: FaultKind::DelayMessage,
+        }]
+        .into_iter()
+        .collect();
+        let fb = FaultyBackend::new(&c, &plan);
+        fb.begin_op(0);
+        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![3; 4]))
+            .unwrap();
+        // Held back until end_op…
+        assert!(c.data_of(sid(1), BlockIndex::new(0)).is_zeroed());
+        fb.end_op();
+        // …then delivered.
+        assert_eq!(c.data_of(sid(1), BlockIndex::new(0)).as_slice(), &[3; 4]);
+    }
+
+    #[test]
+    fn torn_write_crashes_target_with_broken_block() {
+        let c = cluster(Scheme::AvailableCopy);
+        let plan: FaultPlan = [FaultSpec {
+            op: 0,
+            exchange: 1,
+            kind: FaultKind::TornWrite { keep: 2 },
+        }]
+        .into_iter()
+        .collect();
+        let fb = FaultyBackend::new(&c, &plan);
+        fb.begin_op(0);
+        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![8; 4]))
+            .unwrap();
+        let report = fb.end_op();
+        assert_eq!(report.crashed, vec![sid(1)]);
+        // Half-new, half-old data; the scrub finds and resets it.
+        assert_eq!(
+            c.data_of(sid(1), BlockIndex::new(0)).as_slice(),
+            &[8, 8, 0, 0]
+        );
+        assert_eq!(c.scrub_local(sid(1)), 1);
+        assert!(c.data_of(sid(1), BlockIndex::new(0)).is_zeroed());
+    }
+}

@@ -70,8 +70,10 @@
 
 pub mod audit;
 pub mod backend;
+pub mod chaos;
 mod cluster;
 mod device;
+pub mod fault;
 mod live;
 mod obs_hooks;
 mod persist;

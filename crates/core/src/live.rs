@@ -17,6 +17,7 @@ use crate::backend::Backend;
 use crate::protocol;
 use crate::replica::Replica;
 use blockrep_net::{DeliveryMode, Network, TrafficCounter};
+use blockrep_storage::StorageFault;
 use blockrep_types::{
     BlockData, BlockIndex, DeviceConfig, DeviceResult, SiteId, SiteState, VersionNumber,
     VersionVector,
@@ -33,6 +34,8 @@ enum Request {
     Vote(BlockIndex, Sender<VersionNumber>),
     Fetch(BlockIndex, Sender<(VersionNumber, BlockData)>),
     ApplyWrite(BlockIndex, BlockData, VersionNumber),
+    ApplyWriteFaulty(BlockIndex, BlockData, VersionNumber, StorageFault),
+    Scrub(Sender<usize>),
     ReadLocal(BlockIndex, Sender<BlockData>),
     VersionVector(Sender<VersionVector>),
     RepairPayload(VersionVector, Sender<(VersionVector, RepairBlocks)>),
@@ -204,6 +207,14 @@ impl LiveCluster {
         &self.counter
     }
 
+    /// Raises or lowers site `s`'s network link without running any
+    /// protocol — the chaos runner's hook for making a mid-operation crash
+    /// real (protocol-level failure handling is driven separately, in the
+    /// same order `fail_site`/`repair_site` use).
+    pub(crate) fn set_link(&self, s: SiteId, up: bool) {
+        self.net.set_site_up(s, up);
+    }
+
     fn call<T>(
         &self,
         from: SiteId,
@@ -230,6 +241,12 @@ fn handle(replica: &mut Replica, req: Request) {
         }
         Request::ApplyWrite(k, data, v) => {
             replica.install(k, data, v);
+        }
+        Request::ApplyWriteFaulty(k, data, v, fault) => {
+            replica.install_faulty(k, data, v, fault);
+        }
+        Request::Scrub(reply) => {
+            let _ = reply.send(replica.scrub().len());
         }
         Request::ReadLocal(k, reply) => {
             let _ = reply.send(replica.data(k));
@@ -342,6 +359,27 @@ impl Backend for LiveCluster {
 
     fn add_was_available(&self, from: SiteId, to: SiteId, member: SiteId) -> bool {
         self.cast(from, to, Request::AddW(member))
+    }
+
+    fn apply_write_faulty(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+        data: &BlockData,
+        v: VersionNumber,
+        fault: StorageFault,
+    ) -> bool {
+        self.cast(
+            from,
+            to,
+            Request::ApplyWriteFaulty(k, data.clone(), v, fault),
+        )
+    }
+
+    fn scrub_local(&self, s: SiteId) -> usize {
+        self.call(s, s, Request::Scrub)
+            .expect("a site can always scrub its own disk")
     }
 }
 

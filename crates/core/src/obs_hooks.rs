@@ -34,6 +34,7 @@ cached_metric!(
     counter,
     "recovery.blocks_repaired"
 );
+cached_metric!(faults_injected, Counter, counter, "chaos.faults_injected");
 
 /// Starts a latency timer for `metric` when observability is enabled; the
 /// `None` guard on the disabled path is free.

@@ -1,6 +1,6 @@
 //! Per-site replica state.
 
-use blockrep_storage::VersionedStore;
+use blockrep_storage::{StorageFault, VersionedStore};
 use blockrep_types::{
     BlockData, BlockIndex, DeviceConfig, SiteId, SiteState, VersionNumber, VersionVector,
 };
@@ -85,13 +85,36 @@ impl Replica {
         self.store.install(k, data, v)
     }
 
+    /// Installs a block but leaves it in the broken on-disk state `fault`
+    /// describes — the disk image of a crash mid-write. Used only by the
+    /// fault-injection layer.
+    pub fn install_faulty(
+        &mut self,
+        k: BlockIndex,
+        data: BlockData,
+        v: VersionNumber,
+        fault: StorageFault,
+    ) -> bool {
+        self.store.install_faulty(k, data, v, fault)
+    }
+
+    /// Restart-time integrity pass: resets every checksum-broken block to
+    /// the freshly formatted state so normal repair re-fetches it. Returns
+    /// the blocks that were reset.
+    pub fn scrub(&mut self) -> Vec<BlockIndex> {
+        self.store.scrub()
+    }
+
     /// A copy of the full version vector.
     pub fn version_vector(&self) -> VersionVector {
         self.store.version_vector()
     }
 
-    /// Blocks newer here than in `remote` — the repair payload for a
-    /// recovering site (Figure 5's `(v', {blocks})` response).
+    /// Blocks whose version here differs from `remote` — the repair payload
+    /// for a recovering site (Figure 5's `(v', {blocks})` response). The
+    /// source is authoritative in both directions so that a write the
+    /// recovering site installed orphaned just before crashing is rolled
+    /// back rather than surviving as a colliding version.
     pub fn repair_payload(
         &self,
         remote: &VersionVector,

@@ -78,6 +78,11 @@ fn serve(mut replica: Replica, listener: TcpListener) {
                 replica.add_was_available(s);
                 WireResponse::Ack
             }
+            WireRequest::ApplyWriteFaulty(k, v, data, fault) => {
+                replica.install_faulty(k, data, v, fault);
+                WireResponse::Ack
+            }
+            WireRequest::Scrub => WireResponse::Count(replica.scrub().len() as u64),
         };
         if wire::write_frame(&mut conn, &response.encode()).is_err() {
             return;
@@ -368,6 +373,31 @@ impl Backend for TcpCluster {
             self.rpc(to, WireRequest::AddW(member)),
             Some(WireResponse::Ack)
         )
+    }
+
+    fn apply_write_faulty(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+        data: &BlockData,
+        v: VersionNumber,
+        fault: blockrep_storage::StorageFault,
+    ) -> bool {
+        if from != to && !self.reachable(from, to) {
+            return false;
+        }
+        matches!(
+            self.rpc(to, WireRequest::ApplyWriteFaulty(k, v, data.clone(), fault)),
+            Some(WireResponse::Ack)
+        )
+    }
+
+    fn scrub_local(&self, s: SiteId) -> usize {
+        match self.rpc(s, WireRequest::Scrub) {
+            Some(WireResponse::Count(n)) => n as usize,
+            _ => 0,
+        }
     }
 }
 

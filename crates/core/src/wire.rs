@@ -8,6 +8,7 @@
 //! fuzzed round-trip property pins the format down.
 
 use crate::backend::RepairBlocks;
+use blockrep_storage::StorageFault;
 use blockrep_types::{BlockData, BlockIndex, SiteId, VersionNumber, VersionVector};
 use bytes::{Buf, BufMut};
 use std::collections::BTreeSet;
@@ -44,6 +45,11 @@ pub enum WireRequest {
     AddW(SiteId),
     /// Stop serving and exit.
     Shutdown,
+    /// Fault injection: install a block but leave it in the broken on-disk
+    /// state the fault describes (crash mid-install).
+    ApplyWriteFaulty(BlockIndex, VersionNumber, BlockData, StorageFault),
+    /// Fault injection: run the restart-time integrity scrub.
+    Scrub,
 }
 
 /// A site's answer.
@@ -63,6 +69,8 @@ pub enum WireResponse {
     Payload(VersionVector, RepairBlocks),
     /// A was-available set.
     W(BTreeSet<SiteId>),
+    /// A plain count (e.g. blocks reset by a scrub).
+    Count(u64),
 }
 
 /// A malformed frame.
@@ -206,6 +214,20 @@ impl WireRequest {
                 buf.put_u32_le(s.as_u32());
             }
             WireRequest::Shutdown => buf.put_u8(11),
+            WireRequest::ApplyWriteFaulty(k, v, data, fault) => {
+                buf.put_u8(12);
+                buf.put_u64_le(k.as_u64());
+                buf.put_u64_le(v.as_u64());
+                put_data(&mut buf, data);
+                match fault {
+                    StorageFault::Torn { keep } => {
+                        buf.put_u8(0);
+                        buf.put_u64_le(*keep as u64);
+                    }
+                    StorageFault::StaleVersion => buf.put_u8(1),
+                }
+            }
+            WireRequest::Scrub => buf.put_u8(13),
         }
         buf
     }
@@ -245,6 +267,25 @@ impl WireRequest {
                 WireRequest::AddW(SiteId::new(raw.get_u32_le()))
             }
             11 => WireRequest::Shutdown,
+            12 => {
+                need(raw, 16, "write header")?;
+                let k = BlockIndex::new(raw.get_u64_le());
+                let v = VersionNumber::new(raw.get_u64_le());
+                let data = get_data(&mut raw)?;
+                need(raw, 1, "fault tag")?;
+                let fault = match raw.get_u8() {
+                    0 => {
+                        need(raw, 8, "torn keep")?;
+                        StorageFault::Torn {
+                            keep: raw.get_u64_le() as usize,
+                        }
+                    }
+                    1 => StorageFault::StaleVersion,
+                    other => return Err(bad(&format!("unknown fault tag {other}"))),
+                };
+                WireRequest::ApplyWriteFaulty(k, v, data, fault)
+            }
+            13 => WireRequest::Scrub,
             other => return Err(bad(&format!("unknown request tag {other}"))),
         };
         if raw.has_remaining() {
@@ -286,6 +327,10 @@ impl WireResponse {
                 buf.put_u8(6);
                 put_sites(&mut buf, w);
             }
+            WireResponse::Count(n) => {
+                buf.put_u8(7);
+                buf.put_u64_le(*n);
+            }
         }
         buf
     }
@@ -316,6 +361,10 @@ impl WireResponse {
                 WireResponse::Payload(vv, get_blocks(&mut raw)?)
             }
             6 => WireResponse::W(get_sites(&mut raw)?),
+            7 => {
+                need(raw, 8, "count")?;
+                WireResponse::Count(raw.get_u64_le())
+            }
             other => return Err(bad(&format!("unknown response tag {other}"))),
         };
         if raw.has_remaining() {
@@ -410,6 +459,22 @@ mod tests {
             arb_sites().prop_map(WireRequest::SetW),
             (0u32..32).prop_map(|s| WireRequest::AddW(SiteId::new(s))),
             Just(WireRequest::Shutdown),
+            (any::<u16>(), any::<u32>(), arb_data(), arb_fault()).prop_map(|(k, v, d, f)| {
+                WireRequest::ApplyWriteFaulty(
+                    BlockIndex::new(k as u64),
+                    VersionNumber::new(v as u64),
+                    d,
+                    f,
+                )
+            }),
+            Just(WireRequest::Scrub),
+        ]
+    }
+
+    fn arb_fault() -> impl Strategy<Value = StorageFault> {
+        prop_oneof![
+            (0usize..512).prop_map(|keep| StorageFault::Torn { keep }),
+            Just(StorageFault::StaleVersion),
         ]
     }
 
@@ -423,6 +488,7 @@ mod tests {
             arb_vv().prop_map(WireResponse::Vector),
             (arb_vv(), arb_blocks()).prop_map(|(vv, b)| WireResponse::Payload(vv, b)),
             arb_sites().prop_map(WireResponse::W),
+            any::<u64>().prop_map(WireResponse::Count),
         ]
     }
 

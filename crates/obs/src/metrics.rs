@@ -260,6 +260,61 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// The kind of a registered metric, for [`KindMismatch`] diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A [`Counter`].
+    Counter,
+    /// A [`Gauge`].
+    Gauge,
+    /// A [`Histogram`].
+    Histogram,
+}
+
+impl std::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        })
+    }
+}
+
+/// A metric name was requested as one kind but is already registered as
+/// another — e.g. `counter("x")` after `histogram("x")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindMismatch {
+    /// The contested metric name.
+    pub name: String,
+    /// The kind the caller asked for.
+    pub requested: MetricKind,
+    /// The kind the name is already registered as.
+    pub registered: MetricKind,
+}
+
+impl std::fmt::Display for KindMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "metric {:?} requested as a {} but already registered as a {}",
+            self.name, self.requested, self.registered
+        )
+    }
+}
+
+impl std::error::Error for KindMismatch {}
+
 /// A named collection of metrics.
 ///
 /// `counter`/`gauge`/`histogram` are get-or-create and return shared
@@ -285,50 +340,92 @@ impl Registry {
 
     /// The counter named `name`, creating it on first use.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` is already registered as a different metric kind.
-    pub fn counter(&self, name: &str) -> Arc<Counter> {
+    /// [`KindMismatch`] if `name` is already registered as a different
+    /// metric kind; the registered metric is left untouched.
+    pub fn try_counter(&self, name: &str) -> Result<Arc<Counter>, KindMismatch> {
         let mut metrics = self.lock();
         let metric = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
         match metric {
-            Metric::Counter(c) => Arc::clone(c),
-            _ => panic!("metric {name:?} is not a counter"),
+            Metric::Counter(c) => Ok(Arc::clone(c)),
+            other => Err(KindMismatch {
+                name: name.to_string(),
+                requested: MetricKind::Counter,
+                registered: other.kind(),
+            }),
         }
     }
 
     /// The gauge named `name`, creating it on first use.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` is already registered as a different metric kind.
-    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+    /// [`KindMismatch`] if `name` is already registered as a different
+    /// metric kind; the registered metric is left untouched.
+    pub fn try_gauge(&self, name: &str) -> Result<Arc<Gauge>, KindMismatch> {
         let mut metrics = self.lock();
         let metric = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
         match metric {
-            Metric::Gauge(g) => Arc::clone(g),
-            _ => panic!("metric {name:?} is not a gauge"),
+            Metric::Gauge(g) => Ok(Arc::clone(g)),
+            other => Err(KindMismatch {
+                name: name.to_string(),
+                requested: MetricKind::Gauge,
+                registered: other.kind(),
+            }),
         }
     }
 
     /// The histogram named `name`, creating it on first use.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` is already registered as a different metric kind.
-    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+    /// [`KindMismatch`] if `name` is already registered as a different
+    /// metric kind; the registered metric is left untouched.
+    pub fn try_histogram(&self, name: &str) -> Result<Arc<Histogram>, KindMismatch> {
         let mut metrics = self.lock();
         let metric = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
         match metric {
-            Metric::Histogram(h) => Arc::clone(h),
-            _ => panic!("metric {name:?} is not a histogram"),
+            Metric::Histogram(h) => Ok(Arc::clone(h)),
+            other => Err(KindMismatch {
+                name: name.to_string(),
+                requested: MetricKind::Histogram,
+                registered: other.kind(),
+            }),
         }
+    }
+
+    /// The counter named `name`, creating it on first use.
+    ///
+    /// On a kind mismatch this returns a *detached* counter — a live handle
+    /// that is not part of the registry and never shows up in snapshots —
+    /// so instrumentation can never take the instrumented process down.
+    /// Callers that want to surface the conflict use
+    /// [`try_counter`](Self::try_counter).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.try_counter(name)
+            .unwrap_or_else(|_| Arc::new(Counter::new()))
+    }
+
+    /// The gauge named `name`, creating it on first use; on a kind mismatch
+    /// returns a detached gauge (see [`counter`](Self::counter)).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.try_gauge(name)
+            .unwrap_or_else(|_| Arc::new(Gauge::new()))
+    }
+
+    /// The histogram named `name`, creating it on first use; on a kind
+    /// mismatch returns a detached histogram (see
+    /// [`counter`](Self::counter)).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.try_histogram(name)
+            .unwrap_or_else(|_| Arc::new(Histogram::new()))
     }
 
     /// Removes every metric (handles held elsewhere keep working but are no
@@ -523,11 +620,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a counter")]
-    fn kind_mismatch_panics() {
+    fn kind_mismatch_is_a_typed_error() {
         let registry = Registry::new();
         registry.histogram("x");
-        registry.counter("x");
+        let err = registry.try_counter("x").unwrap_err();
+        assert_eq!(
+            err,
+            KindMismatch {
+                name: "x".to_string(),
+                requested: MetricKind::Counter,
+                registered: MetricKind::Histogram,
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "metric \"x\" requested as a counter but already registered as a histogram"
+        );
+        let err = registry.try_gauge("x").unwrap_err();
+        assert_eq!(err.requested, MetricKind::Gauge);
+        // The registered histogram survives the failed lookups untouched.
+        registry.histogram("x").record(3);
+        assert_eq!(registry.try_histogram("x").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_infallible_getters_return_detached_handles() {
+        let registry = Registry::new();
+        registry.counter("x").set(5);
+        // Wrong-kind lookups must neither abort nor disturb the original.
+        registry.histogram("x").record(9);
+        registry.gauge("x").set(-1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("x"), Some(5));
+        assert!(snap.histogram("x").is_none());
+        assert!(snap.gauge("x").is_none());
     }
 
     #[test]

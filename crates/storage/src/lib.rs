@@ -39,4 +39,4 @@ pub use cache::{CacheStats, CacheStore};
 pub use device::BlockDevice;
 pub use file::FileStore;
 pub use mem::MemStore;
-pub use versioned::VersionedStore;
+pub use versioned::{StorageFault, VersionedStore};

@@ -2,6 +2,45 @@
 
 use blockrep_types::{BlockData, BlockIndex, VersionNumber, VersionVector};
 
+/// A fault injected into the *storage* layer at install time, modelling the
+/// two ways a crash in the middle of a synchronous block write leaves the
+/// disk inconsistent (cf. the torn-write regime studied for stable memory
+/// devices).
+///
+/// Both faults are detectable on restart because every block carries a
+/// checksum over `(version, data)`: a torn block commits the new metadata
+/// with partially old data, a stale-version block commits the new data under
+/// the old metadata, and in either case [`VersionedStore::scrub`] finds the
+/// mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The metadata (version + checksum) of the new write reached the disk,
+    /// but only the first `keep` bytes of the data did; the tail still holds
+    /// the previous contents.
+    Torn {
+        /// Number of leading bytes of the new payload that were persisted.
+        keep: usize,
+    },
+    /// The data of the new write reached the disk but the crash hit before
+    /// the version (and checksum) were updated, so the new bytes sit under
+    /// the old version number.
+    StaleVersion,
+}
+
+/// FNV-1a over the version number followed by the block data — cheap,
+/// deterministic, and dependency-free; collision resistance is irrelevant
+/// here because the threat model is a crash, not an adversary.
+fn checksum(v: VersionNumber, data: &BlockData) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in v.as_u64().to_le_bytes().iter().chain(data.as_slice()) {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// A site's disk as the consistency protocols see it: every block carries a
 /// version number alongside its data.
 ///
@@ -25,6 +64,7 @@ use blockrep_types::{BlockData, BlockIndex, VersionNumber, VersionVector};
 pub struct VersionedStore {
     blocks: Vec<BlockData>,
     versions: VersionVector,
+    checksums: Vec<u64>,
     block_size: usize,
 }
 
@@ -38,9 +78,11 @@ impl VersionedStore {
     pub fn new(num_blocks: u64, block_size: usize) -> Self {
         assert!(num_blocks > 0, "a device needs at least one block");
         assert!(block_size > 0, "block size must be nonzero");
+        let zero_sum = checksum(VersionNumber::ZERO, &BlockData::zeroed(block_size));
         VersionedStore {
             blocks: vec![BlockData::zeroed(block_size); num_blocks as usize],
             versions: VersionVector::new(num_blocks),
+            checksums: vec![zero_sum; num_blocks as usize],
             block_size,
         }
     }
@@ -97,6 +139,7 @@ impl VersionedStore {
     pub fn install(&mut self, k: BlockIndex, data: BlockData, v: VersionNumber) -> bool {
         assert_eq!(data.len(), self.block_size, "payload must match block size");
         if v > self.versions.get(k) {
+            self.checksums[k.index()] = checksum(v, &data);
             self.blocks[k.index()] = data;
             self.versions.set(k, v);
             true
@@ -105,13 +148,81 @@ impl VersionedStore {
         }
     }
 
+    /// Installs `data` at version `v` but leaves the block in the broken
+    /// on-disk state that `fault` describes, simulating a crash in the
+    /// middle of the synchronous block write. The same monotone guard as
+    /// [`install`](Self::install) applies, so replaying a faulty old write
+    /// is still a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or the payload size differs from the
+    /// block size.
+    pub fn install_faulty(
+        &mut self,
+        k: BlockIndex,
+        data: BlockData,
+        v: VersionNumber,
+        fault: StorageFault,
+    ) -> bool {
+        assert_eq!(data.len(), self.block_size, "payload must match block size");
+        if v <= self.versions.get(k) {
+            return false;
+        }
+        match fault {
+            StorageFault::Torn { keep } => {
+                // Metadata of the new write committed; data only partially.
+                self.checksums[k.index()] = checksum(v, &data);
+                self.versions.set(k, v);
+                let keep = keep.min(self.block_size);
+                let mut torn = self.blocks[k.index()].as_slice().to_vec();
+                torn[..keep].copy_from_slice(&data.as_slice()[..keep]);
+                self.blocks[k.index()] = BlockData::from(torn);
+            }
+            StorageFault::StaleVersion => {
+                // Data committed; version and checksum still the old ones.
+                self.blocks[k.index()] = data;
+            }
+        }
+        true
+    }
+
+    /// Whether block `k`'s checksum matches its `(version, data)` pair —
+    /// `false` exactly when a faulty install left the block broken.
+    pub fn checksum_ok(&self, k: BlockIndex) -> bool {
+        self.checksums[k.index()] == checksum(self.versions.get(k), &self.blocks[k.index()])
+    }
+
+    /// Restart-time integrity pass: every block whose checksum does not
+    /// match its contents is reset to the freshly-formatted state (zeroed
+    /// data at version zero), which re-enters the normal repair lattice —
+    /// any peer holding a valid copy is newer and will overwrite it.
+    /// Returns the blocks that were reset.
+    pub fn scrub(&mut self) -> Vec<BlockIndex> {
+        let mut reset = Vec::new();
+        for k in BlockIndex::all(self.num_blocks()) {
+            if !self.checksum_ok(k) {
+                self.blocks[k.index()] = BlockData::zeroed(self.block_size);
+                self.versions.set(k, VersionNumber::ZERO);
+                self.checksums[k.index()] = checksum(VersionNumber::ZERO, &self.blocks[k.index()]);
+                reset.push(k);
+            }
+        }
+        reset
+    }
+
     /// A copy of the full version vector, as exchanged during recovery.
     pub fn version_vector(&self) -> VersionVector {
         self.versions.clone()
     }
 
-    /// Blocks (with versions and data) that are newer here than in `remote`
-    /// — the repair payload a current site sends to a recovering one.
+    /// Blocks (with versions and data) whose version here differs from
+    /// `remote` — the repair payload an authoritative site sends to a
+    /// recovering one. The diff runs in *both* directions: a recovering
+    /// site can be ahead on a block it installed just before crashing
+    /// without the update ever leaving the machine, and such an orphaned
+    /// write must be rolled back to the source's copy (see
+    /// [`VersionVector::divergent_from`]).
     ///
     /// # Panics
     ///
@@ -121,7 +232,7 @@ impl VersionedStore {
         remote: &VersionVector,
     ) -> Vec<(BlockIndex, VersionNumber, BlockData)> {
         remote
-            .stale_against(&self.versions)
+            .divergent_from(&self.versions)
             .into_iter()
             .map(|k| {
                 let (v, d) = self.versioned(k);
@@ -131,12 +242,20 @@ impl VersionedStore {
     }
 
     /// Applies a repair payload produced by [`diff_against`](Self::diff_against)
-    /// on a more current site. Returns the number of blocks replaced.
+    /// on an authoritative site. Unlike [`install`](Self::install) this
+    /// overwrites unconditionally — the source decides, even when that
+    /// means regressing a block the recovering site wrote orphaned just
+    /// before crashing. Returns the number of blocks replaced.
     pub fn apply_repair(&mut self, blocks: Vec<(BlockIndex, VersionNumber, BlockData)>) -> usize {
-        blocks
-            .into_iter()
-            .filter(|(k, v, d)| self.install(*k, d.clone(), *v))
-            .count()
+        let mut replaced = 0;
+        for (k, v, data) in blocks {
+            assert_eq!(data.len(), self.block_size, "payload must match block size");
+            self.checksums[k.index()] = checksum(v, &data);
+            self.blocks[k.index()] = data;
+            self.versions.set(k, v);
+            replaced += 1;
+        }
+        replaced
     }
 }
 
@@ -180,7 +299,10 @@ mod tests {
             BlockData::from(vec![3; 4]),
             VersionNumber::new(1),
         );
-        // stale has a block current lacks — must NOT be clobbered by repair.
+        // stale is *ahead* on a block the source never saw — an orphaned
+        // write installed just before a crash. The source is authoritative:
+        // repair rolls the orphan back, otherwise the next write at the
+        // colliding version would leave the replicas permanently divergent.
         stale.install(
             BlockIndex::new(2),
             BlockData::from(vec![2; 4]),
@@ -188,18 +310,82 @@ mod tests {
         );
 
         let payload = current.diff_against(&stale.version_vector());
-        assert_eq!(payload.len(), 2);
+        assert_eq!(payload.len(), 3);
         let repaired = stale.apply_repair(payload);
-        assert_eq!(repaired, 2);
+        assert_eq!(repaired, 3);
         assert_eq!(stale.version(BlockIndex::new(1)), VersionNumber::new(5));
         assert_eq!(stale.data(BlockIndex::new(3)).as_slice(), &[3; 4]);
-        assert_eq!(stale.version(BlockIndex::new(2)), VersionNumber::new(7));
+        assert_eq!(stale.version(BlockIndex::new(2)), VersionNumber::ZERO);
+        assert!(stale.data(BlockIndex::new(2)).is_zeroed());
+        // The stores now agree bit for bit.
+        assert!(current.diff_against(&stale.version_vector()).is_empty());
     }
 
     #[test]
     fn diff_against_identical_is_empty() {
         let s = VersionedStore::new(4, 4);
         assert!(s.diff_against(&s.version_vector()).is_empty());
+    }
+
+    #[test]
+    fn torn_install_breaks_checksum_and_scrub_resets() {
+        let mut s = VersionedStore::new(2, 4);
+        let k = BlockIndex::new(0);
+        s.install(k, BlockData::from(vec![1; 4]), VersionNumber::new(1));
+        assert!(s.install_faulty(
+            k,
+            BlockData::from(vec![2; 4]),
+            VersionNumber::new(2),
+            StorageFault::Torn { keep: 2 },
+        ));
+        // New metadata, half-old data.
+        assert_eq!(s.version(k), VersionNumber::new(2));
+        assert_eq!(s.data(k).as_slice(), &[2, 2, 1, 1]);
+        assert!(!s.checksum_ok(k));
+        assert!(s.checksum_ok(BlockIndex::new(1)));
+
+        let reset = s.scrub();
+        assert_eq!(reset, vec![k]);
+        assert_eq!(s.version(k), VersionNumber::ZERO);
+        assert!(s.data(k).is_zeroed());
+        assert!(s.checksum_ok(k));
+        assert!(s.scrub().is_empty());
+    }
+
+    #[test]
+    fn stale_version_install_breaks_checksum() {
+        let mut s = VersionedStore::new(1, 4);
+        let k = BlockIndex::new(0);
+        s.install(k, BlockData::from(vec![1; 4]), VersionNumber::new(1));
+        assert!(s.install_faulty(
+            k,
+            BlockData::from(vec![9; 4]),
+            VersionNumber::new(2),
+            StorageFault::StaleVersion,
+        ));
+        // New data under the old version number.
+        assert_eq!(s.version(k), VersionNumber::new(1));
+        assert_eq!(s.data(k).as_slice(), &[9; 4]);
+        assert!(!s.checksum_ok(k));
+        s.scrub();
+        // A clean reinstall at the lost version now succeeds again.
+        assert!(s.install(k, BlockData::from(vec![9; 4]), VersionNumber::new(2)));
+        assert!(s.checksum_ok(k));
+    }
+
+    #[test]
+    fn faulty_install_respects_monotone_guard() {
+        let mut s = VersionedStore::new(1, 4);
+        let k = BlockIndex::new(0);
+        s.install(k, BlockData::from(vec![1; 4]), VersionNumber::new(3));
+        assert!(!s.install_faulty(
+            k,
+            BlockData::from(vec![9; 4]),
+            VersionNumber::new(3),
+            StorageFault::Torn { keep: 4 },
+        ));
+        assert!(s.checksum_ok(k));
+        assert_eq!(s.data(k).as_slice(), &[1; 4]);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Chaos suite: seeded fault schedules replayed on all three runtimes
+//! (`cargo test -q chaos` selects everything here).
+//!
+//! Each seed generates one script — workload plus per-exchange faults —
+//! and `chaos::run_seed` replays it on the deterministic, live-threaded
+//! and TCP clusters, checking the one-copy oracle on every read and
+//! byte-identical outcome parity across the runtimes. A failure prints the
+//! seed and the shrunk minimal schedule.
+
+use blockrep::core::chaos::{self, ChaosStep};
+use blockrep::core::fault::FaultKind;
+use blockrep::core::scenario::Action;
+use blockrep::core::{Cluster, ClusterOptions};
+use blockrep::types::{BlockData, BlockIndex, Scheme, SiteId, SiteState};
+
+fn sid(i: u32) -> SiteId {
+    SiteId::new(i)
+}
+
+fn blk(i: u64) -> BlockIndex {
+    BlockIndex::new(i)
+}
+
+/// Seeds per scheme; CI runs the same matrix via `blockrep chaos`.
+const SEEDS: u64 = 8;
+const STEPS: usize = 40;
+
+fn run_matrix(scheme: Scheme) {
+    for seed in 0..SEEDS {
+        if let Err(failure) = chaos::run_seed(seed, scheme, STEPS) {
+            panic!("{failure}");
+        }
+    }
+}
+
+#[test]
+fn chaos_voting_seed_matrix() {
+    run_matrix(Scheme::Voting);
+}
+
+#[test]
+fn chaos_available_copy_seed_matrix() {
+    run_matrix(Scheme::AvailableCopy);
+}
+
+#[test]
+fn chaos_naive_seed_matrix() {
+    run_matrix(Scheme::NaiveAvailableCopy);
+}
+
+/// The same seed must generate the same script, bit for bit — otherwise a
+/// printed failing seed is not replayable.
+#[test]
+fn chaos_generation_is_deterministic() {
+    for scheme in Scheme::ALL {
+        let a = chaos::generate(42, scheme, STEPS);
+        let b = chaos::generate(42, scheme, STEPS);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.cfg.num_sites(), b.cfg.num_sites());
+    }
+}
+
+/// A hand-written crash-mid-write schedule: the coordinator of a voting
+/// write crashes after reaching only part of its fan-out. Quorum reads must
+/// then settle on *one* of old/new — every surviving reader sees the same
+/// uniform value, never a byte-mix — which is exactly the §3.1 quorum
+/// intersection argument under an interrupted write.
+#[test]
+fn chaos_crash_mid_write_reads_old_or_new_never_a_mix() {
+    for crash_exchange in 0..8 {
+        let script = vec![
+            ChaosStep {
+                action: Action::Write {
+                    origin: sid(0),
+                    block: blk(0),
+                    fill: 0x11,
+                },
+                faults: vec![],
+            },
+            ChaosStep {
+                // The coordinator dies `crash_exchange` exchanges into the
+                // write of 0x22 (vote collection, then update fan-out).
+                action: Action::Write {
+                    origin: sid(0),
+                    block: blk(0),
+                    fill: 0x22,
+                },
+                faults: vec![(crash_exchange, FaultKind::CrashCoordinator)],
+            },
+            ChaosStep {
+                action: Action::Read {
+                    origin: sid(1),
+                    block: blk(0),
+                },
+                faults: vec![],
+            },
+            ChaosStep {
+                action: Action::Read {
+                    origin: sid(2),
+                    block: blk(0),
+                },
+                faults: vec![],
+            },
+        ];
+        let cfg = blockrep::types::DeviceConfig::builder(Scheme::Voting)
+            .sites(3)
+            .num_blocks(1)
+            .block_size(8)
+            .build()
+            .unwrap();
+        // The generic harness checks uniformity and history membership…
+        chaos::check(&cfg, &script).unwrap_or_else(|e| panic!("x{crash_exchange}: {e}"));
+        // …and on the deterministic runtime we additionally pin down that
+        // the two surviving quorum readers agree with each other.
+        let rt = Cluster::new(cfg, ClusterOptions::default());
+        let outcome = chaos::run_on(&rt, &script).unwrap();
+        let r1 = rt.read(sid(1), blk(0)).unwrap();
+        let r2 = rt.read(sid(2), blk(0)).unwrap();
+        assert_eq!(
+            r1.as_slice(),
+            r2.as_slice(),
+            "x{crash_exchange}: quorum readers disagree after crash-mid-write\n{}",
+            outcome.log.join("\n")
+        );
+        assert!(
+            r1.as_slice() == [0x11; 8] || r1.as_slice() == [0x22; 8],
+            "x{crash_exchange}: read returned neither old nor new: {:02x?}",
+            r1.as_slice()
+        );
+    }
+}
+
+/// §3 recovery contrast after a **total** failure: available copy is back
+/// as soon as the closure `C*(W_s)` has recovered — here the last two
+/// sites to fail — while naive available copy stays down until *every*
+/// site has returned.
+#[test]
+fn chaos_total_failure_ac_closure_recovers_before_nac() {
+    let build = |scheme| {
+        let cfg = blockrep::types::DeviceConfig::builder(scheme)
+            .sites(4)
+            .num_blocks(2)
+            .block_size(8)
+            .build()
+            .unwrap();
+        Cluster::new(cfg, ClusterOptions::default())
+    };
+    let drive = |c: &Cluster| {
+        c.write(sid(0), blk(0), BlockData::from(vec![1; 8]))
+            .unwrap();
+        c.fail_site(sid(3)); // survivors {0,1,2} refresh W
+        c.fail_site(sid(2)); // survivors {0,1} refresh W
+        c.write(sid(0), blk(0), BlockData::from(vec![2; 8]))
+            .unwrap();
+        c.fail_site(sid(1));
+        c.fail_site(sid(0)); // total failure; last writers were {0,1}
+    };
+
+    let ac = build(Scheme::AvailableCopy);
+    drive(&ac);
+    // Failure tracking shrank W to the survivors at each crash, so site 1's
+    // closure C*(W_1) = {0, 1} — site 1 alone must keep waiting…
+    ac.repair_site(sid(1));
+    assert!(
+        !ac.is_available(),
+        "site 1's closure includes the last site to fail — not yet"
+    );
+    assert_eq!(ac.site_state(sid(1)), SiteState::Comatose);
+    // …but site 0 was the *last* to fail: C*(W_0) = {0}, so it restarts
+    // service single-handedly, and the sweep then pulls site 1 back in.
+    ac.repair_site(sid(0));
+    assert!(
+        ac.is_available(),
+        "closure C*(W) recovered — available copy must be back"
+    );
+    assert_eq!(ac.read(sid(0), blk(0)).unwrap().as_slice(), &[2; 8]);
+    assert_eq!(ac.read(sid(1), blk(0)).unwrap().as_slice(), &[2; 8]);
+    // …while sites 2 and 3 are still down.
+    assert_eq!(ac.site_state(sid(2)), SiteState::Failed);
+    assert_eq!(ac.site_state(sid(3)), SiteState::Failed);
+
+    let nac = build(Scheme::NaiveAvailableCopy);
+    drive(&nac);
+    nac.repair_site(sid(0));
+    nac.repair_site(sid(1));
+    assert!(
+        !nac.is_available(),
+        "naive cannot certify the last site to fail — must stay comatose"
+    );
+    assert_eq!(nac.site_state(sid(0)), SiteState::Comatose);
+    nac.repair_site(sid(2));
+    assert!(!nac.is_available());
+    nac.repair_site(sid(3)); // the last absentee returns
+    assert!(nac.is_available());
+    assert_eq!(nac.read(sid(1), blk(0)).unwrap().as_slice(), &[2; 8]);
+}
+
+/// Storage faults surface in the schedule runner: a torn write crashes the
+/// target, the restart scrub wipes the broken block, and repair restores
+/// the current value — end to end over all three runtimes.
+#[test]
+fn chaos_torn_write_is_scrubbed_and_repaired() {
+    let cfg = blockrep::types::DeviceConfig::builder(Scheme::AvailableCopy)
+        .sites(3)
+        .num_blocks(1)
+        .block_size(8)
+        .build()
+        .unwrap();
+    let script = vec![
+        ChaosStep {
+            action: Action::Write {
+                origin: sid(0),
+                block: blk(0),
+                fill: 0x33,
+            },
+            faults: vec![],
+        },
+        ChaosStep {
+            // Exchange 1 is the write update to site 1: its disk tears
+            // half-way through the install and it crashes.
+            action: Action::Write {
+                origin: sid(0),
+                block: blk(0),
+                fill: 0x44,
+            },
+            faults: vec![(1, FaultKind::TornWrite { keep: 4 })],
+        },
+        ChaosStep {
+            action: Action::Repair(sid(1)),
+            faults: vec![],
+        },
+        ChaosStep {
+            action: Action::Read {
+                origin: sid(1),
+                block: blk(0),
+            },
+            faults: vec![],
+        },
+    ];
+    chaos::check(&cfg, &script).unwrap();
+    // Pin the endgame on the deterministic runtime: the repaired site holds
+    // the current value, not the torn bytes.
+    let rt = Cluster::new(cfg, ClusterOptions::default());
+    chaos::run_on(&rt, &script).unwrap();
+    assert_eq!(rt.read(sid(1), blk(0)).unwrap().as_slice(), &[0x44; 8]);
+}
