@@ -1,0 +1,100 @@
+//! Scatter fan-out modes head to head: sequential vs. parallel quorum
+//! assembly on the concurrent runtimes, with the deterministic cluster as
+//! the no-transport baseline. The §5 message counts are identical in both
+//! modes (`tests/runtime_parity.rs` proves it), so any difference here is
+//! pure round-trip overlap.
+
+use blockrep_core::{Cluster, ClusterOptions, LiveCluster, TcpCluster};
+use blockrep_net::{DeliveryMode, FanoutMode};
+use blockrep_types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn cfg(scheme: Scheme) -> DeviceConfig {
+    DeviceConfig::builder(scheme)
+        .sites(5)
+        .num_blocks(16)
+        .block_size(512)
+        .build()
+        .unwrap()
+}
+
+fn bench_live_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("live_fanout");
+    g.sample_size(30);
+    for scheme in [Scheme::Voting, Scheme::AvailableCopy] {
+        for fanout in FanoutMode::ALL {
+            let cluster = LiveCluster::spawn(cfg(scheme), DeliveryMode::Multicast);
+            cluster.set_fanout(fanout);
+            let data = BlockData::from(vec![7u8; 512]);
+            let origin = SiteId::new(0);
+            let k = BlockIndex::new(3);
+            cluster.write(origin, k, data.clone()).unwrap();
+            g.bench_function(format!("write_{}_{fanout}", scheme.label()), |b| {
+                b.iter(|| cluster.write(origin, k, data.clone()).unwrap())
+            });
+            g.bench_function(format!("read_{}_{fanout}", scheme.label()), |b| {
+                b.iter(|| black_box(cluster.read(origin, k).unwrap()))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_tcp_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_fanout");
+    g.sample_size(30);
+    for fanout in FanoutMode::ALL {
+        let cluster = TcpCluster::spawn(cfg(Scheme::Voting), DeliveryMode::Multicast).unwrap();
+        cluster.set_fanout(fanout);
+        let data = BlockData::from(vec![7u8; 512]);
+        let origin = SiteId::new(0);
+        let k = BlockIndex::new(3);
+        cluster.write(origin, k, data.clone()).unwrap();
+        g.bench_function(format!("write_voting_{fanout}"), |b| {
+            b.iter(|| cluster.write(origin, k, data.clone()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_early_quorum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("early_quorum");
+    g.sample_size(30);
+    for early in [false, true] {
+        let cluster = LiveCluster::spawn(cfg(Scheme::Voting), DeliveryMode::Multicast);
+        cluster.set_early_quorum(early);
+        let data = BlockData::from(vec![7u8; 512]);
+        let origin = SiteId::new(0);
+        let k = BlockIndex::new(3);
+        cluster.write(origin, k, data.clone()).unwrap();
+        let label = if early { "early" } else { "all" };
+        g.bench_function(format!("live_write_voting_{label}"), |b| {
+            b.iter(|| cluster.write(origin, k, data.clone()).unwrap())
+        });
+        cluster.quiesce();
+    }
+    g.finish();
+}
+
+fn bench_deterministic_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deterministic_baseline");
+    let cluster = Cluster::new(cfg(Scheme::Voting), ClusterOptions::default());
+    let data = BlockData::from(vec![7u8; 512]);
+    let origin = SiteId::new(0);
+    let k = BlockIndex::new(3);
+    cluster.write(origin, k, data.clone()).unwrap();
+    g.bench_function("write_voting", |b| {
+        b.iter(|| cluster.write(origin, k, data.clone()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_live_fanout,
+    bench_tcp_fanout,
+    bench_early_quorum,
+    bench_deterministic_baseline
+);
+criterion_main!(benches);

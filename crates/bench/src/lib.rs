@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod fsload;
+pub mod protocol_bench;
 pub mod report;
 
 use blockrep_analysis::sweep::Series;

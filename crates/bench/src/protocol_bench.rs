@@ -1,0 +1,776 @@
+//! Protocol throughput/latency benchmark over the three runtimes.
+//!
+//! `blockrep bench` (and the `scatter_fanout` Criterion bench) drive a
+//! fixed read or write workload against the deterministic, channel-threaded
+//! and TCP clusters in both fan-out modes, timing every operation with the
+//! observability layer's [`Histogram`]. The suite emits
+//! `BENCH_protocol.json` (schema [`SCHEMA`]) with ops/s and p50/p99 per
+//! case plus the parallel-over-sequential speedups the PR's acceptance
+//! criterion reads off.
+//!
+//! The §5 message counts are fan-out-invariant (see
+//! `tests/runtime_parity.rs`), so the numbers here are pure latency: the
+//! same transmissions, issued concurrently instead of one at a time.
+
+use blockrep_core::{Cluster, ClusterOptions, LiveCluster, TcpCluster};
+use blockrep_net::{DeliveryMode, FanoutMode};
+use blockrep_obs::metrics::Histogram;
+use blockrep_types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+use std::time::Instant;
+
+/// Schema identifier written into (and required from) the JSON report.
+pub const SCHEMA: &str = "blockrep.bench.protocol/v1";
+
+/// Parameters of one benchmark suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolBenchConfig {
+    /// Replication scheme under test.
+    pub scheme: Scheme,
+    /// Number of sites.
+    pub sites: usize,
+    /// Number of blocks on the replicated device.
+    pub blocks: u64,
+    /// Bytes per block.
+    pub block_size: usize,
+    /// Operations per case.
+    pub ops: u64,
+    /// Network cost model (does not affect latency, recorded for context).
+    pub mode: DeliveryMode,
+    /// Emulated one-way link delay in microseconds, applied by the live and
+    /// TCP runtimes before serving each remote request. This is what gives
+    /// the loopback transports a realistic per-message cost: a sequential
+    /// fan-out pays one delay per target, a parallel fan-out overlaps them.
+    /// The deterministic baseline has no transport and ignores it.
+    pub link_latency_us: u64,
+}
+
+impl ProtocolBenchConfig {
+    /// The acceptance-criterion default: a 5-site cluster, 1 KiB blocks.
+    pub fn new(scheme: Scheme) -> ProtocolBenchConfig {
+        ProtocolBenchConfig {
+            scheme,
+            sites: 5,
+            blocks: 16,
+            block_size: 1024,
+            ops: 400,
+            mode: DeliveryMode::Multicast,
+            // A LAN-order round trip; the 1987 Ethernet of the paper was
+            // slower still.
+            link_latency_us: 300,
+        }
+    }
+
+    fn device(&self) -> DeviceConfig {
+        DeviceConfig::builder(self.scheme)
+            .sites(self.sites)
+            .num_blocks(self.blocks)
+            .block_size(self.block_size)
+            .build()
+            .expect("benchmark device config")
+    }
+}
+
+/// Which harness carries the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchRuntime {
+    /// Direct state access ([`Cluster`]): the no-transport baseline.
+    Deterministic,
+    /// Thread-per-site channels ([`LiveCluster`]).
+    Live,
+    /// Framed loopback TCP ([`TcpCluster`]).
+    Tcp,
+}
+
+impl BenchRuntime {
+    /// All runtimes, baseline first.
+    pub const ALL: [BenchRuntime; 3] = [
+        BenchRuntime::Deterministic,
+        BenchRuntime::Live,
+        BenchRuntime::Tcp,
+    ];
+
+    /// Stable label used in the JSON report.
+    pub const fn label(self) -> &'static str {
+        match self {
+            BenchRuntime::Deterministic => "deterministic",
+            BenchRuntime::Live => "live",
+            BenchRuntime::Tcp => "tcp",
+        }
+    }
+}
+
+/// The measured operation mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Quorum/local reads round-robin over blocks and origins.
+    Read,
+    /// Full-device writes round-robin over blocks and origins.
+    Write,
+}
+
+impl Workload {
+    /// Both workloads.
+    pub const ALL: [Workload; 2] = [Workload::Read, Workload::Write];
+
+    /// Stable label used in the JSON report.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Workload::Read => "read",
+            Workload::Write => "write",
+        }
+    }
+}
+
+/// One (runtime, fan-out, workload) measurement.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Runtime label (`deterministic` / `live` / `tcp`).
+    pub runtime: &'static str,
+    /// Fan-out label (`sequential` / `parallel`).
+    pub fanout: &'static str,
+    /// Workload label (`read` / `write`).
+    pub workload: &'static str,
+    /// Operations timed.
+    pub ops: u64,
+    /// Throughput over the timed section.
+    pub ops_per_sec: f64,
+    /// Median per-op latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-op latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Parallel-over-sequential throughput ratio for one (runtime, workload).
+#[derive(Debug, Clone)]
+pub struct Speedup {
+    /// Runtime label.
+    pub runtime: &'static str,
+    /// Workload label.
+    pub workload: &'static str,
+    /// `parallel.ops_per_sec / sequential.ops_per_sec`.
+    pub ratio: f64,
+}
+
+/// The full suite result: every case plus the derived speedups.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The configuration that produced this report.
+    pub config: ProtocolBenchConfig,
+    /// All measured cases.
+    pub results: Vec<CaseResult>,
+    /// Parallel-over-sequential ratios on the concurrent runtimes.
+    pub speedups: Vec<Speedup>,
+}
+
+/// Uniform driver interface over the three runtimes.
+trait BenchTarget {
+    fn read(&self, origin: SiteId, k: BlockIndex) -> bool;
+    fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> bool;
+}
+
+impl BenchTarget for Cluster {
+    fn read(&self, origin: SiteId, k: BlockIndex) -> bool {
+        Cluster::read(self, origin, k).is_ok()
+    }
+    fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> bool {
+        Cluster::write(self, origin, k, data).is_ok()
+    }
+}
+
+impl BenchTarget for LiveCluster {
+    fn read(&self, origin: SiteId, k: BlockIndex) -> bool {
+        LiveCluster::read(self, origin, k).is_ok()
+    }
+    fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> bool {
+        LiveCluster::write(self, origin, k, data).is_ok()
+    }
+}
+
+impl BenchTarget for TcpCluster {
+    fn read(&self, origin: SiteId, k: BlockIndex) -> bool {
+        TcpCluster::read(self, origin, k).is_ok()
+    }
+    fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> bool {
+        TcpCluster::write(self, origin, k, data).is_ok()
+    }
+}
+
+/// Runs `cfg.ops` operations of `workload` against `target`, timing each
+/// into a latency histogram. Returns `(elapsed_secs, histogram)`.
+fn drive(
+    cfg: &ProtocolBenchConfig,
+    target: &dyn BenchTarget,
+    workload: Workload,
+) -> (f64, Histogram) {
+    let fill = |i: u64| BlockData::from(vec![(i % 251) as u8; cfg.block_size]);
+    // Warm-up: populate every block so reads always hit written data and
+    // the first timed op pays no cold-start cost.
+    for k in 0..cfg.blocks {
+        assert!(
+            target.write(SiteId::new(0), BlockIndex::new(k), fill(k)),
+            "warm-up write failed"
+        );
+    }
+    let latencies = Histogram::new();
+    let started = Instant::now();
+    for i in 0..cfg.ops {
+        let origin = SiteId::new((i % cfg.sites as u64) as u32);
+        let k = BlockIndex::new(i % cfg.blocks);
+        let timer = latencies.timer();
+        let ok = match workload {
+            Workload::Read => target.read(origin, k),
+            Workload::Write => target.write(origin, k, fill(i)),
+        };
+        drop(timer);
+        assert!(ok, "benchmark op {i} failed");
+    }
+    (started.elapsed().as_secs_f64(), latencies)
+}
+
+/// Measures one (runtime, fan-out, workload) case.
+pub fn run_case(
+    cfg: &ProtocolBenchConfig,
+    runtime: BenchRuntime,
+    fanout: FanoutMode,
+    workload: Workload,
+) -> CaseResult {
+    let (elapsed, latencies) = match runtime {
+        BenchRuntime::Deterministic => {
+            // The deterministic runtime has no concurrency to toggle; both
+            // fan-out labels measure the same sequential loop and serve as
+            // the no-transport baseline.
+            let c = Cluster::new(cfg.device(), ClusterOptions { mode: cfg.mode });
+            drive(cfg, &c, workload)
+        }
+        BenchRuntime::Live => {
+            let c = LiveCluster::spawn(cfg.device(), cfg.mode);
+            c.set_fanout(fanout);
+            c.set_link_latency(std::time::Duration::from_micros(cfg.link_latency_us));
+            drive(cfg, &c, workload)
+        }
+        BenchRuntime::Tcp => {
+            let c = TcpCluster::spawn(cfg.device(), cfg.mode).expect("tcp spawn");
+            c.set_fanout(fanout);
+            c.set_link_latency(std::time::Duration::from_micros(cfg.link_latency_us));
+            drive(cfg, &c, workload)
+        }
+    };
+    let summary = latencies.summary();
+    CaseResult {
+        runtime: runtime.label(),
+        fanout: fanout.label(),
+        workload: workload.label(),
+        ops: cfg.ops,
+        ops_per_sec: if elapsed > 0.0 {
+            cfg.ops as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_us: summary.p50 / 1_000.0,
+        p99_us: summary.p99 / 1_000.0,
+    }
+}
+
+/// Runs the whole matrix: three runtimes × two fan-out modes × two
+/// workloads (the deterministic baseline runs once per workload).
+pub fn run_suite(cfg: &ProtocolBenchConfig) -> BenchReport {
+    let mut results = Vec::new();
+    for workload in Workload::ALL {
+        results.push(run_case(
+            cfg,
+            BenchRuntime::Deterministic,
+            FanoutMode::Sequential,
+            workload,
+        ));
+        for runtime in [BenchRuntime::Live, BenchRuntime::Tcp] {
+            for fanout in FanoutMode::ALL {
+                results.push(run_case(cfg, runtime, fanout, workload));
+            }
+        }
+    }
+    let speedups = compute_speedups(&results);
+    BenchReport {
+        config: *cfg,
+        results,
+        speedups,
+    }
+}
+
+/// Derives parallel-over-sequential ratios from a result set.
+pub fn compute_speedups(results: &[CaseResult]) -> Vec<Speedup> {
+    let find = |runtime: &str, fanout: &str, workload: &str| {
+        results
+            .iter()
+            .find(|r| r.runtime == runtime && r.fanout == fanout && r.workload == workload)
+    };
+    let mut speedups = Vec::new();
+    for runtime in ["live", "tcp"] {
+        for workload in ["read", "write"] {
+            if let (Some(seq), Some(par)) = (
+                find(runtime, "sequential", workload),
+                find(runtime, "parallel", workload),
+            ) {
+                if seq.ops_per_sec > 0.0 {
+                    speedups.push(Speedup {
+                        runtime: par.runtime,
+                        workload: par.workload,
+                        ratio: par.ops_per_sec / seq.ops_per_sec,
+                    });
+                }
+            }
+        }
+    }
+    speedups
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+impl BenchReport {
+    /// The report as `blockrep.bench.protocol/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"scheme\": \"{}\",\n", self.config.scheme));
+        out.push_str(&format!("  \"sites\": {},\n", self.config.sites));
+        out.push_str(&format!("  \"blocks\": {},\n", self.config.blocks));
+        out.push_str(&format!("  \"block_size\": {},\n", self.config.block_size));
+        out.push_str(&format!("  \"net\": \"{}\",\n", self.config.mode));
+        out.push_str(&format!(
+            "  \"link_latency_us\": {},\n",
+            self.config.link_latency_us
+        ));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"runtime\": \"{}\", \"fanout\": \"{}\", \"workload\": \"{}\", \
+                 \"ops\": {}, \"ops_per_sec\": {}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+                r.runtime,
+                r.fanout,
+                r.workload,
+                r.ops,
+                json_f64(r.ops_per_sec),
+                json_f64(r.p50_us),
+                json_f64(r.p99_us),
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"speedups\": [\n");
+        for (i, s) in self.speedups.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"runtime\": \"{}\", \"workload\": \"{}\", \"parallel_over_sequential\": {}}}{}\n",
+                s.runtime,
+                s.workload,
+                json_f64(s.ratio),
+                if i + 1 < self.speedups.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// A human-readable table of the same numbers.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| runtime | fanout | workload | ops/s | p50 µs | p99 µs |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for r in &self.results {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.0} | {:.1} | {:.1} |\n",
+                r.runtime, r.fanout, r.workload, r.ops_per_sec, r.p50_us, r.p99_us
+            ));
+        }
+        for s in &self.speedups {
+            out.push_str(&format!(
+                "{} {}: parallel is {:.2}x sequential\n",
+                s.runtime, s.workload, s.ratio
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation (the CI smoke job's `--check` path).
+//
+// The workspace has no JSON dependency, so validation uses a minimal
+// recursive-descent parser — enough to check the emitted report (and any
+// hand-edited variant) for structural and type errors.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        other => {
+                            return Err(format!(
+                                "unsupported escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar verbatim.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let c = rest.chars().next().ok_or("truncated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// A human-readable message with the byte offset of the first syntax error.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Validates a `blockrep.bench.protocol/v1` report.
+///
+/// # Errors
+///
+/// The first structural problem found: syntax error, wrong schema tag,
+/// missing/ill-typed field, or an empty result set.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    for key in ["scheme", "net"] {
+        doc.get(key)
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("missing string field {key:?}"))?;
+    }
+    for key in ["sites", "blocks", "block_size", "link_latency_us"] {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("missing numeric field {key:?}"))?;
+    }
+    let results = doc
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"results\" array")?;
+    if results.is_empty() {
+        return Err("\"results\" is empty".into());
+    }
+    for (i, r) in results.iter().enumerate() {
+        for key in ["runtime", "fanout", "workload"] {
+            r.get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or(format!("results[{i}]: missing string field {key:?}"))?;
+        }
+        for key in ["ops", "ops_per_sec", "p50_us", "p99_us"] {
+            let v = r
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("results[{i}]: missing numeric field {key:?}"))?;
+            if v < 0.0 {
+                return Err(format!("results[{i}].{key} is negative"));
+            }
+        }
+    }
+    let speedups = doc
+        .get("speedups")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"speedups\" array")?;
+    for (i, s) in speedups.iter().enumerate() {
+        for key in ["runtime", "workload"] {
+            s.get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or(format!("speedups[{i}]: missing string field {key:?}"))?;
+        }
+        s.get("parallel_over_sequential")
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!(
+                "speedups[{i}]: missing numeric field \"parallel_over_sequential\""
+            ))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(scheme: Scheme) -> ProtocolBenchConfig {
+        ProtocolBenchConfig {
+            scheme,
+            sites: 3,
+            blocks: 2,
+            block_size: 16,
+            ops: 6,
+            mode: DeliveryMode::Multicast,
+            link_latency_us: 0,
+        }
+    }
+
+    #[test]
+    fn suite_emits_valid_json_for_every_scheme() {
+        for scheme in Scheme::ALL {
+            let report = run_suite(&tiny(scheme));
+            // 2 workloads × (1 deterministic + 2 runtimes × 2 fanouts).
+            assert_eq!(report.results.len(), 10);
+            // live/tcp × read/write.
+            assert_eq!(report.speedups.len(), 4);
+            validate(&report.to_json()).unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_structural_damage() {
+        let good = run_suite(&tiny(Scheme::Voting)).to_json();
+        assert!(validate(&good.replace(SCHEMA, "other/v0")).is_err());
+        assert!(validate(&good.replace("\"ops_per_sec\"", "\"oops\"")).is_err());
+        assert!(validate("{\"schema\": \"blockrep.bench.protocol/v1\"}").is_err());
+        assert!(validate("not json").is_err());
+        assert!(validate(&format!("{good} trailing")).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, "x\"y\n"], "b": {"c": null, "d": true}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1],
+            JsonValue::Number(-25.0)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2],
+            JsonValue::String("x\"y\n".into())
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&JsonValue::Null));
+        assert!(parse_json(r#"{"a": }"#).is_err());
+        assert!(parse_json(r#"[1, 2"#).is_err());
+    }
+}

@@ -26,6 +26,12 @@ usage:
   blockrep chaos [flags]                   seeded fault-injection runs on all
       --seed N --seeds K --steps L         three runtimes; fails with the
       --scheme mcv|ac|nac                  shrunk schedule and its seed
+  blockrep bench [flags]                   protocol throughput/latency suite
+      --scheme S --sites N --blocks B      over all runtimes and fan-out
+      --block-size Z --ops K               modes; writes BENCH_protocol.json
+      --net multicast|unicast --out PATH   with --out
+      --latency-us D                       emulated one-way link delay
+  blockrep bench --check PATH              validate an emitted report
   blockrep mkfs <image-file> [flags]       format a file-backed device
       --blocks N --block-size B
   blockrep fsck <image-file> [flags]       consistency-check an image
@@ -74,6 +80,7 @@ fn dispatch(parsed: &Parsed) -> Result<(), UsageError> {
         Some("fig") => run_fig(parsed),
         Some("simulate") => run_simulate(parsed),
         Some("chaos") => run_chaos(parsed),
+        Some("bench") => run_bench(parsed),
         Some("shell") => run_shell(parsed),
         Some("mkfs") => run_mkfs(parsed),
         Some("fsck") => run_fsck(parsed),
@@ -213,6 +220,40 @@ fn run_chaos(parsed: &Parsed) -> Result<(), UsageError> {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+fn run_bench(parsed: &Parsed) -> Result<(), UsageError> {
+    use blockrep_bench::protocol_bench::{self, ProtocolBenchConfig};
+    if let Some(path) = parsed.flag("check") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        protocol_bench::validate(&text)
+            .map_err(|e| UsageError(format!("bench: {path}: invalid report: {e}")))?;
+        println!("{path}: valid {}", protocol_bench::SCHEMA);
+        return Ok(());
+    }
+    let mut cfg = ProtocolBenchConfig::new(parsed.flag_scheme("scheme", Scheme::Voting)?);
+    cfg.sites = parsed.flag_usize("sites", cfg.sites)?;
+    cfg.blocks = parsed.flag_u64("blocks", cfg.blocks)?;
+    cfg.block_size = parsed.flag_usize("block-size", cfg.block_size)?;
+    cfg.ops = parsed.flag_u64("ops", cfg.ops)?;
+    cfg.mode = parsed.flag_mode("net", cfg.mode)?;
+    cfg.link_latency_us = parsed.flag_u64("latency-us", cfg.link_latency_us)?;
+    println!(
+        "bench: scheme {}, n = {}, {} blocks x {} B, {} ops/case, {}, link delay {} us",
+        cfg.scheme, cfg.sites, cfg.blocks, cfg.block_size, cfg.ops, cfg.mode, cfg.link_latency_us
+    );
+    let report = protocol_bench::run_suite(&cfg);
+    print!("{}", report.to_table());
+    if let Some(path) = parsed.flag("out") {
+        let json = report.to_json();
+        // Never emit a report the --check path would reject.
+        protocol_bench::validate(&json)
+            .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
+        std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        println!("wrote {path}");
     }
     Ok(())
 }
@@ -362,6 +403,37 @@ mod tests {
         // Exercises the mcv alias and one short seed on all three runtimes.
         let p = parsed(&["chaos", "--seed", "1", "--steps", "8", "--scheme", "mcv"]);
         assert!(run(&p).is_ok());
+    }
+
+    #[test]
+    fn bench_writes_and_checks_a_report() -> Result<(), UsageError> {
+        let mut path = std::env::temp_dir();
+        path.push(format!("blockrep-cli-bench-{}.json", std::process::id()));
+        let path_str = path
+            .to_str()
+            .ok_or_else(|| UsageError("temp path is not UTF-8".into()))?
+            .to_string();
+        run(&parsed(&[
+            "bench",
+            "--scheme",
+            "voting",
+            "--sites",
+            "3",
+            "--blocks",
+            "2",
+            "--block-size",
+            "32",
+            "--ops",
+            "4",
+            "--out",
+            &path_str,
+        ]))?;
+        run(&parsed(&["bench", "--check", &path_str]))?;
+        // Damage the report: --check must fail.
+        std::fs::write(&path, "{\"schema\": \"wrong\"}")?;
+        assert!(run(&parsed(&["bench", "--check", &path_str])).is_err());
+        std::fs::remove_file(path)?;
+        Ok(())
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! (Definition 3.2) has recovered — the closure necessarily contains the
 //! last site(s) to fail, hence a most-current copy.
 
-use crate::backend::{self, Backend};
+use crate::backend::{self, Backend, Gather, ScatterReply, ScatterRequest, ScatterSpec};
 use crate::obs_hooks;
 use blockrep_net::{MsgKind, OpClass};
 use blockrep_obs::event;
@@ -104,14 +104,21 @@ pub(crate) fn write<B: Backend + ?Sized>(
     let others = backend::others(cfg, origin);
     backend::charge_fanout(b, OpClass::Write, MsgKind::WriteUpdate, others.len());
     let mut recipients: BTreeSet<SiteId> = BTreeSet::from([origin]);
-    for t in others {
-        if b.probe_state(origin, t) == Some(SiteState::Available)
-            && b.apply_write(origin, t, k, &data, v_new)
-        {
+    // Conventional available copy collects an acknowledgement from every
+    // available recipient; the naive variant skips them (its §5 advantage).
+    let spec = ScatterSpec {
+        op: OpClass::Write,
+        reply_charge: (!naive).then_some(MsgKind::WriteAck),
+        gather: Gather::All,
+    };
+    let update = ScatterRequest::InstallIfAvailable {
+        k,
+        v: v_new,
+        data: data.clone(),
+    };
+    for (t, reply) in b.scatter(spec, origin, &others, &update) {
+        if reply == Some(ScatterReply::Delivered) {
             recipients.insert(t);
-            if !naive {
-                b.counter().add(OpClass::Write, MsgKind::WriteAck, 1);
-            }
         }
     }
     b.apply_write(origin, origin, k, &data, v_new);
@@ -170,12 +177,12 @@ pub(crate) fn begin_recovery<B: Backend + ?Sized>(b: &B, s: SiteId) {
     event!("recovery.begin", site = s.as_u32());
     let others = backend::others(b.config(), s);
     backend::charge_fanout(b, OpClass::Recovery, MsgKind::RecoveryQuery, others.len());
-    for t in others {
-        if b.probe_state(s, t).is_some_and(|st| st.is_operational()) {
-            b.counter()
-                .add(OpClass::Recovery, MsgKind::RecoveryReply, 1);
-        }
-    }
+    let spec = ScatterSpec {
+        op: OpClass::Recovery,
+        reply_charge: Some(MsgKind::RecoveryReply),
+        gather: Gather::All,
+    };
+    b.scatter(spec, s, &others, &ScatterRequest::ProbeState);
 }
 
 /// Computes whether the closure `C*(W_c)` has fully recovered, and if so
@@ -223,12 +230,28 @@ pub(crate) fn most_current<B: Backend + ?Sized>(
     observer: SiteId,
     candidates: &BTreeSet<SiteId>,
 ) -> Option<SiteId> {
+    let remote: Vec<SiteId> = candidates
+        .iter()
+        .copied()
+        .filter(|&u| u != observer)
+        .collect();
+    // Repair-source selection is not a §5 transmission (the paper charges
+    // only the final vector + blocks exchange): no reply charge.
+    let spec = ScatterSpec {
+        op: OpClass::Recovery,
+        reply_charge: None,
+        gather: Gather::All,
+    };
+    let fetched = b.scatter(spec, observer, &remote, &ScatterRequest::VersionVector);
     let mut best: Option<(u64, SiteId)> = None;
     for &u in candidates {
         let vv = if u == observer {
             b.version_vector(observer, observer)
         } else {
-            b.version_vector(observer, u)
+            match fetched.iter().find(|&&(t, _)| t == u) {
+                Some((_, Some(ScatterReply::Vector(vv)))) => Some(vv.clone()),
+                _ => None,
+            }
         }?;
         let total = vv.total();
         // Ties broken toward the smaller site id for determinism.

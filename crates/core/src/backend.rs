@@ -29,6 +29,87 @@ use std::collections::BTreeSet;
 /// the recovering site is missing.
 pub type RepairBlocks = Vec<(BlockIndex, VersionNumber, BlockData)>;
 
+/// One batched fan-out request: the question every target of a
+/// [`Backend::scatter`] is asked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScatterRequest {
+    /// Request each target's vote — its version number for the block (MCV
+    /// vote collection).
+    Vote(BlockIndex),
+    /// Probe each target's state (recovery queries). Only operational
+    /// targets reply.
+    ProbeState,
+    /// Install a block unconditionally (MCV write installation).
+    Install {
+        /// The block being written.
+        k: BlockIndex,
+        /// The new version number.
+        v: VersionNumber,
+        /// The new contents.
+        data: BlockData,
+    },
+    /// Probe each target and install only on the available ones (the AC/NAC
+    /// write fan-out: two exchanges per available target, one per
+    /// unavailable target).
+    InstallIfAvailable {
+        /// The block being written.
+        k: BlockIndex,
+        /// The new version number.
+        v: VersionNumber,
+        /// The new contents.
+        data: BlockData,
+    },
+    /// Request each target's version vector (recovery source selection).
+    VersionVector,
+}
+
+/// One target's answer to a [`ScatterRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScatterReply {
+    /// A vote.
+    Version(VersionNumber),
+    /// An operational state.
+    State(SiteState),
+    /// The install was delivered.
+    Delivered,
+    /// A version vector.
+    Vector(VersionVector),
+}
+
+/// How much of a scatter the coordinator must wait for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gather {
+    /// Wait for every target to answer (or fail).
+    All,
+    /// Return once the gathered targets' voting weight (in target order)
+    /// reaches `threshold`. Stragglers are still drained — and their replies
+    /// still charged to the [`TrafficCounter`] — but come back as `None`, so
+    /// §5 accounting is identical to [`Gather::All`]; only the caller's
+    /// blocking time shrinks.
+    EarlyQuorum {
+        /// Voting weight the gathered replies must reach.
+        threshold: u64,
+    },
+}
+
+/// Replies from one scatter, in target order. `None` marks a target that
+/// did not answer (failed/unreachable) or whose reply was ceded to the
+/// early-quorum drain.
+pub type ScatterReplies = Vec<(SiteId, Option<ScatterReply>)>;
+
+/// Accounting and gathering context of one scatter — plumbing shared by the
+/// runtime overrides.
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterSpec {
+    /// The operation this fan-out belongs to.
+    pub op: OpClass,
+    /// Message kind charged per gathered reply (`None` for one-way
+    /// installs, whose acknowledgements the paper does not count).
+    pub reply_charge: Option<MsgKind>,
+    /// Gathering policy.
+    pub gather: Gather,
+}
+
 /// A version vector paired with the repair blocks it implies — Figure 5's
 /// `(v', {blocks})` response.
 pub type RepairPayload = (VersionVector, RepairBlocks);
@@ -124,6 +205,112 @@ pub trait Backend: Send + Sync {
     /// checksum-broken blocks to the freshly formatted state. Returns the
     /// number of blocks reset.
     fn scrub_local(&self, s: SiteId) -> usize;
+
+    /// Whether MCV vote collection may stop gathering at quorum weight
+    /// ([`Gather::EarlyQuorum`]). Opt-in per runtime; off by default.
+    fn early_quorum(&self) -> bool {
+        false
+    }
+
+    /// Scatter-gather: delivers `req` to every target (ascending site
+    /// order) and gathers their replies.
+    ///
+    /// The default implementation is strictly sequential and performs, per
+    /// target, exactly the primitive exchanges the historical per-target
+    /// loops did. That pins down two contracts the concurrent overrides in
+    /// [`LiveCluster`](crate::LiveCluster) and [`TcpCluster`](crate::TcpCluster)
+    /// must preserve:
+    ///
+    /// * **§5 accounting** — one `spec.reply_charge` transmission per
+    ///   gathered reply, regardless of fan-out concurrency;
+    /// * **chaos addressing** — [`FaultyBackend`](crate::fault::FaultyBackend)
+    ///   deliberately does *not* override this method, so under fault
+    ///   injection every runtime falls back to this sequential body and the
+    ///   `(op, exchange-index)` coordinates of a [`FaultPlan`](crate::fault::FaultPlan)
+    ///   are pinned in target order at scatter time.
+    fn scatter(
+        &self,
+        spec: ScatterSpec,
+        origin: SiteId,
+        targets: &[SiteId],
+        req: &ScatterRequest,
+    ) -> ScatterReplies {
+        scatter_sequential(self, spec, origin, targets, req)
+    }
+}
+
+/// One remote exchange of a scatter, exactly as the historical sequential
+/// loops performed it.
+fn exchange_once<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    t: SiteId,
+    req: &ScatterRequest,
+) -> Option<ScatterReply> {
+    match req {
+        ScatterRequest::Vote(k) => b.vote(origin, t, *k).map(ScatterReply::Version),
+        ScatterRequest::ProbeState => b
+            .probe_state(origin, t)
+            .filter(|st| st.is_operational())
+            .map(ScatterReply::State),
+        ScatterRequest::Install { k, v, data } => b
+            .apply_write(origin, t, *k, data, *v)
+            .then_some(ScatterReply::Delivered),
+        ScatterRequest::InstallIfAvailable { k, v, data } => (b.probe_state(origin, t)
+            == Some(SiteState::Available)
+            && b.apply_write(origin, t, *k, data, *v))
+        .then_some(ScatterReply::Delivered),
+        ScatterRequest::VersionVector => b.version_vector(origin, t).map(ScatterReply::Vector),
+    }
+}
+
+/// The default sequential scatter body, also the fallback the concurrent
+/// runtimes use when their fan-out mode is
+/// [`FanoutMode::Sequential`](blockrep_net::FanoutMode). Every exchange is
+/// performed (early quorum never skips a straggler) and every gathered
+/// reply charged; the result is then truncated per `spec.gather`.
+pub fn scatter_sequential<B: Backend + ?Sized>(
+    b: &B,
+    spec: ScatterSpec,
+    origin: SiteId,
+    targets: &[SiteId],
+    req: &ScatterRequest,
+) -> ScatterReplies {
+    crate::obs_hooks::record(crate::obs_hooks::scatter_batch, targets.len() as u64);
+    let mut replies: ScatterReplies = Vec::with_capacity(targets.len());
+    for &t in targets {
+        let reply = exchange_once(b, origin, t, req);
+        if reply.is_some() {
+            if let Some(kind) = spec.reply_charge {
+                b.counter().add(spec.op, kind, 1);
+            }
+        }
+        replies.push((t, reply));
+    }
+    truncate_to_threshold(b.config(), &mut replies, spec.gather);
+    replies
+}
+
+/// Applies the early-quorum cutoff: once the gathered weight (scanning in
+/// target order) reaches the threshold, the remaining entries become `None`
+/// — their replies were drained and charged but the caller must not build
+/// on them, so results match what a truly early-returning gather sees.
+pub(crate) fn truncate_to_threshold(
+    cfg: &DeviceConfig,
+    replies: &mut ScatterReplies,
+    gather: Gather,
+) {
+    let Gather::EarlyQuorum { threshold } = gather else {
+        return;
+    };
+    let mut gathered = 0u64;
+    for (t, reply) in replies.iter_mut() {
+        if gathered >= threshold {
+            *reply = None;
+        } else if reply.is_some() {
+            gathered += cfg.weight(*t).as_u64();
+        }
+    }
 }
 
 /// Every site except `from`, in ascending order — the address list of a
@@ -164,7 +351,7 @@ pub fn available_reachable<B: Backend + ?Sized>(b: &B, from: SiteId) -> Vec<Site
 
 /// Total voting weight of a set of sites.
 pub fn weight_of(cfg: &DeviceConfig, sites: &[SiteId]) -> u64 {
-    sites.iter().map(|&s| cfg.weight(s).value() as u64).sum()
+    sites.iter().map(|&s| cfg.weight(s).as_u64()).sum()
 }
 
 /// Charges the delivery-mode fan-out cost of one logical message addressed
@@ -198,5 +385,57 @@ mod tests {
         // weights are 3,2,2,2
         assert_eq!(weight_of(&cfg, &[SiteId::new(0), SiteId::new(3)]), 5);
         assert_eq!(weight_of(&cfg, &[]), 0);
+    }
+
+    fn replies(entries: &[(u32, Option<u64>)]) -> ScatterReplies {
+        entries
+            .iter()
+            .map(|&(s, v)| {
+                (
+                    SiteId::new(s),
+                    v.map(|v| ScatterReply::Version(VersionNumber::new(v))),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gather_all_truncates_nothing() {
+        let cfg = DeviceConfig::builder(Scheme::Voting)
+            .sites(4)
+            .build()
+            .unwrap();
+        let mut r = replies(&[(1, Some(4)), (2, None), (3, Some(2))]);
+        let full = r.clone();
+        truncate_to_threshold(&cfg, &mut r, Gather::All);
+        assert_eq!(r, full);
+    }
+
+    #[test]
+    fn early_quorum_blanks_entries_past_the_threshold() {
+        let cfg = DeviceConfig::builder(Scheme::Voting)
+            .sites(4)
+            .build()
+            .unwrap();
+        // weights 3,2,2,2; gathering from sites 1..3 (weight 2 each).
+        let mut r = replies(&[(1, Some(4)), (2, Some(4)), (3, Some(2))]);
+        truncate_to_threshold(&cfg, &mut r, Gather::EarlyQuorum { threshold: 4 });
+        assert_eq!(
+            r,
+            replies(&[(1, Some(4)), (2, Some(4)), (3, None)]),
+            "site 3's reply is ceded to the drain once weight 4 is gathered"
+        );
+    }
+
+    #[test]
+    fn early_quorum_skips_non_answers_when_counting_weight() {
+        let cfg = DeviceConfig::builder(Scheme::Voting)
+            .sites(4)
+            .build()
+            .unwrap();
+        let mut r = replies(&[(1, None), (2, Some(4)), (3, Some(2))]);
+        truncate_to_threshold(&cfg, &mut r, Gather::EarlyQuorum { threshold: 4 });
+        // Site 1 never answered, so site 3's weight is still needed.
+        assert_eq!(r, replies(&[(1, None), (2, Some(4)), (3, Some(2))]));
     }
 }

@@ -9,6 +9,7 @@ use blockrep_types::{
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Runtime options for a cluster.
 #[derive(Debug, Clone, Copy, Default)]
@@ -61,6 +62,7 @@ pub struct Cluster {
     topology: RwLock<Topology>,
     counter: TrafficCounter,
     mode: DeliveryMode,
+    early_quorum: AtomicBool,
 }
 
 impl Cluster {
@@ -73,6 +75,7 @@ impl Cluster {
             replicas: Mutex::new(replicas),
             counter: TrafficCounter::new(),
             mode: options.mode,
+            early_quorum: AtomicBool::new(false),
             cfg,
         }
     }
@@ -88,7 +91,17 @@ impl Cluster {
             topology: RwLock::new(self.topology.read().clone()),
             counter: TrafficCounter::new(),
             mode: self.mode,
+            early_quorum: AtomicBool::new(self.early_quorum.load(Ordering::Relaxed)),
         }
+    }
+
+    /// Opts MCV vote collection in (or out) of early-quorum termination. On
+    /// this deterministic runtime the exchanges stay sequential — stragglers
+    /// are still polled and charged — so this toggles only which voters the
+    /// coordinator *builds on*, byte-identical to what the concurrent
+    /// runtimes return.
+    pub fn set_early_quorum(&self, on: bool) {
+        self.early_quorum.store(on, Ordering::Relaxed);
     }
 
     /// The device configuration.
@@ -376,6 +389,10 @@ impl Backend for Cluster {
 
     fn scrub_local(&self, s: SiteId) -> usize {
         self.replicas.lock()[s.index()].scrub().len()
+    }
+
+    fn early_quorum(&self) -> bool {
+        self.early_quorum.load(Ordering::Relaxed)
     }
 }
 

@@ -10,6 +10,17 @@
 //! remote exchanges and fires the scheduled faults; local actions
 //! (`from == to`) are never counted or intercepted, so the wrapper adds no
 //! behavioural difference when the plan is empty.
+//!
+//! **Concurrency and exchange pinning.** The live runtimes fan protocol
+//! scatters out concurrently ([`Backend::scatter`]), which would make
+//! completion order — and hence any completion-time numbering —
+//! nondeterministic. Exchange indices are therefore pinned at *scatter
+//! time*: `FaultyBackend` deliberately does **not** override `scatter`, so
+//! every fan-out routed through it falls back to the default sequential
+//! body, which performs the per-target exchanges in ascending target order.
+//! Under fault injection, `(op, exchange)` coordinates mean the same
+//! protocol step on all three runtimes, concurrency notwithstanding (see
+//! `scatter_keeps_exchange_indices_pinned_on_all_runtimes` below).
 
 use crate::backend::{Backend, RepairBlocks, RepairPayload};
 use crate::obs_hooks;
@@ -649,6 +660,60 @@ mod tests {
         fb.end_op();
         // …then delivered.
         assert_eq!(c.data_of(sid(1), BlockIndex::new(0)).as_slice(), &[3; 4]);
+    }
+
+    /// MCV write at 4 sites with a drop on exchange 1 (s2's vote): votes to
+    /// s1/s2/s3 are exchanges 0/1/2, so s2 never joins the voter set and is
+    /// skipped by the install fan-out.
+    fn run_write_with_dropped_vote<B: Backend>(
+        inner: &B,
+    ) -> (Vec<u64>, blockrep_net::TrafficSnapshot, Vec<FaultSpec>) {
+        let plan: FaultPlan = [FaultSpec {
+            op: 0,
+            exchange: 1,
+            kind: FaultKind::DropMessage,
+        }]
+        .into_iter()
+        .collect();
+        let fb = FaultyBackend::new(inner, &plan);
+        fb.begin_op(0);
+        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![6; 4]))
+            .unwrap();
+        let report = fb.end_op();
+        let versions = (0..4)
+            .map(|i| {
+                inner
+                    .vote(sid(i), sid(i), BlockIndex::new(0))
+                    .expect("local version lookup")
+                    .as_u64()
+            })
+            .collect();
+        (versions, inner.counter().snapshot(), report.fired)
+    }
+
+    #[test]
+    fn scatter_keeps_exchange_indices_pinned_on_all_runtimes() {
+        // The concurrent runtimes override Backend::scatter, but
+        // FaultyBackend inherits the sequential default — so the same
+        // (op, exchange) coordinate hits the same protocol step whether the
+        // inner runtime is deterministic, channel-threaded or TCP.
+        let cfg = DeviceConfig::builder(Scheme::Voting)
+            .sites(4)
+            .num_blocks(2)
+            .block_size(4)
+            .build()
+            .unwrap();
+        let det = Cluster::new(cfg.clone(), ClusterOptions::default());
+        let live = crate::LiveCluster::spawn(cfg.clone(), DeliveryMode::Multicast);
+        let tcp = crate::TcpCluster::spawn(cfg, DeliveryMode::Multicast).unwrap();
+        let d = run_write_with_dropped_vote(&det);
+        assert_eq!(
+            d.0,
+            vec![1, 1, 0, 1],
+            "the dropped vote must exclude exactly s2 from the install set"
+        );
+        assert_eq!(d, run_write_with_dropped_vote(&live), "live diverged");
+        assert_eq!(d, run_write_with_dropped_vote(&tcp), "tcp diverged");
     }
 
     #[test]

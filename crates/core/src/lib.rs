@@ -88,7 +88,9 @@ pub(crate) mod available_copy;
 pub(crate) mod naive;
 pub(crate) mod voting;
 
-pub use backend::{RepairBlocks, RepairPayload};
+pub use backend::{
+    Gather, RepairBlocks, RepairPayload, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec,
+};
 pub use cluster::{Cluster, ClusterOptions};
 pub use device::{DriverStub, ReliableDevice};
 pub use live::LiveCluster;

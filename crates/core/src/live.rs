@@ -13,21 +13,35 @@
 //! counter the same way, which the integration tests exploit: a workload
 //! replayed on both runtimes must produce identical message counts.
 
-use crate::backend::Backend;
+use crate::backend::{
+    self, Backend, Gather, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec,
+};
 use crate::protocol;
 use crate::replica::Replica;
-use blockrep_net::{DeliveryMode, Network, TrafficCounter};
+use blockrep_net::{DeliveryMode, FanoutMode, Network, TrafficCounter};
 use blockrep_storage::StorageFault;
 use blockrep_types::{
     BlockData, BlockIndex, DeviceConfig, DeviceResult, SiteId, SiteState, VersionNumber,
     VersionVector,
 };
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::backend::RepairBlocks;
+
+/// Work for the straggler-drain thread: replies an early-quorum scatter did
+/// not wait for still have to be received — and charged — off the hot path.
+enum DrainJob {
+    /// Receive each pending reply and charge it to the traffic counter.
+    Drain(Vec<Box<dyn FnOnce() + Send>>),
+    /// Barrier: acknowledge once every prior job has fully drained.
+    Sync(Sender<()>),
+}
 
 /// The messages a site's server process understands.
 enum Request {
@@ -77,8 +91,21 @@ pub struct LiveCluster {
     /// Authoritative site states, maintained by the coordination layer
     /// (a failed site's own thread cannot be asked).
     states: RwLock<Vec<SiteState>>,
-    counter: TrafficCounter,
+    /// Shared with the straggler drainer, which charges late replies.
+    counter: Arc<TrafficCounter>,
     mode: DeliveryMode,
+    /// Whether scatters dispatch to all targets before gathering
+    /// ([`FanoutMode::Parallel`], the default) or fall back to the
+    /// sequential per-target loop.
+    parallel: AtomicBool,
+    /// Whether MCV vote collection stops gathering at quorum weight.
+    early_quorum: AtomicBool,
+    /// Emulated one-way link delay in nanoseconds, served by each site
+    /// before handling a network request. Shared with the server threads.
+    latency_ns: Arc<AtomicU64>,
+    /// Hands straggler replies to the drainer; `None` only during drop.
+    drain_tx: Option<Sender<DrainJob>>,
+    drainer: Option<JoinHandle<()>>,
     /// Direct lines to every server thread, bypassing link state — used only
     /// for shutdown.
     direct: Vec<Sender<Request>>,
@@ -90,6 +117,7 @@ impl LiveCluster {
     pub fn spawn(cfg: DeviceConfig, mode: DeliveryMode) -> Self {
         let n = cfg.num_sites();
         let net: Network<Request> = Network::new(n, mode);
+        let latency_ns = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(n);
         let mut direct = Vec::with_capacity(n);
         for s in cfg.site_ids() {
@@ -99,6 +127,7 @@ impl LiveCluster {
             let (tx, direct_rx) = crossbeam::channel::unbounded();
             direct.push(tx);
             let replica = Replica::new(s, &cfg);
+            let latency = Arc::clone(&latency_ns);
             handles.push(std::thread::spawn(move || {
                 // Serve from both queues: network traffic and control.
                 let mut replica = replica;
@@ -106,7 +135,12 @@ impl LiveCluster {
                     crossbeam::channel::select! {
                         recv(rx) -> msg => match msg {
                             Ok(Request::Shutdown) | Err(_) => return,
-                            Ok(req) => handle(&mut replica, req),
+                            Ok(req) => {
+                                if is_rpc(&req) {
+                                    emulate_link(&latency);
+                                }
+                                handle(&mut replica, req);
+                            }
                         },
                         recv(direct_rx) -> msg => match msg {
                             Ok(Request::Shutdown) | Err(_) => return,
@@ -116,11 +150,32 @@ impl LiveCluster {
                 }
             }));
         }
+        let counter = Arc::new(TrafficCounter::new());
+        let (drain_tx, drain_rx) = crossbeam::channel::unbounded::<DrainJob>();
+        let drainer = std::thread::spawn(move || {
+            while let Ok(job) = drain_rx.recv() {
+                match job {
+                    DrainJob::Drain(receives) => {
+                        for receive in receives {
+                            receive();
+                        }
+                    }
+                    DrainJob::Sync(ack) => {
+                        let _ = ack.send(());
+                    }
+                }
+            }
+        });
         LiveCluster {
             states: RwLock::new(vec![SiteState::Available; n]),
-            counter: TrafficCounter::new(),
+            counter,
             net,
             mode,
+            parallel: AtomicBool::new(true),
+            early_quorum: AtomicBool::new(false),
+            latency_ns,
+            drain_tx: Some(drain_tx),
+            drainer: Some(drainer),
             direct,
             handles,
             cfg,
@@ -207,6 +262,63 @@ impl LiveCluster {
         &self.counter
     }
 
+    /// Selects the fan-out mode for scatter exchanges. The default is
+    /// [`FanoutMode::Parallel`]; [`FanoutMode::Sequential`] restores the
+    /// historical blocking per-target loop. Either way the §5 message
+    /// counts are identical (`tests/runtime_parity.rs`) — only latency
+    /// changes.
+    pub fn set_fanout(&self, mode: FanoutMode) {
+        self.parallel
+            .store(mode == FanoutMode::Parallel, Ordering::Relaxed);
+    }
+
+    /// The current fan-out mode.
+    pub fn fanout(&self) -> FanoutMode {
+        if self.parallel.load(Ordering::Relaxed) {
+            FanoutMode::Parallel
+        } else {
+            FanoutMode::Sequential
+        }
+    }
+
+    /// Opts MCV vote collection in (or out) of early-quorum termination:
+    /// the coordinator unblocks as soon as the gathered weight reaches the
+    /// quorum, while straggler replies are received — and charged — by a
+    /// background drainer. Call [`quiesce`](Self::quiesce) before comparing
+    /// traffic snapshots.
+    pub fn set_early_quorum(&self, on: bool) {
+        self.early_quorum.store(on, Ordering::Relaxed);
+    }
+
+    /// Emulates a network link delay: every site sleeps `delay` before
+    /// serving a blocking request/reply exchange (one-way casts, local
+    /// actions and shutdown are exempt — their transit occupies no server
+    /// on a real network). Zero — the default — disables the emulation.
+    ///
+    /// This is the benchmark's knob for giving the loopback channels a
+    /// realistic message cost: under a nonzero delay a sequential fan-out
+    /// pays one delay per target while a parallel fan-out overlaps them,
+    /// which is exactly the geometry on a real network. Message *counts*
+    /// are unaffected.
+    pub fn set_link_latency(&self, delay: Duration) {
+        self.latency_ns.store(
+            delay.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Blocks until every straggler reply handed to the background drainer
+    /// has been received and charged, so a traffic snapshot taken afterwards
+    /// is complete.
+    pub fn quiesce(&self) {
+        if let Some(tx) = &self.drain_tx {
+            let (ack_tx, ack_rx) = bounded(1);
+            if tx.send(DrainJob::Sync(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+            }
+        }
+    }
+
     /// Raises or lowers site `s`'s network link without running any
     /// protocol — the chaos runner's hook for making a mid-operation crash
     /// real (protocol-level failure handling is driven separately, in the
@@ -228,6 +340,97 @@ impl LiveCluster {
 
     fn cast(&self, from: SiteId, to: SiteId, req: Request) -> bool {
         self.net.send_raw(from, to, req).is_ok()
+    }
+
+    /// Parallel scatter over request/reply exchanges: dispatches to every
+    /// target before awaiting any reply, then gathers — and charges — in
+    /// target order, so results and counts are byte-identical to the
+    /// sequential loop while the blocking time drops from the *sum* of the
+    /// round trips to the *slowest* one.
+    fn scatter_calls<T: Send + 'static>(
+        &self,
+        spec: ScatterSpec,
+        origin: SiteId,
+        targets: &[SiteId],
+        build: impl Fn(Sender<T>) -> Request,
+        wrap: impl Fn(T) -> ScatterReply,
+    ) -> ScatterReplies {
+        crate::obs_hooks::record(crate::obs_hooks::scatter_batch, targets.len() as u64);
+        let pending: Vec<(SiteId, Option<Receiver<T>>)> = targets
+            .iter()
+            .map(|&t| {
+                let (tx, rx) = bounded(1);
+                let sent = self.net.send_raw(origin, t, build(tx)).is_ok();
+                (t, sent.then_some(rx))
+            })
+            .collect();
+        let threshold = match spec.gather {
+            Gather::All => u64::MAX,
+            Gather::EarlyQuorum { threshold } => threshold,
+        };
+        let mut gathered = 0u64;
+        let mut replies: ScatterReplies = Vec::with_capacity(targets.len());
+        let mut stragglers: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for (t, rx) in pending {
+            if gathered >= threshold {
+                // Quorum reached: the reply still arrives and is still
+                // charged — by the drainer — but nobody blocks on it.
+                if let Some(rx) = rx {
+                    let counter = Arc::clone(&self.counter);
+                    let (op, charge) = (spec.op, spec.reply_charge);
+                    stragglers.push(Box::new(move || {
+                        if rx.recv().is_ok() {
+                            if let Some(kind) = charge {
+                                counter.add(op, kind, 1);
+                            }
+                        }
+                    }));
+                }
+                replies.push((t, None));
+                continue;
+            }
+            let reply = rx.and_then(|rx| rx.recv().ok());
+            if reply.is_some() {
+                if let Some(kind) = spec.reply_charge {
+                    self.counter.add(spec.op, kind, 1);
+                }
+                gathered += self.cfg.weight(t).as_u64();
+            }
+            replies.push((t, reply.map(&wrap)));
+        }
+        if !stragglers.is_empty() {
+            if let Some(tx) = &self.drain_tx {
+                let _ = tx.send(DrainJob::Drain(stragglers));
+            }
+        }
+        replies
+    }
+}
+
+/// Whether a request carries a reply channel — i.e. it is a round trip the
+/// sender blocks on. Only these pay the emulated link delay: a one-way cast
+/// is in flight on a real network without occupying the server, so sleeping
+/// in the service thread for it would model a bottleneck that does not
+/// exist.
+fn is_rpc(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Vote(..)
+            | Request::Fetch(..)
+            | Request::Scrub(_)
+            | Request::ReadLocal(..)
+            | Request::VersionVector(_)
+            | Request::RepairPayload(..)
+            | Request::GetW(_)
+    )
+}
+
+/// Sleeps for the emulated link delay, if one is set (see
+/// [`LiveCluster::set_link_latency`]).
+fn emulate_link(latency_ns: &AtomicU64) {
+    let ns = latency_ns.load(Ordering::Relaxed);
+    if ns > 0 {
+        std::thread::sleep(Duration::from_nanos(ns));
     }
 }
 
@@ -381,10 +584,58 @@ impl Backend for LiveCluster {
         self.call(s, s, Request::Scrub)
             .expect("a site can always scrub its own disk")
     }
+
+    fn early_quorum(&self) -> bool {
+        self.early_quorum.load(Ordering::Relaxed)
+    }
+
+    fn scatter(
+        &self,
+        spec: ScatterSpec,
+        origin: SiteId,
+        targets: &[SiteId],
+        req: &ScatterRequest,
+    ) -> ScatterReplies {
+        if !self.parallel.load(Ordering::Relaxed) {
+            return backend::scatter_sequential(self, spec, origin, targets, req);
+        }
+        match req {
+            ScatterRequest::Vote(k) => {
+                let k = *k;
+                self.scatter_calls(
+                    spec,
+                    origin,
+                    targets,
+                    move |tx| Request::Vote(k, tx),
+                    ScatterReply::Version,
+                )
+            }
+            ScatterRequest::VersionVector => self.scatter_calls(
+                spec,
+                origin,
+                targets,
+                Request::VersionVector,
+                ScatterReply::Vector,
+            ),
+            // Installs are one-way casts and probes are local state reads on
+            // this runtime: the sequential body already never blocks.
+            ScatterRequest::Install { .. }
+            | ScatterRequest::InstallIfAvailable { .. }
+            | ScatterRequest::ProbeState => {
+                backend::scatter_sequential(self, spec, origin, targets, req)
+            }
+        }
+    }
 }
 
 impl Drop for LiveCluster {
     fn drop(&mut self) {
+        // Finish draining stragglers while the servers still answer, then
+        // shut the servers down.
+        self.drain_tx.take();
+        if let Some(drainer) = self.drainer.take() {
+            let _ = drainer.join();
+        }
         for tx in &self.direct {
             let _ = tx.send(Request::Shutdown);
         }
@@ -486,5 +737,49 @@ mod tests {
         c.write(sid(0), BlockIndex::new(0), BlockData::from(vec![1; 8]))
             .unwrap();
         drop(c); // must not hang or panic
+    }
+
+    #[test]
+    fn parallel_and_sequential_fanout_agree_on_results_and_traffic() {
+        for scheme in Scheme::ALL {
+            let par = live(scheme, 4);
+            let seq = live(scheme, 4);
+            seq.set_fanout(FanoutMode::Sequential);
+            assert_eq!(par.fanout(), FanoutMode::Parallel);
+            assert_eq!(seq.fanout(), FanoutMode::Sequential);
+            for c in [&par, &seq] {
+                let k = BlockIndex::new(0);
+                c.write(sid(0), k, BlockData::from(vec![5; 8])).unwrap();
+                c.fail_site(sid(3));
+                c.write(sid(1), k, BlockData::from(vec![6; 8])).unwrap();
+                c.repair_site(sid(3));
+                assert_eq!(c.read(sid(3), k).unwrap().as_slice(), &[6; 8], "{scheme}");
+            }
+            assert_eq!(
+                par.counter().snapshot(),
+                seq.counter().snapshot(),
+                "{scheme}: fan-out mode must not change §5 counts"
+            );
+        }
+    }
+
+    #[test]
+    fn early_quorum_charges_stragglers_through_the_drainer() {
+        let baseline = live(Scheme::Voting, 5);
+        let early = live(Scheme::Voting, 5);
+        early.set_early_quorum(true);
+        let k = BlockIndex::new(1);
+        for c in [&baseline, &early] {
+            c.write(sid(0), k, BlockData::from(vec![9; 8])).unwrap();
+        }
+        early.quiesce();
+        // Multicast: straggler vote replies are still charged (by the
+        // drainer), so the write's §5 cost matches gather-all exactly.
+        assert_eq!(baseline.counter().snapshot(), early.counter().snapshot());
+        // Quorum intersection keeps reads correct everywhere — including at
+        // a straggler that missed the install and repairs lazily.
+        for s in 0..5 {
+            assert_eq!(early.read(sid(s), k).unwrap().as_slice(), &[9; 8]);
+        }
     }
 }

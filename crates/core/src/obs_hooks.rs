@@ -28,6 +28,7 @@ cached_metric!(
 );
 cached_metric!(tcp_rpc_latency, Histogram, histogram, "tcp.rpc.latency");
 cached_metric!(quorum_size, Histogram, histogram, "quorum.size");
+cached_metric!(scatter_batch, Histogram, histogram, "scatter.batch_size");
 cached_metric!(
     blocks_repaired,
     Counter,

@@ -17,38 +17,64 @@
 //! schemes assume none, and the deterministic runtimes cover the
 //! partition experiments.
 
-use crate::backend::Backend;
+use crate::backend::{self, Backend, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec};
 use crate::replica::Replica;
 use crate::wire::{self, WireRequest, WireResponse};
 use crate::{protocol, RepairBlocks};
-use blockrep_net::{DeliveryMode, TrafficCounter};
+use blockrep_net::{DeliveryMode, FanoutMode, TrafficCounter};
+use blockrep_obs::event;
 use blockrep_types::{
     BlockData, BlockIndex, DeviceConfig, DeviceResult, SiteId, SiteState, VersionNumber,
     VersionVector,
 };
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::BTreeSet;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-fn serve(mut replica: Replica, listener: TcpListener) {
-    // Single-coordinator design: serve exactly one connection, then exit.
-    let Ok((mut conn, _)) = listener.accept() else {
-        return;
-    };
-    // Request/response over one socket: Nagle + delayed ACK would add
-    // ~40ms to every round trip.
-    let _ = conn.set_nodelay(true);
+fn serve(mut replica: Replica, listener: TcpListener, latency_ns: Arc<AtomicU64>) {
+    // Single-coordinator design: one connection drives the replica at a
+    // time, but the coordinator may replace it — after a torn frame it
+    // drops the poisoned stream and reconnects — so connections are served
+    // in sequence until a Shutdown frame arrives.
+    while let Ok((mut conn, _)) = listener.accept() {
+        // Request/response over one socket: Nagle + delayed ACK would add
+        // ~40ms to every round trip.
+        let _ = conn.set_nodelay(true);
+        if serve_conn(&mut replica, &mut conn, &latency_ns) == Served::Shutdown {
+            return;
+        }
+    }
+}
+
+/// Why [`serve_conn`] stopped serving a connection.
+#[derive(PartialEq, Eq)]
+enum Served {
+    /// The coordinator hung up or sent garbage; await a reconnect.
+    Hangup,
+    /// A Shutdown frame arrived; the cluster is going down.
+    Shutdown,
+}
+
+fn serve_conn(replica: &mut Replica, conn: &mut TcpStream, latency_ns: &AtomicU64) -> Served {
     loop {
-        let Ok(frame) = wire::read_frame(&mut conn) else {
-            return; // coordinator hung up
+        let Ok(frame) = wire::read_frame(conn) else {
+            return Served::Hangup; // hung up (or reconnected elsewhere)
         };
         let Ok(request) = WireRequest::decode(&frame) else {
-            return; // corrupt peer: halt, fail-stop style
+            return Served::Hangup; // corrupt peer: drop the connection
         };
+        // Emulated one-way link delay (see `TcpCluster::set_link_latency`).
+        let delay = latency_ns.load(Ordering::Relaxed);
+        if delay > 0 && !matches!(request, WireRequest::Shutdown) {
+            std::thread::sleep(Duration::from_nanos(delay));
+        }
         let response = match request {
-            WireRequest::Shutdown => return,
+            WireRequest::Shutdown => return Served::Shutdown,
             WireRequest::Probe => WireResponse::Ack,
             WireRequest::Vote(k) => WireResponse::Version(replica.version(k)),
             WireRequest::Fetch(k) => {
@@ -84,9 +110,40 @@ fn serve(mut replica: Replica, listener: TcpListener) {
             }
             WireRequest::Scrub => WireResponse::Count(replica.scrub().len() as u64),
         };
-        if wire::write_frame(&mut conn, &response.encode()).is_err() {
-            return;
+        if wire::write_frame(conn, &response.encode()).is_err() {
+            return Served::Hangup;
         }
+    }
+}
+
+/// A coordinator-side connection to one site's server. A torn frame (I/O or
+/// decode error mid-exchange) leaves the stream unsynchronized, so the
+/// connection is *poisoned*: the failed exchange reports "no reply" once,
+/// and the next checkout replaces the stream with a fresh connection
+/// instead of silently desyncing every later RPC (the server accepts the
+/// replacement as soon as the old stream drops).
+struct SiteConn {
+    stream: TcpStream,
+    poisoned: bool,
+}
+
+impl SiteConn {
+    /// Marks the connection unusable and logs the event.
+    fn poison(&mut self, to: SiteId) {
+        self.poisoned = true;
+        event!("tcp.conn.poisoned", site = to.as_u32());
+    }
+
+    /// One request/response exchange. Any failure poisons the connection.
+    fn exchange(&mut self, to: SiteId, request: &WireRequest) -> Option<WireResponse> {
+        let response = wire::write_frame(&mut self.stream, &request.encode())
+            .ok()
+            .and_then(|()| wire::read_frame(&mut self.stream).ok())
+            .and_then(|frame| WireResponse::decode(&frame).ok());
+        if response.is_none() {
+            self.poison(to);
+        }
+        response
     }
 }
 
@@ -116,7 +173,14 @@ pub struct TcpCluster {
     counter: TrafficCounter,
     mode: DeliveryMode,
     addrs: Vec<SocketAddr>,
-    conns: Vec<Mutex<TcpStream>>,
+    conns: Vec<Mutex<SiteConn>>,
+    /// Whether scatters pipeline their frames (write all requests, then
+    /// read all replies) instead of one blocking RPC per target.
+    parallel: AtomicBool,
+    /// Whether vote collection stops building on replies past quorum weight.
+    early_quorum: AtomicBool,
+    /// Emulated one-way link delay in nanoseconds, shared with the servers.
+    latency_ns: Arc<AtomicU64>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -129,19 +193,26 @@ impl TcpCluster {
     /// I/O errors from binding or connecting the loopback sockets.
     pub fn spawn(cfg: DeviceConfig, mode: DeliveryMode) -> io::Result<TcpCluster> {
         let n = cfg.num_sites();
+        let latency_ns = Arc::new(AtomicU64::new(0));
         let mut addrs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for s in cfg.site_ids() {
             let listener = TcpListener::bind("127.0.0.1:0")?;
             addrs.push(listener.local_addr()?);
             let replica = Replica::new(s, &cfg);
-            handles.push(std::thread::spawn(move || serve(replica, listener)));
+            let latency = Arc::clone(&latency_ns);
+            handles.push(std::thread::spawn(move || {
+                serve(replica, listener, latency)
+            }));
         }
         let mut conns = Vec::with_capacity(n);
         for addr in &addrs {
             let stream = TcpStream::connect(addr)?;
             stream.set_nodelay(true)?;
-            conns.push(Mutex::new(stream));
+            conns.push(Mutex::new(SiteConn {
+                stream,
+                poisoned: false,
+            }));
         }
         Ok(TcpCluster {
             states: RwLock::new(vec![SiteState::Available; n]),
@@ -149,6 +220,9 @@ impl TcpCluster {
             mode,
             addrs,
             conns,
+            parallel: AtomicBool::new(true),
+            early_quorum: AtomicBool::new(false),
+            latency_ns,
             handles,
             cfg,
         })
@@ -219,18 +293,131 @@ impl TcpCluster {
         &self.counter
     }
 
+    /// Selects the fan-out mode for scatter exchanges. The default is
+    /// [`FanoutMode::Parallel`] (request frames for the whole batch are
+    /// pipelined: all written, then all replies read — one round trip
+    /// instead of one per target); [`FanoutMode::Sequential`] restores the
+    /// historical blocking per-target loop. The §5 message counts are
+    /// identical either way.
+    pub fn set_fanout(&self, mode: FanoutMode) {
+        self.parallel
+            .store(mode == FanoutMode::Parallel, Ordering::Relaxed);
+    }
+
+    /// The current fan-out mode.
+    pub fn fanout(&self) -> FanoutMode {
+        if self.parallel.load(Ordering::Relaxed) {
+            FanoutMode::Parallel
+        } else {
+            FanoutMode::Sequential
+        }
+    }
+
+    /// Enables or disables early-quorum vote collection. Since a pipelined
+    /// batch already costs a single round trip, every reply in the batch is
+    /// still read (and charged) synchronously — the toggle only narrows the
+    /// voter set the coordinator builds on, exactly as on the other
+    /// runtimes.
+    pub fn set_early_quorum(&self, on: bool) {
+        self.early_quorum.store(on, Ordering::Relaxed);
+    }
+
+    /// Emulates a one-way network link delay: every server sleeps `delay`
+    /// before serving a frame (Shutdown is exempt). Zero — the default —
+    /// disables the emulation. Under a nonzero delay a sequential fan-out
+    /// pays one delay per target while a pipelined batch overlaps them on
+    /// the servers; message counts are unaffected.
+    pub fn set_link_latency(&self, delay: Duration) {
+        self.latency_ns.store(
+            delay.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Locks site `to`'s connection, replacing the stream first if a torn
+    /// frame poisoned it. Dropping the old stream hangs up the server's
+    /// read loop, which then accepts this replacement.
+    fn checkout(&self, to: SiteId) -> Option<MutexGuard<'_, SiteConn>> {
+        let mut conn = self.conns[to.index()].lock();
+        if conn.poisoned {
+            let stream = TcpStream::connect(self.addrs[to.index()]).ok()?;
+            let _ = stream.set_nodelay(true);
+            conn.stream = stream;
+            conn.poisoned = false;
+            event!("tcp.conn.reopened", site = to.as_u32());
+        }
+        Some(conn)
+    }
+
     fn rpc(&self, to: SiteId, request: WireRequest) -> Option<WireResponse> {
         let _timer = crate::obs_hooks::timer(crate::obs_hooks::tcp_rpc_latency);
-        let mut conn = self.conns[to.index()].lock();
-        wire::write_frame(&mut *conn, &request.encode()).ok()?;
-        let frame = wire::read_frame(&mut *conn).ok()?;
-        WireResponse::decode(&frame).ok()
+        self.checkout(to)?.exchange(to, &request)
     }
 
     /// Whether the coordinator will contact `to` on behalf of `from`.
     fn reachable(&self, from: SiteId, to: SiteId) -> bool {
         let states = self.states.read();
         from == to || (states[from.index()].is_operational() && states[to.index()].is_operational())
+    }
+
+    /// Pipelined scatter: writes one request frame per reachable target —
+    /// every request is on the wire before any reply is read — then gathers
+    /// the replies in target order. Connections are locked in ascending
+    /// site order, so concurrent scatters cannot deadlock. Early-quorum
+    /// stragglers are drained synchronously here (a reply left on a socket
+    /// would desync the next RPC) and truncated after the fact; the batch
+    /// already costs a single round trip, so there is nobody to unblock.
+    fn pipelined(
+        &self,
+        spec: ScatterSpec,
+        origin: SiteId,
+        targets: &[SiteId],
+        request_for: impl Fn(SiteId) -> Option<WireRequest>,
+        parse: impl Fn(WireResponse) -> Option<ScatterReply>,
+    ) -> ScatterReplies {
+        crate::obs_hooks::record(crate::obs_hooks::scatter_batch, targets.len() as u64);
+        let mut in_flight: Vec<(SiteId, Option<MutexGuard<'_, SiteConn>>)> =
+            Vec::with_capacity(targets.len());
+        for &t in targets {
+            debug_assert!(
+                in_flight.last().is_none_or(|&(prev, _)| prev < t),
+                "scatter targets must ascend (lock ordering)"
+            );
+            let conn = if self.reachable(origin, t) {
+                request_for(t).and_then(|request| {
+                    let mut conn = self.checkout(t)?;
+                    if wire::write_frame(&mut conn.stream, &request.encode()).is_ok() {
+                        Some(conn)
+                    } else {
+                        conn.poison(t);
+                        None
+                    }
+                })
+            } else {
+                None
+            };
+            in_flight.push((t, conn));
+        }
+        let mut replies: ScatterReplies = Vec::with_capacity(targets.len());
+        for (t, conn) in in_flight {
+            let reply = conn.and_then(|mut conn| {
+                let response = wire::read_frame(&mut conn.stream)
+                    .ok()
+                    .and_then(|frame| WireResponse::decode(&frame).ok());
+                if response.is_none() {
+                    conn.poison(t);
+                }
+                response.and_then(&parse)
+            });
+            if reply.is_some() {
+                if let Some(kind) = spec.reply_charge {
+                    self.counter.add(spec.op, kind, 1);
+                }
+            }
+            replies.push((t, reply));
+        }
+        backend::truncate_to_threshold(&self.cfg, &mut replies, spec.gather);
+        replies
     }
 }
 
@@ -245,6 +432,10 @@ impl Backend for TcpCluster {
 
     fn counter(&self) -> &TrafficCounter {
         &self.counter
+    }
+
+    fn early_quorum(&self) -> bool {
+        self.early_quorum.load(Ordering::Relaxed)
     }
 
     fn local_state(&self, s: SiteId) -> SiteState {
@@ -399,13 +590,81 @@ impl Backend for TcpCluster {
             _ => 0,
         }
     }
+
+    fn scatter(
+        &self,
+        spec: ScatterSpec,
+        origin: SiteId,
+        targets: &[SiteId],
+        req: &ScatterRequest,
+    ) -> ScatterReplies {
+        if !self.parallel.load(Ordering::Relaxed) {
+            return backend::scatter_sequential(self, spec, origin, targets, req);
+        }
+        match req {
+            ScatterRequest::Vote(k) => self.pipelined(
+                spec,
+                origin,
+                targets,
+                |_| Some(WireRequest::Vote(*k)),
+                |resp| match resp {
+                    WireResponse::Version(v) => Some(ScatterReply::Version(v)),
+                    _ => None,
+                },
+            ),
+            ScatterRequest::VersionVector => self.pipelined(
+                spec,
+                origin,
+                targets,
+                |_| Some(WireRequest::VersionVector),
+                |resp| match resp {
+                    WireResponse::Vector(vv) => Some(ScatterReply::Vector(vv)),
+                    _ => None,
+                },
+            ),
+            ScatterRequest::Install { k, v, data } => self.pipelined(
+                spec,
+                origin,
+                targets,
+                |_| Some(WireRequest::ApplyWrite(*k, *v, data.clone())),
+                |resp| matches!(resp, WireResponse::Ack).then_some(ScatterReply::Delivered),
+            ),
+            ScatterRequest::InstallIfAvailable { k, v, data } => self.pipelined(
+                spec,
+                origin,
+                targets,
+                // The availability probe is a coordination-layer state read
+                // (no socket traffic), exactly as in the sequential body.
+                |t| {
+                    (self.probe_state(origin, t) == Some(SiteState::Available))
+                        .then(|| WireRequest::ApplyWrite(*k, *v, data.clone()))
+                },
+                |resp| matches!(resp, WireResponse::Ack).then_some(ScatterReply::Delivered),
+            ),
+            // Pure state probes never touch a socket; the sequential body
+            // is already instantaneous.
+            ScatterRequest::ProbeState => {
+                backend::scatter_sequential(self, spec, origin, targets, req)
+            }
+        }
+    }
 }
 
 impl Drop for TcpCluster {
     fn drop(&mut self) {
-        for conn in &self.conns {
+        for (i, conn) in self.conns.iter().enumerate() {
             let mut conn = conn.lock();
-            let _ = wire::write_frame(&mut *conn, &WireRequest::Shutdown.encode());
+            if conn.poisoned {
+                // The healthy stream is gone. Hang up the old one so the
+                // server falls back to `accept`, then deliver Shutdown over
+                // a fresh connection.
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                if let Ok(mut stream) = TcpStream::connect(self.addrs[i]) {
+                    let _ = wire::write_frame(&mut stream, &WireRequest::Shutdown.encode());
+                }
+            } else {
+                let _ = wire::write_frame(&mut conn.stream, &WireRequest::Shutdown.encode());
+            }
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -511,6 +770,51 @@ mod tests {
             let addr = c.addr(sid(i));
             assert!(addr.ip().is_loopback());
             assert!(seen.insert(addr), "duplicate {addr}");
+        }
+    }
+
+    #[test]
+    fn torn_frame_poisons_the_connection_and_the_next_rpc_reconnects() {
+        let c = tcp(Scheme::Voting, 3);
+        let k = BlockIndex::new(0);
+        c.write(sid(0), k, BlockData::from(vec![3; 32])).unwrap();
+        // Corrupt the conversation with site 1: the server rejects the
+        // frame and hangs up, so the next exchange on this stream tears.
+        wire::write_frame(&mut c.conns[1].lock().stream, &[0xFF]).unwrap();
+        assert_eq!(
+            c.vote(sid(0), sid(1), k),
+            None,
+            "the torn exchange must fail fast, not desync"
+        );
+        assert!(c.conns[1].lock().poisoned);
+        // The next exchange replaces the stream and succeeds.
+        assert_eq!(c.vote(sid(0), sid(1), k), Some(VersionNumber::new(1)));
+        assert!(!c.conns[1].lock().poisoned);
+        // End-to-end traffic over the recovered connection still works.
+        c.write(sid(2), k, BlockData::from(vec![4; 32])).unwrap();
+        assert_eq!(c.read(sid(1), k).unwrap().as_slice(), &[4; 32]);
+    }
+
+    #[test]
+    fn parallel_and_sequential_fanout_agree_on_results_and_traffic() {
+        for scheme in Scheme::ALL {
+            let par = tcp(scheme, 4);
+            let seq = tcp(scheme, 4);
+            seq.set_fanout(FanoutMode::Sequential);
+            assert_eq!(par.fanout(), FanoutMode::Parallel);
+            for c in [&par, &seq] {
+                let k = BlockIndex::new(2);
+                c.write(sid(0), k, BlockData::from(vec![8; 32])).unwrap();
+                c.fail_site(sid(1));
+                c.write(sid(2), k, BlockData::from(vec![9; 32])).unwrap();
+                c.repair_site(sid(1));
+                assert_eq!(c.read(sid(1), k).unwrap().as_slice(), &[9; 32], "{scheme}");
+            }
+            assert_eq!(
+                par.counter().snapshot(),
+                seq.counter().snapshot(),
+                "{scheme}: fan-out mode must not change §5 counts"
+            );
         }
     }
 }

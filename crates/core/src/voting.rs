@@ -12,7 +12,7 @@
 //!   block from the highest-versioned voter and installs it — recovering
 //!   "only those blocks which have been modified", on access.
 
-use crate::backend::{self, Backend};
+use crate::backend::{self, Backend, Gather, ScatterReply, ScatterRequest, ScatterSpec};
 use crate::obs_hooks;
 use blockrep_net::{MsgKind, OpClass};
 use blockrep_obs::{event, span};
@@ -29,7 +29,8 @@ fn collect_votes<B: Backend + ?Sized>(
     origin: SiteId,
     k: BlockIndex,
 ) -> Vec<(SiteId, VersionNumber)> {
-    let others = backend::others(b.config(), origin);
+    let cfg = b.config();
+    let others = backend::others(cfg, origin);
     backend::charge_fanout(b, op, MsgKind::VoteRequest, others.len());
     event!(
         "quorum.request",
@@ -42,9 +43,30 @@ fn collect_votes<B: Backend + ?Sized>(
         .vote(origin, origin, k)
         .expect("coordinator is operational, so its own vote cannot fail");
     let mut votes = vec![(origin, own)];
-    for t in others {
-        if let Some(v) = b.vote(origin, t, k) {
-            b.counter().add(op, MsgKind::VoteReply, 1);
+    // Opt-in early quorum: stop gathering once the remote weight (plus the
+    // origin's own, already in hand) reaches the operation's quorum.
+    // Quorum intersection makes this safe: any quorum-weight subset of
+    // voters contains a current copy, so v_max over the subset equals v_max
+    // over all voters and the read-refresh / write-version decisions below
+    // are unchanged.
+    let gather = if b.early_quorum() {
+        let quorum = match op {
+            OpClass::Read => cfg.read_quorum(),
+            _ => cfg.write_quorum(),
+        };
+        Gather::EarlyQuorum {
+            threshold: quorum.saturating_sub(cfg.weight(origin).as_u64()),
+        }
+    } else {
+        Gather::All
+    };
+    let spec = ScatterSpec {
+        op,
+        reply_charge: Some(MsgKind::VoteReply),
+        gather,
+    };
+    for (t, reply) in b.scatter(spec, origin, &others, &ScatterRequest::Vote(k)) {
+        if let Some(ScatterReply::Version(v)) = reply {
             event!("quorum.ack", site = t.as_u32(), version = v.as_u64());
             votes.push((t, v));
         }
@@ -185,9 +207,22 @@ pub(crate) fn write<B: Backend + ?Sized>(
     let remote_voters: Vec<SiteId> = voters.iter().copied().filter(|&s| s != origin).collect();
     backend::charge_fanout(b, OpClass::Write, MsgKind::WriteUpdate, remote_voters.len());
     let replicas = remote_voters.len() + 1;
-    for t in remote_voters {
-        b.apply_write(origin, t, k, &data, v_new);
-    }
+    // Install acknowledgements are not §5 transmissions: no reply charge.
+    let spec = ScatterSpec {
+        op: OpClass::Write,
+        reply_charge: None,
+        gather: Gather::All,
+    };
+    b.scatter(
+        spec,
+        origin,
+        &remote_voters,
+        &ScatterRequest::Install {
+            k,
+            v: v_new,
+            data: data.clone(),
+        },
+    );
     b.apply_write(origin, origin, k, &data, v_new);
     event!(
         "write.commit",

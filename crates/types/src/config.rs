@@ -97,6 +97,11 @@ impl Weight {
         self.0
     }
 
+    /// The weight widened to `u64`, the unit quorum arithmetic uses.
+    pub const fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+
     /// The paper's equal-weight assignment with the even-`n` tie break:
     /// every site gets weight 2 and site 0 gets weight 3 when `n` is even.
     /// For odd `n` ties are impossible, so every site gets weight 2.

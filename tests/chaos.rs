@@ -130,6 +130,63 @@ fn chaos_crash_mid_write_reads_old_or_new_never_a_mix() {
     }
 }
 
+/// Regression for scatter-time exchange pinning: the live and TCP runtimes
+/// fan writes out concurrently by default, but `FaultyBackend` inherits the
+/// sequential `Backend::scatter` body, so a `(op, exchange)` drop lands on
+/// the *same* vote on every runtime. Exchange 1 of a 4-site voting write is
+/// always site 2's vote request — dropping it shrinks the install fan-out
+/// identically everywhere, and `chaos::check` asserts byte-identical
+/// outcome parity across all three runtimes (spawned in their default,
+/// parallel fan-out mode).
+#[test]
+fn chaos_dropped_vote_in_parallel_fanout_is_pinned_across_runtimes() {
+    let cfg = blockrep::types::DeviceConfig::builder(Scheme::Voting)
+        .sites(4)
+        .num_blocks(1)
+        .block_size(8)
+        .build()
+        .unwrap();
+    let script = vec![
+        ChaosStep {
+            action: Action::Write {
+                origin: sid(0),
+                block: blk(0),
+                fill: 0x55,
+            },
+            faults: vec![],
+        },
+        ChaosStep {
+            // Votes to s1/s2/s3 are exchanges 0/1/2; drop s2's.
+            action: Action::Write {
+                origin: sid(0),
+                block: blk(0),
+                fill: 0x66,
+            },
+            faults: vec![(1, FaultKind::DropMessage)],
+        },
+        ChaosStep {
+            // s2 missed the install; its quorum read must still settle on
+            // the current value via v_max.
+            action: Action::Read {
+                origin: sid(2),
+                block: blk(0),
+            },
+            faults: vec![],
+        },
+        ChaosStep {
+            action: Action::Read {
+                origin: sid(1),
+                block: blk(0),
+            },
+            faults: vec![],
+        },
+    ];
+    chaos::check(&cfg, &script).unwrap();
+    let rt = Cluster::new(cfg, ClusterOptions::default());
+    chaos::run_on(&rt, &script).unwrap();
+    assert_eq!(rt.read(sid(2), blk(0)).unwrap().as_slice(), &[0x66; 8]);
+}
+
 /// §3 recovery contrast after a **total** failure: available copy is back
 /// as soon as the closure `C*(W_s)` has recovered — here the last two
 /// sites to fail — while naive available copy stays down until *every*

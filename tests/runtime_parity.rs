@@ -4,7 +4,7 @@
 //! identical results **and identical §5 traffic counts** on all of them.
 
 use blockrep::core::{Cluster, ClusterOptions, LiveCluster, TcpCluster};
-use blockrep::net::{DeliveryMode, TrafficSnapshot};
+use blockrep::net::{DeliveryMode, FanoutMode, TrafficSnapshot};
 use blockrep::types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
 
 fn cfg(scheme: Scheme) -> DeviceConfig {
@@ -128,6 +128,94 @@ fn naive_runtimes_agree_multicast() {
 #[test]
 fn naive_runtimes_agree_unicast() {
     parity_for(Scheme::NaiveAvailableCopy, DeliveryMode::Unicast);
+}
+
+/// Concurrency must change latency, never §5 message counts: on both
+/// concurrent runtimes, the traffic snapshot produced by the parallel
+/// fan-out is byte-identical to its own sequential baseline (and to the
+/// deterministic cluster) for every scheme × delivery mode.
+#[test]
+fn parallel_fanout_traffic_is_byte_identical_to_sequential() {
+    for scheme in Scheme::ALL {
+        for mode in DeliveryMode::ALL {
+            let det = Cluster::new(cfg(scheme), ClusterOptions { mode });
+            let baseline = drive(
+                &|o, k| det.read(o, k).ok(),
+                &|o, k, d| det.write(o, k, d).is_ok(),
+                &|x| det.fail_site(x),
+                &|x| det.repair_site(x),
+                &|| det.traffic(),
+            );
+
+            for fanout in FanoutMode::ALL {
+                let live = LiveCluster::spawn(cfg(scheme), mode);
+                live.set_fanout(fanout);
+                let got = drive(
+                    &|o, k| live.read(o, k).ok(),
+                    &|o, k, d| live.write(o, k, d).is_ok(),
+                    &|x| live.fail_site(x),
+                    &|x| live.repair_site(x),
+                    &|| live.counter().snapshot(),
+                );
+                assert_eq!(baseline, got, "{scheme}/{mode}/live/{fanout}");
+
+                let tcp = TcpCluster::spawn(cfg(scheme), mode).unwrap();
+                tcp.set_fanout(fanout);
+                let got = drive(
+                    &|o, k| tcp.read(o, k).ok(),
+                    &|o, k, d| tcp.write(o, k, d).is_ok(),
+                    &|x| tcp.fail_site(x),
+                    &|x| tcp.repair_site(x),
+                    &|| tcp.counter().snapshot(),
+                );
+                assert_eq!(baseline, got, "{scheme}/{mode}/tcp/{fanout}");
+            }
+        }
+    }
+}
+
+/// Early-quorum vote collection builds on a (deterministic) prefix of the
+/// voter set, so the install fan-out narrows the same way on every runtime:
+/// results and §5 traffic stay byte-identical across the three runtimes,
+/// with the live cluster's straggler charges drained before snapshotting.
+#[test]
+fn early_quorum_runtimes_agree() {
+    for mode in DeliveryMode::ALL {
+        let det = Cluster::new(cfg(Scheme::Voting), ClusterOptions { mode });
+        det.set_early_quorum(true);
+        let baseline = drive(
+            &|o, k| det.read(o, k).ok(),
+            &|o, k, d| det.write(o, k, d).is_ok(),
+            &|x| det.fail_site(x),
+            &|x| det.repair_site(x),
+            &|| det.traffic(),
+        );
+
+        let live = LiveCluster::spawn(cfg(Scheme::Voting), mode);
+        live.set_early_quorum(true);
+        let got = drive(
+            &|o, k| live.read(o, k).ok(),
+            &|o, k, d| live.write(o, k, d).is_ok(),
+            &|x| live.fail_site(x),
+            &|x| live.repair_site(x),
+            &|| {
+                live.quiesce();
+                live.counter().snapshot()
+            },
+        );
+        assert_eq!(baseline, got, "early-quorum/{mode}: live diverged");
+
+        let tcp = TcpCluster::spawn(cfg(Scheme::Voting), mode).unwrap();
+        tcp.set_early_quorum(true);
+        let got = drive(
+            &|o, k| tcp.read(o, k).ok(),
+            &|o, k, d| tcp.write(o, k, d).is_ok(),
+            &|x| tcp.fail_site(x),
+            &|x| tcp.repair_site(x),
+            &|| tcp.counter().snapshot(),
+        );
+        assert_eq!(baseline, got, "early-quorum/{mode}: tcp diverged");
+    }
 }
 
 #[test]
