@@ -1,0 +1,623 @@
+//! File-system workload benchmark: batched vs per-block device I/O.
+//!
+//! `blockrep bench --suite fs` mounts the real `blockrep-fs` file system on
+//! a [`ReliableDevice`] over each runtime and times three workloads —
+//! sequential whole-file reads, sequential whole-file writes, and an
+//! fsync-heavy pattern of small writes through the write-back cache — in
+//! two device configurations:
+//!
+//! * **batched**: the device as shipped, with its vectored
+//!   `read_blocks`/`write_blocks` fast path (one quorum round per extent);
+//! * **per_block**: the identical device behind a wrapper that deliberately
+//!   does not implement the vectored methods, so every multi-block fs
+//!   operation decays to the trait's default per-block loop (one quorum
+//!   round per block).
+//!
+//! The workload, file system, cache and protocol are byte-identical in both
+//! configurations (`tests/one_copy_equivalence.rs` proves the traffic is
+//! too); the only variable is whether the device boundary batches. The
+//! suite emits `BENCH_fs.json` (schema [`SCHEMA`]) with ops/s and p50/p99
+//! per case plus the batched-over-per-block speedups the PR's acceptance
+//! criterion reads off.
+
+use crate::protocol_bench::{parse_json, BenchRuntime, JsonValue};
+use blockrep_core::{Cluster, ClusterOptions, LiveCluster, ReliableDevice, TcpCluster};
+use blockrep_fs::FileSystem;
+use blockrep_net::{DeliveryMode, FanoutMode};
+use blockrep_obs::metrics::Histogram;
+use blockrep_storage::{BlockDevice, CacheStore};
+use blockrep_types::{BlockData, BlockIndex, DeviceConfig, DeviceResult, Scheme, SiteId};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schema identifier written into (and required from) the JSON report.
+pub const SCHEMA: &str = "blockrep.bench.fs/v1";
+
+/// Parameters of one fs benchmark suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct FsBenchConfig {
+    /// Number of replica sites.
+    pub sites: usize,
+    /// Length of the benchmark file in blocks; the acceptance criterion
+    /// reads the 64-block sequential write.
+    pub file_blocks: u64,
+    /// Bytes per block.
+    pub block_size: usize,
+    /// Whole-workload operations per case (each op is a full-file read,
+    /// a full-file write, or a small-write burst plus fsync).
+    pub ops: u64,
+    /// Network cost model (does not affect latency, recorded for context).
+    pub mode: DeliveryMode,
+    /// Emulated one-way link delay in microseconds for the live and TCP
+    /// runtimes (the deterministic baseline has no transport).
+    pub link_latency_us: u64,
+}
+
+impl FsBenchConfig {
+    /// The acceptance-criterion default: a 64-block file on a 3-site
+    /// device, LAN-order link delay.
+    pub fn new() -> FsBenchConfig {
+        FsBenchConfig {
+            sites: 3,
+            file_blocks: 64,
+            block_size: 512,
+            ops: 16,
+            mode: DeliveryMode::Multicast,
+            link_latency_us: 300,
+        }
+    }
+
+    fn device(&self, scheme: Scheme) -> DeviceConfig {
+        // Headroom beyond the file for the superblock, bitmap, inode table,
+        // directory and indirect blocks.
+        DeviceConfig::builder(scheme)
+            .sites(self.sites)
+            .num_blocks(self.file_blocks + 64)
+            .block_size(self.block_size)
+            .build()
+            .expect("benchmark device config")
+    }
+}
+
+impl Default for FsBenchConfig {
+    fn default() -> FsBenchConfig {
+        FsBenchConfig::new()
+    }
+}
+
+/// The measured file-system workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsWorkload {
+    /// Whole-file sequential reads.
+    SeqRead,
+    /// Whole-file sequential overwrites.
+    SeqWrite,
+    /// Bursts of small block-aligned writes through the write-back cache,
+    /// each followed by an fsync (device flush).
+    FsyncHeavy,
+}
+
+impl FsWorkload {
+    /// All workloads.
+    pub const ALL: [FsWorkload; 3] = [
+        FsWorkload::SeqRead,
+        FsWorkload::SeqWrite,
+        FsWorkload::FsyncHeavy,
+    ];
+
+    /// Stable label used in the JSON report.
+    pub const fn label(self) -> &'static str {
+        match self {
+            FsWorkload::SeqRead => "seq-read",
+            FsWorkload::SeqWrite => "seq-write",
+            FsWorkload::FsyncHeavy => "fsync-heavy",
+        }
+    }
+}
+
+/// Whether the device under the file system batches multi-block requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Vectored `read_blocks`/`write_blocks`: one quorum round per extent.
+    Batched,
+    /// The trait-default per-block loop: one quorum round per block.
+    PerBlock,
+}
+
+impl IoMode {
+    /// Both configurations, batched first.
+    pub const ALL: [IoMode; 2] = [IoMode::Batched, IoMode::PerBlock];
+
+    /// Stable label used in the JSON report.
+    pub const fn label(self) -> &'static str {
+        match self {
+            IoMode::Batched => "batched",
+            IoMode::PerBlock => "per_block",
+        }
+    }
+}
+
+/// One (runtime, scheme, workload, io) measurement.
+#[derive(Debug, Clone)]
+pub struct FsCaseResult {
+    /// Runtime label (`deterministic` / `live` / `tcp`).
+    pub runtime: &'static str,
+    /// Scheme label (`voting` / `available-copy` / `naive-available-copy`).
+    pub scheme: String,
+    /// Workload label (`seq-read` / `seq-write` / `fsync-heavy`).
+    pub workload: &'static str,
+    /// Device configuration label (`batched` / `per_block`).
+    pub io: &'static str,
+    /// Workload operations timed.
+    pub ops: u64,
+    /// Throughput over the timed section.
+    pub ops_per_sec: f64,
+    /// Median per-op latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-op latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Batched-over-per-block throughput ratio for one (runtime, scheme,
+/// workload).
+#[derive(Debug, Clone)]
+pub struct FsSpeedup {
+    /// Runtime label.
+    pub runtime: &'static str,
+    /// Scheme label.
+    pub scheme: String,
+    /// Workload label.
+    pub workload: &'static str,
+    /// `batched.ops_per_sec / per_block.ops_per_sec`.
+    pub ratio: f64,
+}
+
+/// The full suite result: every case plus the derived speedups.
+#[derive(Debug, Clone)]
+pub struct FsBenchReport {
+    /// The configuration that produced this report.
+    pub config: FsBenchConfig,
+    /// All measured cases.
+    pub results: Vec<FsCaseResult>,
+    /// Batched-over-per-block ratios per (runtime, scheme, workload).
+    pub speedups: Vec<FsSpeedup>,
+}
+
+/// Strips a device of its vectored fast path: without `read_blocks` /
+/// `write_blocks` overrides, every multi-block request falls back to the
+/// trait's default per-block loop. Wrapping the identical device in this
+/// is the whole difference between the `batched` and `per_block` cases.
+struct PerBlock<D>(D);
+
+impl<D: BlockDevice> BlockDevice for PerBlock<D> {
+    fn num_blocks(&self) -> u64 {
+        self.0.num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.0.block_size()
+    }
+
+    fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData> {
+        self.0.read_block(k)
+    }
+
+    fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+        self.0.write_block(k, data)
+    }
+
+    fn flush(&self) -> DeviceResult<()> {
+        self.0.flush()
+    }
+}
+
+/// Runs `cfg.ops` operations of `workload` against a file system mounted
+/// on `dev`, timing each into a latency histogram.
+fn drive_fs<D: BlockDevice>(cfg: &FsBenchConfig, dev: D, workload: FsWorkload) -> (f64, Histogram) {
+    let bs = cfg.block_size;
+    let file_bytes = cfg.file_blocks as usize * bs;
+    let fill = |i: u64| vec![(i % 251) as u8; file_bytes];
+    match workload {
+        FsWorkload::SeqRead | FsWorkload::SeqWrite => {
+            let fs = FileSystem::format(dev).expect("format benchmark device");
+            // Warm-up: create and fully allocate the file so every timed op
+            // runs over a stable extent (full-block overwrites, no RMW).
+            fs.write_file("/bench", &fill(0)).expect("warm-up write");
+            let latencies = Histogram::new();
+            let started = Instant::now();
+            for i in 0..cfg.ops {
+                let payload = fill(i);
+                let timer = latencies.timer();
+                match workload {
+                    FsWorkload::SeqRead => {
+                        let data = fs.read("/bench", 0, file_bytes).expect("benchmark read");
+                        assert_eq!(data.len(), file_bytes, "short read");
+                    }
+                    FsWorkload::SeqWrite => {
+                        fs.write("/bench", 0, &payload).expect("benchmark write");
+                    }
+                    FsWorkload::FsyncHeavy => unreachable!(),
+                }
+                drop(timer);
+            }
+            (started.elapsed().as_secs_f64(), latencies)
+        }
+        FsWorkload::FsyncHeavy => {
+            // Small block-aligned writes accumulate in the write-back cache;
+            // the fsync flush coalesces the dirty set into contiguous runs.
+            // The cache holds the whole device, so the contrast below is
+            // purely how the flush hits the wire: vectored runs (batched)
+            // vs one write per dirty block (per_block).
+            let capacity = (cfg.file_blocks + 64) as usize;
+            let fs = FileSystem::format(CacheStore::write_back(dev, capacity))
+                .expect("format benchmark device");
+            fs.write_file("/bench", &fill(0)).expect("warm-up write");
+            fs.device().flush().expect("warm-up fsync");
+            let burst = cfg.file_blocks.min(16);
+            let latencies = Histogram::new();
+            let started = Instant::now();
+            for i in 0..cfg.ops {
+                let chunk = vec![(i % 251) as u8; bs];
+                let timer = latencies.timer();
+                for j in 0..burst {
+                    fs.write("/bench", j * bs as u64, &chunk)
+                        .expect("benchmark write");
+                }
+                fs.device().flush().expect("fsync");
+                drop(timer);
+            }
+            (started.elapsed().as_secs_f64(), latencies)
+        }
+    }
+}
+
+/// Dispatches on the io mode: the per-block case runs the identical device
+/// behind the [`PerBlock`] wrapper.
+fn drive_io<D: BlockDevice>(
+    cfg: &FsBenchConfig,
+    dev: D,
+    workload: FsWorkload,
+    io: IoMode,
+) -> (f64, Histogram) {
+    match io {
+        IoMode::Batched => drive_fs(cfg, dev, workload),
+        IoMode::PerBlock => drive_fs(cfg, PerBlock(dev), workload),
+    }
+}
+
+/// Measures one (runtime, scheme, workload, io) case.
+pub fn run_case(
+    cfg: &FsBenchConfig,
+    runtime: BenchRuntime,
+    scheme: Scheme,
+    workload: FsWorkload,
+    io: IoMode,
+) -> FsCaseResult {
+    let origin = SiteId::new(0);
+    let (elapsed, latencies) = match runtime {
+        BenchRuntime::Deterministic => {
+            let c = Arc::new(Cluster::new(
+                cfg.device(scheme),
+                ClusterOptions { mode: cfg.mode },
+            ));
+            drive_io(cfg, ReliableDevice::new(c, origin), workload, io)
+        }
+        BenchRuntime::Live => {
+            let c = Arc::new(LiveCluster::spawn(cfg.device(scheme), cfg.mode));
+            c.set_fanout(FanoutMode::Parallel);
+            c.set_link_latency(std::time::Duration::from_micros(cfg.link_latency_us));
+            drive_io(cfg, ReliableDevice::new(c, origin), workload, io)
+        }
+        BenchRuntime::Tcp => {
+            let c = Arc::new(TcpCluster::spawn(cfg.device(scheme), cfg.mode).expect("tcp spawn"));
+            c.set_fanout(FanoutMode::Parallel);
+            c.set_link_latency(std::time::Duration::from_micros(cfg.link_latency_us));
+            drive_io(cfg, ReliableDevice::new(c, origin), workload, io)
+        }
+    };
+    let summary = latencies.summary();
+    FsCaseResult {
+        runtime: runtime.label(),
+        scheme: scheme.to_string(),
+        workload: workload.label(),
+        io: io.label(),
+        ops: cfg.ops,
+        ops_per_sec: if elapsed > 0.0 {
+            cfg.ops as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_us: summary.p50 / 1_000.0,
+        p99_us: summary.p99 / 1_000.0,
+    }
+}
+
+/// Runs the whole matrix: three schemes × three workloads × three runtimes
+/// × both io modes.
+pub fn run_suite(cfg: &FsBenchConfig) -> FsBenchReport {
+    let mut results = Vec::new();
+    for scheme in Scheme::ALL {
+        for workload in FsWorkload::ALL {
+            for runtime in BenchRuntime::ALL {
+                for io in IoMode::ALL {
+                    results.push(run_case(cfg, runtime, scheme, workload, io));
+                }
+            }
+        }
+    }
+    let speedups = compute_speedups(&results);
+    FsBenchReport {
+        config: *cfg,
+        results,
+        speedups,
+    }
+}
+
+/// Derives batched-over-per-block ratios from a result set.
+pub fn compute_speedups(results: &[FsCaseResult]) -> Vec<FsSpeedup> {
+    let mut speedups = Vec::new();
+    for batched in results.iter().filter(|r| r.io == "batched") {
+        let per_block = results.iter().find(|r| {
+            r.io == "per_block"
+                && r.runtime == batched.runtime
+                && r.scheme == batched.scheme
+                && r.workload == batched.workload
+        });
+        if let Some(per_block) = per_block {
+            if per_block.ops_per_sec > 0.0 {
+                speedups.push(FsSpeedup {
+                    runtime: batched.runtime,
+                    scheme: batched.scheme.clone(),
+                    workload: batched.workload,
+                    ratio: batched.ops_per_sec / per_block.ops_per_sec,
+                });
+            }
+        }
+    }
+    speedups
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+impl FsBenchReport {
+    /// The report as `blockrep.bench.fs/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"sites\": {},\n", self.config.sites));
+        out.push_str(&format!(
+            "  \"file_blocks\": {},\n",
+            self.config.file_blocks
+        ));
+        out.push_str(&format!("  \"block_size\": {},\n", self.config.block_size));
+        out.push_str(&format!("  \"net\": \"{}\",\n", self.config.mode));
+        out.push_str(&format!(
+            "  \"link_latency_us\": {},\n",
+            self.config.link_latency_us
+        ));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"runtime\": \"{}\", \"scheme\": \"{}\", \"workload\": \"{}\", \
+                 \"io\": \"{}\", \"ops\": {}, \"ops_per_sec\": {}, \"p50_us\": {}, \
+                 \"p99_us\": {}}}{}\n",
+                r.runtime,
+                r.scheme,
+                r.workload,
+                r.io,
+                r.ops,
+                json_f64(r.ops_per_sec),
+                json_f64(r.p50_us),
+                json_f64(r.p99_us),
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"speedups\": [\n");
+        for (i, s) in self.speedups.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"runtime\": \"{}\", \"scheme\": \"{}\", \"workload\": \"{}\", \
+                 \"batched_over_per_block\": {}}}{}\n",
+                s.runtime,
+                s.scheme,
+                s.workload,
+                json_f64(s.ratio),
+                if i + 1 < self.speedups.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// A human-readable table of the same numbers.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| runtime | scheme | workload | io | ops/s | p50 µs | p99 µs |\n");
+        out.push_str("|---|---|---|---|---|---|---|\n");
+        for r in &self.results {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {:.1} | {:.1} | {:.1} |\n",
+                r.runtime, r.scheme, r.workload, r.io, r.ops_per_sec, r.p50_us, r.p99_us
+            ));
+        }
+        for s in &self.speedups {
+            out.push_str(&format!(
+                "{} {} {}: batched is {:.2}x per-block\n",
+                s.runtime, s.scheme, s.workload, s.ratio
+            ));
+        }
+        out
+    }
+}
+
+/// Validates a `blockrep.bench.fs/v1` report.
+///
+/// # Errors
+///
+/// The first structural problem found: syntax error, wrong schema tag,
+/// missing/ill-typed field, an empty result set, or an unknown io label.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    doc.get("net")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"net\"")?;
+    for key in ["sites", "file_blocks", "block_size", "link_latency_us"] {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("missing numeric field {key:?}"))?;
+    }
+    let results = doc
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"results\" array")?;
+    if results.is_empty() {
+        return Err("\"results\" is empty".into());
+    }
+    for (i, r) in results.iter().enumerate() {
+        for key in ["runtime", "scheme", "workload"] {
+            r.get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or(format!("results[{i}]: missing string field {key:?}"))?;
+        }
+        let io = r
+            .get("io")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("results[{i}]: missing string field \"io\""))?;
+        if io != "batched" && io != "per_block" {
+            return Err(format!("results[{i}].io is {io:?}"));
+        }
+        for key in ["ops", "ops_per_sec", "p50_us", "p99_us"] {
+            let v = r
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("results[{i}]: missing numeric field {key:?}"))?;
+            if v < 0.0 {
+                return Err(format!("results[{i}].{key} is negative"));
+            }
+        }
+    }
+    let speedups = doc
+        .get("speedups")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"speedups\" array")?;
+    if speedups.is_empty() {
+        return Err("\"speedups\" is empty".into());
+    }
+    for (i, s) in speedups.iter().enumerate() {
+        for key in ["runtime", "scheme", "workload"] {
+            s.get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or(format!("speedups[{i}]: missing string field {key:?}"))?;
+        }
+        let ratio = s
+            .get("batched_over_per_block")
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!(
+                "speedups[{i}]: missing numeric field \"batched_over_per_block\""
+            ))?;
+        if ratio < 0.0 {
+            return Err(format!("speedups[{i}].batched_over_per_block is negative"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FsBenchConfig {
+        FsBenchConfig {
+            sites: 3,
+            file_blocks: 4,
+            block_size: 64,
+            ops: 2,
+            mode: DeliveryMode::Multicast,
+            link_latency_us: 0,
+        }
+    }
+
+    #[test]
+    fn suite_emits_valid_json_for_every_scheme() {
+        let report = run_suite(&tiny());
+        // 3 schemes × 3 workloads × 3 runtimes × 2 io modes.
+        assert_eq!(report.results.len(), 54);
+        assert_eq!(report.speedups.len(), 27);
+        validate(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_structural_damage() {
+        let mut cfg = tiny();
+        cfg.file_blocks = 2;
+        cfg.ops = 1;
+        let report = run_case(
+            &tiny(),
+            BenchRuntime::Deterministic,
+            Scheme::Voting,
+            FsWorkload::SeqWrite,
+            IoMode::Batched,
+        );
+        let good = FsBenchReport {
+            config: cfg,
+            speedups: vec![FsSpeedup {
+                runtime: report.runtime,
+                scheme: report.scheme.clone(),
+                workload: report.workload,
+                ratio: 1.0,
+            }],
+            results: vec![report],
+        }
+        .to_json();
+        validate(&good).unwrap();
+        assert!(validate(&good.replace(SCHEMA, "other/v0")).is_err());
+        assert!(validate(&good.replace("\"io\": \"batched\"", "\"io\": \"magic\"")).is_err());
+        assert!(validate(&good.replace("\"ops_per_sec\"", "\"oops\"")).is_err());
+        assert!(validate("{\"schema\": \"blockrep.bench.fs/v1\"}").is_err());
+        assert!(validate("not json").is_err());
+    }
+
+    #[test]
+    fn per_block_wrapper_is_byte_transparent() {
+        // Identical fs contents through both device configurations; only
+        // the request shapes differ.
+        let cfg = tiny();
+        let cluster = |scheme| {
+            Arc::new(Cluster::new(
+                cfg.device(scheme),
+                ClusterOptions { mode: cfg.mode },
+            ))
+        };
+        let batched = FileSystem::format(ReliableDevice::new(
+            cluster(Scheme::AvailableCopy),
+            SiteId::new(0),
+        ))
+        .unwrap();
+        let per_block = FileSystem::format(PerBlock(ReliableDevice::new(
+            cluster(Scheme::AvailableCopy),
+            SiteId::new(0),
+        )))
+        .unwrap();
+        let payload: Vec<u8> = (0..cfg.file_blocks as usize * cfg.block_size)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        batched.write_file("/f", &payload).unwrap();
+        per_block.write_file("/f", &payload).unwrap();
+        assert_eq!(batched.read_file("/f").unwrap(), payload);
+        assert_eq!(per_block.read_file("/f").unwrap(), payload);
+    }
+}

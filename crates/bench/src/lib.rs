@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fs_bench;
 pub mod fsload;
 pub mod protocol_bench;
 pub mod report;

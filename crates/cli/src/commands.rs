@@ -31,7 +31,12 @@ usage:
       --block-size Z --ops K               modes; writes BENCH_protocol.json
       --net multicast|unicast --out PATH   with --out
       --latency-us D                       emulated one-way link delay
-  blockrep bench --check PATH              validate an emitted report
+  blockrep bench --suite fs [flags]        fs workloads (seq-read, seq-write,
+      --sites N --file-blocks B            fsync-heavy) over every runtime
+      --block-size Z --ops K               and scheme, batched vs per-block
+      --net multicast|unicast --out PATH   device I/O; writes BENCH_fs.json
+      --latency-us D                       with --out
+  blockrep bench [--suite S] --check PATH  validate an emitted report
   blockrep mkfs <image-file> [flags]       format a file-backed device
       --blocks N --block-size B
   blockrep fsck <image-file> [flags]       consistency-check an image
@@ -225,6 +230,16 @@ fn run_chaos(parsed: &Parsed) -> Result<(), UsageError> {
 }
 
 fn run_bench(parsed: &Parsed) -> Result<(), UsageError> {
+    match parsed.flag("suite") {
+        None | Some("protocol") => run_bench_protocol(parsed),
+        Some("fs") => run_bench_fs(parsed),
+        Some(other) => Err(UsageError(format!(
+            "--suite: expected protocol or fs, got {other:?}"
+        ))),
+    }
+}
+
+fn run_bench_protocol(parsed: &Parsed) -> Result<(), UsageError> {
     use blockrep_bench::protocol_bench::{self, ProtocolBenchConfig};
     if let Some(path) = parsed.flag("check") {
         let text =
@@ -251,6 +266,40 @@ fn run_bench(parsed: &Parsed) -> Result<(), UsageError> {
         let json = report.to_json();
         // Never emit a report the --check path would reject.
         protocol_bench::validate(&json)
+            .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
+        std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_bench_fs(parsed: &Parsed) -> Result<(), UsageError> {
+    use blockrep_bench::fs_bench::{self, FsBenchConfig};
+    if let Some(path) = parsed.flag("check") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        fs_bench::validate(&text)
+            .map_err(|e| UsageError(format!("bench: {path}: invalid report: {e}")))?;
+        println!("{path}: valid {}", fs_bench::SCHEMA);
+        return Ok(());
+    }
+    let mut cfg = FsBenchConfig::new();
+    cfg.sites = parsed.flag_usize("sites", cfg.sites)?;
+    cfg.file_blocks = parsed.flag_u64("file-blocks", cfg.file_blocks)?;
+    cfg.block_size = parsed.flag_usize("block-size", cfg.block_size)?;
+    cfg.ops = parsed.flag_u64("ops", cfg.ops)?;
+    cfg.mode = parsed.flag_mode("net", cfg.mode)?;
+    cfg.link_latency_us = parsed.flag_u64("latency-us", cfg.link_latency_us)?;
+    println!(
+        "bench fs: n = {}, {}-block file x {} B, {} ops/case, {}, link delay {} us",
+        cfg.sites, cfg.file_blocks, cfg.block_size, cfg.ops, cfg.mode, cfg.link_latency_us
+    );
+    let report = fs_bench::run_suite(&cfg);
+    print!("{}", report.to_table());
+    if let Some(path) = parsed.flag("out") {
+        let json = report.to_json();
+        // Never emit a report the --check path would reject.
+        fs_bench::validate(&json)
             .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
         std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
         println!("wrote {path}");
@@ -432,6 +481,39 @@ mod tests {
         // Damage the report: --check must fail.
         std::fs::write(&path, "{\"schema\": \"wrong\"}")?;
         assert!(run(&parsed(&["bench", "--check", &path_str])).is_err());
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn bench_fs_suite_writes_and_checks_a_report() -> Result<(), UsageError> {
+        let mut path = std::env::temp_dir();
+        path.push(format!("blockrep-cli-bench-fs-{}.json", std::process::id()));
+        let path_str = path
+            .to_str()
+            .ok_or_else(|| UsageError("temp path is not UTF-8".into()))?
+            .to_string();
+        run(&parsed(&[
+            "bench",
+            "--suite",
+            "fs",
+            "--sites",
+            "3",
+            "--file-blocks",
+            "2",
+            "--block-size",
+            "64",
+            "--ops",
+            "1",
+            "--latency-us",
+            "0",
+            "--out",
+            &path_str,
+        ]))?;
+        run(&parsed(&["bench", "--suite", "fs", "--check", &path_str]))?;
+        // A protocol report is not an fs report, and vice versa.
+        assert!(run(&parsed(&["bench", "--check", &path_str])).is_err());
+        assert!(run(&parsed(&["bench", "--suite", "nope"])).is_err());
         std::fs::remove_file(path)?;
         Ok(())
     }

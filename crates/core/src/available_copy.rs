@@ -9,7 +9,9 @@
 //! (Definition 3.2) has recovered — the closure necessarily contains the
 //! last site(s) to fail, hence a most-current copy.
 
-use crate::backend::{self, Backend, Gather, ScatterReply, ScatterRequest, ScatterSpec};
+use crate::backend::{
+    self, Backend, Gather, ScatterReply, ScatterRequest, ScatterSpec, WriteBatch,
+};
 use crate::obs_hooks;
 use blockrep_net::{MsgKind, OpClass};
 use blockrep_obs::event;
@@ -109,6 +111,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
     let spec = ScatterSpec {
         op: OpClass::Write,
         reply_charge: (!naive).then_some(MsgKind::WriteAck),
+        reply_units: 1,
         gather: Gather::All,
     };
     let update = ScatterRequest::InstallIfAvailable {
@@ -133,6 +136,113 @@ pub(crate) fn write<B: Backend + ?Sized>(
     if !naive {
         // Definition 3.1: everyone who received this write records the write
         // group as its new was-available set (piggybacked on update + acks).
+        for &t in &recipients {
+            b.set_was_available(origin, t, &recipients);
+        }
+        event!("was_available.update", group = recipients.len());
+    }
+    Ok(())
+}
+
+/// Vectored read under the available copy schemes: every block of the run
+/// is served off the local disk, so the batch is exactly as free as the
+/// per-block loop — zero messages either way.
+///
+/// # Errors
+///
+/// As for [`read`].
+pub(crate) fn read_many<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    ks: &[BlockIndex],
+) -> DeviceResult<Vec<BlockData>> {
+    ensure_serving(b, origin)?;
+    for &k in ks {
+        check_block(b, k)?;
+    }
+    event!(
+        "read.local.batch",
+        site = origin.as_u32(),
+        blocks = ks.len()
+    );
+    Ok(b.read_local_many(origin, ks))
+}
+
+/// Vectored write under available copy (or, with `naive = true`, naive
+/// available copy): one batched install fan-out for a run of distinct
+/// blocks.
+///
+/// Each block keeps its own version line (`own version + 1`, the origin
+/// being current), and §5 traffic stays per block: one `WriteUpdate`
+/// fan-out charged per block, and — for the conventional scheme — each
+/// available recipient's single physical acknowledgement charged as
+/// `writes.len()` `WriteAck` transmissions. Site availability cannot change
+/// mid-batch (the batch is one frame per site), so every block of the run
+/// lands on the same recipient group, exactly as a per-block loop against
+/// an unchanging cluster; the final was-available sets coincide.
+///
+/// # Errors
+///
+/// As for [`write`].
+pub(crate) fn write_many<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    writes: &[(BlockIndex, BlockData)],
+    naive: bool,
+) -> DeviceResult<()> {
+    ensure_serving(b, origin)?;
+    let cfg = b.config();
+    for (k, data) in writes {
+        check_block(b, *k)?;
+        if data.len() != cfg.block_size() {
+            return Err(DeviceError::WrongBlockSize {
+                got: data.len(),
+                expected: cfg.block_size(),
+            });
+        }
+    }
+    if writes.is_empty() {
+        return Ok(());
+    }
+    let ks: Vec<BlockIndex> = writes.iter().map(|&(k, _)| k).collect();
+    // The origin is available, hence current: its versions are the latest.
+    let own = b
+        .vote_many(origin, origin, &ks)
+        .expect("available origin answers its own version lookup");
+    let batch: WriteBatch = writes
+        .iter()
+        .zip(&own)
+        .map(|((k, data), v)| (*k, v.next(), data.clone()))
+        .collect();
+    let others = backend::others(cfg, origin);
+    for _ in writes {
+        backend::charge_fanout(b, OpClass::Write, MsgKind::WriteUpdate, others.len());
+    }
+    let mut recipients: BTreeSet<SiteId> = BTreeSet::from([origin]);
+    let spec = ScatterSpec {
+        op: OpClass::Write,
+        reply_charge: (!naive).then_some(MsgKind::WriteAck),
+        reply_units: writes.len() as u64,
+        gather: Gather::All,
+    };
+    let update = ScatterRequest::InstallIfAvailableMany(batch.clone());
+    for (t, reply) in b.scatter(spec, origin, &others, &update) {
+        if reply == Some(ScatterReply::Delivered) {
+            recipients.insert(t);
+        }
+    }
+    b.apply_write_many(origin, origin, &batch);
+    event!(
+        "acwrite.fanout.batch",
+        origin = origin.as_u32(),
+        blocks = writes.len(),
+        recipients = recipients.len(),
+        naive = naive,
+    );
+    if !naive {
+        // Definition 3.1, once per batch: the write group is identical for
+        // every block of the run, so one refresh reaches the same final
+        // state as a per-block loop.
         for &t in &recipients {
             b.set_was_available(origin, t, &recipients);
         }
@@ -180,6 +290,7 @@ pub(crate) fn begin_recovery<B: Backend + ?Sized>(b: &B, s: SiteId) {
     let spec = ScatterSpec {
         op: OpClass::Recovery,
         reply_charge: Some(MsgKind::RecoveryReply),
+        reply_units: 1,
         gather: Gather::All,
     };
     b.scatter(spec, s, &others, &ScatterRequest::ProbeState);
@@ -240,6 +351,7 @@ pub(crate) fn most_current<B: Backend + ?Sized>(
     let spec = ScatterSpec {
         op: OpClass::Recovery,
         reply_charge: None,
+        reply_units: 1,
         gather: Gather::All,
     };
     let fetched = b.scatter(spec, observer, &remote, &ScatterRequest::VersionVector);

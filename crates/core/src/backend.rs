@@ -29,6 +29,12 @@ use std::collections::BTreeSet;
 /// the recovering site is missing.
 pub type RepairBlocks = Vec<(BlockIndex, VersionNumber, BlockData)>;
 
+/// A vectored install: `(block, version, data)` triples for every distinct
+/// block of one batched write round. Shares the wire shape of
+/// [`RepairBlocks`], but carries fresh write versions rather than repair
+/// payloads.
+pub type WriteBatch = Vec<(BlockIndex, VersionNumber, BlockData)>;
+
 /// One batched fan-out request: the question every target of a
 /// [`Backend::scatter`] is asked.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +67,17 @@ pub enum ScatterRequest {
     },
     /// Request each target's version vector (recovery source selection).
     VersionVector,
+    /// Request each target's votes for a whole run of blocks in one
+    /// exchange (vectored MCV vote collection). The §5 accounting stays
+    /// per block — see [`ScatterSpec::reply_units`].
+    VoteMany(Vec<BlockIndex>),
+    /// Install a batch of blocks unconditionally in one exchange (vectored
+    /// MCV write installation). Delivery is all-or-nothing per target: one
+    /// frame either lands or does not.
+    InstallMany(WriteBatch),
+    /// Probe each target and install the whole batch only on the available
+    /// ones (the vectored AC/NAC write fan-out).
+    InstallIfAvailableMany(WriteBatch),
 }
 
 /// One target's answer to a [`ScatterRequest`].
@@ -74,6 +91,8 @@ pub enum ScatterReply {
     Delivered,
     /// A version vector.
     Vector(VersionVector),
+    /// Votes for a batch of blocks, in request order.
+    Versions(Vec<VersionNumber>),
 }
 
 /// How much of a scatter the coordinator must wait for.
@@ -106,6 +125,11 @@ pub struct ScatterSpec {
     /// Message kind charged per gathered reply (`None` for one-way
     /// installs, whose acknowledgements the paper does not count).
     pub reply_charge: Option<MsgKind>,
+    /// §5 transmissions charged per gathered reply. `1` for single-block
+    /// exchanges; a batched exchange sets this to the batch length so one
+    /// physical reply frame is charged as the per-block replies it stands
+    /// for, keeping vectored traffic byte-identical to the per-block loop.
+    pub reply_units: u64,
     /// Gathering policy.
     pub gather: Gather,
 }
@@ -165,6 +189,16 @@ pub trait Backend: Send + Sync {
     /// Reads block `k` straight off `s`'s local disk.
     fn read_local(&self, s: SiteId, k: BlockIndex) -> BlockData;
 
+    /// Reads a run of blocks straight off `s`'s local disk in **one**
+    /// exchange, in the order of `ks`.
+    ///
+    /// The default loops [`read_local`](Self::read_local); message-passing
+    /// runtimes override it with a single batched frame so a vectored read
+    /// pays one round trip to the local replica instead of one per block.
+    fn read_local_many(&self, s: SiteId, ks: &[BlockIndex]) -> Vec<BlockData> {
+        ks.iter().map(|&k| self.read_local(s, k)).collect()
+    }
+
     /// Requests `to`'s version vector.
     fn version_vector(&self, from: SiteId, to: SiteId) -> Option<VersionVector>;
 
@@ -205,6 +239,34 @@ pub trait Backend: Send + Sync {
     /// checksum-broken blocks to the freshly formatted state. Returns the
     /// number of blocks reset.
     fn scrub_local(&self, s: SiteId) -> usize;
+
+    /// Requests `to`'s votes for a whole run of blocks in **one** exchange.
+    /// Replies come back in the order of `ks`; `None` means the target did
+    /// not answer (failed/unreachable), exactly as per-block
+    /// [`vote`](Self::vote) would have for every block.
+    ///
+    /// The default loops [`vote`](Self::vote); message-passing runtimes
+    /// override it with a single batched frame. The fault-injection layer
+    /// counts one call to this method as one `(op, exchange)` slot.
+    fn vote_many(&self, from: SiteId, to: SiteId, ks: &[BlockIndex]) -> Option<Vec<VersionNumber>> {
+        ks.iter().map(|&k| self.vote(from, to, k)).collect()
+    }
+
+    /// Delivers a batch of write updates to `to` in **one** exchange (or
+    /// applies them locally when `from == to`). Delivery is all-or-nothing:
+    /// the batch frame either reaches `to` (every block installed if newer)
+    /// or does not.
+    ///
+    /// The default loops [`apply_write`](Self::apply_write); message-passing
+    /// runtimes override it with a single batched frame. The fault-injection
+    /// layer counts one call as one `(op, exchange)` slot.
+    fn apply_write_many(&self, from: SiteId, to: SiteId, writes: &WriteBatch) -> bool {
+        let mut delivered = true;
+        for (k, v, data) in writes {
+            delivered &= self.apply_write(from, to, *k, data, *v);
+        }
+        delivered
+    }
 
     /// Whether MCV vote collection may stop gathering at quorum weight
     /// ([`Gather::EarlyQuorum`]). Opt-in per runtime; off by default.
@@ -261,6 +323,14 @@ fn exchange_once<B: Backend + ?Sized>(
             && b.apply_write(origin, t, *k, data, *v))
         .then_some(ScatterReply::Delivered),
         ScatterRequest::VersionVector => b.version_vector(origin, t).map(ScatterReply::Vector),
+        ScatterRequest::VoteMany(ks) => b.vote_many(origin, t, ks).map(ScatterReply::Versions),
+        ScatterRequest::InstallMany(writes) => b
+            .apply_write_many(origin, t, writes)
+            .then_some(ScatterReply::Delivered),
+        ScatterRequest::InstallIfAvailableMany(writes) => (b.probe_state(origin, t)
+            == Some(SiteState::Available)
+            && b.apply_write_many(origin, t, writes))
+        .then_some(ScatterReply::Delivered),
     }
 }
 
@@ -282,7 +352,7 @@ pub fn scatter_sequential<B: Backend + ?Sized>(
         let reply = exchange_once(b, origin, t, req);
         if reply.is_some() {
             if let Some(kind) = spec.reply_charge {
-                b.counter().add(spec.op, kind, 1);
+                b.counter().add(spec.op, kind, spec.reply_units);
             }
         }
         replies.push((t, reply));

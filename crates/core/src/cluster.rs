@@ -137,6 +137,30 @@ impl Cluster {
         protocol::write(self, origin, k, data)
     }
 
+    /// Reads a run of distinct blocks in one batched protocol round.
+    /// Byte- and traffic-identical to per-block [`read`](Self::read)s.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read`](Self::read); the quorum check covers the batch.
+    pub fn read_many(&self, origin: SiteId, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        protocol::read_many(self, origin, ks)
+    }
+
+    /// Writes a run of distinct blocks in one batched protocol round.
+    /// State- and traffic-identical to per-block [`write`](Self::write)s.
+    ///
+    /// # Errors
+    ///
+    /// As for [`write`](Self::write); the quorum check covers the batch.
+    pub fn write_many(
+        &self,
+        origin: SiteId,
+        writes: &[(BlockIndex, BlockData)],
+    ) -> DeviceResult<()> {
+        protocol::write_many(self, origin, writes)
+    }
+
     /// Fail-stops site `s`: its server halts (keeping its disk), and under
     /// available copy with on-failure tracking the survivors refresh their
     /// was-available sets.

@@ -84,6 +84,14 @@ impl<C: Backend> BlockDevice for DriverStub<C> {
     fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
         protocol::write(&*self.cluster, self.site, k, data)
     }
+
+    fn read_blocks(&self, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        protocol::read_many(&*self.cluster, self.site, ks)
+    }
+
+    fn write_blocks(&self, writes: &[(BlockIndex, BlockData)]) -> DeviceResult<()> {
+        protocol::write_many(&*self.cluster, self.site, writes)
+    }
 }
 
 /// The reliable device as a client library: an ordinary [`BlockDevice`]
@@ -193,6 +201,14 @@ impl<C: Backend> BlockDevice for ReliableDevice<C> {
 
     fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
         self.with_failover(|origin| protocol::write(&*self.cluster, origin, k, data.clone()))
+    }
+
+    fn read_blocks(&self, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        self.with_failover(|origin| protocol::read_many(&*self.cluster, origin, ks))
+    }
+
+    fn write_blocks(&self, writes: &[(BlockIndex, BlockData)]) -> DeviceResult<()> {
+        self.with_failover(|origin| protocol::write_many(&*self.cluster, origin, writes))
     }
 }
 

@@ -22,7 +22,7 @@
 //! protocol step on all three runtimes, concurrency notwithstanding (see
 //! `scatter_keeps_exchange_indices_pinned_on_all_runtimes` below).
 
-use crate::backend::{Backend, RepairBlocks, RepairPayload};
+use crate::backend::{Backend, RepairBlocks, RepairPayload, WriteBatch};
 use crate::obs_hooks;
 use blockrep_net::{DeliveryMode, TrafficCounter};
 use blockrep_obs::event;
@@ -171,6 +171,11 @@ enum Deferred {
         data: BlockData,
         v: VersionNumber,
     },
+    ApplyWriteMany {
+        from: SiteId,
+        to: SiteId,
+        writes: WriteBatch,
+    },
     SetW {
         from: SiteId,
         to: SiteId,
@@ -274,6 +279,11 @@ impl<'a, B: Backend> FaultyBackend<'a, B> {
                 } => {
                     if !crashed.contains(&to) {
                         self.inner.apply_write(from, to, k, &data, v);
+                    }
+                }
+                Deferred::ApplyWriteMany { from, to, writes } => {
+                    if !crashed.contains(&to) {
+                        self.inner.apply_write_many(from, to, &writes);
                     }
                 }
                 Deferred::SetW { from, to, w } => {
@@ -421,6 +431,15 @@ impl<B: Backend> Backend for FaultyBackend<'_, B> {
         self.rpc(from, to, || self.inner.vote(from, to, k))
     }
 
+    fn vote_many(&self, from: SiteId, to: SiteId, ks: &[BlockIndex]) -> Option<Vec<VersionNumber>> {
+        if from == to {
+            return self.inner.vote_many(from, to, ks);
+        }
+        // One batched request frame = one remote exchange, whatever its
+        // block count — so (op, exchange) coordinates stay pinned.
+        self.rpc(from, to, || self.inner.vote_many(from, to, ks))
+    }
+
     fn fetch_block(
         &self,
         from: SiteId,
@@ -478,8 +497,65 @@ impl<B: Backend> Backend for FaultyBackend<'_, B> {
         }
     }
 
+    fn apply_write_many(&self, from: SiteId, to: SiteId, writes: &WriteBatch) -> bool {
+        if from == to {
+            return self.inner.apply_write_many(from, to, writes);
+        }
+        match self.pre(from, to) {
+            Decision::Deliver | Decision::DeliverThenDead => {
+                self.inner.apply_write_many(from, to, writes)
+            }
+            Decision::Duplicate => {
+                let _ = self.inner.apply_write_many(from, to, writes);
+                self.inner.apply_write_many(from, to, writes)
+            }
+            Decision::Suppress => false,
+            Decision::Delay => {
+                self.state.lock().deferred.push(Deferred::ApplyWriteMany {
+                    from,
+                    to,
+                    writes: writes.clone(),
+                });
+                false
+            }
+            // The disk dies while persisting the first block of the batch:
+            // it lands torn/stale, the rest of the batch never reaches the
+            // platter, and no ack is sent.
+            Decision::Torn(keep) => {
+                if let Some((k, v, data)) = writes.first() {
+                    self.inner.apply_write_faulty(
+                        from,
+                        to,
+                        *k,
+                        data,
+                        *v,
+                        StorageFault::Torn { keep },
+                    );
+                }
+                false
+            }
+            Decision::Stale => {
+                if let Some((k, v, data)) = writes.first() {
+                    self.inner.apply_write_faulty(
+                        from,
+                        to,
+                        *k,
+                        data,
+                        *v,
+                        StorageFault::StaleVersion,
+                    );
+                }
+                false
+            }
+        }
+    }
+
     fn read_local(&self, s: SiteId, k: BlockIndex) -> BlockData {
         self.inner.read_local(s, k)
+    }
+
+    fn read_local_many(&self, s: SiteId, ks: &[BlockIndex]) -> Vec<BlockData> {
+        self.inner.read_local_many(s, ks)
     }
 
     fn version_vector(&self, from: SiteId, to: SiteId) -> Option<VersionVector> {
@@ -714,6 +790,68 @@ mod tests {
         );
         assert_eq!(d, run_write_with_dropped_vote(&live), "live diverged");
         assert_eq!(d, run_write_with_dropped_vote(&tcp), "tcp diverged");
+    }
+
+    /// Batched MCV write at 4 sites with a drop on exchange 1 (s2's batched
+    /// vote): the whole VoteMany frame to a site is ONE exchange, so the
+    /// coordinates are vote(s1)=0, vote(s2)=1, vote(s3)=2, then one
+    /// InstallMany per voter — regardless of how many blocks the batch
+    /// carries.
+    fn run_batched_write_with_dropped_vote<B: Backend>(
+        inner: &B,
+    ) -> (Vec<Vec<u64>>, blockrep_net::TrafficSnapshot, Vec<FaultSpec>) {
+        let plan: FaultPlan = [FaultSpec {
+            op: 0,
+            exchange: 1,
+            kind: FaultKind::DropMessage,
+        }]
+        .into_iter()
+        .collect();
+        let fb = FaultyBackend::new(inner, &plan);
+        fb.begin_op(0);
+        let writes: Vec<(BlockIndex, BlockData)> = (0..2)
+            .map(|k| (BlockIndex::new(k), BlockData::from(vec![6 + k as u8; 4])))
+            .collect();
+        crate::protocol::write_many(&fb, sid(0), &writes).unwrap();
+        let report = fb.end_op();
+        let versions = (0..4)
+            .map(|i| {
+                (0..2)
+                    .map(|k| {
+                        inner
+                            .vote(sid(i), sid(i), BlockIndex::new(k))
+                            .expect("local version lookup")
+                            .as_u64()
+                    })
+                    .collect()
+            })
+            .collect();
+        (versions, inner.counter().snapshot(), report.fired)
+    }
+
+    #[test]
+    fn batched_scatter_occupies_one_exchange_slot_on_all_runtimes() {
+        let cfg = DeviceConfig::builder(Scheme::Voting)
+            .sites(4)
+            .num_blocks(2)
+            .block_size(4)
+            .build()
+            .unwrap();
+        let det = Cluster::new(cfg.clone(), ClusterOptions::default());
+        let live = crate::LiveCluster::spawn(cfg.clone(), DeliveryMode::Multicast);
+        let tcp = crate::TcpCluster::spawn(cfg, DeliveryMode::Multicast).unwrap();
+        let d = run_batched_write_with_dropped_vote(&det);
+        assert_eq!(
+            d.0,
+            vec![vec![1, 1], vec![1, 1], vec![0, 0], vec![1, 1]],
+            "dropping the one batched vote frame must exclude exactly s2 for every block"
+        );
+        assert_eq!(
+            d,
+            run_batched_write_with_dropped_vote(&live),
+            "live diverged"
+        );
+        assert_eq!(d, run_batched_write_with_dropped_vote(&tcp), "tcp diverged");
     }
 
     #[test]

@@ -90,6 +90,7 @@ pub(crate) mod voting;
 
 pub use backend::{
     Gather, RepairBlocks, RepairPayload, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec,
+    WriteBatch,
 };
 pub use cluster::{Cluster, ClusterOptions};
 pub use device::{DriverStub, ReliableDevice};

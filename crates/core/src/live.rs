@@ -14,7 +14,7 @@
 //! replayed on both runtimes must produce identical message counts.
 
 use crate::backend::{
-    self, Backend, Gather, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec,
+    self, Backend, Gather, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec, WriteBatch,
 };
 use crate::protocol;
 use crate::replica::Replica;
@@ -57,6 +57,9 @@ enum Request {
     GetW(Sender<BTreeSet<SiteId>>),
     SetW(BTreeSet<SiteId>),
     AddW(SiteId),
+    VoteMany(Vec<BlockIndex>, Sender<Vec<VersionNumber>>),
+    ApplyWriteMany(WriteBatch),
+    ReadLocalMany(Vec<BlockIndex>, Sender<Vec<BlockData>>),
     Shutdown,
 }
 
@@ -198,6 +201,30 @@ impl LiveCluster {
     /// As for [`Cluster::write`](crate::Cluster::write).
     pub fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
         protocol::write(self, origin, k, data)
+    }
+
+    /// Reads a batch of distinct blocks in one vectored protocol round,
+    /// coordinated by site `origin`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::read_many`](crate::Cluster::read_many).
+    pub fn read_many(&self, origin: SiteId, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        protocol::read_many(self, origin, ks)
+    }
+
+    /// Writes a batch of distinct blocks in one vectored protocol round,
+    /// coordinated by site `origin`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::write_many`](crate::Cluster::write_many).
+    pub fn write_many(
+        &self,
+        origin: SiteId,
+        writes: &[(BlockIndex, BlockData)],
+    ) -> DeviceResult<()> {
+        protocol::write_many(self, origin, writes)
     }
 
     /// Fail-stops site `s`: its link goes down and it stops answering.
@@ -377,11 +404,11 @@ impl LiveCluster {
                 // charged — by the drainer — but nobody blocks on it.
                 if let Some(rx) = rx {
                     let counter = Arc::clone(&self.counter);
-                    let (op, charge) = (spec.op, spec.reply_charge);
+                    let (op, charge, units) = (spec.op, spec.reply_charge, spec.reply_units);
                     stragglers.push(Box::new(move || {
                         if rx.recv().is_ok() {
                             if let Some(kind) = charge {
-                                counter.add(op, kind, 1);
+                                counter.add(op, kind, units);
                             }
                         }
                     }));
@@ -392,7 +419,7 @@ impl LiveCluster {
             let reply = rx.and_then(|rx| rx.recv().ok());
             if reply.is_some() {
                 if let Some(kind) = spec.reply_charge {
-                    self.counter.add(spec.op, kind, 1);
+                    self.counter.add(spec.op, kind, spec.reply_units);
                 }
                 gathered += self.cfg.weight(t).as_u64();
             }
@@ -422,6 +449,8 @@ fn is_rpc(req: &Request) -> bool {
             | Request::VersionVector(_)
             | Request::RepairPayload(..)
             | Request::GetW(_)
+            | Request::VoteMany(..)
+            | Request::ReadLocalMany(..)
     )
 }
 
@@ -468,6 +497,17 @@ fn handle(replica: &mut Replica, req: Request) {
         }
         Request::SetW(w) => replica.set_was_available(w),
         Request::AddW(s) => replica.add_was_available(s),
+        Request::VoteMany(ks, reply) => {
+            let _ = reply.send(ks.into_iter().map(|k| replica.version(k)).collect());
+        }
+        Request::ApplyWriteMany(writes) => {
+            for (k, v, data) in writes {
+                replica.install(k, data, v);
+            }
+        }
+        Request::ReadLocalMany(ks, reply) => {
+            let _ = reply.send(ks.into_iter().map(|k| replica.data(k)).collect());
+        }
         Request::Shutdown => {}
     }
 }
@@ -505,6 +545,10 @@ impl Backend for LiveCluster {
         self.call(from, to, |tx| Request::Vote(k, tx))
     }
 
+    fn vote_many(&self, from: SiteId, to: SiteId, ks: &[BlockIndex]) -> Option<Vec<VersionNumber>> {
+        self.call(from, to, |tx| Request::VoteMany(ks.to_vec(), tx))
+    }
+
     fn fetch_block(
         &self,
         from: SiteId,
@@ -525,8 +569,17 @@ impl Backend for LiveCluster {
         self.cast(from, to, Request::ApplyWrite(k, data.clone(), v))
     }
 
+    fn apply_write_many(&self, from: SiteId, to: SiteId, writes: &WriteBatch) -> bool {
+        self.cast(from, to, Request::ApplyWriteMany(writes.clone()))
+    }
+
     fn read_local(&self, s: SiteId, k: BlockIndex) -> BlockData {
         self.call(s, s, |tx| Request::ReadLocal(k, tx))
+            .expect("a site can always read its own disk")
+    }
+
+    fn read_local_many(&self, s: SiteId, ks: &[BlockIndex]) -> Vec<BlockData> {
+        self.call(s, s, |tx| Request::ReadLocalMany(ks.to_vec(), tx))
             .expect("a site can always read its own disk")
     }
 
@@ -610,6 +663,16 @@ impl Backend for LiveCluster {
                     ScatterReply::Version,
                 )
             }
+            ScatterRequest::VoteMany(ks) => {
+                let ks = ks.clone();
+                self.scatter_calls(
+                    spec,
+                    origin,
+                    targets,
+                    move |tx| Request::VoteMany(ks.clone(), tx),
+                    ScatterReply::Versions,
+                )
+            }
             ScatterRequest::VersionVector => self.scatter_calls(
                 spec,
                 origin,
@@ -620,7 +683,9 @@ impl Backend for LiveCluster {
             // Installs are one-way casts and probes are local state reads on
             // this runtime: the sequential body already never blocks.
             ScatterRequest::Install { .. }
+            | ScatterRequest::InstallMany(_)
             | ScatterRequest::InstallIfAvailable { .. }
+            | ScatterRequest::InstallIfAvailableMany(_)
             | ScatterRequest::ProbeState => {
                 backend::scatter_sequential(self, spec, origin, targets, req)
             }

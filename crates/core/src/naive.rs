@@ -37,6 +37,25 @@ pub(crate) fn write<B: Backend + ?Sized>(
     available_copy::write(b, origin, k, data, true)
 }
 
+/// Vectored read: local, free. See [`available_copy::read_many`].
+pub(crate) fn read_many<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    ks: &[BlockIndex],
+) -> DeviceResult<Vec<BlockData>> {
+    available_copy::read_many(b, origin, ks)
+}
+
+/// Vectored write to all available copies, still with no acknowledgements:
+/// one batched broadcast for the whole run of blocks.
+pub(crate) fn write_many<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    writes: &[(BlockIndex, BlockData)],
+) -> DeviceResult<()> {
+    available_copy::write_many(b, origin, writes, true)
+}
+
 /// Fail-stop a site; the naive scheme records nothing about it.
 pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId) {
     available_copy::fail(b, s, true)

@@ -38,6 +38,38 @@ pub(crate) fn write<B: Backend + ?Sized>(
     }
 }
 
+/// Reads a run of distinct blocks in one batched protocol round, under the
+/// configured scheme. Byte-identical (and §5 traffic-identical) to reading
+/// each block in turn; only the number of physical exchanges shrinks.
+pub(crate) fn read_many<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    ks: &[BlockIndex],
+) -> DeviceResult<Vec<BlockData>> {
+    let _timer = obs_hooks::timer(obs_hooks::read_latency);
+    match b.config().scheme() {
+        Scheme::Voting => voting::read_many(b, origin, ks),
+        Scheme::AvailableCopy => available_copy::read_many(b, origin, ks),
+        Scheme::NaiveAvailableCopy => naive::read_many(b, origin, ks),
+    }
+}
+
+/// Writes a run of distinct blocks in one batched protocol round, under the
+/// configured scheme. State- and §5 traffic-identical to writing each block
+/// in turn against an unchanging cluster.
+pub(crate) fn write_many<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    writes: &[(BlockIndex, BlockData)],
+) -> DeviceResult<()> {
+    let _timer = obs_hooks::timer(obs_hooks::write_latency);
+    match b.config().scheme() {
+        Scheme::Voting => voting::write_many(b, origin, writes),
+        Scheme::AvailableCopy => available_copy::write_many(b, origin, writes, false),
+        Scheme::NaiveAvailableCopy => naive::write_many(b, origin, writes),
+    }
+}
+
 /// Fail-stops site `s`.
 pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId) {
     match b.config().scheme() {

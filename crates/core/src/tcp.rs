@@ -17,7 +17,9 @@
 //! schemes assume none, and the deterministic runtimes cover the
 //! partition experiments.
 
-use crate::backend::{self, Backend, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec};
+use crate::backend::{
+    self, Backend, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec, WriteBatch,
+};
 use crate::replica::Replica;
 use crate::wire::{self, WireRequest, WireResponse};
 use crate::{protocol, RepairBlocks};
@@ -109,6 +111,18 @@ fn serve_conn(replica: &mut Replica, conn: &mut TcpStream, latency_ns: &AtomicU6
                 WireResponse::Ack
             }
             WireRequest::Scrub => WireResponse::Count(replica.scrub().len() as u64),
+            WireRequest::VoteMany(ks) => {
+                WireResponse::Versions(ks.into_iter().map(|k| replica.version(k)).collect())
+            }
+            WireRequest::ApplyWriteMany(blocks) => {
+                for (k, v, data) in blocks {
+                    replica.install(k, data, v);
+                }
+                WireResponse::Ack
+            }
+            WireRequest::ReadLocalMany(ks) => {
+                WireResponse::DataMany(ks.into_iter().map(|k| replica.data(k)).collect())
+            }
         };
         if wire::write_frame(conn, &response.encode()).is_err() {
             return Served::Hangup;
@@ -249,6 +263,30 @@ impl TcpCluster {
     /// As for [`Cluster::write`](crate::Cluster::write).
     pub fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
         protocol::write(self, origin, k, data)
+    }
+
+    /// Reads a run of distinct blocks in one batched protocol round — one
+    /// request frame per site for the whole run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read`](Self::read); the quorum check covers the batch.
+    pub fn read_many(&self, origin: SiteId, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        protocol::read_many(self, origin, ks)
+    }
+
+    /// Writes a run of distinct blocks in one batched protocol round — one
+    /// request frame per site for the whole run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`write`](Self::write); the quorum check covers the batch.
+    pub fn write_many(
+        &self,
+        origin: SiteId,
+        writes: &[(BlockIndex, BlockData)],
+    ) -> DeviceResult<()> {
+        protocol::write_many(self, origin, writes)
     }
 
     /// Fail-stops site `s` (it stops being contacted; its server and disk
@@ -411,7 +449,7 @@ impl TcpCluster {
             });
             if reply.is_some() {
                 if let Some(kind) = spec.reply_charge {
-                    self.counter.add(spec.op, kind, 1);
+                    self.counter.add(spec.op, kind, spec.reply_units);
                 }
             }
             replies.push((t, reply));
@@ -499,6 +537,13 @@ impl Backend for TcpCluster {
     fn read_local(&self, s: SiteId, k: BlockIndex) -> BlockData {
         match self.rpc(s, WireRequest::ReadLocal(k)) {
             Some(WireResponse::Data(data)) => data,
+            other => unreachable!("a site can always read its own disk (got {other:?})"),
+        }
+    }
+
+    fn read_local_many(&self, s: SiteId, ks: &[BlockIndex]) -> Vec<BlockData> {
+        match self.rpc(s, WireRequest::ReadLocalMany(ks.to_vec())) {
+            Some(WireResponse::DataMany(ds)) if ds.len() == ks.len() => ds,
             other => unreachable!("a site can always read its own disk (got {other:?})"),
         }
     }
@@ -591,6 +636,26 @@ impl Backend for TcpCluster {
         }
     }
 
+    fn vote_many(&self, from: SiteId, to: SiteId, ks: &[BlockIndex]) -> Option<Vec<VersionNumber>> {
+        if from != to && !self.reachable(from, to) {
+            return None;
+        }
+        match self.rpc(to, WireRequest::VoteMany(ks.to_vec()))? {
+            WireResponse::Versions(vs) if vs.len() == ks.len() => Some(vs),
+            _ => None,
+        }
+    }
+
+    fn apply_write_many(&self, from: SiteId, to: SiteId, writes: &WriteBatch) -> bool {
+        if from != to && !self.reachable(from, to) {
+            return false;
+        }
+        matches!(
+            self.rpc(to, WireRequest::ApplyWriteMany(writes.clone())),
+            Some(WireResponse::Ack)
+        )
+    }
+
     fn scatter(
         &self,
         spec: ScatterSpec,
@@ -638,6 +703,37 @@ impl Backend for TcpCluster {
                 |t| {
                     (self.probe_state(origin, t) == Some(SiteState::Available))
                         .then(|| WireRequest::ApplyWrite(*k, *v, data.clone()))
+                },
+                |resp| matches!(resp, WireResponse::Ack).then_some(ScatterReply::Delivered),
+            ),
+            ScatterRequest::VoteMany(ks) => self.pipelined(
+                spec,
+                origin,
+                targets,
+                |_| Some(WireRequest::VoteMany(ks.clone())),
+                |resp| match resp {
+                    WireResponse::Versions(vs) if vs.len() == ks.len() => {
+                        Some(ScatterReply::Versions(vs))
+                    }
+                    _ => None,
+                },
+            ),
+            ScatterRequest::InstallMany(writes) => self.pipelined(
+                spec,
+                origin,
+                targets,
+                |_| Some(WireRequest::ApplyWriteMany(writes.clone())),
+                |resp| matches!(resp, WireResponse::Ack).then_some(ScatterReply::Delivered),
+            ),
+            ScatterRequest::InstallIfAvailableMany(writes) => self.pipelined(
+                spec,
+                origin,
+                targets,
+                // The availability probe is a coordination-layer state read
+                // (no socket traffic), exactly as in the sequential body.
+                |t| {
+                    (self.probe_state(origin, t) == Some(SiteState::Available))
+                        .then(|| WireRequest::ApplyWriteMany(writes.clone()))
                 },
                 |resp| matches!(resp, WireResponse::Ack).then_some(ScatterReply::Delivered),
             ),

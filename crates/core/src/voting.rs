@@ -12,7 +12,9 @@
 //!   block from the highest-versioned voter and installs it — recovering
 //!   "only those blocks which have been modified", on access.
 
-use crate::backend::{self, Backend, Gather, ScatterReply, ScatterRequest, ScatterSpec};
+use crate::backend::{
+    self, Backend, Gather, ScatterReply, ScatterRequest, ScatterSpec, WriteBatch,
+};
 use crate::obs_hooks;
 use blockrep_net::{MsgKind, OpClass};
 use blockrep_obs::{event, span};
@@ -49,26 +51,83 @@ fn collect_votes<B: Backend + ?Sized>(
     // voters contains a current copy, so v_max over the subset equals v_max
     // over all voters and the read-refresh / write-version decisions below
     // are unchanged.
-    let gather = if b.early_quorum() {
-        let quorum = match op {
-            OpClass::Read => cfg.read_quorum(),
-            _ => cfg.write_quorum(),
-        };
-        Gather::EarlyQuorum {
-            threshold: quorum.saturating_sub(cfg.weight(origin).as_u64()),
-        }
-    } else {
-        Gather::All
-    };
     let spec = ScatterSpec {
         op,
         reply_charge: Some(MsgKind::VoteReply),
-        gather,
+        reply_units: 1,
+        gather: vote_gather(b, op, origin),
     };
     for (t, reply) in b.scatter(spec, origin, &others, &ScatterRequest::Vote(k)) {
         if let Some(ScatterReply::Version(v)) = reply {
             event!("quorum.ack", site = t.as_u32(), version = v.as_u64());
             votes.push((t, v));
+        }
+    }
+    obs_hooks::record(obs_hooks::quorum_size, votes.len() as u64);
+    votes
+}
+
+/// The early-quorum gathering policy shared by single-block and batched
+/// vote collection: the remote weight still needed once the origin's own
+/// vote is in hand. Site weights are block-independent, so one threshold
+/// covers every block of a batch.
+fn vote_gather<B: Backend + ?Sized>(b: &B, op: OpClass, origin: SiteId) -> Gather {
+    if !b.early_quorum() {
+        return Gather::All;
+    }
+    let cfg = b.config();
+    let quorum = match op {
+        OpClass::Read => cfg.read_quorum(),
+        _ => cfg.write_quorum(),
+    };
+    Gather::EarlyQuorum {
+        threshold: quorum.saturating_sub(cfg.weight(origin).as_u64()),
+    }
+}
+
+/// One **batched** round of vote collection for the run of distinct blocks
+/// `ks`: a single scatter-gather exchange per site, carrying every block's
+/// vote request.
+///
+/// §5 accounting stays per block — one `VoteRequest` broadcast charged per
+/// block, and each responding site's one physical reply charged as
+/// `ks.len()` `VoteReply` transmissions — so the counters are
+/// byte-identical to running [`collect_votes`] once per block against an
+/// unchanging cluster.
+fn collect_votes_many<B: Backend + ?Sized>(
+    b: &B,
+    op: OpClass,
+    origin: SiteId,
+    ks: &[BlockIndex],
+) -> Vec<(SiteId, Vec<VersionNumber>)> {
+    let cfg = b.config();
+    let others = backend::others(cfg, origin);
+    for _ in ks {
+        backend::charge_fanout(b, op, MsgKind::VoteRequest, others.len());
+    }
+    event!(
+        "quorum.request.batch",
+        op = op.label(),
+        origin = origin.as_u32(),
+        blocks = ks.len(),
+        fanout = others.len(),
+    );
+    let own: Vec<VersionNumber> = b
+        .vote_many(origin, origin, ks)
+        .expect("coordinator is operational, so its own votes cannot fail");
+    let mut votes = vec![(origin, own)];
+    let spec = ScatterSpec {
+        op,
+        reply_charge: Some(MsgKind::VoteReply),
+        reply_units: ks.len() as u64,
+        gather: vote_gather(b, op, origin),
+    };
+    let req = ScatterRequest::VoteMany(ks.to_vec());
+    for (t, reply) in b.scatter(spec, origin, &others, &req) {
+        if let Some(ScatterReply::Versions(vs)) = reply {
+            debug_assert_eq!(vs.len(), ks.len(), "batched vote reply length");
+            event!("quorum.ack.batch", site = t.as_u32(), blocks = vs.len());
+            votes.push((t, vs));
         }
     }
     obs_hooks::record(obs_hooks::quorum_size, votes.len() as u64);
@@ -211,6 +270,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
     let spec = ScatterSpec {
         op: OpClass::Write,
         reply_charge: None,
+        reply_units: 1,
         gather: Gather::All,
     };
     b.scatter(
@@ -229,6 +289,158 @@ pub(crate) fn write<B: Backend + ?Sized>(
         block = k.as_u64(),
         version = v_new.as_u64(),
         replicas = replicas,
+    );
+    Ok(())
+}
+
+/// Vectored Figure 3: one batched vote round for a run of distinct blocks,
+/// then per-block quorum decisions, lazy refreshes and local reads.
+///
+/// Per-block semantics are unchanged — each block gets its own `v_max`
+/// comparison and, when the local copy is stale, its own block transfer
+/// (the lazy repair can fire for some blocks of a batch and not others).
+/// Only the vote round is amortized: one exchange per site instead of one
+/// per site per block.
+///
+/// # Errors
+///
+/// As for [`read`]; the quorum check covers the whole batch (voters are
+/// block-independent).
+pub(crate) fn read_many<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    ks: &[BlockIndex],
+) -> DeviceResult<Vec<BlockData>> {
+    ensure_coordinator(b, origin)?;
+    for &k in ks {
+        check_block(b, k)?;
+    }
+    if ks.is_empty() {
+        return Ok(Vec::new());
+    }
+    let _span = span!("mcv.read_many", origin = origin.as_u32(), blocks = ks.len());
+    let cfg = b.config();
+    let votes = collect_votes_many(b, OpClass::Read, origin, ks);
+    let voters: Vec<SiteId> = votes.iter().map(|&(s, _)| s).collect();
+    let gathered = backend::weight_of(cfg, &voters);
+    if gathered < cfg.read_quorum() {
+        return Err(DeviceError::unavailable(
+            "read",
+            format!(
+                "gathered weight {gathered} of read quorum {}",
+                cfg.read_quorum()
+            ),
+        ));
+    }
+    for (i, &k) in ks.iter().enumerate() {
+        let (holder, v_max) = votes
+            .iter()
+            .map(|(s, vs)| (*s, vs[i]))
+            .max_by_key(|&(s, v)| (v, std::cmp::Reverse(s)))
+            .expect("votes always include the origin");
+        let own = votes[0].1[i];
+        if v_max > own {
+            let (v, data) = b.fetch_block(origin, holder, k).ok_or_else(|| {
+                DeviceError::unavailable(
+                    "read",
+                    format!("current copy holder {holder} vanished mid-read"),
+                )
+            })?;
+            b.counter().add(OpClass::Read, MsgKind::BlockTransfer, 1);
+            event!(
+                "read.refresh",
+                block = k.as_u64(),
+                holder = holder.as_u32(),
+                version = v.as_u64(),
+            );
+            b.apply_write(origin, origin, k, &data, v);
+        }
+    }
+    Ok(b.read_local_many(origin, ks))
+}
+
+/// Vectored Figure 4: one batched vote round for a run of distinct blocks,
+/// one batched install fan-out, per-block version numbers.
+///
+/// Each block still takes `max(its votes) + 1` as its new version, so the
+/// version lines are indistinguishable from `writes.len()` single-block
+/// writes; §5 traffic is likewise charged per block (see
+/// [`collect_votes_many`]).
+///
+/// # Errors
+///
+/// As for [`write`]; the quorum check covers the whole batch.
+pub(crate) fn write_many<B: Backend + ?Sized>(
+    b: &B,
+    origin: SiteId,
+    writes: &[(BlockIndex, BlockData)],
+) -> DeviceResult<()> {
+    ensure_coordinator(b, origin)?;
+    let cfg = b.config();
+    for (k, data) in writes {
+        check_block(b, *k)?;
+        if data.len() != cfg.block_size() {
+            return Err(DeviceError::WrongBlockSize {
+                got: data.len(),
+                expected: cfg.block_size(),
+            });
+        }
+    }
+    if writes.is_empty() {
+        return Ok(());
+    }
+    let _span = span!(
+        "mcv.write_many",
+        origin = origin.as_u32(),
+        blocks = writes.len()
+    );
+    let ks: Vec<BlockIndex> = writes.iter().map(|&(k, _)| k).collect();
+    let votes = collect_votes_many(b, OpClass::Write, origin, &ks);
+    let voters: Vec<SiteId> = votes.iter().map(|&(s, _)| s).collect();
+    let gathered = backend::weight_of(cfg, &voters);
+    if gathered < cfg.write_quorum() {
+        return Err(DeviceError::unavailable(
+            "write",
+            format!(
+                "gathered weight {gathered} of write quorum {}",
+                cfg.write_quorum()
+            ),
+        ));
+    }
+    let batch: WriteBatch = writes
+        .iter()
+        .enumerate()
+        .map(|(i, (k, data))| {
+            let v_new = votes
+                .iter()
+                .map(|(_, vs)| vs[i])
+                .max()
+                .expect("votes always include the origin")
+                .next();
+            (*k, v_new, data.clone())
+        })
+        .collect();
+    let remote_voters: Vec<SiteId> = voters.iter().copied().filter(|&s| s != origin).collect();
+    for _ in writes {
+        backend::charge_fanout(b, OpClass::Write, MsgKind::WriteUpdate, remote_voters.len());
+    }
+    let spec = ScatterSpec {
+        op: OpClass::Write,
+        reply_charge: None,
+        reply_units: 1,
+        gather: Gather::All,
+    };
+    b.scatter(
+        spec,
+        origin,
+        &remote_voters,
+        &ScatterRequest::InstallMany(batch.clone()),
+    );
+    b.apply_write_many(origin, origin, &batch);
+    event!(
+        "write.commit.batch",
+        blocks = writes.len(),
+        replicas = remote_voters.len() + 1,
     );
     Ok(())
 }

@@ -50,6 +50,13 @@ pub enum WireRequest {
     ApplyWriteFaulty(BlockIndex, VersionNumber, BlockData, StorageFault),
     /// Fault injection: run the restart-time integrity scrub.
     Scrub,
+    /// Request the site's votes for a whole run of blocks in one frame.
+    VoteMany(Vec<BlockIndex>),
+    /// Install a batch of blocks at their versions (each if newer) in one
+    /// frame. Same payload shape as [`WireRequest::ApplyRepair`].
+    ApplyWriteMany(RepairBlocks),
+    /// Read a run of blocks off the local disk in one frame.
+    ReadLocalMany(Vec<BlockIndex>),
 }
 
 /// A site's answer.
@@ -71,6 +78,10 @@ pub enum WireResponse {
     W(BTreeSet<SiteId>),
     /// A plain count (e.g. blocks reset by a scrub).
     Count(u64),
+    /// Votes for a batch of blocks, in request order.
+    Versions(Vec<VersionNumber>),
+    /// Raw data for a batch of blocks, in request order.
+    DataMany(Vec<BlockData>),
 }
 
 /// A malformed frame.
@@ -228,6 +239,24 @@ impl WireRequest {
                 }
             }
             WireRequest::Scrub => buf.put_u8(13),
+            WireRequest::VoteMany(ks) => {
+                buf.put_u8(14);
+                buf.put_u32_le(ks.len() as u32);
+                for k in ks {
+                    buf.put_u64_le(k.as_u64());
+                }
+            }
+            WireRequest::ApplyWriteMany(blocks) => {
+                buf.put_u8(15);
+                put_blocks(&mut buf, blocks);
+            }
+            WireRequest::ReadLocalMany(ks) => {
+                buf.put_u8(16);
+                buf.put_u32_le(ks.len() as u32);
+                for k in ks {
+                    buf.put_u64_le(k.as_u64());
+                }
+            }
         }
         buf
     }
@@ -286,6 +315,35 @@ impl WireRequest {
                 WireRequest::ApplyWriteFaulty(k, v, data, fault)
             }
             13 => WireRequest::Scrub,
+            14 => {
+                need(raw, 4, "index count")?;
+                let count = raw.get_u32_le() as usize;
+                need(
+                    raw,
+                    count.checked_mul(8).ok_or_else(|| bad("index overflow"))?,
+                    "index body",
+                )?;
+                WireRequest::VoteMany(
+                    (0..count)
+                        .map(|_| BlockIndex::new(raw.get_u64_le()))
+                        .collect(),
+                )
+            }
+            15 => WireRequest::ApplyWriteMany(get_blocks(&mut raw)?),
+            16 => {
+                need(raw, 4, "index count")?;
+                let count = raw.get_u32_le() as usize;
+                need(
+                    raw,
+                    count.checked_mul(8).ok_or_else(|| bad("index overflow"))?,
+                    "index body",
+                )?;
+                WireRequest::ReadLocalMany(
+                    (0..count)
+                        .map(|_| BlockIndex::new(raw.get_u64_le()))
+                        .collect(),
+                )
+            }
             other => return Err(bad(&format!("unknown request tag {other}"))),
         };
         if raw.has_remaining() {
@@ -331,6 +389,20 @@ impl WireResponse {
                 buf.put_u8(7);
                 buf.put_u64_le(*n);
             }
+            WireResponse::Versions(vs) => {
+                buf.put_u8(8);
+                buf.put_u32_le(vs.len() as u32);
+                for v in vs {
+                    buf.put_u64_le(v.as_u64());
+                }
+            }
+            WireResponse::DataMany(ds) => {
+                buf.put_u8(9);
+                buf.put_u32_le(ds.len() as u32);
+                for d in ds {
+                    put_data(&mut buf, d);
+                }
+            }
         }
         buf
     }
@@ -364,6 +436,31 @@ impl WireResponse {
             7 => {
                 need(raw, 8, "count")?;
                 WireResponse::Count(raw.get_u64_le())
+            }
+            8 => {
+                need(raw, 4, "version count")?;
+                let count = raw.get_u32_le() as usize;
+                need(
+                    raw,
+                    count
+                        .checked_mul(8)
+                        .ok_or_else(|| bad("version overflow"))?,
+                    "version body",
+                )?;
+                WireResponse::Versions(
+                    (0..count)
+                        .map(|_| VersionNumber::new(raw.get_u64_le()))
+                        .collect(),
+                )
+            }
+            9 => {
+                need(raw, 4, "data count")?;
+                let count = raw.get_u32_le() as usize;
+                let mut out = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    out.push(get_data(&mut raw)?);
+                }
+                WireResponse::DataMany(out)
             }
             other => return Err(bad(&format!("unknown response tag {other}"))),
         };
@@ -468,6 +565,13 @@ mod tests {
                 )
             }),
             Just(WireRequest::Scrub),
+            prop::collection::vec(any::<u16>(), 0..8).prop_map(|ks| WireRequest::VoteMany(
+                ks.into_iter().map(|k| BlockIndex::new(k as u64)).collect()
+            )),
+            arb_blocks().prop_map(WireRequest::ApplyWriteMany),
+            prop::collection::vec(any::<u16>(), 0..8).prop_map(|ks| WireRequest::ReadLocalMany(
+                ks.into_iter().map(|k| BlockIndex::new(k as u64)).collect()
+            )),
         ]
     }
 
@@ -489,6 +593,12 @@ mod tests {
             (arb_vv(), arb_blocks()).prop_map(|(vv, b)| WireResponse::Payload(vv, b)),
             arb_sites().prop_map(WireResponse::W),
             any::<u64>().prop_map(WireResponse::Count),
+            prop::collection::vec(any::<u32>(), 0..8).prop_map(|vs| WireResponse::Versions(
+                vs.into_iter()
+                    .map(|v| VersionNumber::new(v as u64))
+                    .collect()
+            )),
+            prop::collection::vec(arb_data(), 0..8).prop_map(WireResponse::DataMany),
         ]
     }
 

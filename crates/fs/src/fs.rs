@@ -204,18 +204,80 @@ impl<D: BlockDevice> FileSystem<D> {
             inode.indirect = bitmap.alloc()? as u32;
         }
         let iblock = BlockIndex::new(inode.indirect as u64);
-        let mut raw = self.dev.read_block(iblock)?.as_slice().to_vec();
+        let raw = self.dev.read_block(iblock)?;
         let idx = (logical - DIRECT_POINTERS as u64) as usize * 4;
-        let mut entry = (&raw[idx..idx + 4]).get_u32_le();
-        if entry == 0 {
-            if !allocate {
-                return Ok(None);
-            }
-            entry = bitmap.alloc()? as u32;
-            (&mut raw[idx..idx + 4]).put_u32_le(entry);
-            self.dev.write_block(iblock, BlockData::from(raw))?;
+        let entry = (&raw.as_slice()[idx..idx + 4]).get_u32_le();
+        if entry != 0 {
+            // Already mapped: no need to copy the table just to read one slot.
+            return Ok(Some(entry as u64));
         }
+        if !allocate {
+            return Ok(None);
+        }
+        let entry = bitmap.alloc()? as u32;
+        let mut table = raw.as_slice().to_vec();
+        (&mut table[idx..idx + 4]).put_u32_le(entry);
+        self.dev.write_block(iblock, BlockData::from(table))?;
         Ok(Some(entry as u64))
+    }
+
+    /// Maps `count` consecutive logical blocks starting at `first`,
+    /// allocating on demand — the vectored counterpart of
+    /// [`map_block`](Self::map_block). The indirect pointer table is read
+    /// once and written back at most once for the whole run, so an N-block
+    /// mapping costs O(1) device rounds instead of O(N).
+    fn map_blocks(
+        &self,
+        inode: &mut Inode,
+        first: u64,
+        count: usize,
+        allocate: bool,
+    ) -> FsResult<Vec<Option<u64>>> {
+        let pointers_per_block = self.geo.block_size as u64 / 4;
+        if first + count as u64 > DIRECT_POINTERS as u64 + pointers_per_block {
+            return Err(FsError::FileTooLarge);
+        }
+        let bitmap = Bitmap::new(&self.dev, &self.geo);
+        let end = first + count as u64;
+        let mut out = Vec::with_capacity(count);
+        let mut logical = first;
+        // Direct pointers live in the inode: no device I/O to map them.
+        while logical < end && logical < DIRECT_POINTERS as u64 {
+            let slot = &mut inode.direct[logical as usize];
+            if *slot == 0 && allocate {
+                *slot = bitmap.alloc()? as u32;
+            }
+            out.push((*slot != 0).then_some(*slot as u64));
+            logical += 1;
+        }
+        if logical >= end {
+            return Ok(out);
+        }
+        if inode.indirect == 0 {
+            if !allocate {
+                out.extend(std::iter::repeat_n(None, (end - logical) as usize));
+                return Ok(out);
+            }
+            inode.indirect = bitmap.alloc()? as u32;
+        }
+        let iblock = BlockIndex::new(inode.indirect as u64);
+        let mut table = self.dev.read_block(iblock)?.as_slice().to_vec();
+        let mut dirty = false;
+        while logical < end {
+            let idx = (logical - DIRECT_POINTERS as u64) as usize * 4;
+            let mut entry = (&table[idx..idx + 4]).get_u32_le();
+            if entry == 0 && allocate {
+                entry = bitmap.alloc()? as u32;
+                (&mut table[idx..idx + 4]).put_u32_le(entry);
+                dirty = true;
+            }
+            out.push((entry != 0).then_some(entry as u64));
+            logical += 1;
+        }
+        if dirty {
+            self.dev.write_block(iblock, BlockData::from(table))?;
+        }
+        Ok(out)
     }
 
     fn read_at(&self, inode: &mut Inode, offset: u64, len: usize) -> FsResult<Vec<u8>> {
@@ -224,15 +286,24 @@ impl<D: BlockDevice> FileSystem<D> {
         if offset >= end {
             return Ok(Vec::new());
         }
+        let first = offset / bs;
+        let count = ((end - 1) / bs - first + 1) as usize;
+        let mapped = self.map_blocks(inode, first, count, false)?;
+        // One vectored device round for every allocated block of the range.
+        let wanted: Vec<BlockIndex> = mapped
+            .iter()
+            .flatten()
+            .map(|&b| BlockIndex::new(b))
+            .collect();
+        let mut fetched = self.dev.read_blocks(&wanted)?.into_iter();
         let mut out = Vec::with_capacity((end - offset) as usize);
         let mut pos = offset;
-        while pos < end {
-            let logical = pos / bs;
+        for slot in mapped {
             let within = (pos % bs) as usize;
             let take = ((bs as usize) - within).min((end - pos) as usize);
-            match self.map_block(inode, logical, false)? {
-                Some(block) => {
-                    let raw = self.dev.read_block(BlockIndex::new(block))?;
+            match slot {
+                Some(_) => {
+                    let raw = fetched.next().expect("one fetched block per mapped block");
                     out.extend_from_slice(&raw.as_slice()[within..within + take]);
                 }
                 None => out.extend(std::iter::repeat_n(0u8, take)), // hole
@@ -251,30 +322,45 @@ impl<D: BlockDevice> FileSystem<D> {
         if end > self.geo.max_file_size() {
             return Err(FsError::FileTooLarge);
         }
+        let first = offset / bs;
+        let count = ((end - 1) / bs - first + 1) as usize;
+        let mapped = self.map_blocks(inode, first, count, true)?;
+        // Chunk the byte range per block: (device block, within, take, src offset).
+        let mut chunks = Vec::with_capacity(count);
         let mut pos = offset;
-        while pos < end {
-            let logical = pos / bs;
+        for slot in mapped {
             let within = (pos % bs) as usize;
             let take = ((bs as usize) - within).min((end - pos) as usize);
-            let block = self
-                .map_block(inode, logical, true)?
-                .expect("allocate=true always maps");
-            let src = &data[(pos - offset) as usize..(pos - offset) as usize + take];
-            if take == bs as usize {
-                self.dev
-                    .write_block(BlockIndex::new(block), BlockData::from(src))?;
+            let block = slot.expect("allocate=true always maps");
+            chunks.push((block, within, take, (pos - offset) as usize));
+            pos += take as u64;
+        }
+        // Only partially covered blocks (at most the first and last chunk)
+        // need their old contents; fetch them in one vectored round.
+        let partial: Vec<BlockIndex> = chunks
+            .iter()
+            .filter(|&&(_, _, take, _)| take != bs as usize)
+            .map(|&(block, ..)| BlockIndex::new(block))
+            .collect();
+        let mut old = self.dev.read_blocks(&partial)?.into_iter();
+        let mut writes = Vec::with_capacity(chunks.len());
+        for (block, within, take, src_off) in chunks {
+            let src = &data[src_off..src_off + take];
+            let payload = if take == bs as usize {
+                // Full-block overwrite: no read, no copy of the old block.
+                BlockData::from(src)
             } else {
-                let mut raw = self
-                    .dev
-                    .read_block(BlockIndex::new(block))?
+                let mut raw = old
+                    .next()
+                    .expect("one fetched block per partial chunk")
                     .as_slice()
                     .to_vec();
                 raw[within..within + take].copy_from_slice(src);
-                self.dev
-                    .write_block(BlockIndex::new(block), BlockData::from(raw))?;
-            }
-            pos += take as u64;
+                BlockData::from(raw)
+            };
+            writes.push((BlockIndex::new(block), payload));
         }
+        self.dev.write_blocks(&writes)?;
         inode.size = inode.size.max(end);
         Ok(())
     }
@@ -498,28 +584,36 @@ impl<D: BlockDevice> FileSystem<D> {
             let bitmap = Bitmap::new(&self.dev, &self.geo);
             let pointers_per_block = bs / 4;
             let total_blocks = DIRECT_POINTERS as u64 + pointers_per_block;
-            for logical in keep_blocks..total_blocks {
-                if logical < DIRECT_POINTERS as u64 {
-                    let slot = &mut node.direct[logical as usize];
-                    if *slot != 0 {
-                        bitmap.free(*slot as u64)?;
-                        *slot = 0;
-                    }
-                } else if node.indirect != 0 {
-                    let iblock = BlockIndex::new(node.indirect as u64);
-                    let mut raw = self.dev.read_block(iblock)?.as_slice().to_vec();
-                    let idx = (logical - DIRECT_POINTERS as u64) as usize * 4;
-                    let entry = (&raw[idx..idx + 4]).get_u32_le();
-                    if entry != 0 {
-                        bitmap.free(entry as u64)?;
-                        (&mut raw[idx..idx + 4]).put_u32_le(0);
-                        self.dev.write_block(iblock, BlockData::from(raw))?;
-                    }
+            for logical in keep_blocks..DIRECT_POINTERS as u64 {
+                let slot = &mut node.direct[logical as usize];
+                if *slot != 0 {
+                    bitmap.free(*slot as u64)?;
+                    *slot = 0;
                 }
             }
-            if keep_blocks <= DIRECT_POINTERS as u64 && node.indirect != 0 {
-                bitmap.free(node.indirect as u64)?;
-                node.indirect = 0;
+            if node.indirect != 0 {
+                // One read and at most one write-back for the whole pointer
+                // table, not a round trip per freed entry.
+                let iblock = BlockIndex::new(node.indirect as u64);
+                let mut table = self.dev.read_block(iblock)?.as_slice().to_vec();
+                let mut dirty = false;
+                for logical in keep_blocks.max(DIRECT_POINTERS as u64)..total_blocks {
+                    let idx = (logical - DIRECT_POINTERS as u64) as usize * 4;
+                    let entry = (&table[idx..idx + 4]).get_u32_le();
+                    if entry != 0 {
+                        bitmap.free(entry as u64)?;
+                        (&mut table[idx..idx + 4]).put_u32_le(0);
+                        dirty = true;
+                    }
+                }
+                if keep_blocks <= DIRECT_POINTERS as u64 {
+                    // The whole table goes away; alloc() zeroes blocks on
+                    // reuse, so skipping the write-back is safe.
+                    bitmap.free(node.indirect as u64)?;
+                    node.indirect = 0;
+                } else if dirty {
+                    self.dev.write_block(iblock, BlockData::from(table))?;
+                }
             }
             // Zero the tail of the last kept block so re-extension reads
             // zeros, not stale bytes.

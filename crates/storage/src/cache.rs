@@ -1,53 +1,62 @@
-//! A write-through buffer cache.
+//! A buffer cache: write-through by default, write-back coalescing on
+//! request.
 
 use crate::BlockDevice;
+use blockrep_obs::metrics::{global, Counter};
 use blockrep_types::{BlockData, BlockIndex, DeviceResult};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock};
 
-/// Gated global cache counters: mirrored into the process-wide metrics
-/// registry only while observability is enabled, so the per-instance
-/// [`CacheStats`] stay authoritative and the hot path pays one relaxed
-/// atomic load when it is off.
-mod obs_counters {
-    use blockrep_obs::metrics::{global, Counter};
-    use std::sync::{Arc, OnceLock};
+/// Gated global mirrors of the per-instance [`CacheStats`]: resolved from
+/// the process-wide registry once and held by reference in every cache, so
+/// a counter bump is a single atomic increment and a disabled-observability
+/// hit pays exactly one relaxed load (the `enabled()` check) — no per-access
+/// `OnceLock` traffic.
+struct ObsCounters {
+    hit: Arc<Counter>,
+    miss: Arc<Counter>,
+    evict: Arc<Counter>,
+    coalesced_blocks: Arc<Counter>,
+    flush_batches: Arc<Counter>,
+}
 
-    fn counter(slot: &'static OnceLock<Arc<Counter>>, name: &'static str) -> &'static Counter {
-        slot.get_or_init(|| global().counter(name))
-    }
-
-    pub(super) fn hit() {
-        if blockrep_obs::enabled() {
-            static C: OnceLock<Arc<Counter>> = OnceLock::new();
-            counter(&C, "cache.hit").inc();
-        }
-    }
-
-    pub(super) fn miss() {
-        if blockrep_obs::enabled() {
-            static C: OnceLock<Arc<Counter>> = OnceLock::new();
-            counter(&C, "cache.miss").inc();
-        }
-    }
-
-    pub(super) fn evict() {
-        if blockrep_obs::enabled() {
-            static C: OnceLock<Arc<Counter>> = OnceLock::new();
-            counter(&C, "cache.evict").inc();
-        }
+impl ObsCounters {
+    fn get() -> &'static ObsCounters {
+        static SET: OnceLock<ObsCounters> = OnceLock::new();
+        SET.get_or_init(|| ObsCounters {
+            hit: global().counter("cache.hit"),
+            miss: global().counter("cache.miss"),
+            evict: global().counter("cache.evict"),
+            coalesced_blocks: global().counter("cache.coalesced_blocks"),
+            flush_batches: global().counter("cache.flush_batches"),
+        })
     }
 }
 
-/// A write-through LRU block cache in front of any [`BlockDevice`] — the
-/// "buffer cache" of the paper's Figure 1, where the file system only asks
-/// the device driver for blocks it does not already hold.
+/// An LRU block cache in front of any [`BlockDevice`] — the "buffer cache"
+/// of the paper's Figure 1, where the file system only asks the device
+/// driver for blocks it does not already hold.
 ///
 /// In front of a replicated device this is consequential: a cache hit costs
 /// **zero** network transmissions, which is what blunts voting's expensive
 /// reads in practice (and why the paper's UNIX model draws the cache above
-/// the driver stub). Writes go straight through, so the replicas always
-/// hold the current data and the cache never needs recovery handling.
+/// the driver stub).
+///
+/// Two write policies:
+///
+/// - [`new`](Self::new) builds a **write-through** cache: writes go straight
+///   to the device, so the replicas always hold the current data and the
+///   cache never needs recovery handling.
+/// - [`write_back`](Self::write_back) builds a **write-back coalescing**
+///   cache: writes land in the cache and are marked dirty; an explicit
+///   [`flush`](BlockDevice::flush) (also run on drop) groups the dirty
+///   blocks into contiguous runs and emits **one vectored
+///   [`write_blocks`](BlockDevice::write_blocks) per run**, so a burst of
+///   N sequential writes costs one coordination round instead of N.
+///   Until flushed, dirty data exists only in this client's memory — a
+///   departure from the paper's write-all durability model, acceptable
+///   only where the host tolerates losing its own unflushed writes.
 ///
 /// # Examples
 ///
@@ -64,24 +73,32 @@ mod obs_counters {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
-pub struct CacheStore<D> {
-    inner: D,
+pub struct CacheStore<D: BlockDevice> {
+    /// `Some` until [`into_inner`](Self::into_inner) takes the device out
+    /// (the `Drop` impl flushes only while the device is still here).
+    inner: Option<D>,
     capacity: usize,
+    write_back: bool,
     state: Mutex<CacheState>,
+    obs: &'static ObsCounters,
 }
 
 #[derive(Debug, Default)]
 struct CacheState {
     /// block -> (data, last-use stamp)
     entries: HashMap<u64, (BlockData, u64)>,
+    /// Blocks whose cached data is newer than the device (write-back only).
+    /// Ordered so a flush can coalesce contiguous runs in one pass.
+    dirty: BTreeSet<u64>,
     clock: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    coalesced_blocks: u64,
+    flush_batches: u64,
 }
 
-/// Hit/miss/eviction counters of a [`CacheStore`].
+/// Counters of a [`CacheStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Reads served from the cache.
@@ -90,6 +107,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced to make room (LRU).
     pub evictions: u64,
+    /// Dirty blocks written out by coalesced vectored flushes.
+    pub coalesced_blocks: u64,
+    /// Vectored writes emitted by flushes (one per contiguous dirty run).
+    pub flush_batches: u64,
 }
 
 impl CacheStats {
@@ -105,7 +126,7 @@ impl CacheStats {
 }
 
 impl<D: BlockDevice> CacheStore<D> {
-    /// Wraps `inner` with a cache of `capacity` blocks.
+    /// Wraps `inner` with a write-through cache of `capacity` blocks.
     ///
     /// # Panics
     ///
@@ -113,36 +134,129 @@ impl<D: BlockDevice> CacheStore<D> {
     pub fn new(inner: D, capacity: usize) -> Self {
         assert!(capacity > 0, "a cache needs at least one slot");
         CacheStore {
-            inner,
+            inner: Some(inner),
             capacity,
+            write_back: false,
             state: Mutex::new(CacheState::default()),
+            obs: ObsCounters::get(),
         }
+    }
+
+    /// Wraps `inner` with a write-back coalescing cache of `capacity`
+    /// blocks: writes stay dirty in the cache until [`flush`] (or drop)
+    /// pushes them down in vectored contiguous runs. See the type-level
+    /// durability caveat.
+    ///
+    /// [`flush`]: BlockDevice::flush
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn write_back(inner: D, capacity: usize) -> Self {
+        let mut cache = CacheStore::new(inner, capacity);
+        cache.write_back = true;
+        cache
+    }
+
+    /// Whether this cache buffers writes (`write_back`) rather than passing
+    /// them straight through.
+    pub fn is_write_back(&self) -> bool {
+        self.write_back
+    }
+
+    fn dev(&self) -> &D {
+        self.inner
+            .as_ref()
+            .expect("device is present until into_inner")
     }
 
     /// Borrows the underlying device.
     pub fn inner(&self) -> &D {
-        &self.inner
+        self.dev()
     }
 
-    /// Unwraps the cache, returning the underlying device.
-    pub fn into_inner(self) -> D {
+    /// Unwraps the cache, returning the underlying device. Dirty blocks are
+    /// flushed best-effort; call [`flush`](BlockDevice::flush) first to
+    /// observe flush errors.
+    pub fn into_inner(mut self) -> D {
+        let _ = self.flush_dirty();
         self.inner
+            .take()
+            .expect("into_inner runs before the destructor")
     }
 
-    /// Current hit/miss counters.
+    /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let state = self.state.lock();
         CacheStats {
             hits: state.hits,
             misses: state.misses,
             evictions: state.evictions,
+            coalesced_blocks: state.coalesced_blocks,
+            flush_batches: state.flush_batches,
         }
     }
 
-    /// Drops every cached block (e.g. after reconnecting to a device whose
-    /// content may have moved on).
+    /// Number of dirty blocks awaiting a flush (always zero for a
+    /// write-through cache).
+    pub fn dirty_blocks(&self) -> usize {
+        self.state.lock().dirty.len()
+    }
+
+    /// Drops every *clean* cached block (e.g. after reconnecting to a
+    /// device whose content may have moved on). Dirty blocks survive — they
+    /// are the only copy of their data.
     pub fn invalidate(&self) {
-        self.state.lock().entries.clear();
+        let mut state = self.state.lock();
+        let dirty = std::mem::take(&mut state.dirty);
+        state.entries.retain(|b, _| dirty.contains(b));
+        state.dirty = dirty;
+    }
+
+    /// Writes all dirty blocks down, one vectored write per contiguous run.
+    fn flush_dirty(&self) -> DeviceResult<()> {
+        // The lock is held across the device writes so a flush observes a
+        // stable dirty set; the fs layer serializes operations anyway.
+        let mut state = self.state.lock();
+        if state.dirty.is_empty() {
+            return Ok(());
+        }
+        let mut runs: Vec<Vec<(BlockIndex, BlockData)>> = Vec::new();
+        for &b in &state.dirty {
+            let data = state
+                .entries
+                .get(&b)
+                .expect("dirty blocks are always cached")
+                .0
+                .clone();
+            match runs.last_mut() {
+                Some(run) if run.last().is_some_and(|(k, _)| k.as_u64() + 1 == b) => {
+                    run.push((BlockIndex::new(b), data));
+                }
+                _ => runs.push(vec![(BlockIndex::new(b), data)]),
+            }
+        }
+        for run in &runs {
+            self.dev().write_blocks(run)?;
+            for (k, _) in run {
+                state.dirty.remove(&k.as_u64());
+            }
+            state.flush_batches += 1;
+            state.coalesced_blocks += run.len() as u64;
+            if blockrep_obs::enabled() {
+                self.obs.flush_batches.inc();
+                self.obs.coalesced_blocks.add(run.len() as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes back a dirty block the LRU policy displaced.
+    fn write_back_victim(&self, victim: Option<(u64, BlockData)>) -> DeviceResult<()> {
+        match victim {
+            Some((block, data)) => self.dev().write_block(BlockIndex::new(block), data),
+            None => Ok(()),
+        }
     }
 }
 
@@ -154,31 +268,54 @@ impl CacheState {
         }
     }
 
-    fn insert(&mut self, block: u64, data: BlockData, capacity: usize) {
+    /// Inserts an entry, evicting the least recently used one when over
+    /// capacity (preferring clean victims). Returns a displaced dirty
+    /// block, which the caller must write back to the device.
+    fn insert(
+        &mut self,
+        block: u64,
+        data: BlockData,
+        capacity: usize,
+        obs: &ObsCounters,
+    ) -> Option<(u64, BlockData)> {
         self.clock += 1;
         self.entries.insert(block, (data, self.clock));
         if self.entries.len() > capacity {
-            // Evict the least recently used entry.
-            let oldest = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
-                .map(|(&b, _)| b)
+            let lru = |entries: &HashMap<u64, (BlockData, u64)>, skip_dirty: bool| {
+                entries
+                    .iter()
+                    .filter(|(b, _)| !skip_dirty || !self.dirty.contains(*b))
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(&b, _)| b)
+            };
+            // A clean victim costs nothing to drop; fall back to the oldest
+            // dirty entry only when everything is dirty.
+            let victim = lru(&self.entries, true)
+                .or_else(|| lru(&self.entries, false))
                 .expect("cache is nonempty when over capacity");
-            self.entries.remove(&oldest);
+            let (data, _) = self
+                .entries
+                .remove(&victim)
+                .expect("victim was just looked up");
             self.evictions += 1;
-            obs_counters::evict();
+            if blockrep_obs::enabled() {
+                obs.evict.inc();
+            }
+            if self.dirty.remove(&victim) {
+                return Some((victim, data));
+            }
         }
+        None
     }
 }
 
 impl<D: BlockDevice> BlockDevice for CacheStore<D> {
     fn num_blocks(&self) -> u64 {
-        self.inner.num_blocks()
+        self.dev().num_blocks()
     }
 
     fn block_size(&self) -> usize {
-        self.inner.block_size()
+        self.dev().block_size()
     }
 
     fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData> {
@@ -188,32 +325,156 @@ impl<D: BlockDevice> BlockDevice for CacheStore<D> {
             if let Some((data, _)) = state.entries.get(&k.as_u64()) {
                 let data = data.clone();
                 state.hits += 1;
-                obs_counters::hit();
+                if blockrep_obs::enabled() {
+                    self.obs.hit.inc();
+                }
                 state.touch(k.as_u64());
                 return Ok(data);
             }
         }
         // Miss: fetch outside the lock (the device may be a whole cluster),
         // then install.
-        let data = self.inner.read_block(k)?;
+        let data = self.dev().read_block(k)?;
         let mut state = self.state.lock();
         state.misses += 1;
-        obs_counters::miss();
-        state.insert(k.as_u64(), data.clone(), self.capacity);
+        if blockrep_obs::enabled() {
+            self.obs.miss.inc();
+        }
+        let victim = state.insert(k.as_u64(), data.clone(), self.capacity, self.obs);
+        drop(state);
+        self.write_back_victim(victim)?;
         Ok(data)
     }
 
     fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
-        // Write-through: the device is the source of truth; cache only on
-        // success.
-        self.inner.write_block(k, data.clone())?;
+        if !self.write_back {
+            // Write-through: the device is the source of truth; cache only
+            // on success.
+            self.dev().write_block(k, data.clone())?;
+            let mut state = self.state.lock();
+            let victim = state.insert(k.as_u64(), data, self.capacity, self.obs);
+            debug_assert!(victim.is_none(), "write-through caches hold no dirty data");
+            return Ok(());
+        }
+        // Write-back: validate what the device would have validated, then
+        // absorb the write and mark it dirty.
+        self.check_block(k)?;
+        self.check_payload(&data)?;
         let mut state = self.state.lock();
-        state.insert(k.as_u64(), data, self.capacity);
+        state.dirty.insert(k.as_u64());
+        let victim = state.insert(k.as_u64(), data, self.capacity, self.obs);
+        drop(state);
+        self.write_back_victim(victim)
+    }
+
+    fn read_blocks(&self, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        // Serve hits from the cache and fetch the misses in one vectored
+        // round, preserving the order of `ks`.
+        let mut out: Vec<Option<BlockData>> = Vec::with_capacity(ks.len());
+        let mut missing: Vec<BlockIndex> = Vec::new();
+        {
+            let mut state = self.state.lock();
+            for &k in ks {
+                self.check_block(k)?;
+                match state.entries.get(&k.as_u64()) {
+                    Some((data, _)) => {
+                        let data = data.clone();
+                        state.hits += 1;
+                        if blockrep_obs::enabled() {
+                            self.obs.hit.inc();
+                        }
+                        state.touch(k.as_u64());
+                        out.push(Some(data));
+                    }
+                    None => {
+                        missing.push(k);
+                        out.push(None);
+                    }
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let fetched = self.dev().read_blocks(&missing)?;
+            let mut state = self.state.lock();
+            let mut victims = Vec::new();
+            let mut fetched_iter = fetched.iter();
+            for slot in out.iter_mut().filter(|s| s.is_none()) {
+                let data = fetched_iter.next().expect("one fetch per miss").clone();
+                state.misses += 1;
+                if blockrep_obs::enabled() {
+                    self.obs.miss.inc();
+                }
+                *slot = Some(data);
+            }
+            for (k, data) in missing.iter().zip(fetched) {
+                if let Some(victim) = state.insert(k.as_u64(), data, self.capacity, self.obs) {
+                    victims.push(victim);
+                }
+            }
+            drop(state);
+            for victim in victims {
+                self.write_back_victim(Some(victim))?;
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|slot| slot.expect("every requested block was resolved"))
+            .collect())
+    }
+
+    fn write_blocks(&self, writes: &[(BlockIndex, BlockData)]) -> DeviceResult<()> {
+        if !self.write_back {
+            // One vectored round to the device, then warm the cache.
+            self.dev().write_blocks(writes)?;
+            let mut state = self.state.lock();
+            for (k, data) in writes {
+                let victim = state.insert(k.as_u64(), data.clone(), self.capacity, self.obs);
+                debug_assert!(victim.is_none(), "write-through caches hold no dirty data");
+            }
+            return Ok(());
+        }
+        for (k, data) in writes {
+            self.check_block(*k)?;
+            self.check_payload(data)?;
+        }
+        let mut state = self.state.lock();
+        let mut victims = Vec::new();
+        for (k, data) in writes {
+            state.dirty.insert(k.as_u64());
+            if let Some(victim) = state.insert(k.as_u64(), data.clone(), self.capacity, self.obs) {
+                victims.push(victim);
+            }
+        }
+        drop(state);
+        for victim in victims {
+            self.write_back_victim(Some(victim))?;
+        }
         Ok(())
     }
 
     fn flush(&self) -> DeviceResult<()> {
-        self.inner.flush()
+        self.flush_dirty()?;
+        self.dev().flush()
+    }
+}
+
+impl<D: BlockDevice> Drop for CacheStore<D> {
+    fn drop(&mut self) {
+        // Best-effort flush-on-drop; `into_inner` already took the device
+        // (and flushed) when `inner` is gone.
+        if self.inner.is_some() {
+            let _ = self.flush_dirty();
+        }
+    }
+}
+
+impl<D: BlockDevice + std::fmt::Debug> std::fmt::Debug for CacheStore<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheStore")
+            .field("inner", &self.inner)
+            .field("capacity", &self.capacity)
+            .field("write_back", &self.write_back)
+            .finish_non_exhaustive()
     }
 }
 
@@ -223,10 +484,12 @@ mod tests {
     use crate::MemStore;
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    /// A device that counts how often the backing store is actually read.
+    /// A device that counts how the backing store is actually accessed.
     struct CountingDevice {
         inner: MemStore,
         reads: AtomicU64,
+        writes: AtomicU64,
+        write_batches: AtomicU64,
     }
 
     impl CountingDevice {
@@ -234,6 +497,8 @@ mod tests {
             CountingDevice {
                 inner: MemStore::new(16, 32),
                 reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                write_batches: AtomicU64::new(0),
             }
         }
     }
@@ -250,7 +515,15 @@ mod tests {
             self.inner.read_block(k)
         }
         fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+            self.writes.fetch_add(1, Ordering::Relaxed);
             self.inner.write_block(k, data)
+        }
+        fn write_blocks(&self, writes: &[(BlockIndex, BlockData)]) -> DeviceResult<()> {
+            self.write_batches.fetch_add(1, Ordering::Relaxed);
+            for (k, data) in writes {
+                self.inner.write_block(*k, data.clone())?;
+            }
+            Ok(())
         }
     }
 
@@ -323,5 +596,189 @@ mod tests {
     fn out_of_range_never_touches_cache() {
         let cache = CacheStore::new(MemStore::new(4, 16), 2);
         assert!(cache.read_block(BlockIndex::new(9)).is_err());
+    }
+
+    #[test]
+    fn vectored_read_fetches_misses_in_one_round() {
+        let cache = CacheStore::new(CountingDevice::new(), 8);
+        cache.read_block(BlockIndex::new(1)).unwrap(); // warm block 1
+        let ks: Vec<BlockIndex> = (0..4).map(BlockIndex::new).collect();
+        let data = cache.read_blocks(&ks).unwrap();
+        assert_eq!(data.len(), 4);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 4));
+    }
+
+    #[test]
+    fn write_back_defers_until_flush_and_coalesces() {
+        let cache = CacheStore::write_back(CountingDevice::new(), 16);
+        for i in 0..8u64 {
+            cache
+                .write_block(BlockIndex::new(i), BlockData::from(vec![i as u8; 32]))
+                .unwrap();
+        }
+        assert_eq!(
+            cache.inner().writes.load(Ordering::Relaxed)
+                + cache.inner().write_batches.load(Ordering::Relaxed),
+            0,
+            "writes must stay buffered"
+        );
+        assert_eq!(cache.dirty_blocks(), 8);
+        cache.flush().unwrap();
+        assert_eq!(cache.dirty_blocks(), 0);
+        assert_eq!(
+            cache.inner().write_batches.load(Ordering::Relaxed),
+            1,
+            "8 contiguous dirty blocks coalesce into one vectored write"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.flush_batches, stats.coalesced_blocks), (1, 8));
+        for i in 0..8u64 {
+            assert_eq!(
+                cache
+                    .inner()
+                    .inner
+                    .read_block(BlockIndex::new(i))
+                    .unwrap()
+                    .as_slice(),
+                &[i as u8; 32]
+            );
+        }
+    }
+
+    #[test]
+    fn write_back_splits_non_contiguous_runs() {
+        let cache = CacheStore::write_back(CountingDevice::new(), 16);
+        for &i in &[0u64, 1, 2, 7, 8, 12] {
+            cache
+                .write_block(BlockIndex::new(i), BlockData::from(vec![9; 32]))
+                .unwrap();
+        }
+        cache.flush().unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.flush_batches, 3, "runs 0-2, 7-8 and 12");
+        assert_eq!(stats.coalesced_blocks, 6);
+        assert_eq!(cache.inner().write_batches.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn write_back_coalesces_overwrites() {
+        let cache = CacheStore::write_back(CountingDevice::new(), 8);
+        for _ in 0..5 {
+            cache
+                .write_block(BlockIndex::new(3), BlockData::from(vec![1; 32]))
+                .unwrap();
+        }
+        cache
+            .write_block(BlockIndex::new(3), BlockData::from(vec![2; 32]))
+            .unwrap();
+        cache.flush().unwrap();
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.flush_batches, stats.coalesced_blocks),
+            (1, 1),
+            "six writes to one block flush once"
+        );
+        assert_eq!(
+            cache
+                .inner()
+                .inner
+                .read_block(BlockIndex::new(3))
+                .unwrap()
+                .as_slice(),
+            &[2; 32]
+        );
+    }
+
+    #[test]
+    fn write_back_flushes_on_drop() {
+        let dev = std::sync::Arc::new(MemStore::new(8, 16));
+        {
+            let cache = CacheStore::write_back(std::sync::Arc::clone(&dev), 4);
+            cache
+                .write_block(BlockIndex::new(2), BlockData::from(vec![6; 16]))
+                .unwrap();
+            assert!(dev.read_block(BlockIndex::new(2)).unwrap().is_zeroed());
+        }
+        assert_eq!(
+            dev.read_block(BlockIndex::new(2)).unwrap().as_slice(),
+            &[6; 16]
+        );
+    }
+
+    #[test]
+    fn write_back_eviction_writes_the_victim_back() {
+        let cache = CacheStore::write_back(CountingDevice::new(), 2);
+        for i in 0..3u64 {
+            cache
+                .write_block(BlockIndex::new(i), BlockData::from(vec![i as u8; 32]))
+                .unwrap();
+        }
+        // Capacity 2: inserting block 2 displaced dirty block 0, which must
+        // have been written down rather than dropped.
+        assert_eq!(cache.inner().writes.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            cache
+                .inner()
+                .inner
+                .read_block(BlockIndex::new(0))
+                .unwrap()
+                .as_slice(),
+            &[0u8; 32]
+        );
+        assert_eq!(cache.dirty_blocks(), 2);
+        cache.flush().unwrap();
+        assert_eq!(cache.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn write_back_serves_dirty_data_on_read() {
+        let cache = CacheStore::write_back(CountingDevice::new(), 8);
+        cache
+            .write_block(BlockIndex::new(5), BlockData::from(vec![4; 32]))
+            .unwrap();
+        assert_eq!(
+            cache.read_block(BlockIndex::new(5)).unwrap().as_slice(),
+            &[4; 32]
+        );
+        assert_eq!(cache.inner().reads.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn invalidate_keeps_dirty_blocks() {
+        let cache = CacheStore::write_back(CountingDevice::new(), 8);
+        cache.read_block(BlockIndex::new(0)).unwrap(); // clean entry
+        cache
+            .write_block(BlockIndex::new(1), BlockData::from(vec![8; 32]))
+            .unwrap();
+        cache.invalidate();
+        assert_eq!(cache.dirty_blocks(), 1, "dirty data is the only copy");
+        assert_eq!(
+            cache.read_block(BlockIndex::new(1)).unwrap().as_slice(),
+            &[8; 32]
+        );
+        cache.read_block(BlockIndex::new(0)).unwrap();
+        assert_eq!(cache.stats().misses, 2, "clean entry was dropped");
+    }
+
+    #[test]
+    fn stats_counters_stay_exact_with_obs_disabled() {
+        // Micro-assertion for the hoisted counters: the per-instance stats
+        // are authoritative whether or not the global mirrors are enabled.
+        let cache = CacheStore::write_back(CountingDevice::new(), 4);
+        cache.read_block(BlockIndex::new(0)).unwrap(); // miss
+        cache.read_block(BlockIndex::new(0)).unwrap(); // hit
+        cache
+            .write_block(BlockIndex::new(1), BlockData::from(vec![1; 32]))
+            .unwrap();
+        cache
+            .write_block(BlockIndex::new(2), BlockData::from(vec![2; 32]))
+            .unwrap();
+        cache.flush().unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.flush_batches, 1);
+        assert_eq!(stats.coalesced_blocks, 2);
     }
 }

@@ -61,6 +61,40 @@ pub trait BlockDevice: Send + Sync {
     /// reach the sites it needs.
     fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()>;
 
+    /// Reads a batch of blocks in one call. `ks` must hold distinct indices.
+    ///
+    /// The default loops [`read_block`](Self::read_block) per index, so every
+    /// existing implementation keeps working; vectored implementations (the
+    /// reliable device, the write-back cache) override this to amortize one
+    /// round of coordination over the whole batch. Results come back in the
+    /// order of `ks`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read_block`](Self::read_block); the first failing block aborts
+    /// the batch.
+    fn read_blocks(&self, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        ks.iter().map(|&k| self.read_block(k)).collect()
+    }
+
+    /// Writes a batch of blocks in one call. `writes` must hold distinct
+    /// indices.
+    ///
+    /// The default loops [`write_block`](Self::write_block) per entry;
+    /// vectored implementations override this to issue one coordination
+    /// round for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`write_block`](Self::write_block); the first failing block
+    /// aborts the batch, leaving earlier entries written.
+    fn write_blocks(&self, writes: &[(BlockIndex, BlockData)]) -> DeviceResult<()> {
+        for (k, data) in writes {
+            self.write_block(*k, data.clone())?;
+        }
+        Ok(())
+    }
+
     /// Flushes buffered state to stable storage. The in-memory stores are
     /// always durable with respect to the simulated fail-stop model, so the
     /// default is a no-op.
@@ -118,6 +152,12 @@ impl<T: BlockDevice + ?Sized> BlockDevice for &T {
     fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
         (**self).write_block(k, data)
     }
+    fn read_blocks(&self, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        (**self).read_blocks(ks)
+    }
+    fn write_blocks(&self, writes: &[(BlockIndex, BlockData)]) -> DeviceResult<()> {
+        (**self).write_blocks(writes)
+    }
     fn flush(&self) -> DeviceResult<()> {
         (**self).flush()
     }
@@ -135,6 +175,12 @@ impl<T: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<T> {
     }
     fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
         (**self).write_block(k, data)
+    }
+    fn read_blocks(&self, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        (**self).read_blocks(ks)
+    }
+    fn write_blocks(&self, writes: &[(BlockIndex, BlockData)]) -> DeviceResult<()> {
+        (**self).write_blocks(writes)
     }
     fn flush(&self) -> DeviceResult<()> {
         (**self).flush()

@@ -218,6 +218,172 @@ fn early_quorum_runtimes_agree() {
     }
 }
 
+/// A fixed vectored workload: batched writes, a failure window that leaves
+/// one replica stale, then batched reads — one of them coordinated by the
+/// formerly failed site, so the batch straddles up-to-date and out-of-date
+/// blocks and voting's lazy repair runs per block *inside* one vectored
+/// round. Returns (read results, traffic snapshot).
+type WriteManyFn<'a> = &'a dyn Fn(SiteId, &[(BlockIndex, BlockData)]) -> bool;
+type ReadManyFn<'a> = &'a dyn Fn(SiteId, &[BlockIndex]) -> Option<Vec<Vec<u8>>>;
+
+fn drive_vectored(
+    write_many: WriteManyFn<'_>,
+    read_many: ReadManyFn<'_>,
+    fail: &dyn Fn(SiteId),
+    repair: &dyn Fn(SiteId),
+    traffic: &dyn Fn() -> TrafficSnapshot,
+) -> (Vec<Option<Vec<Vec<u8>>>>, TrafficSnapshot) {
+    let fill = |b: u8| BlockData::from(vec![b; 32]);
+    let batch: Vec<(BlockIndex, BlockData)> =
+        (0..4).map(|i| (blk(i), fill(10 + i as u8))).collect();
+    assert!(write_many(s(0), &batch));
+    fail(s(3));
+    let overwrite: Vec<(BlockIndex, BlockData)> =
+        (1..3).map(|i| (blk(i), fill(20 + i as u8))).collect();
+    assert!(write_many(s(0), &overwrite));
+    repair(s(3));
+    let ks: Vec<BlockIndex> = (0..4).map(blk).collect();
+    let reads = vec![
+        // s3 missed the overwrite of blocks 1..3: a batch straddling
+        // current and stale replicas.
+        read_many(s(3), &ks),
+        read_many(s(1), &ks),
+    ];
+    (reads, traffic())
+}
+
+/// Batched reads/writes must be byte-identical AND §5-traffic-identical to
+/// the equivalent per-block loop, on every scheme × delivery mode — and the
+/// vectored path must agree across all three runtimes.
+#[test]
+fn vectored_ops_match_per_block_loop_on_all_runtimes() {
+    for scheme in Scheme::ALL {
+        for mode in DeliveryMode::ALL {
+            // Per-block baseline: the same workload with the batch unrolled
+            // into single-block operations, in batch order.
+            let unrolled = Cluster::new(cfg(scheme), ClusterOptions { mode });
+            let baseline = drive_vectored(
+                &|o, ws| {
+                    ws.iter()
+                        .all(|(k, d)| unrolled.write(o, *k, d.clone()).is_ok())
+                },
+                &|o, ks| {
+                    ks.iter()
+                        .map(|&k| unrolled.read(o, k).ok().map(|d| d.as_slice().to_vec()))
+                        .collect()
+                },
+                &|x| unrolled.fail_site(x),
+                &|x| unrolled.repair_site(x),
+                &|| unrolled.traffic(),
+            );
+
+            let det = Cluster::new(cfg(scheme), ClusterOptions { mode });
+            let got = drive_vectored(
+                &|o, ws| det.write_many(o, ws).is_ok(),
+                &|o, ks| {
+                    det.read_many(o, ks)
+                        .ok()
+                        .map(|v| v.iter().map(|d| d.as_slice().to_vec()).collect())
+                },
+                &|x| det.fail_site(x),
+                &|x| det.repair_site(x),
+                &|| det.traffic(),
+            );
+            assert_eq!(
+                baseline, got,
+                "{scheme}/{mode}: batched ops diverged from the per-block loop"
+            );
+
+            let live = LiveCluster::spawn(cfg(scheme), mode);
+            let got = drive_vectored(
+                &|o, ws| live.write_many(o, ws).is_ok(),
+                &|o, ks| {
+                    live.read_many(o, ks)
+                        .ok()
+                        .map(|v| v.iter().map(|d| d.as_slice().to_vec()).collect())
+                },
+                &|x| live.fail_site(x),
+                &|x| live.repair_site(x),
+                &|| live.counter().snapshot(),
+            );
+            assert_eq!(baseline, got, "{scheme}/{mode}: live vectored diverged");
+
+            let tcp = TcpCluster::spawn(cfg(scheme), mode).unwrap();
+            let got = drive_vectored(
+                &|o, ws| tcp.write_many(o, ws).is_ok(),
+                &|o, ks| {
+                    tcp.read_many(o, ks)
+                        .ok()
+                        .map(|v| v.iter().map(|d| d.as_slice().to_vec()).collect())
+                },
+                &|x| tcp.fail_site(x),
+                &|x| tcp.repair_site(x),
+                &|| tcp.counter().snapshot(),
+            );
+            assert_eq!(baseline, got, "{scheme}/{mode}: tcp vectored diverged");
+        }
+    }
+}
+
+/// The parallel and early-quorum fan-out paths of the concurrent runtimes
+/// must also leave vectored results and traffic untouched.
+#[test]
+fn vectored_ops_are_fanout_and_quorum_invariant() {
+    let scheme = Scheme::Voting;
+    for mode in DeliveryMode::ALL {
+        let det = Cluster::new(cfg(scheme), ClusterOptions { mode });
+        det.set_early_quorum(true);
+        let baseline = drive_vectored(
+            &|o, ws| det.write_many(o, ws).is_ok(),
+            &|o, ks| {
+                det.read_many(o, ks)
+                    .ok()
+                    .map(|v| v.iter().map(|d| d.as_slice().to_vec()).collect())
+            },
+            &|x| det.fail_site(x),
+            &|x| det.repair_site(x),
+            &|| det.traffic(),
+        );
+
+        for fanout in FanoutMode::ALL {
+            let live = LiveCluster::spawn(cfg(scheme), mode);
+            live.set_fanout(fanout);
+            live.set_early_quorum(true);
+            let got = drive_vectored(
+                &|o, ws| live.write_many(o, ws).is_ok(),
+                &|o, ks| {
+                    live.read_many(o, ks)
+                        .ok()
+                        .map(|v| v.iter().map(|d| d.as_slice().to_vec()).collect())
+                },
+                &|x| live.fail_site(x),
+                &|x| live.repair_site(x),
+                &|| {
+                    live.quiesce();
+                    live.counter().snapshot()
+                },
+            );
+            assert_eq!(baseline, got, "early-quorum/{mode}/live/{fanout}");
+
+            let tcp = TcpCluster::spawn(cfg(scheme), mode).unwrap();
+            tcp.set_fanout(fanout);
+            tcp.set_early_quorum(true);
+            let got = drive_vectored(
+                &|o, ws| tcp.write_many(o, ws).is_ok(),
+                &|o, ks| {
+                    tcp.read_many(o, ks)
+                        .ok()
+                        .map(|v| v.iter().map(|d| d.as_slice().to_vec()).collect())
+                },
+                &|x| tcp.fail_site(x),
+                &|x| tcp.repair_site(x),
+                &|| tcp.counter().snapshot(),
+            );
+            assert_eq!(baseline, got, "early-quorum/{mode}/tcp/{fanout}");
+        }
+    }
+}
+
 #[test]
 fn live_cluster_total_failure_recovery_matches_deterministic() {
     for scheme in [Scheme::AvailableCopy, Scheme::NaiveAvailableCopy] {
