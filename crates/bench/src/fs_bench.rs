@@ -156,6 +156,12 @@ pub struct FsCaseResult {
     pub p50_us: f64,
     /// 99th-percentile per-op latency, microseconds.
     pub p99_us: f64,
+    /// Latency samples backing the percentiles.
+    pub samples: u64,
+    /// True when `samples` is below
+    /// [`blockrep_obs::metrics::LOW_CONFIDENCE_SAMPLES`], meaning the
+    /// percentile estimates above are noisy.
+    pub low_confidence: bool,
 }
 
 /// Batched-over-per-block throughput ratio for one (runtime, scheme,
@@ -329,6 +335,8 @@ pub fn run_case(
         },
         p50_us: summary.p50 / 1_000.0,
         p99_us: summary.p99 / 1_000.0,
+        samples: summary.count,
+        low_confidence: summary.low_confidence(),
     }
 }
 
@@ -407,7 +415,7 @@ impl FsBenchReport {
             out.push_str(&format!(
                 "    {{\"runtime\": \"{}\", \"scheme\": \"{}\", \"workload\": \"{}\", \
                  \"io\": \"{}\", \"ops\": {}, \"ops_per_sec\": {}, \"p50_us\": {}, \
-                 \"p99_us\": {}}}{}\n",
+                 \"p99_us\": {}, \"samples\": {}, \"low_confidence\": {}}}{}\n",
                 r.runtime,
                 r.scheme,
                 r.workload,
@@ -416,6 +424,8 @@ impl FsBenchReport {
                 json_f64(r.ops_per_sec),
                 json_f64(r.p50_us),
                 json_f64(r.p99_us),
+                r.samples,
+                r.low_confidence,
                 if i + 1 < self.results.len() { "," } else { "" },
             ));
         }
@@ -442,8 +452,10 @@ impl FsBenchReport {
         out.push_str("| runtime | scheme | workload | io | ops/s | p50 µs | p99 µs |\n");
         out.push_str("|---|---|---|---|---|---|---|\n");
         for r in &self.results {
+            // `~` marks percentile estimates from too few samples.
+            let tilde = if r.low_confidence { "~" } else { "" };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {:.1} | {:.1} | {:.1} |\n",
+                "| {} | {} | {} | {} | {:.1} | {tilde}{:.1} | {tilde}{:.1} |\n",
                 r.runtime, r.scheme, r.workload, r.io, r.ops_per_sec, r.p50_us, r.p99_us
             ));
         }
@@ -507,6 +519,18 @@ pub fn validate(text: &str) -> Result<(), String> {
                 .ok_or(format!("results[{i}]: missing numeric field {key:?}"))?;
             if v < 0.0 {
                 return Err(format!("results[{i}].{key} is negative"));
+            }
+        }
+        // Optional fields added by newer emitters; type-checked when present
+        // so older committed artifacts stay valid.
+        if let Some(v) = r.get("samples") {
+            if v.as_f64().is_none() {
+                return Err(format!("results[{i}].samples is not numeric"));
+            }
+        }
+        if let Some(v) = r.get("low_confidence") {
+            if v.as_bool().is_none() {
+                return Err(format!("results[{i}].low_confidence is not a boolean"));
             }
         }
     }

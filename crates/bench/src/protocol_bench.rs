@@ -138,6 +138,12 @@ pub struct CaseResult {
     pub p50_us: f64,
     /// 99th-percentile per-op latency, microseconds.
     pub p99_us: f64,
+    /// Latency samples behind the percentiles.
+    pub samples: u64,
+    /// Whether the percentiles come from fewer than
+    /// [`LOW_CONFIDENCE_SAMPLES`](blockrep_obs::metrics::LOW_CONFIDENCE_SAMPLES)
+    /// samples and should not be read as distribution tails.
+    pub low_confidence: bool,
 }
 
 /// Parallel-over-sequential throughput ratio for one (runtime, workload).
@@ -268,6 +274,8 @@ pub fn run_case(
         },
         p50_us: summary.p50 / 1_000.0,
         p99_us: summary.p99 / 1_000.0,
+        samples: summary.count,
+        low_confidence: summary.low_confidence(),
     }
 }
 
@@ -350,7 +358,7 @@ impl BenchReport {
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"runtime\": \"{}\", \"fanout\": \"{}\", \"workload\": \"{}\", \
-                 \"ops\": {}, \"ops_per_sec\": {}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+                 \"ops\": {}, \"ops_per_sec\": {}, \"p50_us\": {}, \"p99_us\": {},                  \"samples\": {}, \"low_confidence\": {}}}{}\n",
                 r.runtime,
                 r.fanout,
                 r.workload,
@@ -358,6 +366,8 @@ impl BenchReport {
                 json_f64(r.ops_per_sec),
                 json_f64(r.p50_us),
                 json_f64(r.p99_us),
+                r.samples,
+                r.low_confidence,
                 if i + 1 < self.results.len() { "," } else { "" },
             ));
         }
@@ -382,8 +392,10 @@ impl BenchReport {
         out.push_str("| runtime | fanout | workload | ops/s | p50 µs | p99 µs |\n");
         out.push_str("|---|---|---|---|---|---|\n");
         for r in &self.results {
+            // `~` marks percentile estimates from too few samples.
+            let tilde = if r.low_confidence { "~" } else { "" };
             out.push_str(&format!(
-                "| {} | {} | {} | {:.0} | {:.1} | {:.1} |\n",
+                "| {} | {} | {} | {:.0} | {tilde}{:.1} | {tilde}{:.1} |\n",
                 r.runtime, r.fanout, r.workload, r.ops_per_sec, r.p50_us, r.p99_us
             ));
         }
@@ -443,6 +455,14 @@ impl JsonValue {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -698,6 +718,18 @@ pub fn validate(text: &str) -> Result<(), String> {
                 .ok_or(format!("results[{i}]: missing numeric field {key:?}"))?;
             if v < 0.0 {
                 return Err(format!("results[{i}].{key} is negative"));
+            }
+        }
+        // Optional fields added by newer emitters; type-checked when present
+        // so older committed artifacts stay valid.
+        if let Some(v) = r.get("samples") {
+            if v.as_f64().is_none() {
+                return Err(format!("results[{i}].samples is not numeric"));
+            }
+        }
+        if let Some(v) = r.get("low_confidence") {
+            if v.as_bool().is_none() {
+                return Err(format!("results[{i}].low_confidence is not a boolean"));
             }
         }
     }

@@ -25,7 +25,12 @@ usage:
       --scheme S --sites N --blocks B --net multicast|unicast
   blockrep chaos [flags]                   seeded fault-injection runs on all
       --seed N --seeds K --steps L         three runtimes; fails with the
-      --scheme mcv|ac|nac                  shrunk schedule and its seed
+      --scheme mcv|ac|nac                  shrunk schedule and its seed, and
+      --trace-out PATH                     always prints a metrics snapshot
+                                           at exit; --trace-out writes a
+                                           flight-recorder dump (Chrome
+                                           trace JSON) of the last schedule
+                                           (the shrunk one on failure)
   blockrep bench [flags]                   protocol throughput/latency suite
       --scheme S --sites N --blocks B      over all runtimes and fan-out
       --block-size Z --ops K               modes; writes BENCH_protocol.json
@@ -36,7 +41,18 @@ usage:
       --block-size Z --ops K               and scheme, batched vs per-block
       --net multicast|unicast --out PATH   device I/O; writes BENCH_fs.json
       --latency-us D                       with --out
+  blockrep bench --suite trace [flags]     per-phase latency attribution
+      --sites N --blocks B                 matrix (scheme x runtime x io)
+      --block-size Z                       from the causal tracer; writes
+      --net multicast|unicast --out PATH   BENCH_trace.json with --out
+      --latency-us D
   blockrep bench [--suite S] --check PATH  validate an emitted report
+  blockrep trace [flags]                   run one traced workload; print its
+      --scheme S --runtime R --io M        per-phase attribution table and
+      --sites N --blocks B --block-size Z  emit the causal trace as Chrome
+      --net multicast|unicast              trace-event JSON to --out PATH
+      --latency-us D --out PATH            (stdout without --out)
+  blockrep trace --check PATH              validate a Chrome trace JSON dump
   blockrep mkfs <image-file> [flags]       format a file-backed device
       --blocks N --block-size B
   blockrep fsck <image-file> [flags]       consistency-check an image
@@ -86,6 +102,7 @@ fn dispatch(parsed: &Parsed) -> Result<(), UsageError> {
         Some("simulate") => run_simulate(parsed),
         Some("chaos") => run_chaos(parsed),
         Some("bench") => run_bench(parsed),
+        Some("trace") => run_trace(parsed),
         Some("shell") => run_shell(parsed),
         Some("mkfs") => run_mkfs(parsed),
         Some("fsck") => run_fsck(parsed),
@@ -204,37 +221,77 @@ fn run_simulate(parsed: &Parsed) -> Result<(), UsageError> {
 }
 
 fn run_chaos(parsed: &Parsed) -> Result<(), UsageError> {
+    use blockrep_core::chaos;
     let first_seed = parsed.flag_u64("seed", 0)?;
     let seeds = parsed.flag_u64("seeds", 1)?;
     let steps = parsed.flag_usize("steps", 40)?;
+    let trace_out = parsed.flag("trace-out").map(str::to_string);
     let schemes: Vec<Scheme> = match parsed.flag("scheme") {
         None => Scheme::ALL.to_vec(),
         Some(raw) => vec![crate::args::parse_scheme(raw)?],
     };
-    for scheme in schemes {
+    // The chaos runner always collects metrics: the final snapshot is part
+    // of the post-mortem record, so `--stats` is implied. When the user
+    // passed --stats/--trace themselves, `run` already enabled collection
+    // and prints the snapshot; otherwise we do both here.
+    let print_stats = !(parsed.flag_bool("stats") || parsed.flag_bool("trace"));
+    let was_obs = blockrep_obs::enabled();
+    blockrep_obs::enable();
+    let mut last: Option<(u64, Scheme)> = None;
+    let mut outcome = Ok(());
+    'all: for scheme in schemes {
         for seed in first_seed..first_seed + seeds {
-            match blockrep_core::chaos::run_seed(seed, scheme, steps) {
-                Ok(report) => println!(
-                    "seed {seed} {scheme}: ok ({} steps, {} faults fired, {} reads checked)",
-                    report.steps, report.faults_fired, report.reads_checked
-                ),
+            match chaos::run_seed(seed, scheme, steps) {
+                Ok(report) => {
+                    println!(
+                        "seed {seed} {scheme}: ok ({} steps, {} faults fired, {} reads checked)",
+                        report.steps, report.faults_fired, report.reads_checked
+                    );
+                    last = Some((seed, scheme));
+                }
                 Err(failure) => {
+                    if let Some(path) = &trace_out {
+                        let dump = chaos::trace_failure(&failure);
+                        std::fs::write(path, dump)
+                            .map_err(|e| UsageError(format!("chaos: {path}: {e}")))?;
+                        println!("wrote flight-recorder dump {path}");
+                    }
                     // The failure carries the seed and the shrunk schedule —
                     // everything needed to replay it.
-                    return Err(UsageError(format!("{failure}")));
+                    outcome = Err(UsageError(format!("{failure}")));
+                    break 'all;
                 }
             }
         }
     }
-    Ok(())
+    if outcome.is_ok() {
+        if let (Some(path), Some((seed, scheme))) = (&trace_out, last) {
+            let script = chaos::generate(seed, scheme, steps);
+            let dump = chaos::trace_schedule(&script.cfg, &script.steps);
+            std::fs::write(path, dump).map_err(|e| UsageError(format!("chaos: {path}: {e}")))?;
+            println!("wrote flight-recorder trace {path}");
+        }
+    }
+    if print_stats {
+        let snapshot = blockrep_obs::metrics::global().snapshot();
+        if !snapshot.is_empty() {
+            println!("\nmetrics:\n{}", snapshot.to_table());
+            println!("{}", snapshot.to_json());
+        }
+    }
+    if !was_obs {
+        blockrep_obs::disable();
+    }
+    outcome
 }
 
 fn run_bench(parsed: &Parsed) -> Result<(), UsageError> {
     match parsed.flag("suite") {
         None | Some("protocol") => run_bench_protocol(parsed),
         Some("fs") => run_bench_fs(parsed),
+        Some("trace") => run_bench_trace(parsed),
         Some(other) => Err(UsageError(format!(
-            "--suite: expected protocol or fs, got {other:?}"
+            "--suite: expected protocol, fs or trace, got {other:?}"
         ))),
     }
 }
@@ -303,6 +360,120 @@ fn run_bench_fs(parsed: &Parsed) -> Result<(), UsageError> {
             .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
         std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_bench_trace(parsed: &Parsed) -> Result<(), UsageError> {
+    use blockrep_bench::trace_bench::{self, TraceBenchConfig};
+    if let Some(path) = parsed.flag("check") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        trace_bench::validate(&text)
+            .map_err(|e| UsageError(format!("bench: {path}: invalid report: {e}")))?;
+        println!("{path}: valid {}", trace_bench::SCHEMA);
+        return Ok(());
+    }
+    let mut cfg = TraceBenchConfig::new();
+    cfg.sites = parsed.flag_usize("sites", cfg.sites)?;
+    cfg.blocks = parsed.flag_u64("blocks", cfg.blocks)?;
+    cfg.block_size = parsed.flag_usize("block-size", cfg.block_size)?;
+    cfg.mode = parsed.flag_mode("net", cfg.mode)?;
+    cfg.link_latency_us = parsed.flag_u64("latency-us", cfg.link_latency_us)?;
+    println!(
+        "bench trace: n = {}, {} blocks x {} B, {}, link delay {} us",
+        cfg.sites, cfg.blocks, cfg.block_size, cfg.mode, cfg.link_latency_us
+    );
+    let report = trace_bench::run_suite(&cfg);
+    print!("{}", report.to_table());
+    if let Some(path) = parsed.flag("out") {
+        let json = report.to_json();
+        // Never emit a report the --check path would reject.
+        trace_bench::validate(&json)
+            .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
+        std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_trace(parsed: &Parsed) -> Result<(), UsageError> {
+    use blockrep_bench::protocol_bench::BenchRuntime;
+    use blockrep_bench::trace_bench::{self, TraceBenchConfig, TraceIoMode};
+    if let Some(path) = parsed.flag("check") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| UsageError(format!("trace: {path}: {e}")))?;
+        trace_bench::validate_chrome_trace(&text)
+            .map_err(|e| UsageError(format!("trace: {path}: invalid trace: {e}")))?;
+        println!("{path}: valid Chrome trace-event JSON");
+        return Ok(());
+    }
+    let scheme = parsed.flag_scheme("scheme", Scheme::Voting)?;
+    let runtime = match parsed.flag("runtime") {
+        None | Some("tcp") => BenchRuntime::Tcp,
+        Some("live") => BenchRuntime::Live,
+        Some("deterministic") | Some("det") => BenchRuntime::Deterministic,
+        Some(other) => {
+            return Err(UsageError(format!(
+                "--runtime: expected deterministic, live or tcp, got {other:?}"
+            )))
+        }
+    };
+    let io = match parsed.flag("io") {
+        None | Some("batched") => TraceIoMode::Batched,
+        Some("per_block") | Some("per-block") => TraceIoMode::PerBlock,
+        Some(other) => {
+            return Err(UsageError(format!(
+                "--io: expected batched or per_block, got {other:?}"
+            )))
+        }
+    };
+    let mut cfg = TraceBenchConfig::new();
+    cfg.sites = parsed.flag_usize("sites", cfg.sites)?;
+    cfg.blocks = parsed.flag_u64("blocks", cfg.blocks)?;
+    cfg.block_size = parsed.flag_usize("block-size", cfg.block_size)?;
+    cfg.mode = parsed.flag_mode("net", cfg.mode)?;
+    cfg.link_latency_us = parsed.flag_u64("latency-us", cfg.link_latency_us)?;
+    println!(
+        "trace: scheme {scheme}, runtime {}, io {}, n = {}, {} blocks x {} B, {}, link delay {} us",
+        runtime.label(),
+        io.label(),
+        cfg.sites,
+        cfg.blocks,
+        cfg.block_size,
+        cfg.mode,
+        cfg.link_latency_us
+    );
+    let (records, case) = trace_bench::capture(&cfg, runtime, scheme, io);
+    println!(
+        "{} op(s), {:.3} ms op time, {} spans, {:.1}% attributed to phases",
+        case.ops,
+        case.op_us / 1_000.0,
+        case.spans,
+        case.attributed_fraction * 100.0
+    );
+    if !case.phases.is_empty() {
+        println!("| phase | spans | total ms |");
+        println!("|---|---:|---:|");
+        for p in &case.phases {
+            println!(
+                "| {} | {} | {:.3} |",
+                p.phase,
+                p.count,
+                p.total_us / 1_000.0
+            );
+        }
+    }
+    let json = blockrep_obs::trace::chrome_trace_json(&records);
+    // Never emit a dump the --check path (or the Chrome viewer) rejects.
+    trace_bench::validate_chrome_trace(&json)
+        .map_err(|e| UsageError(format!("trace: emitted dump invalid: {e}")))?;
+    match parsed.flag("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| UsageError(format!("trace: {path}: {e}")))?;
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
     }
     Ok(())
 }
@@ -514,6 +685,103 @@ mod tests {
         // A protocol report is not an fs report, and vice versa.
         assert!(run(&parsed(&["bench", "--check", &path_str])).is_err());
         assert!(run(&parsed(&["bench", "--suite", "nope"])).is_err());
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn bench_trace_suite_writes_and_checks_a_report() -> Result<(), UsageError> {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "blockrep-cli-bench-trace-{}.json",
+            std::process::id()
+        ));
+        let path_str = path
+            .to_str()
+            .ok_or_else(|| UsageError("temp path is not UTF-8".into()))?
+            .to_string();
+        run(&parsed(&[
+            "bench",
+            "--suite",
+            "trace",
+            "--sites",
+            "3",
+            "--blocks",
+            "2",
+            "--block-size",
+            "32",
+            "--latency-us",
+            "0",
+            "--out",
+            &path_str,
+        ]))?;
+        run(&parsed(&[
+            "bench", "--suite", "trace", "--check", &path_str,
+        ]))?;
+        // A trace report is not a protocol report.
+        assert!(run(&parsed(&["bench", "--check", &path_str])).is_err());
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn trace_subcommand_writes_and_checks_a_chrome_dump() -> Result<(), UsageError> {
+        let mut path = std::env::temp_dir();
+        path.push(format!("blockrep-cli-trace-{}.json", std::process::id()));
+        let path_str = path
+            .to_str()
+            .ok_or_else(|| UsageError("temp path is not UTF-8".into()))?
+            .to_string();
+        run(&parsed(&[
+            "trace",
+            "--scheme",
+            "voting",
+            "--runtime",
+            "deterministic",
+            "--blocks",
+            "2",
+            "--block-size",
+            "32",
+            "--latency-us",
+            "0",
+            "--out",
+            &path_str,
+        ]))?;
+        run(&parsed(&["trace", "--check", &path_str]))?;
+        // A damaged dump is rejected.
+        std::fs::write(&path, "{\"traceEvents\": 7}")?;
+        assert!(run(&parsed(&["trace", "--check", &path_str])).is_err());
+        assert!(run(&parsed(&["trace", "--runtime", "quantum"])).is_err());
+        assert!(run(&parsed(&["trace", "--io", "sideways"])).is_err());
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn chaos_trace_out_writes_a_flight_recorder_dump() -> Result<(), UsageError> {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "blockrep-cli-chaos-trace-{}.json",
+            std::process::id()
+        ));
+        let path_str = path
+            .to_str()
+            .ok_or_else(|| UsageError("temp path is not UTF-8".into()))?
+            .to_string();
+        run(&parsed(&[
+            "chaos",
+            "--seed",
+            "2",
+            "--steps",
+            "6",
+            "--scheme",
+            "ac",
+            "--trace-out",
+            &path_str,
+        ]))?;
+        let dump = std::fs::read_to_string(&path)?;
+        blockrep_bench::trace_bench::validate_chrome_trace(&dump)
+            .map_err(|e| UsageError(format!("chaos dump invalid: {e}")))?;
         std::fs::remove_file(path)?;
         Ok(())
     }

@@ -99,10 +99,12 @@ pub(crate) fn write<B: Backend + ?Sized>(
         });
     }
     // The origin is available, hence current: its version is the latest.
-    let v_new = b
-        .vote(origin, origin, k)
-        .expect("available origin answers its own version lookup")
-        .next();
+    let v_new = {
+        let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
+        b.vote(origin, origin, k)
+            .expect("available origin answers its own version lookup")
+            .next()
+    };
     let others = backend::others(cfg, origin);
     backend::charge_fanout(b, OpClass::Write, MsgKind::WriteUpdate, others.len());
     let mut recipients: BTreeSet<SiteId> = BTreeSet::from([origin]);
@@ -124,7 +126,10 @@ pub(crate) fn write<B: Backend + ?Sized>(
             recipients.insert(t);
         }
     }
-    b.apply_write(origin, origin, k, &data, v_new);
+    {
+        let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
+        b.apply_write(origin, origin, k, &data, v_new);
+    }
     event!(
         "acwrite.fanout",
         origin = origin.as_u32(),
@@ -137,6 +142,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
         // Definition 3.1: everyone who received this write records the write
         // group as its new was-available set (piggybacked on update + acks).
         for &t in &recipients {
+            let _x = obs_hooks::phase_span(obs_hooks::phase_exchange, t.as_u32());
             b.set_was_available(origin, t, &recipients);
         }
         event!("was_available.update", group = recipients.len());
@@ -206,9 +212,11 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
     }
     let ks: Vec<BlockIndex> = writes.iter().map(|&(k, _)| k).collect();
     // The origin is available, hence current: its versions are the latest.
-    let own = b
-        .vote_many(origin, origin, &ks)
-        .expect("available origin answers its own version lookup");
+    let own = {
+        let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
+        b.vote_many(origin, origin, &ks)
+            .expect("available origin answers its own version lookup")
+    };
     let batch: WriteBatch = writes
         .iter()
         .zip(&own)
@@ -231,7 +239,10 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
             recipients.insert(t);
         }
     }
-    b.apply_write_many(origin, origin, &batch);
+    {
+        let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
+        b.apply_write_many(origin, origin, &batch);
+    }
     event!(
         "acwrite.fanout.batch",
         origin = origin.as_u32(),
@@ -244,6 +255,7 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
         // every block of the run, so one refresh reaches the same final
         // state as a per-block loop.
         for &t in &recipients {
+            let _x = obs_hooks::phase_span(obs_hooks::phase_exchange, t.as_u32());
             b.set_was_available(origin, t, &recipients);
         }
         event!("was_available.update", group = recipients.len());

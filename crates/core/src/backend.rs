@@ -346,10 +346,48 @@ pub fn scatter_sequential<B: Backend + ?Sized>(
     targets: &[SiteId],
     req: &ScatterRequest,
 ) -> ScatterReplies {
-    crate::obs_hooks::record(crate::obs_hooks::scatter_batch, targets.len() as u64);
+    // The enabled-check is hoisted out of the per-target loop (the same fix
+    // the cache hit path got): with observability off, the whole scatter
+    // pays exactly one relaxed atomic load before running the plain loop.
+    if blockrep_obs::enabled() {
+        return scatter_sequential_observed(b, spec, origin, targets, req);
+    }
     let mut replies: ScatterReplies = Vec::with_capacity(targets.len());
     for &t in targets {
         let reply = exchange_once(b, origin, t, req);
+        if reply.is_some() {
+            if let Some(kind) = spec.reply_charge {
+                b.counter().add(spec.op, kind, spec.reply_units);
+            }
+        }
+        replies.push((t, reply));
+    }
+    truncate_to_threshold(b.config(), &mut replies, spec.gather);
+    replies
+}
+
+/// The observed twin of [`scatter_sequential`]: records the batch-size
+/// metric and (under tracing) a `phase.exchange` span per target. Kept
+/// `#[cold]` and out of line so the disabled path's loop stays tight.
+#[cold]
+fn scatter_sequential_observed<B: Backend + ?Sized>(
+    b: &B,
+    spec: ScatterSpec,
+    origin: SiteId,
+    targets: &[SiteId],
+    req: &ScatterRequest,
+) -> ScatterReplies {
+    crate::obs_hooks::scatter_batch().record(targets.len() as u64);
+    let tracing = crate::obs_hooks::tracing();
+    let mut replies: ScatterReplies = Vec::with_capacity(targets.len());
+    for &t in targets {
+        let span = if tracing {
+            blockrep_obs::trace::start_phase(crate::obs_hooks::phase_exchange(), t.index() as u32)
+        } else {
+            None
+        };
+        let reply = exchange_once(b, origin, t, req);
+        drop(span);
         if reply.is_some() {
             if let Some(kind) = spec.reply_charge {
                 b.counter().add(spec.op, kind, spec.reply_units);

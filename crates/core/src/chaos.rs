@@ -771,3 +771,47 @@ pub fn run_seed(seed: u64, scheme: Scheme, len: usize) -> Result<ChaosReport, Bo
         detail,
     }))
 }
+
+/// Post-mortem flight-recorder dump for a chaos failure: replays the
+/// (shrunk) minimal schedule on the deterministic runtime with tracing
+/// enabled and returns the causal trace as Chrome trace-event JSON.
+///
+/// The geometry is regenerated from the failure's seed, so the dump replays
+/// exactly the configuration that failed. A replay that panics (as the
+/// original failure may well do) is caught: the dump carries every span the
+/// recorder captured up to the crash, which is the whole point.
+pub fn trace_failure(failure: &ChaosFailure) -> String {
+    let script = generate(failure.seed, failure.scheme, 0);
+    trace_schedule(&script.cfg, &failure.steps)
+}
+
+/// Replays `steps` on the deterministic runtime with the flight recorder
+/// armed and dumps the resulting causal trace as Chrome trace-event JSON.
+/// Previous recorder contents are cleared first; the global tracing flags
+/// are restored to their prior values afterwards.
+pub fn trace_schedule(cfg: &DeviceConfig, steps: &[ChaosStep]) -> String {
+    use blockrep_obs::trace;
+    let was_obs = blockrep_obs::enabled();
+    let was_tracing = trace::enabled();
+    trace::enable();
+    trace::clear();
+    let cfg = cfg.clone();
+    let steps = steps.to_vec();
+    let _ = run_caught("trace-replay", move || {
+        let rt = Cluster::new(
+            cfg,
+            ClusterOptions {
+                mode: DeliveryMode::Multicast,
+            },
+        );
+        run_on(&rt, &steps)
+    });
+    let records = trace::snapshot();
+    if !was_tracing {
+        trace::disable();
+    }
+    if !was_obs {
+        blockrep_obs::disable();
+    }
+    trace::chrome_trace_json(&records)
+}

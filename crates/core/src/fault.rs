@@ -327,6 +327,11 @@ impl<'a, B: Backend> FaultyBackend<'a, B> {
             to = to.as_u32(),
         );
         obs_hooks::count(obs_hooks::faults_injected, 1);
+        if blockrep_obs::enabled() && obs_hooks::tracing() {
+            // A point mark in the causal tree: the post-mortem dump shows
+            // exactly which phase of which op the fault landed in.
+            blockrep_obs::trace::instant(obs_hooks::phase_chaos_fault(), to.as_u32());
+        }
         match kind {
             FaultKind::DropMessage => Decision::Suppress,
             FaultKind::DuplicateMessage => Decision::Duplicate,

@@ -60,6 +60,16 @@ enum Request {
     VoteMany(Vec<BlockIndex>, Sender<Vec<VersionNumber>>),
     ApplyWriteMany(WriteBatch),
     ReadLocalMany(Vec<BlockIndex>, Sender<Vec<BlockData>>),
+    /// The in-process analogue of the wire trace envelope: carries the
+    /// sender's span context so the serving thread's apply span stitches
+    /// into the coordinator's causal tree. Only built while tracing is on.
+    Traced {
+        trace_id: u64,
+        parent: u64,
+        /// The target site (the server thread's own id, for span labels).
+        site: u32,
+        inner: Box<Request>,
+    },
     Shutdown,
 }
 
@@ -354,6 +364,23 @@ impl LiveCluster {
         self.net.set_site_up(s, up);
     }
 
+    /// Wraps `req` in the in-process trace envelope when tracing is on and
+    /// a span context is live, so the server thread (which does not share
+    /// this thread's context) can stitch its apply span into the tree.
+    fn trace_wrap(&self, to: SiteId, req: Request) -> Request {
+        if blockrep_obs::enabled() && crate::obs_hooks::tracing() {
+            if let Some(ctx) = blockrep_obs::trace::current() {
+                return Request::Traced {
+                    trace_id: ctx.trace_id,
+                    parent: ctx.span_id,
+                    site: to.as_u32(),
+                    inner: Box::new(req),
+                };
+            }
+        }
+        req
+    }
+
     fn call<T>(
         &self,
         from: SiteId,
@@ -361,11 +388,13 @@ impl LiveCluster {
         build: impl FnOnce(Sender<T>) -> Request,
     ) -> Option<T> {
         let (tx, rx) = bounded(1);
-        self.net.send_raw(from, to, build(tx)).ok()?;
+        let req = self.trace_wrap(to, build(tx));
+        self.net.send_raw(from, to, req).ok()?;
         rx.recv().ok()
     }
 
     fn cast(&self, from: SiteId, to: SiteId, req: Request) -> bool {
+        let req = self.trace_wrap(to, req);
         self.net.send_raw(from, to, req).is_ok()
     }
 
@@ -382,12 +411,44 @@ impl LiveCluster {
         build: impl Fn(Sender<T>) -> Request,
         wrap: impl Fn(T) -> ScatterReply,
     ) -> ScatterReplies {
-        crate::obs_hooks::record(crate::obs_hooks::scatter_batch, targets.len() as u64);
+        // Satellite hoist: one `enabled()` load decides whether any obs
+        // work happens in this batch; the disabled path records nothing.
+        let obs_on = blockrep_obs::enabled();
+        if obs_on {
+            crate::obs_hooks::scatter_batch().record(targets.len() as u64);
+        }
+        let tracing = obs_on && crate::obs_hooks::tracing();
+        // Captured for the straggler drainer, which runs on its own thread
+        // and therefore cannot inherit this thread's span context.
+        let op_ctx = if tracing {
+            blockrep_obs::trace::current()
+        } else {
+            None
+        };
         let pending: Vec<(SiteId, Option<Receiver<T>>)> = targets
             .iter()
             .map(|&t| {
+                let send_span = if tracing {
+                    blockrep_obs::trace::start_phase(
+                        crate::obs_hooks::phase_scatter_send(),
+                        t.as_u32(),
+                    )
+                } else {
+                    None
+                };
                 let (tx, rx) = bounded(1);
-                let sent = self.net.send_raw(origin, t, build(tx)).is_ok();
+                let mut req = build(tx);
+                // The send span is the envelope parent, so the server's
+                // remote_apply span lands under this site's send leg.
+                if let Some(ctx) = send_span.as_ref().map(|s| s.context()) {
+                    req = Request::Traced {
+                        trace_id: ctx.trace_id,
+                        parent: ctx.span_id,
+                        site: t.as_u32(),
+                        inner: Box::new(req),
+                    };
+                }
+                let sent = self.net.send_raw(origin, t, req).is_ok();
                 (t, sent.then_some(rx))
             })
             .collect();
@@ -396,16 +457,29 @@ impl LiveCluster {
             Gather::EarlyQuorum { threshold } => threshold,
         };
         let mut gathered = 0u64;
+        let mut cut_marked = false;
         let mut replies: ScatterReplies = Vec::with_capacity(targets.len());
         let mut stragglers: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
         for (t, rx) in pending {
             if gathered >= threshold {
                 // Quorum reached: the reply still arrives and is still
                 // charged — by the drainer — but nobody blocks on it.
+                if tracing && !cut_marked {
+                    cut_marked = true;
+                    blockrep_obs::trace::instant(
+                        crate::obs_hooks::phase_early_quorum_cut(),
+                        origin.as_u32(),
+                    );
+                }
                 if let Some(rx) = rx {
                     let counter = Arc::clone(&self.counter);
                     let (op, charge, units) = (spec.op, spec.reply_charge, spec.reply_units);
+                    let drain_phase = crate::obs_hooks::phase_straggler_drain();
+                    let site = t.as_u32();
                     stragglers.push(Box::new(move || {
+                        let _drain = op_ctx.map(|ctx| {
+                            blockrep_obs::trace::start_phase_under(ctx, drain_phase, site)
+                        });
                         if rx.recv().is_ok() {
                             if let Some(kind) = charge {
                                 counter.add(op, kind, units);
@@ -416,7 +490,17 @@ impl LiveCluster {
                 replies.push((t, None));
                 continue;
             }
-            let reply = rx.and_then(|rx| rx.recv().ok());
+            let reply = rx.and_then(|rx| {
+                let _gather = if tracing {
+                    blockrep_obs::trace::start_phase(
+                        crate::obs_hooks::phase_gather_wait(),
+                        t.as_u32(),
+                    )
+                } else {
+                    None
+                };
+                rx.recv().ok()
+            });
             if reply.is_some() {
                 if let Some(kind) = spec.reply_charge {
                     self.counter.add(spec.op, kind, spec.reply_units);
@@ -440,18 +524,21 @@ impl LiveCluster {
 /// in the service thread for it would model a bottleneck that does not
 /// exist.
 fn is_rpc(req: &Request) -> bool {
-    matches!(
-        req,
-        Request::Vote(..)
-            | Request::Fetch(..)
-            | Request::Scrub(_)
-            | Request::ReadLocal(..)
-            | Request::VersionVector(_)
-            | Request::RepairPayload(..)
-            | Request::GetW(_)
-            | Request::VoteMany(..)
-            | Request::ReadLocalMany(..)
-    )
+    match req {
+        Request::Traced { inner, .. } => is_rpc(inner),
+        _ => matches!(
+            req,
+            Request::Vote(..)
+                | Request::Fetch(..)
+                | Request::Scrub(_)
+                | Request::ReadLocal(..)
+                | Request::VersionVector(_)
+                | Request::RepairPayload(..)
+                | Request::GetW(_)
+                | Request::VoteMany(..)
+                | Request::ReadLocalMany(..)
+        ),
+    }
 }
 
 /// Sleeps for the emulated link delay, if one is set (see
@@ -507,6 +594,20 @@ fn handle(replica: &mut Replica, req: Request) {
         }
         Request::ReadLocalMany(ks, reply) => {
             let _ = reply.send(ks.into_iter().map(|k| replica.data(k)).collect());
+        }
+        Request::Traced {
+            trace_id,
+            parent,
+            site,
+            inner,
+        } => {
+            let _remote = blockrep_obs::trace::start_remote(
+                trace_id,
+                parent,
+                crate::obs_hooks::phase_remote_apply(),
+                site,
+            );
+            handle(replica, *inner);
         }
         Request::Shutdown => {}
     }

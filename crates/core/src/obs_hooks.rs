@@ -7,6 +7,7 @@
 //! relaxed atomic load and no lock is ever touched.
 
 use blockrep_obs::metrics::{global, Counter, Histogram, HistogramTimer};
+use blockrep_obs::trace::{self, Span};
 use std::sync::{Arc, OnceLock};
 
 macro_rules! cached_metric {
@@ -36,6 +37,59 @@ cached_metric!(
     "recovery.blocks_repaired"
 );
 cached_metric!(faults_injected, Counter, counter, "chaos.faults_injected");
+
+/// Interned flight-recorder phase ids, resolved once per process like the
+/// metric handles above. The names are the tracing vocabulary DESIGN.md §6
+/// documents; keep both in sync.
+macro_rules! cached_phase {
+    ($fn_name:ident, $phase_name:literal) => {
+        pub(crate) fn $fn_name() -> u32 {
+            static ID: OnceLock<u32> = OnceLock::new();
+            *ID.get_or_init(|| trace::phase_id($phase_name))
+        }
+    };
+}
+
+cached_phase!(op_read, "op.read");
+cached_phase!(op_write, "op.write");
+cached_phase!(op_read_many, "op.read_many");
+cached_phase!(op_write_many, "op.write_many");
+cached_phase!(op_repair, "op.repair");
+cached_phase!(phase_local_leg, "phase.local_leg");
+cached_phase!(phase_exchange, "phase.exchange");
+cached_phase!(phase_scatter_send, "phase.scatter_send");
+cached_phase!(phase_gather_wait, "phase.gather_wait");
+cached_phase!(phase_remote_apply, "phase.remote_apply");
+cached_phase!(phase_early_quorum_cut, "phase.early_quorum_cut");
+cached_phase!(phase_straggler_drain, "phase.straggler_drain");
+cached_phase!(phase_chaos_fault, "chaos.fault");
+
+/// Whether causal tracing is live. Callers must already be past the base
+/// [`blockrep_obs::enabled`] branch — this second flag only distinguishes
+/// metrics-only runs from flight-recorder runs on the observed path.
+#[inline]
+pub(crate) fn tracing() -> bool {
+    trace::enabled()
+}
+
+/// Opens an operation span (and installs its context) when tracing is on.
+pub(crate) fn op_span(phase: fn() -> u32, site: u32) -> Option<Span> {
+    if blockrep_obs::enabled() && trace::enabled() {
+        Some(trace::start_op(phase(), site))
+    } else {
+        None
+    }
+}
+
+/// Opens a phase span under the current op span when tracing is on (and an
+/// op is actually open).
+pub(crate) fn phase_span(phase: fn() -> u32, site: u32) -> Option<Span> {
+    if blockrep_obs::enabled() && trace::enabled() {
+        trace::start_phase(phase(), site)
+    } else {
+        None
+    }
+}
 
 /// Starts a latency timer for `metric` when observability is enabled; the
 /// `None` guard on the disabled path is free.

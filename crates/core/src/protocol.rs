@@ -16,6 +16,7 @@ pub(crate) fn read<B: Backend + ?Sized>(
     k: BlockIndex,
 ) -> DeviceResult<BlockData> {
     let _timer = obs_hooks::timer(obs_hooks::read_latency);
+    let _op = obs_hooks::op_span(obs_hooks::op_read, origin.index() as u32);
     match b.config().scheme() {
         Scheme::Voting => voting::read(b, origin, k),
         Scheme::AvailableCopy => available_copy::read(b, origin, k),
@@ -31,6 +32,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
     data: BlockData,
 ) -> DeviceResult<()> {
     let _timer = obs_hooks::timer(obs_hooks::write_latency);
+    let _op = obs_hooks::op_span(obs_hooks::op_write, origin.index() as u32);
     match b.config().scheme() {
         Scheme::Voting => voting::write(b, origin, k, data),
         Scheme::AvailableCopy => available_copy::write(b, origin, k, data, false),
@@ -47,6 +49,7 @@ pub(crate) fn read_many<B: Backend + ?Sized>(
     ks: &[BlockIndex],
 ) -> DeviceResult<Vec<BlockData>> {
     let _timer = obs_hooks::timer(obs_hooks::read_latency);
+    let _op = obs_hooks::op_span(obs_hooks::op_read_many, origin.index() as u32);
     match b.config().scheme() {
         Scheme::Voting => voting::read_many(b, origin, ks),
         Scheme::AvailableCopy => available_copy::read_many(b, origin, ks),
@@ -63,6 +66,7 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
     writes: &[(BlockIndex, BlockData)],
 ) -> DeviceResult<()> {
     let _timer = obs_hooks::timer(obs_hooks::write_latency);
+    let _op = obs_hooks::op_span(obs_hooks::op_write_many, origin.index() as u32);
     match b.config().scheme() {
         Scheme::Voting => voting::write_many(b, origin, writes),
         Scheme::AvailableCopy => available_copy::write_many(b, origin, writes, false),
@@ -82,6 +86,7 @@ pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId) {
 /// Restarts site `s` after a failure and runs the recovery sweep.
 pub(crate) fn repair<B: Backend + ?Sized>(b: &B, s: SiteId) {
     let _timer = obs_hooks::timer(obs_hooks::recovery_latency);
+    let _op = obs_hooks::op_span(obs_hooks::op_repair, s.index() as u32);
     match b.config().scheme() {
         Scheme::Voting => voting::repair(b, s),
         Scheme::AvailableCopy => {

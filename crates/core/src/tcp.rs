@@ -18,7 +18,7 @@
 //! partition experiments.
 
 use crate::backend::{
-    self, Backend, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec, WriteBatch,
+    self, Backend, Gather, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec, WriteBatch,
 };
 use crate::replica::Replica;
 use crate::wire::{self, WireRequest, WireResponse};
@@ -38,7 +38,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-fn serve(mut replica: Replica, listener: TcpListener, latency_ns: Arc<AtomicU64>) {
+fn serve(
+    mut replica: Replica,
+    listener: TcpListener,
+    latency_ns: Arc<AtomicU64>,
+    site: u32,
+    legacy: Arc<AtomicBool>,
+) {
     // Single-coordinator design: one connection drives the replica at a
     // time, but the coordinator may replace it — after a torn frame it
     // drops the poisoned stream and reconnects — so connections are served
@@ -47,7 +53,7 @@ fn serve(mut replica: Replica, listener: TcpListener, latency_ns: Arc<AtomicU64>
         // Request/response over one socket: Nagle + delayed ACK would add
         // ~40ms to every round trip.
         let _ = conn.set_nodelay(true);
-        if serve_conn(&mut replica, &mut conn, &latency_ns) == Served::Shutdown {
+        if serve_conn(&mut replica, &mut conn, &latency_ns, site, &legacy) == Served::Shutdown {
             return;
         }
     }
@@ -62,7 +68,13 @@ enum Served {
     Shutdown,
 }
 
-fn serve_conn(replica: &mut Replica, conn: &mut TcpStream, latency_ns: &AtomicU64) -> Served {
+fn serve_conn(
+    replica: &mut Replica,
+    conn: &mut TcpStream,
+    latency_ns: &AtomicU64,
+    site: u32,
+    legacy: &AtomicBool,
+) -> Served {
     loop {
         let Ok(frame) = wire::read_frame(conn) else {
             return Served::Hangup; // hung up (or reconnected elsewhere)
@@ -70,11 +82,38 @@ fn serve_conn(replica: &mut Replica, conn: &mut TcpStream, latency_ns: &AtomicU6
         let Ok(request) = WireRequest::decode(&frame) else {
             return Served::Hangup; // corrupt peer: drop the connection
         };
+        // Unwrap the trace envelope, if any. A peer flagged `legacy`
+        // behaves exactly like a build that predates tag 17: the envelope
+        // is an unknown tag, i.e. a decode error, i.e. a hangup — which is
+        // what the coordinator's fallback path is built to survive.
+        let (request, remote_ctx) = match request {
+            WireRequest::Traced {
+                trace_id,
+                parent_span,
+                inner,
+            } => {
+                if legacy.load(Ordering::Relaxed) {
+                    return Served::Hangup;
+                }
+                (*inner, Some((trace_id, parent_span)))
+            }
+            request => (request, None),
+        };
         // Emulated one-way link delay (see `TcpCluster::set_link_latency`).
+        // Deliberately outside the remote span: transit time is the
+        // coordinator's gather wait, not this site's apply work.
         let delay = latency_ns.load(Ordering::Relaxed);
         if delay > 0 && !matches!(request, WireRequest::Shutdown) {
             std::thread::sleep(Duration::from_nanos(delay));
         }
+        let _remote = remote_ctx.map(|(trace_id, parent_span)| {
+            blockrep_obs::trace::start_remote(
+                trace_id,
+                parent_span,
+                crate::obs_hooks::phase_remote_apply(),
+                site,
+            )
+        });
         let response = match request {
             WireRequest::Shutdown => return Served::Shutdown,
             WireRequest::Probe => WireResponse::Ack,
@@ -123,6 +162,9 @@ fn serve_conn(replica: &mut Replica, conn: &mut TcpStream, latency_ns: &AtomicU6
             WireRequest::ReadLocalMany(ks) => {
                 WireResponse::DataMany(ks.into_iter().map(|k| replica.data(k)).collect())
             }
+            // Decode rejects nested envelopes and the outer one was already
+            // unwrapped above, so this arm is unreachable by construction.
+            WireRequest::Traced { .. } => return Served::Hangup,
         };
         if wire::write_frame(conn, &response.encode()).is_err() {
             return Served::Hangup;
@@ -139,6 +181,10 @@ fn serve_conn(replica: &mut Replica, conn: &mut TcpStream, latency_ns: &AtomicU6
 struct SiteConn {
     stream: TcpStream,
     poisoned: bool,
+    /// Whether this peer accepts the trace envelope. Starts optimistic;
+    /// cleared the first time a traced frame makes the peer hang up, after
+    /// which every frame to it goes bare (one flag flip, no negotiation).
+    trace_ok: bool,
 }
 
 impl SiteConn {
@@ -195,6 +241,13 @@ pub struct TcpCluster {
     early_quorum: AtomicBool,
     /// Emulated one-way link delay in nanoseconds, shared with the servers.
     latency_ns: Arc<AtomicU64>,
+    /// Whether request frames carry the trace envelope when a span context
+    /// is live. Off by default — the untraced-peer mode the parity tests
+    /// pin — so frames stay byte-identical unless explicitly opted in.
+    wire_tracing: AtomicBool,
+    /// Per-site "pretend this server predates the trace envelope" flags,
+    /// shared with the server threads (mixed-version testing).
+    legacy: Vec<Arc<AtomicBool>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -210,13 +263,17 @@ impl TcpCluster {
         let latency_ns = Arc::new(AtomicU64::new(0));
         let mut addrs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
+        let legacy: Vec<Arc<AtomicBool>> =
+            (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
         for s in cfg.site_ids() {
             let listener = TcpListener::bind("127.0.0.1:0")?;
             addrs.push(listener.local_addr()?);
             let replica = Replica::new(s, &cfg);
             let latency = Arc::clone(&latency_ns);
+            let legacy_flag = Arc::clone(&legacy[s.index()]);
+            let site = s.as_u32();
             handles.push(std::thread::spawn(move || {
-                serve(replica, listener, latency)
+                serve(replica, listener, latency, site, legacy_flag)
             }));
         }
         let mut conns = Vec::with_capacity(n);
@@ -226,6 +283,7 @@ impl TcpCluster {
             conns.push(Mutex::new(SiteConn {
                 stream,
                 poisoned: false,
+                trace_ok: true,
             }));
         }
         Ok(TcpCluster {
@@ -237,6 +295,8 @@ impl TcpCluster {
             parallel: AtomicBool::new(true),
             early_quorum: AtomicBool::new(false),
             latency_ns,
+            wire_tracing: AtomicBool::new(false),
+            legacy,
             handles,
             cfg,
         })
@@ -372,6 +432,47 @@ impl TcpCluster {
         );
     }
 
+    /// Enables or disables the wire trace envelope. Off (the default) is
+    /// "untraced-peer mode": frames are byte-identical to an untraced
+    /// build, which is what the runtime-parity suites pin. On, every
+    /// request sent while a span context is live is wrapped in
+    /// [`WireRequest::Traced`] so the servers emit child spans into the
+    /// same causal tree.
+    pub fn set_wire_tracing(&self, on: bool) {
+        self.wire_tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Makes site `s`'s server behave like a build that predates the trace
+    /// envelope: any [`WireRequest::Traced`] frame is treated as a decode
+    /// error (hangup). Also resets the coordinator's cached `trace_ok`
+    /// verdict for that site so a test can flip the flag both ways.
+    pub fn set_untraced_peer(&self, s: SiteId, untraced: bool) {
+        self.legacy[s.index()].store(untraced, Ordering::Relaxed);
+        self.conns[s.index()].lock().trace_ok = true;
+    }
+
+    /// Wraps `request` in the trace envelope when wire tracing is on, the
+    /// peer is not known to reject it, and a span context is live.
+    fn trace_wrap(&self, conn: &SiteConn, request: WireRequest) -> (WireRequest, bool) {
+        if self.wire_tracing.load(Ordering::Relaxed)
+            && conn.trace_ok
+            && blockrep_obs::enabled()
+            && crate::obs_hooks::tracing()
+        {
+            if let Some(ctx) = blockrep_obs::trace::current() {
+                return (
+                    WireRequest::Traced {
+                        trace_id: ctx.trace_id,
+                        parent_span: ctx.span_id,
+                        inner: Box::new(request),
+                    },
+                    true,
+                );
+            }
+        }
+        (request, false)
+    }
+
     /// Locks site `to`'s connection, replacing the stream first if a torn
     /// frame poisoned it. Dropping the old stream hangs up the server's
     /// read loop, which then accepts this replacement.
@@ -389,6 +490,21 @@ impl TcpCluster {
 
     fn rpc(&self, to: SiteId, request: WireRequest) -> Option<WireResponse> {
         let _timer = crate::obs_hooks::timer(crate::obs_hooks::tcp_rpc_latency);
+        let mut conn = self.checkout(to)?;
+        let (framed, traced) = self.trace_wrap(&conn, request.clone());
+        if let Some(response) = conn.exchange(to, &framed) {
+            return Some(response);
+        }
+        if !traced {
+            return None;
+        }
+        // The traced attempt died — most likely an untraced peer hanging up
+        // on the unknown tag. Remember that and retry once bare; every
+        // request sent through here is idempotent, so the replay is safe
+        // even if the first frame was actually served.
+        conn.trace_ok = false;
+        drop(conn);
+        event!("tcp.trace.fallback", site = to.as_u32());
         self.checkout(to)?.exchange(to, &request)
     }
 
@@ -413,9 +529,17 @@ impl TcpCluster {
         request_for: impl Fn(SiteId) -> Option<WireRequest>,
         parse: impl Fn(WireResponse) -> Option<ScatterReply>,
     ) -> ScatterReplies {
-        crate::obs_hooks::record(crate::obs_hooks::scatter_batch, targets.len() as u64);
-        let mut in_flight: Vec<(SiteId, Option<MutexGuard<'_, SiteConn>>)> =
-            Vec::with_capacity(targets.len());
+        // Satellite hoist: one `enabled()` load decides whether any obs
+        // work happens in this batch; the disabled path records nothing.
+        let obs_on = blockrep_obs::enabled();
+        if obs_on {
+            crate::obs_hooks::scatter_batch().record(targets.len() as u64);
+        }
+        let tracing = obs_on && crate::obs_hooks::tracing();
+        // Per in-flight entry: the locked connection plus the bare request
+        // kept around iff the frame went out traced (fallback replay).
+        type InFlight<'a> = Option<(MutexGuard<'a, SiteConn>, Option<WireRequest>)>;
+        let mut in_flight: Vec<(SiteId, InFlight<'_>)> = Vec::with_capacity(targets.len());
         for &t in targets {
             debug_assert!(
                 in_flight.last().is_none_or(|&(prev, _)| prev < t),
@@ -423,9 +547,34 @@ impl TcpCluster {
             );
             let conn = if self.reachable(origin, t) {
                 request_for(t).and_then(|request| {
+                    let send_span = if tracing {
+                        blockrep_obs::trace::start_phase(
+                            crate::obs_hooks::phase_scatter_send(),
+                            t.as_u32(),
+                        )
+                    } else {
+                        None
+                    };
                     let mut conn = self.checkout(t)?;
-                    if wire::write_frame(&mut conn.stream, &request.encode()).is_ok() {
-                        Some(conn)
+                    // The send span is the wire parent, so the server's
+                    // remote_apply span lands under this site's send leg
+                    // (a grandchild of the op — attribution sums direct
+                    // children only and must not double-count it).
+                    let (framed, traced) = match send_span.as_ref().map(|s| s.context()) {
+                        Some(ctx) if self.wire_tracing.load(Ordering::Relaxed) && conn.trace_ok => {
+                            (
+                                WireRequest::Traced {
+                                    trace_id: ctx.trace_id,
+                                    parent_span: ctx.span_id,
+                                    inner: Box::new(request.clone()),
+                                },
+                                true,
+                            )
+                        }
+                        _ => (request.clone(), false),
+                    };
+                    if wire::write_frame(&mut conn.stream, &framed.encode()).is_ok() {
+                        Some((conn, traced.then_some(request)))
                     } else {
                         conn.poison(t);
                         None
@@ -436,25 +585,58 @@ impl TcpCluster {
             };
             in_flight.push((t, conn));
         }
+        // Gather in target order. A traced frame that dies here is retried
+        // bare *after* the loop (all guards released first — re-locking a
+        // lower site while holding higher ones would break the ascending
+        // lock order that makes concurrent scatters deadlock-free).
         let mut replies: ScatterReplies = Vec::with_capacity(targets.len());
-        for (t, conn) in in_flight {
-            let reply = conn.and_then(|mut conn| {
+        let mut retries: Vec<(usize, SiteId, WireRequest)> = Vec::new();
+        for (i, (t, conn)) in in_flight.into_iter().enumerate() {
+            let reply = conn.and_then(|(mut conn, bare)| {
+                let gather_span = if tracing {
+                    blockrep_obs::trace::start_phase(
+                        crate::obs_hooks::phase_gather_wait(),
+                        t.as_u32(),
+                    )
+                } else {
+                    None
+                };
                 let response = wire::read_frame(&mut conn.stream)
                     .ok()
                     .and_then(|frame| WireResponse::decode(&frame).ok());
+                drop(gather_span);
                 if response.is_none() {
                     conn.poison(t);
+                    if let Some(bare) = bare {
+                        conn.trace_ok = false;
+                        retries.push((i, t, bare));
+                    }
                 }
                 response.and_then(&parse)
             });
-            if reply.is_some() {
-                if let Some(kind) = spec.reply_charge {
-                    self.counter.add(spec.op, kind, spec.reply_units);
-                }
-            }
             replies.push((t, reply));
         }
+        for (i, t, bare) in retries {
+            event!("tcp.trace.fallback", site = t.as_u32());
+            replies[i].1 = self
+                .checkout(t)
+                .and_then(|mut conn| conn.exchange(t, &bare))
+                .and_then(&parse);
+        }
+        if let Some(kind) = spec.reply_charge {
+            let gathered = replies.iter().filter(|(_, r)| r.is_some()).count() as u64;
+            self.counter
+                .add_many(spec.op, kind, spec.reply_units, gathered);
+        }
         backend::truncate_to_threshold(&self.cfg, &mut replies, spec.gather);
+        // On this runtime the whole batch is one round trip, so the "cut"
+        // is the post-hoc truncation above; mark where it landed.
+        if tracing && matches!(spec.gather, Gather::EarlyQuorum { .. }) {
+            blockrep_obs::trace::instant(
+                crate::obs_hooks::phase_early_quorum_cut(),
+                origin.as_u32(),
+            );
+        }
         replies
     }
 }

@@ -41,9 +41,11 @@ fn collect_votes<B: Backend + ?Sized>(
         block = k.as_u64(),
         fanout = others.len(),
     );
-    let own = b
-        .vote(origin, origin, k)
-        .expect("coordinator is operational, so its own vote cannot fail");
+    let own = {
+        let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
+        b.vote(origin, origin, k)
+            .expect("coordinator is operational, so its own vote cannot fail")
+    };
     let mut votes = vec![(origin, own)];
     // Opt-in early quorum: stop gathering once the remote weight (plus the
     // origin's own, already in hand) reaches the operation's quorum.
@@ -112,9 +114,11 @@ fn collect_votes_many<B: Backend + ?Sized>(
         blocks = ks.len(),
         fanout = others.len(),
     );
-    let own: Vec<VersionNumber> = b
-        .vote_many(origin, origin, ks)
-        .expect("coordinator is operational, so its own votes cannot fail");
+    let own: Vec<VersionNumber> = {
+        let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
+        b.vote_many(origin, origin, ks)
+            .expect("coordinator is operational, so its own votes cannot fail")
+    };
     let mut votes = vec![(origin, own)];
     let spec = ScatterSpec {
         op,
@@ -216,6 +220,7 @@ pub(crate) fn read<B: Backend + ?Sized>(
         // Keep the local copy up to date, as the paper's algorithm does.
         b.apply_write(origin, origin, k, &data, v);
     }
+    let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
     Ok(b.read_local(origin, k))
 }
 
@@ -283,7 +288,10 @@ pub(crate) fn write<B: Backend + ?Sized>(
             data: data.clone(),
         },
     );
-    b.apply_write(origin, origin, k, &data, v_new);
+    {
+        let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
+        b.apply_write(origin, origin, k, &data, v_new);
+    }
     event!(
         "write.commit",
         block = k.as_u64(),
@@ -356,6 +364,7 @@ pub(crate) fn read_many<B: Backend + ?Sized>(
             b.apply_write(origin, origin, k, &data, v);
         }
     }
+    let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
     Ok(b.read_local_many(origin, ks))
 }
 
@@ -436,7 +445,10 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
         &remote_voters,
         &ScatterRequest::InstallMany(batch.clone()),
     );
-    b.apply_write_many(origin, origin, &batch);
+    {
+        let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
+        b.apply_write_many(origin, origin, &batch);
+    }
     event!(
         "write.commit.batch",
         blocks = writes.len(),

@@ -57,6 +57,20 @@ pub enum WireRequest {
     ApplyWriteMany(RepairBlocks),
     /// Read a run of blocks off the local disk in one frame.
     ReadLocalMany(Vec<BlockIndex>),
+    /// A trace envelope: the inner request plus the coordinator's causal
+    /// identifiers, so the serving site's phase spans stitch into the
+    /// coordinator's trace tree. Strictly optional — an untraced peer never
+    /// sees this tag (the coordinator only wraps frames after wire tracing
+    /// is switched on, and falls back to bare frames when a peer rejects
+    /// the envelope), so the format stays backward-compatible.
+    Traced {
+        /// The coordinator's trace id.
+        trace_id: u64,
+        /// The span the remote work should be parented under.
+        parent_span: u64,
+        /// The request being carried (never itself `Traced`).
+        inner: Box<WireRequest>,
+    },
 }
 
 /// A site's answer.
@@ -257,6 +271,16 @@ impl WireRequest {
                     buf.put_u64_le(k.as_u64());
                 }
             }
+            WireRequest::Traced {
+                trace_id,
+                parent_span,
+                inner,
+            } => {
+                buf.put_u8(17);
+                buf.put_u64_le(*trace_id);
+                buf.put_u64_le(*parent_span);
+                buf.extend_from_slice(&inner.encode());
+            }
         }
         buf
     }
@@ -330,6 +354,22 @@ impl WireRequest {
                 )
             }
             15 => WireRequest::ApplyWriteMany(get_blocks(&mut raw)?),
+            17 => {
+                need(raw, 16, "trace envelope")?;
+                let trace_id = raw.get_u64_le();
+                let parent_span = raw.get_u64_le();
+                // The inner decode consumes the remainder and performs its
+                // own trailing-bytes check, so return directly.
+                let inner = WireRequest::decode(raw)?;
+                if matches!(inner, WireRequest::Traced { .. }) {
+                    return Err(bad("nested trace envelope"));
+                }
+                return Ok(WireRequest::Traced {
+                    trace_id,
+                    parent_span,
+                    inner: Box::new(inner),
+                });
+            }
             16 => {
                 need(raw, 4, "index count")?;
                 let count = raw.get_u32_le() as usize;
@@ -538,7 +578,7 @@ mod tests {
         )
     }
 
-    fn arb_request() -> impl Strategy<Value = WireRequest> {
+    fn arb_plain_request() -> impl Strategy<Value = WireRequest> {
         prop_oneof![
             Just(WireRequest::Probe),
             any::<u16>().prop_map(|k| WireRequest::Vote(BlockIndex::new(k as u64))),
@@ -572,6 +612,19 @@ mod tests {
             prop::collection::vec(any::<u16>(), 0..8).prop_map(|ks| WireRequest::ReadLocalMany(
                 ks.into_iter().map(|k| BlockIndex::new(k as u64)).collect()
             )),
+        ]
+    }
+
+    fn arb_request() -> impl Strategy<Value = WireRequest> {
+        prop_oneof![
+            3 => arb_plain_request(),
+            1 => (any::<u64>(), any::<u64>(), arb_plain_request()).prop_map(
+                |(trace_id, parent_span, inner)| WireRequest::Traced {
+                    trace_id,
+                    parent_span,
+                    inner: Box::new(inner),
+                }
+            ),
         ]
     }
 
@@ -657,5 +710,35 @@ mod tests {
         let mut encoded = WireRequest::Probe.encode();
         encoded.push(0xFF);
         assert!(WireRequest::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn traced_envelope_roundtrips_and_rejects_nesting() {
+        let inner = WireRequest::Vote(BlockIndex::new(7));
+        let traced = WireRequest::Traced {
+            trace_id: u64::MAX,
+            parent_span: 42,
+            inner: Box::new(inner.clone()),
+        };
+        let encoded = traced.encode();
+        assert_eq!(WireRequest::decode(&encoded).unwrap(), traced);
+
+        // A traced frame is exactly 17 bytes of envelope plus the inner
+        // frame — an untraced peer reads tag 17 and rejects it cleanly.
+        assert_eq!(encoded.len(), 17 + inner.encode().len());
+        assert_eq!(encoded[0], 17);
+
+        let nested = WireRequest::Traced {
+            trace_id: 1,
+            parent_span: 2,
+            inner: Box::new(traced),
+        };
+        let err = WireRequest::decode(&nested.encode()).unwrap_err();
+        assert!(err.0.contains("nested"), "unexpected error: {err}");
+
+        // Trailing garbage after the inner frame is still rejected.
+        let mut trailing = encoded;
+        trailing.push(0xAB);
+        assert!(WireRequest::decode(&trailing).is_err());
     }
 }

@@ -182,6 +182,14 @@ impl TrafficCounter {
         self.counts[op.idx()][kind.idx()].fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `per` transmissions of `kind` for each of `count` replies —
+    /// one atomic add for a whole gathered batch instead of one per reply.
+    pub fn add_many(&self, op: OpClass, kind: MsgKind, per: u64, count: u64) {
+        if count > 0 {
+            self.add(op, kind, per * count);
+        }
+    }
+
     /// Total transmissions across all classes and kinds.
     pub fn total(&self) -> u64 {
         self.snapshot().total()
@@ -368,6 +376,14 @@ mod tests {
         assert_eq!(s.get(OpClass::Write, MsgKind::VoteRequest), 2);
         assert_eq!(s.total(), 7);
         assert_eq!(s.total_for(OpClass::Read), 5);
+    }
+
+    #[test]
+    fn add_many_charges_per_reply_units_in_one_shot() {
+        let c = TrafficCounter::new();
+        c.add_many(OpClass::Read, MsgKind::VoteReply, 3, 4);
+        c.add_many(OpClass::Read, MsgKind::VoteReply, 3, 0);
+        assert_eq!(c.snapshot().get(OpClass::Read, MsgKind::VoteReply), 12);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //!   instrumented hot paths cost nothing measurable. Installing a
 //!   [`RecordingObserver`] captures the sequence for tests; a
 //!   [`StderrObserver`] streams it as human-readable lines.
+//! * **Causal traces** ([`trace`]) give each device operation a
+//!   [`trace::TraceContext`] that phase spans — local leg, scatter sends,
+//!   gather waits, remote applies — attach to, across threads and (via the
+//!   wire trace envelope) across sites. Spans land in a bounded lock-free
+//!   flight-recorder ring and export as Chrome trace-event JSON with a
+//!   per-phase attribution table.
 //! * **Metrics** ([`metrics::Registry`]) are atomic counters, gauges and
 //!   fixed-bucket latency histograms (power-of-two buckets, p50/p95/p99
 //!   summaries). Updates are lock-free; registration hands out `Arc`
@@ -43,6 +49,7 @@
 
 pub mod metrics;
 mod observer;
+pub mod trace;
 
 pub use observer::{
     clear_observer, disable, dispatch_event, dispatch_span_end, dispatch_span_start, enable,

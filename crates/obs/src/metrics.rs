@@ -232,6 +232,14 @@ impl Drop for HistogramTimer<'_> {
     }
 }
 
+/// Fewer observations than this and a percentile estimate is mostly the
+/// bucket geometry talking: with n samples the p99/p50 ranks coincide until
+/// n is large enough to separate them, so single-op suites used to report
+/// `p50 == p99` with nothing marking the estimate as hollow. Summaries from
+/// fewer samples are flagged [`HistogramSummary::low_confidence`] and the
+/// renderers annotate them.
+pub const LOW_CONFIDENCE_SAMPLES: u64 = 8;
+
 /// Point-in-time percentile summary of one histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct HistogramSummary {
@@ -251,6 +259,16 @@ pub struct HistogramSummary {
     pub p95: f64,
     /// 99th-percentile estimate.
     pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Whether the percentile estimates come from fewer than
+    /// [`LOW_CONFIDENCE_SAMPLES`] observations and should not be read as
+    /// distribution tails (a 1-sample histogram reports `p50 == p99`
+    /// trivially).
+    pub fn low_confidence(&self) -> bool {
+        self.count < LOW_CONFIDENCE_SAMPLES
+    }
 }
 
 #[derive(Clone)]
@@ -548,9 +566,11 @@ impl Snapshot {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(
                 out,
-                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
-                 \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                "{sep}\n    \"{}\": {{\"count\": {}, \"samples\": {}, \"sum\": {}, \"min\": {}, \
+                 \"max\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+                 \"low_confidence\": {}}}",
                 json_escape(name),
+                h.count,
                 h.count,
                 h.sum,
                 h.min,
@@ -559,6 +579,7 @@ impl Snapshot {
                 json_f64(h.p50),
                 json_f64(h.p95),
                 json_f64(h.p99),
+                h.low_confidence(),
             );
         }
         if !self.histograms.is_empty() {
@@ -589,9 +610,12 @@ impl Snapshot {
                 "| histogram | count | mean | p50 | p95 | p99 | max |\n|---|---:|---:|---:|---:|---:|---:|\n",
             );
             for (name, h) in &self.histograms {
+                // `~` marks percentile cells estimated from too few samples
+                // to trust (see `LOW_CONFIDENCE_SAMPLES`).
+                let mark = if h.low_confidence() { "~" } else { "" };
                 let _ = writeln!(
                     out,
-                    "| {name} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {} |",
+                    "| {name} | {} | {:.0} | {mark}{:.0} | {mark}{:.0} | {mark}{:.0} | {} |",
                     h.count, h.mean, h.p50, h.p95, h.p99, h.max
                 );
             }
@@ -772,6 +796,48 @@ mod tests {
         );
         let unescaped_quotes = json.replace("\\\"", "").matches('"').count();
         assert_eq!(unescaped_quotes % 2, 0);
+    }
+
+    #[test]
+    fn low_confidence_flags_small_sample_counts() {
+        let h = Histogram::new();
+        h.record(10_000);
+        let s = h.summary();
+        // One observation: the percentiles collapse to the single value and
+        // the summary says so.
+        assert_eq!(s.p50, s.p99);
+        assert!(s.low_confidence());
+        for _ in 0..(LOW_CONFIDENCE_SAMPLES - 1) {
+            h.record(10_000);
+        }
+        assert!(!h.summary().low_confidence());
+    }
+
+    #[test]
+    fn snapshot_json_and_table_mark_low_confidence_percentiles() {
+        let registry = Registry::new();
+        registry.histogram("thin").record(100);
+        let big = registry.histogram("fat");
+        for v in 1..=100u64 {
+            big.record(v);
+        }
+        let snap = registry.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"samples\": 1"));
+        assert!(json.contains("\"low_confidence\": true"));
+        assert!(json.contains("\"samples\": 100"));
+        assert!(json.contains("\"low_confidence\": false"));
+        let table = snap.to_table();
+        let thin_row = table
+            .lines()
+            .find(|l| l.starts_with("| thin"))
+            .expect("thin row");
+        assert!(thin_row.contains("~100"), "unmarked row: {thin_row}");
+        let fat_row = table
+            .lines()
+            .find(|l| l.starts_with("| fat"))
+            .expect("fat row");
+        assert!(!fat_row.contains('~'), "marked row: {fat_row}");
     }
 
     #[test]

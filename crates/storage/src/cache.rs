@@ -221,6 +221,15 @@ impl<D: BlockDevice> CacheStore<D> {
         if state.dirty.is_empty() {
             return Ok(());
         }
+        // Phase span for the causal trace: attaches under whatever device
+        // op triggered the write-back (None when no op span is open).
+        let _flush_span = if blockrep_obs::enabled() && blockrep_obs::trace::enabled() {
+            static PHASE: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+            let phase = *PHASE.get_or_init(|| blockrep_obs::trace::phase_id("phase.cache_flush"));
+            blockrep_obs::trace::start_phase(phase, 0)
+        } else {
+            None
+        };
         let mut runs: Vec<Vec<(BlockIndex, BlockData)>> = Vec::new();
         for &b in &state.dirty {
             let data = state

@@ -1,0 +1,195 @@
+//! Cross-site trace propagation and its compatibility story.
+//!
+//! Two invariants share this binary (and a lock, since tracing is a
+//! process-global flag):
+//!
+//! 1. **Mixed versions degrade cleanly.** A traced coordinator talking to a
+//!    peer that predates the wire trace envelope gets a hangup on the first
+//!    traced frame, falls back to bare frames for that connection, and the
+//!    operation still succeeds — the causal tree simply misses that peer's
+//!    remote spans.
+//! 2. **Untraced-peer mode is byte-identical.** With tracing enabled but
+//!    wire tracing off (the default), every runtime produces exactly the
+//!    results and §5 traffic counts of a fully untraced run — the parity
+//!    the runtime suites pin survives turning the flight recorder on.
+
+use blockrep::core::{Cluster, ClusterOptions, LiveCluster, TcpCluster};
+use blockrep::net::{DeliveryMode, TrafficSnapshot};
+use blockrep::obs::{self, trace};
+use blockrep::types::{BlockData, BlockIndex, DeviceConfig, Scheme, SiteId};
+use std::sync::Mutex;
+
+/// Serializes the tests in this file: tracing flags and the flight
+/// recorder ring are process-global.
+static TRACER_LOCK: Mutex<()> = Mutex::new(());
+
+fn cfg(scheme: Scheme) -> DeviceConfig {
+    DeviceConfig::builder(scheme)
+        .sites(3)
+        .num_blocks(8)
+        .block_size(32)
+        .build()
+        .unwrap()
+}
+
+fn s(i: u32) -> SiteId {
+    SiteId::new(i)
+}
+
+fn blk(i: u64) -> BlockIndex {
+    BlockIndex::new(i)
+}
+
+fn fill(b: u8) -> BlockData {
+    BlockData::from(vec![b; 32])
+}
+
+/// Remote-apply span count per site in the current flight recorder.
+fn remote_applies_by_site(site: u32) -> usize {
+    trace::snapshot()
+        .iter()
+        .filter(|r| trace::phase_name(r.phase) == "phase.remote_apply" && r.site == site)
+        .count()
+}
+
+#[test]
+fn traced_coordinator_falls_back_to_bare_frames_for_untraced_peers() {
+    let _serial = TRACER_LOCK.lock().unwrap();
+    let was_obs = obs::enabled();
+    let was_tracing = trace::enabled();
+    trace::enable();
+    trace::clear();
+
+    let tcp = TcpCluster::spawn(cfg(Scheme::Voting), DeliveryMode::Multicast).unwrap();
+    tcp.set_wire_tracing(true);
+    // Site 2 runs the "old" protocol: traced frames make it hang up.
+    tcp.set_untraced_peer(s(2), true);
+
+    // Single-op path (`rpc`): the first scatter to site 2 is traced, gets
+    // the hangup, and is retried bare on a fresh connection.
+    tcp.write(s(0), blk(0), fill(1)).unwrap();
+    // Batched path (`pipelined`): retries happen after the gather loop.
+    tcp.write_many(s(0), &[(blk(1), fill(2)), (blk(2), fill(3))])
+        .unwrap();
+    assert_eq!(tcp.read(s(1), blk(0)).unwrap(), fill(1));
+    assert_eq!(tcp.read(s(2), blk(1)).unwrap(), fill(2));
+    assert_eq!(tcp.read(s(0), blk(2)).unwrap(), fill(3));
+
+    // The traced peer contributed remote spans; the legacy one could not.
+    assert!(
+        remote_applies_by_site(1) > 0,
+        "traced peer must stitch remote apply spans into the tree"
+    );
+    assert_eq!(
+        remote_applies_by_site(2),
+        0,
+        "legacy peer cannot emit remote spans"
+    );
+
+    // An upgraded peer starts stitching in without reconnect gymnastics:
+    // clearing the legacy flag also re-arms the connection's trace_ok.
+    tcp.set_untraced_peer(s(2), false);
+    trace::clear();
+    tcp.write(s(0), blk(3), fill(4)).unwrap();
+    assert_eq!(tcp.read(s(1), blk(3)).unwrap(), fill(4));
+    assert!(
+        remote_applies_by_site(2) > 0,
+        "upgraded peer must resume emitting remote spans"
+    );
+
+    if !was_tracing {
+        trace::disable();
+    }
+    if !was_obs {
+        obs::disable();
+    }
+}
+
+/// A fixed workload with a failure, a degraded write, a repair, and reads.
+fn drive(
+    read: &dyn Fn(SiteId, BlockIndex) -> Option<BlockData>,
+    write: &dyn Fn(SiteId, BlockIndex, BlockData) -> bool,
+    fail: &dyn Fn(SiteId),
+    repair: &dyn Fn(SiteId),
+    traffic: &dyn Fn() -> TrafficSnapshot,
+) -> (Vec<Option<Vec<u8>>>, TrafficSnapshot) {
+    write(s(0), blk(0), fill(1));
+    write(s(1), blk(1), fill(2));
+    fail(s(2));
+    write(s(0), blk(0), fill(3));
+    repair(s(2));
+    write(s(1), blk(2), fill(4));
+    let reads = vec![
+        read(s(0), blk(0)).map(|d| d.as_slice().to_vec()),
+        read(s(2), blk(1)).map(|d| d.as_slice().to_vec()),
+        read(s(1), blk(2)).map(|d| d.as_slice().to_vec()),
+    ];
+    (reads, traffic())
+}
+
+#[test]
+fn untraced_peer_mode_keeps_runtime_parity_byte_identical() {
+    let _serial = TRACER_LOCK.lock().unwrap();
+    let was_obs = obs::enabled();
+    let was_tracing = trace::enabled();
+    // Baseline: everything off.
+    trace::disable();
+    obs::disable();
+
+    for scheme in Scheme::ALL {
+        for mode in DeliveryMode::ALL {
+            let det = Cluster::new(cfg(scheme), ClusterOptions { mode });
+            let baseline = drive(
+                &|o, k| det.read(o, k).ok(),
+                &|o, k, d| det.write(o, k, d).is_ok(),
+                &|x| det.fail_site(x),
+                &|x| det.repair_site(x),
+                &|| det.traffic(),
+            );
+
+            // Same workload with the flight recorder armed. Wire tracing
+            // stays off (the default): frames are byte-identical, so the
+            // §5 accounting must be too.
+            trace::enable();
+
+            let det2 = Cluster::new(cfg(scheme), ClusterOptions { mode });
+            let got = drive(
+                &|o, k| det2.read(o, k).ok(),
+                &|o, k, d| det2.write(o, k, d).is_ok(),
+                &|x| det2.fail_site(x),
+                &|x| det2.repair_site(x),
+                &|| det2.traffic(),
+            );
+            assert_eq!(baseline, got, "{scheme}/{mode}: deterministic + tracing");
+
+            let live = LiveCluster::spawn(cfg(scheme), mode);
+            let got = drive(
+                &|o, k| live.read(o, k).ok(),
+                &|o, k, d| live.write(o, k, d).is_ok(),
+                &|x| live.fail_site(x),
+                &|x| live.repair_site(x),
+                &|| live.counter().snapshot(),
+            );
+            assert_eq!(baseline, got, "{scheme}/{mode}: live + tracing");
+
+            let tcp = TcpCluster::spawn(cfg(scheme), mode).unwrap();
+            let got = drive(
+                &|o, k| tcp.read(o, k).ok(),
+                &|o, k, d| tcp.write(o, k, d).is_ok(),
+                &|x| tcp.fail_site(x),
+                &|x| tcp.repair_site(x),
+                &|| tcp.counter().snapshot(),
+            );
+            assert_eq!(baseline, got, "{scheme}/{mode}: tcp + tracing");
+
+            trace::disable();
+            obs::disable();
+        }
+    }
+
+    if was_tracing {
+        trace::enable();
+    } else if was_obs {
+        obs::enable();
+    }
+}
