@@ -14,6 +14,7 @@ pub mod fs_bench;
 pub mod fsload;
 pub mod protocol_bench;
 pub mod report;
+pub mod storage_bench;
 pub mod trace_bench;
 
 use blockrep_analysis::sweep::Series;

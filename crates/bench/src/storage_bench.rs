@@ -1,0 +1,456 @@
+//! Storage durability benchmark: group commit vs per-install fsync.
+//!
+//! `blockrep bench --suite storage` drives a stream of block installs
+//! through a [`Journaled`] device — a [`FileStore`] data image behind a
+//! [`FileStore`]-backed write-ahead journal — at several group-commit batch
+//! windows and times each install. Window 1 is the per-install-fsync
+//! baseline: every append commits immediately, one `sync_data` per install,
+//! exactly what a journal without group commit would pay. Larger windows
+//! amortise the same durability barrier over the whole batch (one
+//! sequential journal write plus a single `sync_data` per `window`
+//! installs), which is where the paper's §3.2 write-all durability becomes
+//! affordable.
+//!
+//! The data image, journal geometry and install stream are byte-identical
+//! across windows; the only variable is how many appends share one commit.
+//! The suite emits `BENCH_storage.json` (schema [`SCHEMA`]) with ops/s,
+//! p50/p99 and the actual journal sync count per window, plus the
+//! window-over-baseline speedups the PR's acceptance criterion reads off.
+
+use crate::protocol_bench::{parse_json, JsonValue};
+use blockrep_obs::metrics::Histogram;
+use blockrep_storage::{BlockDevice, FileStore, Journaled, WalRecord};
+use blockrep_types::{BlockData, BlockIndex, VersionNumber};
+use std::time::Instant;
+
+/// Schema identifier written into (and required from) the JSON report.
+pub const SCHEMA: &str = "blockrep.bench.storage/v1";
+
+/// The group-commit batch windows the suite sweeps, baseline first.
+pub const WINDOWS: [usize; 4] = [1, 4, 16, 64];
+
+/// Parameters of one storage benchmark suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageBenchConfig {
+    /// Blocks in the data image.
+    pub data_blocks: u64,
+    /// Bytes per block (journal and data image share the geometry).
+    pub block_size: usize,
+    /// Installs timed per window.
+    pub writes: u64,
+}
+
+impl StorageBenchConfig {
+    /// The acceptance-criterion default: 4 KiB blocks, enough installs for
+    /// stable percentiles.
+    pub fn new() -> StorageBenchConfig {
+        StorageBenchConfig {
+            data_blocks: 64,
+            block_size: 4096,
+            writes: 256,
+        }
+    }
+
+    /// Journal blocks needed to hold the whole install stream without a
+    /// mid-run checkpoint (a checkpoint would add data-image syncs and
+    /// muddy the per-window comparison).
+    fn journal_blocks(&self) -> u64 {
+        let record = WalRecord {
+            block: BlockIndex::new(0),
+            version: VersionNumber::new(1),
+            payload: BlockData::zeroed(self.block_size),
+        }
+        .encoded_len() as u64;
+        (self.writes * record).div_ceil(self.block_size as u64) + 2
+    }
+}
+
+impl Default for StorageBenchConfig {
+    fn default() -> StorageBenchConfig {
+        StorageBenchConfig::new()
+    }
+}
+
+/// One measured batch window.
+#[derive(Debug, Clone)]
+pub struct StorageCaseResult {
+    /// Group-commit batch window (1 = per-install fsync).
+    pub window: usize,
+    /// Installs timed.
+    pub ops: u64,
+    /// Installs per second over the timed section.
+    pub ops_per_sec: f64,
+    /// Median per-install latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-install latency, microseconds.
+    pub p99_us: f64,
+    /// Journal commits the run actually performed — each is exactly one
+    /// `sync_data` on the journal file.
+    pub syncs: u64,
+    /// Latency samples backing the percentiles.
+    pub samples: u64,
+    /// True when `samples` is below
+    /// [`blockrep_obs::metrics::LOW_CONFIDENCE_SAMPLES`], meaning the
+    /// percentile estimates above are noisy.
+    pub low_confidence: bool,
+}
+
+/// Window-over-baseline throughput ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageSpeedup {
+    /// The batch window being compared to the window-1 baseline.
+    pub window: usize,
+    /// `window.ops_per_sec / baseline.ops_per_sec`.
+    pub ratio: f64,
+}
+
+/// The full suite result: every window plus the derived speedups.
+#[derive(Debug, Clone)]
+pub struct StorageBenchReport {
+    /// The configuration that produced this report.
+    pub config: StorageBenchConfig,
+    /// One result per entry of [`WINDOWS`].
+    pub results: Vec<StorageCaseResult>,
+    /// Window-over-baseline ratios for every window above 1.
+    pub speedups: Vec<StorageSpeedup>,
+}
+
+fn temp_path(tag: &str, window: usize) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "blockrep-storage-bench-{tag}-w{window}-{}",
+        std::process::id()
+    ));
+    p
+}
+
+/// Measures one batch window: `cfg.writes` installs through a journaled
+/// file-backed device, ending with the commit that makes the tail durable.
+pub fn run_case(cfg: &StorageBenchConfig, window: usize) -> StorageCaseResult {
+    let data_path = temp_path("data", window);
+    let journal_path = temp_path("journal", window);
+    let data = FileStore::create(&data_path, cfg.data_blocks, cfg.block_size)
+        .expect("benchmark data image");
+    let journal = FileStore::create(&journal_path, cfg.journal_blocks(), cfg.block_size)
+        .expect("benchmark journal");
+    let dev = Journaled::create(data, journal, window).expect("benchmark journaled device");
+    let latencies = Histogram::new();
+    let started = Instant::now();
+    for i in 0..cfg.writes {
+        let k = BlockIndex::new(i % cfg.data_blocks);
+        let payload = BlockData::from(vec![(i % 251) as u8 + 1; cfg.block_size]);
+        let timer = latencies.timer();
+        dev.write_block(k, payload).expect("benchmark install");
+        drop(timer);
+    }
+    // The tail of the last batch is not durable until this commit; charging
+    // it to the timed section keeps every window honest about the same
+    // durability point.
+    dev.flush().expect("final commit");
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = dev.stats();
+    drop(dev);
+    let _ = std::fs::remove_file(&data_path);
+    let _ = std::fs::remove_file(&journal_path);
+    let summary = latencies.summary();
+    StorageCaseResult {
+        window,
+        ops: cfg.writes,
+        ops_per_sec: if elapsed > 0.0 {
+            cfg.writes as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_us: summary.p50 / 1_000.0,
+        p99_us: summary.p99 / 1_000.0,
+        syncs: stats.commits,
+        samples: summary.count,
+        low_confidence: summary.low_confidence(),
+    }
+}
+
+/// Runs every window of [`WINDOWS`] and derives the speedups.
+pub fn run_suite(cfg: &StorageBenchConfig) -> StorageBenchReport {
+    let results: Vec<StorageCaseResult> = WINDOWS.iter().map(|&w| run_case(cfg, w)).collect();
+    let speedups = compute_speedups(&results);
+    StorageBenchReport {
+        config: *cfg,
+        results,
+        speedups,
+    }
+}
+
+/// Derives window-over-baseline ratios from a result set.
+pub fn compute_speedups(results: &[StorageCaseResult]) -> Vec<StorageSpeedup> {
+    let Some(baseline) = results.iter().find(|r| r.window == 1) else {
+        return Vec::new();
+    };
+    results
+        .iter()
+        .filter(|r| r.window != 1 && baseline.ops_per_sec > 0.0)
+        .map(|r| StorageSpeedup {
+            window: r.window,
+            ratio: r.ops_per_sec / baseline.ops_per_sec,
+        })
+        .collect()
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+impl StorageBenchReport {
+    /// The report as `blockrep.bench.storage/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!(
+            "  \"data_blocks\": {},\n",
+            self.config.data_blocks
+        ));
+        out.push_str(&format!("  \"block_size\": {},\n", self.config.block_size));
+        out.push_str(&format!(
+            "  \"journal_blocks\": {},\n",
+            self.config.journal_blocks()
+        ));
+        out.push_str(&format!("  \"writes\": {},\n", self.config.writes));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"window\": {}, \"ops\": {}, \"ops_per_sec\": {}, \"p50_us\": {}, \
+                 \"p99_us\": {}, \"syncs\": {}, \"samples\": {}, \"low_confidence\": {}}}{}\n",
+                r.window,
+                r.ops,
+                json_f64(r.ops_per_sec),
+                json_f64(r.p50_us),
+                json_f64(r.p99_us),
+                r.syncs,
+                r.samples,
+                r.low_confidence,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"speedups\": [\n");
+        for (i, s) in self.speedups.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"window\": {}, \"over_per_install_fsync\": {}}}{}\n",
+                s.window,
+                json_f64(s.ratio),
+                if i + 1 < self.speedups.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// A human-readable table of the same numbers.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| window | ops/s | p50 µs | p99 µs | syncs |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for r in &self.results {
+            // `~` marks percentile estimates from too few samples.
+            let tilde = if r.low_confidence { "~" } else { "" };
+            out.push_str(&format!(
+                "| {} | {:.1} | {tilde}{:.1} | {tilde}{:.1} | {} |\n",
+                r.window, r.ops_per_sec, r.p50_us, r.p99_us, r.syncs
+            ));
+        }
+        for s in &self.speedups {
+            out.push_str(&format!(
+                "window {}: {:.2}x per-install fsync\n",
+                s.window, s.ratio
+            ));
+        }
+        out
+    }
+}
+
+/// Validates a `blockrep.bench.storage/v1` report.
+///
+/// # Errors
+///
+/// The first structural problem found: syntax error, wrong schema tag,
+/// missing/ill-typed field, an empty result set, a window below 1, or a
+/// missing window-1 baseline.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    for key in ["data_blocks", "block_size", "journal_blocks", "writes"] {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("missing numeric field {key:?}"))?;
+    }
+    let results = doc
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"results\" array")?;
+    if results.is_empty() {
+        return Err("\"results\" is empty".into());
+    }
+    let mut has_baseline = false;
+    for (i, r) in results.iter().enumerate() {
+        for key in ["window", "ops", "ops_per_sec", "p50_us", "p99_us", "syncs"] {
+            let v = r
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("results[{i}]: missing numeric field {key:?}"))?;
+            if v < 0.0 {
+                return Err(format!("results[{i}].{key} is negative"));
+            }
+        }
+        let window = r.get("window").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        if window < 1.0 {
+            return Err(format!("results[{i}].window is below 1"));
+        }
+        has_baseline |= window == 1.0;
+        if let Some(v) = r.get("samples") {
+            if v.as_f64().is_none() {
+                return Err(format!("results[{i}].samples is not numeric"));
+            }
+        }
+        if let Some(v) = r.get("low_confidence") {
+            if v.as_bool().is_none() {
+                return Err(format!("results[{i}].low_confidence is not a boolean"));
+            }
+        }
+    }
+    if !has_baseline {
+        return Err("no window-1 (per-install fsync) baseline in \"results\"".into());
+    }
+    let speedups = doc
+        .get("speedups")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"speedups\" array")?;
+    if speedups.is_empty() {
+        return Err("\"speedups\" is empty".into());
+    }
+    for (i, s) in speedups.iter().enumerate() {
+        let window = s
+            .get("window")
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("speedups[{i}]: missing numeric field \"window\""))?;
+        if window < 2.0 {
+            return Err(format!("speedups[{i}].window is below 2"));
+        }
+        let ratio = s
+            .get("over_per_install_fsync")
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!(
+                "speedups[{i}]: missing numeric field \"over_per_install_fsync\""
+            ))?;
+        if ratio < 0.0 {
+            return Err(format!("speedups[{i}].over_per_install_fsync is negative"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StorageBenchConfig {
+        StorageBenchConfig {
+            data_blocks: 4,
+            block_size: 64,
+            writes: 8,
+        }
+    }
+
+    #[test]
+    fn suite_emits_valid_json_for_every_window() {
+        let report = run_suite(&tiny());
+        assert_eq!(report.results.len(), WINDOWS.len());
+        assert_eq!(report.speedups.len(), WINDOWS.len() - 1);
+        validate(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn group_commit_syncs_once_per_window() {
+        let cfg = tiny();
+        let baseline = run_case(&cfg, 1);
+        let batched = run_case(&cfg, 4);
+        // Window 1: one commit per install, plus a no-op final flush.
+        assert_eq!(baseline.syncs, cfg.writes);
+        // Window 4: one commit per full batch.
+        assert_eq!(batched.syncs, cfg.writes / 4);
+    }
+
+    #[test]
+    fn validate_rejects_structural_damage() {
+        let good = StorageBenchReport {
+            config: tiny(),
+            results: vec![
+                StorageCaseResult {
+                    window: 1,
+                    ops: 8,
+                    ops_per_sec: 100.0,
+                    p50_us: 10.0,
+                    p99_us: 20.0,
+                    syncs: 8,
+                    samples: 8,
+                    low_confidence: true,
+                },
+                StorageCaseResult {
+                    window: 16,
+                    ops: 8,
+                    ops_per_sec: 300.0,
+                    p50_us: 4.0,
+                    p99_us: 18.0,
+                    syncs: 1,
+                    samples: 8,
+                    low_confidence: true,
+                },
+            ],
+            speedups: vec![StorageSpeedup {
+                window: 16,
+                ratio: 3.0,
+            }],
+        }
+        .to_json();
+        validate(&good).unwrap();
+        assert!(validate(&good.replace(SCHEMA, "other/v0")).is_err());
+        assert!(validate(&good.replace("\"window\": 1,", "\"window\": 0,")).is_err());
+        assert!(validate(&good.replace("\"ops_per_sec\"", "\"oops\"")).is_err());
+        assert!(validate(&good.replace("\"syncs\": 8", "\"syncs\": -1")).is_err());
+        assert!(validate("{\"schema\": \"blockrep.bench.storage/v1\"}").is_err());
+        assert!(validate("not json").is_err());
+    }
+
+    #[test]
+    fn missing_baseline_is_rejected() {
+        let report = StorageBenchReport {
+            config: tiny(),
+            results: vec![StorageCaseResult {
+                window: 16,
+                ops: 8,
+                ops_per_sec: 300.0,
+                p50_us: 4.0,
+                p99_us: 18.0,
+                syncs: 1,
+                samples: 8,
+                low_confidence: true,
+            }],
+            speedups: vec![StorageSpeedup {
+                window: 16,
+                ratio: 3.0,
+            }],
+        };
+        assert!(validate(&report.to_json())
+            .unwrap_err()
+            .contains("baseline"));
+    }
+}

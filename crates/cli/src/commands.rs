@@ -26,11 +26,14 @@ usage:
   blockrep chaos [flags]                   seeded fault-injection runs on all
       --seed N --seeds K --steps L         three runtimes; fails with the
       --scheme mcv|ac|nac                  shrunk schedule and its seed, and
-      --trace-out PATH                     always prints a metrics snapshot
+      --trace-out PATH --journaled         always prints a metrics snapshot
                                            at exit; --trace-out writes a
                                            flight-recorder dump (Chrome
                                            trace JSON) of the last schedule
-                                           (the shrunk one on failure)
+                                           (the shrunk one on failure);
+                                           --journaled runs every site on a
+                                           write-ahead journal and checks
+                                           the stricter durability oracle
   blockrep bench [flags]                   protocol throughput/latency suite
       --scheme S --sites N --blocks B      over all runtimes and fan-out
       --block-size Z --ops K               modes; writes BENCH_protocol.json
@@ -41,6 +44,11 @@ usage:
       --block-size Z --ops K               and scheme, batched vs per-block
       --net multicast|unicast --out PATH   device I/O; writes BENCH_fs.json
       --latency-us D                       with --out
+  blockrep bench --suite storage [flags]   journaled-device durability suite:
+      --data-blocks N --block-size Z       installs through a file-backed WAL
+      --writes K --out PATH                at several group-commit windows vs
+                                           the per-install-fsync baseline;
+                                           writes BENCH_storage.json with --out
   blockrep bench --suite trace [flags]     per-phase latency attribution
       --sites N --blocks B                 matrix (scheme x runtime x io)
       --block-size Z                       from the causal tracer; writes
@@ -56,7 +64,9 @@ usage:
   blockrep mkfs <image-file> [flags]       format a file-backed device
       --blocks N --block-size B
   blockrep fsck <image-file> [flags]       consistency-check an image
-      --block-size B
+      --block-size B --journal             (--journal first replays committed
+                                           records from <image-file>.wal,
+                                           discarding any torn tail)
 
 observability (any subcommand):
   --stats    collect metrics; print a table and a JSON snapshot at exit
@@ -225,6 +235,7 @@ fn run_chaos(parsed: &Parsed) -> Result<(), UsageError> {
     let first_seed = parsed.flag_u64("seed", 0)?;
     let seeds = parsed.flag_u64("seeds", 1)?;
     let steps = parsed.flag_usize("steps", 40)?;
+    let journaled = parsed.flag_bool("journaled");
     let trace_out = parsed.flag("trace-out").map(str::to_string);
     let schemes: Vec<Scheme> = match parsed.flag("scheme") {
         None => Scheme::ALL.to_vec(),
@@ -241,10 +252,11 @@ fn run_chaos(parsed: &Parsed) -> Result<(), UsageError> {
     let mut outcome = Ok(());
     'all: for scheme in schemes {
         for seed in first_seed..first_seed + seeds {
-            match chaos::run_seed(seed, scheme, steps) {
+            match chaos::run_seed_with(seed, scheme, steps, journaled) {
                 Ok(report) => {
+                    let tag = if journaled { " journaled" } else { "" };
                     println!(
-                        "seed {seed} {scheme}: ok ({} steps, {} faults fired, {} reads checked)",
+                        "seed {seed} {scheme}{tag}: ok ({} steps, {} faults fired, {} reads checked)",
                         report.steps, report.faults_fired, report.reads_checked
                     );
                     last = Some((seed, scheme));
@@ -266,7 +278,8 @@ fn run_chaos(parsed: &Parsed) -> Result<(), UsageError> {
     }
     if outcome.is_ok() {
         if let (Some(path), Some((seed, scheme))) = (&trace_out, last) {
-            let script = chaos::generate(seed, scheme, steps);
+            let mut script = chaos::generate(seed, scheme, steps);
+            script.cfg.set_journaled(journaled);
             let dump = chaos::trace_schedule(&script.cfg, &script.steps);
             std::fs::write(path, dump).map_err(|e| UsageError(format!("chaos: {path}: {e}")))?;
             println!("wrote flight-recorder trace {path}");
@@ -289,9 +302,10 @@ fn run_bench(parsed: &Parsed) -> Result<(), UsageError> {
     match parsed.flag("suite") {
         None | Some("protocol") => run_bench_protocol(parsed),
         Some("fs") => run_bench_fs(parsed),
+        Some("storage") => run_bench_storage(parsed),
         Some("trace") => run_bench_trace(parsed),
         Some(other) => Err(UsageError(format!(
-            "--suite: expected protocol, fs or trace, got {other:?}"
+            "--suite: expected protocol, fs, storage or trace, got {other:?}"
         ))),
     }
 }
@@ -357,6 +371,40 @@ fn run_bench_fs(parsed: &Parsed) -> Result<(), UsageError> {
         let json = report.to_json();
         // Never emit a report the --check path would reject.
         fs_bench::validate(&json)
+            .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
+        std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_bench_storage(parsed: &Parsed) -> Result<(), UsageError> {
+    use blockrep_bench::storage_bench::{self, StorageBenchConfig};
+    if let Some(path) = parsed.flag("check") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        storage_bench::validate(&text)
+            .map_err(|e| UsageError(format!("bench: {path}: invalid report: {e}")))?;
+        println!("{path}: valid {}", storage_bench::SCHEMA);
+        return Ok(());
+    }
+    let mut cfg = StorageBenchConfig::new();
+    cfg.data_blocks = parsed.flag_u64("data-blocks", cfg.data_blocks)?;
+    cfg.block_size = parsed.flag_usize("block-size", cfg.block_size)?;
+    cfg.writes = parsed.flag_u64("writes", cfg.writes)?;
+    println!(
+        "bench storage: {} blocks x {} B, {} installs/window, windows {:?}",
+        cfg.data_blocks,
+        cfg.block_size,
+        cfg.writes,
+        storage_bench::WINDOWS
+    );
+    let report = storage_bench::run_suite(&cfg);
+    print!("{}", report.to_table());
+    if let Some(path) = parsed.flag("out") {
+        let json = report.to_json();
+        // Never emit a report the --check path would reject.
+        storage_bench::validate(&json)
             .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
         std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
         println!("wrote {path}");
@@ -496,8 +544,30 @@ fn run_fsck(parsed: &Parsed) -> Result<(), UsageError> {
         .positional(1)
         .ok_or_else(|| UsageError("usage: blockrep fsck <image-file> [--block-size B]".into()))?;
     let block_size = parsed.flag_usize("block-size", 512)?;
-    let dev = blockrep_storage::FileStore::open(path, block_size)
+    let mut dev = blockrep_storage::FileStore::open(path, block_size)
         .map_err(|e| UsageError(format!("fsck: {e}")))?;
+    if parsed.flag_bool("journal") {
+        // Crash recovery before the structural check: replay every
+        // committed journal record into the image (discarding any torn
+        // tail), checkpoint, and only then mount.
+        let journal_path = format!("{path}.wal");
+        match blockrep_storage::FileStore::open(&journal_path, block_size) {
+            Ok(journal) => {
+                let journaled = blockrep_storage::Journaled::open(dev, journal, 1)
+                    .map_err(|e| UsageError(format!("fsck: {journal_path}: {e}")))?;
+                let stats = journaled.stats();
+                println!(
+                    "{journal_path}: replayed {} committed record(s), discarded {} torn byte(s)",
+                    stats.replayed, stats.discarded_bytes
+                );
+                dev = journaled.abandon().0;
+            }
+            Err(blockrep_types::DeviceError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                println!("{journal_path}: no journal, skipping replay");
+            }
+            Err(e) => return Err(UsageError(format!("fsck: {journal_path}: {e}"))),
+        }
+    }
     let fs = blockrep_fs::FileSystem::mount(dev).map_err(|e| UsageError(format!("fsck: {e}")))?;
     let report = fs.check().map_err(|e| UsageError(format!("fsck: {e}")))?;
     println!(
@@ -616,6 +686,97 @@ mod tests {
         assert!(run(&parsed(&["fsck", &path_str])).is_err());
         std::fs::remove_file(path)?;
         Ok(())
+    }
+
+    #[test]
+    fn fsck_journal_replays_committed_records() -> Result<(), UsageError> {
+        use blockrep_storage::{BlockDevice, FileStore, Wal, WalRecord};
+        use blockrep_types::{BlockData, BlockIndex, VersionNumber};
+        let mut path = std::env::temp_dir();
+        path.push(format!("blockrep-cli-fsck-wal-{}.img", std::process::id()));
+        let path_str = path
+            .to_str()
+            .ok_or_else(|| UsageError("temp path is not UTF-8".into()))?
+            .to_string();
+        run(&parsed(&[
+            "mkfs",
+            &path_str,
+            "--blocks",
+            "128",
+            "--block-size",
+            "512",
+        ]))?;
+        // Without a journal file, --journal notes the absence and proceeds.
+        run(&parsed(&["fsck", &path_str, "--journal"]))?;
+        // Journal one committed install of a free data block, then recover.
+        let wal_path = format!("{path_str}.wal");
+        let journal = FileStore::create(&wal_path, 4, 512)
+            .map_err(|e| UsageError(format!("journal create: {e}")))?;
+        let wal = Wal::create(journal, 1).map_err(|e| UsageError(format!("wal: {e}")))?;
+        wal.append(&WalRecord {
+            block: BlockIndex::new(100),
+            version: VersionNumber::new(1),
+            payload: BlockData::from(vec![0xAB; 512]),
+        })
+        .map_err(|e| UsageError(format!("append: {e}")))?;
+        drop(wal);
+        run(&parsed(&["fsck", &path_str, "--journal"]))?;
+        let img = FileStore::open(&path_str, 512).map_err(|e| UsageError(format!("open: {e}")))?;
+        let replayed = img
+            .read_block(BlockIndex::new(100))
+            .map_err(|e| UsageError(format!("read: {e}")))?;
+        assert_eq!(replayed.as_slice(), &[0xAB; 512][..]);
+        std::fs::remove_file(path)?;
+        std::fs::remove_file(wal_path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn bench_storage_suite_writes_and_checks_a_report() -> Result<(), UsageError> {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "blockrep-cli-bench-storage-{}.json",
+            std::process::id()
+        ));
+        let path_str = path
+            .to_str()
+            .ok_or_else(|| UsageError("temp path is not UTF-8".into()))?
+            .to_string();
+        run(&parsed(&[
+            "bench",
+            "--suite",
+            "storage",
+            "--data-blocks",
+            "4",
+            "--block-size",
+            "64",
+            "--writes",
+            "8",
+            "--out",
+            &path_str,
+        ]))?;
+        run(&parsed(&[
+            "bench", "--suite", "storage", "--check", &path_str,
+        ]))?;
+        // A storage report is not a protocol report.
+        assert!(run(&parsed(&["bench", "--check", &path_str])).is_err());
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn chaos_journaled_runs_small() {
+        let p = parsed(&[
+            "chaos",
+            "--seed",
+            "1",
+            "--steps",
+            "8",
+            "--scheme",
+            "ac",
+            "--journaled",
+        ]);
+        assert!(run(&p).is_ok());
     }
 
     #[test]

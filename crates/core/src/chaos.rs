@@ -135,6 +135,8 @@ pub struct ChaosFailure {
     pub seed: u64,
     /// The scheme under test.
     pub scheme: Scheme,
+    /// Whether the failing run used journaled devices.
+    pub journaled: bool,
     /// The (shrunk) failing schedule.
     pub steps: Vec<ChaosStep>,
     /// What went wrong.
@@ -273,15 +275,22 @@ struct Oracle {
     /// block can be certified `Exact` for them until all replicas agree
     /// again.
     chain_broken: bool,
+    /// Whether every site runs a write-ahead journal
+    /// ([`DeviceConfig::journaled`]). Journaled sites replay the journal on
+    /// restart, so a storage fault can never revert a block to zeroes and
+    /// the admissible history collapses at every point of full agreement —
+    /// the oracle certifies the strictly stronger durable-by-§3.2 contract.
+    journaled: bool,
 }
 
 impl Oracle {
-    fn new(scheme: Scheme, blocks: usize) -> Oracle {
+    fn new(scheme: Scheme, blocks: usize, journaled: bool) -> Oracle {
         Oracle {
             scheme,
             blocks: vec![BlockOracle::Exact(None); blocks],
             seen: vec![BTreeSet::from([None]); blocks],
             chain_broken: false,
+            journaled,
         }
     }
 
@@ -289,8 +298,11 @@ impl Oracle {
         self.seen[b].insert(Some(fill));
         let effective = report.fired.iter().any(|f| !f.kind.is_benign());
         if effective {
-            if report.fired.iter().any(|f| f.kind.is_storage()) {
+            if report.fired.iter().any(|f| f.kind.is_storage()) && !self.journaled {
                 // The torn/stale block is scrubbed to zeroes on restart.
+                // A journaled site instead replays the write from its
+                // journal after the scrub, so zeroes never become
+                // admissible there.
                 self.seen[b].insert(None);
             }
             self.blocks[b] = BlockOracle::Tainted;
@@ -376,8 +388,16 @@ impl Oracle {
             }
             exact.push(if first == 0 { None } else { Some(first) });
         }
-        for (blk, fill) in self.blocks.iter_mut().zip(exact) {
+        for ((blk, hist), fill) in self.blocks.iter_mut().zip(&mut self.seen).zip(exact) {
             *blk = BlockOracle::Exact(fill);
+            if self.journaled {
+                // Durable-by-§3.2: journal replay is monotone in version
+                // number, so once every replica agrees a block can never
+                // revert past the agreed state — the admissible history
+                // collapses to the point of agreement.
+                hist.clear();
+                hist.insert(fill);
+            }
         }
         self.chain_broken = false;
     }
@@ -513,7 +533,7 @@ pub fn run_on<R: ChaosRuntime>(rt: &R, steps: &[ChaosStep]) -> Result<RunOutcome
         })
         .collect();
     let fb = FaultyBackend::new(rt, &plan);
-    let mut oracle = Oracle::new(cfg.scheme(), cfg.num_blocks() as usize);
+    let mut oracle = Oracle::new(cfg.scheme(), cfg.num_blocks() as usize, cfg.journaled());
     let mut log = Vec::with_capacity(steps.len());
     let mut faults_fired = 0u64;
     let mut reads_checked = 0u64;
@@ -757,7 +777,27 @@ pub fn shrink(cfg: &DeviceConfig, mut steps: Vec<ChaosStep>) -> Vec<ChaosStep> {
 /// A [`ChaosFailure`] carrying the shrunk schedule and the diagnostic of
 /// the minimal failure.
 pub fn run_seed(seed: u64, scheme: Scheme, len: usize) -> Result<ChaosReport, Box<ChaosFailure>> {
-    let script = generate(seed, scheme, len);
+    run_seed_with(seed, scheme, len, false)
+}
+
+/// Like [`run_seed`], optionally flipping every site to a journaled device
+/// ([`DeviceConfig::journaled`]). The flag is applied *after* generation, so
+/// journaled and unjournaled runs of the same seed replay the identical
+/// schedule — only the durability machinery (and the correspondingly
+/// stricter oracle) differs.
+///
+/// # Errors
+///
+/// A [`ChaosFailure`] carrying the shrunk schedule and the diagnostic of
+/// the minimal failure.
+pub fn run_seed_with(
+    seed: u64,
+    scheme: Scheme,
+    len: usize,
+    journaled: bool,
+) -> Result<ChaosReport, Box<ChaosFailure>> {
+    let mut script = generate(seed, scheme, len);
+    script.cfg.set_journaled(journaled);
     let detail = match check(&script.cfg, &script.steps) {
         Ok(report) => return Ok(report),
         Err(detail) => detail,
@@ -767,6 +807,7 @@ pub fn run_seed(seed: u64, scheme: Scheme, len: usize) -> Result<ChaosReport, Bo
     Err(Box::new(ChaosFailure {
         seed,
         scheme,
+        journaled,
         steps,
         detail,
     }))
@@ -781,7 +822,8 @@ pub fn run_seed(seed: u64, scheme: Scheme, len: usize) -> Result<ChaosReport, Bo
 /// original failure may well do) is caught: the dump carries every span the
 /// recorder captured up to the crash, which is the whole point.
 pub fn trace_failure(failure: &ChaosFailure) -> String {
-    let script = generate(failure.seed, failure.scheme, 0);
+    let mut script = generate(failure.seed, failure.scheme, 0);
+    script.cfg.set_journaled(failure.journaled);
     trace_schedule(&script.cfg, &failure.steps)
 }
 

@@ -57,6 +57,16 @@ pub enum FaultKind {
     /// The target crashes after persisting the new data but before the
     /// version update (see [`StorageFault::StaleVersion`]).
     StaleVersion,
+    /// The target crashes while appending the install to its write-ahead
+    /// journal: only the first `keep` bytes of the record reach stable
+    /// storage and the block itself is never touched (see
+    /// [`StorageFault::WalTorn`]). The on-disk block stays checksum-clean,
+    /// so the restart scrub finds nothing — only journal replay (when the
+    /// site is journaled) can tell the write happened at all.
+    WalTorn {
+        /// Leading bytes of the encoded journal record that were persisted.
+        keep: usize,
+    },
 }
 
 impl FaultKind {
@@ -69,7 +79,10 @@ impl FaultKind {
     /// Whether the fault leaves a checksum-broken block on the target's
     /// disk (reset to zeroes by the restart-time scrub).
     pub fn is_storage(self) -> bool {
-        matches!(self, FaultKind::TornWrite { .. } | FaultKind::StaleVersion)
+        matches!(
+            self,
+            FaultKind::TornWrite { .. } | FaultKind::StaleVersion | FaultKind::WalTorn { .. }
+        )
     }
 
     /// Short label for traces and shrunk-schedule listings.
@@ -82,6 +95,7 @@ impl FaultKind {
             FaultKind::CrashTarget => "crash-target",
             FaultKind::TornWrite { .. } => "torn-write",
             FaultKind::StaleVersion => "stale-version",
+            FaultKind::WalTorn { .. } => "wal-torn",
         }
     }
 }
@@ -90,6 +104,7 @@ impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FaultKind::TornWrite { keep } => write!(f, "torn-write(keep={keep})"),
+            FaultKind::WalTorn { keep } => write!(f, "wal-torn(keep={keep})"),
             other => f.write_str(other.label()),
         }
     }
@@ -218,6 +233,8 @@ enum Decision {
     DeliverThenDead,
     Torn(usize),
     Stale,
+    /// The target's journal append tears mid-record; no ack, target dead.
+    WalTorn(usize),
 }
 
 /// A [`Backend`] wrapper that fires a [`FaultPlan`] on the remote exchanges
@@ -352,6 +369,10 @@ impl<'a, B: Backend> FaultyBackend<'a, B> {
                 st.crashed.insert(to);
                 Decision::Stale
             }
+            FaultKind::WalTorn { keep } => {
+                st.crashed.insert(to);
+                Decision::WalTorn(keep)
+            }
         }
     }
 
@@ -360,9 +381,11 @@ impl<'a, B: Backend> FaultyBackend<'a, B> {
         match self.pre(from, to) {
             // A storage fault landing on a non-install exchange degrades to
             // "processed, answered, then crashed".
-            Decision::Deliver | Decision::DeliverThenDead | Decision::Torn(_) | Decision::Stale => {
-                call()
-            }
+            Decision::Deliver
+            | Decision::DeliverThenDead
+            | Decision::Torn(_)
+            | Decision::Stale
+            | Decision::WalTorn(_) => call(),
             Decision::Duplicate => {
                 let _ = call();
                 call()
@@ -385,9 +408,11 @@ impl<'a, B: Backend> FaultyBackend<'a, B> {
         defer: impl FnOnce() -> Deferred,
     ) -> bool {
         match self.pre(from, to) {
-            Decision::Deliver | Decision::DeliverThenDead | Decision::Torn(_) | Decision::Stale => {
-                deliver()
-            }
+            Decision::Deliver
+            | Decision::DeliverThenDead
+            | Decision::Torn(_)
+            | Decision::Stale
+            | Decision::WalTorn(_) => deliver(),
             Decision::Duplicate => {
                 let _ = deliver();
                 deliver()
@@ -499,6 +524,13 @@ impl<B: Backend> Backend for FaultyBackend<'_, B> {
                     .apply_write_faulty(from, to, k, data, v, StorageFault::StaleVersion);
                 false
             }
+            // The install's journal append tears mid-record; the block
+            // write never starts and the ack is never sent.
+            Decision::WalTorn(keep) => {
+                self.inner
+                    .apply_write_faulty(from, to, k, data, v, StorageFault::WalTorn { keep });
+                false
+            }
         }
     }
 
@@ -548,6 +580,19 @@ impl<B: Backend> Backend for FaultyBackend<'_, B> {
                         data,
                         *v,
                         StorageFault::StaleVersion,
+                    );
+                }
+                false
+            }
+            Decision::WalTorn(keep) => {
+                if let Some((k, v, data)) = writes.first() {
+                    self.inner.apply_write_faulty(
+                        from,
+                        to,
+                        *k,
+                        data,
+                        *v,
+                        StorageFault::WalTorn { keep },
                     );
                 }
                 false
@@ -882,5 +927,33 @@ mod tests {
         );
         assert_eq!(c.scrub_local(sid(1)), 1);
         assert!(c.data_of(sid(1), BlockIndex::new(0)).is_zeroed());
+    }
+
+    #[test]
+    fn wal_torn_crashes_target_but_leaves_clean_disk() {
+        // Without a journal the install simply never lands: the target's
+        // block is untouched, checksum-clean, and the scrub finds nothing
+        // to reset. The write survives only on the sites that acked.
+        let c = cluster(Scheme::AvailableCopy);
+        let plan: FaultPlan = [FaultSpec {
+            op: 0,
+            exchange: 1,
+            kind: FaultKind::WalTorn { keep: 7 },
+        }]
+        .into_iter()
+        .collect();
+        let fb = FaultyBackend::new(&c, &plan);
+        fb.begin_op(0);
+        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![8; 4]))
+            .unwrap();
+        let report = fb.end_op();
+        assert_eq!(report.crashed, vec![sid(1)]);
+        assert!(c.data_of(sid(1), BlockIndex::new(0)).is_zeroed());
+        assert_eq!(
+            c.scrub_local(sid(1)),
+            0,
+            "block is intact, nothing to scrub"
+        );
+        assert_eq!(c.data_of(sid(0), BlockIndex::new(0)).as_slice(), &[8; 4]);
     }
 }

@@ -1,10 +1,16 @@
 //! Per-site replica state.
 
+use blockrep_storage::wal::{self, WalRecord};
 use blockrep_storage::{StorageFault, VersionedStore};
 use blockrep_types::{
     BlockData, BlockIndex, DeviceConfig, SiteId, SiteState, VersionNumber, VersionVector,
 };
 use std::collections::BTreeSet;
+
+/// Replica journals are cleared on every restart scrub, so stale bytes of a
+/// previous generation never survive to be re-scanned — one fixed epoch is
+/// enough.
+const JOURNAL_EPOCH: u64 = 1;
 
 /// Everything one site's server process keeps for the reliable device: its
 /// versioned block store (on disk — it survives fail-stop crashes), its
@@ -32,6 +38,12 @@ pub struct Replica {
     state: SiteState,
     store: VersionedStore,
     was_available: BTreeSet<SiteId>,
+    /// The site's write-ahead journal (`Some` when the device is
+    /// configured `journaled`): the encoded record byte stream of
+    /// `blockrep_storage::wal`, appended *before* every install touches
+    /// the store and replayed by [`scrub`](Self::scrub) on restart. Like
+    /// the store it models stable storage, so it survives fail-stop.
+    journal: Option<Vec<u8>>,
 }
 
 impl Replica {
@@ -44,6 +56,7 @@ impl Replica {
             state: SiteState::Available,
             store: VersionedStore::new(cfg.num_blocks(), cfg.block_size()),
             was_available: cfg.site_ids().collect(),
+            journal: cfg.journaled().then(Vec::new),
         }
     }
 
@@ -79,15 +92,52 @@ impl Replica {
         self.store.versioned(k)
     }
 
+    /// Appends the write-ahead record for an install about to happen —
+    /// the WAL discipline: the journal sees the write before the store
+    /// does. `torn` truncates the record to its first `keep` bytes, the
+    /// image of a crash mid-append.
+    fn journal_install(
+        &mut self,
+        k: BlockIndex,
+        data: &BlockData,
+        v: VersionNumber,
+        torn: Option<usize>,
+    ) {
+        // Mirror the store's monotone guard: a stale install never starts
+        // any disk activity, so it must not reach the journal either.
+        if self.journal.is_none() || v <= self.store.version(k) {
+            return;
+        }
+        let encoded = wal::encode_record(
+            JOURNAL_EPOCH,
+            &WalRecord {
+                block: k,
+                version: v,
+                payload: data.clone(),
+            },
+        );
+        let keep = torn.unwrap_or(encoded.len()).min(encoded.len());
+        if let Some(journal) = &mut self.journal {
+            journal.extend_from_slice(&encoded[..keep]);
+        }
+    }
+
     /// Installs a block at a version if newer than the local copy; returns
-    /// whether anything changed.
+    /// whether anything changed. On a journaled device the write-ahead
+    /// record is appended first.
     pub fn install(&mut self, k: BlockIndex, data: BlockData, v: VersionNumber) -> bool {
+        self.journal_install(k, &data, v, None);
         self.store.install(k, data, v)
     }
 
     /// Installs a block but leaves it in the broken on-disk state `fault`
     /// describes — the disk image of a crash mid-write. Used only by the
     /// fault-injection layer.
+    ///
+    /// On a journaled device the record is appended before the faulty
+    /// store write, so a later [`scrub`](Self::scrub) replays it — except
+    /// for [`StorageFault::WalTorn`], where the crash hit the journal
+    /// append itself and only a torn prefix of the record lands.
     pub fn install_faulty(
         &mut self,
         k: BlockIndex,
@@ -95,14 +145,39 @@ impl Replica {
         v: VersionNumber,
         fault: StorageFault,
     ) -> bool {
+        let torn = match fault {
+            StorageFault::WalTorn { keep } => Some(keep),
+            StorageFault::Torn { .. } | StorageFault::StaleVersion => None,
+        };
+        self.journal_install(k, &data, v, torn);
         self.store.install_faulty(k, data, v, fault)
     }
 
     /// Restart-time integrity pass: resets every checksum-broken block to
-    /// the freshly formatted state so normal repair re-fetches it. Returns
-    /// the blocks that were reset.
+    /// the freshly formatted state, then — on a journaled device — replays
+    /// the journal's longest valid record prefix through the monotone
+    /// install guard, restoring every write whose record was fully
+    /// appended before the crash. The journal is cleared afterwards so the
+    /// repair exchange that follows stays authoritative (a rolled-back
+    /// orphan must not resurrect on the next restart). Returns the blocks
+    /// the integrity pass reset, replayed or not — the caller's log line
+    /// reports checksum damage, not recovery outcome.
     pub fn scrub(&mut self) -> Vec<BlockIndex> {
-        self.store.scrub()
+        let reset = self.store.scrub();
+        if let Some(journal) = &mut self.journal {
+            let (records, _) = wal::scan(JOURNAL_EPOCH, journal);
+            journal.clear();
+            for rec in records {
+                self.store.install(rec.block, rec.payload, rec.version);
+            }
+        }
+        reset
+    }
+
+    /// Bytes currently in the write-ahead journal (`None` when the device
+    /// is not journaled).
+    pub fn journal_len(&self) -> Option<usize> {
+        self.journal.as_ref().map(Vec::len)
     }
 
     /// A copy of the full version vector.
@@ -199,6 +274,110 @@ mod tests {
         assert_eq!(blocks.len(), 1);
         assert_eq!(stale.apply_repair(blocks), 1);
         assert_eq!(stale.version_vector(), vv);
+    }
+
+    fn journaled_cfg() -> DeviceConfig {
+        DeviceConfig::builder(Scheme::AvailableCopy)
+            .sites(3)
+            .num_blocks(4)
+            .block_size(8)
+            .journaled(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn journaled_scrub_replays_torn_install() {
+        let mut r = Replica::new(SiteId::new(0), &journaled_cfg());
+        let k = BlockIndex::new(1);
+        r.install(k, BlockData::from(vec![1; 8]), VersionNumber::new(1));
+        // Crash mid block write: metadata new, data half old.
+        r.install_faulty(
+            k,
+            BlockData::from(vec![2; 8]),
+            VersionNumber::new(2),
+            StorageFault::Torn { keep: 4 },
+        );
+        let reset = r.scrub();
+        assert_eq!(
+            reset,
+            vec![k],
+            "the integrity pass still reports the damage"
+        );
+        // ...but the journal held the full record, so the write survives.
+        assert_eq!(r.version(k), VersionNumber::new(2));
+        assert_eq!(r.data(k).as_slice(), &[2; 8]);
+        assert_eq!(r.journal_len(), Some(0), "journal cleared after replay");
+    }
+
+    #[test]
+    fn journaled_scrub_replays_stale_version_install() {
+        let mut r = Replica::new(SiteId::new(0), &journaled_cfg());
+        let k = BlockIndex::new(0);
+        r.install(k, BlockData::from(vec![1; 8]), VersionNumber::new(1));
+        r.install_faulty(
+            k,
+            BlockData::from(vec![9; 8]),
+            VersionNumber::new(2),
+            StorageFault::StaleVersion,
+        );
+        r.scrub();
+        assert_eq!(r.version(k), VersionNumber::new(2));
+        assert_eq!(r.data(k).as_slice(), &[9; 8]);
+    }
+
+    #[test]
+    fn journaled_wal_torn_discards_only_the_torn_record() {
+        let mut r = Replica::new(SiteId::new(0), &journaled_cfg());
+        let (a, b) = (BlockIndex::new(0), BlockIndex::new(1));
+        r.install(a, BlockData::from(vec![1; 8]), VersionNumber::new(1));
+        // Crash mid journal append: the record lands torn, the block is
+        // never written.
+        r.install_faulty(
+            b,
+            BlockData::from(vec![7; 8]),
+            VersionNumber::new(3),
+            StorageFault::WalTorn { keep: 5 },
+        );
+        assert_eq!(
+            r.version(b),
+            VersionNumber::ZERO,
+            "block write never started"
+        );
+        assert!(r.scrub().is_empty(), "no checksum damage anywhere");
+        // The earlier record replays; the torn one is discarded.
+        assert_eq!(r.version(a), VersionNumber::new(1));
+        assert_eq!(r.version(b), VersionNumber::ZERO);
+        assert_eq!(r.data(a).as_slice(), &[1; 8]);
+    }
+
+    #[test]
+    fn unjournaled_replica_keeps_seed_behavior() {
+        let mut r = Replica::new(SiteId::new(0), &cfg());
+        assert_eq!(r.journal_len(), None);
+        let k = BlockIndex::new(1);
+        r.install_faulty(
+            k,
+            BlockData::from(vec![2; 8]),
+            VersionNumber::new(2),
+            StorageFault::Torn { keep: 4 },
+        );
+        assert_eq!(r.scrub(), vec![k]);
+        // Without a journal the write is gone: zeroed at version zero.
+        assert_eq!(r.version(k), VersionNumber::ZERO);
+        assert!(r.data(k).is_zeroed());
+    }
+
+    #[test]
+    fn stale_install_never_reaches_the_journal() {
+        let mut r = Replica::new(SiteId::new(0), &journaled_cfg());
+        let k = BlockIndex::new(2);
+        r.install(k, BlockData::from(vec![5; 8]), VersionNumber::new(4));
+        let len = r.journal_len().unwrap();
+        assert!(len > 0);
+        // Replaying an old write is a no-op on disk and in the journal.
+        r.install(k, BlockData::from(vec![9; 8]), VersionNumber::new(3));
+        assert_eq!(r.journal_len(), Some(len));
     }
 
     #[test]

@@ -250,6 +250,10 @@ impl WireRequest {
                         buf.put_u64_le(*keep as u64);
                     }
                     StorageFault::StaleVersion => buf.put_u8(1),
+                    StorageFault::WalTorn { keep } => {
+                        buf.put_u8(2);
+                        buf.put_u64_le(*keep as u64);
+                    }
                 }
             }
             WireRequest::Scrub => buf.put_u8(13),
@@ -334,6 +338,12 @@ impl WireRequest {
                         }
                     }
                     1 => StorageFault::StaleVersion,
+                    2 => {
+                        need(raw, 8, "wal-torn keep")?;
+                        StorageFault::WalTorn {
+                            keep: raw.get_u64_le() as usize,
+                        }
+                    }
                     other => return Err(bad(&format!("unknown fault tag {other}"))),
                 };
                 WireRequest::ApplyWriteFaulty(k, v, data, fault)
@@ -632,6 +642,7 @@ mod tests {
         prop_oneof![
             (0usize..512).prop_map(|keep| StorageFault::Torn { keep }),
             Just(StorageFault::StaleVersion),
+            (0usize..512).prop_map(|keep| StorageFault::WalTorn { keep }),
         ]
     }
 

@@ -54,9 +54,14 @@ impl ObsCounters {
 ///   blocks into contiguous runs and emits **one vectored
 ///   [`write_blocks`](BlockDevice::write_blocks) per run**, so a burst of
 ///   N sequential writes costs one coordination round instead of N.
-///   Until flushed, dirty data exists only in this client's memory — a
-///   departure from the paper's write-all durability model, acceptable
-///   only where the host tolerates losing its own unflushed writes.
+///   Until flushed, dirty data exists only in this client's memory —
+///   inherent to any buffer cache, so the host must tolerate losing its
+///   own *unflushed* writes. What `flush` has acknowledged is durable when
+///   the device underneath is a [`Journaled`](crate::Journaled) store: the
+///   flushed batch commits to the write-ahead journal (one `sync_data`)
+///   before the call returns, and a crash afterwards replays it on reopen.
+///   The journal, not the in-place block image, is the durable truth; over
+///   a bare device the seed's caveat stands in full.
 ///
 /// # Examples
 ///

@@ -34,9 +34,11 @@ mod device;
 mod file;
 mod mem;
 mod versioned;
+pub mod wal;
 
 pub use cache::{CacheStats, CacheStore};
 pub use device::BlockDevice;
 pub use file::FileStore;
 pub use mem::MemStore;
 pub use versioned::{StorageFault, VersionedStore};
+pub use wal::{Journaled, Wal, WalRecord, WalStats};

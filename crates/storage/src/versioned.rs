@@ -25,6 +25,17 @@ pub enum StorageFault {
     /// the version (and checksum) were updated, so the new bytes sit under
     /// the old version number.
     StaleVersion,
+    /// The crash hit during the *journal* append: only the first `keep`
+    /// bytes of the write-ahead record reached the log, and the block write
+    /// itself never started. The block stays intact at its old value (the
+    /// checksum still matches, so a scrub finds nothing) — with a journal in
+    /// force the torn record is discarded by the recovery scan, and without
+    /// one the write is simply lost before touching the platter.
+    WalTorn {
+        /// Number of leading bytes of the encoded record that were
+        /// persisted to the journal.
+        keep: usize,
+    },
 }
 
 /// FNV-1a over the version number followed by the block data — cheap,
@@ -182,6 +193,11 @@ impl VersionedStore {
             StorageFault::StaleVersion => {
                 // Data committed; version and checksum still the old ones.
                 self.blocks[k.index()] = data;
+            }
+            StorageFault::WalTorn { .. } => {
+                // The crash preceded the block write: the store keeps its
+                // old, checksum-consistent contents. The torn journal bytes
+                // are the caller's to model (see `core::Replica`).
             }
         }
         true
@@ -386,6 +402,27 @@ mod tests {
         ));
         assert!(s.checksum_ok(k));
         assert_eq!(s.data(k).as_slice(), &[1; 4]);
+    }
+
+    #[test]
+    fn wal_torn_install_leaves_store_untouched() {
+        let mut s = VersionedStore::new(1, 4);
+        let k = BlockIndex::new(0);
+        s.install(k, BlockData::from(vec![1; 4]), VersionNumber::new(1));
+        assert!(s.install_faulty(
+            k,
+            BlockData::from(vec![9; 4]),
+            VersionNumber::new(2),
+            StorageFault::WalTorn { keep: 5 },
+        ));
+        // The crash hit the journal append, not the block write: the old
+        // copy survives, the checksum still matches, scrub finds nothing.
+        assert_eq!(s.version(k), VersionNumber::new(1));
+        assert_eq!(s.data(k).as_slice(), &[1; 4]);
+        assert!(s.checksum_ok(k));
+        assert!(s.scrub().is_empty());
+        // The lost version can be reinstalled cleanly.
+        assert!(s.install(k, BlockData::from(vec![9; 4]), VersionNumber::new(2)));
     }
 
     #[test]

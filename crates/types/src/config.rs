@@ -153,11 +153,12 @@ pub struct DeviceConfig {
     read_quorum: u64,
     write_quorum: u64,
     failure_tracking: FailureTracking,
+    journaled: bool,
 }
 
 impl DeviceConfig {
     /// Starts building a configuration for the given scheme with defaults:
-    /// 3 sites, 64 blocks of 512 bytes, majority quorums.
+    /// 3 sites, 64 blocks of 512 bytes, majority quorums, no journal.
     pub fn builder(scheme: Scheme) -> DeviceConfigBuilder {
         DeviceConfigBuilder {
             scheme,
@@ -168,6 +169,7 @@ impl DeviceConfig {
             read_quorum: None,
             write_quorum: None,
             failure_tracking: FailureTracking::default(),
+            journaled: false,
         }
     }
 
@@ -226,6 +228,20 @@ impl DeviceConfig {
         self.failure_tracking
     }
 
+    /// Whether each site keeps a write-ahead journal of its installs, so a
+    /// restart replays committed records instead of scrubbing broken blocks
+    /// back to the freshly-formatted state.
+    pub fn journaled(&self) -> bool {
+        self.journaled
+    }
+
+    /// Flips the per-site journal on an already-built configuration —
+    /// useful for replaying a generated chaos script with durability
+    /// turned on without disturbing the generator's random stream.
+    pub fn set_journaled(&mut self, on: bool) {
+        self.journaled = on;
+    }
+
     /// Iterates over this device's site identifiers.
     pub fn site_ids(&self) -> impl DoubleEndedIterator<Item = SiteId> + ExactSizeIterator {
         SiteId::all(self.weights.len())
@@ -248,6 +264,7 @@ pub struct DeviceConfigBuilder {
     read_quorum: Option<u64>,
     write_quorum: Option<u64>,
     failure_tracking: FailureTracking,
+    journaled: bool,
 }
 
 impl DeviceConfigBuilder {
@@ -291,6 +308,12 @@ impl DeviceConfigBuilder {
     /// Selects the failure-information policy for available copy.
     pub fn failure_tracking(&mut self, policy: FailureTracking) -> &mut Self {
         self.failure_tracking = policy;
+        self
+    }
+
+    /// Enables the per-site write-ahead journal (defaults to off).
+    pub fn journaled(&mut self, on: bool) -> &mut Self {
+        self.journaled = on;
         self
     }
 
@@ -354,6 +377,7 @@ impl DeviceConfigBuilder {
             read_quorum,
             write_quorum,
             failure_tracking: self.failure_tracking,
+            journaled: self.journaled,
         })
     }
 }
@@ -457,6 +481,19 @@ mod tests {
             "naive-available-copy"
         );
         assert_eq!(Scheme::ALL.len(), 3);
+    }
+
+    #[test]
+    fn journaled_defaults_off_and_can_be_flipped() {
+        let mut cfg = DeviceConfig::builder(Scheme::Voting).build().unwrap();
+        assert!(!cfg.journaled());
+        cfg.set_journaled(true);
+        assert!(cfg.journaled());
+        let cfg = DeviceConfig::builder(Scheme::AvailableCopy)
+            .journaled(true)
+            .build()
+            .unwrap();
+        assert!(cfg.journaled());
     }
 
     #[test]

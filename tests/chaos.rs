@@ -7,6 +7,7 @@
 //! byte-identical outcome parity across the runtimes. A failure prints the
 //! seed and the shrunk minimal schedule.
 
+use blockrep::core::backend::Backend;
 use blockrep::core::chaos::{self, ChaosStep};
 use blockrep::core::fault::FaultKind;
 use blockrep::core::scenario::Action;
@@ -46,6 +47,21 @@ fn chaos_available_copy_seed_matrix() {
 #[test]
 fn chaos_naive_seed_matrix() {
     run_matrix(Scheme::NaiveAvailableCopy);
+}
+
+/// The journaled seed matrix: the same schedules, but every site runs a
+/// write-ahead journal, and the oracle tightens to durable-by-§3.2 —
+/// a restart scrub replays acknowledged installs instead of zeroing them,
+/// so a block that once reached full agreement may never revert.
+#[test]
+fn chaos_journaled_seed_matrix() {
+    for scheme in Scheme::ALL {
+        for seed in 0..SEEDS {
+            if let Err(failure) = chaos::run_seed_with(seed, scheme, STEPS, true) {
+                panic!("{failure}");
+            }
+        }
+    }
 }
 
 /// The same seed must generate the same script, bit for bit — otherwise a
@@ -300,4 +316,85 @@ fn chaos_torn_write_is_scrubbed_and_repaired() {
     let rt = Cluster::new(cfg, ClusterOptions::default());
     chaos::run_on(&rt, &script).unwrap();
     assert_eq!(rt.read(sid(1), blk(0)).unwrap().as_slice(), &[0x44; 8]);
+}
+
+/// Restart-mid-flush with a write-ahead journal: site 1's disk tears in the
+/// middle of installing an acknowledged write and the site crashes — but
+/// the record reached its journal before the device did, so the restart
+/// scrub replays it. The write is back **before** any peer repair runs.
+/// Without the journal the same schedule zeroes the block and only the §3.2
+/// repair exchange can restore the value.
+#[test]
+fn chaos_journaled_restart_mid_flush_replays_acknowledged_install() {
+    let build = |journaled: bool| {
+        blockrep::types::DeviceConfig::builder(Scheme::AvailableCopy)
+            .sites(3)
+            .num_blocks(1)
+            .block_size(8)
+            .journaled(journaled)
+            .build()
+            .unwrap()
+    };
+    let script = vec![
+        ChaosStep {
+            action: Action::Write {
+                origin: sid(0),
+                block: blk(0),
+                fill: 0x33,
+            },
+            faults: vec![],
+        },
+        ChaosStep {
+            // Exchange 1 is the install fan-out to site 1: its disk tears
+            // mid-flush and the site crashes.
+            action: Action::Write {
+                origin: sid(0),
+                block: blk(0),
+                fill: 0x44,
+            },
+            faults: vec![(1, FaultKind::TornWrite { keep: 4 })],
+        },
+        ChaosStep {
+            action: Action::Repair(sid(1)),
+            faults: vec![],
+        },
+        ChaosStep {
+            action: Action::Read {
+                origin: sid(1),
+                block: blk(0),
+            },
+            faults: vec![],
+        },
+    ];
+    // Oracle and three-runtime parity under the tightened journaled oracle.
+    chaos::check(&build(true), &script).unwrap();
+
+    // Pin the mechanism on the deterministic runtime, stopping *before* the
+    // repair step: the restart scrub alone restores the acknowledged write.
+    let rt = Cluster::new(build(true), ClusterOptions::default());
+    chaos::run_on(&rt, &script[..2]).unwrap();
+    assert_ne!(
+        rt.data_of(sid(1), blk(0)).as_slice(),
+        &[0x44; 8],
+        "the crash left the install incomplete on disk"
+    );
+    assert_eq!(
+        rt.scrub_local(sid(1)),
+        1,
+        "checksum damage is still reported"
+    );
+    assert_eq!(
+        rt.data_of(sid(1), blk(0)).as_slice(),
+        &[0x44; 8],
+        "journal replay must reinstate the acknowledged install"
+    );
+
+    // Contrast run: without the journal the torn install is simply gone.
+    let rt = Cluster::new(build(false), ClusterOptions::default());
+    chaos::run_on(&rt, &script[..2]).unwrap();
+    assert_eq!(rt.scrub_local(sid(1)), 1);
+    assert!(
+        rt.data_of(sid(1), blk(0)).is_zeroed(),
+        "unjournaled scrub resets the block to the formatted state"
+    );
 }

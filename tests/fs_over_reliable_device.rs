@@ -7,8 +7,9 @@ use blockrep::core::{
 };
 use blockrep::fs::{FileSystem, FsError};
 use blockrep::net::DeliveryMode;
-use blockrep::storage::MemStore;
-use blockrep::types::{DeviceConfig, Scheme, SiteId};
+use blockrep::storage::{BlockDevice, Journaled, MemStore};
+use blockrep::types::{BlockData, BlockIndex, DeviceConfig, DeviceResult, Scheme, SiteId};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn cluster(scheme: Scheme) -> Arc<Cluster> {
@@ -208,6 +209,97 @@ fn image_is_fsck_clean_after_crash_recovery_schedules() {
             "{scheme} via s1: {:?}",
             report1.problems
         );
+    }
+}
+
+/// Counts `sync_data`-equivalent calls (`flush`) on the device it wraps —
+/// the test's stand-in for a disk whose fsyncs are the expensive part.
+struct SyncCounting<D> {
+    inner: D,
+    syncs: Arc<AtomicU64>,
+}
+
+impl<D: BlockDevice> BlockDevice for SyncCounting<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+    fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData> {
+        self.inner.read_block(k)
+    }
+    fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+        self.inner.write_block(k, data)
+    }
+    fn read_blocks(&self, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        self.inner.read_blocks(ks)
+    }
+    fn write_blocks(&self, writes: &[(BlockIndex, BlockData)]) -> DeviceResult<()> {
+        self.inner.write_blocks(writes)
+    }
+    fn flush(&self) -> DeviceResult<()> {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.inner.flush()
+    }
+}
+
+/// §4f group commit through the whole FS stack: the fsync-heavy pattern —
+/// bursts of small writes, each burst closed by one fsync — pays **zero**
+/// journal syncs inside a burst and exactly **one** at the fsync, no
+/// matter how many block installs the burst journaled. One `sync_data`
+/// per batch, never one per install.
+#[test]
+fn fsync_heavy_fs_workload_syncs_the_journal_once_per_batch() {
+    let syncs = Arc::new(AtomicU64::new(0));
+    let journal = SyncCounting {
+        inner: MemStore::new(4096, 512),
+        syncs: Arc::clone(&syncs),
+    };
+    // Batch window far above the workload: only explicit fsyncs commit.
+    let dev = Journaled::create(MemStore::new(512, 512), journal, 4096).unwrap();
+    let fs = FileSystem::format(dev).unwrap();
+    fs.device().flush().unwrap(); // settle the format's own installs
+    let mut synced = syncs.load(Ordering::Relaxed);
+    let mut appended = fs.device().stats().appends;
+
+    for batch in 0..4u64 {
+        // A burst of small writes: many journal appends, no syncs yet.
+        for i in 0..5u64 {
+            let name = format!("/b{batch}-f{i}");
+            fs.write_file(&name, &vec![(batch * 5 + i) as u8; 700])
+                .unwrap();
+        }
+        let appends_now = fs.device().stats().appends;
+        assert!(
+            appends_now > appended,
+            "batch {batch}: the burst must journal its installs"
+        );
+        appended = appends_now;
+        assert_eq!(
+            syncs.load(Ordering::Relaxed),
+            synced,
+            "batch {batch}: no journal sync before the fsync"
+        );
+        // The fsync: the whole burst commits with a single sync_data.
+        fs.device().flush().unwrap();
+        synced += 1;
+        assert_eq!(
+            syncs.load(Ordering::Relaxed),
+            synced,
+            "batch {batch}: exactly one journal sync per fsync batch"
+        );
+        assert_eq!(fs.device().stats().pending_records, 0);
+    }
+    // The files are all there, and the journal really carried them.
+    for batch in 0..4u64 {
+        for i in 0..5u64 {
+            let name = format!("/b{batch}-f{i}");
+            assert_eq!(
+                fs.read_file(&name).unwrap(),
+                vec![(batch * 5 + i) as u8; 700]
+            );
+        }
     }
 }
 

@@ -28,6 +28,7 @@ fn chaos_failure_dump_is_valid_chrome_trace_json() {
         seed,
         scheme: Scheme::Voting,
         steps: script.steps,
+        journaled: false,
         detail: "synthetic oracle violation (seeded regression)".into(),
     };
 

@@ -1,0 +1,335 @@
+//! Crash-point matrix for the per-site write-ahead journal.
+//!
+//! The headline durability test: a golden run drives a known install
+//! stream through a [`Journaled`] device, then the store is killed at
+//! **every byte offset of the journal** — mid-record, on record
+//! boundaries, after an append that never reached its fsync — restarted,
+//! and the recovered state checked against the §3.2 one-copy expectation:
+//! exactly the committed record prefix is replayed, in append order, and
+//! the data device converges to the same state whether the crash caught it
+//! with none, some, or all of the writes already applied. Dedicated cases
+//! cover the group-commit window (appends behind the last commit are lost,
+//! as a power cut would lose a disk's write cache), a crash between the
+//! checkpoint's data-device sync and its journal truncation, a crash after
+//! truncation, and a torn superblock.
+
+use blockrep_storage::{wal, BlockDevice, Journaled, MemStore, Wal, WalRecord};
+use blockrep_types::{BlockData, BlockIndex, VersionNumber};
+use std::sync::Arc;
+
+/// Journal geometry: block 0 is the superblock, the rest is record space.
+const BS: usize = 32;
+const JOURNAL_BLOCKS: u64 = 16;
+const DATA_BLOCKS: u64 = 4;
+
+fn rec(block: u64, version: u64, fill: u8) -> WalRecord {
+    WalRecord {
+        block: BlockIndex::new(block),
+        version: VersionNumber::new(version),
+        payload: BlockData::from(vec![fill; BS]),
+    }
+}
+
+/// The golden install stream: six writes, some blocks written repeatedly
+/// so a truncated replay visibly regresses them.
+fn workload() -> Vec<WalRecord> {
+    vec![
+        rec(0, 1, 0x11),
+        rec(1, 2, 0x22),
+        rec(2, 3, 0x33),
+        rec(0, 4, 0x44),
+        rec(3, 5, 0x55),
+        rec(1, 6, 0x66),
+    ]
+}
+
+fn flatten(dev: &MemStore) -> Vec<u8> {
+    dev.snapshot()
+        .iter()
+        .flat_map(|b| b.as_slice().to_vec())
+        .collect()
+}
+
+fn mem_from_bytes(bytes: &[u8], num_blocks: u64, block_size: usize) -> MemStore {
+    assert_eq!(bytes.len(), num_blocks as usize * block_size);
+    let dev = MemStore::new(num_blocks, block_size);
+    for b in 0..num_blocks {
+        let chunk = &bytes[b as usize * block_size..(b as usize + 1) * block_size];
+        dev.write_block(BlockIndex::new(b), BlockData::from(chunk.to_vec()))
+            .expect("seed block");
+    }
+    dev
+}
+
+/// Applies records to a raw data device in append order (last write wins).
+fn apply(dev: &MemStore, records: &[WalRecord]) {
+    for r in records {
+        dev.write_block(r.block, r.payload.clone()).expect("apply");
+    }
+}
+
+/// The state the data device must hold after recovery: `base` (what the
+/// crash left on disk) overwritten by the replayed prefix in append order.
+fn expected_state(base: &[WalRecord], replayed: &[WalRecord]) -> Vec<BlockData> {
+    let dev = MemStore::new(DATA_BLOCKS, BS);
+    apply(&dev, base);
+    apply(&dev, replayed);
+    dev.snapshot()
+}
+
+/// Builds the golden journal images: `(base, final_bytes, ends)` where
+/// `base` is the device right after a truncation left stale epoch-1
+/// residue in the data region, `final_bytes` is the device after the whole
+/// workload committed at epoch 2, and `ends[i]` is the byte offset (within
+/// the record region) one past record `i`.
+fn golden_journal() -> (Vec<u8>, Vec<u8>, Vec<usize>) {
+    let dev = Arc::new(MemStore::new(JOURNAL_BLOCKS, BS));
+    let wal = Wal::create(Arc::clone(&dev), 1).expect("create journal");
+    // Epoch-1 filler: committed, then truncated away. The bytes stay on
+    // the device as stale residue the epoch-2 scan must never accept.
+    for i in 0..5 {
+        wal.append(&rec(i % DATA_BLOCKS, i + 1, 0xEE))
+            .expect("filler");
+    }
+    wal.truncate().expect("truncate to epoch 2");
+    let base = flatten(&dev);
+    let mut ends = Vec::new();
+    let mut end = 0;
+    for r in workload() {
+        wal.append(&r).expect("workload append");
+        end += wal::encode_record(wal.epoch(), &r).len();
+        ends.push(end);
+    }
+    let final_bytes = flatten(&dev);
+    (base, final_bytes, ends)
+}
+
+#[test]
+fn crash_at_every_journal_offset_recovers_the_committed_prefix() {
+    let (base, final_bytes, ends) = golden_journal();
+    let records = workload();
+    let stream_len = *ends.last().expect("nonempty workload");
+    // The superblock (block 0) is only written by create/truncate, both of
+    // which sync before returning — so every crash during the append
+    // stream sees the same epoch-2 superblock.
+    assert_eq!(base[..BS], final_bytes[..BS]);
+    let zeroed_base: Vec<u8> = final_bytes[..BS]
+        .iter()
+        .copied()
+        .chain(std::iter::repeat_n(0, base.len() - BS))
+        .collect();
+    for cut in 0..=stream_len {
+        let n = ends.iter().filter(|&&e| e <= cut).count();
+        // Residue variants: the record region past the crash point holds
+        // either stale epoch-1 debris or virgin zeroes.
+        for (residue, bytes) in [("stale", &base), ("zeroed", &zeroed_base)] {
+            let mut journal_bytes = bytes.clone();
+            journal_bytes[BS..BS + cut].copy_from_slice(&final_bytes[BS..BS + cut]);
+            // Crash-state variants of the data device: none of the writes
+            // applied, or all of them (journal and data device are never
+            // synced together, so recovery must converge from both ends).
+            for applied in [0, records.len()] {
+                let data = MemStore::new(DATA_BLOCKS, BS);
+                apply(&data, &records[..applied]);
+                let journal = mem_from_bytes(&journal_bytes, JOURNAL_BLOCKS, BS);
+                let dev = Journaled::open(data, journal, 4).unwrap_or_else(|e| {
+                    panic!("open at cut {cut} ({residue}, {applied} applied): {e}")
+                });
+                assert_eq!(
+                    dev.stats().replayed,
+                    n as u64,
+                    "cut {cut} ({residue}, {applied} applied): wrong replay count"
+                );
+                let want = expected_state(&records[..applied], &records[..n]);
+                for b in 0..DATA_BLOCKS {
+                    let got = dev.read_block(BlockIndex::new(b)).expect("read");
+                    assert_eq!(
+                        got, want[b as usize],
+                        "cut {cut} ({residue}, {applied} applied): block {b} diverged"
+                    );
+                }
+                // Recovery ends in a checkpoint: the journal is empty and
+                // the next crash replays nothing stale.
+                assert!(dev.wal_ref().is_empty());
+                assert!(dev.stats().truncations >= 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn appends_behind_the_group_commit_window_are_lost_like_a_write_cache() {
+    let records = workload();
+    // Window 4: the first four appends share one auto-commit; five and six
+    // stay buffered. The data device has all six applied (write-through),
+    // the journal device only the committed four.
+    let dev = Journaled::create(
+        MemStore::new(DATA_BLOCKS, BS),
+        MemStore::new(JOURNAL_BLOCKS, BS),
+        4,
+    )
+    .expect("create");
+    for r in &records {
+        dev.write_block(r.block, r.payload.clone()).expect("write");
+    }
+    let (data, journal) = dev.abandon(); // power cut: pending appends drop
+    let recovered = Journaled::open(data, journal, 4).expect("recover");
+    assert_eq!(recovered.stats().replayed, 4);
+    // Replay regresses the blocks whose later writes never committed: the
+    // post-crash state is exactly the committed prefix over what the crash
+    // left behind.
+    let want = expected_state(&records, &records[..4]);
+    for b in 0..DATA_BLOCKS {
+        let got = recovered.read_block(BlockIndex::new(b)).expect("read");
+        assert_eq!(got, want[b as usize], "block {b} diverged");
+    }
+}
+
+#[test]
+fn explicit_flush_moves_the_durability_watermark() {
+    let records = workload();
+    let dev = Journaled::create(
+        MemStore::new(DATA_BLOCKS, BS),
+        MemStore::new(JOURNAL_BLOCKS, BS),
+        64,
+    )
+    .expect("create");
+    for r in &records {
+        dev.write_block(r.block, r.payload.clone()).expect("write");
+    }
+    // fsync: the whole stream commits in one batch despite the huge window.
+    dev.flush().expect("group commit");
+    let (data, journal) = dev.abandon();
+    let recovered = Journaled::open(data, journal, 64).expect("recover");
+    assert_eq!(recovered.stats().replayed, records.len() as u64);
+    let want = expected_state(&[], &records);
+    for b in 0..DATA_BLOCKS {
+        let got = recovered.read_block(BlockIndex::new(b)).expect("read");
+        assert_eq!(got, want[b as usize], "block {b} diverged");
+    }
+}
+
+#[test]
+fn crash_between_checkpoint_sync_and_truncation_replays_idempotently() {
+    // A checkpoint syncs the data device, then truncates the journal. A
+    // crash between the two leaves a fully-applied data device and a fully
+    // populated journal — replay must be a no-op in effect.
+    let records = workload();
+    let journal_dev = Arc::new(MemStore::new(JOURNAL_BLOCKS, BS));
+    let dev = Journaled::create(MemStore::new(DATA_BLOCKS, BS), Arc::clone(&journal_dev), 1)
+        .expect("create");
+    for r in &records {
+        dev.write_block(r.block, r.payload.clone()).expect("write");
+    }
+    let (data, _journal) = dev.abandon();
+    // `data` is fully applied and every record committed (window 1): this
+    // IS the state between the checkpoint's sync and its truncate.
+    let journal = mem_from_bytes(&flatten(&journal_dev), JOURNAL_BLOCKS, BS);
+    let recovered = Journaled::open(data, journal, 1).expect("recover");
+    assert_eq!(recovered.stats().replayed, records.len() as u64);
+    let want = expected_state(&records, &records);
+    for b in 0..DATA_BLOCKS {
+        let got = recovered.read_block(BlockIndex::new(b)).expect("read");
+        assert_eq!(got, want[b as usize], "block {b} diverged");
+    }
+}
+
+#[test]
+fn crash_after_truncation_replays_nothing() {
+    let records = workload();
+    let dev = Journaled::create(
+        MemStore::new(DATA_BLOCKS, BS),
+        MemStore::new(JOURNAL_BLOCKS, BS),
+        1,
+    )
+    .expect("create");
+    for r in &records {
+        dev.write_block(r.block, r.payload.clone()).expect("write");
+    }
+    dev.checkpoint().expect("checkpoint");
+    let (data, journal) = dev.abandon();
+    let recovered = Journaled::open(data, journal, 1).expect("recover");
+    assert_eq!(recovered.stats().replayed, 0);
+    // The truncated epoch-1 records are still on disk but belong to a dead
+    // epoch: the scan must discard every byte of them, not replay any.
+    let residue: usize = records.iter().map(WalRecord::encoded_len).sum();
+    assert_eq!(recovered.stats().discarded_bytes, residue as u64);
+    let want = expected_state(&records, &[]);
+    for b in 0..DATA_BLOCKS {
+        let got = recovered.read_block(BlockIndex::new(b)).expect("read");
+        assert_eq!(got, want[b as usize], "block {b} diverged");
+    }
+}
+
+/// Regression for the §4e write-back caveat: a write-back cache over a
+/// journaled `FileStore` no longer loses acknowledged installs to a crash.
+/// After `flush()` returns, even wiping the entire data image back to
+/// zeroes (an in-place write that never reached the platter) must not lose
+/// a byte — the journal alone carries the acknowledged state.
+#[test]
+fn write_back_cache_over_a_journal_keeps_acknowledged_installs() {
+    use blockrep_storage::{CacheStore, FileStore};
+    let pid = std::process::id();
+    let dir = std::env::temp_dir();
+    let data_path = dir.join(format!("blockrep-wal-recovery-data-{pid}.img"));
+    let wal_path = dir.join(format!("blockrep-wal-recovery-wal-{pid}.img"));
+
+    let data = FileStore::create(&data_path, 16, 64).expect("data image");
+    let journal = FileStore::create(&wal_path, 64, 64).expect("journal image");
+    let dev = Journaled::create(data, journal, 8).expect("journaled device");
+    let cache = CacheStore::write_back(dev, 4);
+    for b in 0..16u64 {
+        cache
+            .write_block(BlockIndex::new(b), BlockData::from(vec![b as u8 + 1; 64]))
+            .expect("write");
+    }
+    cache.flush().expect("acknowledge");
+    drop(cache.into_inner().abandon());
+
+    // The crash also loses every in-place data write since the last
+    // checkpoint: wipe the data image to zeroes. Only the journal survives
+    // — and it must be enough.
+    let wiped = FileStore::create(&data_path, 16, 64).expect("wipe data image");
+    let journal = FileStore::open(&wal_path, 64).expect("reopen journal");
+    let recovered = Journaled::open(wiped, journal, 8).expect("recover");
+    assert_eq!(recovered.stats().replayed, 16);
+    for b in 0..16u64 {
+        let got = recovered.read_block(BlockIndex::new(b)).expect("read");
+        assert_eq!(
+            got.as_slice(),
+            &[b as u8 + 1; 64],
+            "acknowledged install of block {b} lost in the crash"
+        );
+    }
+    drop(recovered);
+    let _ = std::fs::remove_file(&data_path);
+    let _ = std::fs::remove_file(&wal_path);
+}
+
+#[test]
+fn torn_superblock_reformats_without_touching_the_data_device() {
+    let records = workload();
+    let journal_dev = Arc::new(MemStore::new(JOURNAL_BLOCKS, BS));
+    let dev = Journaled::create(MemStore::new(DATA_BLOCKS, BS), Arc::clone(&journal_dev), 1)
+        .expect("create");
+    for r in &records {
+        dev.write_block(r.block, r.payload.clone()).expect("write");
+    }
+    let (data, _journal) = dev.abandon();
+    // Tear the superblock: only create/truncate write block 0, and both
+    // run after the data device was synced, so recovery may safely treat
+    // the whole journal as void.
+    let mut bytes = flatten(&journal_dev);
+    bytes[8] ^= 0xFF;
+    let journal = mem_from_bytes(&bytes, JOURNAL_BLOCKS, BS);
+    let recovered = Journaled::open(data, journal, 1).expect("recover");
+    assert_eq!(recovered.stats().replayed, 0);
+    let want = expected_state(&records, &[]);
+    for b in 0..DATA_BLOCKS {
+        let got = recovered.read_block(BlockIndex::new(b)).expect("read");
+        assert_eq!(got, want[b as usize], "block {b} diverged");
+    }
+    // The reformat wiped the record region: a fresh write stream starts
+    // from a clean epoch with nothing stale behind it.
+    assert_eq!(recovered.stats().discarded_bytes, 0);
+}
