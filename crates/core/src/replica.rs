@@ -12,6 +12,17 @@ use std::collections::BTreeSet;
 /// enough.
 const JOURNAL_EPOCH: u64 = 1;
 
+/// Byte capacity of the modeled journal, mirroring the real `Wal`'s bounded
+/// data region: an append that would exceed it models a forced checkpoint
+/// (clear, then append), so a long-lived journaled site never grows the
+/// buffer without bound. The checkpoint is just truncation here because the
+/// store already models synced stable storage — every record it drops
+/// belongs to a clean install the store holds durably. (A faulty install's
+/// record is never dropped before its replay: the fault *is* the crash, so
+/// no further install — and hence no checkpoint — runs before the restart
+/// scrub.)
+const JOURNAL_CAPACITY: usize = 64 * 1024;
+
 /// Everything one site's server process keeps for the reliable device: its
 /// versioned block store (on disk — it survives fail-stop crashes), its
 /// site state, and — for available copy — its was-available set `W_s`
@@ -42,7 +53,8 @@ pub struct Replica {
     /// configured `journaled`): the encoded record byte stream of
     /// `blockrep_storage::wal`, appended *before* every install touches
     /// the store and replayed by [`scrub`](Self::scrub) on restart. Like
-    /// the store it models stable storage, so it survives fail-stop.
+    /// the store it models stable storage, so it survives fail-stop. It is
+    /// bounded by [`JOURNAL_CAPACITY`] via modeled forced checkpoints.
     journal: Option<Vec<u8>>,
 }
 
@@ -118,6 +130,9 @@ impl Replica {
         );
         let keep = torn.unwrap_or(encoded.len()).min(encoded.len());
         if let Some(journal) = &mut self.journal {
+            if journal.len() + keep > JOURNAL_CAPACITY {
+                journal.clear();
+            }
             journal.extend_from_slice(&encoded[..keep]);
         }
     }
@@ -378,6 +393,26 @@ mod tests {
         // Replaying an old write is a no-op on disk and in the journal.
         r.install(k, BlockData::from(vec![9; 8]), VersionNumber::new(3));
         assert_eq!(r.journal_len(), Some(len));
+    }
+
+    #[test]
+    fn model_journal_is_bounded_by_forced_checkpoints() {
+        let mut r = Replica::new(SiteId::new(0), &journaled_cfg());
+        let k = BlockIndex::new(0);
+        // Far more install traffic than JOURNAL_CAPACITY holds (each record
+        // is 28 + 8 bytes): the modeled checkpoints must keep the buffer
+        // bounded without losing any cleanly installed write.
+        let last = 4_000u64;
+        for v in 1..=last {
+            r.install(k, BlockData::from(vec![v as u8; 8]), VersionNumber::new(v));
+            assert!(r.journal_len().unwrap() <= JOURNAL_CAPACITY);
+        }
+        assert_eq!(r.version(k), VersionNumber::new(last));
+        // A restart scrub over the truncated journal stays a no-op for the
+        // store: the checkpointed records were already durable there.
+        assert!(r.scrub().is_empty());
+        assert_eq!(r.version(k), VersionNumber::new(last));
+        assert_eq!(r.data(k).as_slice(), &[last as u8; 8]);
     }
 
     #[test]

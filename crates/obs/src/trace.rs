@@ -241,8 +241,13 @@ pub fn record(rec: SpanRecord) {
     let ticket = r.head.fetch_add(1, Ordering::Relaxed);
     let slot = &r.slots[(ticket as usize) & (RING_SLOTS - 1)];
     // Invalidate first so a concurrent reader rejects the slot, then write
-    // the payload, then publish the new sequence.
-    slot.seq.store(0, Ordering::Release);
+    // the payload, then publish the new sequence. The release fence keeps
+    // the payload stores from becoming visible before the invalidation: a
+    // reader whose relaxed payload loads observe any of them synchronizes
+    // with it through its own acquire fence, so its re-read of `seq` sees
+    // the zero (or a later value) and rejects the mixed record.
+    slot.seq.store(0, Ordering::Relaxed);
+    std::sync::atomic::fence(Ordering::Release);
     slot.trace.store(rec.trace_id, Ordering::Relaxed);
     slot.span.store(rec.span_id, Ordering::Relaxed);
     slot.parent.store(rec.parent, Ordering::Relaxed);
@@ -275,7 +280,12 @@ pub fn snapshot() -> Vec<SpanRecord> {
             start_ns: slot.start.load(Ordering::Relaxed),
             dur_ns: slot.dur.load(Ordering::Relaxed),
         };
-        let seq2 = slot.seq.load(Ordering::Acquire);
+        // The acquire fence orders the payload loads above before the
+        // re-read of `seq`: if any load saw a concurrent writer's payload,
+        // the fence pairs with the writer's release fence and `seq2` picks
+        // up its invalidation, failing the seq1 == seq2 check.
+        std::sync::atomic::fence(Ordering::Acquire);
+        let seq2 = slot.seq.load(Ordering::Relaxed);
         if seq1 == seq2 {
             out.push(rec);
         }

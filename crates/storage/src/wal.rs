@@ -284,6 +284,12 @@ impl<J: BlockDevice> Wal<J> {
     /// recovered records are returned in append order for the caller to
     /// replay. New appends continue behind the recovered prefix.
     ///
+    /// A discarded tail is zeroed on the device (and synced) before the
+    /// journal accepts appends: a torn group commit can leave byte-valid
+    /// same-epoch records *past* the tear, and if those bytes survived, a
+    /// later crash could let a scan run across the new tail into them,
+    /// resurrecting writes this recovery already rolled back.
+    ///
     /// A torn *superblock* (checksum mismatch) can only be left by a crash
     /// inside [`truncate`](Self::truncate) or [`create`](Self::create) —
     /// the two writers of block 0, both of which run after the data device
@@ -330,6 +336,28 @@ impl<J: BlockDevice> Wal<J> {
             .map_or(valid, |i| (i + 1).max(valid));
         let discarded = (tail_end - valid) as u64;
         bytes.truncate(valid);
+        if tail_end > valid {
+            // Wipe the discarded tail so same-epoch residue past the tear
+            // can never rejoin the log behind a future append stream. The
+            // block straddling the prefix boundary is rewritten with its
+            // committed bytes plus zeroes; blocks past it are zeroed whole.
+            let bs = wal.dev.block_size();
+            let mut writes = Vec::new();
+            let mut off = valid / bs * bs;
+            while off < tail_end {
+                let mut block = vec![0u8; bs];
+                if off < valid {
+                    block[..valid - off].copy_from_slice(&bytes[off..valid]);
+                }
+                writes.push((
+                    BlockIndex::new(1 + (off / bs) as u64),
+                    BlockData::from(block),
+                ));
+                off += bs;
+            }
+            wal.dev.write_blocks(&writes)?;
+            wal.dev.flush()?;
+        }
         {
             let state = wal.state.get_mut();
             state.epoch = epoch;
@@ -729,14 +757,21 @@ impl<D: BlockDevice, J: BlockDevice> Journaled<D, J> {
         (inner, wal.into_device())
     }
 
-    /// Appends one record for `(k, data)`, checkpointing first when the
-    /// journal would overflow.
-    fn journal_write(&self, k: BlockIndex, data: &BlockData) -> DeviceResult<()> {
-        let rec = WalRecord {
+    /// Stamps the next journal record for `(k, data)`.
+    fn next_record(&self, k: BlockIndex, data: &BlockData) -> WalRecord {
+        WalRecord {
             block: k,
             version: VersionNumber::new(self.seq.fetch_add(1, Ordering::Relaxed)),
             payload: data.clone(),
-        };
+        }
+    }
+
+    /// Appends one record for `(k, data)`, checkpointing first when the
+    /// journal would overflow. Safe for the single-block path only: every
+    /// record already in the journal belongs to a write that has reached
+    /// the data device, so the checkpoint's data-device sync covers it.
+    fn journal_write(&self, k: BlockIndex, data: &BlockData) -> DeviceResult<()> {
+        let rec = self.next_record(k, data);
         if self.wal().would_overflow(rec.encoded_len()) {
             self.checkpoint()?;
         }
@@ -775,10 +810,35 @@ impl<D: BlockDevice, J: BlockDevice> BlockDevice for Journaled<D, J> {
             self.dev().check_block(*k)?;
             self.dev().check_payload(data)?;
         }
-        for (k, data) in writes {
-            self.journal_write(*k, data)?;
+        // Journal-then-apply in chunks that each fit the journal whole, so
+        // a forced checkpoint only ever lands on a chunk boundary — after
+        // the previous chunk's blocks reached the data device. A mid-batch
+        // checkpoint would sync a data device that does not yet hold the
+        // batch's earlier blocks and then truncate away their records,
+        // losing them to a crash even after flush() acknowledged the batch.
+        let capacity = self.wal().capacity();
+        let mut start = 0;
+        while start < writes.len() {
+            let mut end = start;
+            let mut chunk_len = 0;
+            while end < writes.len() {
+                let rec_len = RECORD_HEADER + writes[end].1.len();
+                if end > start && chunk_len + rec_len > capacity {
+                    break;
+                }
+                chunk_len += rec_len;
+                end += 1;
+            }
+            if self.wal().would_overflow(chunk_len) {
+                self.checkpoint()?;
+            }
+            for (k, data) in &writes[start..end] {
+                self.wal().append(&self.next_record(*k, data))?;
+            }
+            self.dev().write_blocks(&writes[start..end])?;
+            start = end;
         }
-        self.dev().write_blocks(writes)
+        Ok(())
     }
 
     /// Commits the journal — one group commit, one `sync_data` — and
@@ -947,6 +1007,43 @@ mod tests {
         drop(wal);
         let (_, records) = Wal::open(dev, 4).unwrap();
         assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn reopen_wipes_the_discarded_tail_so_residue_never_rejoins() {
+        let dev = std::sync::Arc::new(MemStore::new(8, 64));
+        // Window 1: every append commits. Payload 36 makes each record
+        // exactly one 64-byte journal block, so offsets stay aligned.
+        let wal = Wal::create(std::sync::Arc::clone(&dev), 1).unwrap();
+        wal.append(&rec(0, 1, vec![0xAA; 36])).unwrap();
+        wal.append(&rec(1, 2, vec![0xBB; 36])).unwrap();
+        wal.append(&rec(2, 3, vec![0xCC; 36])).unwrap();
+        drop(wal);
+        // A torn group commit: the middle record is damaged but the one
+        // after it is still byte-valid on the device.
+        let mut b = dev
+            .read_block(BlockIndex::new(2))
+            .unwrap()
+            .as_slice()
+            .to_vec();
+        b[40] ^= 0xFF;
+        dev.write_block(BlockIndex::new(2), BlockData::from(b))
+            .unwrap();
+        // Recovery keeps only the first record and discards the tail...
+        let (wal, records) = Wal::open(std::sync::Arc::clone(&dev), 1).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(wal.stats().discarded_bytes >= 64);
+        // ...then continues in the same epoch with a record the exact size
+        // of the torn one, so the discarded third record sits
+        // record-aligned just past the new tail.
+        wal.append(&rec(5, 9, vec![0xDD; 36])).unwrap();
+        drop(wal);
+        // After a second crash the scan must stop at the new tail: the
+        // rolled-back record must not resurrect.
+        let (_, records) = Wal::open(dev, 1).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], rec(0, 1, vec![0xAA; 36]));
+        assert_eq!(records[1], rec(5, 9, vec![0xDD; 36]));
     }
 
     #[test]
@@ -1145,6 +1242,30 @@ mod tests {
             journaled.read_block(BlockIndex::new(3)).unwrap().as_slice(),
             &[3; 32]
         );
+    }
+
+    #[test]
+    fn vectored_batch_larger_than_the_journal_checkpoints_on_chunk_boundaries() {
+        // Journal data region: 2 blocks of 64 = 128 bytes; one record is
+        // 28 + 32 = 60 bytes, so a 4-block batch splits into two chunks
+        // with a forced checkpoint between them — never mid-chunk, where
+        // journaled records would not yet be on the data device.
+        let journaled =
+            Journaled::create(SyncCounter::new(8, 32), MemStore::new(3, 64), 100).unwrap();
+        let writes: Vec<(BlockIndex, BlockData)> = (0..4)
+            .map(|i| (BlockIndex::new(i), BlockData::from(vec![i as u8 + 1; 32])))
+            .collect();
+        journaled.write_blocks(&writes).unwrap();
+        let stats = journaled.stats();
+        assert_eq!(stats.appends, 4, "every block of the batch was journaled");
+        assert!(stats.truncations >= 1, "overflow forced a checkpoint");
+        assert!(
+            journaled.inner().flushes.load(Ordering::Relaxed) >= 1,
+            "the checkpoint synced the data device"
+        );
+        for (k, d) in &writes {
+            assert_eq!(journaled.read_block(*k).unwrap(), *d);
+        }
     }
 
     #[test]

@@ -306,6 +306,89 @@ fn write_back_cache_over_a_journal_keeps_acknowledged_installs() {
     let _ = std::fs::remove_file(&wal_path);
 }
 
+/// Regression for a group-commit hazard: a vectored batch larger than the
+/// journal's data region forces a checkpoint partway through journaling.
+/// That checkpoint must only land after the already-journaled blocks have
+/// reached the data device — otherwise it syncs a data device that does
+/// not yet hold the batch's earlier blocks and truncates away their
+/// records, and a crash after `flush()` acknowledged the batch loses them
+/// from both the journal and the (never-synced) data device.
+#[test]
+fn vectored_batch_overflowing_the_journal_survives_a_post_flush_crash() {
+    use std::sync::Mutex;
+
+    /// Sync-accurate data device: writes land in a volatile cache and only
+    /// `flush()` copies them to the durable image a crash preserves.
+    struct Platter {
+        inner: MemStore,
+        durable: Mutex<Vec<BlockData>>,
+    }
+
+    impl Platter {
+        fn new(num_blocks: u64, block_size: usize) -> Self {
+            let inner = MemStore::new(num_blocks, block_size);
+            let durable = Mutex::new(inner.snapshot());
+            Platter { inner, durable }
+        }
+
+        fn crash_image(&self) -> MemStore {
+            let dev = MemStore::new(self.inner.num_blocks(), self.inner.block_size());
+            for (i, b) in self.durable.lock().expect("platter lock").iter().enumerate() {
+                dev.write_block(BlockIndex::new(i as u64), b.clone())
+                    .expect("image block");
+            }
+            dev
+        }
+    }
+
+    impl BlockDevice for Platter {
+        fn num_blocks(&self) -> u64 {
+            self.inner.num_blocks()
+        }
+        fn block_size(&self) -> usize {
+            self.inner.block_size()
+        }
+        fn read_block(&self, k: BlockIndex) -> blockrep_types::DeviceResult<BlockData> {
+            self.inner.read_block(k)
+        }
+        fn write_block(&self, k: BlockIndex, data: BlockData) -> blockrep_types::DeviceResult<()> {
+            self.inner.write_block(k, data)
+        }
+        fn flush(&self) -> blockrep_types::DeviceResult<()> {
+            *self.durable.lock().expect("platter lock") = self.inner.snapshot();
+            Ok(())
+        }
+    }
+
+    // Journal data region: 4 blocks of 32 = 128 bytes; one record is
+    // 28 + 32 = 60 bytes, so the six-block batch (360 bytes) needs three
+    // chunks and two forced checkpoints.
+    let journal_dev = Arc::new(MemStore::new(5, BS));
+    let dev = Journaled::create(Platter::new(8, BS), Arc::clone(&journal_dev), 64).expect("create");
+    let writes: Vec<(BlockIndex, BlockData)> = (0..6u64)
+        .map(|i| (BlockIndex::new(i), BlockData::from(vec![i as u8 + 1; BS])))
+        .collect();
+    dev.write_blocks(&writes).expect("vectored write");
+    dev.flush().expect("acknowledge");
+    assert!(dev.stats().truncations >= 1, "the batch forced a checkpoint");
+
+    // Crash: unsynced data writes evaporate; the journal device is synced
+    // by every commit and truncation, so its raw bytes are its durable
+    // content.
+    let (data, _journal) = dev.abandon();
+    let crash_data = data.crash_image();
+    let journal = mem_from_bytes(&flatten(&journal_dev), 5, BS);
+    let recovered = Journaled::open(crash_data, journal, 64).expect("recover");
+    for (k, d) in &writes {
+        assert_eq!(
+            recovered.read_block(*k).expect("read"),
+            *d,
+            "acknowledged block {} lost in the crash",
+            k.as_u64()
+        );
+    }
+}
+
 #[test]
 fn torn_superblock_reformats_without_touching_the_data_device() {
     let records = workload();
