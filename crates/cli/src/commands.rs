@@ -67,6 +67,14 @@ usage:
       --block-size B --journal             (--journal first replays committed
                                            records from <image-file>.wal,
                                            discarding any torn tail)
+  blockrep lint [flags]                    static analysis of the workspace
+      --root DIR --deny                    sources: lock-order cycles, atomics
+      --allow PATH --out PATH              fence discipline, hot-path obs
+                                           guards, wire-tag exhaustiveness;
+                                           --deny exits nonzero on findings,
+                                           --allow names a baseline file
+                                           (default <root>/lint.allow), --out
+                                           also writes the report to a file
 
 observability (any subcommand):
   --stats    collect metrics; print a table and a JSON snapshot at exit
@@ -116,6 +124,7 @@ fn dispatch(parsed: &Parsed) -> Result<(), UsageError> {
         Some("shell") => run_shell(parsed),
         Some("mkfs") => run_mkfs(parsed),
         Some("fsck") => run_fsck(parsed),
+        Some("lint") => run_lint(parsed),
         Some(other) => Err(UsageError(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -588,6 +597,29 @@ fn run_fsck(parsed: &Parsed) -> Result<(), UsageError> {
     }
 }
 
+fn run_lint(parsed: &Parsed) -> Result<(), UsageError> {
+    let root = parsed.flag("root").unwrap_or(".");
+    let config = blockrep_lint::Config {
+        root: root.into(),
+        allow_file: parsed.flag("allow").map(Into::into),
+    };
+    let report = blockrep_lint::run(&config).map_err(|e| UsageError(format!("lint: {e}")))?;
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(out) = parsed.flag("out") {
+        std::fs::write(out, &rendered).map_err(|e| UsageError(format!("lint: {out}: {e}")))?;
+    }
+    if parsed.flag_bool("deny") && !report.is_clean() {
+        let dirty = report
+            .findings
+            .iter()
+            .filter(|f| f.severity > blockrep_lint::Severity::Note)
+            .count();
+        return Err(UsageError(format!("lint: {dirty} finding(s) (--deny)")));
+    }
+    Ok(())
+}
+
 fn run_shell(parsed: &Parsed) -> Result<(), UsageError> {
     let config = ShellConfig {
         scheme: parsed.flag_scheme("scheme", Scheme::NaiveAvailableCopy)?,
@@ -613,6 +645,25 @@ mod tests {
     fn help_runs() {
         assert!(run(&parsed(&[])).is_ok());
         assert!(run(&parsed(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn lint_runs_clean_on_this_workspace() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        assert!(run(&parsed(&["lint", "--root", root, "--deny"])).is_ok());
+    }
+
+    #[test]
+    fn lint_deny_gates_on_findings() {
+        let root = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../lint/tests/fixtures/lock_cycle"
+        );
+        // Without --deny the findings print but the run succeeds...
+        assert!(run(&parsed(&["lint", "--root", root])).is_ok());
+        // ...with --deny they are fatal, like fsck's problem count.
+        let err = run(&parsed(&["lint", "--root", root, "--deny"])).unwrap_err();
+        assert!(err.to_string().contains("finding"), "{err}");
     }
 
     #[test]

@@ -9,6 +9,15 @@
 //!   parameterized experiments against the real protocol implementation.
 //! * `blockrep shell [flags]` — an interactive cluster you can read, write,
 //!   crash, partition, and audit from a prompt.
+//! * `blockrep chaos [flags]` — seeded fault-injection with schedule
+//!   shrinking over all three runtimes.
+//! * `blockrep bench [--suite S] [flags]` — throughput/latency suites with
+//!   JSON reports; `blockrep trace` for per-phase latency attribution.
+//! * `blockrep mkfs` / `blockrep fsck` — format and check file-backed
+//!   device images (with WAL replay under `--journal`).
+//! * `blockrep lint [--deny]` — the [`blockrep_lint`] static analyzer over
+//!   the workspace sources: lock-order cycles, atomics fence discipline,
+//!   hot-path observability guards, and wire-tag exhaustiveness.
 //!
 //! Flag parsing is a deliberately small hand-rolled affair ([`args`]) —
 //! the project's dependency policy admits no CLI framework, and the

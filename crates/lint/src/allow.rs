@@ -1,0 +1,123 @@
+//! The `lint.allow` baseline file.
+//!
+//! Format — one entry per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! <pass> <file>[:<line>|:*] <reason — mandatory free text>
+//! ```
+//!
+//! `<file>` matches any diagnostic path ending with it, so entries stay
+//! valid when the workspace is checked out under a different root. An
+//! entry without a reason is a hard error: a suppression nobody can
+//! justify is a bug report, not a baseline.
+
+use std::fmt;
+
+/// One parsed baseline entry.
+#[derive(Debug)]
+pub(crate) struct AllowEntry {
+    pub(crate) pass: String,
+    pub(crate) file: String,
+    /// `None` means any line (`:*` or no line suffix).
+    pub(crate) line: Option<u32>,
+    pub(crate) source_line: usize,
+    pub(crate) used: bool,
+}
+
+/// A malformed baseline file.
+#[derive(Debug)]
+pub(crate) struct AllowError {
+    pub(crate) source_line: usize,
+    pub(crate) message: String,
+}
+
+impl fmt::Display for AllowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.allow:{}: {}", self.source_line, self.message)
+    }
+}
+
+/// Parses the baseline file contents.
+pub(crate) fn parse(text: &str) -> Result<Vec<AllowEntry>, AllowError> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let source_line = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let pass = parts.next().unwrap_or_default();
+        let target = parts.next().unwrap_or_default();
+        let reason = parts.next().unwrap_or_default().trim();
+        if target.is_empty() {
+            return Err(AllowError {
+                source_line,
+                message: "expected `<pass> <file>[:line] <reason>`".into(),
+            });
+        }
+        if reason.is_empty() {
+            return Err(AllowError {
+                source_line,
+                message: format!(
+                    "entry `{pass} {target}` has no reason; every suppression must \
+                     say why it is sound"
+                ),
+            });
+        }
+        let (file, line_spec) = match target.rsplit_once(':') {
+            Some((f, spec)) if !spec.is_empty() => (f, Some(spec)),
+            _ => (target, None),
+        };
+        let line = match line_spec {
+            None | Some("*") => None,
+            Some(spec) => match spec.parse::<u32>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    return Err(AllowError {
+                        source_line,
+                        message: format!("bad line spec `{spec}` (number or `*`)"),
+                    });
+                }
+            },
+        };
+        entries.push(AllowEntry {
+            pass: pass.to_string(),
+            file: file.to_string(),
+            line,
+            source_line,
+            used: false,
+        });
+    }
+    Ok(entries)
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses a finding from `pass` at `file:line`.
+    pub(crate) fn matches(&self, pass: &str, file: &str, line: u32) -> bool {
+        self.pass == pass && file.ends_with(&self.file) && self.line.is_none_or(|l| l == line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_parse_and_match() {
+        let text = "# baseline\n\natomics crates/obs/src/trace.rs:* seqlock reads are fenced\nlock-order tcp.rs:42 checked by hand\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].matches("atomics", "crates/obs/src/trace.rs", 7));
+        assert!(!entries[0].matches("lock-order", "crates/obs/src/trace.rs", 7));
+        assert!(entries[1].matches("lock-order", "crates/core/src/tcp.rs", 42));
+        assert!(!entries[1].matches("lock-order", "crates/core/src/tcp.rs", 43));
+    }
+
+    #[test]
+    fn reasonless_entries_are_rejected() {
+        let err = parse("atomics trace.rs:12\n").unwrap_err();
+        assert!(err.message.contains("no reason"), "{err}");
+        assert_eq!(err.source_line, 1);
+    }
+}

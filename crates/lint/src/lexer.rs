@@ -1,0 +1,391 @@
+//! A minimal Rust lexer.
+//!
+//! The passes only need identifiers, integer literals and punctuation with
+//! accurate line numbers; string/char/float literals are collapsed to bare
+//! markers so their contents can never be mistaken for code. Comments are
+//! skipped entirely except for `// lint: allow(pass, reason)` markers, which
+//! are collected so passes can honour inline suppressions.
+
+/// A token kind. Literal payloads the passes never inspect are dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// An integer literal; `u64::MAX` when the value does not fit or parse.
+    Int(u64),
+    /// A float literal.
+    Float,
+    /// A string literal (including raw and byte strings).
+    Str,
+    /// A char or byte literal.
+    Char,
+    /// One punctuation character; multi-char operators appear as runs.
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub(crate) fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub(crate) fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// Whether this token is the punctuation char `c`.
+    pub(crate) fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub(crate) tok: Tok,
+    pub(crate) line: u32,
+}
+
+/// An inline `// lint: allow(pass, reason)` suppression marker. It applies
+/// to findings on its own line and the line directly below it, so both
+/// trailing and preceding-line placement work.
+#[derive(Debug, Clone)]
+pub(crate) struct AllowMarker {
+    pub(crate) line: u32,
+    pub(crate) pass: String,
+    pub(crate) reason: String,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub(crate) struct Lexed {
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) allows: Vec<AllowMarker>,
+}
+
+/// Lexes `src`. Unrecognised bytes become punctuation tokens; the lexer
+/// never fails, matching the "best effort over real source" contract of
+/// the passes.
+pub(crate) fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if let Some(marker) = parse_allow(&text, line) {
+                out.allows.push(marker);
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            let l = line;
+            i = skip_string(&chars, i, &mut line);
+            out.tokens.push(Token {
+                tok: Tok::Str,
+                line: l,
+            });
+        } else if (c == 'r' || c == 'b') && starts_string_like(&chars, i) {
+            let l = line;
+            i = skip_string_like(&chars, i, &mut line);
+            out.tokens.push(Token {
+                tok: Tok::Str,
+                line: l,
+            });
+        } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            let l = line;
+            i = skip_char(&chars, i + 1);
+            out.tokens.push(Token {
+                tok: Tok::Char,
+                line: l,
+            });
+        } else if c == '\'' {
+            // Char literal or lifetime.
+            if chars.get(i + 1) == Some(&'\\')
+                || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''))
+            {
+                let l = line;
+                i = skip_char(&chars, i);
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line: l,
+                });
+            } else {
+                i += 1;
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lifetime,
+                    line,
+                });
+            }
+        } else if c.is_ascii_digit() {
+            let start = i;
+            let mut float = false;
+            i += 1;
+            while i < chars.len() && (chars[i] == '_' || chars[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            // A `.` continues the literal only when a digit follows (so
+            // `0..n` stays two range dots).
+            if i < chars.len()
+                && chars[i] == '.'
+                && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+            {
+                float = true;
+                i += 1;
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+            }
+            let tok = if float {
+                Tok::Float
+            } else {
+                let text: String = chars[start..i].iter().filter(|c| **c != '_').collect();
+                Tok::Int(parse_int(&text))
+            };
+            out.tokens.push(Token { tok, line });
+        } else if c == '_' || c.is_alphabetic() {
+            let start = i;
+            i += 1;
+            while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.tokens.push(Token {
+                tok: Tok::Ident(text),
+                line,
+            });
+        } else {
+            out.tokens.push(Token {
+                tok: Tok::Punct(c),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string literal
+/// rather than an identifier.
+fn starts_string_like(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'"') {
+            return true;
+        }
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    // At `r`: raw string is r"..." or r#"..."# (any number of hashes);
+    // `r#ident` (raw identifier) is not a string because no quote follows
+    // its hashes.
+    j += 1;
+    let mut k = j;
+    while chars.get(k) == Some(&'#') {
+        k += 1;
+    }
+    chars.get(k) == Some(&'"')
+}
+
+/// Skips a raw/byte string starting at `i`; returns the index just past it.
+fn skip_string_like(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'r') {
+        i += 1;
+        let mut hashes = 0;
+        while chars.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        loop {
+            match chars.get(i) {
+                None => return i,
+                Some('\n') => *line += 1,
+                Some('"') => {
+                    let mut k = 0;
+                    while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        return i + 1 + hashes;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    } else {
+        skip_string(chars, i, line)
+    }
+}
+
+/// Skips a `"..."` string (with escapes) starting at the opening quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `'x'` char literal starting at the opening quote.
+fn skip_char(chars: &[char], mut i: usize) -> usize {
+    i += 1;
+    if chars.get(i) == Some(&'\\') {
+        i += 2;
+    }
+    while i < chars.len() && chars[i] != '\'' {
+        i += 1;
+    }
+    i + 1
+}
+
+/// Best-effort integer parse for decimal and `0x`/`0o`/`0b` literals,
+/// ignoring type suffixes; `u64::MAX` when nothing parses.
+fn parse_int(text: &str) -> u64 {
+    let (radix, digits) = if let Some(hex) = text.strip_prefix("0x") {
+        (16, hex)
+    } else if let Some(oct) = text.strip_prefix("0o") {
+        (8, oct)
+    } else if let Some(bin) = text.strip_prefix("0b") {
+        (2, bin)
+    } else {
+        (10, text)
+    };
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    u64::from_str_radix(&digits[..end], radix).unwrap_or(u64::MAX)
+}
+
+/// Parses `// lint: allow(pass, reason)` out of one line comment.
+fn parse_allow(comment: &str, line: u32) -> Option<AllowMarker> {
+    let rest = comment.split_once("lint:")?.1;
+    let inner = rest.trim().strip_prefix("allow(")?;
+    let inner = inner.rsplit_once(')')?.0;
+    let (pass, reason) = match inner.split_once(',') {
+        Some((p, r)) => (p.trim(), r.trim()),
+        None => (inner.trim(), ""),
+    };
+    Some(AllowMarker {
+        line,
+        pass: pass.to_string(),
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.tok.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "lock() inside a string";
+            // lock() inside a comment
+            /* nested /* lock() */ comment */
+            let b = r#"raw lock()"#;
+            let c = b"bytes";
+            let d = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"lock".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn ints_parse_and_ranges_do_not_merge() {
+        let toks = lex("match t { 0 => a, 17 => b, 0x1f => c }; for i in 0..3 {}").tokens;
+        let ints: Vec<u64> = toks
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Int(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ints, vec![0, 17, 0x1f, 0, 3]);
+    }
+
+    #[test]
+    fn allow_markers_are_collected() {
+        let src =
+            "let x = 1;\n// lint: allow(atomics, the fence lives in the caller)\nx.load(Relaxed);";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let m = &lexed.allows[0];
+        assert_eq!((m.line, m.pass.as_str()), (2, "atomics"));
+        assert_eq!(m.reason, "the fence lives in the caller");
+    }
+
+    #[test]
+    fn lines_survive_multiline_constructs() {
+        let src = "/* a\nb */\nfn f() {}\n\"x\ny\"\nfn g() {}";
+        let toks = lex(src).tokens;
+        let g = toks.iter().find(|t| t.tok.is_ident("g")).unwrap();
+        assert_eq!(g.line, 6);
+    }
+}

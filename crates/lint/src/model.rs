@@ -1,0 +1,351 @@
+//! Source model: lexed files, brace-matched functions, and the helpers the
+//! passes share (brace matching, receiver chains, statement boundaries).
+
+use crate::lexer::{self, Lexed, Tok, Token};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One `.rs` file under `crates/*/src`.
+pub(crate) struct SourceFile {
+    /// Path relative to the scan root, with `/` separators (stable across
+    /// platforms so `lint.allow` entries and diagnostics are portable).
+    pub(crate) rel: String,
+    /// The file stem, e.g. `tcp` — used to namespace lock keys.
+    pub(crate) stem: String,
+    pub(crate) lexed: Lexed,
+    pub(crate) functions: Vec<Function>,
+}
+
+/// A scanned `fn` item.
+pub(crate) struct Function {
+    pub(crate) name: String,
+    /// Token range of the signature: `fn` keyword up to (excluding) the
+    /// body `{`.
+    pub(crate) sig: (usize, usize),
+    /// Token range of the body including both braces.
+    pub(crate) body: (usize, usize),
+    pub(crate) line: u32,
+    /// The `impl` type this function sits in, if any.
+    pub(crate) impl_type: Option<String>,
+}
+
+impl SourceFile {
+    pub(crate) fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+}
+
+/// Every scanned file of the workspace.
+pub(crate) struct Workspace {
+    pub(crate) files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walks `root/crates/*/src/**/*.rs`, lexes and scans every file.
+    /// `mod tests` blocks are skipped: the passes guard library invariants,
+    /// and test-local locks/atomics would only add noise.
+    pub(crate) fn load(root: &Path) -> io::Result<Workspace> {
+        let crates_dir = root.join("crates");
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.join("src").is_dir())
+            .collect();
+        crate_dirs.sort();
+        let mut files = Vec::new();
+        for crate_dir in crate_dirs {
+            let mut sources = Vec::new();
+            collect_rs(&crate_dir.join("src"), &mut sources)?;
+            sources.sort();
+            for path in sources {
+                let text = std::fs::read_to_string(&path)?;
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let stem = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let lexed = lexer::lex(&text);
+                let functions = scan_functions(&lexed.tokens);
+                files.push(SourceFile {
+                    rel,
+                    stem,
+                    lexed,
+                    functions,
+                });
+            }
+        }
+        Ok(Workspace { files })
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Returns the index of the `}` matching the `{` at `open`.
+pub(crate) fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.tok.is_punct('{') {
+            depth += 1;
+        } else if t.tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Returns the index of the `)`/`]` matching the opener at `open`.
+pub(crate) fn match_delim(toks: &[Token], open: usize, close: char) -> usize {
+    let open_ch = match &toks[open].tok {
+        Tok::Punct(c) => *c,
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.tok.is_punct(open_ch) {
+            depth += 1;
+        } else if t.tok.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Walks back from the matched closer at `close` to its opener.
+pub(crate) fn match_back(toks: &[Token], close: usize, open_ch: char, close_ch: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = close;
+    loop {
+        if toks[i].tok.is_punct(close_ch) {
+            depth += 1;
+        } else if toks[i].tok.is_punct(open_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}
+
+/// The receiver of a `.method(...)` call whose `.` is at index `dot`:
+/// the nearest field/variable identifier, plus whether an index expression
+/// (`[...]`) sits between it and the method — `self.conns[i].lock()` is
+/// `("conns", true)`.
+pub(crate) fn receiver(toks: &[Token], dot: usize) -> Option<(String, bool)> {
+    if dot == 0 {
+        return None;
+    }
+    let mut k = dot - 1;
+    let mut indexed = false;
+    if toks[k].tok.is_punct(']') {
+        indexed = true;
+        k = match_back(toks, k, '[', ']');
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    if toks[k].tok.is_punct(')') {
+        // Receiver is itself a call, e.g. `global().lock()`; name it after
+        // the called function.
+        k = match_back(toks, k, '(', ')');
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    toks[k].tok.ident().map(|s| (s.to_string(), indexed))
+}
+
+/// Scans the token stream for `fn` items, tracking enclosing `impl` blocks
+/// and skipping `mod tests { ... }`.
+fn scan_functions(toks: &[Token]) -> Vec<Function> {
+    let mut fns = Vec::new();
+    let mut impls: Vec<(String, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while impls.last().is_some_and(|&(_, end)| i >= end) {
+            impls.pop();
+        }
+        match toks[i].tok.ident() {
+            Some("mod") if toks.get(i + 1).is_some_and(|t| t.tok.is_ident("tests")) => {
+                let mut j = i + 2;
+                while j < toks.len() && !toks[j].tok.is_punct('{') && !toks[j].tok.is_punct(';') {
+                    j += 1;
+                }
+                i = if j < toks.len() && toks[j].tok.is_punct('{') {
+                    match_brace(toks, j) + 1
+                } else {
+                    j + 1
+                };
+                continue;
+            }
+            Some("impl") => {
+                if let Some((name, open)) = scan_impl_header(toks, i) {
+                    impls.push((name, match_brace(toks, open)));
+                    i = open + 1;
+                    continue;
+                }
+            }
+            Some("fn") => {
+                if let Some(func) = scan_fn(toks, i, impls.last().map(|(n, _)| n.clone())) {
+                    let next = func.body.0 + 1;
+                    fns.push(func);
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Parses an `impl` header starting at `at`; returns the implemented type
+/// name and the index of the body `{`.
+fn scan_impl_header(toks: &[Token], at: usize) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut j = at + 1;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') if angle <= 0 => {
+                return last_ident.map(|name| (name, j));
+            }
+            Tok::Punct(';') if angle <= 0 => return None,
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => {
+                // `->` never appears in an impl header; plain decrement.
+                angle -= 1;
+            }
+            Tok::Ident(s) if angle <= 0 => {
+                // `impl Trait for Type` — the type after `for` wins, so
+                // reset on `for` and keep the last depth-0 identifier.
+                if s == "for" {
+                    last_ident = None;
+                } else {
+                    last_ident = Some(s.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses a `fn` item starting at the `fn` keyword.
+fn scan_fn(toks: &[Token], at: usize, impl_type: Option<String>) -> Option<Function> {
+    let name = toks.get(at + 1)?.tok.ident()?.to_string();
+    let mut angle = 0i32;
+    let mut j = at + 2;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') if angle <= 0 => {
+                let close = match_brace(toks, j);
+                return Some(Function {
+                    name,
+                    sig: (at, j),
+                    body: (j, close),
+                    line: toks[at].line,
+                    impl_type,
+                });
+            }
+            Tok::Punct(';') if angle <= 0 => return None,
+            Tok::Punct('<') => angle += 1,
+            // `->` introduces the return type; its `>` is not a closer.
+            Tok::Punct('>') if !toks[j - 1].tok.is_punct('-') => angle -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> (Vec<Token>, Vec<Function>) {
+        let lexed = lexer::lex(src);
+        let fns = scan_functions(&lexed.tokens);
+        (lexed.tokens, fns)
+    }
+
+    #[test]
+    fn functions_and_impls_are_found() {
+        let src = "
+            impl<T: Clone> Foo<T> {
+                fn a(&self) -> Option<u32> { Some(1) }
+            }
+            impl Backend for Bar {
+                fn b(&self) {}
+            }
+            fn free() {}
+        ";
+        let (_, fns) = scan(src);
+        let names: Vec<(&str, Option<&str>)> = fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("a", Some("Foo")), ("b", Some("Bar")), ("free", None)]
+        );
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = "fn real() {} mod tests { fn fake() {} } fn also_real() {}";
+        let (_, fns) = scan(src);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real", "also_real"]);
+    }
+
+    #[test]
+    fn trait_method_declarations_without_bodies_are_ignored() {
+        let src = "trait T { fn decl(&self) -> Vec<u8>; fn with_default(&self) {} }";
+        let (_, fns) = scan(src);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default"]);
+    }
+
+    #[test]
+    fn receiver_chains_resolve() {
+        let (toks, _) = scan("fn f(&self) { self.conns[t.index()].lock(); self.state.lock(); }");
+        let dots: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|&(i, t)| {
+                t.tok.is_punct('.') && toks.get(i + 1).is_some_and(|n| n.tok.is_ident("lock"))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(receiver(&toks, dots[0]), Some(("conns".into(), true)));
+        assert_eq!(receiver(&toks, dots[1]), Some(("state".into(), false)));
+    }
+}

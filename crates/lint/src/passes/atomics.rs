@@ -1,0 +1,120 @@
+//! Pass 2 — atomics discipline.
+//!
+//! For every atomic field (keyed per file by the receiver identifier of a
+//! `.load(..)` / `.store(..)` / RMW call that names a memory ordering), the
+//! pass collects the set of `Ordering`s in use. A field that mixes
+//! `Relaxed` with any of `Acquire`/`Release`/`AcqRel`/`SeqCst` implements
+//! a fence-style protocol (the flight recorder's seqlock is the house
+//! example), so every function performing one of its *Relaxed* accesses
+//! must also contain an explicit `fence(..)` — exactly the invariant whose
+//! violation slipped through review in the seqlock writer once already.
+//! Suppress deliberate exceptions with `// lint: allow(atomics, reason)`.
+
+use super::PassOutput;
+use crate::model::{receiver, Workspace};
+use crate::{Finding, Severity};
+use std::collections::BTreeMap;
+
+const PASS: &str = "atomics";
+
+const ATOMIC_METHODS: [&str; 14] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "fetch_min",
+    "fetch_max",
+    "fetch_nand",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+struct Access {
+    func: usize,
+    line: u32,
+    relaxed: bool,
+    strong: bool,
+}
+
+pub(crate) fn run(ws: &Workspace, out: &mut PassOutput) {
+    for file in &ws.files {
+        let toks = file.tokens();
+        // field name -> accesses (collected across the whole file so the
+        // writer and reader sides of a protocol see each other).
+        let mut fields: BTreeMap<String, Vec<Access>> = BTreeMap::new();
+        let mut fence_in_fn = vec![false; file.functions.len()];
+        for (fi, func) in file.functions.iter().enumerate() {
+            let (open, close) = func.body;
+            let mut j = open + 1;
+            while j + 2 < close {
+                if toks[j].tok.is_ident("fence") && toks[j + 1].tok.is_punct('(') {
+                    fence_in_fn[fi] = true;
+                }
+                let is_atomic = toks[j].tok.is_punct('.')
+                    && toks[j + 1]
+                        .tok
+                        .ident()
+                        .is_some_and(|m| ATOMIC_METHODS.contains(&m))
+                    && toks[j + 2].tok.is_punct('(');
+                if is_atomic {
+                    let args_end = crate::model::match_delim(toks, j + 2, ')');
+                    let mut relaxed = false;
+                    let mut strong = false;
+                    for t in &toks[j + 3..args_end] {
+                        if let Some(ord) = t.tok.ident() {
+                            if ORDERINGS.contains(&ord) {
+                                relaxed |= ord == "Relaxed";
+                                strong |= ord != "Relaxed";
+                            }
+                        }
+                    }
+                    if relaxed || strong {
+                        if let Some((name, _)) = receiver(toks, j) {
+                            // A single call mixing orderings (e.g. a CAS
+                            // with a Relaxed failure ordering) synchronises
+                            // by itself; only pure-Relaxed accesses need a
+                            // pairing fence.
+                            fields.entry(name).or_default().push(Access {
+                                func: fi,
+                                line: toks[j].line,
+                                relaxed: relaxed && !strong,
+                                strong,
+                            });
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+        for (name, accesses) in fields {
+            let mixed = accesses.iter().any(|a| a.relaxed) && accesses.iter().any(|a| a.strong);
+            if !mixed {
+                continue;
+            }
+            for a in &accesses {
+                if a.relaxed && !fence_in_fn[a.func] {
+                    out.findings.push(Finding::new(
+                        PASS,
+                        &file.rel,
+                        a.line,
+                        Severity::Error,
+                        format!(
+                            "atomic field `{}` mixes Relaxed with acquire/release \
+                             orderings across this file, but `fn {}` does a Relaxed \
+                             access with no fence(..) in sight — the PR 7 seqlock bug \
+                             class; add the pairing fence or `// lint: allow(atomics, \
+                             reason)`",
+                            name, file.functions[a.func].name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

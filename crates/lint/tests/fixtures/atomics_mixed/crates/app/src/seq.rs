@@ -1,0 +1,24 @@
+//! Seeded violation: `seq` mixes Relaxed and Acquire orderings across the
+//! file, so every pure-Relaxed access needs a fence in its function.
+//! `begin_write` lacks one (the seeded bug); `end_write` has it; `probe`
+//! is deliberately suppressed with an inline marker.
+
+impl SeqLock {
+    fn begin_write(&self) {
+        self.seq.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn end_write(&self) {
+        std::sync::atomic::fence(Ordering::Release);
+        self.seq.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    fn probe(&self) -> u64 {
+        // lint: allow(atomics, monotonicity probe for stats only; stale reads are fine)
+        self.seq.load(Ordering::Relaxed)
+    }
+}

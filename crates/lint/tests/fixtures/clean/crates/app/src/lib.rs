@@ -1,0 +1,51 @@
+//! Clean fixture: consistent lock order, single-ordering atomics, and a
+//! guard-accumulating loop that carries the ascending-order assertion.
+//! Every pass must report nothing here.
+
+pub struct App {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    epoch: AtomicU64,
+}
+
+impl App {
+    fn ordered(&self) {
+        let a = self.a.lock();
+        let b = self.b.lock();
+        *b += *a;
+    }
+
+    fn also_ordered(&self) -> u64 {
+        let a = self.a.lock();
+        let b = self.b.lock();
+        *a + *b
+    }
+
+    fn tick(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn current(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+pub struct Cluster {
+    conns: Vec<Mutex<u64>>,
+}
+
+impl Cluster {
+    fn pipelined(&self, targets: &[usize]) -> u64 {
+        let mut in_flight = Vec::new();
+        for &t in targets {
+            let conn = self.conns[t].lock();
+            debug_assert!(in_flight.last().is_none_or(|&(prev, _)| prev < t));
+            in_flight.push((t, conn));
+        }
+        let mut sum = 0;
+        for (t, conn) in in_flight {
+            sum += *conn + t as u64;
+        }
+        sum
+    }
+}

@@ -1,0 +1,14 @@
+//! Clean hot-path fixture: observability sits behind a hoisted
+//! enabled-check, the house pattern.
+
+pub fn dispatch(op: u32, enabled: bool) -> u32 {
+    if enabled {
+        event!(Level::INFO, "dispatch");
+        start_phase("dispatch");
+    }
+    op + 1
+}
+
+pub fn quiet(op: u32) -> u32 {
+    op * 2
+}

@@ -1,0 +1,19 @@
+//! Clean wire fixture: encode and decode agree on the tag set exactly.
+
+impl Frame {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Ping => buf.put_u8(0),
+            Frame::Pong => buf.put_u8(1),
+        }
+    }
+
+    fn decode(buf: &mut Reader) -> Option<Frame> {
+        let tag = buf.get_u8()?;
+        match tag {
+            0 => Some(Frame::Ping),
+            1 => Some(Frame::Pong),
+            _ => None,
+        }
+    }
+}

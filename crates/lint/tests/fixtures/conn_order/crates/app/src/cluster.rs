@@ -1,0 +1,27 @@
+//! Seeded violations of the conn-lock discipline: both functions
+//! accumulate guards from an indexed lock family across loop iterations —
+//! `scatter_no_assert` has no order assertion at all, and
+//! `scatter_descending` asserts the *wrong* (descending) order. Each must
+//! be flagged; only a strictly-ascending assertion passes (see the clean
+//! fixture's `pipelined`).
+
+impl Cluster {
+    fn scatter_no_assert(&self, targets: &[usize]) {
+        let mut in_flight = Vec::new();
+        for &t in targets {
+            let conn = self.conns[t].lock();
+            in_flight.push((t, conn));
+        }
+        drop(in_flight);
+    }
+
+    fn scatter_descending(&self, targets: &[usize]) {
+        let mut in_flight = Vec::new();
+        for &t in targets {
+            let conn = self.conns[t].lock();
+            debug_assert!(in_flight.last().is_none_or(|&(prev, _)| prev > t));
+            in_flight.push((t, conn));
+        }
+        drop(in_flight);
+    }
+}

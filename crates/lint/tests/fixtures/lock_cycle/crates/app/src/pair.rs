@@ -1,0 +1,22 @@
+//! Seeded violations: an AB-BA lock-order cycle between `forward` and
+//! `backward`, and a re-acquisition of a held lock in `reenter`.
+
+impl Pair {
+    fn forward(&self) {
+        let a = self.a.lock();
+        let b = self.b.lock();
+        *b += *a;
+    }
+
+    fn backward(&self) {
+        let b = self.b.lock();
+        let a = self.a.lock();
+        *a += *b;
+    }
+
+    fn reenter(&self) {
+        let first = self.a.lock();
+        let again = self.a.lock();
+        *again += *first;
+    }
+}

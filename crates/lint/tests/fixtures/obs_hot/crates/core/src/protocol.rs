@@ -1,0 +1,14 @@
+//! Seeded violations: unguarded observability in a hot file — a bare
+//! `event!` in `dispatch` (line 7) and a bare tracer call in `append`
+//! (line 12). `suppress_one.allow` next to this fixture suppresses the
+//! first one by line when passed explicitly.
+
+pub fn dispatch(op: u32) -> u32 {
+    event!(Level::INFO, "dispatch", op);
+    op + 1
+}
+
+pub fn append(len: usize) -> usize {
+    start_phase("append");
+    len + 1
+}

@@ -1,0 +1,27 @@
+//! Seeded violations: encode claims tag 5 that decode never matches,
+//! decode claims tag 1 twice, and decode matches tag 7 that encode never
+//! produces.
+
+impl Frame {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Ping => buf.put_u8(0),
+            Frame::Pong => buf.put_u8(1),
+            Frame::Data(d) => {
+                buf.put_u8(5);
+                buf.put_u16(d.len() as u16);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Reader) -> Option<Frame> {
+        let tag = buf.get_u8()?;
+        match tag {
+            0 => Some(Frame::Ping),
+            1 => Some(Frame::Pong),
+            1 => Some(Frame::PongAgain),
+            7 => Some(Frame::Ghost),
+            _ => None,
+        }
+    }
+}

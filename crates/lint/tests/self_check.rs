@@ -1,0 +1,52 @@
+//! The workspace must be clean under its own linter and the committed
+//! baseline — this is the same gate CI's `lint` job enforces, run as a
+//! plain test so `cargo test` catches regressions locally too.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_baseline() {
+    let report = blockrep_lint::run(&blockrep_lint::Config::new(workspace_root()))
+        .expect("lint run succeeds");
+    assert!(report.files > 20, "workspace walk found too few files");
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn key_invariants_are_positively_verified() {
+    let report = blockrep_lint::run(&blockrep_lint::Config::new(workspace_root()))
+        .expect("lint run succeeds");
+    // The ascending-conn-lock-order discipline in TcpCluster::pipelined
+    // must be machine-verified, not merely "no finding".
+    assert!(
+        report
+            .verified
+            .iter()
+            .any(|v| v.contains("tcp.rs") && v.contains("ascending")),
+        "conn-lock ascending-order discipline not verified:\n{:#?}",
+        report.verified
+    );
+    // Both wire enums must have their tag bijection confirmed.
+    for ty in ["WireRequest", "WireResponse"] {
+        assert!(
+            report
+                .verified
+                .iter()
+                .any(|v| v.contains("wire.rs") && v.contains(ty)),
+            "wire-tag coverage for {ty} not verified:\n{:#?}",
+            report.verified
+        );
+    }
+}

@@ -133,9 +133,11 @@ impl<M> Network<M> {
     /// Whether `from` can currently deliver to `to`: both up and in the same
     /// partition.
     pub fn can_deliver(&self, from: SiteId, to: SiteId) -> bool {
-        self.up.read()[from.index()]
-            && self.up.read()[to.index()]
-            && self.topology.read().reachable(from, to)
+        // One read guard for both sites: a second `self.up.read()` in the
+        // same expression would overlap the first, and the vendored RwLock
+        // can deadlock a reader that re-enters while a writer is queued.
+        let up = self.up.read();
+        up[from.index()] && up[to.index()] && self.topology.read().reachable(from, to)
     }
 
     /// Delivers one message, charging one transmission to `(op, kind)`.

@@ -333,7 +333,13 @@ fn vectored_batch_overflowing_the_journal_survives_a_post_flush_crash() {
 
         fn crash_image(&self) -> MemStore {
             let dev = MemStore::new(self.inner.num_blocks(), self.inner.block_size());
-            for (i, b) in self.durable.lock().expect("platter lock").iter().enumerate() {
+            for (i, b) in self
+                .durable
+                .lock()
+                .expect("platter lock")
+                .iter()
+                .enumerate()
+            {
                 dev.write_block(BlockIndex::new(i as u64), b.clone())
                     .expect("image block");
             }
@@ -370,7 +376,10 @@ fn vectored_batch_overflowing_the_journal_survives_a_post_flush_crash() {
         .collect();
     dev.write_blocks(&writes).expect("vectored write");
     dev.flush().expect("acknowledge");
-    assert!(dev.stats().truncations >= 1, "the batch forced a checkpoint");
+    assert!(
+        dev.stats().truncations >= 1,
+        "the batch forced a checkpoint"
+    );
 
     // Crash: unsynced data writes evaporate; the journal device is synced
     // by every commit and truncation, so its raw bytes are its durable
