@@ -12,6 +12,7 @@
 
 pub mod fs_bench;
 pub mod fsload;
+pub mod load_bench;
 pub mod protocol_bench;
 pub mod report;
 pub mod storage_bench;

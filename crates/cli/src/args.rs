@@ -27,7 +27,7 @@ pub struct Parsed {
 
 /// Flags that take no value (their presence means "on"). Everything else
 /// written as `--key` consumes the next argument as its value.
-const BOOLEAN_FLAGS: &[&str] = &["stats", "trace", "journal", "journaled", "deny"];
+const BOOLEAN_FLAGS: &[&str] = &["stats", "trace", "journal", "journaled", "deny", "leases"];
 
 /// A command-line usage error, printed to stderr with exit code 2.
 #[derive(Debug, Clone, PartialEq, Eq)]

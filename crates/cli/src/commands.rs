@@ -27,13 +27,15 @@ usage:
       --seed N --seeds K --steps L         three runtimes; fails with the
       --scheme mcv|ac|nac                  shrunk schedule and its seed, and
       --trace-out PATH --journaled         always prints a metrics snapshot
-                                           at exit; --trace-out writes a
+      --leases                             at exit; --trace-out writes a
                                            flight-recorder dump (Chrome
                                            trace JSON) of the last schedule
                                            (the shrunk one on failure);
                                            --journaled runs every site on a
                                            write-ahead journal and checks
-                                           the stricter durability oracle
+                                           the stricter durability oracle;
+                                           --leases enables read offload and
+                                           schedules stale-lease faults
   blockrep bench [flags]                   protocol throughput/latency suite
       --scheme S --sites N --blocks B      over all runtimes and fan-out
       --block-size Z --ops K               modes; writes BENCH_protocol.json
@@ -53,6 +55,13 @@ usage:
       --sites N --blocks B                 matrix (scheme x runtime x io)
       --block-size Z                       from the causal tracer; writes
       --net multicast|unicast --out PATH   BENCH_trace.json with --out
+      --latency-us D
+  blockrep bench --suite load [flags]      closed-loop concurrent-client fleet
+      --scheme S --sites N --blocks B      (uniform + zipfian keys) on the
+      --block-size Z --ops K               live and mux-TCP runtimes, leases
+      --clients 1,4,16,64,256              off/on: throughput-scaling curves
+      --write-every W --out PATH           and p99 under contention; writes
+      --net multicast|unicast              BENCH_load.json with --out
       --latency-us D
   blockrep bench [--suite S] --check PATH  validate an emitted report
   blockrep trace [flags]                   run one traced workload; print its
@@ -245,6 +254,7 @@ fn run_chaos(parsed: &Parsed) -> Result<(), UsageError> {
     let seeds = parsed.flag_u64("seeds", 1)?;
     let steps = parsed.flag_usize("steps", 40)?;
     let journaled = parsed.flag_bool("journaled");
+    let leases = parsed.flag_bool("leases");
     let trace_out = parsed.flag("trace-out").map(str::to_string);
     let schemes: Vec<Scheme> = match parsed.flag("scheme") {
         None => Scheme::ALL.to_vec(),
@@ -261,9 +271,15 @@ fn run_chaos(parsed: &Parsed) -> Result<(), UsageError> {
     let mut outcome = Ok(());
     'all: for scheme in schemes {
         for seed in first_seed..first_seed + seeds {
-            match chaos::run_seed_with(seed, scheme, steps, journaled) {
+            match chaos::run_seed_opts(seed, scheme, steps, journaled, leases) {
                 Ok(report) => {
-                    let tag = if journaled { " journaled" } else { "" };
+                    let mut tag = String::new();
+                    if journaled {
+                        tag.push_str(" journaled");
+                    }
+                    if leases {
+                        tag.push_str(" leased");
+                    }
                     println!(
                         "seed {seed} {scheme}{tag}: ok ({} steps, {} faults fired, {} reads checked)",
                         report.steps, report.faults_fired, report.reads_checked
@@ -287,9 +303,9 @@ fn run_chaos(parsed: &Parsed) -> Result<(), UsageError> {
     }
     if outcome.is_ok() {
         if let (Some(path), Some((seed, scheme))) = (&trace_out, last) {
-            let mut script = chaos::generate(seed, scheme, steps);
+            let mut script = chaos::generate_with(seed, scheme, steps, leases);
             script.cfg.set_journaled(journaled);
-            let dump = chaos::trace_schedule(&script.cfg, &script.steps);
+            let dump = chaos::trace_schedule_with(&script.cfg, &script.steps, leases);
             std::fs::write(path, dump).map_err(|e| UsageError(format!("chaos: {path}: {e}")))?;
             println!("wrote flight-recorder trace {path}");
         }
@@ -313,8 +329,9 @@ fn run_bench(parsed: &Parsed) -> Result<(), UsageError> {
         Some("fs") => run_bench_fs(parsed),
         Some("storage") => run_bench_storage(parsed),
         Some("trace") => run_bench_trace(parsed),
+        Some("load") => run_bench_load(parsed),
         Some(other) => Err(UsageError(format!(
-            "--suite: expected protocol, fs, storage or trace, got {other:?}"
+            "--suite: expected protocol, fs, storage, trace or load, got {other:?}"
         ))),
     }
 }
@@ -346,6 +363,62 @@ fn run_bench_protocol(parsed: &Parsed) -> Result<(), UsageError> {
         let json = report.to_json();
         // Never emit a report the --check path would reject.
         protocol_bench::validate(&json)
+            .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
+        std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_bench_load(parsed: &Parsed) -> Result<(), UsageError> {
+    use blockrep_bench::load_bench::{self, LoadBenchConfig};
+    if let Some(path) = parsed.flag("check") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        load_bench::validate(&text)
+            .map_err(|e| UsageError(format!("bench: {path}: invalid report: {e}")))?;
+        println!("{path}: valid {}", load_bench::SCHEMA);
+        return Ok(());
+    }
+    let mut cfg = LoadBenchConfig::new(parsed.flag_scheme("scheme", Scheme::Voting)?);
+    cfg.sites = parsed.flag_usize("sites", cfg.sites)?;
+    cfg.blocks = parsed.flag_u64("blocks", cfg.blocks)?;
+    cfg.block_size = parsed.flag_usize("block-size", cfg.block_size)?;
+    cfg.total_ops = parsed.flag_u64("ops", cfg.total_ops)?;
+    cfg.write_every = parsed.flag_u64("write-every", cfg.write_every)?;
+    cfg.mode = parsed.flag_mode("net", cfg.mode)?;
+    cfg.link_latency_us = parsed.flag_u64("latency-us", cfg.link_latency_us)?;
+    if let Some(raw) = parsed.flag("clients") {
+        cfg.clients = raw
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|_| UsageError(format!("--clients: expected integers, got {p:?}")))
+            })
+            .collect::<Result<Vec<usize>, UsageError>>()?;
+        if cfg.clients.is_empty() {
+            return Err(UsageError("--clients: empty list".into()));
+        }
+    }
+    println!(
+        "bench load: scheme {}, n = {}, {} blocks x {} B, ~{} ops/case over clients {:?}, \
+         {}, link delay {} us",
+        cfg.scheme,
+        cfg.sites,
+        cfg.blocks,
+        cfg.block_size,
+        cfg.total_ops,
+        cfg.clients,
+        cfg.mode,
+        cfg.link_latency_us
+    );
+    let report = load_bench::run_suite(&cfg);
+    print!("{}", report.to_table());
+    if let Some(path) = parsed.flag("out") {
+        let json = report.to_json();
+        // Never emit a report the --check path would reject.
+        load_bench::validate(&json)
             .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
         std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
         println!("wrote {path}");

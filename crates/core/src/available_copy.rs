@@ -86,7 +86,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
     b: &B,
     origin: SiteId,
     k: BlockIndex,
-    data: BlockData,
+    data: &BlockData,
     naive: bool,
 ) -> DeviceResult<()> {
     ensure_serving(b, origin)?;
@@ -128,7 +128,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
     }
     {
         let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
-        b.apply_write(origin, origin, k, &data, v_new);
+        b.apply_write(origin, origin, k, data, v_new);
     }
     event!(
         "acwrite.fanout",

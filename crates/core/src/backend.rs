@@ -18,6 +18,7 @@
 //! fan-out accounting (multicast vs. unique addressing) only the protocol
 //! layer knows.
 
+use crate::locks::{BlockLockTable, LeaseTable};
 use blockrep_net::{DeliveryMode, MsgKind, OpClass, TrafficCounter};
 use blockrep_storage::StorageFault;
 use blockrep_types::{
@@ -272,6 +273,30 @@ pub trait Backend: Send + Sync {
     /// ([`Gather::EarlyQuorum`]). Opt-in per runtime; off by default.
     fn early_quorum(&self) -> bool {
         false
+    }
+
+    /// The coordinator-side sharded block-lock table. The protocol entry
+    /// points hold the touched blocks' shards for the duration of each
+    /// operation, so clients of the same runtime handle serialize per
+    /// block, not per cluster (see [`crate::locks`]).
+    fn block_locks(&self) -> &BlockLockTable;
+
+    /// The coordinator-side read-lease registry behind Harmonia-style read
+    /// offload (see [`crate::locks`]). Disabled by default.
+    fn leases(&self) -> &LeaseTable;
+
+    /// Fetches the current copy of block `k` from `to` to validate and
+    /// serve a read lease. Semantically identical to
+    /// [`fetch_block`](Self::fetch_block) — the default delegates — but
+    /// carried as its own wire request so the fault-injection layer can
+    /// target lease validation specifically (the `StaleLease` fault).
+    fn fetch_lease(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+    ) -> Option<(VersionNumber, BlockData)> {
+        self.fetch_block(from, to, k)
     }
 
     /// Scatter-gather: delivers `req` to every target (ascending site

@@ -28,7 +28,11 @@
 //! reliable network (§3.2), and injecting silent message loss there
 //! manufactures states the paper excludes, producing false alarms rather
 //! than bugs. Duplication is benign everywhere (installs are idempotent)
-//! and is scheduled for every scheme.
+//! and is scheduled for every scheme. With read leases enabled
+//! ([`generate_with`]), part of the stale-version mass becomes
+//! [`FaultKind::StaleLease`] — a lease holder answering a one-round
+//! offloaded read from before the last write — which the version check in
+//! the lease path must always catch (benign by construction).
 
 use crate::backend::Backend;
 use crate::fault::{FaultKind, FaultPlan, FaultSpec, FaultyBackend, OpReport};
@@ -137,6 +141,8 @@ pub struct ChaosFailure {
     pub scheme: Scheme,
     /// Whether the failing run used journaled devices.
     pub journaled: bool,
+    /// Whether the failing run had read leases enabled.
+    pub leases: bool,
     /// The (shrunk) failing schedule.
     pub steps: Vec<ChaosStep>,
     /// What went wrong.
@@ -180,6 +186,15 @@ pub fn format_schedule(steps: &[ChaosStep]) -> String {
 /// reads and repairs. Fill bytes are always nonzero so a zeroed block is
 /// unambiguously "never written / scrubbed".
 pub fn generate(seed: u64, scheme: Scheme, len: usize) -> ChaosScript {
+    generate_with(seed, scheme, len, false)
+}
+
+/// Like [`generate`], optionally drawing lease-targeted faults. With
+/// `leases == false` the output is byte-identical to [`generate`] — the
+/// flag only re-labels part of the stale-version probability mass as
+/// [`FaultKind::StaleLease`] (same number of RNG draws), so a leased and an
+/// unleased run of the same seed replay the same workload shape.
+pub fn generate_with(seed: u64, scheme: Scheme, len: usize, leases: bool) -> ChaosScript {
     let mut rng = StdRng::seed_from_u64(seed ^ ((scheme as u64 + 1) << 32));
     let sites = rng.random_range(3usize..=5);
     let blocks = rng.random_range(2usize..=4);
@@ -217,7 +232,7 @@ pub fn generate(seed: u64, scheme: Scheme, len: usize) -> ChaosScript {
             for _ in 0..n {
                 // Exchanges per op are bounded by a few per remote site.
                 let x = rng.random_range(0..3 * sites as u64);
-                let kind = random_kind(&mut rng, scheme);
+                let kind = random_kind(&mut rng, scheme, leases);
                 if !faults.iter().any(|&(fx, _)| fx == x) {
                     faults.push((x, kind));
                 }
@@ -228,7 +243,7 @@ pub fn generate(seed: u64, scheme: Scheme, len: usize) -> ChaosScript {
     ChaosScript { cfg, steps }
 }
 
-fn random_kind(rng: &mut StdRng, scheme: Scheme) -> FaultKind {
+fn random_kind(rng: &mut StdRng, scheme: Scheme, leases: bool) -> FaultKind {
     let message_faults_ok = scheme == Scheme::Voting;
     loop {
         let kind = match rng.random_range(0u32..100) {
@@ -240,6 +255,10 @@ fn random_kind(rng: &mut StdRng, scheme: Scheme) -> FaultKind {
             80..=89 => FaultKind::TornWrite {
                 keep: rng.random_range(1usize..8),
             },
+            // In leased mode, half the stale-version mass targets lease
+            // validation instead (same draw count either way, so leased and
+            // unleased generation consume the RNG identically).
+            90..=94 if leases => FaultKind::StaleLease,
             _ => FaultKind::StaleVersion,
         };
         let in_model =
@@ -546,7 +565,7 @@ pub fn run_on<R: ChaosRuntime>(rt: &R, steps: &[ChaosStep]) -> Result<RunOutcome
                 fill,
             } => {
                 let data = BlockData::from(vec![fill; cfg.block_size()]);
-                let res = protocol::write(&fb, origin, block, data);
+                let res = protocol::write(&fb, origin, block, &data);
                 let report = fb.end_op();
                 finalize_crashes(rt, &report);
                 oracle.record_write(block.index(), fill, res.is_ok(), &report);
@@ -673,6 +692,18 @@ fn run_caught(
 /// cross-runtime parity. Returns the first discrepancy as an error; panics
 /// in any runtime's replay are caught and reported the same way.
 pub fn check(cfg: &DeviceConfig, steps: &[ChaosStep]) -> Result<ChaosReport, String> {
+    check_with(cfg, steps, false)
+}
+
+/// Like [`check`], optionally enabling read leases on all three runtimes
+/// before the replay — leases change *how many* messages a read costs, not
+/// *what* it may return, so the oracle and the cross-runtime parity checks
+/// are exactly the ones of the unleased run.
+pub fn check_with(
+    cfg: &DeviceConfig,
+    steps: &[ChaosStep],
+    leases: bool,
+) -> Result<ChaosReport, String> {
     let det = run_caught("deterministic", || {
         let rt = Cluster::new(
             cfg.clone(),
@@ -680,15 +711,18 @@ pub fn check(cfg: &DeviceConfig, steps: &[ChaosStep]) -> Result<ChaosReport, Str
                 mode: DeliveryMode::Multicast,
             },
         );
+        rt.leases().set_enabled(leases);
         run_on(&rt, steps)
     })?;
     let live = run_caught("live", || {
         let rt = LiveCluster::spawn(cfg.clone(), DeliveryMode::Multicast);
+        rt.leases().set_enabled(leases);
         run_on(&rt, steps)
     })?;
     let tcp = run_caught("tcp", || {
         let rt = TcpCluster::spawn(cfg.clone(), DeliveryMode::Multicast)
             .map_err(|e| format!("tcp spawn failed: {e}"))?;
+        rt.leases().set_enabled(leases);
         run_on(&rt, steps)
     })?;
     for (name, other) in [("live", &live), ("tcp", &tcp)] {
@@ -733,8 +767,16 @@ fn diverges(a: &RunOutcome, b: &RunOutcome) -> Option<String> {
 /// removal of individual faults, until locally minimal. Every candidate is
 /// re-checked on all three runtimes ([`check`] reports runtime panics as
 /// failures, so panicking schedules shrink too).
-pub fn shrink(cfg: &DeviceConfig, mut steps: Vec<ChaosStep>) -> Vec<ChaosStep> {
-    let fails = |candidate: &[ChaosStep]| !candidate.is_empty() && check(cfg, candidate).is_err();
+pub fn shrink(cfg: &DeviceConfig, steps: Vec<ChaosStep>) -> Vec<ChaosStep> {
+    shrink_with(cfg, steps, false)
+}
+
+/// Like [`shrink`], re-checking every candidate with read leases enabled —
+/// a schedule that only fails leased must shrink under the leased replay.
+pub fn shrink_with(cfg: &DeviceConfig, mut steps: Vec<ChaosStep>, leases: bool) -> Vec<ChaosStep> {
+    let fails = |candidate: &[ChaosStep]| {
+        !candidate.is_empty() && check_with(cfg, candidate, leases).is_err()
+    };
     // Pass 1: remove chunks of steps, halving the chunk size.
     let mut chunk = steps.len().div_ceil(2).max(1);
     loop {
@@ -796,18 +838,40 @@ pub fn run_seed_with(
     len: usize,
     journaled: bool,
 ) -> Result<ChaosReport, Box<ChaosFailure>> {
-    let mut script = generate(seed, scheme, len);
+    run_seed_opts(seed, scheme, len, journaled, false)
+}
+
+/// The full-option seed runner: journaled devices and/or read leases. The
+/// lease flag drives both generation (lease-targeted faults become
+/// schedulable, see [`generate_with`]) and the replay (leases are switched
+/// on across all three runtimes, see [`check_with`]).
+///
+/// # Errors
+///
+/// A [`ChaosFailure`] carrying the shrunk schedule and the diagnostic of
+/// the minimal failure.
+pub fn run_seed_opts(
+    seed: u64,
+    scheme: Scheme,
+    len: usize,
+    journaled: bool,
+    leases: bool,
+) -> Result<ChaosReport, Box<ChaosFailure>> {
+    let mut script = generate_with(seed, scheme, len, leases);
     script.cfg.set_journaled(journaled);
-    let detail = match check(&script.cfg, &script.steps) {
+    let detail = match check_with(&script.cfg, &script.steps, leases) {
         Ok(report) => return Ok(report),
         Err(detail) => detail,
     };
-    let steps = shrink(&script.cfg, script.steps);
-    let detail = check(&script.cfg, &steps).err().unwrap_or(detail);
+    let steps = shrink_with(&script.cfg, script.steps, leases);
+    let detail = check_with(&script.cfg, &steps, leases)
+        .err()
+        .unwrap_or(detail);
     Err(Box::new(ChaosFailure {
         seed,
         scheme,
         journaled,
+        leases,
         steps,
         detail,
     }))
@@ -822,9 +886,9 @@ pub fn run_seed_with(
 /// original failure may well do) is caught: the dump carries every span the
 /// recorder captured up to the crash, which is the whole point.
 pub fn trace_failure(failure: &ChaosFailure) -> String {
-    let mut script = generate(failure.seed, failure.scheme, 0);
+    let mut script = generate_with(failure.seed, failure.scheme, 0, failure.leases);
     script.cfg.set_journaled(failure.journaled);
-    trace_schedule(&script.cfg, &failure.steps)
+    trace_schedule_with(&script.cfg, &failure.steps, failure.leases)
 }
 
 /// Replays `steps` on the deterministic runtime with the flight recorder
@@ -832,6 +896,12 @@ pub fn trace_failure(failure: &ChaosFailure) -> String {
 /// Previous recorder contents are cleared first; the global tracing flags
 /// are restored to their prior values afterwards.
 pub fn trace_schedule(cfg: &DeviceConfig, steps: &[ChaosStep]) -> String {
+    trace_schedule_with(cfg, steps, false)
+}
+
+/// Like [`trace_schedule`], optionally replaying with read leases enabled —
+/// required to reproduce a failure that only manifests leased.
+pub fn trace_schedule_with(cfg: &DeviceConfig, steps: &[ChaosStep], leases: bool) -> String {
     use blockrep_obs::trace;
     let was_obs = blockrep_obs::enabled();
     let was_tracing = trace::enabled();
@@ -846,6 +916,7 @@ pub fn trace_schedule(cfg: &DeviceConfig, steps: &[ChaosStep]) -> String {
                 mode: DeliveryMode::Multicast,
             },
         );
+        rt.leases().set_enabled(leases);
         run_on(&rt, &steps)
     });
     let records = trace::snapshot();

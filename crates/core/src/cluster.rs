@@ -1,6 +1,7 @@
 //! The deterministic in-process cluster.
 
 use crate::backend::Backend;
+use crate::locks::{BlockLockTable, LeaseTable};
 use crate::{protocol, replica::Replica};
 use blockrep_net::{DeliveryMode, Topology, TrafficCounter, TrafficSnapshot};
 use blockrep_types::{
@@ -58,41 +59,70 @@ pub struct ClusterOptions {
 #[derive(Debug)]
 pub struct Cluster {
     cfg: DeviceConfig,
-    replicas: Mutex<Vec<Replica>>,
+    /// One lock per site: an exchange with site `s` touches only `s`'s
+    /// replica, so exchanges with distinct sites never serialize. Ops on
+    /// the *same block* are serialized above this layer by `locks` — the
+    /// per-replica mutexes only make individual exchanges atomic.
+    replicas: Vec<Mutex<Replica>>,
     topology: RwLock<Topology>,
     counter: TrafficCounter,
     mode: DeliveryMode,
     early_quorum: AtomicBool,
+    locks: BlockLockTable,
+    leases: LeaseTable,
 }
 
 impl Cluster {
     /// Creates a freshly formatted cluster: every site available, every
     /// block zeroed at version zero.
     pub fn new(cfg: DeviceConfig, options: ClusterOptions) -> Self {
-        let replicas = cfg.site_ids().map(|s| Replica::new(s, &cfg)).collect();
+        let replicas = cfg
+            .site_ids()
+            .map(|s| Mutex::new(Replica::new(s, &cfg)))
+            .collect();
         Cluster {
             topology: RwLock::new(Topology::fully_connected(cfg.num_sites())),
-            replicas: Mutex::new(replicas),
+            replicas,
             counter: TrafficCounter::new(),
             mode: options.mode,
             early_quorum: AtomicBool::new(false),
+            locks: BlockLockTable::new(),
+            leases: LeaseTable::new(),
             cfg,
         }
     }
 
     /// Deep-copies the cluster into an independent one: same replica
     /// contents, states, was-available sets and topology, with a fresh
-    /// traffic counter. The model-checking tests use this to explore every
-    /// interleaving of failures, repairs and writes from a common prefix.
+    /// traffic counter (and a fresh, empty lease table). The
+    /// model-checking tests use this to explore every interleaving of
+    /// failures, repairs and writes from a common prefix.
     pub fn fork(&self) -> Cluster {
+        let leases = LeaseTable::new();
+        leases.set_enabled(self.leases.enabled());
         Cluster {
             cfg: self.cfg.clone(),
-            replicas: Mutex::new(self.replicas.lock().clone()),
+            replicas: self
+                .replicas
+                .iter()
+                .map(|r| Mutex::new(r.lock().clone()))
+                .collect(),
             topology: RwLock::new(self.topology.read().clone()),
             counter: TrafficCounter::new(),
             mode: self.mode,
             early_quorum: AtomicBool::new(self.early_quorum.load(Ordering::Relaxed)),
+            locks: BlockLockTable::new(),
+            leases,
         }
+    }
+
+    /// Opts reads in (or out) of lease-based read offload (see
+    /// [`crate::locks`]): after each successful quorum operation the
+    /// coordinator remembers which replicas are current, and later reads
+    /// are served from one of them in a single round instead of gathering
+    /// a read quorum. Off by default.
+    pub fn set_leases(&self, on: bool) {
+        self.leases.set_enabled(on);
     }
 
     /// Opts MCV vote collection in (or out) of early-quorum termination. On
@@ -134,7 +164,7 @@ impl Cluster {
     ///
     /// As for [`read`](Self::read), against the write quorum.
     pub fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
-        protocol::write(self, origin, k, data)
+        protocol::write(self, origin, k, &data)
     }
 
     /// Reads a run of distinct blocks in one batched protocol round.
@@ -196,12 +226,15 @@ impl Cluster {
     /// hook exists so tests can demonstrate why.
     pub fn partition(&self, groups: &[Vec<SiteId>]) {
         self.topology.write().partition(groups);
+        // Reachability just changed under every outstanding lease.
+        self.leases.bump_epoch();
     }
 
     /// Heals all partitions and re-runs the recovery sweep (recoveries that
     /// were blocked on unreachable closure members can now complete).
     pub fn heal(&self) {
         self.topology.write().heal();
+        self.leases.bump_epoch();
         protocol::sweep(self);
     }
 
@@ -211,7 +244,7 @@ impl Cluster {
     ///
     /// Panics if `s` is not a site of this device.
     pub fn site_state(&self, s: SiteId) -> SiteState {
-        self.replicas.lock()[s.index()].state()
+        self.replicas[s.index()].lock().state()
     }
 
     /// Whether the replicated block is available under the scheme's own
@@ -223,17 +256,15 @@ impl Cluster {
     /// A site currently able to coordinate reads and writes, if any —
     /// lowest id first, for determinism.
     pub fn any_serving_site(&self) -> Option<SiteId> {
-        let replicas = self.replicas.lock();
-        match self.cfg.scheme() {
-            blockrep_types::Scheme::Voting => self
-                .cfg
-                .site_ids()
-                .find(|&s| replicas[s.index()].state().is_operational()),
-            _ => self
-                .cfg
-                .site_ids()
-                .find(|&s| replicas[s.index()].state().can_serve()),
-        }
+        let voting = self.cfg.scheme() == blockrep_types::Scheme::Voting;
+        self.cfg.site_ids().find(|&s| {
+            let state = self.replicas[s.index()].lock().state();
+            if voting {
+                state.is_operational()
+            } else {
+                state.can_serve()
+            }
+        })
     }
 
     /// The shared high-level transmission counter.
@@ -248,35 +279,35 @@ impl Cluster {
 
     /// Inspection: the version site `s` holds for block `k` (test support).
     pub fn version_of(&self, s: SiteId, k: BlockIndex) -> VersionNumber {
-        self.replicas.lock()[s.index()].version(k)
+        self.replicas[s.index()].lock().version(k)
     }
 
     /// Inspection: the raw data site `s` holds for block `k` (test
     /// support — this bypasses the consistency protocol).
     pub fn data_of(&self, s: SiteId, k: BlockIndex) -> BlockData {
-        self.replicas.lock()[s.index()].data(k)
+        self.replicas[s.index()].lock().data(k)
     }
 
     /// Inspection: site `s`'s was-available set.
     pub fn was_available_of(&self, s: SiteId) -> BTreeSet<SiteId> {
-        self.replicas.lock()[s.index()].was_available().clone()
+        self.replicas[s.index()].lock().was_available().clone()
     }
 
     /// Crate-internal: runs `f` with a snapshot view of site `s`'s replica.
     pub(crate) fn with_replica<T>(&self, s: SiteId, f: impl FnOnce(&Replica) -> T) -> T {
-        f(&self.replicas.lock()[s.index()])
+        f(&self.replicas[s.index()].lock())
     }
 
     /// Crate-internal: swaps in a replacement replica (disk-image import).
     pub(crate) fn replace_replica(&self, s: SiteId, replica: Replica) {
-        self.replicas.lock()[s.index()] = replica;
+        *self.replicas[s.index()].lock() = replica;
     }
 
     fn reachable_and_operational(&self, from: SiteId, to: SiteId) -> bool {
         if !self.topology.read().reachable(from, to) {
             return false;
         }
-        self.replicas.lock()[to.index()].state().is_operational()
+        self.replicas[to.index()].lock().state().is_operational()
     }
 }
 
@@ -294,11 +325,11 @@ impl Backend for Cluster {
     }
 
     fn local_state(&self, s: SiteId) -> SiteState {
-        self.replicas.lock()[s.index()].state()
+        self.replicas[s.index()].lock().state()
     }
 
     fn set_local_state(&self, s: SiteId, state: SiteState) {
-        self.replicas.lock()[s.index()].set_state(state);
+        self.replicas[s.index()].lock().set_state(state);
     }
 
     fn probe_state(&self, from: SiteId, to: SiteId) -> Option<SiteState> {
@@ -308,14 +339,14 @@ impl Backend for Cluster {
         if !self.reachable_and_operational(from, to) {
             return None;
         }
-        Some(self.replicas.lock()[to.index()].state())
+        Some(self.replicas[to.index()].lock().state())
     }
 
     fn vote(&self, from: SiteId, to: SiteId, k: BlockIndex) -> Option<VersionNumber> {
         if from != to && !self.reachable_and_operational(from, to) {
             return None;
         }
-        Some(self.replicas.lock()[to.index()].version(k))
+        Some(self.replicas[to.index()].lock().version(k))
     }
 
     fn fetch_block(
@@ -327,7 +358,7 @@ impl Backend for Cluster {
         if from != to && !self.reachable_and_operational(from, to) {
             return None;
         }
-        Some(self.replicas.lock()[to.index()].versioned(k))
+        Some(self.replicas[to.index()].lock().versioned(k))
     }
 
     fn apply_write(
@@ -341,19 +372,19 @@ impl Backend for Cluster {
         if from != to && !self.reachable_and_operational(from, to) {
             return false;
         }
-        self.replicas.lock()[to.index()].install(k, data.clone(), v);
+        self.replicas[to.index()].lock().install(k, data.clone(), v);
         true
     }
 
     fn read_local(&self, s: SiteId, k: BlockIndex) -> BlockData {
-        self.replicas.lock()[s.index()].data(k)
+        self.replicas[s.index()].lock().data(k)
     }
 
     fn version_vector(&self, from: SiteId, to: SiteId) -> Option<VersionVector> {
         if from != to && !self.reachable_and_operational(from, to) {
             return None;
         }
-        Some(self.replicas.lock()[to.index()].version_vector())
+        Some(self.replicas[to.index()].lock().version_vector())
     }
 
     fn repair_payload(
@@ -365,25 +396,27 @@ impl Backend for Cluster {
         if from != to && !self.reachable_and_operational(from, to) {
             return None;
         }
-        Some(self.replicas.lock()[to.index()].repair_payload(vv))
+        Some(self.replicas[to.index()].lock().repair_payload(vv))
     }
 
     fn apply_repair_local(&self, s: SiteId, blocks: crate::backend::RepairBlocks) -> usize {
-        self.replicas.lock()[s.index()].apply_repair(blocks)
+        self.replicas[s.index()].lock().apply_repair(blocks)
     }
 
     fn was_available(&self, from: SiteId, to: SiteId) -> Option<BTreeSet<SiteId>> {
         if from != to && !self.reachable_and_operational(from, to) {
             return None;
         }
-        Some(self.replicas.lock()[to.index()].was_available().clone())
+        Some(self.replicas[to.index()].lock().was_available().clone())
     }
 
     fn set_was_available(&self, from: SiteId, to: SiteId, w: &BTreeSet<SiteId>) -> bool {
         if from != to && !self.reachable_and_operational(from, to) {
             return false;
         }
-        self.replicas.lock()[to.index()].set_was_available(w.clone());
+        self.replicas[to.index()]
+            .lock()
+            .set_was_available(w.clone());
         true
     }
 
@@ -391,7 +424,7 @@ impl Backend for Cluster {
         if from != to && !self.reachable_and_operational(from, to) {
             return false;
         }
-        self.replicas.lock()[to.index()].add_was_available(member);
+        self.replicas[to.index()].lock().add_was_available(member);
         true
     }
 
@@ -407,16 +440,26 @@ impl Backend for Cluster {
         if from != to && !self.reachable_and_operational(from, to) {
             return false;
         }
-        self.replicas.lock()[to.index()].install_faulty(k, data.clone(), v, fault);
+        self.replicas[to.index()]
+            .lock()
+            .install_faulty(k, data.clone(), v, fault);
         true
     }
 
     fn scrub_local(&self, s: SiteId) -> usize {
-        self.replicas.lock()[s.index()].scrub().len()
+        self.replicas[s.index()].lock().scrub().len()
     }
 
     fn early_quorum(&self) -> bool {
         self.early_quorum.load(Ordering::Relaxed)
+    }
+
+    fn block_locks(&self) -> &BlockLockTable {
+        &self.locks
+    }
+
+    fn leases(&self) -> &LeaseTable {
+        &self.leases
     }
 }
 

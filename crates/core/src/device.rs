@@ -82,7 +82,7 @@ impl<C: Backend> BlockDevice for DriverStub<C> {
     }
 
     fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
-        protocol::write(&*self.cluster, self.site, k, data)
+        protocol::write(&*self.cluster, self.site, k, &data)
     }
 
     fn read_blocks(&self, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
@@ -200,7 +200,9 @@ impl<C: Backend> BlockDevice for ReliableDevice<C> {
     }
 
     fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
-        self.with_failover(|origin| protocol::write(&*self.cluster, origin, k, data.clone()))
+        // The payload is borrowed by every attempt: failover retries reuse
+        // it, and the common single-origin success path never clones.
+        self.with_failover(|origin| protocol::write(&*self.cluster, origin, k, &data))
     }
 
     fn read_blocks(&self, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {

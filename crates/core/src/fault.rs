@@ -67,13 +67,21 @@ pub enum FaultKind {
         /// Leading bytes of the encoded journal record that were persisted.
         keep: usize,
     },
+    /// A lease-holder answers a lease read with a version that no longer
+    /// matches the coordinator's lease — the holder was partitioned across
+    /// a write and is serving from before it. Models the stale-lease hazard
+    /// of read offload: the coordinator must detect the mismatch, drop the
+    /// lease and fall back to a quorum read, so the fault is benign by
+    /// construction (it can cost a round trip, never consistency). On
+    /// exchanges that are not lease reads it degrades to normal delivery.
+    StaleLease,
 }
 
 impl FaultKind {
     /// Whether the fault cannot perturb replicated state (installs are
     /// idempotent, so a duplicated message is harmless by design).
     pub fn is_benign(self) -> bool {
-        matches!(self, FaultKind::DuplicateMessage)
+        matches!(self, FaultKind::DuplicateMessage | FaultKind::StaleLease)
     }
 
     /// Whether the fault leaves a checksum-broken block on the target's
@@ -96,6 +104,7 @@ impl FaultKind {
             FaultKind::TornWrite { .. } => "torn-write",
             FaultKind::StaleVersion => "stale-version",
             FaultKind::WalTorn { .. } => "wal-torn",
+            FaultKind::StaleLease => "stale-lease",
         }
     }
 }
@@ -235,6 +244,8 @@ enum Decision {
     Stale,
     /// The target's journal append tears mid-record; no ack, target dead.
     WalTorn(usize),
+    /// A lease read is answered from before the write the lease postdates.
+    StaleLease,
 }
 
 /// A [`Backend`] wrapper that fires a [`FaultPlan`] on the remote exchanges
@@ -373,6 +384,7 @@ impl<'a, B: Backend> FaultyBackend<'a, B> {
                 st.crashed.insert(to);
                 Decision::WalTorn(keep)
             }
+            FaultKind::StaleLease => Decision::StaleLease,
         }
     }
 
@@ -380,12 +392,14 @@ impl<'a, B: Backend> FaultyBackend<'a, B> {
     fn rpc<T>(&self, from: SiteId, to: SiteId, call: impl Fn() -> Option<T>) -> Option<T> {
         match self.pre(from, to) {
             // A storage fault landing on a non-install exchange degrades to
-            // "processed, answered, then crashed".
+            // "processed, answered, then crashed"; a stale-lease fault
+            // landing on a non-lease exchange degrades to plain delivery.
             Decision::Deliver
             | Decision::DeliverThenDead
             | Decision::Torn(_)
             | Decision::Stale
-            | Decision::WalTorn(_) => call(),
+            | Decision::WalTorn(_)
+            | Decision::StaleLease => call(),
             Decision::Duplicate => {
                 let _ = call();
                 call()
@@ -412,7 +426,8 @@ impl<'a, B: Backend> FaultyBackend<'a, B> {
             | Decision::DeliverThenDead
             | Decision::Torn(_)
             | Decision::Stale
-            | Decision::WalTorn(_) => deliver(),
+            | Decision::WalTorn(_)
+            | Decision::StaleLease => deliver(),
             Decision::Duplicate => {
                 let _ = deliver();
                 deliver()
@@ -482,6 +497,41 @@ impl<B: Backend> Backend for FaultyBackend<'_, B> {
         self.rpc(from, to, || self.inner.fetch_block(from, to, k))
     }
 
+    fn fetch_lease(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+    ) -> Option<(VersionNumber, BlockData)> {
+        if from == to {
+            return self.inner.fetch_lease(from, to, k);
+        }
+        match self.pre(from, to) {
+            Decision::Deliver
+            | Decision::DeliverThenDead
+            | Decision::Torn(_)
+            | Decision::Stale
+            | Decision::WalTorn(_) => self.inner.fetch_lease(from, to, k),
+            // The holder answers from before the write the lease postdates:
+            // rewinding the reported version guarantees a mismatch with the
+            // coordinator's lease (even at v=0, where it wraps), forcing the
+            // invalidate-and-fall-back path.
+            Decision::StaleLease => self
+                .inner
+                .fetch_lease(from, to, k)
+                .map(|(v, data)| (VersionNumber::new(v.as_u64().wrapping_sub(1)), data)),
+            Decision::Duplicate => {
+                let _ = self.inner.fetch_lease(from, to, k);
+                self.inner.fetch_lease(from, to, k)
+            }
+            Decision::Suppress => None,
+            Decision::Delay => {
+                let _ = self.inner.fetch_lease(from, to, k);
+                None
+            }
+        }
+    }
+
     fn apply_write(
         &self,
         from: SiteId,
@@ -494,7 +544,7 @@ impl<B: Backend> Backend for FaultyBackend<'_, B> {
             return self.inner.apply_write(from, to, k, data, v);
         }
         match self.pre(from, to) {
-            Decision::Deliver | Decision::DeliverThenDead => {
+            Decision::Deliver | Decision::DeliverThenDead | Decision::StaleLease => {
                 self.inner.apply_write(from, to, k, data, v)
             }
             Decision::Duplicate => {
@@ -539,7 +589,7 @@ impl<B: Backend> Backend for FaultyBackend<'_, B> {
             return self.inner.apply_write_many(from, to, writes);
         }
         match self.pre(from, to) {
-            Decision::Deliver | Decision::DeliverThenDead => {
+            Decision::Deliver | Decision::DeliverThenDead | Decision::StaleLease => {
                 self.inner.apply_write_many(from, to, writes)
             }
             Decision::Duplicate => {
@@ -682,6 +732,16 @@ impl<B: Backend> Backend for FaultyBackend<'_, B> {
     fn scrub_local(&self, s: SiteId) -> usize {
         self.inner.scrub_local(s)
     }
+
+    fn block_locks(&self) -> &crate::locks::BlockLockTable {
+        // Locking is the inner runtime's concern; the wrapper only decides
+        // message fates, so same-block exclusion must come from one table.
+        self.inner.block_locks()
+    }
+
+    fn leases(&self) -> &crate::locks::LeaseTable {
+        self.inner.leases()
+    }
 }
 
 #[cfg(test)]
@@ -710,8 +770,13 @@ mod tests {
         let plan = FaultPlan::new();
         let fb = FaultyBackend::new(&c, &plan);
         fb.begin_op(0);
-        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![7; 4]))
-            .unwrap();
+        crate::protocol::write(
+            &fb,
+            sid(0),
+            BlockIndex::new(0),
+            &BlockData::from(vec![7; 4]),
+        )
+        .unwrap();
         let report = fb.end_op();
         assert!(report.crashed.is_empty());
         assert!(report.fired.is_empty());
@@ -734,8 +799,13 @@ mod tests {
         .collect();
         let fb = FaultyBackend::new(&c, &plan);
         fb.begin_op(0);
-        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![9; 4]))
-            .unwrap();
+        crate::protocol::write(
+            &fb,
+            sid(0),
+            BlockIndex::new(0),
+            &BlockData::from(vec![9; 4]),
+        )
+        .unwrap();
         let report = fb.end_op();
         assert_eq!(report.fired.len(), 1);
         assert!(report.crashed.is_empty());
@@ -758,8 +828,12 @@ mod tests {
         .collect();
         let fb = FaultyBackend::new(&c, &plan);
         fb.begin_op(0);
-        let _ =
-            crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![5; 4]));
+        let _ = crate::protocol::write(
+            &fb,
+            sid(0),
+            BlockIndex::new(0),
+            &BlockData::from(vec![5; 4]),
+        );
         let report = fb.end_op();
         assert_eq!(report.crashed, vec![sid(0)]);
         assert!(c.data_of(sid(1), BlockIndex::new(0)).is_zeroed());
@@ -779,8 +853,13 @@ mod tests {
         .collect();
         let fb = FaultyBackend::new(&c, &plan);
         fb.begin_op(0);
-        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![3; 4]))
-            .unwrap();
+        crate::protocol::write(
+            &fb,
+            sid(0),
+            BlockIndex::new(0),
+            &BlockData::from(vec![3; 4]),
+        )
+        .unwrap();
         // Held back until end_op…
         assert!(c.data_of(sid(1), BlockIndex::new(0)).is_zeroed());
         fb.end_op();
@@ -803,8 +882,13 @@ mod tests {
         .collect();
         let fb = FaultyBackend::new(inner, &plan);
         fb.begin_op(0);
-        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![6; 4]))
-            .unwrap();
+        crate::protocol::write(
+            &fb,
+            sid(0),
+            BlockIndex::new(0),
+            &BlockData::from(vec![6; 4]),
+        )
+        .unwrap();
         let report = fb.end_op();
         let versions = (0..4)
             .map(|i| {
@@ -916,8 +1000,13 @@ mod tests {
         .collect();
         let fb = FaultyBackend::new(&c, &plan);
         fb.begin_op(0);
-        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![8; 4]))
-            .unwrap();
+        crate::protocol::write(
+            &fb,
+            sid(0),
+            BlockIndex::new(0),
+            &BlockData::from(vec![8; 4]),
+        )
+        .unwrap();
         let report = fb.end_op();
         assert_eq!(report.crashed, vec![sid(1)]);
         // Half-new, half-old data; the scrub finds and resets it.
@@ -944,8 +1033,13 @@ mod tests {
         .collect();
         let fb = FaultyBackend::new(&c, &plan);
         fb.begin_op(0);
-        crate::protocol::write(&fb, sid(0), BlockIndex::new(0), BlockData::from(vec![8; 4]))
-            .unwrap();
+        crate::protocol::write(
+            &fb,
+            sid(0),
+            BlockIndex::new(0),
+            &BlockData::from(vec![8; 4]),
+        )
+        .unwrap();
         let report = fb.end_op();
         assert_eq!(report.crashed, vec![sid(1)]);
         assert!(c.data_of(sid(1), BlockIndex::new(0)).is_zeroed());

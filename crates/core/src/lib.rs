@@ -75,6 +75,7 @@ mod cluster;
 mod device;
 pub mod fault;
 mod live;
+pub mod locks;
 mod obs_hooks;
 mod persist;
 mod protocol;
@@ -95,5 +96,6 @@ pub use backend::{
 pub use cluster::{Cluster, ClusterOptions};
 pub use device::{DriverStub, ReliableDevice};
 pub use live::LiveCluster;
+pub use locks::{BlockLockTable, LeaseTable};
 pub use replica::Replica;
 pub use tcp::TcpCluster;

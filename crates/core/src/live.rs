@@ -16,6 +16,7 @@
 use crate::backend::{
     self, Backend, Gather, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec, WriteBatch,
 };
+use crate::locks::{BlockLockTable, LeaseTable};
 use crate::protocol;
 use crate::replica::Replica;
 use blockrep_net::{DeliveryMode, FanoutMode, Network, TrafficCounter};
@@ -47,6 +48,10 @@ enum DrainJob {
 enum Request {
     Vote(BlockIndex, Sender<VersionNumber>),
     Fetch(BlockIndex, Sender<(VersionNumber, BlockData)>),
+    /// A lease read served by a holder site: same payload as `Fetch`, but a
+    /// distinct message so fault injection can target lease validation
+    /// without touching quorum reads.
+    FetchLease(BlockIndex, Sender<(VersionNumber, BlockData)>),
     ApplyWrite(BlockIndex, BlockData, VersionNumber),
     ApplyWriteFaulty(BlockIndex, BlockData, VersionNumber, StorageFault),
     Scrub(Sender<usize>),
@@ -116,6 +121,10 @@ pub struct LiveCluster {
     /// Emulated one-way link delay in nanoseconds, served by each site
     /// before handling a network request. Shared with the server threads.
     latency_ns: Arc<AtomicU64>,
+    /// Per-block lock shards serializing same-block coordinations.
+    locks: BlockLockTable,
+    /// Read-lease registry for the offload fast path.
+    leases: LeaseTable,
     /// Hands straggler replies to the drainer; `None` only during drop.
     drain_tx: Option<Sender<DrainJob>>,
     drainer: Option<JoinHandle<()>>,
@@ -187,6 +196,8 @@ impl LiveCluster {
             parallel: AtomicBool::new(true),
             early_quorum: AtomicBool::new(false),
             latency_ns,
+            locks: BlockLockTable::new(),
+            leases: LeaseTable::new(),
             drain_tx: Some(drain_tx),
             drainer: Some(drainer),
             direct,
@@ -210,7 +221,7 @@ impl LiveCluster {
     ///
     /// As for [`Cluster::write`](crate::Cluster::write).
     pub fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
-        protocol::write(self, origin, k, data)
+        protocol::write(self, origin, k, &data)
     }
 
     /// Reads a batch of distinct blocks in one vectored protocol round,
@@ -264,6 +275,9 @@ impl LiveCluster {
     /// refused synchronously). The available copy schemes assume this never
     /// happens; the hook exists to demonstrate why.
     pub fn partition(&self, groups: &[Vec<SiteId>]) {
+        // A partitioned holder can no longer be reached to serve a lease;
+        // epoch-bump so every outstanding grant dies with the topology.
+        self.leases.bump_epoch();
         let mut topo = blockrep_net::Topology::fully_connected(self.cfg.num_sites());
         topo.partition(groups);
         self.net.set_topology(topo);
@@ -271,6 +285,7 @@ impl LiveCluster {
 
     /// Heals all partitions and re-runs the recovery sweep.
     pub fn heal(&self) {
+        self.leases.bump_epoch();
         self.net
             .set_topology(blockrep_net::Topology::fully_connected(
                 self.cfg.num_sites(),
@@ -325,6 +340,11 @@ impl LiveCluster {
     /// traffic snapshots.
     pub fn set_early_quorum(&self, on: bool) {
         self.early_quorum.store(on, Ordering::Relaxed);
+    }
+
+    /// Turns lease-based read offload on or off (see [`crate::locks`]).
+    pub fn set_leases(&self, on: bool) {
+        self.leases.set_enabled(on);
     }
 
     /// Emulates a network link delay: every site sleeps `delay` before
@@ -530,6 +550,7 @@ fn is_rpc(req: &Request) -> bool {
             req,
             Request::Vote(..)
                 | Request::Fetch(..)
+                | Request::FetchLease(..)
                 | Request::Scrub(_)
                 | Request::ReadLocal(..)
                 | Request::VersionVector(_)
@@ -556,6 +577,9 @@ fn handle(replica: &mut Replica, req: Request) {
             let _ = reply.send(replica.version(k));
         }
         Request::Fetch(k, reply) => {
+            let _ = reply.send(replica.versioned(k));
+        }
+        Request::FetchLease(k, reply) => {
             let _ = reply.send(replica.versioned(k));
         }
         Request::ApplyWrite(k, data, v) => {
@@ -659,6 +683,15 @@ impl Backend for LiveCluster {
         self.call(from, to, |tx| Request::Fetch(k, tx))
     }
 
+    fn fetch_lease(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+    ) -> Option<(VersionNumber, BlockData)> {
+        self.call(from, to, |tx| Request::FetchLease(k, tx))
+    }
+
     fn apply_write(
         &self,
         from: SiteId,
@@ -741,6 +774,14 @@ impl Backend for LiveCluster {
 
     fn early_quorum(&self) -> bool {
         self.early_quorum.load(Ordering::Relaxed)
+    }
+
+    fn block_locks(&self) -> &BlockLockTable {
+        &self.locks
+    }
+
+    fn leases(&self) -> &LeaseTable {
+        &self.leases
     }
 
     fn scatter(

@@ -32,7 +32,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
     b: &B,
     origin: SiteId,
     k: BlockIndex,
-    data: BlockData,
+    data: &BlockData,
 ) -> DeviceResult<()> {
     available_copy::write(b, origin, k, data, true)
 }

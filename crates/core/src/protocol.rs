@@ -10,6 +10,10 @@ use crate::{available_copy, naive, obs_hooks, voting};
 use blockrep_types::{BlockData, BlockIndex, DeviceResult, Scheme, SiteId, SiteState};
 
 /// Reads block `k`, coordinated by `origin`, under the configured scheme.
+///
+/// Holds `k`'s block-lock shard for shared access for the duration: reads
+/// of the same block run concurrently, but never interleave with a writer
+/// of that block (see [`crate::locks`]).
 pub(crate) fn read<B: Backend + ?Sized>(
     b: &B,
     origin: SiteId,
@@ -17,6 +21,7 @@ pub(crate) fn read<B: Backend + ?Sized>(
 ) -> DeviceResult<BlockData> {
     let _timer = obs_hooks::timer(obs_hooks::read_latency);
     let _op = obs_hooks::op_span(obs_hooks::op_read, origin.index() as u32);
+    let _block = b.block_locks().read_guard(k);
     match b.config().scheme() {
         Scheme::Voting => voting::read(b, origin, k),
         Scheme::AvailableCopy => available_copy::read(b, origin, k),
@@ -25,14 +30,20 @@ pub(crate) fn read<B: Backend + ?Sized>(
 }
 
 /// Writes block `k`, coordinated by `origin`, under the configured scheme.
+///
+/// Holds `k`'s block-lock shard exclusively for the duration, so the
+/// vote → `max(v) + 1` → install sequence is atomic with respect to every
+/// other operation on the same block; operations on distinct blocks (in
+/// distinct shards) proceed in parallel.
 pub(crate) fn write<B: Backend + ?Sized>(
     b: &B,
     origin: SiteId,
     k: BlockIndex,
-    data: BlockData,
+    data: &BlockData,
 ) -> DeviceResult<()> {
     let _timer = obs_hooks::timer(obs_hooks::write_latency);
     let _op = obs_hooks::op_span(obs_hooks::op_write, origin.index() as u32);
+    let _block = b.block_locks().write_guard(k);
     match b.config().scheme() {
         Scheme::Voting => voting::write(b, origin, k, data),
         Scheme::AvailableCopy => available_copy::write(b, origin, k, data, false),
@@ -50,6 +61,7 @@ pub(crate) fn read_many<B: Backend + ?Sized>(
 ) -> DeviceResult<Vec<BlockData>> {
     let _timer = obs_hooks::timer(obs_hooks::read_latency);
     let _op = obs_hooks::op_span(obs_hooks::op_read_many, origin.index() as u32);
+    let _blocks = b.block_locks().read_guard_many(ks);
     match b.config().scheme() {
         Scheme::Voting => voting::read_many(b, origin, ks),
         Scheme::AvailableCopy => available_copy::read_many(b, origin, ks),
@@ -67,6 +79,8 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
 ) -> DeviceResult<()> {
     let _timer = obs_hooks::timer(obs_hooks::write_latency);
     let _op = obs_hooks::op_span(obs_hooks::op_write_many, origin.index() as u32);
+    let ks: Vec<BlockIndex> = writes.iter().map(|&(k, _)| k).collect();
+    let _blocks = b.block_locks().write_guard_many(&ks);
     match b.config().scheme() {
         Scheme::Voting => voting::write_many(b, origin, writes),
         Scheme::AvailableCopy => available_copy::write_many(b, origin, writes, false),
@@ -74,8 +88,11 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
     }
 }
 
-/// Fail-stops site `s`.
+/// Fail-stops site `s`. Every outstanding read lease dies with it: the
+/// failed site may have been a lease holder, so the lease epoch is bumped
+/// before the survivors carry on.
 pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId) {
+    b.leases().bump_epoch();
     match b.config().scheme() {
         Scheme::Voting => b.set_local_state(s, SiteState::Failed),
         Scheme::AvailableCopy => available_copy::fail(b, s, false),
@@ -83,10 +100,13 @@ pub(crate) fn fail<B: Backend + ?Sized>(b: &B, s: SiteId) {
     }
 }
 
-/// Restarts site `s` after a failure and runs the recovery sweep.
+/// Restarts site `s` after a failure and runs the recovery sweep. Bumps
+/// the lease epoch: the repaired site holds stale blocks and must not be
+/// named by any pre-repair grant.
 pub(crate) fn repair<B: Backend + ?Sized>(b: &B, s: SiteId) {
     let _timer = obs_hooks::timer(obs_hooks::recovery_latency);
     let _op = obs_hooks::op_span(obs_hooks::op_repair, s.index() as u32);
+    b.leases().bump_epoch();
     match b.config().scheme() {
         Scheme::Voting => voting::repair(b, s),
         Scheme::AvailableCopy => {

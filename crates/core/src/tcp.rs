@@ -20,6 +20,7 @@
 use crate::backend::{
     self, Backend, Gather, ScatterReplies, ScatterReply, ScatterRequest, ScatterSpec, WriteBatch,
 };
+use crate::locks::{BlockLockTable, LeaseTable};
 use crate::replica::Replica;
 use crate::wire::{self, WireRequest, WireResponse};
 use crate::{protocol, RepairBlocks};
@@ -29,14 +30,19 @@ use blockrep_types::{
     BlockData, BlockIndex, DeviceConfig, DeviceResult, SiteId, SiteState, VersionNumber,
     VersionVector,
 };
+use crossbeam::channel::{bounded, Receiver};
 use parking_lot::{Mutex, MutexGuard, RwLock};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// In-flight request budget per multiplexed connection (see
+/// [`TcpCluster::set_multiplexing`]).
+const MUX_WINDOW: usize = 32;
 
 fn serve(
     mut replica: Replica,
@@ -99,6 +105,12 @@ fn serve_conn(
             }
             request => (request, None),
         };
+        // Unwrap the multiplexing envelope, if any; the id is echoed on the
+        // reply so the coordinator's demux thread can route it.
+        let (request, mux_id) = match request {
+            WireRequest::Mux { id, inner } => (*inner, Some(id)),
+            request => (request, None),
+        };
         // Emulated one-way link delay (see `TcpCluster::set_link_latency`).
         // Deliberately outside the remote span: transit time is the
         // coordinator's gather wait, not this site's apply work.
@@ -119,6 +131,10 @@ fn serve_conn(
             WireRequest::Probe => WireResponse::Ack,
             WireRequest::Vote(k) => WireResponse::Version(replica.version(k)),
             WireRequest::Fetch(k) => {
+                let (v, data) = replica.versioned(k);
+                WireResponse::Block(v, data)
+            }
+            WireRequest::FetchLease(k) => {
                 let (v, data) = replica.versioned(k);
                 WireResponse::Block(v, data)
             }
@@ -162,9 +178,17 @@ fn serve_conn(
             WireRequest::ReadLocalMany(ks) => {
                 WireResponse::DataMany(ks.into_iter().map(|k| replica.data(k)).collect())
             }
-            // Decode rejects nested envelopes and the outer one was already
-            // unwrapped above, so this arm is unreachable by construction.
-            WireRequest::Traced { .. } => return Served::Hangup,
+            // Decode rejects nested envelopes and the outer ones were
+            // already unwrapped above, so these arms are unreachable by
+            // construction.
+            WireRequest::Traced { .. } | WireRequest::Mux { .. } => return Served::Hangup,
+        };
+        let response = match mux_id {
+            Some(id) => WireResponse::Mux {
+                id,
+                inner: Box::new(response),
+            },
+            None => response,
         };
         if wire::write_frame(conn, &response.encode()).is_err() {
             return Served::Hangup;
@@ -204,6 +228,108 @@ impl SiteConn {
             self.poison(to);
         }
         response
+    }
+}
+
+/// Coordinator half of one multiplexed connection: requests go out under a
+/// per-connection id with a bounded in-flight window, and a dedicated
+/// reader thread (see [`mux_reader`]) demultiplexes the replies by id, so
+/// concurrent operations share the socket without waiting on each other's
+/// round trips.
+///
+/// Lock order within one `MuxConn`: window semaphore → `writer` →
+/// `pending`. The reader thread takes only `pending`, so it can never
+/// participate in a cycle.
+struct MuxConn {
+    /// Write half plus the next request id; a frame is written whole under
+    /// this lock, so frames from concurrent clients never interleave.
+    writer: Mutex<(TcpStream, u64)>,
+    /// Reply slots for in-flight requests, keyed by request id.
+    pending: Mutex<HashMap<u64, crossbeam::channel::Sender<Option<WireResponse>>>>,
+    /// Counting semaphore bounding in-flight requests on this connection:
+    /// remaining slots plus the condvar submitters wait on.
+    window: (Mutex<usize>, Condvar),
+    /// Set by the reader thread when the stream dies; submissions fail fast.
+    dead: AtomicBool,
+}
+
+impl MuxConn {
+    /// Claims one window slot, blocking while the window is full.
+    fn acquire_slot(&self) {
+        let (slots, cvar) = &self.window;
+        let mut slots = slots.lock();
+        while *slots == 0 {
+            slots = cvar.wait(slots).unwrap_or_else(PoisonError::into_inner);
+        }
+        *slots -= 1;
+    }
+
+    /// Returns one window slot and wakes a waiting submitter.
+    fn release_slot(&self) {
+        let (slots, cvar) = &self.window;
+        *slots.lock() += 1;
+        cvar.notify_one();
+    }
+
+    /// Sends `request` under a fresh id and returns the channel its reply
+    /// will arrive on. The caller owns a window slot until it calls
+    /// [`release_slot`](Self::release_slot) (after receiving). `None` means
+    /// the connection is dead — the site is unreachable to this frame.
+    fn submit(&self, request: WireRequest) -> Option<Receiver<Option<WireResponse>>> {
+        if self.dead.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.acquire_slot();
+        let (tx, rx) = bounded(1);
+        let sent = {
+            let mut writer = self.writer.lock();
+            let (stream, next_id) = &mut *writer;
+            let id = *next_id;
+            *next_id += 1;
+            // Park the reply slot before the frame hits the wire so the
+            // reader can never see a reply to an unknown id.
+            self.pending.lock().insert(id, tx);
+            let frame = WireRequest::Mux {
+                id,
+                inner: Box::new(request),
+            }
+            .encode();
+            let ok = wire::write_frame(stream, &frame).is_ok()
+                // The reader may have died and drained `pending` before the
+                // insert above; in that window the request would never be
+                // answered, so check the flag after parking the slot.
+                && !self.dead.load(Ordering::Relaxed);
+            if !ok {
+                self.dead.store(true, Ordering::Relaxed);
+                self.pending.lock().remove(&id);
+            }
+            ok
+        };
+        if !sent {
+            self.release_slot();
+            return None;
+        }
+        Some(rx)
+    }
+}
+
+/// The demux loop: reads [`WireResponse::Mux`] frames off the socket and
+/// routes each inner reply to the submitter that parked its id. Any I/O or
+/// framing error kills the connection: every in-flight submitter is handed
+/// "no reply", which the protocol treats exactly like an unreachable site.
+fn mux_reader(mut stream: TcpStream, conn: &MuxConn) {
+    while let Ok(frame) = wire::read_frame(&mut stream) {
+        let Ok(WireResponse::Mux { id, inner }) = WireResponse::decode(&frame) else {
+            break;
+        };
+        let Some(tx) = conn.pending.lock().remove(&id) else {
+            break; // a reply nobody asked for: the stream is desynced
+        };
+        let _ = tx.send(Some(*inner));
+    }
+    conn.dead.store(true, Ordering::Relaxed);
+    for (_, tx) in conn.pending.lock().drain() {
+        let _ = tx.send(None);
     }
 }
 
@@ -248,6 +374,17 @@ pub struct TcpCluster {
     /// Per-site "pretend this server predates the trace envelope" flags,
     /// shared with the server threads (mixed-version testing).
     legacy: Vec<Arc<AtomicBool>>,
+    /// Per-site multiplexed connections, populated by
+    /// [`set_multiplexing`](Self::set_multiplexing).
+    mux: Vec<RwLock<Option<Arc<MuxConn>>>>,
+    /// Fast path for "is any mux connection live" checks.
+    muxed: AtomicBool,
+    /// Demux reader threads, joined on drop / un-multiplexing.
+    mux_readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Per-block lock shards serializing same-block coordinations.
+    locks: BlockLockTable,
+    /// Read-lease registry for the offload fast path.
+    leases: LeaseTable,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -297,6 +434,11 @@ impl TcpCluster {
             latency_ns,
             wire_tracing: AtomicBool::new(false),
             legacy,
+            mux: (0..n).map(|_| RwLock::new(None)).collect(),
+            muxed: AtomicBool::new(false),
+            mux_readers: Mutex::new(Vec::new()),
+            locks: BlockLockTable::new(),
+            leases: LeaseTable::new(),
             handles,
             cfg,
         })
@@ -322,7 +464,7 @@ impl TcpCluster {
     ///
     /// As for [`Cluster::write`](crate::Cluster::write).
     pub fn write(&self, origin: SiteId, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
-        protocol::write(self, origin, k, data)
+        protocol::write(self, origin, k, &data)
     }
 
     /// Reads a run of distinct blocks in one batched protocol round — one
@@ -442,6 +584,87 @@ impl TcpCluster {
         self.wire_tracing.store(on, Ordering::Relaxed);
     }
 
+    /// Switches the coordinator between one-exchange-at-a-time connections
+    /// and multiplexed ones. On, each site's connection is replaced by a
+    /// [`MuxConn`]: requests carry per-connection ids under a bounded
+    /// in-flight window ([`MUX_WINDOW`]) and a dedicated reader thread
+    /// demultiplexes replies, so concurrent clients of one `TcpCluster`
+    /// share each socket instead of serializing on it. Off restores the
+    /// classic connections (the next RPC per site redials).
+    ///
+    /// Deadlock-freedom: a scatter submits to targets in ascending site
+    /// order, so a client blocked on site `j`'s window only holds slots on
+    /// sites `< j` — the wait graph is acyclic, and every held slot is
+    /// released once the server (which always replies in order) answers.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from dialing the replacement connections; sites already
+    /// multiplexed keep their connection.
+    pub fn set_multiplexing(&self, on: bool) -> io::Result<()> {
+        if on {
+            // Installation walks sites in ascending order — the same
+            // discipline every scatter follows — so a concurrent caller
+            // taking the same slot locks cannot deadlock against us.
+            let mut installed: Vec<usize> = Vec::new();
+            for (i, slot) in self.mux.iter().enumerate() {
+                debug_assert!(installed.last().is_none_or(|&prev| prev < i));
+                installed.push(i);
+                let mut slot = slot.write();
+                if slot.is_some() {
+                    continue;
+                }
+                // Retire the classic connection: hang it up so the server's
+                // read loop falls back to `accept`, and poison it so a later
+                // un-multiplexed checkout redials instead of reusing the
+                // dead stream.
+                {
+                    let mut conn = self.conns[i].lock();
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                    conn.poisoned = true;
+                }
+                let stream = TcpStream::connect(self.addrs[i])?;
+                stream.set_nodelay(true)?;
+                let read_half = stream.try_clone()?;
+                let conn = Arc::new(MuxConn {
+                    writer: Mutex::new((stream, 0)),
+                    pending: Mutex::new(HashMap::new()),
+                    window: (Mutex::new(MUX_WINDOW), Condvar::new()),
+                    dead: AtomicBool::new(false),
+                });
+                let reader_conn = Arc::clone(&conn);
+                self.mux_readers.lock().push(std::thread::spawn(move || {
+                    mux_reader(read_half, &reader_conn)
+                }));
+                *slot = Some(conn);
+            }
+            self.muxed.store(true, Ordering::Relaxed);
+        } else {
+            self.muxed.store(false, Ordering::Relaxed);
+            for slot in &self.mux {
+                if let Some(conn) = slot.write().take() {
+                    conn.dead.store(true, Ordering::Relaxed);
+                    let _ = conn.writer.lock().0.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            for handle in self.mux_readers.lock().drain(..) {
+                let _ = handle.join();
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the coordinator's connections are currently multiplexed.
+    pub fn multiplexing(&self) -> bool {
+        self.muxed.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables coordinator-granted read leases (see
+    /// [`crate::locks::LeaseTable`]). Off by default.
+    pub fn set_leases(&self, on: bool) {
+        self.leases.set_enabled(on);
+    }
+
     /// Makes site `s`'s server behave like a build that predates the trace
     /// envelope: any [`WireRequest::Traced`] frame is treated as a decode
     /// error (hangup). Also resets the coordinator's cached `trace_ok`
@@ -488,8 +711,26 @@ impl TcpCluster {
         Some(conn)
     }
 
+    /// One request/response exchange over a multiplexed connection: submit
+    /// under a fresh id, block on the demuxed reply, return the window
+    /// slot. `None` is "site unreachable", exactly as for a torn classic
+    /// exchange.
+    fn mux_rpc(&self, conn: &MuxConn, request: WireRequest) -> Option<WireResponse> {
+        let rx = conn.submit(request)?;
+        let reply = rx.recv().ok().flatten();
+        conn.release_slot();
+        reply
+    }
+
     fn rpc(&self, to: SiteId, request: WireRequest) -> Option<WireResponse> {
         let _timer = crate::obs_hooks::timer(crate::obs_hooks::tcp_rpc_latency);
+        if self.muxed.load(Ordering::Relaxed) {
+            // Wire tracing is a classic-connection feature; mux frames go
+            // bare (the parity suites pin untraced mode anyway).
+            if let Some(conn) = self.mux[to.index()].read().clone() {
+                return self.mux_rpc(&conn, request);
+            }
+        }
         let mut conn = self.checkout(to)?;
         let (framed, traced) = self.trace_wrap(&conn, request.clone());
         if let Some(response) = conn.exchange(to, &framed) {
@@ -529,6 +770,9 @@ impl TcpCluster {
         request_for: impl Fn(SiteId) -> Option<WireRequest>,
         parse: impl Fn(WireResponse) -> Option<ScatterReply>,
     ) -> ScatterReplies {
+        if self.muxed.load(Ordering::Relaxed) {
+            return self.pipelined_mux(spec, origin, targets, &request_for, &parse);
+        }
         // Satellite hoist: one `enabled()` load decides whether any obs
         // work happens in this batch; the disabled path records nothing.
         let obs_on = blockrep_obs::enabled();
@@ -639,6 +883,59 @@ impl TcpCluster {
         }
         replies
     }
+
+    /// Multiplexed scatter: submits one [`WireRequest::Mux`] frame per
+    /// reachable target — acquiring window slots in ascending site order,
+    /// the same discipline as [`pipelined`](Self::pipelined)'s connection
+    /// locks, so concurrent scatters cannot form a wait cycle — then
+    /// gathers the demuxed replies in target order. §5 message counts are
+    /// identical to the other fan-out modes.
+    fn pipelined_mux(
+        &self,
+        spec: ScatterSpec,
+        origin: SiteId,
+        targets: &[SiteId],
+        request_for: &dyn Fn(SiteId) -> Option<WireRequest>,
+        parse: &dyn Fn(WireResponse) -> Option<ScatterReply>,
+    ) -> ScatterReplies {
+        if blockrep_obs::enabled() {
+            crate::obs_hooks::scatter_batch().record(targets.len() as u64);
+        }
+        type Slot = Option<(Arc<MuxConn>, Receiver<Option<WireResponse>>)>;
+        let mut in_flight: Vec<(SiteId, Slot)> = Vec::with_capacity(targets.len());
+        for &t in targets {
+            debug_assert!(
+                in_flight.last().is_none_or(|(prev, _)| *prev < t),
+                "scatter targets must ascend (lock ordering)"
+            );
+            let slot = if self.reachable(origin, t) {
+                request_for(t).and_then(|request| {
+                    let conn = self.mux[t.index()].read().clone()?;
+                    let rx = conn.submit(request)?;
+                    Some((conn, rx))
+                })
+            } else {
+                None
+            };
+            in_flight.push((t, slot));
+        }
+        let mut replies: ScatterReplies = Vec::with_capacity(targets.len());
+        for (t, slot) in in_flight {
+            let reply = slot.and_then(|(conn, rx)| {
+                let response = rx.recv().ok().flatten();
+                conn.release_slot();
+                response.and_then(parse)
+            });
+            replies.push((t, reply));
+        }
+        if let Some(kind) = spec.reply_charge {
+            let gathered = replies.iter().filter(|(_, r)| r.is_some()).count() as u64;
+            self.counter
+                .add_many(spec.op, kind, spec.reply_units, gathered);
+        }
+        backend::truncate_to_threshold(&self.cfg, &mut replies, spec.gather);
+        replies
+    }
 }
 
 impl Backend for TcpCluster {
@@ -697,6 +994,29 @@ impl Backend for TcpCluster {
             WireResponse::Block(v, data) => Some((v, data)),
             _ => None,
         }
+    }
+
+    fn fetch_lease(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        k: BlockIndex,
+    ) -> Option<(VersionNumber, BlockData)> {
+        if from != to && !self.reachable(from, to) {
+            return None;
+        }
+        match self.rpc(to, WireRequest::FetchLease(k))? {
+            WireResponse::Block(v, data) => Some((v, data)),
+            _ => None,
+        }
+    }
+
+    fn block_locks(&self) -> &BlockLockTable {
+        &self.locks
+    }
+
+    fn leases(&self) -> &LeaseTable {
+        &self.leases
     }
 
     fn apply_write(
@@ -930,6 +1250,11 @@ impl Backend for TcpCluster {
 
 impl Drop for TcpCluster {
     fn drop(&mut self) {
+        // Tear down any mux connections first: their servers fall back to
+        // `accept`, and the corresponding classic connections were poisoned
+        // when multiplexing came on, so the loop below delivers Shutdown
+        // over fresh streams. (The off-path never errors.)
+        let _ = self.set_multiplexing(false);
         for (i, conn) in self.conns.iter().enumerate() {
             let mut conn = conn.lock();
             if conn.poisoned {
@@ -1071,6 +1396,63 @@ mod tests {
         // End-to-end traffic over the recovered connection still works.
         c.write(sid(2), k, BlockData::from(vec![4; 32])).unwrap();
         assert_eq!(c.read(sid(1), k).unwrap().as_slice(), &[4; 32]);
+    }
+
+    #[test]
+    fn mux_and_classic_agree_on_results_and_traffic() {
+        for scheme in Scheme::ALL {
+            let mux = tcp(scheme, 4);
+            mux.set_multiplexing(true).unwrap();
+            assert!(mux.multiplexing());
+            let plain = tcp(scheme, 4);
+            for c in [&mux, &plain] {
+                let k = BlockIndex::new(2);
+                c.write(sid(0), k, BlockData::from(vec![8; 32])).unwrap();
+                c.fail_site(sid(1));
+                c.write(sid(2), k, BlockData::from(vec![9; 32])).unwrap();
+                c.repair_site(sid(1));
+                assert_eq!(c.read(sid(1), k).unwrap().as_slice(), &[9; 32], "{scheme}");
+            }
+            assert_eq!(
+                mux.counter().snapshot(),
+                plain.counter().snapshot(),
+                "{scheme}: multiplexing must not change §5 counts"
+            );
+        }
+    }
+
+    #[test]
+    fn mux_survives_toggling_and_concurrent_clients() {
+        let c = Arc::new(tcp(Scheme::Voting, 3));
+        let k = BlockIndex::new(0);
+        c.write(sid(0), k, BlockData::from(vec![1; 32])).unwrap();
+        c.set_multiplexing(true).unwrap();
+        // Many clients share the multiplexed sockets; every read must see a
+        // committed value (one of the concurrently written ones).
+        let writers: Vec<_> = (0..4u8)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for round in 0..8u8 {
+                        let k = BlockIndex::new(u64::from(i % 4));
+                        let fill = i.wrapping_mul(16).wrapping_add(round);
+                        c.write(sid(u32::from(i) % 3), k, BlockData::from(vec![fill; 32]))
+                            .unwrap();
+                        let got = c.read(sid((u32::from(i) + 1) % 3), k).unwrap();
+                        assert_eq!(got.len(), 32);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Back to classic connections: the coordinator redials per site and
+        // traffic keeps flowing.
+        c.set_multiplexing(false).unwrap();
+        assert!(!c.multiplexing());
+        c.write(sid(1), k, BlockData::from(vec![5; 32])).unwrap();
+        assert_eq!(c.read(sid(2), k).unwrap().as_slice(), &[5; 32]);
     }
 
     #[test]

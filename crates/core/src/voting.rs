@@ -183,7 +183,11 @@ pub(crate) fn read<B: Backend + ?Sized>(
 ) -> DeviceResult<BlockData> {
     ensure_coordinator(b, origin)?;
     check_block(b, k)?;
+    if let Some(data) = lease_read(b, origin, k) {
+        return Ok(data);
+    }
     let cfg = b.config();
+    let epoch = b.leases().current_epoch();
     let votes = collect_votes(b, OpClass::Read, origin, k);
     let voters: Vec<SiteId> = votes.iter().map(|&(s, _)| s).collect();
     let gathered = backend::weight_of(cfg, &voters);
@@ -220,8 +224,95 @@ pub(crate) fn read<B: Backend + ?Sized>(
         // Keep the local copy up to date, as the paper's algorithm does.
         b.apply_write(origin, origin, k, &data, v);
     }
+    // The quorum certified v_max: every voter holding it (and the origin,
+    // freshly refreshed) is a known-current replica the next read may be
+    // offloaded to.
+    grant_from_votes(
+        b,
+        k,
+        v_max,
+        votes.iter().map(|&(s, v)| (s, v)),
+        origin,
+        epoch,
+    );
     let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
     Ok(b.read_local(origin, k))
+}
+
+/// Records a read lease from a successful vote round: the holders are the
+/// voters whose version matched `v_max`, plus the origin (which has just
+/// been brought current). Holders are kept in ascending site order so the
+/// routing in [`lease_read`] is deterministic across runtimes.
+fn grant_from_votes<B: Backend + ?Sized>(
+    b: &B,
+    k: BlockIndex,
+    v_max: VersionNumber,
+    votes: impl Iterator<Item = (SiteId, VersionNumber)>,
+    origin: SiteId,
+    epoch: u64,
+) {
+    if !b.leases().enabled() {
+        return;
+    }
+    let mut holders: Vec<SiteId> = votes.filter(|&(_, v)| v == v_max).map(|(s, _)| s).collect();
+    if !holders.contains(&origin) {
+        holders.push(origin);
+    }
+    holders.sort_unstable();
+    b.leases().grant(k, v_max, &holders, epoch);
+}
+
+/// The Harmonia-style read offload: serves block `k` from one
+/// known-current replica in a single round — or locally for free — when a
+/// current-epoch lease exists. Returns `None` to fall back to the quorum
+/// path: no lease, no reachable holder, or a holder whose answer failed
+/// version validation (in which case the lease is revoked first, so a
+/// stale holder can never be consulted twice).
+fn lease_read<B: Backend + ?Sized>(b: &B, origin: SiteId, k: BlockIndex) -> Option<BlockData> {
+    let (v_lease, holders) = b.leases().lookup(k)?;
+    // Version-aware routing: spread reads deterministically over the
+    // holders by (origin, block) instead of hammering the lowest id.
+    let n = holders.len();
+    let start = (origin.index() + k.as_u64() as usize) % n;
+    for i in 0..n {
+        let h = holders[(start + i) % n];
+        if h == origin {
+            // The grant names our own replica: serve locally, zero messages.
+            let (v, _) = b.fetch_block(origin, origin, k)?;
+            if v != v_lease {
+                b.leases().invalidate(k);
+                return None;
+            }
+            event!(
+                "read.lease",
+                block = k.as_u64(),
+                holder = h.as_u32(),
+                local = true
+            );
+            return Some(b.read_local(origin, k));
+        }
+        // One request to one replica instead of a quorum round.
+        b.counter().add(OpClass::Read, MsgKind::BlockRequest, 1);
+        let Some((v, data)) = b.fetch_lease(origin, h, k) else {
+            continue; // holder unreachable — try the next one
+        };
+        b.counter().add(OpClass::Read, MsgKind::BlockTransfer, 1);
+        if v != v_lease {
+            // A stale holder (partitioned across a write, or the chaos
+            // suite's StaleLease fault): revoke and re-run the quorum read.
+            b.leases().invalidate(k);
+            return None;
+        }
+        event!(
+            "read.lease",
+            block = k.as_u64(),
+            holder = h.as_u32(),
+            local = false
+        );
+        b.apply_write(origin, origin, k, &data, v);
+        return Some(data);
+    }
+    None
 }
 
 /// The weighted-voting write algorithm of Figure 4.
@@ -238,7 +329,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
     b: &B,
     origin: SiteId,
     k: BlockIndex,
-    data: BlockData,
+    data: &BlockData,
 ) -> DeviceResult<()> {
     ensure_coordinator(b, origin)?;
     check_block(b, k)?;
@@ -250,6 +341,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
             expected: cfg.block_size(),
         });
     }
+    let epoch = b.leases().current_epoch();
     let votes = collect_votes(b, OpClass::Write, origin, k);
     let voters: Vec<SiteId> = votes.iter().map(|&(s, _)| s).collect();
     let gathered = backend::weight_of(cfg, &voters);
@@ -269,6 +361,9 @@ pub(crate) fn write<B: Backend + ?Sized>(
         .expect("votes always include the origin")
         .next();
     let remote_voters: Vec<SiteId> = voters.iter().copied().filter(|&s| s != origin).collect();
+    // Revoke the block's lease before any replica changes: the write
+    // fan-out is about to make every outstanding grant stale.
+    b.leases().invalidate(k);
     backend::charge_fanout(b, OpClass::Write, MsgKind::WriteUpdate, remote_voters.len());
     let replicas = remote_voters.len() + 1;
     // Install acknowledgements are not §5 transmissions: no reply charge.
@@ -278,7 +373,7 @@ pub(crate) fn write<B: Backend + ?Sized>(
         reply_units: 1,
         gather: Gather::All,
     };
-    b.scatter(
+    let installs = b.scatter(
         spec,
         origin,
         &remote_voters,
@@ -290,8 +385,21 @@ pub(crate) fn write<B: Backend + ?Sized>(
     );
     {
         let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
-        b.apply_write(origin, origin, k, &data, v_new);
+        b.apply_write(origin, origin, k, data, v_new);
     }
+    // Every voter the install landed on now holds v_new: re-grant the
+    // lease to the delivered set (plus the origin itself).
+    grant_from_votes(
+        b,
+        k,
+        v_new,
+        installs
+            .iter()
+            .filter(|(_, r)| r.is_some())
+            .map(|&(s, _)| (s, v_new)),
+        origin,
+        epoch,
+    );
     event!(
         "write.commit",
         block = k.as_u64(),
@@ -328,6 +436,7 @@ pub(crate) fn read_many<B: Backend + ?Sized>(
     }
     let _span = span!("mcv.read_many", origin = origin.as_u32(), blocks = ks.len());
     let cfg = b.config();
+    let epoch = b.leases().current_epoch();
     let votes = collect_votes_many(b, OpClass::Read, origin, ks);
     let voters: Vec<SiteId> = votes.iter().map(|&(s, _)| s).collect();
     let gathered = backend::weight_of(cfg, &voters);
@@ -363,6 +472,14 @@ pub(crate) fn read_many<B: Backend + ?Sized>(
             );
             b.apply_write(origin, origin, k, &data, v);
         }
+        grant_from_votes(
+            b,
+            k,
+            v_max,
+            votes.iter().map(|(s, vs)| (*s, vs[i])),
+            origin,
+            epoch,
+        );
     }
     let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
     Ok(b.read_local_many(origin, ks))
@@ -404,6 +521,7 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
         blocks = writes.len()
     );
     let ks: Vec<BlockIndex> = writes.iter().map(|&(k, _)| k).collect();
+    let epoch = b.leases().current_epoch();
     let votes = collect_votes_many(b, OpClass::Write, origin, &ks);
     let voters: Vec<SiteId> = votes.iter().map(|&(s, _)| s).collect();
     let gathered = backend::weight_of(cfg, &voters);
@@ -430,6 +548,10 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
         })
         .collect();
     let remote_voters: Vec<SiteId> = voters.iter().copied().filter(|&s| s != origin).collect();
+    // Revoke every touched block's lease before the batched fan-out.
+    for &k in &ks {
+        b.leases().invalidate(k);
+    }
     for _ in writes {
         backend::charge_fanout(b, OpClass::Write, MsgKind::WriteUpdate, remote_voters.len());
     }
@@ -439,7 +561,7 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
         reply_units: 1,
         gather: Gather::All,
     };
-    b.scatter(
+    let installs = b.scatter(
         spec,
         origin,
         &remote_voters,
@@ -448,6 +570,21 @@ pub(crate) fn write_many<B: Backend + ?Sized>(
     {
         let _leg = obs_hooks::phase_span(obs_hooks::phase_local_leg, origin.as_u32());
         b.apply_write_many(origin, origin, &batch);
+    }
+    // Batch delivery is all-or-nothing per target, so one delivered set
+    // covers every block: re-grant each block's lease at its new version.
+    for (k, v_new, _) in &batch {
+        grant_from_votes(
+            b,
+            *k,
+            *v_new,
+            installs
+                .iter()
+                .filter(|(_, r)| r.is_some())
+                .map(|&(s, _)| (s, *v_new)),
+            origin,
+            epoch,
+        );
     }
     event!(
         "write.commit.batch",

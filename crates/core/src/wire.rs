@@ -71,6 +71,22 @@ pub enum WireRequest {
         /// The request being carried (never itself `Traced`).
         inner: Box<WireRequest>,
     },
+    /// Fetch a block with its version to serve a read lease. Same payload
+    /// and reply shape as [`WireRequest::Fetch`], but a distinct tag so the
+    /// chaos suite can fault lease validation without touching quorum
+    /// reads.
+    FetchLease(BlockIndex),
+    /// A multiplexing envelope: the inner request plus a per-connection
+    /// request id. The server echoes the id on the matching
+    /// [`WireResponse::Mux`] reply, which is what lets a coordinator keep a
+    /// window of requests in flight on one connection and demultiplex the
+    /// replies by id instead of by arrival order.
+    Mux {
+        /// Per-connection request id, echoed on the reply.
+        id: u64,
+        /// The request being carried (never itself `Mux` or `Traced`).
+        inner: Box<WireRequest>,
+    },
 }
 
 /// A site's answer.
@@ -96,6 +112,14 @@ pub enum WireResponse {
     Versions(Vec<VersionNumber>),
     /// Raw data for a batch of blocks, in request order.
     DataMany(Vec<BlockData>),
+    /// A multiplexed reply: the inner response tagged with the id of the
+    /// [`WireRequest::Mux`] envelope it answers.
+    Mux {
+        /// The request id this reply answers.
+        id: u64,
+        /// The response being carried (never itself `Mux`).
+        inner: Box<WireResponse>,
+    },
 }
 
 /// A malformed frame.
@@ -285,6 +309,15 @@ impl WireRequest {
                 buf.put_u64_le(*parent_span);
                 buf.extend_from_slice(&inner.encode());
             }
+            WireRequest::FetchLease(k) => {
+                buf.put_u8(18);
+                buf.put_u64_le(k.as_u64());
+            }
+            WireRequest::Mux { id, inner } => {
+                buf.put_u8(19);
+                buf.put_u64_le(*id);
+                buf.extend_from_slice(&inner.encode());
+            }
         }
         buf
     }
@@ -394,6 +427,24 @@ impl WireRequest {
                         .collect(),
                 )
             }
+            18 => {
+                need(raw, 8, "block index")?;
+                WireRequest::FetchLease(BlockIndex::new(raw.get_u64_le()))
+            }
+            19 => {
+                need(raw, 8, "mux envelope")?;
+                let id = raw.get_u64_le();
+                // The inner decode consumes the remainder and performs its
+                // own trailing-bytes check, so return directly.
+                let inner = WireRequest::decode(raw)?;
+                if matches!(inner, WireRequest::Mux { .. } | WireRequest::Traced { .. }) {
+                    return Err(bad("nested mux envelope"));
+                }
+                return Ok(WireRequest::Mux {
+                    id,
+                    inner: Box::new(inner),
+                });
+            }
             other => return Err(bad(&format!("unknown request tag {other}"))),
         };
         if raw.has_remaining() {
@@ -453,6 +504,11 @@ impl WireResponse {
                     put_data(&mut buf, d);
                 }
             }
+            WireResponse::Mux { id, inner } => {
+                buf.put_u8(10);
+                buf.put_u64_le(*id);
+                buf.extend_from_slice(&inner.encode());
+            }
         }
         buf
     }
@@ -511,6 +567,20 @@ impl WireResponse {
                     out.push(get_data(&mut raw)?);
                 }
                 WireResponse::DataMany(out)
+            }
+            10 => {
+                need(raw, 8, "mux envelope")?;
+                let id = raw.get_u64_le();
+                // The inner decode consumes the remainder and performs its
+                // own trailing-bytes check, so return directly.
+                let inner = WireResponse::decode(raw)?;
+                if matches!(inner, WireResponse::Mux { .. }) {
+                    return Err(bad("nested mux envelope"));
+                }
+                return Ok(WireResponse::Mux {
+                    id,
+                    inner: Box::new(inner),
+                });
             }
             other => return Err(bad(&format!("unknown response tag {other}"))),
         };
@@ -622,6 +692,7 @@ mod tests {
             prop::collection::vec(any::<u16>(), 0..8).prop_map(|ks| WireRequest::ReadLocalMany(
                 ks.into_iter().map(|k| BlockIndex::new(k as u64)).collect()
             )),
+            any::<u16>().prop_map(|k| WireRequest::FetchLease(BlockIndex::new(k as u64))),
         ]
     }
 
@@ -635,6 +706,10 @@ mod tests {
                     inner: Box::new(inner),
                 }
             ),
+            1 => (any::<u64>(), arb_plain_request()).prop_map(|(id, inner)| WireRequest::Mux {
+                id,
+                inner: Box::new(inner),
+            }),
         ]
     }
 
@@ -646,7 +721,7 @@ mod tests {
         ]
     }
 
-    fn arb_response() -> impl Strategy<Value = WireResponse> {
+    fn arb_plain_response() -> impl Strategy<Value = WireResponse> {
         prop_oneof![
             Just(WireResponse::Ack),
             any::<u32>().prop_map(|v| WireResponse::Version(VersionNumber::new(v as u64))),
@@ -663,6 +738,16 @@ mod tests {
                     .collect()
             )),
             prop::collection::vec(arb_data(), 0..8).prop_map(WireResponse::DataMany),
+        ]
+    }
+
+    fn arb_response() -> impl Strategy<Value = WireResponse> {
+        prop_oneof![
+            3 => arb_plain_response(),
+            1 => (any::<u64>(), arb_plain_response()).prop_map(|(id, inner)| WireResponse::Mux {
+                id,
+                inner: Box::new(inner),
+            }),
         ]
     }
 
@@ -751,5 +836,39 @@ mod tests {
         let mut trailing = encoded;
         trailing.push(0xAB);
         assert!(WireRequest::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn mux_envelope_roundtrips_and_rejects_nesting() {
+        let inner = WireRequest::FetchLease(BlockIndex::new(3));
+        let mux = WireRequest::Mux {
+            id: 99,
+            inner: Box::new(inner.clone()),
+        };
+        let encoded = mux.encode();
+        assert_eq!(WireRequest::decode(&encoded).unwrap(), mux);
+        // Tag byte + 8-byte id + the inner frame, nothing more.
+        assert_eq!(encoded.len(), 9 + inner.encode().len());
+        assert_eq!(encoded[0], 19);
+
+        let nested = WireRequest::Mux {
+            id: 1,
+            inner: Box::new(mux),
+        };
+        assert!(WireRequest::decode(&nested.encode()).is_err());
+
+        let reply = WireResponse::Mux {
+            id: 99,
+            inner: Box::new(WireResponse::Block(
+                VersionNumber::new(4),
+                BlockData::from(vec![1, 2]),
+            )),
+        };
+        assert_eq!(WireResponse::decode(&reply.encode()).unwrap(), reply);
+        let nested_reply = WireResponse::Mux {
+            id: 1,
+            inner: Box::new(reply),
+        };
+        assert!(WireResponse::decode(&nested_reply.encode()).is_err());
     }
 }

@@ -1,0 +1,29 @@
+//! Seeded violation of the sharded block-lock discipline: multi-block
+//! operations must take their shard guards in ascending shard index.
+//! `guard_many_descending` walks the (already deduplicated) shard list
+//! back to front and asserts the *wrong* (descending) order — two
+//! coordinators covering overlapping shard sets from opposite ends
+//! deadlock. It must be flagged; `guard_many` below follows the real
+//! `BlockLockTable` shape and must be positively verified instead.
+
+impl ShardTable {
+    fn guard_many_descending(&self, shards: &[usize]) {
+        let mut held = Vec::new();
+        for &s in shards.iter().rev() {
+            let g = self.shards[s].write();
+            debug_assert!(held.last().is_none_or(|&(prev, _)| prev > s));
+            held.push((s, g));
+        }
+        drop(held);
+    }
+
+    fn guard_many(&self, shards: &[usize]) {
+        let mut held = Vec::new();
+        for &s in shards {
+            let g = self.shards[s].write();
+            debug_assert!(held.last().is_none_or(|&(prev, _)| prev < s));
+            held.push((s, g));
+        }
+        drop(held);
+    }
+}

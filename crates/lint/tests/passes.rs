@@ -160,3 +160,28 @@ fn missing_or_mutated_ascending_assert_is_caught() {
         report.verified
     );
 }
+
+#[test]
+fn descending_block_shard_acquisition_is_caught() {
+    let report = lint("shard_order");
+    // Only the back-to-front walk is a finding; its descending assert is
+    // not the discipline.
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    let f = &report.findings[0];
+    assert!(f.pass == "lock-order" && f.severity == Severity::Error);
+    assert!(
+        f.message.contains("guard_many_descending") && f.message.contains("ascending-order"),
+        "{}",
+        f.message
+    );
+    // The ascending twin is positively verified, exactly like the real
+    // `BlockLockTable::{read,write}_guard_many`.
+    assert!(
+        report
+            .verified
+            .iter()
+            .any(|v| v.contains("`guard_many`") && v.contains("ascending")),
+        "{:#?}",
+        report.verified
+    );
+}

@@ -38,6 +38,18 @@ fn key_invariants_are_positively_verified() {
         "conn-lock ascending-order discipline not verified:\n{:#?}",
         report.verified
     );
+    // Likewise the sharded block-lock table: both multi-guard paths must
+    // carry the ascending-shard-index assertion.
+    for f in ["read_guard_many", "write_guard_many"] {
+        assert!(
+            report
+                .verified
+                .iter()
+                .any(|v| v.contains("locks.rs") && v.contains(f) && v.contains("ascending")),
+            "block-shard ascending-order discipline not verified for {f}:\n{:#?}",
+            report.verified
+        );
+    }
     // Both wire enums must have their tag bijection confirmed.
     for ty in ["WireRequest", "WireResponse"] {
         assert!(

@@ -64,6 +64,95 @@ fn chaos_journaled_seed_matrix() {
     }
 }
 
+/// The leased seed matrix — the one-copy oracle with Harmonia-style read
+/// offload switched on across all three runtimes. Leases change how many
+/// messages a read costs, never what it may return, so the identical
+/// oracle must hold; the leased generator additionally schedules
+/// `StaleLease` faults that the lease path's version check must catch.
+#[test]
+fn chaos_leased_seed_matrix() {
+    for scheme in Scheme::ALL {
+        for seed in 0..SEEDS {
+            if let Err(failure) = chaos::run_seed_opts(seed, scheme, STEPS, false, true) {
+                panic!("{failure}");
+            }
+        }
+    }
+}
+
+/// The lease flag must not change the generated workload shape: with
+/// leases off the output is bit-identical to `generate`, and with leases
+/// on only fault *kinds* may differ (same actions, same fault addresses) —
+/// that is what makes a leased/unleased A-B comparison of a seed honest.
+#[test]
+fn chaos_leased_generation_only_relabels_fault_kinds() {
+    for scheme in Scheme::ALL {
+        let plain = chaos::generate(7, scheme, STEPS);
+        let off = chaos::generate_with(7, scheme, STEPS, false);
+        assert_eq!(
+            plain.steps, off.steps,
+            "{scheme}: leases=false must be identity"
+        );
+        let on = chaos::generate_with(7, scheme, STEPS, true);
+        assert_eq!(plain.steps.len(), on.steps.len());
+        for (a, b) in plain.steps.iter().zip(&on.steps) {
+            assert_eq!(a.action, b.action, "{scheme}: workload shape changed");
+            let addrs = |s: &ChaosStep| s.faults.iter().map(|&(x, _)| x).collect::<Vec<_>>();
+            assert_eq!(addrs(a), addrs(b), "{scheme}: fault addresses changed");
+        }
+    }
+}
+
+/// A hand-written stale-lease schedule: a clean voting write grants the
+/// block's lease to every replica; the next read routes its one-round
+/// offload to a remote holder whose answer the `StaleLease` fault rewinds
+/// to the pre-write version. The version check must revoke the lease and
+/// fall back to the quorum path, so the read still returns the current
+/// value — on all three runtimes, leases on.
+#[test]
+fn chaos_stale_lease_holder_is_caught_and_quorum_prevails() {
+    let cfg = blockrep::types::DeviceConfig::builder(Scheme::Voting)
+        .sites(3)
+        .num_blocks(2)
+        .block_size(8)
+        .build()
+        .unwrap();
+    let script = vec![
+        ChaosStep {
+            action: Action::Write {
+                origin: sid(0),
+                block: blk(1),
+                fill: 0x11,
+            },
+            faults: vec![],
+        },
+        ChaosStep {
+            // Holders of block 1's lease are {0, 1, 2}; origin 0 routes the
+            // offloaded read to holder (0 + 1) % 3 = site 1, so exchange 0
+            // is the lease fetch — rewind its reported version.
+            action: Action::Read {
+                origin: sid(0),
+                block: blk(1),
+            },
+            faults: vec![(0, FaultKind::StaleLease)],
+        },
+        ChaosStep {
+            action: Action::Read {
+                origin: sid(2),
+                block: blk(1),
+            },
+            faults: vec![],
+        },
+    ];
+    chaos::check_with(&cfg, &script, true).unwrap();
+    // Pin the endgame on the deterministic runtime: the stale answer was
+    // discarded and the quorum fallback served the current value.
+    let rt = Cluster::new(cfg, ClusterOptions::default());
+    rt.set_leases(true);
+    chaos::run_on(&rt, &script).unwrap();
+    assert_eq!(rt.read(sid(0), blk(1)).unwrap().as_slice(), &[0x11; 8]);
+}
+
 /// The same seed must generate the same script, bit for bit — otherwise a
 /// printed failing seed is not replayable.
 #[test]

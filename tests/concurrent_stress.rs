@@ -146,6 +146,85 @@ fn live_cluster_handles_concurrent_clients_and_failures() {
 }
 
 #[test]
+fn failover_commits_concurrent_writers_while_preferred_coordinator_crashes_mid_fanout() {
+    let cluster = Arc::new(LiveCluster::spawn(
+        device_cfg(Scheme::Voting),
+        DeliveryMode::Multicast,
+    ));
+    // A nonzero link delay keeps fan-outs in flight long enough that the
+    // crash injector regularly catches one mid-scatter; leases are on so
+    // the failover storm also exercises invalidation and epoch bumps.
+    cluster.set_link_latency(std::time::Duration::from_micros(50));
+    cluster.set_leases(true);
+    let preferred = SiteId::new(0);
+    const ROUNDS: u32 = 200;
+    const SALT: u32 = 100_000; // distinct fill stream for the second writer
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Crash injector cycling the preferred coordinator.
+        {
+            let cluster = Arc::clone(&cluster);
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    cluster.fail_site(preferred);
+                    std::thread::sleep(std::time::Duration::from_micros(120));
+                    cluster.repair_site(preferred);
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Two writers on distinct blocks, both preferring the cycling
+        // coordinator. Distinct blocks means the sharded lock table lets
+        // them run concurrently — neither serializes behind the other.
+        let mut writers = Vec::new();
+        for (blk, salt) in [(2u64, 0u32), (3, SALT)] {
+            let cluster = Arc::clone(&cluster);
+            writers.push(scope.spawn(move || {
+                let dev = ReliableDevice::new(cluster, preferred);
+                let k = BlockIndex::new(blk);
+                for i in 1..=ROUNDS {
+                    // Failover covers a coordinator that cannot serve; a
+                    // quorum lost *mid-fan-out* surfaces as a transient
+                    // error instead, and the client retries the round.
+                    let mut attempts = 0u32;
+                    while dev.write_block(k, fill_of(salt + i)).is_err() {
+                        attempts += 1;
+                        assert!(
+                            attempts < 10_000,
+                            "round {i} of block {blk} never committed"
+                        );
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    // Quiesce, then the one-copy check: every site reads back exactly the
+    // last committed round of each block.
+    if cluster.site_state(preferred) == blockrep::types::SiteState::Failed {
+        cluster.repair_site(preferred);
+    }
+    for site in 0..3u32 {
+        let origin = SiteId::new(site);
+        assert_eq!(
+            cluster.read(origin, BlockIndex::new(2)).unwrap(),
+            fill_of(ROUNDS),
+            "block 2 not exact at site {site}"
+        );
+        assert_eq!(
+            cluster.read(origin, BlockIndex::new(3)).unwrap(),
+            fill_of(SALT + ROUNDS),
+            "block 3 not exact at site {site}"
+        );
+    }
+}
+
+#[test]
 fn filesystem_reads_race_failure_injection() {
     let cluster = Arc::new(Cluster::new(
         DeviceConfig::builder(Scheme::AvailableCopy)

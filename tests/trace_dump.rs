@@ -29,6 +29,7 @@ fn chaos_failure_dump_is_valid_chrome_trace_json() {
         scheme: Scheme::Voting,
         steps: script.steps,
         journaled: false,
+        leases: false,
         detail: "synthetic oracle violation (seeded regression)".into(),
     };
 

@@ -143,7 +143,12 @@ impl<M> BenchmarkGroup<'_, M> {
     pub fn finish(self) {}
 }
 
-fn run_one(c: &mut Criterion, name: &str, sample_size: usize, routine: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(
+    c: &mut Criterion,
+    name: &str,
+    sample_size: usize,
+    routine: &mut dyn FnMut(&mut Bencher),
+) {
     let mut bencher = Bencher {
         measure: c.measuring.then_some(MeasureState {
             sample_size,
@@ -252,7 +257,8 @@ mod tests {
         };
         let mut runs = 0;
         let mut g = c.benchmark_group("g");
-        g.sample_size(3).bench_function("one", |b| b.iter(|| runs += 1));
+        g.sample_size(3)
+            .bench_function("one", |b| b.iter(|| runs += 1));
         g.finish();
         // one warm-up + three timed iterations
         assert_eq!(runs, 4);

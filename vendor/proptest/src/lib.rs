@@ -250,7 +250,10 @@ pub mod strategy {
         /// Panics if `arms` is empty or all weights are zero.
         pub fn new(arms: Vec<(u32, Box<dyn AnyStrategy<V>>)>) -> Self {
             let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
-            assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+            assert!(
+                total_weight > 0,
+                "prop_oneof! needs a positive total weight"
+            );
             Union { arms, total_weight }
         }
     }
