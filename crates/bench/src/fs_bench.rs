@@ -20,7 +20,7 @@
 //! per case plus the batched-over-per-block speedups the PR's acceptance
 //! criterion reads off.
 
-use crate::protocol_bench::{parse_json, BenchRuntime, JsonValue};
+use crate::protocol_bench::BenchRuntime;
 use blockrep_core::{Cluster, ClusterOptions, LiveCluster, ReliableDevice, TcpCluster};
 use blockrep_fs::FileSystem;
 use blockrep_net::{DeliveryMode, FanoutMode};
@@ -476,86 +476,22 @@ impl FsBenchReport {
 /// The first structural problem found: syntax error, wrong schema tag,
 /// missing/ill-typed field, an empty result set, or an unknown io label.
 pub fn validate(text: &str) -> Result<(), String> {
-    let doc = parse_json(text)?;
-    let schema = doc
-        .get("schema")
-        .and_then(JsonValue::as_str)
-        .ok_or("missing \"schema\"")?;
-    if schema != SCHEMA {
-        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
-    }
-    doc.get("net")
-        .and_then(JsonValue::as_str)
-        .ok_or("missing string field \"net\"")?;
-    for key in ["sites", "file_blocks", "block_size", "link_latency_us"] {
-        doc.get(key)
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!("missing numeric field {key:?}"))?;
-    }
-    let results = doc
-        .get("results")
-        .and_then(JsonValue::as_array)
-        .ok_or("missing \"results\" array")?;
-    if results.is_empty() {
-        return Err("\"results\" is empty".into());
-    }
-    for (i, r) in results.iter().enumerate() {
-        for key in ["runtime", "scheme", "workload"] {
-            r.get(key)
-                .and_then(JsonValue::as_str)
-                .ok_or(format!("results[{i}]: missing string field {key:?}"))?;
-        }
-        let io = r
-            .get("io")
-            .and_then(JsonValue::as_str)
-            .ok_or(format!("results[{i}]: missing string field \"io\""))?;
+    let doc = crate::schema::parse_report(text, SCHEMA)?;
+    let root = crate::schema::Node::root(&doc);
+    root.require_str("net")?;
+    root.require_nums(&["sites", "file_blocks", "block_size", "link_latency_us"])?;
+    for (i, r) in root.require_nonempty_array("results")?.iter().enumerate() {
+        r.require_strs(&["runtime", "scheme", "workload"])?;
+        let io = r.require_str("io")?;
         if io != "batched" && io != "per_block" {
             return Err(format!("results[{i}].io is {io:?}"));
         }
-        for key in ["ops", "ops_per_sec", "p50_us", "p99_us"] {
-            let v = r
-                .get(key)
-                .and_then(JsonValue::as_f64)
-                .ok_or(format!("results[{i}]: missing numeric field {key:?}"))?;
-            if v < 0.0 {
-                return Err(format!("results[{i}].{key} is negative"));
-            }
-        }
-        // Optional fields added by newer emitters; type-checked when present
-        // so older committed artifacts stay valid.
-        if let Some(v) = r.get("samples") {
-            if v.as_f64().is_none() {
-                return Err(format!("results[{i}].samples is not numeric"));
-            }
-        }
-        if let Some(v) = r.get("low_confidence") {
-            if v.as_bool().is_none() {
-                return Err(format!("results[{i}].low_confidence is not a boolean"));
-            }
-        }
+        r.require_nonneg(&["ops", "ops_per_sec", "p50_us", "p99_us"])?;
+        r.optional_sampling_fields()?;
     }
-    let speedups = doc
-        .get("speedups")
-        .and_then(JsonValue::as_array)
-        .ok_or("missing \"speedups\" array")?;
-    if speedups.is_empty() {
-        return Err("\"speedups\" is empty".into());
-    }
-    for (i, s) in speedups.iter().enumerate() {
-        for key in ["runtime", "scheme", "workload"] {
-            s.get(key)
-                .and_then(JsonValue::as_str)
-                .ok_or(format!("speedups[{i}]: missing string field {key:?}"))?;
-        }
-        let ratio = s
-            .get("batched_over_per_block")
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!(
-                "speedups[{i}]: missing numeric field \"batched_over_per_block\""
-            ))?;
-        if ratio < 0.0 {
-            return Err(format!("speedups[{i}].batched_over_per_block is negative"));
-        }
+    for s in root.require_nonempty_array("speedups")? {
+        s.require_strs(&["runtime", "scheme", "workload"])?;
+        s.require_nonneg(&["batched_over_per_block"])?;
     }
     Ok(())
 }

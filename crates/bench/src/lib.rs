@@ -15,6 +15,8 @@ pub mod fsload;
 pub mod load_bench;
 pub mod protocol_bench;
 pub mod report;
+pub mod schema;
+pub mod shard_bench;
 pub mod storage_bench;
 pub mod trace_bench;
 

@@ -19,7 +19,7 @@
 //! one windowed connection per site instead of serializing whole scatters
 //! behind a per-site connection mutex.
 
-use crate::protocol_bench::{parse_json, JsonValue};
+use crate::protocol_bench::JsonValue;
 use blockrep_core::{LiveCluster, TcpCluster};
 use blockrep_net::DeliveryMode;
 use blockrep_obs::metrics::Histogram;
@@ -63,6 +63,9 @@ pub struct LoadBenchConfig {
     pub link_latency_us: u64,
     /// Skew of the zipfian key mix (`0.99` is the YCSB convention).
     pub zipf_theta: f64,
+    /// Run every site on a write-ahead log (`--journaled`), so the load
+    /// numbers include the WAL append/group-commit cost on writes.
+    pub journaled: bool,
 }
 
 impl LoadBenchConfig {
@@ -81,6 +84,7 @@ impl LoadBenchConfig {
             mode: DeliveryMode::Multicast,
             link_latency_us: 300,
             zipf_theta: 0.99,
+            journaled: false,
         }
     }
 
@@ -89,6 +93,7 @@ impl LoadBenchConfig {
             .sites(self.sites)
             .num_blocks(self.blocks)
             .block_size(self.block_size)
+            .journaled(self.journaled)
             .build()
             .expect("load benchmark device config")
     }
@@ -449,6 +454,7 @@ impl LoadBenchReport {
             self.config.write_every
         ));
         out.push_str(&format!("  \"zipf_theta\": {},\n", self.config.zipf_theta));
+        out.push_str(&format!("  \"journaled\": {},\n", self.config.journaled));
         let clients: Vec<String> = self.config.clients.iter().map(|c| c.to_string()).collect();
         out.push_str(&format!("  \"clients\": [{}],\n", clients.join(", ")));
         out.push_str("  \"results\": [\n");
@@ -532,20 +538,10 @@ impl LoadBenchReport {
 /// The first structural problem found: syntax error, wrong schema tag,
 /// missing/ill-typed field, or an empty result set.
 pub fn validate(text: &str) -> Result<(), String> {
-    let doc = parse_json(text)?;
-    let schema = doc
-        .get("schema")
-        .and_then(JsonValue::as_str)
-        .ok_or("missing \"schema\"")?;
-    if schema != SCHEMA {
-        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
-    }
-    for key in ["scheme", "net"] {
-        doc.get(key)
-            .and_then(JsonValue::as_str)
-            .ok_or(format!("missing string field {key:?}"))?;
-    }
-    for key in [
+    let doc = crate::schema::parse_report(text, SCHEMA)?;
+    let root = crate::schema::Node::root(&doc);
+    root.require_strs(&["scheme", "net"])?;
+    root.require_nums(&[
         "sites",
         "blocks",
         "block_size",
@@ -553,11 +549,8 @@ pub fn validate(text: &str) -> Result<(), String> {
         "total_ops",
         "write_every",
         "zipf_theta",
-    ] {
-        doc.get(key)
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!("missing numeric field {key:?}"))?;
-    }
+    ])?;
+    root.require_bool("journaled")?;
     let clients = doc
         .get("clients")
         .and_then(JsonValue::as_array)
@@ -565,23 +558,10 @@ pub fn validate(text: &str) -> Result<(), String> {
     if clients.iter().any(|c| c.as_f64().is_none()) {
         return Err("\"clients\" has a non-numeric entry".into());
     }
-    let results = doc
-        .get("results")
-        .and_then(JsonValue::as_array)
-        .ok_or("missing \"results\" array")?;
-    if results.is_empty() {
-        return Err("\"results\" is empty".into());
-    }
-    for (i, r) in results.iter().enumerate() {
-        for key in ["runtime", "dist"] {
-            r.get(key)
-                .and_then(JsonValue::as_str)
-                .ok_or(format!("results[{i}]: missing string field {key:?}"))?;
-        }
-        r.get("leases")
-            .and_then(JsonValue::as_bool)
-            .ok_or(format!("results[{i}]: missing boolean field \"leases\""))?;
-        for key in [
+    for r in root.require_nonempty_array("results")? {
+        r.require_strs(&["runtime", "dist"])?;
+        r.require_bool("leases")?;
+        r.require_nonneg(&[
             "clients",
             "ops",
             "reads",
@@ -590,39 +570,13 @@ pub fn validate(text: &str) -> Result<(), String> {
             "p50_us",
             "p99_us",
             "samples",
-        ] {
-            let v = r
-                .get(key)
-                .and_then(JsonValue::as_f64)
-                .ok_or(format!("results[{i}]: missing numeric field {key:?}"))?;
-            if v < 0.0 {
-                return Err(format!("results[{i}].{key} is negative"));
-            }
-        }
-        r.get("low_confidence")
-            .and_then(JsonValue::as_bool)
-            .ok_or(format!(
-                "results[{i}]: missing boolean field \"low_confidence\""
-            ))?;
+        ])?;
+        r.require_bool("low_confidence")?;
     }
-    let scaling = doc
-        .get("scaling")
-        .and_then(JsonValue::as_array)
-        .ok_or("missing \"scaling\" array")?;
-    for (i, s) in scaling.iter().enumerate() {
-        for key in ["runtime", "dist"] {
-            s.get(key)
-                .and_then(JsonValue::as_str)
-                .ok_or(format!("scaling[{i}]: missing string field {key:?}"))?;
-        }
-        s.get("leases")
-            .and_then(JsonValue::as_bool)
-            .ok_or(format!("scaling[{i}]: missing boolean field \"leases\""))?;
-        for key in ["clients", "throughput_over_one_client"] {
-            s.get(key)
-                .and_then(JsonValue::as_f64)
-                .ok_or(format!("scaling[{i}]: missing numeric field {key:?}"))?;
-        }
+    for s in root.require_array("scaling")? {
+        s.require_strs(&["runtime", "dist"])?;
+        s.require_bool("leases")?;
+        s.require_nums(&["clients", "throughput_over_one_client"])?;
     }
     Ok(())
 }
@@ -644,7 +598,23 @@ mod tests {
             mode: DeliveryMode::Multicast,
             link_latency_us: 0,
             zipf_theta: 0.99,
+            journaled: false,
         }
+    }
+
+    #[test]
+    fn journaled_flag_reaches_the_device_config_and_the_report() {
+        let mut cfg = tiny(Scheme::Voting);
+        cfg.journaled = true;
+        assert!(cfg.device().journaled(), "--journaled must reach the sites");
+        let report = run_case(&cfg, LoadRuntime::Live, false, KeyDist::Uniform, 1);
+        let full = LoadBenchReport {
+            config: cfg,
+            results: vec![report],
+            scaling: Vec::new(),
+        };
+        assert!(full.to_json().contains("\"journaled\": true"));
+        validate(&full.to_json()).unwrap();
     }
 
     #[test]

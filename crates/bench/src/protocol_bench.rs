@@ -680,74 +680,18 @@ pub fn parse_json(text: &str) -> Result<JsonValue, String> {
 /// The first structural problem found: syntax error, wrong schema tag,
 /// missing/ill-typed field, or an empty result set.
 pub fn validate(text: &str) -> Result<(), String> {
-    let doc = parse_json(text)?;
-    let schema = doc
-        .get("schema")
-        .and_then(JsonValue::as_str)
-        .ok_or("missing \"schema\"")?;
-    if schema != SCHEMA {
-        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    let doc = crate::schema::parse_report(text, SCHEMA)?;
+    let root = crate::schema::Node::root(&doc);
+    root.require_strs(&["scheme", "net"])?;
+    root.require_nums(&["sites", "blocks", "block_size", "link_latency_us"])?;
+    for r in root.require_nonempty_array("results")? {
+        r.require_strs(&["runtime", "fanout", "workload"])?;
+        r.require_nonneg(&["ops", "ops_per_sec", "p50_us", "p99_us"])?;
+        r.optional_sampling_fields()?;
     }
-    for key in ["scheme", "net"] {
-        doc.get(key)
-            .and_then(JsonValue::as_str)
-            .ok_or(format!("missing string field {key:?}"))?;
-    }
-    for key in ["sites", "blocks", "block_size", "link_latency_us"] {
-        doc.get(key)
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!("missing numeric field {key:?}"))?;
-    }
-    let results = doc
-        .get("results")
-        .and_then(JsonValue::as_array)
-        .ok_or("missing \"results\" array")?;
-    if results.is_empty() {
-        return Err("\"results\" is empty".into());
-    }
-    for (i, r) in results.iter().enumerate() {
-        for key in ["runtime", "fanout", "workload"] {
-            r.get(key)
-                .and_then(JsonValue::as_str)
-                .ok_or(format!("results[{i}]: missing string field {key:?}"))?;
-        }
-        for key in ["ops", "ops_per_sec", "p50_us", "p99_us"] {
-            let v = r
-                .get(key)
-                .and_then(JsonValue::as_f64)
-                .ok_or(format!("results[{i}]: missing numeric field {key:?}"))?;
-            if v < 0.0 {
-                return Err(format!("results[{i}].{key} is negative"));
-            }
-        }
-        // Optional fields added by newer emitters; type-checked when present
-        // so older committed artifacts stay valid.
-        if let Some(v) = r.get("samples") {
-            if v.as_f64().is_none() {
-                return Err(format!("results[{i}].samples is not numeric"));
-            }
-        }
-        if let Some(v) = r.get("low_confidence") {
-            if v.as_bool().is_none() {
-                return Err(format!("results[{i}].low_confidence is not a boolean"));
-            }
-        }
-    }
-    let speedups = doc
-        .get("speedups")
-        .and_then(JsonValue::as_array)
-        .ok_or("missing \"speedups\" array")?;
-    for (i, s) in speedups.iter().enumerate() {
-        for key in ["runtime", "workload"] {
-            s.get(key)
-                .and_then(JsonValue::as_str)
-                .ok_or(format!("speedups[{i}]: missing string field {key:?}"))?;
-        }
-        s.get("parallel_over_sequential")
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!(
-                "speedups[{i}]: missing numeric field \"parallel_over_sequential\""
-            ))?;
+    for s in root.require_array("speedups")? {
+        s.require_strs(&["runtime", "workload"])?;
+        s.require_num("parallel_over_sequential")?;
     }
     Ok(())
 }

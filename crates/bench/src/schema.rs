@@ -1,0 +1,302 @@
+//! Shared recursive-descent checks for bench report JSON.
+//!
+//! Every suite emits a hand-built JSON report and re-validates it with
+//! the same shapes: a schema tag, required typed fields, non-empty
+//! result arrays, and optional fields that must type-check when
+//! present.  [`Node`] carries the context path (`results[3]`) through
+//! the walk so each suite's `validate` reads as a declaration of its
+//! schema instead of a re-implementation of the walking.
+
+use crate::protocol_bench::{parse_json, JsonValue};
+
+/// Parses `text` and checks its `"schema"` tag against `schema`.
+///
+/// # Errors
+///
+/// A syntax error from the parser, a missing tag, or a tag mismatch.
+pub fn parse_report(text: &str, schema: &str) -> Result<JsonValue, String> {
+    let doc = parse_json(text)?;
+    let tag = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"schema\"")?;
+    if tag != schema {
+        return Err(format!("schema {tag:?}, expected {schema:?}"));
+    }
+    Ok(doc)
+}
+
+/// A JSON value plus the path naming it in error messages (empty at the
+/// document root, `results[3]` one level down, `results[3].phases[0]`
+/// below that).
+#[derive(Debug)]
+pub struct Node<'a> {
+    value: &'a JsonValue,
+    path: String,
+}
+
+impl<'a> Node<'a> {
+    /// Wraps the document root.
+    pub fn root(value: &'a JsonValue) -> Self {
+        Node {
+            value,
+            path: String::new(),
+        }
+    }
+
+    /// `msg` prefixed with this node's path, as the existing validators
+    /// spell it: bare at the root, `results[3]: msg` elsewhere.
+    fn err(&self, msg: &str) -> String {
+        if self.path.is_empty() {
+            msg.to_string()
+        } else {
+            format!("{}: {msg}", self.path)
+        }
+    }
+
+    /// `results[3].key suffix` (or `key suffix` at the root).
+    fn err_field(&self, key: &str, suffix: &str) -> String {
+        if self.path.is_empty() {
+            format!("{key} {suffix}")
+        } else {
+            format!("{}.{key} {suffix}", self.path)
+        }
+    }
+
+    /// Raw field lookup for suite-specific checks.
+    pub fn get(&self, key: &str) -> Option<&'a JsonValue> {
+        self.value.get(key)
+    }
+
+    /// The field as a number, if present and numeric.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.value.get(key).and_then(JsonValue::as_f64)
+    }
+
+    /// A required string field.
+    ///
+    /// # Errors
+    ///
+    /// `missing string field "key"` (path-prefixed) when absent or not
+    /// a string.
+    pub fn require_str(&self, key: &str) -> Result<&'a str, String> {
+        self.value
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| self.err(&format!("missing string field {key:?}")))
+    }
+
+    /// Several required string fields.
+    ///
+    /// # Errors
+    ///
+    /// The first missing or ill-typed key.
+    pub fn require_strs(&self, keys: &[&str]) -> Result<(), String> {
+        for key in keys {
+            self.require_str(key)?;
+        }
+        Ok(())
+    }
+
+    /// A required numeric field (any sign).
+    ///
+    /// # Errors
+    ///
+    /// `missing numeric field "key"` (path-prefixed) when absent or not
+    /// a number.
+    pub fn require_num(&self, key: &str) -> Result<f64, String> {
+        self.value
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| self.err(&format!("missing numeric field {key:?}")))
+    }
+
+    /// Several required numeric fields, sign unchecked.
+    ///
+    /// # Errors
+    ///
+    /// The first missing or ill-typed key.
+    pub fn require_nums(&self, keys: &[&str]) -> Result<(), String> {
+        for key in keys {
+            self.require_num(key)?;
+        }
+        Ok(())
+    }
+
+    /// Several required numeric fields that must also be non-negative.
+    ///
+    /// # Errors
+    ///
+    /// The first missing, ill-typed, or negative key (`results[3].ops
+    /// is negative`).
+    pub fn require_nonneg(&self, keys: &[&str]) -> Result<(), String> {
+        for key in keys {
+            if self.require_num(key)? < 0.0 {
+                return Err(self.err_field(key, "is negative"));
+            }
+        }
+        Ok(())
+    }
+
+    /// A required boolean field.
+    ///
+    /// # Errors
+    ///
+    /// `missing boolean field "key"` (path-prefixed) when absent or not
+    /// a boolean.
+    pub fn require_bool(&self, key: &str) -> Result<bool, String> {
+        self.value
+            .get(key)
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| self.err(&format!("missing boolean field {key:?}")))
+    }
+
+    /// A required array field, each element wrapped with its indexed
+    /// path (`key[i]` off the root, `parent.key[i]` below).
+    ///
+    /// # Errors
+    ///
+    /// `missing "key" array` (path-prefixed) when absent or not an
+    /// array.
+    pub fn require_array(&self, key: &str) -> Result<Vec<Node<'a>>, String> {
+        let items = self
+            .value
+            .get(key)
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| self.err(&format!("missing {key:?} array")))?;
+        let prefix = if self.path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{}.{key}", self.path)
+        };
+        Ok(items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Node {
+                value: v,
+                path: format!("{prefix}[{i}]"),
+            })
+            .collect())
+    }
+
+    /// [`Node::require_array`] that also rejects an empty array with
+    /// `"key" is empty`.
+    ///
+    /// # Errors
+    ///
+    /// A missing, ill-typed, or empty array.
+    pub fn require_nonempty_array(&self, key: &str) -> Result<Vec<Node<'a>>, String> {
+        let items = self.require_array(key)?;
+        if items.is_empty() {
+            return Err(self.err(&format!("{key:?} is empty")));
+        }
+        Ok(items)
+    }
+
+    /// An optional field that must be numeric when present.
+    ///
+    /// # Errors
+    ///
+    /// `results[3].key is not numeric` when present with another type.
+    pub fn optional_num(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.value.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| self.err_field(key, "is not numeric")),
+        }
+    }
+
+    /// An optional field that must be boolean when present.
+    ///
+    /// # Errors
+    ///
+    /// `results[3].key is not a boolean` when present with another
+    /// type.
+    pub fn optional_bool(&self, key: &str) -> Result<Option<bool>, String> {
+        match self.value.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_bool()
+                .map(Some)
+                .ok_or_else(|| self.err_field(key, "is not a boolean")),
+        }
+    }
+
+    /// The optional sampling fields newer emitters add (`samples`
+    /// numeric, `low_confidence` boolean), type-checked when present so
+    /// older committed artifacts stay valid.
+    ///
+    /// # Errors
+    ///
+    /// Either field present with the wrong type.
+    pub fn optional_sampling_fields(&self) -> Result<(), String> {
+        self.optional_num("samples")?;
+        self.optional_bool("low_confidence")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_match_the_historical_error_spelling() {
+        let doc = parse_json(
+            r#"{"schema": "s/v1", "results": [{"phases": [{"count": "nope"}], "neg": -1}]}"#,
+        )
+        .unwrap();
+        let root = Node::root(&doc);
+        assert_eq!(
+            root.require_str("net").unwrap_err(),
+            "missing string field \"net\""
+        );
+        let results = root.require_nonempty_array("results").unwrap();
+        assert_eq!(
+            results[0].require_num("ops").unwrap_err(),
+            "results[0]: missing numeric field \"ops\""
+        );
+        assert_eq!(
+            results[0].require_nonneg(&["neg"]).unwrap_err(),
+            "results[0].neg is negative"
+        );
+        let phases = results[0].require_array("phases").unwrap();
+        assert_eq!(
+            phases[0].require_num("count").unwrap_err(),
+            "results[0].phases[0]: missing numeric field \"count\""
+        );
+        assert_eq!(
+            root.require_array("missing").unwrap_err(),
+            "missing \"missing\" array"
+        );
+    }
+
+    #[test]
+    fn parse_report_rejects_bad_tags() {
+        assert!(parse_report("{\"schema\": \"a/v1\"}", "a/v1").is_ok());
+        assert!(parse_report("{\"schema\": \"a/v1\"}", "b/v1")
+            .unwrap_err()
+            .contains("expected"));
+        assert!(parse_report("{}", "a/v1").is_err());
+        assert!(parse_report("not json", "a/v1").is_err());
+    }
+
+    #[test]
+    fn empty_and_optional_checks() {
+        let doc = parse_json(r#"{"xs": [], "samples": true, "ok": 3}"#).unwrap();
+        let root = Node::root(&doc);
+        assert!(root.require_array("xs").unwrap().is_empty());
+        assert_eq!(
+            root.require_nonempty_array("xs").unwrap_err(),
+            "\"xs\" is empty"
+        );
+        assert_eq!(
+            root.optional_num("samples").unwrap_err(),
+            "samples is not numeric"
+        );
+        assert_eq!(root.optional_num("ok").unwrap(), Some(3.0));
+        assert_eq!(root.optional_bool("absent").unwrap(), None);
+    }
+}

@@ -1,0 +1,644 @@
+//! Sharded-device scaling benchmark: aggregate vectored throughput vs
+//! shard count.
+//!
+//! `blockrep bench --suite shard` drives a closed-loop client fleet of
+//! group-aligned 64-block `write_blocks`/`read_blocks` batches against a
+//! [`ShardedDevice`] at 1/2/4/8 shards on the live and mux-TCP runtimes,
+//! and reports aggregate blocks-per-second per phase into
+//! `BENCH_shard.json` (schema [`SCHEMA`]).
+//!
+//! Every shard is the same 3-site replica group running the same quorum,
+//! so a batch costs the same no matter how many shards exist; what changes
+//! with the shard count is *independence*. A single replica group admits
+//! one vectored batch at a time (the per-shard admission gate), so the
+//! 1-shard baseline serializes the whole fleet behind one quorum — the
+//! exact single-group bandwidth ceiling the tentpole removes. With `S`
+//! shards the same fleet lands on `S` independent quorums with independent
+//! lock tables and WALs, and aggregate throughput grows with `S` until
+//! placement imbalance or fleet size caps it. The acceptance criterion —
+//! [`MIN_LIVE_WRITE_SCALING_AT_4`] — is the write curve at the 12-site
+//! pool point (4 shards × 3 sites) against the 1-shard baseline.
+
+use crate::load_bench::LoadRuntime;
+use crate::protocol_bench::JsonValue;
+use blockrep_core::shard::{PlacementManifest, ShardSpec, ShardedDevice};
+use blockrep_net::DeliveryMode;
+use blockrep_storage::BlockDevice;
+use blockrep_types::{BlockData, BlockIndex, Scheme};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Schema identifier written into (and required from) the JSON report.
+pub const SCHEMA: &str = "blockrep.bench.shard/v1";
+
+/// Acceptance floor on full-size reports: aggregate sequential-write
+/// throughput at 4 shards must be at least this multiple of the 1-shard
+/// baseline on the live runtime.
+pub const MIN_LIVE_WRITE_SCALING_AT_4: f64 = 1.8;
+
+/// Parameters of one shard-benchmark run.
+#[derive(Debug, Clone)]
+pub struct ShardBenchConfig {
+    /// Replication scheme run by every shard quorum.
+    pub scheme: Scheme,
+    /// Shard counts to sweep. Scaling ratios are computed against the
+    /// 1-shard case, so the grid should normally include `1`.
+    pub shards: Vec<usize>,
+    /// Sites per shard replica group (3 everywhere: the pool at a sweep
+    /// point is `shards * sites_per_shard` sites).
+    pub sites_per_shard: usize,
+    /// Placement groups on the device; the address space is
+    /// `groups * group_size` blocks.
+    pub groups: u64,
+    /// Blocks per placement group. Clients issue group-aligned batches of
+    /// exactly this size, so every batch lands on a single shard and the
+    /// fleet as a whole stripes over all of them.
+    pub group_size: u64,
+    /// Bytes per block.
+    pub block_size: usize,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Batches each client issues per phase.
+    pub batches_per_client: u64,
+    /// Network cost model (recorded for context).
+    pub mode: DeliveryMode,
+    /// Emulated one-way link delay in microseconds, served by each site
+    /// before handling a remote request — the per-message cost that makes
+    /// quorum occupancy, and therefore the scaling curve, real.
+    pub link_latency_us: u64,
+    /// Run every site on a write-ahead log.
+    pub journaled: bool,
+}
+
+impl ShardBenchConfig {
+    /// The acceptance-criterion default: 3-site shards swept 1→8 (the
+    /// 4-shard point is the 12-site pool), 64-block groups, an 8-client
+    /// fleet at a LAN-order link delay.
+    pub fn new(scheme: Scheme) -> ShardBenchConfig {
+        ShardBenchConfig {
+            scheme,
+            shards: vec![1, 2, 4, 8],
+            sites_per_shard: 3,
+            groups: 64,
+            group_size: 64,
+            block_size: 64,
+            clients: 8,
+            batches_per_client: 16,
+            mode: DeliveryMode::Multicast,
+            link_latency_us: 500,
+            journaled: false,
+        }
+    }
+
+    /// Blocks of the virtual device.
+    pub fn num_blocks(&self) -> u64 {
+        self.groups * self.group_size
+    }
+
+    fn spec(&self, shards: usize) -> ShardSpec {
+        ShardSpec {
+            scheme: self.scheme,
+            shards,
+            sites_per_shard: self.sites_per_shard,
+            num_blocks: self.num_blocks(),
+            block_size: self.block_size,
+            group_size: self.group_size,
+            journaled: self.journaled,
+        }
+    }
+}
+
+/// One (runtime, shard-count) measurement.
+#[derive(Debug, Clone)]
+pub struct ShardCaseResult {
+    /// Runtime label (`live` / `tcp`).
+    pub runtime: &'static str,
+    /// Number of shards.
+    pub shards: usize,
+    /// Total pool sites behind the device at this point.
+    pub pool_sites: usize,
+    /// Vectored batches issued per phase across the fleet.
+    pub batches: u64,
+    /// Blocks moved per phase across the fleet.
+    pub blocks: u64,
+    /// Aggregate sequential-write throughput, blocks per second.
+    pub write_blocks_per_sec: f64,
+    /// Aggregate sequential-read throughput, blocks per second.
+    pub read_blocks_per_sec: f64,
+}
+
+/// Throughput ratio of an N-shard case over its 1-shard baseline within
+/// the same runtime.
+#[derive(Debug, Clone)]
+pub struct ShardScalingRatio {
+    /// Runtime label.
+    pub runtime: &'static str,
+    /// Shard count of the numerator case.
+    pub shards: usize,
+    /// `write_blocks_per_sec(shards) / write_blocks_per_sec(1)`.
+    pub write_over_one_shard: f64,
+    /// `read_blocks_per_sec(shards) / read_blocks_per_sec(1)`.
+    pub read_over_one_shard: f64,
+}
+
+/// The full suite result: every case plus the derived scaling curves.
+#[derive(Debug, Clone)]
+pub struct ShardBenchReport {
+    /// The configuration that produced this report.
+    pub config: ShardBenchConfig,
+    /// All measured cases.
+    pub results: Vec<ShardCaseResult>,
+    /// Per-runtime throughput-over-one-shard ratios.
+    pub scaling: Vec<ShardScalingRatio>,
+}
+
+/// Deals the placement groups into a schedule that interleaves shards:
+/// round-robin over the manifest's shard bins, so any window of
+/// consecutive schedule entries spreads over as many distinct shards as
+/// possible. The fleet walks this schedule, which keeps the *offered*
+/// load balanced — the curve then measures how far independent quorums
+/// scale, not how lumpily the hash happened to deal one window of groups.
+fn interleaved_schedule(manifest: &PlacementManifest, groups: u64) -> Vec<u64> {
+    let mut bins: Vec<Vec<u64>> = vec![Vec::new(); manifest.shard_count()];
+    for g in 0..groups {
+        let shard = manifest.shard_of(BlockIndex::new(g * manifest.group_size()));
+        bins[shard].push(g);
+    }
+    let mut schedule = Vec::with_capacity(groups as usize);
+    let mut depth = 0;
+    while schedule.len() < groups as usize {
+        for bin in &bins {
+            if let Some(&g) = bin.get(depth) {
+                schedule.push(g);
+            }
+        }
+        depth += 1;
+    }
+    schedule
+}
+
+/// Runs one closed-loop phase: `clients` threads are released from a
+/// barrier together, and each issues its quota of group-aligned vectored
+/// batches (writes or reads), striding over the shard-interleaved group
+/// schedule so the fleet covers every group. Returns the phase wall time
+/// in seconds.
+fn drive_phase(
+    dev: &impl BlockDevice,
+    cfg: &ShardBenchConfig,
+    schedule: &[u64],
+    write: bool,
+) -> f64 {
+    let barrier = Barrier::new(cfg.clients + 1);
+    std::thread::scope(|s| {
+        let mut workers = Vec::with_capacity(cfg.clients);
+        for c in 0..cfg.clients {
+            let barrier = &barrier;
+            workers.push(s.spawn(move || {
+                barrier.wait();
+                for r in 0..cfg.batches_per_client {
+                    // Stride the schedule so concurrent clients hit
+                    // distinct groups and, collectively, every shard.
+                    let slot = (c + r as usize * cfg.clients) % schedule.len();
+                    let g = schedule[slot];
+                    let base = g * cfg.group_size;
+                    if write {
+                        let fill = ((g + r + 1) % 251) as u8;
+                        let batch: Vec<(BlockIndex, BlockData)> = (0..cfg.group_size)
+                            .map(|i| {
+                                (
+                                    BlockIndex::new(base + i),
+                                    BlockData::from(vec![fill; cfg.block_size]),
+                                )
+                            })
+                            .collect();
+                        dev.write_blocks(&batch).expect("shard bench write batch");
+                    } else {
+                        let ks: Vec<BlockIndex> = (0..cfg.group_size)
+                            .map(|i| BlockIndex::new(base + i))
+                            .collect();
+                        let blocks = dev.read_blocks(&ks).expect("shard bench read batch");
+                        assert_eq!(blocks.len(), ks.len(), "short read batch");
+                    }
+                }
+            }));
+        }
+        barrier.wait();
+        let started = Instant::now();
+        for w in workers {
+            w.join().expect("shard bench client panicked");
+        }
+        started.elapsed().as_secs_f64()
+    })
+}
+
+/// Measures one (runtime, shard-count) case on a freshly spawned sharded
+/// device: a write phase over every group, then a read phase over the
+/// same extent.
+pub fn run_case(cfg: &ShardBenchConfig, runtime: LoadRuntime, shards: usize) -> ShardCaseResult {
+    let spec = cfg.spec(shards);
+    let schedule =
+        interleaved_schedule(&spec.manifest().expect("shard bench manifest"), cfg.groups);
+    let latency = Duration::from_micros(cfg.link_latency_us);
+    let (write_secs, read_secs) = match runtime {
+        LoadRuntime::Live => {
+            let dev = ShardedDevice::live(&spec, cfg.mode).expect("shard bench live device");
+            for shard in dev.shard_backends() {
+                shard.set_link_latency(latency);
+            }
+            (
+                drive_phase(&dev, cfg, &schedule, true),
+                drive_phase(&dev, cfg, &schedule, false),
+            )
+        }
+        LoadRuntime::Tcp => {
+            // The spawn helper turns the connection multiplexer on: the
+            // fleet's fan-outs share each shard's per-site connections.
+            let dev = ShardedDevice::tcp(&spec, cfg.mode).expect("shard bench tcp device");
+            for shard in dev.shard_backends() {
+                shard.set_link_latency(latency);
+            }
+            (
+                drive_phase(&dev, cfg, &schedule, true),
+                drive_phase(&dev, cfg, &schedule, false),
+            )
+        }
+    };
+    let batches = cfg.clients as u64 * cfg.batches_per_client;
+    let blocks = batches * cfg.group_size;
+    let per_sec = |elapsed: f64| {
+        if elapsed > 0.0 {
+            blocks as f64 / elapsed
+        } else {
+            0.0
+        }
+    };
+    ShardCaseResult {
+        runtime: runtime.label(),
+        shards,
+        pool_sites: shards * cfg.sites_per_shard,
+        batches,
+        blocks,
+        write_blocks_per_sec: per_sec(write_secs),
+        read_blocks_per_sec: per_sec(read_secs),
+    }
+}
+
+/// Runs the whole sweep: both concurrent runtimes × the configured shard
+/// counts.
+pub fn run_suite(cfg: &ShardBenchConfig) -> ShardBenchReport {
+    let mut results = Vec::new();
+    for runtime in LoadRuntime::ALL {
+        for &shards in &cfg.shards {
+            results.push(run_case(cfg, runtime, shards));
+        }
+    }
+    let scaling = compute_scaling(&results);
+    ShardBenchReport {
+        config: cfg.clone(),
+        results,
+        scaling,
+    }
+}
+
+/// Derives throughput-over-one-shard ratios from a result set.
+pub fn compute_scaling(results: &[ShardCaseResult]) -> Vec<ShardScalingRatio> {
+    let mut scaling = Vec::new();
+    for r in results {
+        if r.shards == 1 {
+            continue;
+        }
+        let base = results
+            .iter()
+            .find(|b| b.shards == 1 && b.runtime == r.runtime);
+        if let Some(base) = base {
+            if base.write_blocks_per_sec > 0.0 && base.read_blocks_per_sec > 0.0 {
+                scaling.push(ShardScalingRatio {
+                    runtime: r.runtime,
+                    shards: r.shards,
+                    write_over_one_shard: r.write_blocks_per_sec / base.write_blocks_per_sec,
+                    read_over_one_shard: r.read_blocks_per_sec / base.read_blocks_per_sec,
+                });
+            }
+        }
+    }
+    scaling
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+impl ShardBenchReport {
+    /// The report as `blockrep.bench.shard/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"scheme\": \"{}\",\n", self.config.scheme));
+        out.push_str(&format!(
+            "  \"sites_per_shard\": {},\n",
+            self.config.sites_per_shard
+        ));
+        out.push_str(&format!("  \"groups\": {},\n", self.config.groups));
+        out.push_str(&format!("  \"group_size\": {},\n", self.config.group_size));
+        out.push_str(&format!("  \"block_size\": {},\n", self.config.block_size));
+        out.push_str(&format!("  \"net\": \"{}\",\n", self.config.mode));
+        out.push_str(&format!(
+            "  \"link_latency_us\": {},\n",
+            self.config.link_latency_us
+        ));
+        out.push_str(&format!("  \"clients\": {},\n", self.config.clients));
+        out.push_str(&format!(
+            "  \"batches_per_client\": {},\n",
+            self.config.batches_per_client
+        ));
+        out.push_str(&format!("  \"journaled\": {},\n", self.config.journaled));
+        let shards: Vec<String> = self.config.shards.iter().map(|s| s.to_string()).collect();
+        out.push_str(&format!("  \"shards\": [{}],\n", shards.join(", ")));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"runtime\": \"{}\", \"shards\": {}, \"pool_sites\": {}, \
+                 \"batches\": {}, \"blocks\": {}, \"write_blocks_per_sec\": {}, \
+                 \"read_blocks_per_sec\": {}}}{}\n",
+                r.runtime,
+                r.shards,
+                r.pool_sites,
+                r.batches,
+                r.blocks,
+                json_f64(r.write_blocks_per_sec),
+                json_f64(r.read_blocks_per_sec),
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"scaling\": [\n");
+        for (i, s) in self.scaling.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"runtime\": \"{}\", \"shards\": {}, \"write_over_one_shard\": {}, \
+                 \"read_over_one_shard\": {}}}{}\n",
+                s.runtime,
+                s.shards,
+                json_f64(s.write_over_one_shard),
+                json_f64(s.read_over_one_shard),
+                if i + 1 < self.scaling.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// A human-readable table of the same numbers.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| runtime | shards | pool sites | write blk/s | read blk/s |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for r in &self.results {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.0} | {:.0} |\n",
+                r.runtime, r.shards, r.pool_sites, r.write_blocks_per_sec, r.read_blocks_per_sec
+            ));
+        }
+        for s in &self.scaling {
+            out.push_str(&format!(
+                "{}: {} shards write {:.2}x / read {:.2}x one shard\n",
+                s.runtime, s.shards, s.write_over_one_shard, s.read_over_one_shard
+            ));
+        }
+        out
+    }
+}
+
+/// Validates a `blockrep.bench.shard/v1` report.
+///
+/// On **full-size** reports — the default geometry (64-block groups, an
+/// 8-client fleet, 8 batches each, a real link delay) with both the
+/// 1-shard and 4-shard points in the sweep — the live 4-shard write
+/// scaling must also clear [`MIN_LIVE_WRITE_SCALING_AT_4`]; reduced smoke
+/// runs only get the structural checks.
+///
+/// # Errors
+///
+/// The first structural (or criterion) problem found: syntax error, wrong
+/// schema tag, missing/ill-typed field, an empty result set, or a
+/// full-size report below the acceptance floor.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = crate::schema::parse_report(text, SCHEMA)?;
+    let root = crate::schema::Node::root(&doc);
+    root.require_strs(&["scheme", "net"])?;
+    root.require_nums(&[
+        "sites_per_shard",
+        "groups",
+        "group_size",
+        "block_size",
+        "link_latency_us",
+        "clients",
+        "batches_per_client",
+    ])?;
+    root.require_bool("journaled")?;
+    let shards = doc
+        .get("shards")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"shards\" array")?;
+    if shards.iter().any(|s| s.as_f64().is_none()) {
+        return Err("\"shards\" has a non-numeric entry".into());
+    }
+    for r in root.require_nonempty_array("results")? {
+        r.require_str("runtime")?;
+        r.require_nonneg(&[
+            "shards",
+            "pool_sites",
+            "batches",
+            "blocks",
+            "write_blocks_per_sec",
+            "read_blocks_per_sec",
+        ])?;
+    }
+    let mut live_write_at_4 = None;
+    for s in root.require_array("scaling")? {
+        let runtime = s.require_str("runtime")?;
+        let n = s.require_num("shards")?;
+        let write = s.require_num("write_over_one_shard")?;
+        s.require_num("read_over_one_shard")?;
+        if runtime == "live" && n == 4.0 {
+            live_write_at_4 = Some(write);
+        }
+    }
+    let sweep_has = |n: f64| shards.iter().any(|s| s.as_f64() == Some(n));
+    let full_size = root.num("group_size").unwrap_or(0.0) >= 64.0
+        && root.num("clients").unwrap_or(0.0) >= 8.0
+        && root.num("batches_per_client").unwrap_or(0.0) >= 8.0
+        && root.num("link_latency_us").unwrap_or(0.0) > 0.0
+        && sweep_has(1.0)
+        && sweep_has(4.0);
+    if full_size {
+        match live_write_at_4 {
+            None => return Err("full-size report lacks the live 4-shard scaling row".into()),
+            Some(w) if w < MIN_LIVE_WRITE_SCALING_AT_4 => {
+                return Err(format!(
+                    "live 4-shard write scaling {w} is below the \
+                     {MIN_LIVE_WRITE_SCALING_AT_4} acceptance floor"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(scheme: Scheme) -> ShardBenchConfig {
+        ShardBenchConfig {
+            scheme,
+            shards: vec![1, 2],
+            sites_per_shard: 3,
+            groups: 4,
+            group_size: 4,
+            block_size: 16,
+            clients: 2,
+            batches_per_client: 2,
+            mode: DeliveryMode::Multicast,
+            link_latency_us: 0,
+            journaled: false,
+        }
+    }
+
+    #[test]
+    fn suite_emits_valid_json_and_scaling_rows() {
+        let report = run_suite(&tiny(Scheme::Voting));
+        // 2 runtimes × 2 shard counts, one non-baseline point per runtime.
+        assert_eq!(report.results.len(), 4);
+        assert_eq!(report.scaling.len(), 2);
+        for r in &report.results {
+            assert_eq!(r.blocks, 16);
+            assert!(r.write_blocks_per_sec > 0.0 && r.read_blocks_per_sec > 0.0);
+        }
+        validate(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn journaled_spec_reaches_every_shard() {
+        let mut cfg = tiny(Scheme::AvailableCopy);
+        cfg.journaled = true;
+        assert!(cfg.spec(2).shard_config().unwrap().journaled());
+        let report = ShardBenchReport {
+            results: vec![run_case(&cfg, LoadRuntime::Live, 2)],
+            scaling: Vec::new(),
+            config: cfg,
+        };
+        assert!(report.to_json().contains("\"journaled\": true"));
+        validate(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_structural_damage() {
+        let good = run_suite(&tiny(Scheme::NaiveAvailableCopy)).to_json();
+        validate(&good).unwrap();
+        assert!(validate(&good.replace(SCHEMA, "other/v0")).is_err());
+        assert!(validate(&good.replace("\"write_blocks_per_sec\"", "\"oops\"")).is_err());
+        assert!(validate(&good.replace("\"scaling\"", "\"scalding\"")).is_err());
+        assert!(validate("{\"schema\": \"blockrep.bench.shard/v1\"}").is_err());
+        assert!(validate("not json").is_err());
+    }
+
+    #[test]
+    fn validate_enforces_the_write_scaling_floor_on_full_size_reports() {
+        let case = |runtime: &'static str, shards: usize, write: f64| ShardCaseResult {
+            runtime,
+            shards,
+            pool_sites: shards * 3,
+            batches: 64,
+            blocks: 4096,
+            write_blocks_per_sec: write,
+            read_blocks_per_sec: write,
+        };
+        let results = vec![case("live", 1, 1000.0), case("live", 4, 1200.0)];
+        let scaling = compute_scaling(&results);
+        let low = ShardBenchReport {
+            config: ShardBenchConfig::new(Scheme::Voting),
+            results,
+            scaling,
+        };
+        let err = validate(&low.to_json()).unwrap_err();
+        assert!(err.contains("acceptance floor"), "{err}");
+        // The same numbers in a reduced smoke geometry are not gated.
+        let mut smoke = low.clone();
+        smoke.config.clients = 2;
+        validate(&smoke.to_json()).unwrap();
+        // And a passing curve clears the full-size gate.
+        let results = vec![case("live", 1, 1000.0), case("live", 4, 2700.0)];
+        let passing = ShardBenchReport {
+            scaling: compute_scaling(&results),
+            results,
+            config: ShardBenchConfig::new(Scheme::Voting),
+        };
+        validate(&passing.to_json()).unwrap();
+    }
+
+    #[test]
+    fn full_size_reports_must_carry_the_live_4_shard_row() {
+        let report = ShardBenchReport {
+            config: ShardBenchConfig::new(Scheme::Voting),
+            results: vec![ShardCaseResult {
+                runtime: "live",
+                shards: 1,
+                pool_sites: 3,
+                batches: 64,
+                blocks: 4096,
+                write_blocks_per_sec: 1000.0,
+                read_blocks_per_sec: 1000.0,
+            }],
+            scaling: Vec::new(),
+        };
+        let err = validate(&report.to_json()).unwrap_err();
+        assert!(err.contains("lacks the live 4-shard"), "{err}");
+    }
+
+    #[test]
+    fn the_schedule_is_a_shard_interleaved_permutation_of_all_groups() {
+        let cfg = ShardBenchConfig::new(Scheme::Voting);
+        let manifest = cfg.spec(4).manifest().unwrap();
+        let schedule = interleaved_schedule(&manifest, cfg.groups);
+        let mut sorted = schedule.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..cfg.groups).collect::<Vec<u64>>());
+        // The leading window holds one group per shard: concurrent
+        // clients walking the schedule spread over all quorums at once.
+        let leading: std::collections::BTreeSet<usize> = schedule[..4]
+            .iter()
+            .map(|&g| manifest.shard_of(BlockIndex::new(g * cfg.group_size)))
+            .collect();
+        assert_eq!(leading.len(), 4);
+    }
+
+    #[test]
+    fn scaling_is_computed_against_the_matching_runtime_baseline() {
+        let case = |runtime: &'static str, shards: usize, write: f64, read: f64| ShardCaseResult {
+            runtime,
+            shards,
+            pool_sites: shards * 3,
+            batches: 4,
+            blocks: 16,
+            write_blocks_per_sec: write,
+            read_blocks_per_sec: read,
+        };
+        let scaling = compute_scaling(&[
+            case("live", 1, 100.0, 200.0),
+            case("live", 4, 320.0, 500.0),
+            case("tcp", 1, 50.0, 80.0),
+            case("tcp", 4, 140.0, 160.0),
+        ]);
+        assert_eq!(scaling.len(), 2);
+        assert!((scaling[0].write_over_one_shard - 3.2).abs() < 1e-9);
+        assert!((scaling[0].read_over_one_shard - 2.5).abs() < 1e-9);
+        assert_eq!(scaling[1].runtime, "tcp");
+        assert!((scaling[1].write_over_one_shard - 2.8).abs() < 1e-9);
+    }
+}

@@ -17,7 +17,6 @@
 //! p50/p99 and the actual journal sync count per window, plus the
 //! window-over-baseline speedups the PR's acceptance criterion reads off.
 
-use crate::protocol_bench::{parse_json, JsonValue};
 use blockrep_obs::metrics::Histogram;
 use blockrep_storage::{BlockDevice, FileStore, Journaled, WalRecord};
 use blockrep_types::{BlockData, BlockIndex, VersionNumber};
@@ -280,80 +279,27 @@ impl StorageBenchReport {
 /// missing/ill-typed field, an empty result set, a window below 1, or a
 /// missing window-1 baseline.
 pub fn validate(text: &str) -> Result<(), String> {
-    let doc = parse_json(text)?;
-    let schema = doc
-        .get("schema")
-        .and_then(JsonValue::as_str)
-        .ok_or("missing \"schema\"")?;
-    if schema != SCHEMA {
-        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
-    }
-    for key in ["data_blocks", "block_size", "journal_blocks", "writes"] {
-        doc.get(key)
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!("missing numeric field {key:?}"))?;
-    }
-    let results = doc
-        .get("results")
-        .and_then(JsonValue::as_array)
-        .ok_or("missing \"results\" array")?;
-    if results.is_empty() {
-        return Err("\"results\" is empty".into());
-    }
+    let doc = crate::schema::parse_report(text, SCHEMA)?;
+    let root = crate::schema::Node::root(&doc);
+    root.require_nums(&["data_blocks", "block_size", "journal_blocks", "writes"])?;
     let mut has_baseline = false;
-    for (i, r) in results.iter().enumerate() {
-        for key in ["window", "ops", "ops_per_sec", "p50_us", "p99_us", "syncs"] {
-            let v = r
-                .get(key)
-                .and_then(JsonValue::as_f64)
-                .ok_or(format!("results[{i}]: missing numeric field {key:?}"))?;
-            if v < 0.0 {
-                return Err(format!("results[{i}].{key} is negative"));
-            }
-        }
-        let window = r.get("window").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    for (i, r) in root.require_nonempty_array("results")?.iter().enumerate() {
+        r.require_nonneg(&["window", "ops", "ops_per_sec", "p50_us", "p99_us", "syncs"])?;
+        let window = r.num("window").unwrap_or(0.0);
         if window < 1.0 {
             return Err(format!("results[{i}].window is below 1"));
         }
         has_baseline |= window == 1.0;
-        if let Some(v) = r.get("samples") {
-            if v.as_f64().is_none() {
-                return Err(format!("results[{i}].samples is not numeric"));
-            }
-        }
-        if let Some(v) = r.get("low_confidence") {
-            if v.as_bool().is_none() {
-                return Err(format!("results[{i}].low_confidence is not a boolean"));
-            }
-        }
+        r.optional_sampling_fields()?;
     }
     if !has_baseline {
         return Err("no window-1 (per-install fsync) baseline in \"results\"".into());
     }
-    let speedups = doc
-        .get("speedups")
-        .and_then(JsonValue::as_array)
-        .ok_or("missing \"speedups\" array")?;
-    if speedups.is_empty() {
-        return Err("\"speedups\" is empty".into());
-    }
-    for (i, s) in speedups.iter().enumerate() {
-        let window = s
-            .get("window")
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!("speedups[{i}]: missing numeric field \"window\""))?;
-        if window < 2.0 {
+    for (i, s) in root.require_nonempty_array("speedups")?.iter().enumerate() {
+        if s.require_num("window")? < 2.0 {
             return Err(format!("speedups[{i}].window is below 2"));
         }
-        let ratio = s
-            .get("over_per_install_fsync")
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!(
-                "speedups[{i}]: missing numeric field \"over_per_install_fsync\""
-            ))?;
-        if ratio < 0.0 {
-            return Err(format!("speedups[{i}].over_per_install_fsync is negative"));
-        }
+        s.require_nonneg(&["over_per_install_fsync"])?;
     }
     Ok(())
 }

@@ -383,88 +383,36 @@ impl TraceBenchReport {
 ///
 /// The first structural (or criterion) problem found.
 pub fn validate(text: &str) -> Result<(), String> {
-    let doc = parse_json(text)?;
-    let schema = doc
-        .get("schema")
-        .and_then(JsonValue::as_str)
-        .ok_or("missing \"schema\"")?;
-    if schema != SCHEMA {
-        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
-    }
-    doc.get("net")
-        .and_then(JsonValue::as_str)
-        .ok_or("missing string field \"net\"")?;
-    for key in ["sites", "blocks", "block_size", "link_latency_us"] {
-        doc.get(key)
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!("missing numeric field {key:?}"))?;
-    }
-    let blocks = doc.get("blocks").and_then(JsonValue::as_f64).unwrap_or(0.0);
-    let latency = doc
-        .get("link_latency_us")
-        .and_then(JsonValue::as_f64)
-        .unwrap_or(0.0);
+    let doc = crate::schema::parse_report(text, SCHEMA)?;
+    let root = crate::schema::Node::root(&doc);
+    root.require_str("net")?;
+    root.require_nums(&["sites", "blocks", "block_size", "link_latency_us"])?;
+    let blocks = root.num("blocks").unwrap_or(0.0);
+    let latency = root.num("link_latency_us").unwrap_or(0.0);
     let full_size = blocks >= 64.0 && latency > 0.0;
-    let results = doc
-        .get("results")
-        .and_then(JsonValue::as_array)
-        .ok_or("missing \"results\" array")?;
-    if results.is_empty() {
-        return Err("\"results\" is empty".into());
-    }
-    for (i, r) in results.iter().enumerate() {
-        for key in ["runtime", "scheme"] {
-            r.get(key)
-                .and_then(JsonValue::as_str)
-                .ok_or(format!("results[{i}]: missing string field {key:?}"))?;
-        }
-        let io = r
-            .get("io")
-            .and_then(JsonValue::as_str)
-            .ok_or(format!("results[{i}]: missing string field \"io\""))?;
+    for (i, r) in root.require_nonempty_array("results")?.iter().enumerate() {
+        let runtime = r.require_str("runtime")?;
+        r.require_str("scheme")?;
+        let io = r.require_str("io")?;
         if io != "batched" && io != "per_block" {
             return Err(format!("results[{i}].io is {io:?}"));
         }
-        for key in ["ops", "op_us", "attributed_us", "spans"] {
-            let v = r
-                .get(key)
-                .and_then(JsonValue::as_f64)
-                .ok_or(format!("results[{i}]: missing numeric field {key:?}"))?;
-            if v < 0.0 {
-                return Err(format!("results[{i}].{key} is negative"));
-            }
-        }
-        let fraction = r
-            .get("attributed_fraction")
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!(
-                "results[{i}]: missing numeric field \"attributed_fraction\""
-            ))?;
+        r.require_nonneg(&["ops", "op_us", "attributed_us", "spans"])?;
+        let fraction = r.require_num("attributed_fraction")?;
         if !(0.0..=1.05).contains(&fraction) {
             return Err(format!(
                 "results[{i}].attributed_fraction is {fraction} (outside [0, 1.05])"
             ));
         }
-        let runtime = r.get("runtime").and_then(JsonValue::as_str).unwrap_or("");
         if full_size && runtime == "tcp" && io == "batched" && fraction < MIN_TCP_BATCHED_FRACTION {
             return Err(format!(
                 "results[{i}] (tcp batched): attributed_fraction {fraction} \
                  is below the {MIN_TCP_BATCHED_FRACTION} acceptance floor"
             ));
         }
-        let phases = r
-            .get("phases")
-            .and_then(JsonValue::as_array)
-            .ok_or(format!("results[{i}]: missing \"phases\" array"))?;
-        for (j, p) in phases.iter().enumerate() {
-            p.get("phase")
-                .and_then(JsonValue::as_str)
-                .ok_or(format!("results[{i}].phases[{j}]: missing \"phase\""))?;
-            for key in ["count", "total_us"] {
-                p.get(key)
-                    .and_then(JsonValue::as_f64)
-                    .ok_or(format!("results[{i}].phases[{j}]: missing {key:?}"))?;
-            }
+        for p in r.require_array("phases")? {
+            p.require_str("phase")?;
+            p.require_nums(&["count", "total_us"])?;
         }
     }
     Ok(())

@@ -35,7 +35,12 @@ usage:
                                            write-ahead journal and checks
                                            the stricter durability oracle;
                                            --leases enables read offload and
-                                           schedules stale-lease faults
+                                           schedules stale-lease faults;
+                                           --shards N replays the scripted
+                                           shard-fault scenarios (shard
+                                           blackout, torn cross-shard
+                                           batch) on an N-shard device
+                                           instead of seeded schedules
   blockrep bench [flags]                   protocol throughput/latency suite
       --scheme S --sites N --blocks B      over all runtimes and fan-out
       --block-size Z --ops K               modes; writes BENCH_protocol.json
@@ -63,6 +68,13 @@ usage:
       --write-every W --out PATH           and p99 under contention; writes
       --net multicast|unicast              BENCH_load.json with --out
       --latency-us D
+  blockrep bench --suite shard [flags]     sharded-device scaling sweep:
+      --scheme S --shards 1,2,4,8          aggregate vectored throughput of
+      --groups G --group-size Z            a closed-loop fleet of 64-block
+      --block-size B --clients C           batches at each shard count, on
+      --batches K --journaled              the live and mux-TCP runtimes;
+      --net multicast|unicast              writes BENCH_shard.json with --out
+      --latency-us D --out PATH
   blockrep bench [--suite S] --check PATH  validate an emitted report
   blockrep trace [flags]                   run one traced workload; print its
       --scheme S --runtime R --io M        per-phase attribution table and
@@ -70,8 +82,10 @@ usage:
       --net multicast|unicast              trace-event JSON to --out PATH
       --latency-us D --out PATH            (stdout without --out)
   blockrep trace --check PATH              validate a Chrome trace JSON dump
-  blockrep mkfs <image-file> [flags]       format a file-backed device
-      --blocks N --block-size B
+  blockrep mkfs <image-file> [flags]       format a file-backed device;
+      --blocks N --block-size B            --shards S formats one image per
+      --shards S --group-size Z            shard replica group and prints
+                                           the placement manifest
   blockrep fsck <image-file> [flags]       consistency-check an image
       --block-size B --journal             (--journal first replays committed
                                            records from <image-file>.wal,
@@ -260,6 +274,24 @@ fn run_chaos(parsed: &Parsed) -> Result<(), UsageError> {
         None => Scheme::ALL.to_vec(),
         Some(raw) => vec![crate::args::parse_scheme(raw)?],
     };
+    // Shard mode: replay the scripted shard-fault scenarios (blackout of
+    // one shard's sites, torn write mid cross-shard batch) instead of
+    // seeded schedules, with the one-copy oracle checked per shard and
+    // cross-runtime parity enforced on the step logs.
+    if parsed.flag("shards").is_some() {
+        let shards = parsed.flag_usize("shards", 2)?;
+        let tag = if journaled { " journaled" } else { "" };
+        for scheme in schemes {
+            match chaos::check_shards(scheme, shards, journaled) {
+                Ok(report) => println!(
+                    "shards {shards} {scheme}{tag}: ok ({} log lines, {} reads checked)",
+                    report.steps, report.reads_checked
+                ),
+                Err(e) => return Err(UsageError(format!("chaos --shards {shards}: {e}"))),
+            }
+        }
+        return Ok(());
+    }
     // The chaos runner always collects metrics: the final snapshot is part
     // of the post-mortem record, so `--stats` is implied. When the user
     // passed --stats/--trace themselves, `run` already enabled collection
@@ -330,8 +362,9 @@ fn run_bench(parsed: &Parsed) -> Result<(), UsageError> {
         Some("storage") => run_bench_storage(parsed),
         Some("trace") => run_bench_trace(parsed),
         Some("load") => run_bench_load(parsed),
+        Some("shard") => run_bench_shard(parsed),
         Some(other) => Err(UsageError(format!(
-            "--suite: expected protocol, fs, storage, trace or load, got {other:?}"
+            "--suite: expected protocol, fs, storage, trace, load or shard, got {other:?}"
         ))),
     }
 }
@@ -388,6 +421,7 @@ fn run_bench_load(parsed: &Parsed) -> Result<(), UsageError> {
     cfg.write_every = parsed.flag_u64("write-every", cfg.write_every)?;
     cfg.mode = parsed.flag_mode("net", cfg.mode)?;
     cfg.link_latency_us = parsed.flag_u64("latency-us", cfg.link_latency_us)?;
+    cfg.journaled = parsed.flag_bool("journaled");
     if let Some(raw) = parsed.flag("clients") {
         cfg.clients = raw
             .split(',')
@@ -403,7 +437,7 @@ fn run_bench_load(parsed: &Parsed) -> Result<(), UsageError> {
     }
     println!(
         "bench load: scheme {}, n = {}, {} blocks x {} B, ~{} ops/case over clients {:?}, \
-         {}, link delay {} us",
+         {}, link delay {} us{}",
         cfg.scheme,
         cfg.sites,
         cfg.blocks,
@@ -411,7 +445,8 @@ fn run_bench_load(parsed: &Parsed) -> Result<(), UsageError> {
         cfg.total_ops,
         cfg.clients,
         cfg.mode,
-        cfg.link_latency_us
+        cfg.link_latency_us,
+        if cfg.journaled { ", journaled" } else { "" }
     );
     let report = load_bench::run_suite(&cfg);
     print!("{}", report.to_table());
@@ -419,6 +454,73 @@ fn run_bench_load(parsed: &Parsed) -> Result<(), UsageError> {
         let json = report.to_json();
         // Never emit a report the --check path would reject.
         load_bench::validate(&json)
+            .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
+        std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_bench_shard(parsed: &Parsed) -> Result<(), UsageError> {
+    use blockrep_bench::shard_bench::{self, ShardBenchConfig};
+    if let Some(path) = parsed.flag("check") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
+        shard_bench::validate(&text)
+            .map_err(|e| UsageError(format!("bench: {path}: invalid report: {e}")))?;
+        println!("{path}: valid {}", shard_bench::SCHEMA);
+        return Ok(());
+    }
+    let mut cfg = ShardBenchConfig::new(parsed.flag_scheme("scheme", Scheme::Voting)?);
+    if let Some(raw) = parsed.flag("shards") {
+        cfg.shards = raw
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|_| UsageError(format!("--shards: expected integers, got {p:?}")))
+            })
+            .collect::<Result<Vec<usize>, UsageError>>()?;
+        if cfg.shards.is_empty() || cfg.shards.contains(&0) {
+            return Err(UsageError(
+                "--shards: expected positive shard counts".into(),
+            ));
+        }
+    }
+    cfg.groups = parsed.flag_u64("groups", cfg.groups)?;
+    cfg.group_size = parsed.flag_u64("group-size", cfg.group_size)?;
+    cfg.block_size = parsed.flag_usize("block-size", cfg.block_size)?;
+    cfg.clients = parsed.flag_usize("clients", cfg.clients)?;
+    cfg.batches_per_client = parsed.flag_u64("batches", cfg.batches_per_client)?;
+    cfg.mode = parsed.flag_mode("net", cfg.mode)?;
+    cfg.link_latency_us = parsed.flag_u64("latency-us", cfg.link_latency_us)?;
+    cfg.journaled = parsed.flag_bool("journaled");
+    if cfg.group_size == 0 || cfg.groups == 0 || cfg.clients == 0 {
+        return Err(UsageError(
+            "bench shard: --groups, --group-size and --clients must be positive".into(),
+        ));
+    }
+    println!(
+        "bench shard: scheme {}, shards {:?} x {} sites, {} groups x {} blocks x {} B, \
+         {} clients x {} batches, {}, link delay {} us{}",
+        cfg.scheme,
+        cfg.shards,
+        cfg.sites_per_shard,
+        cfg.groups,
+        cfg.group_size,
+        cfg.block_size,
+        cfg.clients,
+        cfg.batches_per_client,
+        cfg.mode,
+        cfg.link_latency_us,
+        if cfg.journaled { ", journaled" } else { "" }
+    );
+    let report = shard_bench::run_suite(&cfg);
+    print!("{}", report.to_table());
+    if let Some(path) = parsed.flag("out") {
+        let json = report.to_json();
+        // Never emit a report the --check path would reject.
+        shard_bench::validate(&json)
             .map_err(|e| UsageError(format!("bench: emitted report invalid: {e}")))?;
         std::fs::write(path, &json).map_err(|e| UsageError(format!("bench: {path}: {e}")))?;
         println!("wrote {path}");
@@ -614,6 +716,26 @@ fn run_mkfs(parsed: &Parsed) -> Result<(), UsageError> {
     })?;
     let blocks = parsed.flag_u64("blocks", 1024)?;
     let block_size = parsed.flag_usize("block-size", 512)?;
+    if parsed.flag("shards").is_some() {
+        // Sharded format: one image per shard replica group (each holds
+        // the full address space, per the manifest's no-translation rule)
+        // plus the placement manifest that routes block groups to them.
+        let shards = parsed.flag_usize("shards", 2)?;
+        let group_size = parsed.flag_u64("group-size", 64)?;
+        let pool: Vec<blockrep_types::SiteId> = blockrep_types::SiteId::all(shards * 3).collect();
+        let manifest = blockrep_core::PlacementManifest::build(1, group_size, &pool, shards)
+            .map_err(|e| UsageError(format!("mkfs: {e}")))?;
+        for s in 0..shards {
+            let shard_path = format!("{path}.shard{s}");
+            let dev = blockrep_storage::FileStore::create(&shard_path, blocks, block_size)
+                .map_err(|e| UsageError(format!("mkfs: {shard_path}: {e}")))?;
+            blockrep_fs::FileSystem::format(dev)
+                .map_err(|e| UsageError(format!("mkfs: {shard_path}: {e}")))?;
+            println!("formatted {shard_path}: {blocks} blocks of {block_size} bytes");
+        }
+        print!("{}", manifest.render());
+        return Ok(());
+    }
     let dev = blockrep_storage::FileStore::create(path, blocks, block_size)
         .map_err(|e| UsageError(format!("mkfs: {e}")))?;
     blockrep_fs::FileSystem::format(dev).map_err(|e| UsageError(format!("mkfs: {e}")))?;
@@ -886,6 +1008,89 @@ mod tests {
         assert!(run(&parsed(&["bench", "--check", &path_str])).is_err());
         std::fs::remove_file(path)?;
         Ok(())
+    }
+
+    #[test]
+    fn bench_shard_suite_writes_and_checks_a_report() -> Result<(), UsageError> {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "blockrep-cli-bench-shard-{}.json",
+            std::process::id()
+        ));
+        let path_str = path
+            .to_str()
+            .ok_or_else(|| UsageError("temp path is not UTF-8".into()))?
+            .to_string();
+        run(&parsed(&[
+            "bench",
+            "--suite",
+            "shard",
+            "--shards",
+            "1,2",
+            "--groups",
+            "4",
+            "--group-size",
+            "4",
+            "--block-size",
+            "16",
+            "--clients",
+            "2",
+            "--batches",
+            "2",
+            "--latency-us",
+            "0",
+            "--out",
+            &path_str,
+        ]))?;
+        run(&parsed(&[
+            "bench", "--suite", "shard", "--check", &path_str,
+        ]))?;
+        // A shard report is not a protocol report.
+        assert!(run(&parsed(&["bench", "--check", &path_str])).is_err());
+        // Malformed sweeps are rejected before any cluster spawns.
+        assert!(run(&parsed(&["bench", "--suite", "shard", "--shards", "0"])).is_err());
+        assert!(run(&parsed(&["bench", "--suite", "shard", "--shards", "x"])).is_err());
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn mkfs_shards_formats_images_and_prints_the_manifest() -> Result<(), UsageError> {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "blockrep-cli-mkfs-shard-{}.img",
+            std::process::id()
+        ));
+        let path_str = path
+            .to_str()
+            .ok_or_else(|| UsageError("temp path is not UTF-8".into()))?
+            .to_string();
+        run(&parsed(&[
+            "mkfs",
+            &path_str,
+            "--blocks",
+            "128",
+            "--block-size",
+            "512",
+            "--shards",
+            "2",
+        ]))?;
+        for s in 0..2 {
+            let shard_path = format!("{path_str}.shard{s}");
+            // Each shard image is a complete, mountable device.
+            run(&parsed(&["fsck", &shard_path]))?;
+            std::fs::remove_file(shard_path)?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn chaos_shard_scenarios_run() {
+        let p = parsed(&["chaos", "--shards", "2", "--scheme", "mcv"]);
+        assert!(run(&p).is_ok());
+        // A single shard is not a sharded device.
+        let p = parsed(&["chaos", "--shards", "1", "--scheme", "mcv"]);
+        assert!(run(&p).is_err());
     }
 
     #[test]

@@ -671,10 +671,10 @@ pub fn run_on<R: ChaosRuntime>(rt: &R, steps: &[ChaosStep]) -> Result<RunOutcome
     })
 }
 
-fn run_caught(
+fn run_caught<T>(
     name: &'static str,
-    run: impl FnOnce() -> Result<RunOutcome, String> + std::panic::UnwindSafe,
-) -> Result<RunOutcome, String> {
+    run: impl FnOnce() -> Result<T, String> + std::panic::UnwindSafe,
+) -> Result<T, String> {
     match catch_unwind(run) {
         Ok(res) => res.map_err(|e| format!("[{name}] {e}")),
         Err(payload) => {
@@ -927,4 +927,517 @@ pub fn trace_schedule_with(cfg: &DeviceConfig, steps: &[ChaosStep], leases: bool
         blockrep_obs::disable();
     }
     trace::chrome_trace_json(&records)
+}
+
+// ---------------------------------------------------------------------------
+// Shard-targeted fault scenarios
+// ---------------------------------------------------------------------------
+
+/// What one runtime produced replaying the shard fault scenarios: a step
+/// log ending in per-shard traffic and replica fingerprints. Two runs are
+/// equivalent iff the logs and counts are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRunOutcome {
+    /// One line per scenario step, then per-shard traffic and fingerprints.
+    pub log: Vec<String>,
+    /// Successful reads checked against the per-shard oracles.
+    pub reads_checked: u64,
+}
+
+/// Summary of a passing shard-scenario replay (identical per runtime).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardChaosReport {
+    /// Shards in the device under test.
+    pub shards: usize,
+    /// Scenario steps replayed (per runtime).
+    pub steps: usize,
+    /// Successful reads checked against the per-shard oracles.
+    pub reads_checked: u64,
+}
+
+/// The fixed geometry the shard scenarios run on: 3-site shards, eight
+/// 8-byte blocks per shard in 2-block placement groups, so every batch
+/// over the full address space is a genuine cross-shard batch.
+fn shard_scenario_spec(scheme: Scheme, shards: usize, journaled: bool) -> crate::shard::ShardSpec {
+    crate::shard::ShardSpec {
+        sites_per_shard: 3,
+        block_size: 8,
+        group_size: 2,
+        journaled,
+        ..crate::shard::ShardSpec::new(scheme, shards, 8 * shards as u64)
+    }
+}
+
+/// Replays the two shard-targeted fault scenarios of the chaos suite on
+/// one runtime family:
+///
+/// 1. **Shard blackout** — every site of one shard (the one owning block
+///    0) fail-stops; a cross-shard write must fail that shard's sub-batch
+///    while every other shard commits, reads of the surviving shards must
+///    still serve, and after the shard is repaired its replicas must hold
+///    exactly the pre-blackout contents (the failed sub-batch left no
+///    trace).
+/// 2. **Torn write mid cross-shard batch** — a [`FaultKind::TornWrite`]
+///    lands on one shard's first install exchange during a cross-shard
+///    batch; the victim shard's one-copy oracle degrades to history
+///    membership (and must never see a byte-mix), the other shards stay
+///    `Exact`, and a repair plus one clean write re-certifies everything.
+///
+/// The per-shard oracle is the same [`Oracle`] the seeded runs use, one
+/// instance per shard over the shard's owned blocks. All protocol traffic
+/// flows through a per-shard [`FaultyBackend`] (sequential scatter, pinned
+/// exchange coordinates), so the log — including per-shard §5 traffic — is
+/// byte-identical across runtimes.
+pub fn run_shard_scenarios_on<R: ChaosRuntime>(
+    dev: &crate::shard::ShardedDevice<R>,
+) -> Result<ShardRunOutcome, String> {
+    use blockrep_storage::BlockDevice as _;
+    use std::fmt::Write as _;
+    use std::sync::Arc;
+
+    let manifest = dev.manifest().clone();
+    let raw = dev.shard_backends();
+    let cfg = raw[0].config().clone();
+    let blocks = cfg.num_blocks();
+    let all: Vec<BlockIndex> = (0..blocks).map(BlockIndex::new).collect();
+    let victim = manifest.shard_of(BlockIndex::new(0));
+    let victim_blocks: Vec<BlockIndex> = all
+        .iter()
+        .copied()
+        .filter(|&k| manifest.shard_of(k) == victim)
+        .collect();
+    let healthy_blocks: Vec<BlockIndex> = all
+        .iter()
+        .copied()
+        .filter(|&k| manifest.shard_of(k) != victim)
+        .collect();
+    if healthy_blocks.is_empty() {
+        return Err(format!(
+            "degenerate placement: shard {victim} owns every block of the scenario geometry"
+        ));
+    }
+
+    // The torn install lands on the first *install* exchange of the victim
+    // shard's batched write: voting spends one vote exchange per remote
+    // site first, the available copy schemes install immediately.
+    let torn_op = 7u64;
+    let torn_x = match cfg.scheme() {
+        Scheme::Voting => cfg.num_sites() as u64 - 1,
+        Scheme::AvailableCopy | Scheme::NaiveAvailableCopy => 0,
+    };
+    let victim_plan: FaultPlan = [FaultSpec {
+        op: torn_op,
+        exchange: torn_x,
+        kind: FaultKind::TornWrite { keep: 3 },
+    }]
+    .into_iter()
+    .collect();
+    let clean_plan = FaultPlan::default();
+    let fbs: Vec<Arc<FaultyBackend<'_, R>>> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let plan = if i == victim {
+                &victim_plan
+            } else {
+                &clean_plan
+            };
+            Arc::new(FaultyBackend::new(&**b, plan))
+        })
+        .collect();
+    let fdev = crate::shard::ShardedDevice::new(fbs, manifest.clone(), dev.preferred());
+
+    let mut oracles: Vec<Oracle> = (0..manifest.shard_count())
+        .map(|_| Oracle::new(cfg.scheme(), blocks as usize, cfg.journaled()))
+        .collect();
+    let mut log: Vec<String> = Vec::new();
+    let mut reads_checked = 0u64;
+
+    let begin = |op: u64| {
+        for fb in fdev.shard_backends() {
+            fb.begin_op(op);
+        }
+    };
+    let end_all =
+        || -> Vec<OpReport> { fdev.shard_backends().iter().map(|fb| fb.end_op()).collect() };
+    let states = || -> String {
+        let mut out = String::new();
+        for (i, b) in raw.iter().enumerate() {
+            if i > 0 {
+                out.push('/');
+            }
+            out.push_str(&states_suffix(&**b));
+        }
+        out
+    };
+    let batch = |fill: u8, ks: &[BlockIndex]| -> Vec<(BlockIndex, BlockData)> {
+        ks.iter()
+            .map(|&k| (k, BlockData::from(vec![fill; cfg.block_size()])))
+            .collect()
+    };
+
+    // A cross-shard write over every block; `expect_victim_commit` says
+    // whether the victim shard's sub-batch is expected to land (it is
+    // recorded failed otherwise, which keeps its oracle at the previous
+    // exact value).
+    let write_all = |op: u64,
+                     fill: u8,
+                     expect_victim_commit: bool,
+                     log: &mut Vec<String>,
+                     oracles: &mut Vec<Oracle>|
+     -> Result<(), String> {
+        begin(op);
+        let res = fdev.write_blocks(&batch(fill, &all));
+        let reports = end_all();
+        for (i, report) in reports.iter().enumerate() {
+            finalize_crashes(&*raw[i], report);
+        }
+        let outcome = match &res {
+            Ok(()) => "ok".to_string(),
+            Err(e) => format!("err({e})"),
+        };
+        // The device-level result tells whether the victim's sub-batch
+        // landed: in these scenarios the healthy shards always commit, so
+        // the batch fails exactly when the victim was expected to fail.
+        if res.is_ok() != expect_victim_commit {
+            return Err(format!(
+                "op {op}: write-all was expected to {} the victim sub-batch but \
+                 returned {outcome}",
+                if expect_victim_commit {
+                    "commit"
+                } else {
+                    "fail"
+                }
+            ));
+        }
+        let committed = |s: usize| s != victim || expect_victim_commit;
+        for &k in &all {
+            let s = manifest.shard_of(k);
+            oracles[s].record_write(k.index(), fill, committed(s), &reports[s]);
+        }
+        // Clean committed sub-batches must satisfy the scheme's replication
+        // contract on their own shard.
+        for (i, report) in reports.iter().enumerate() {
+            if committed(i) && report.fired.iter().all(|f| f.kind.is_benign()) {
+                for &k in &all {
+                    if manifest.shard_of(k) == i {
+                        certify_clean_write(&*raw[i], op as usize, k, fill)?;
+                    }
+                }
+            }
+        }
+        let mut line = format!("#{op} write-all fill={fill:#04x} -> {outcome}");
+        for report in &reports {
+            line.push_str(&fired_suffix(report));
+        }
+        let _ = write!(line, " |{}", states());
+        log.push(line);
+        for (i, oracle) in oracles.iter_mut().enumerate() {
+            oracle.try_narrow(&*raw[i]);
+        }
+        Ok(())
+    };
+
+    let read_some = |op: u64,
+                     label: &str,
+                     ks: &[BlockIndex],
+                     expect_ok: bool,
+                     log: &mut Vec<String>,
+                     oracles: &Vec<Oracle>,
+                     reads_checked: &mut u64|
+     -> Result<(), String> {
+        begin(op);
+        let res = fdev.read_blocks(ks);
+        let _ = end_all();
+        let outcome = match &res {
+            Ok(data) => {
+                for (&k, d) in ks.iter().zip(data) {
+                    oracles[manifest.shard_of(k)].check_read(op as usize, k.index(), d)?;
+                    *reads_checked += 1;
+                }
+                "ok".to_string()
+            }
+            Err(e) => format!("err({e})"),
+        };
+        if res.is_ok() != expect_ok {
+            return Err(format!(
+                "op {op}: {label} read was expected to {} but did not ({outcome})",
+                if expect_ok { "succeed" } else { "fail" }
+            ));
+        }
+        log.push(format!("#{op} read-{label} -> {outcome} |{}", states()));
+        Ok(())
+    };
+
+    // --- Scenario 1: shard blackout -------------------------------------
+    write_all(0, 0x11, true, &mut log, &mut oracles)?;
+
+    // #1: fail-stop every site of the victim shard.
+    for s in raw[victim].config().site_ids() {
+        protocol::fail(&*raw[victim], s);
+        raw[victim].on_fail(s);
+    }
+    log.push(format!(
+        "#1 crash-shard {victim} -> all sites failed |{}",
+        states()
+    ));
+
+    // #2: the cross-shard write must fail the victim's sub-batch only.
+    write_all(2, 0x22, false, &mut log, &mut oracles)?;
+    // The dead shard's replicas must be untouched by the failed sub-batch.
+    for s in raw[victim].config().site_ids() {
+        for &k in &victim_blocks {
+            let (_, data) = raw[victim]
+                .fetch_block(s, s, k)
+                .ok_or_else(|| format!("op 2: victim site {s} lost block {k} entirely"))?;
+            if !data.as_slice().iter().all(|&x| x == 0x11) {
+                return Err(format!(
+                    "op 2: failed sub-batch corrupted shard {victim}: site {s} block {k} \
+                     holds {:02x?}, expected the pre-blackout fill 0x11",
+                    data.as_slice()
+                ));
+            }
+        }
+    }
+
+    read_some(
+        3,
+        "healthy",
+        &healthy_blocks,
+        true,
+        &mut log,
+        &oracles,
+        &mut reads_checked,
+    )?;
+    read_some(
+        4,
+        "all",
+        &all,
+        false,
+        &mut log,
+        &oracles,
+        &mut reads_checked,
+    )?;
+
+    // #5: repair the victim shard; the available copy schemes may need a
+    // sweep per site before the closure admits the shard back.
+    for s in raw[victim].config().site_ids() {
+        if raw[victim].local_state(s) == SiteState::Failed {
+            raw[victim].on_restart(s);
+            let _ = raw[victim].scrub_local(s);
+            begin(5);
+            protocol::repair(&*fdev.shard_backends()[victim], s);
+            let _ = end_all();
+        }
+    }
+    let mut sweeps = 0usize;
+    while raw[victim]
+        .config()
+        .site_ids()
+        .any(|s| raw[victim].local_state(s) == SiteState::Comatose)
+        && sweeps < cfg.num_sites()
+    {
+        begin(5);
+        protocol::sweep(&*fdev.shard_backends()[victim]);
+        let _ = end_all();
+        sweeps += 1;
+    }
+    log.push(format!(
+        "#5 repair-shard {victim} sweeps={sweeps} -> |{}",
+        states()
+    ));
+    for (i, oracle) in oracles.iter_mut().enumerate() {
+        oracle.try_narrow(&*raw[i]);
+    }
+
+    // #6: healed — the victim serves its pre-blackout contents, the
+    // healthy shards their post-blackout ones.
+    read_some(
+        6,
+        "healed",
+        &all,
+        true,
+        &mut log,
+        &oracles,
+        &mut reads_checked,
+    )?;
+
+    // --- Scenario 2: torn write mid cross-shard batch --------------------
+    write_all(torn_op, 0x44, true, &mut log, &mut oracles)?;
+    read_some(
+        8,
+        "post-torn",
+        &all,
+        true,
+        &mut log,
+        &oracles,
+        &mut reads_checked,
+    )?;
+
+    // #9: repair whatever the torn install crashed.
+    for s in raw[victim].config().site_ids() {
+        if raw[victim].local_state(s) == SiteState::Failed {
+            raw[victim].on_restart(s);
+            let _ = raw[victim].scrub_local(s);
+            begin(9);
+            protocol::repair(&*fdev.shard_backends()[victim], s);
+            let _ = end_all();
+        }
+    }
+    let mut sweeps = 0usize;
+    while raw[victim]
+        .config()
+        .site_ids()
+        .any(|s| raw[victim].local_state(s) == SiteState::Comatose)
+        && sweeps < cfg.num_sites()
+    {
+        begin(9);
+        protocol::sweep(&*fdev.shard_backends()[victim]);
+        let _ = end_all();
+        sweeps += 1;
+    }
+    log.push(format!(
+        "#9 repair-torn shard {victim} sweeps={sweeps} -> |{}",
+        states()
+    ));
+    for (i, oracle) in oracles.iter_mut().enumerate() {
+        oracle.try_narrow(&*raw[i]);
+    }
+
+    // #10–#11: one clean write re-certifies every shard `Exact`.
+    write_all(10, 0x55, true, &mut log, &mut oracles)?;
+    read_some(
+        11,
+        "final",
+        &all,
+        true,
+        &mut log,
+        &oracles,
+        &mut reads_checked,
+    )?;
+
+    // Final per-shard traffic and replica fingerprints (owned blocks).
+    for (i, b) in raw.iter().enumerate() {
+        log.push(format!("shard {i} traffic {}", b.counter().snapshot()));
+        for s in b.config().site_ids() {
+            let w = b
+                .was_available(s, s)
+                .expect("a site always reports its own was-available set");
+            let mut line = format!(
+                "shard {i} site {s}: {:?} W={:?}",
+                b.local_state(s),
+                w.iter().map(|x| x.as_u32()).collect::<Vec<_>>()
+            );
+            for &k in all.iter().filter(|&&k| manifest.shard_of(k) == i) {
+                let (v, data) = b
+                    .fetch_block(s, s, k)
+                    .expect("a site can always read its own disk");
+                let _ = write!(line, " {k}=v{}:{:02x?}", v.as_u64(), data.as_slice());
+            }
+            log.push(line);
+        }
+    }
+
+    Ok(ShardRunOutcome { log, reads_checked })
+}
+
+fn shard_diverges(a: &ShardRunOutcome, b: &ShardRunOutcome) -> Option<String> {
+    for (i, (la, lb)) in a.log.iter().zip(&b.log).enumerate() {
+        if la != lb {
+            return Some(format!("log line {i}:\n  a: {la}\n  b: {lb}"));
+        }
+    }
+    if a.log.len() != b.log.len() {
+        return Some(format!("log length {} vs {}", a.log.len(), b.log.len()));
+    }
+    if a.reads_checked != b.reads_checked {
+        return Some(format!(
+            "reads checked {} vs {}",
+            a.reads_checked, b.reads_checked
+        ));
+    }
+    None
+}
+
+/// Replays the shard fault scenarios on all three runtimes over a
+/// `shards`-shard device and checks both the per-shard one-copy oracles
+/// and cross-runtime parity (step logs, per-shard §5 traffic, replica
+/// fingerprints). Returns the first discrepancy as an error.
+pub fn check_shards(
+    scheme: Scheme,
+    shards: usize,
+    journaled: bool,
+) -> Result<ShardChaosReport, String> {
+    if shards < 2 {
+        return Err("the shard scenarios need at least 2 shards".to_string());
+    }
+    let spec = shard_scenario_spec(scheme, shards, journaled);
+    let det = {
+        let spec = spec.clone();
+        run_caught("deterministic", move || {
+            let dev = crate::shard::ShardedDevice::deterministic(
+                &spec,
+                ClusterOptions {
+                    mode: DeliveryMode::Multicast,
+                },
+            )
+            .map_err(|e| format!("spawn failed: {e}"))?;
+            run_shard_scenarios_on(&dev)
+        })?
+    };
+    let live = {
+        let spec = spec.clone();
+        run_caught("live", move || {
+            let dev = crate::shard::ShardedDevice::live(&spec, DeliveryMode::Multicast)
+                .map_err(|e| format!("spawn failed: {e}"))?;
+            run_shard_scenarios_on(&dev)
+        })?
+    };
+    let tcp = {
+        let spec = spec.clone();
+        run_caught("tcp", move || {
+            let dev = crate::shard::ShardedDevice::tcp(&spec, DeliveryMode::Multicast)
+                .map_err(|e| format!("spawn failed: {e}"))?;
+            run_shard_scenarios_on(&dev)
+        })?
+    };
+    for (name, other) in [("live", &live), ("tcp", &tcp)] {
+        if let Some(divergence) = shard_diverges(&det, other) {
+            return Err(format!(
+                "shard runtime parity broken (deterministic vs {name}): {divergence}"
+            ));
+        }
+    }
+    Ok(ShardChaosReport {
+        shards,
+        steps: det.log.len(),
+        reads_checked: det.reads_checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_scenarios_pass_on_all_runtimes_for_every_scheme() {
+        for scheme in Scheme::ALL {
+            let report = check_shards(scheme, 2, false).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            assert_eq!(report.shards, 2);
+            assert!(report.reads_checked > 0, "{scheme}: no reads checked");
+        }
+    }
+
+    #[test]
+    fn shard_scenarios_pass_journaled_and_wider() {
+        let report = check_shards(Scheme::Voting, 2, true).unwrap();
+        assert!(report.reads_checked > 0);
+        let report = check_shards(Scheme::Voting, 4, false).unwrap();
+        assert_eq!(report.shards, 4);
+    }
+
+    #[test]
+    fn check_shards_rejects_a_single_shard() {
+        assert!(check_shards(Scheme::Voting, 1, false).is_err());
+    }
 }

@@ -81,6 +81,7 @@ mod persist;
 mod protocol;
 mod replica;
 pub mod scenario;
+pub mod shard;
 pub mod simulate;
 mod tcp;
 pub mod wire;
@@ -98,4 +99,5 @@ pub use device::{DriverStub, ReliableDevice};
 pub use live::LiveCluster;
 pub use locks::{BlockLockTable, LeaseTable};
 pub use replica::Replica;
+pub use shard::{PlacementManifest, ShardSpec, ShardedDevice};
 pub use tcp::TcpCluster;

@@ -333,4 +333,67 @@ mod tests {
         t.grant(k(0), VersionNumber::new(3), &[sid(0)], e);
         assert_eq!(t.lookup(k(0)), None);
     }
+
+    #[test]
+    fn a_heal_time_epoch_bump_beats_an_in_flight_grant() {
+        // A partition heals (epoch bump) while a grant whose quorum was
+        // assembled before the heal is still in flight. The late grant must
+        // be dead on arrival — whatever order it lands in relative to the
+        // bump — and only a grant certified at the new epoch may serve.
+        let t = LeaseTable::new();
+        t.set_enabled(true);
+        let e = t.current_epoch();
+        t.grant(k(3), VersionNumber::new(1), &[sid(0)], e);
+        assert!(t.lookup(k(3)).is_some());
+        t.bump_epoch(); // the heal: every outstanding lease dies at once
+        t.grant(k(3), VersionNumber::new(2), &[sid(1)], e); // late grant
+        assert_eq!(t.lookup(k(3)), None, "a dead lease was resurrected");
+        let healed = t.current_epoch();
+        t.grant(k(3), VersionNumber::new(2), &[sid(1)], healed);
+        assert_eq!(
+            t.lookup(k(3)),
+            Some((VersionNumber::new(2), vec![sid(1)])),
+            "a current-epoch grant must serve after the heal"
+        );
+    }
+
+    #[test]
+    fn a_grant_racing_the_epoch_bump_never_resurrects_a_dead_lease() {
+        // The threaded version of the heal race: the grant and the bump run
+        // concurrently from a barrier, with the grant's epoch captured
+        // before the bump. Whichever interleaving the scheduler picks —
+        // including a bump landing between the grant's epoch check and its
+        // insert — the lookup must never serve the dead lease.
+        use std::sync::Barrier;
+        let table = Arc::new(LeaseTable::new());
+        table.set_enabled(true);
+        for round in 0..200u64 {
+            let e = table.current_epoch();
+            let barrier = Arc::new(Barrier::new(2));
+            let granter = {
+                let table = Arc::clone(&table);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    table.grant(k(5), VersionNumber::new(round + 1), &[sid(0)], e);
+                })
+            };
+            let healer = {
+                let table = Arc::clone(&table);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    table.bump_epoch();
+                })
+            };
+            granter.join().unwrap();
+            healer.join().unwrap();
+            assert_eq!(
+                table.lookup(k(5)),
+                None,
+                "round {round}: a grant racing the heal-time epoch bump \
+                 resurrected a dead lease"
+            );
+        }
+    }
 }

@@ -1,0 +1,727 @@
+//! The sharded virtual device: consistent-hash placement of block groups
+//! over independent replica groups.
+//!
+//! A single [`ReliableDevice`](crate::ReliableDevice) is one replica group
+//! holding full copies, so its capacity and write bandwidth are capped by
+//! one quorum no matter how many sites exist. [`ShardedDevice`] lifts that
+//! ceiling: a larger site pool is partitioned into `S` equal replica
+//! groups (*shards*), each running its own independent quorum — its own
+//! per-block lock table, its own lease table, its own WAL when journaled —
+//! over the **unchanged** `protocol` layer, and block *groups* are mapped
+//! to shards by rendezvous (highest-random-weight) hashing recorded in a
+//! versioned [`PlacementManifest`].
+//!
+//! Vectored requests fan out to every touched shard in one parallel
+//! round: the batch is split by shard, per-shard `read_many`/`write_many`
+//! sub-batches are issued concurrently (acquiring the per-shard admission
+//! gates in **ascending shard index**, the same lock-order discipline the
+//! workspace lint verifies on `TcpCluster::pipelined`), and the replies
+//! are stitched back in caller order.
+//!
+//! # Partial-batch failure semantics
+//!
+//! Shards are independent failure domains. A cross-shard `write_blocks`
+//! whose batch touches a shard with no quorum fails *that shard's*
+//! sub-batch only: every other touched shard commits normally, no shard
+//! blocks on another, and the first error in ascending shard order is
+//! returned to the caller. The caller learns the batch was not applied
+//! atomically across shards — exactly the contract a striped volume over
+//! independent disks offers — and the per-shard one-copy invariant is
+//! never weakened (the chaos shard scenarios check it per shard).
+
+use crate::backend::Backend;
+use crate::protocol;
+use blockrep_net::DeliveryMode;
+use blockrep_storage::BlockDevice;
+use blockrep_types::{
+    BlockData, BlockIndex, DeviceConfig, DeviceError, DeviceResult, Scheme, SiteId,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// SplitMix64: the placement hash. Deterministic across runs and
+/// platforms, well-mixed enough that rendezvous scores spread block
+/// groups evenly over shards.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The versioned placement record: which pool sites form each shard and
+/// how block groups map onto shards.
+///
+/// Placement is *rendezvous* (highest-random-weight) hashing: group `g`
+/// lives on the shard whose `score(g, shard)` is largest. The useful
+/// consequence is minimal disruption — growing the manifest from `S` to
+/// `S + 1` shards moves only the groups whose top score now lands on the
+/// new shard (about `1/(S+1)` of them) and leaves every other assignment
+/// untouched.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_core::shard::PlacementManifest;
+/// use blockrep_types::{BlockIndex, SiteId};
+///
+/// let pool: Vec<SiteId> = SiteId::all(6).collect();
+/// let m = PlacementManifest::build(1, 64, &pool, 2).unwrap();
+/// assert_eq!(m.shard_count(), 2);
+/// assert_eq!(m.sites_of(1), &[SiteId::new(3), SiteId::new(4), SiteId::new(5)]);
+/// // Blocks of one 64-block group land on one shard.
+/// assert_eq!(m.shard_of(BlockIndex::new(0)), m.shard_of(BlockIndex::new(63)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementManifest {
+    version: u64,
+    group_size: u64,
+    shard_sites: Vec<Vec<SiteId>>,
+}
+
+impl PlacementManifest {
+    /// Builds a manifest placing `shards` equal replica groups over
+    /// `pool`, with blocks bundled into `group_size`-block groups.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidConfig`] when `shards` is zero,
+    /// `group_size` is zero, or the pool does not divide evenly into
+    /// `shards` non-empty groups (shard quorums are kept symmetric).
+    pub fn build(
+        version: u64,
+        group_size: u64,
+        pool: &[SiteId],
+        shards: usize,
+    ) -> DeviceResult<PlacementManifest> {
+        if shards == 0 {
+            return Err(DeviceError::InvalidConfig("zero shards".into()));
+        }
+        if group_size == 0 {
+            return Err(DeviceError::InvalidConfig("zero group size".into()));
+        }
+        if pool.is_empty() || pool.len() % shards != 0 {
+            return Err(DeviceError::InvalidConfig(format!(
+                "pool of {} sites does not split into {} equal shards",
+                pool.len(),
+                shards
+            )));
+        }
+        let per_shard = pool.len() / shards;
+        let shard_sites = pool.chunks(per_shard).map(<[SiteId]>::to_vec).collect();
+        Ok(PlacementManifest {
+            version,
+            group_size,
+            shard_sites,
+        })
+    }
+
+    /// The manifest version (bumped when placement is regenerated).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Blocks per placement group.
+    pub fn group_size(&self) -> u64 {
+        self.group_size
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shard_sites.len()
+    }
+
+    /// The pool sites forming `shard`'s replica group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn sites_of(&self, shard: usize) -> &[SiteId] {
+        &self.shard_sites[shard]
+    }
+
+    /// The placement group of block `k`.
+    pub fn group_of(&self, k: BlockIndex) -> u64 {
+        k.as_u64() / self.group_size
+    }
+
+    /// The rendezvous score of `(group, shard)`; placement picks the
+    /// shard with the highest score, ties going to the lower index.
+    fn score(group: u64, shard: usize) -> u64 {
+        splitmix64(
+            splitmix64(group.wrapping_add(1)) ^ (shard as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD),
+        )
+    }
+
+    /// The shard holding block `k`.
+    pub fn shard_of(&self, k: BlockIndex) -> usize {
+        let group = self.group_of(k);
+        let mut best = 0usize;
+        let mut best_score = Self::score(group, 0);
+        for shard in 1..self.shard_count() {
+            let score = Self::score(group, shard);
+            if score > best_score {
+                best = shard;
+                best_score = score;
+            }
+        }
+        best
+    }
+
+    /// A human-readable rendering of the manifest (what `mkfs --shards`
+    /// prints next to the images it creates).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "placement manifest v{} (rendezvous, {}-block groups, {} shards)\n",
+            self.version,
+            self.group_size,
+            self.shard_count()
+        );
+        for (i, sites) in self.shard_sites.iter().enumerate() {
+            let names: Vec<String> = sites.iter().map(SiteId::to_string).collect();
+            out.push_str(&format!("  shard {i}: sites [{}]\n", names.join(", ")));
+        }
+        out
+    }
+}
+
+/// Geometry of a sharded device: `shards` independent replica groups of
+/// `sites_per_shard` sites each, every group replicating the full
+/// `num_blocks`-block address space but serving only the block groups the
+/// manifest places on it.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Replication scheme run by every shard quorum.
+    pub scheme: Scheme,
+    /// Number of independent replica groups.
+    pub shards: usize,
+    /// Sites per replica group (the pool is `shards * sites_per_shard`).
+    pub sites_per_shard: usize,
+    /// Blocks of the virtual device.
+    pub num_blocks: u64,
+    /// Bytes per block.
+    pub block_size: usize,
+    /// Blocks per placement group. Batches aligned to this unit touch a
+    /// single shard; larger batches stripe across shards.
+    pub group_size: u64,
+    /// Run every site on a write-ahead log.
+    pub journaled: bool,
+}
+
+impl ShardSpec {
+    /// A spec with the conventional geometry: 3-site shards over 64-block
+    /// placement groups, 512-byte blocks.
+    pub fn new(scheme: Scheme, shards: usize, num_blocks: u64) -> ShardSpec {
+        ShardSpec {
+            scheme,
+            shards,
+            sites_per_shard: 3,
+            num_blocks,
+            block_size: 512,
+            group_size: 64,
+            journaled: false,
+        }
+    }
+
+    /// The placement manifest for this geometry (version 1).
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidConfig`] for a degenerate geometry.
+    pub fn manifest(&self) -> DeviceResult<PlacementManifest> {
+        let pool: Vec<SiteId> = SiteId::all(self.shards * self.sites_per_shard).collect();
+        PlacementManifest::build(1, self.group_size, &pool, self.shards)
+    }
+
+    /// The per-shard device configuration. Every shard replicates the
+    /// full address space (no index translation anywhere), it just never
+    /// coordinates blocks the manifest places elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidConfig`] for a degenerate geometry.
+    pub fn shard_config(&self) -> DeviceResult<DeviceConfig> {
+        DeviceConfig::builder(self.scheme)
+            .sites(self.sites_per_shard)
+            .num_blocks(self.num_blocks)
+            .block_size(self.block_size)
+            .journaled(self.journaled)
+            .build()
+    }
+}
+
+/// A virtual block device striped over independent replica groups.
+///
+/// Each shard is a complete cluster of its own — any [`Backend`] runtime
+/// works — and the device routes every block to its manifest-assigned
+/// shard. Vectored operations fan out to all touched shards in one
+/// parallel round and stitch replies back in caller order.
+///
+/// # Examples
+///
+/// ```
+/// use blockrep_core::shard::{ShardSpec, ShardedDevice};
+/// use blockrep_core::ClusterOptions;
+/// use blockrep_storage::BlockDevice;
+/// use blockrep_types::{BlockData, BlockIndex, Scheme};
+///
+/// # fn main() -> Result<(), blockrep_types::DeviceError> {
+/// let spec = ShardSpec {
+///     block_size: 16,
+///     ..ShardSpec::new(Scheme::Voting, 2, 256)
+/// };
+/// let dev = ShardedDevice::deterministic(&spec, ClusterOptions::default())?;
+/// // A 128-block extent spans both 64-block groups ⇒ usually both shards.
+/// let writes: Vec<_> = (0..128)
+///     .map(|i| (BlockIndex::new(i), BlockData::from(vec![i as u8; 16])))
+///     .collect();
+/// dev.write_blocks(&writes)?;
+/// let ks: Vec<_> = (0..128).map(BlockIndex::new).collect();
+/// assert_eq!(dev.read_blocks(&ks)?[100].as_slice(), &[100; 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedDevice<C> {
+    shards: Vec<Arc<C>>,
+    manifest: PlacementManifest,
+    preferred: SiteId,
+    /// Per-shard admission gates: a cross-shard batch holds the gate of
+    /// every shard it touches for the duration of its round, so two
+    /// concurrent batches meet each shard in a fixed order. Gates are
+    /// always taken in ascending shard index — the `fan_out` loop asserts
+    /// it — which is what makes holding several at once deadlock-free.
+    gates: Vec<Mutex<()>>,
+    num_blocks: u64,
+    block_size: usize,
+}
+
+impl<C: Backend> ShardedDevice<C> {
+    /// Assembles a device from per-shard clusters and their manifest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard list is empty or disagrees with the manifest,
+    /// if the shards' geometries differ, or if `preferred` is not a
+    /// shard-local site id valid in every shard.
+    pub fn new(shards: Vec<Arc<C>>, manifest: PlacementManifest, preferred: SiteId) -> Self {
+        assert!(!shards.is_empty(), "a sharded device needs shards");
+        assert_eq!(
+            shards.len(),
+            manifest.shard_count(),
+            "shard list disagrees with the manifest"
+        );
+        let num_blocks = shards[0].config().num_blocks();
+        let block_size = shards[0].config().block_size();
+        for (i, shard) in shards.iter().enumerate() {
+            let cfg = shard.config();
+            assert_eq!(cfg.num_blocks(), num_blocks, "shard {i}: geometry differs");
+            assert_eq!(cfg.block_size(), block_size, "shard {i}: geometry differs");
+            assert_eq!(
+                cfg.num_sites(),
+                manifest.sites_of(i).len(),
+                "shard {i}: site count disagrees with the manifest"
+            );
+            assert!(
+                cfg.contains_site(preferred),
+                "shard {i}: preferred origin {preferred} is not a local site"
+            );
+        }
+        let gates = (0..shards.len()).map(|_| Mutex::new(())).collect();
+        ShardedDevice {
+            shards,
+            manifest,
+            preferred,
+            gates,
+            num_blocks,
+            block_size,
+        }
+    }
+
+    /// The placement manifest.
+    pub fn manifest(&self) -> &PlacementManifest {
+        &self.manifest
+    }
+
+    /// The per-shard cluster handles, in shard order.
+    pub fn shard_backends(&self) -> &[Arc<C>] {
+        &self.shards
+    }
+
+    /// The shard holding block `k`.
+    pub fn shard_of(&self, k: BlockIndex) -> usize {
+        self.manifest.shard_of(k)
+    }
+
+    /// The preferred shard-local coordinator site.
+    pub fn preferred(&self) -> SiteId {
+        self.preferred
+    }
+
+    /// Splits caller-order positions by owning shard, ascending shard
+    /// index (`BTreeMap` iteration order).
+    fn split_by_shard(&self, ks: impl Iterator<Item = BlockIndex>) -> Vec<(usize, Vec<usize>)> {
+        let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, k) in ks.enumerate() {
+            by_shard
+                .entry(self.manifest.shard_of(k))
+                .or_default()
+                .push(i);
+        }
+        by_shard.into_iter().collect()
+    }
+
+    /// Runs `op` against shard `s` with the same failover rule as
+    /// [`ReliableDevice`](crate::ReliableDevice): try the preferred
+    /// origin, fail over to the other shard-local sites only when the
+    /// coordinator itself cannot serve.
+    fn on_shard<T>(
+        &self,
+        s: usize,
+        mut op: impl FnMut(&C, SiteId) -> DeviceResult<T>,
+    ) -> DeviceResult<T> {
+        let backend = &*self.shards[s];
+        let preferred = self.preferred;
+        let origins = std::iter::once(preferred)
+            .chain(backend.config().site_ids().filter(move |&x| x != preferred));
+        let mut last = None;
+        for origin in origins {
+            match op(backend, origin) {
+                Err(e @ DeviceError::SiteNotServing { .. }) => last = Some(e),
+                other => return other,
+            }
+        }
+        Err(last.expect("shards have at least one site"))
+    }
+
+    /// The one parallel round: launches `run` for every `(shard,
+    /// positions)` pair on its own scoped thread and collects the results
+    /// in ascending shard order.
+    ///
+    /// Each shard's admission gate is held from launch until that shard's
+    /// sub-operation has been joined, so concurrent cross-shard batches
+    /// serialize per shard while still overlapping across shards. Because
+    /// a batch holds several gates at once, acquisition order is a
+    /// deadlock invariant: `split_by_shard` hands us shards ascending and
+    /// the assert pins that discipline.
+    fn fan_out<T: Send>(
+        &self,
+        split: Vec<(usize, Vec<usize>)>,
+        run: impl Fn(usize, &[usize]) -> DeviceResult<T> + Sync,
+    ) -> Vec<(Vec<usize>, DeviceResult<T>)> {
+        std::thread::scope(|scope| {
+            let mut launched = Vec::with_capacity(split.len());
+            for (s, idxs) in split {
+                debug_assert!(
+                    launched.last().is_none_or(|&(prev, _, _)| prev < s),
+                    "shard gates must be acquired in ascending shard order"
+                );
+                let gate = self.gates[s].lock();
+                let run = &run;
+                let handle = scope.spawn(move || {
+                    let result = run(s, &idxs);
+                    (idxs, result)
+                });
+                launched.push((s, gate, handle));
+            }
+            launched
+                .into_iter()
+                .map(|(_, _gate, handle)| handle.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+}
+
+impl<C: Backend> BlockDevice for ShardedDevice<C> {
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn read_block(&self, k: BlockIndex) -> DeviceResult<BlockData> {
+        let mut blocks = self.read_blocks(std::slice::from_ref(&k))?;
+        Ok(blocks.pop().expect("one block requested"))
+    }
+
+    fn write_block(&self, k: BlockIndex, data: BlockData) -> DeviceResult<()> {
+        self.write_blocks(&[(k, data)])
+    }
+
+    fn read_blocks(&self, ks: &[BlockIndex]) -> DeviceResult<Vec<BlockData>> {
+        if ks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let split = self.split_by_shard(ks.iter().copied());
+        let outcomes = self.fan_out(split, |s, idxs| {
+            let sub: Vec<BlockIndex> = idxs.iter().map(|&i| ks[i]).collect();
+            self.on_shard(s, |backend, origin| {
+                protocol::read_many(backend, origin, &sub)
+            })
+        });
+        let mut stitched: Vec<Option<BlockData>> = vec![None; ks.len()];
+        let mut first_err = None;
+        for (idxs, outcome) in outcomes {
+            match outcome {
+                Ok(blocks) => {
+                    for (slot, data) in idxs.into_iter().zip(blocks) {
+                        stitched[slot] = Some(data);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(stitched
+            .into_iter()
+            .map(|d| d.expect("every position stitched"))
+            .collect())
+    }
+
+    fn write_blocks(&self, writes: &[(BlockIndex, BlockData)]) -> DeviceResult<()> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let split = self.split_by_shard(writes.iter().map(|&(k, _)| k));
+        let outcomes = self.fan_out(split, |s, idxs| {
+            // Block payloads are refcounted; the sub-batch clone is cheap.
+            let sub: Vec<(BlockIndex, BlockData)> =
+                idxs.iter().map(|&i| writes[i].clone()).collect();
+            self.on_shard(s, |backend, origin| {
+                protocol::write_many(backend, origin, &sub)
+            })
+        });
+        // Healthy shards have already committed; report the first failed
+        // sub-batch (ascending shard order) without undoing the others.
+        for (_, outcome) in outcomes {
+            outcome?;
+        }
+        Ok(())
+    }
+}
+
+impl ShardedDevice<crate::Cluster> {
+    /// Spawns the deterministic runtime per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidConfig`] for a degenerate spec.
+    pub fn deterministic(spec: &ShardSpec, options: crate::ClusterOptions) -> DeviceResult<Self> {
+        let manifest = spec.manifest()?;
+        let shards = (0..spec.shards)
+            .map(|_| Ok(Arc::new(crate::Cluster::new(spec.shard_config()?, options))))
+            .collect::<DeviceResult<Vec<_>>>()?;
+        Ok(ShardedDevice::new(shards, manifest, SiteId::new(0)))
+    }
+}
+
+impl ShardedDevice<crate::LiveCluster> {
+    /// Spawns the threaded runtime per shard: each shard group gets its
+    /// own server threads and channels.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidConfig`] for a degenerate spec.
+    pub fn live(spec: &ShardSpec, mode: DeliveryMode) -> DeviceResult<Self> {
+        let manifest = spec.manifest()?;
+        let shards = (0..spec.shards)
+            .map(|_| {
+                Ok(Arc::new(crate::LiveCluster::spawn(
+                    spec.shard_config()?,
+                    mode,
+                )))
+            })
+            .collect::<DeviceResult<Vec<_>>>()?;
+        Ok(ShardedDevice::new(shards, manifest, SiteId::new(0)))
+    }
+}
+
+impl ShardedDevice<crate::TcpCluster> {
+    /// Spawns the framed-TCP runtime per shard, with the windowed
+    /// connection multiplexer on: cross-shard fan-out issues sub-batches
+    /// from several threads at once, and without multiplexing they would
+    /// serialize behind each shard's per-site connection mutex.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidConfig`] for a degenerate spec, or
+    /// [`DeviceError::Io`] if a shard's listeners or connections fail.
+    pub fn tcp(spec: &ShardSpec, mode: DeliveryMode) -> DeviceResult<Self> {
+        let manifest = spec.manifest()?;
+        let shards = (0..spec.shards)
+            .map(|_| {
+                let cluster = crate::TcpCluster::spawn(spec.shard_config()?, mode)
+                    .map_err(DeviceError::Io)?;
+                cluster.set_multiplexing(true).map_err(DeviceError::Io)?;
+                Ok(Arc::new(cluster))
+            })
+            .collect::<DeviceResult<Vec<_>>>()?;
+        Ok(ShardedDevice::new(shards, manifest, SiteId::new(0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterOptions;
+
+    fn spec(scheme: Scheme, shards: usize) -> ShardSpec {
+        ShardSpec {
+            sites_per_shard: 3,
+            block_size: 8,
+            group_size: 4,
+            ..ShardSpec::new(scheme, shards, 64)
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_degenerate_geometry() {
+        let pool: Vec<SiteId> = SiteId::all(6).collect();
+        assert!(PlacementManifest::build(1, 4, &pool, 0).is_err());
+        assert!(PlacementManifest::build(1, 0, &pool, 2).is_err());
+        assert!(PlacementManifest::build(1, 4, &pool, 4).is_err());
+        assert!(PlacementManifest::build(1, 4, &[], 1).is_err());
+    }
+
+    #[test]
+    fn placement_is_group_aligned_and_covers_all_shards() {
+        let pool: Vec<SiteId> = SiteId::all(12).collect();
+        let m = PlacementManifest::build(1, 64, &pool, 4).unwrap();
+        let mut seen = [0u64; 4];
+        for g in 0..256u64 {
+            let shard = m.shard_of(BlockIndex::new(g * 64));
+            // Every block of the group agrees with its first block.
+            assert_eq!(m.shard_of(BlockIndex::new(g * 64 + 63)), shard);
+            seen[shard] += 1;
+        }
+        // Rendezvous spreads 256 groups roughly evenly over 4 shards.
+        for (shard, &count) in seen.iter().enumerate() {
+            assert!(
+                (32..=96).contains(&count),
+                "shard {shard} owns {count} of 256 groups"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_shard_count_only_moves_groups_to_the_new_shard() {
+        let small: Vec<SiteId> = SiteId::all(9).collect();
+        let large: Vec<SiteId> = SiteId::all(12).collect();
+        let before = PlacementManifest::build(1, 64, &small, 3).unwrap();
+        let after = PlacementManifest::build(2, 64, &large, 4).unwrap();
+        let mut moved = 0u64;
+        for g in 0..512u64 {
+            let k = BlockIndex::new(g * 64);
+            let (old, new) = (before.shard_of(k), after.shard_of(k));
+            if old != new {
+                assert_eq!(new, 3, "group {g} moved to shard {new}, not the new shard");
+                moved += 1;
+            }
+        }
+        // The consistent-hash property: roughly 1/4 of groups move, and
+        // only onto the added shard.
+        assert!(
+            (64..=192).contains(&moved),
+            "{moved} of 512 groups moved on growth"
+        );
+    }
+
+    #[test]
+    fn cross_shard_batches_round_trip_in_caller_order() {
+        for scheme in Scheme::ALL {
+            let dev =
+                ShardedDevice::deterministic(&spec(scheme, 4), ClusterOptions::default()).unwrap();
+            // A deliberately shuffled, cross-shard batch.
+            let ks: Vec<BlockIndex> = (0..64).rev().map(BlockIndex::new).collect();
+            let writes: Vec<(BlockIndex, BlockData)> = ks
+                .iter()
+                .map(|&k| (k, BlockData::from(vec![k.as_u64() as u8; 8])))
+                .collect();
+            dev.write_blocks(&writes).unwrap();
+            let back = dev.read_blocks(&ks).unwrap();
+            for (k, data) in ks.iter().zip(&back) {
+                assert_eq!(data.as_slice(), &[k.as_u64() as u8; 8], "block {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_block_ops_route_to_the_owning_shard_only() {
+        let dev = ShardedDevice::deterministic(&spec(Scheme::Voting, 2), ClusterOptions::default())
+            .unwrap();
+        let k = BlockIndex::new(9);
+        let owner = dev.shard_of(k);
+        dev.write_block(k, BlockData::from(vec![5; 8])).unwrap();
+        assert_eq!(dev.read_block(k).unwrap().as_slice(), &[5; 8]);
+        let other = 1 - owner;
+        let t = dev.shard_backends()[other].traffic();
+        assert_eq!(t.total(), 0, "non-owning shard saw traffic");
+    }
+
+    #[test]
+    fn losing_one_shard_quorum_fails_only_that_sub_batch() {
+        let dev = ShardedDevice::deterministic(&spec(Scheme::Voting, 2), ClusterOptions::default())
+            .unwrap();
+        let ks: Vec<BlockIndex> = (0..64).map(BlockIndex::new).collect();
+        let writes: Vec<(BlockIndex, BlockData)> = ks
+            .iter()
+            .map(|&k| (k, BlockData::from(vec![1; 8])))
+            .collect();
+        dev.write_blocks(&writes).unwrap();
+        // Kill shard 0's quorum (2 of 3 voting sites).
+        let victim = &dev.shard_backends()[0];
+        protocol::fail(&**victim, SiteId::new(0));
+        protocol::fail(&**victim, SiteId::new(1));
+        let second: Vec<(BlockIndex, BlockData)> = ks
+            .iter()
+            .map(|&k| (k, BlockData::from(vec![2; 8])))
+            .collect();
+        let err = dev.write_blocks(&second).unwrap_err();
+        assert!(matches!(err, DeviceError::Unavailable { .. }), "{err}");
+        // Shard 1's sub-batch committed; shard 0's kept the old contents.
+        for &k in &ks {
+            let expect = if dev.shard_of(k) == 0 { 1u8 } else { 2u8 };
+            let holder = &dev.shard_backends()[dev.shard_of(k)];
+            assert_eq!(
+                holder.read_local(SiteId::new(2), k).as_slice(),
+                &[expect; 8],
+                "block {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let dev = ShardedDevice::deterministic(
+            &spec(Scheme::AvailableCopy, 2),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        assert!(dev.read_blocks(&[]).unwrap().is_empty());
+        dev.write_blocks(&[]).unwrap();
+    }
+
+    #[test]
+    fn preferred_origin_failure_fails_over_within_the_shard() {
+        let dev = ShardedDevice::deterministic(
+            &spec(Scheme::AvailableCopy, 2),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        let k = BlockIndex::new(3);
+        dev.write_block(k, BlockData::from(vec![7; 8])).unwrap();
+        // Fail the preferred origin (shard-local s0) in the owning shard.
+        let owner = &dev.shard_backends()[dev.shard_of(k)];
+        protocol::fail(&**owner, SiteId::new(0));
+        assert_eq!(dev.read_block(k).unwrap().as_slice(), &[7; 8]);
+    }
+}

@@ -185,3 +185,28 @@ fn descending_block_shard_acquisition_is_caught() {
         report.verified
     );
 }
+
+#[test]
+fn descending_shard_fanout_is_caught() {
+    let report = lint("shard_fanout");
+    // The back-to-front fan-out is the only finding: it accumulates one
+    // admission gate per touched shard but asserts the wrong order.
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    let f = &report.findings[0];
+    assert!(f.pass == "lock-order" && f.severity == Severity::Error);
+    assert!(
+        f.message.contains("fan_out_descending") && f.message.contains("ascending-order"),
+        "{}",
+        f.message
+    );
+    // The ascending twin mirrors the real `ShardedDevice::fan_out` and is
+    // positively verified.
+    assert!(
+        report
+            .verified
+            .iter()
+            .any(|v| v.contains("`fan_out`") && v.contains("ascending")),
+        "{:#?}",
+        report.verified
+    );
+}

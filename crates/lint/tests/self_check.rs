@@ -50,6 +50,16 @@ fn key_invariants_are_positively_verified() {
             report.verified
         );
     }
+    // And the cross-shard fan-out of the sharded virtual device: the
+    // per-shard admission gates are taken in ascending shard index.
+    assert!(
+        report
+            .verified
+            .iter()
+            .any(|v| v.contains("shard.rs") && v.contains("`fan_out`") && v.contains("ascending")),
+        "cross-shard fan-out ascending-order discipline not verified:\n{:#?}",
+        report.verified
+    );
     // Both wire enums must have their tag bijection confirmed.
     for ty in ["WireRequest", "WireResponse"] {
         assert!(
